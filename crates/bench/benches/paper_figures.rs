@@ -1,0 +1,69 @@
+//! One Criterion bench per paper artifact. Each bench first regenerates
+//! and prints its figure/table (at `AGP_BENCH_SCALE`, default quick),
+//! then times the quick-scale experiment end to end — so `cargo bench`
+//! doubles as the harness that reproduces every row the paper reports.
+
+use agp_bench::{print_output, print_scale};
+use agp_experiments::{find, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_experiment(c: &mut Criterion, id: &str) {
+    let e = find(id).unwrap_or_else(|| panic!("experiment {id} not registered"));
+    // Regenerate and print the artifact once.
+    let out = (e.runner)(print_scale()).unwrap_or_else(|err| panic!("{id}: {err}"));
+    print_output(&out);
+    // Time the quick-scale reproduction.
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function(id, |b| {
+        b.iter(|| (e.runner)(Scale::Quick).expect("experiment run"));
+    });
+    group.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    bench_experiment(c, "fig6");
+}
+
+fn fig7(c: &mut Criterion) {
+    bench_experiment(c, "fig7");
+}
+
+fn fig8(c: &mut Criterion) {
+    bench_experiment(c, "fig8");
+}
+
+fn fig9(c: &mut Criterion) {
+    bench_experiment(c, "fig9");
+}
+
+fn moreira(c: &mut Criterion) {
+    bench_experiment(c, "moreira");
+}
+
+fn bgablate(c: &mut Criterion) {
+    bench_experiment(c, "bgablate");
+}
+
+fn quantum(c: &mut Criterion) {
+    bench_experiment(c, "quantum");
+}
+
+fn scale16(c: &mut Criterion) {
+    bench_experiment(c, "scale16");
+}
+
+fn mpl(c: &mut Criterion) {
+    bench_experiment(c, "mpl");
+}
+
+fn admission(c: &mut Criterion) {
+    bench_experiment(c, "admission");
+}
+
+criterion_group!(
+    figures, moreira, fig6, fig7, fig8, fig9, bgablate, quantum, scale16, mpl, admission
+);
+criterion_main!(figures);

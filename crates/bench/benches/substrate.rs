@@ -1,0 +1,156 @@
+//! Microbenchmarks of the simulator's hot paths. These bound how much
+//! wall time a paper-scale experiment costs and guard against
+//! accidental quadratic regressions (e.g. per-fault re-sorting in the
+//! reclaim path, which the selective cache exists to avoid).
+
+use agp_core::{PagingEngine, PolicyConfig};
+use agp_disk::{Disk, DiskParams, DiskRequest, Extent};
+use agp_mem::{Kernel, PageNum, ProcId, VmParams};
+use agp_sim::{EventQueue, SimRng, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        let mut rng = SimRng::new(7);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.below(1_000_000)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut max_seen = 0u64;
+            for &t in &times {
+                q.push(SimTime::from_us(max_seen + t), ());
+            }
+            while let Some((t, ())) = q.pop() {
+                max_seen = t.as_us();
+            }
+            black_box(max_seen)
+        });
+    });
+}
+
+fn touch_run(c: &mut Criterion) {
+    // A resident 64 Ki-page working set swept in 1 Ki chunks: the
+    // executor's innermost loop at paper scale.
+    let pid = ProcId(1);
+    let mut k = Kernel::new(VmParams::for_frames(80_000, 0), 1 << 20);
+    k.register_proc(pid, 65_536);
+    for p in 0..65_536u32 {
+        k.map_in(pid, PageNum(p), SimTime::ZERO).unwrap();
+    }
+    c.bench_function("touch_run_sweep_64k_pages", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_us(t);
+            let mut done = 0u32;
+            while done < 65_536 {
+                let (hits, fault) = k
+                    .touch_run(pid, PageNum(done), 1024.min((65_536 - done) as usize), true, now)
+                    .unwrap();
+                assert!(fault.is_none());
+                done += hits as u32;
+            }
+            black_box(done)
+        });
+    });
+}
+
+fn reclaim_under_pressure(c: &mut Criterion) {
+    c.bench_function("reclaim_evict_2k_of_64k", |b| {
+        b.iter_with_setup(
+            || {
+                let mut k = Kernel::new(VmParams::for_frames(66_000, 0), 1 << 20);
+                k.register_proc(ProcId(1), 65_536);
+                for p in 0..65_000u32 {
+                    k.map_in(ProcId(1), PageNum(p), SimTime::from_us(p as u64)).unwrap();
+                    if p % 2 == 0 {
+                        k.touch(ProcId(1), PageNum(p), true, SimTime::from_us(p as u64)).unwrap();
+                    }
+                }
+                (k, PagingEngine::new(PolicyConfig::original()))
+            },
+            |(mut k, mut e)| {
+                let w = e
+                    .free_pages(&mut k, 2048, SimTime::from_secs(100))
+                    .unwrap();
+                black_box((k.free_frames(), w.len()))
+            },
+        );
+    });
+}
+
+fn evict_batch_contiguity(c: &mut Criterion) {
+    c.bench_function("evict_batch_8k_dirty_pages", |b| {
+        b.iter_with_setup(
+            || {
+                let mut k = Kernel::new(VmParams::for_frames(16_384, 0), 1 << 20);
+                k.register_proc(ProcId(1), 8_192);
+                for p in 0..8_192u32 {
+                    k.map_in(ProcId(1), PageNum(p), SimTime::ZERO).unwrap();
+                    k.touch(ProcId(1), PageNum(p), true, SimTime::ZERO).unwrap();
+                }
+                k
+            },
+            |mut k| {
+                let pages: Vec<PageNum> = (0..8_192).map(PageNum).collect();
+                let ext = k
+                    .evict_batch(ProcId(1), &pages, &mut Vec::new())
+                    .unwrap();
+                black_box(ext.len())
+            },
+        );
+    });
+}
+
+fn disk_service(c: &mut Criterion) {
+    c.bench_function("disk_submit_1k_requests", |b| {
+        let mut rng = SimRng::new(3);
+        let reqs: Vec<DiskRequest> = (0..1000)
+            .map(|_| {
+                DiskRequest::read(vec![Extent::new(rng.below(500_000), 1 + rng.below(63))])
+            })
+            .collect();
+        b.iter(|| {
+            let mut d = Disk::new(DiskParams::default());
+            let mut last = SimTime::ZERO;
+            for r in &reqs {
+                last = d.submit(SimTime::ZERO, r);
+            }
+            black_box(last)
+        });
+    });
+}
+
+fn full_cluster_run(c: &mut Criterion) {
+    use agp_cluster::{ClusterConfig, JobSpec, ScheduleMode};
+    use agp_sim::SimDur;
+    use agp_workload::{Benchmark, Class, WorkloadSpec};
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("quick_lu_pair_full_policy", |b| {
+        b.iter(|| {
+            let w = WorkloadSpec::serial(Benchmark::LU, Class::A);
+            let mut cfg = ClusterConfig::paper_defaults(1);
+            cfg.mem_mib = 128;
+            cfg.wired_mib = 66;
+            cfg.quantum = SimDur::from_secs(10);
+            cfg.policy = PolicyConfig::full();
+            cfg.mode = ScheduleMode::Gang;
+            cfg.jobs = vec![JobSpec::new("a", w), JobSpec::new("b", w)];
+            black_box(agp_cluster::run(cfg).unwrap().makespan)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrate,
+    event_queue,
+    touch_run,
+    reclaim_under_pressure,
+    evict_batch_contiguity,
+    disk_service,
+    full_cluster_run
+);
+criterion_main!(substrate);

@@ -1,0 +1,49 @@
+//! # agp-bench — the benchmark harness
+//!
+//! Criterion benches regenerating every table and figure of the paper:
+//!
+//! * `benches/paper_figures.rs` — one group per paper artifact (Fig. 6–9,
+//!   the §1 Moreira motivation, the §3.4 window ablation, the §5/§6
+//!   quantum sweep). Each bench prints the regenerated table/series once,
+//!   then times the experiment at quick scale. Set `AGP_BENCH_SCALE=paper`
+//!   to print the full testbed-geometry tables instead (slower; printed
+//!   once, sampling still at quick scale).
+//! * `benches/substrate.rs` — microbenchmarks of the simulator's hot
+//!   paths (touch runs, reclaim, swap allocation, disk service, event
+//!   queue, recorder).
+//! * `benches/ablations.rs` — design-choice ablations from DESIGN.md:
+//!   baseline replacement (2.2 clock vs idealized global LRU), read-ahead
+//!   window, and executor chunk size.
+//!
+//! Run with `cargo bench --workspace`; per-figure tables land on stderr
+//! so they survive criterion's output formatting.
+
+/// Print an experiment's output (tables + notes) to stderr, labeled.
+pub fn print_output(out: &agp_experiments::ExperimentOutput) {
+    eprintln!("\n================ {} — {} ================", out.id, out.title);
+    for t in &out.tables {
+        eprintln!("{t}");
+    }
+    for (label, trace) in &out.traces {
+        eprintln!(
+            "trace [{label}] in : {}",
+            agp_metrics::report::sparkline(trace.ins())
+        );
+        eprintln!(
+            "trace [{label}] out: {}",
+            agp_metrics::report::sparkline(trace.outs())
+        );
+    }
+    for n in &out.notes {
+        eprintln!("  * {n}");
+    }
+}
+
+/// Scale for the one-time table printout: `AGP_BENCH_SCALE=paper` selects
+/// the full testbed geometry.
+pub fn print_scale() -> agp_experiments::Scale {
+    match std::env::var("AGP_BENCH_SCALE").as_deref() {
+        Ok("paper") | Ok("PAPER") => agp_experiments::Scale::Paper,
+        _ => agp_experiments::Scale::Quick,
+    }
+}

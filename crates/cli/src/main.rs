@@ -1,0 +1,264 @@
+//! `agp` — command-line driver for the adaptive-gang-paging reproduction.
+//!
+//! ```text
+//! agp list                         # enumerate paper experiments
+//! agp run fig7 [--scale paper]     # regenerate one figure (or `all`)
+//! agp run all --scale quick        # CI-sized pass over every figure
+//! agp sim --bench LU --class B --nodes 1 --policy so/ao/ai/bg ...
+//!                                  # one custom cluster run
+//! ```
+//!
+//! Output is plain text: aligned tables, unicode sparklines for the
+//! paging traces, and the paper-vs-measured notes. `--csv` switches the
+//! tables to CSV, `--json` dumps the whole experiment output as JSON.
+
+use agp_cluster::{ClusterConfig, JobSpec, ScheduleMode};
+use agp_core::PolicyConfig;
+use agp_experiments::{all_experiments, find, ExperimentOutput, Scale};
+use agp_metrics::report::sparkline;
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try `agp help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("agp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "agp — simulation reproduction of 'Adaptive Memory Paging for Efficient Gang \
+         Scheduling of Parallel Applications' (Ryu, Pachapurkar, Fong; IPPS 2004)\n\n\
+         USAGE:\n\
+         \x20 agp list                          list the paper experiments\n\
+         \x20 agp run <id>|all [options]        regenerate a figure/table\n\
+         \x20 agp sim [options]                 run one custom cluster configuration\n\n\
+         RUN OPTIONS:\n\
+         \x20 --scale paper|quick               testbed geometry or CI-sized (default: paper)\n\
+         \x20 --csv                             emit tables as CSV\n\
+         \x20 --json                            emit the raw experiment output as JSON\n\n\
+         SIM OPTIONS:\n\
+         \x20 --bench LU|SP|CG|IS|MG            workload (default LU)\n\
+         \x20 --class A|B|C                     problem class (default B)\n\
+         \x20 --nodes N                         cluster size = ranks per job (default 1)\n\
+         \x20 --jobs N                          instances to co-schedule (default 2)\n\
+         \x20 --policy P                        orig | subset of so,ao,ai,bg (default orig)\n\
+         \x20 --quantum SECONDS                 gang quantum (default 300)\n\
+         \x20 --mem MIB / --wired MIB           node memory geometry (default 1024/574)\n\
+         \x20 --batch                           run jobs back-to-back instead of gang\n\
+         \x20 --seed N                          RNG seed (default 0x5EED600D)\n\
+         \x20 --trace                           print the node-0 paging trace"
+    );
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<10} TITLE", "ID");
+    for e in all_experiments() {
+        println!("{:<10} {}", e.id, e.title);
+    }
+    Ok(())
+}
+
+struct Flags {
+    scale: Scale,
+    csv: bool,
+    json: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut flags = Flags {
+        scale: Scale::Paper,
+        csv: false,
+        json: false,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                flags.scale = v.parse()?;
+            }
+            "--csv" => flags.csv = true,
+            "--json" => flags.json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option '{other}'"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let id = pos
+        .first()
+        .ok_or("usage: agp run <id>|all [--scale paper|quick]")?;
+    let experiments = if id == "all" {
+        all_experiments()
+    } else {
+        vec![find(id).ok_or_else(|| format!("no experiment '{id}' (see `agp list`)"))?]
+    };
+    for e in experiments {
+        eprintln!("running {} ({:?} scale)...", e.id, flags.scale);
+        let t0 = std::time::Instant::now();
+        let out = (e.runner)(flags.scale)?;
+        eprintln!("{} finished in {:.1?}", e.id, t0.elapsed());
+        render(&out, &flags)?;
+    }
+    Ok(())
+}
+
+fn render(out: &ExperimentOutput, flags: &Flags) -> Result<(), String> {
+    if flags.json {
+        let s = serde_json::to_string_pretty(out).map_err(|e| e.to_string())?;
+        println!("{s}");
+        return Ok(());
+    }
+    println!("\n#### {} — {}\n", out.id, out.title);
+    for t in &out.tables {
+        if flags.csv {
+            println!("# {}", t.title());
+            print!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+    }
+    for (label, trace) in &out.traces {
+        println!("trace [{label:<11}] in : {}", sparkline(trace.ins()));
+        println!("trace [{label:<11}] out: {}", sparkline(trace.outs()));
+    }
+    if !out.notes.is_empty() {
+        println!("\nnotes:");
+        for n in &out.notes {
+            println!("  * {n}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let mut bench = Benchmark::LU;
+    let mut class = Class::B;
+    let mut nodes = 1u32;
+    let mut jobs = 2usize;
+    let mut policy = PolicyConfig::original();
+    let mut quantum = SimDur::from_secs(300);
+    let mut mem = 1024u64;
+    let mut wired = 574u64;
+    let mut batch = false;
+    let mut seed = 0x5EED_600Du64;
+    let mut show_trace = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--bench" => bench = val("--bench")?.parse()?,
+            "--class" => class = val("--class")?.parse()?,
+            "--nodes" => {
+                nodes = val("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--jobs" => jobs = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--policy" => policy = val("--policy")?.parse().map_err(|e| format!("{e}"))?,
+            "--quantum" => {
+                quantum = SimDur::from_secs(
+                    val("--quantum")?
+                        .parse()
+                        .map_err(|e| format!("--quantum: {e}"))?,
+                )
+            }
+            "--mem" => mem = val("--mem")?.parse().map_err(|e| format!("--mem: {e}"))?,
+            "--wired" => {
+                wired = val("--wired")?
+                    .parse()
+                    .map_err(|e| format!("--wired: {e}"))?
+            }
+            "--seed" => seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--batch" => batch = true,
+            "--trace" => show_trace = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    let workload = WorkloadSpec::parallel(bench, class, nodes);
+    let mut cfg = ClusterConfig::paper_defaults(nodes);
+    cfg.mem_mib = mem;
+    cfg.wired_mib = wired;
+    cfg.quantum = quantum;
+    cfg.policy = policy;
+    cfg.mode = if batch {
+        ScheduleMode::Batch
+    } else {
+        ScheduleMode::Gang
+    };
+    cfg.seed = seed;
+    cfg.jobs = (0..jobs)
+        .map(|i| JobSpec::new(format!("{workload} #{}", i + 1), workload))
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let r = agp_cluster::run(cfg)?;
+    eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
+
+    println!(
+        "policy {}  mode {:?}  makespan {:.1} min  switches {}",
+        r.policy,
+        r.mode,
+        r.makespan.as_mins_f64(),
+        r.switches
+    );
+    for j in &r.jobs {
+        println!(
+            "  {:<14} completed {:.1} min  ({} iterations)",
+            j.name,
+            j.completion.as_mins_f64(),
+            j.iterations
+        );
+    }
+    let es = r.total_engine_stats();
+    println!(
+        "paging: {} pages in, {} pages out, {} major faults, {} false evictions, {} replayed",
+        r.total_pages_in(),
+        r.total_pages_out(),
+        es.major_faults,
+        es.false_evictions,
+        es.replayed_pages
+    );
+    println!(
+        "engine: {} recorded, {} replay-skipped, {} reclaim calls, {} reclaimed, {} aggressive, {} readahead",
+        es.recorded_pages,
+        es.replay_skipped,
+        es.reclaim_calls,
+        es.reclaimed_pages,
+        es.aggressive_evictions,
+        es.readahead_pages
+    );
+    if show_trace {
+        let tr = &r.nodes[0].trace;
+        println!("node0 page-in  : {}", sparkline(tr.ins()));
+        println!("node0 page-out : {}", sparkline(tr.outs()));
+    }
+    Ok(())
+}

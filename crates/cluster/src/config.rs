@@ -1,0 +1,216 @@
+//! Cluster and experiment configuration.
+
+use agp_core::PolicyConfig;
+use agp_disk::DiskParams;
+use agp_net::NetParams;
+use agp_sim::units::pages_from_mib;
+use agp_sim::SimDur;
+use agp_workload::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// How jobs share the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleMode {
+    /// Gang scheduling: round-robin quanta with coordinated switches.
+    Gang,
+    /// Batch: jobs run to completion one after the other — the paper's
+    /// zero-switch baseline.
+    Batch,
+}
+
+/// One job submitted to the cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Display name ("LU.B #1").
+    pub name: String,
+    /// The workload it runs. `workload.nprocs` ranks are placed on nodes
+    /// `0..nprocs`, one per node.
+    pub workload: WorkloadSpec,
+    /// Per-job quantum override (the paper gives SP 7 minutes, §4.2).
+    pub quantum: Option<SimDur>,
+}
+
+impl JobSpec {
+    /// A job with the default quantum.
+    pub fn new(name: impl Into<String>, workload: WorkloadSpec) -> Self {
+        JobSpec {
+            name: name.into(),
+            workload,
+            quantum: None,
+        }
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes (the paper's testbed: 4 compute nodes + 1
+    /// scheduler node; only compute nodes are simulated).
+    pub nodes: u32,
+    /// Physical memory per node, MiB (paper: 1024).
+    pub mem_mib: u64,
+    /// Memory wired down per node, MiB — the paper's `mlock()` trick that
+    /// reduces usable memory (e.g. 1024 − 350 = 674 for the Fig. 6 setup).
+    pub wired_mib: u64,
+    /// Paging-device parameters (per node).
+    pub disk: DiskParams,
+    /// Interconnect parameters.
+    pub net: NetParams,
+    /// Swap-in read-ahead window override (`None` = Linux 2.2 default 16).
+    pub readahead: Option<usize>,
+    /// Default gang quantum (paper: 5 minutes).
+    pub quantum: SimDur,
+    /// Paging policy under test.
+    pub policy: PolicyConfig,
+    /// Scheduling mode.
+    pub mode: ScheduleMode,
+    /// Jobs to run.
+    pub jobs: Vec<JobSpec>,
+    /// Master seed; fixes workload randomness.
+    pub seed: u64,
+    /// Paging-trace bucket width (Fig. 6 resolution).
+    pub trace_bucket: SimDur,
+    /// Background-writer tick interval.
+    pub bg_tick: SimDur,
+    /// Executor chunk size in pages: the granularity at which CPU time is
+    /// charged and stops take effect. Smaller = finer interleaving,
+    /// more events.
+    pub chunk_pages: u32,
+    /// Hard wall on simulated time (guards against thrashing livelock in
+    /// misconfigured runs).
+    pub max_sim_time: SimDur,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed defaults: 1 GiB nodes, 350 MiB usable, 100 Mbps
+    /// Ethernet, circa-2003 paging disk, 5-minute quanta, original paging.
+    pub fn paper_defaults(nodes: u32) -> Self {
+        ClusterConfig {
+            nodes,
+            mem_mib: 1024,
+            wired_mib: 1024 - 350,
+            disk: DiskParams::default(),
+            net: NetParams::default(),
+            readahead: None,
+            quantum: SimDur::from_mins(5),
+            policy: PolicyConfig::original(),
+            mode: ScheduleMode::Gang,
+            jobs: Vec::new(),
+            seed: 0x5EED_600D,
+            trace_bucket: SimDur::from_secs(10),
+            bg_tick: SimDur::from_ms(60),
+            chunk_pages: 1024,
+            max_sim_time: SimDur::from_mins(24 * 60),
+        }
+    }
+
+    /// Usable (non-wired) memory per node, in pages.
+    pub fn usable_pages(&self) -> usize {
+        pages_from_mib(self.mem_mib.saturating_sub(self.wired_mib))
+    }
+
+    /// Validate the configuration; returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 || self.nodes > 64 {
+            return Err(format!("nodes must be 1..=64, got {}", self.nodes));
+        }
+        if self.wired_mib >= self.mem_mib {
+            return Err(format!(
+                "wired memory {} MiB swallows all of {} MiB",
+                self.wired_mib, self.mem_mib
+            ));
+        }
+        if self.jobs.is_empty() {
+            return Err("no jobs configured".into());
+        }
+        if self.chunk_pages == 0 {
+            return Err("chunk_pages must be positive".into());
+        }
+        for job in &self.jobs {
+            if job.workload.nprocs > self.nodes {
+                return Err(format!(
+                    "job '{}' wants {} ranks but the cluster has {} nodes",
+                    job.name, job.workload.nprocs, self.nodes
+                ));
+            }
+            let rank_pages = job.workload.footprint_pages_per_rank() as usize;
+            // A single rank larger than usable memory + swap cannot run.
+            if rank_pages > self.usable_pages() + self.disk.blocks as usize {
+                return Err(format!(
+                    "job '{}' footprint {} pages exceeds memory+swap",
+                    job.name, rank_pages
+                ));
+            }
+        }
+        // Swap must hold the worst case: every job's rank image on the
+        // most loaded node simultaneously.
+        let per_node_pages: usize = self
+            .jobs
+            .iter()
+            .filter(|j| j.workload.nprocs >= 1)
+            .map(|j| j.workload.footprint_pages_per_rank() as usize)
+            .sum();
+        if per_node_pages > self.disk.blocks as usize {
+            return Err(format!(
+                "swap of {} blocks cannot back {} pages of job images per node",
+                self.disk.blocks, per_node_pages
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agp_workload::{Benchmark, Class};
+
+    fn cfg() -> ClusterConfig {
+        let mut c = ClusterConfig::paper_defaults(4);
+        c.jobs.push(JobSpec::new(
+            "LU.C #1",
+            WorkloadSpec::parallel(Benchmark::LU, Class::C, 4),
+        ));
+        c
+    }
+
+    #[test]
+    fn paper_defaults_match_section_4() {
+        let c = cfg();
+        assert_eq!(c.usable_pages(), pages_from_mib(350));
+        assert_eq!(c.quantum, SimDur::from_mins(5));
+        assert_eq!(c.trace_bucket, SimDur::from_secs(10));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let mut c = cfg();
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = cfg();
+        c.wired_mib = c.mem_mib;
+        assert!(c.validate().is_err());
+
+        let mut c = cfg();
+        c.jobs.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = cfg();
+        c.jobs[0].workload.nprocs = 9;
+        assert!(c.validate().is_err());
+
+        let mut c = cfg();
+        c.disk.blocks = 16;
+        assert!(c.validate().is_err(), "swap too small");
+    }
+
+    #[test]
+    fn quantum_override_travels_with_job() {
+        let mut c = cfg();
+        c.jobs[0].quantum = Some(SimDur::from_mins(7));
+        c.validate().unwrap();
+        assert_eq!(c.jobs[0].quantum, Some(SimDur::from_mins(7)));
+    }
+}

@@ -1,0 +1,45 @@
+//! # agp-cluster — node assembly and the master simulation loop
+//!
+//! This crate turns the substrates into the paper's testbed: a cluster of
+//! nodes (each with a VM kernel, a paging engine, and a paging disk),
+//! connected by a network, running gang-scheduled synthetic NPB2 jobs.
+//!
+//! The architecture mirrors the paper's Fig. 5:
+//!
+//! ```text
+//!   GangScheduler (user level)          agp-gang
+//!        │ STOP / CONT signals
+//!        │ adaptive_page_out / adaptive_page_in / start_bgwrite
+//!        ▼
+//!   PagingEngine (kernel policy)        agp-core
+//!        ▼ mechanisms
+//!   Kernel (VM)  ── swap I/O ──▶ Disk   agp-mem / agp-disk
+//! ```
+//!
+//! [`ClusterSim`] owns the event queue; processes execute their workload
+//! programs step by step, faulting against their node's kernel, blocking
+//! on the node's FIFO paging disk, and synchronizing through barriers.
+//! Everything is deterministic given [`ClusterConfig::seed`].
+//!
+//! Two scheduling modes reproduce the paper's comparisons:
+//! * [`ScheduleMode::Gang`] — round-robin quanta with the full switch
+//!   protocol (STOP → adaptive paging → CONT);
+//! * [`ScheduleMode::Batch`] — jobs run back-to-back, the `batch` baseline
+//!   whose completion time anchors the overhead metrics (§4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod proc;
+pub mod result;
+pub mod sim;
+
+pub use config::{ClusterConfig, JobSpec, ScheduleMode};
+pub use result::{JobResult, NodeReport, RunResult};
+pub use sim::ClusterSim;
+
+/// Run a configuration to completion (convenience wrapper).
+pub fn run(config: ClusterConfig) -> Result<RunResult, String> {
+    ClusterSim::new(config)?.run()
+}

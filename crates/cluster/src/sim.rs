@@ -1,0 +1,886 @@
+//! The master discrete-event simulation.
+//!
+//! One [`ClusterSim`] executes one configuration to completion. The event
+//! loop owns the clock; everything else (kernels, engines, disks,
+//! programs) is a state machine it drives:
+//!
+//! * **Dispatch** — a process consumes its program: touch runs are
+//!   processed in bounded chunks against the node kernel (state updated
+//!   eagerly, CPU time charged by scheduling the next dispatch); the
+//!   first non-resident page raises a fault, whose I/O plan is priced by
+//!   the node's FIFO paging disk, blocking the process until completion.
+//! * **QuantumExpire** — the gang scheduler rotates its matrix and the
+//!   paper's switch protocol runs on every node: STOP the outgoing
+//!   ranks, `adaptive_page_out`, `adaptive_page_in`, CONT the incoming
+//!   ranks (delayed to the bulk-read completion when adaptive page-in is
+//!   active).
+//! * **BgStart/BgTick** — in the last `bg_fraction` of a quantum the
+//!   background writer flushes dirty pages whenever the paging disk is
+//!   idle (paper §3.4's "lower priority").
+//! * **BarrierRelease / IoDone** — wake blocked processes; STOP signals
+//!   delivered while blocked take effect at the wake boundary, exactly
+//!   like signals delivered to a process sleeping in the kernel.
+//!
+//! Simplification: a STOP delivered to a *running* rank takes effect at
+//! its next dispatch boundary (≤ one chunk ≈ tens of milliseconds of
+//! simulated time, against 5-minute quanta). Kernel state is updated
+//! eagerly at dispatch, so the overlap has no correctness consequence.
+
+use agp_core::PagingEngine;
+use agp_disk::{Disk, DiskRequest};
+use agp_gang::{GangScheduler, JobId, NodeSet};
+use agp_mem::{Kernel, MemError, PageNum, ProcId, VmParams};
+use agp_metrics::ActivityTrace;
+use agp_net::Barrier;
+use agp_sim::{EventQueue, SimTime};
+use agp_workload::{ProcessProgram, Step};
+
+use crate::config::{ClusterConfig, ScheduleMode};
+use crate::proc::{BlockKind, CurStep, PState, SimProc};
+use crate::result::{JobResult, NodeReport, RunResult};
+
+/// One node's hardware + kernel software.
+struct Node {
+    kernel: Kernel,
+    engine: PagingEngine,
+    disk: Disk,
+    trace: ActivityTrace,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Continue executing process `p` (valid only at generation `gen`).
+    Dispatch { p: usize, gen: u64 },
+    /// Process `p`'s fault I/O completed.
+    IoDone { p: usize, gen: u64 },
+    /// A gang quantum ended (valid only at scheduler generation `sgen`).
+    QuantumExpire { sgen: u64 },
+    /// All ranks of `job` passed their barrier.
+    BarrierRelease { job: usize },
+    /// Begin background writing for the active slot.
+    BgStart { sgen: u64 },
+    /// One background-writer burst on `node`.
+    BgTick { node: usize, sgen: u64 },
+}
+
+/// The simulation.
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    nodes: Vec<Node>,
+    procs: Vec<SimProc>,
+    /// Proc indices per job.
+    job_procs: Vec<Vec<usize>>,
+    barriers: Vec<Barrier>,
+    sched: GangScheduler,
+    completions: Vec<Option<SimTime>>,
+    /// Pending quantum-expiry instant (rescheduled when the scheduler
+    /// generation moves without an actual switch).
+    next_expire: Option<SimTime>,
+    /// Next job to start in batch mode.
+    batch_next: usize,
+    switches: u64,
+    events: u64,
+}
+
+impl ClusterSim {
+    /// Build a simulation from a validated configuration.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let total_frames = agp_sim::units::pages_from_mib(cfg.mem_mib);
+        let wired_frames = agp_sim::units::pages_from_mib(cfg.wired_mib);
+        let mut params = VmParams::for_frames(total_frames, wired_frames);
+        if let Some(ra) = cfg.readahead {
+            params.readahead = ra;
+        }
+
+        let mut nodes: Vec<Node> = (0..cfg.nodes)
+            .map(|_| Node {
+                kernel: Kernel::new(params.clone(), cfg.disk.blocks),
+                engine: PagingEngine::new(cfg.policy),
+                disk: Disk::new(cfg.disk.clone()),
+                trace: ActivityTrace::new(cfg.trace_bucket),
+            })
+            .collect();
+
+        let mut procs = Vec::new();
+        let mut job_procs = Vec::new();
+        let mut barriers = Vec::new();
+        let mut sched = GangScheduler::new(cfg.nodes, cfg.quantum);
+
+        for (j, job) in cfg.jobs.iter().enumerate() {
+            let jid = JobId(j as u32);
+            let n = job.workload.nprocs;
+            sched
+                .add_job(jid, NodeSet::first_n(n), job.quantum)
+                .map_err(|e| format!("scheduling {}: {e}", job.name))?;
+            let mut members = Vec::new();
+            for rank in 0..n {
+                let pid = ProcId(procs.len() as u32);
+                let seed = cfg.seed.wrapping_add((j as u64) * 7919);
+                let program = ProcessProgram::new(job.workload, rank, seed);
+                let node = rank as usize;
+                nodes[node]
+                    .kernel
+                    .register_proc(pid, program.footprint_pages() as usize);
+                members.push(procs.len());
+                procs.push(SimProc::new(pid, jid, node, rank, program));
+            }
+            job_procs.push(members);
+            barriers.push(Barrier::new(n));
+        }
+
+        let njobs = cfg.jobs.len();
+        Ok(ClusterSim {
+            cfg,
+            queue: EventQueue::with_capacity(1024),
+            now: SimTime::ZERO,
+            nodes,
+            procs,
+            job_procs,
+            barriers,
+            sched,
+            completions: vec![None; njobs],
+            next_expire: None,
+            batch_next: 0,
+            switches: 0,
+            events: 0,
+        })
+    }
+
+    /// Execute to completion.
+    pub fn run(mut self) -> Result<RunResult, String> {
+        match self.cfg.mode {
+            ScheduleMode::Gang => {
+                let plan = self
+                    .sched
+                    .start()
+                    .ok_or_else(|| "no jobs to schedule".to_string())?;
+                self.do_switch(plan.out, plan.inn, plan.quantum)?;
+            }
+            ScheduleMode::Batch => self.start_batch_job(0)?,
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            self.now = t;
+            self.events += 1;
+            if t.since(SimTime::ZERO) > self.cfg.max_sim_time {
+                return Err(format!(
+                    "simulation exceeded max_sim_time ({}) — thrashing livelock?",
+                    self.cfg.max_sim_time
+                ));
+            }
+            self.handle(ev)?;
+            if self.completions.iter().all(|c| c.is_some()) {
+                break;
+            }
+        }
+        if !self.completions.iter().all(|c| c.is_some()) {
+            return Err("event queue drained before all jobs completed (model deadlock)".into());
+        }
+        Ok(self.into_result())
+    }
+
+    fn handle(&mut self, ev: Event) -> Result<(), String> {
+        match ev {
+            Event::Dispatch { p, gen } => {
+                if self.procs[p].live(gen) && self.procs[p].state == PState::Runnable {
+                    self.exec(p)?;
+                }
+            }
+            Event::IoDone { p, gen } => {
+                if self.procs[p].live(gen) {
+                    let now = self.now;
+                    let proc = &mut self.procs[p];
+                    proc.unblock_io(now);
+                    if proc.stop_pending {
+                        proc.stop_pending = false;
+                        proc.state = PState::Stopped;
+                    } else if proc.state == PState::Blocked(BlockKind::Io) {
+                        proc.state = PState::Runnable;
+                        self.exec(p)?;
+                    }
+                }
+            }
+            Event::QuantumExpire { sgen } => {
+                if sgen == self.sched.generation() {
+                    if let Some(plan) = self.sched.rotate() {
+                        self.do_switch(plan.out, plan.inn, plan.quantum)?;
+                    }
+                }
+            }
+            Event::BarrierRelease { job } => self.release_barrier(job)?,
+            Event::BgStart { sgen } => {
+                if sgen == self.sched.generation() {
+                    for ni in 0..self.nodes.len() {
+                        let node = &mut self.nodes[ni];
+                        if let Some(pid) = node.engine.running() {
+                            if node.kernel.proc(pid).is_ok() {
+                                node.engine.start_bgwrite(pid);
+                                self.queue.push(self.now, Event::BgTick { node: ni, sgen });
+                            }
+                        }
+                    }
+                }
+            }
+            Event::BgTick { node, sgen } => {
+                if sgen == self.sched.generation() {
+                    self.bg_tick(node)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Process execution
+    // ------------------------------------------------------------------
+
+    /// Run process `p` from its current position until it blocks, yields
+    /// CPU (schedules its next dispatch), stops, or finishes.
+    fn exec(&mut self, p: usize) -> Result<(), String> {
+        let now = self.now;
+        if self.procs[p].stop_pending {
+            let proc = &mut self.procs[p];
+            proc.stop_pending = false;
+            proc.state = PState::Stopped;
+            return Ok(());
+        }
+        loop {
+            // Phase 1: continue a partial touch run.
+            if let Some(CurStep::Touch {
+                first,
+                len,
+                done,
+                write,
+                cpu_per_page,
+            }) = self.procs[p].cur
+            {
+                let pid = self.procs[p].pid;
+                let ni = self.procs[p].node;
+                let remaining = (len - done) as usize;
+                let chunk = remaining.min(self.cfg.chunk_pages as usize);
+                let (hits, fault) = self.nodes[ni]
+                    .kernel
+                    .touch_run(pid, PageNum(first + done), chunk, write, now)
+                    .map_err(|e| sim_err(e, "touch_run"))?;
+                let cpu = cpu_per_page * hits as u64;
+                let new_done = done + hits as u32;
+
+                match fault {
+                    None => {
+                        if new_done == len {
+                            self.procs[p].cur = None;
+                        } else {
+                            self.procs[p].cur = Some(CurStep::Touch {
+                                first,
+                                len,
+                                done: new_done,
+                                write,
+                                cpu_per_page,
+                            });
+                        }
+                        if cpu.as_us() > 0 {
+                            let gen = self.procs[p].gen;
+                            self.queue.push(now + cpu, Event::Dispatch { p, gen });
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    Some(_) => {
+                        // Fault at page first+new_done, occurring after the
+                        // CPU burn of the hits that preceded it.
+                        self.procs[p].cur = Some(CurStep::Touch {
+                            first,
+                            len,
+                            done: new_done,
+                            write,
+                            cpu_per_page,
+                        });
+                        let t_fault = now + cpu;
+                        let fpage = PageNum(first + new_done);
+                        let node = &mut self.nodes[ni];
+                        let plan = node
+                            .engine
+                            .on_fault(&mut node.kernel, pid, fpage, t_fault)
+                            .map_err(|e| sim_err(e, "on_fault"))?;
+                        let mut completion = t_fault;
+                        if !plan.writes.is_empty() {
+                            let req = DiskRequest::write(plan.writes.clone());
+                            let pages = req.pages();
+                            let c = node.disk.submit(t_fault, &req);
+                            node.trace.record_out(c, pages);
+                            completion = completion.max(c);
+                        }
+                        if !plan.reads.is_empty() {
+                            let req = DiskRequest::read(plan.reads.clone());
+                            let pages = req.pages();
+                            let c = node.disk.submit(t_fault, &req);
+                            node.trace.record_in(c, pages);
+                            completion = completion.max(c);
+                        }
+                        if completion > t_fault {
+                            self.procs[p].block_io(now);
+                            let gen = self.procs[p].gen;
+                            self.queue.push(completion, Event::IoDone { p, gen });
+                            return Ok(());
+                        }
+                        // Pure zero-fill: the page is mapped; charge any
+                        // CPU and keep going.
+                        if cpu.as_us() > 0 {
+                            let gen = self.procs[p].gen;
+                            self.queue.push(t_fault, Event::Dispatch { p, gen });
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            // Phase 2: pull the next program step.
+            let step = self.procs[p].program.next_step();
+            match step {
+                None => {
+                    self.finish_proc(p)?;
+                    return Ok(());
+                }
+                Some(Step::Touch {
+                    first,
+                    len,
+                    write,
+                    cpu_per_page,
+                }) => {
+                    self.procs[p].cur = Some(CurStep::Touch {
+                        first,
+                        len,
+                        done: 0,
+                        write,
+                        cpu_per_page,
+                    });
+                }
+                Some(Step::Compute(d)) => {
+                    let gen = self.procs[p].gen;
+                    self.queue.push(now + d, Event::Dispatch { p, gen });
+                    return Ok(());
+                }
+                Some(Step::Exchange { bytes }) => {
+                    let d = self.cfg.net.xfer_dur(bytes);
+                    let gen = self.procs[p].gen;
+                    self.queue.push(now + d, Event::Dispatch { p, gen });
+                    return Ok(());
+                }
+                Some(Step::AllToAll { bytes_per_pair }) => {
+                    let n = self.procs[p].program.spec().nprocs;
+                    let d = self.cfg.net.alltoall_dur(n, bytes_per_pair);
+                    let gen = self.procs[p].gen;
+                    self.queue.push(now + d, Event::Dispatch { p, gen });
+                    return Ok(());
+                }
+                Some(Step::Barrier) => {
+                    let job = self.procs[p].job.0 as usize;
+                    let rank = self.procs[p].rank;
+                    self.procs[p].state = PState::Blocked(BlockKind::Barrier);
+                    if let Some(release) = self.barriers[job].arrive(rank, now, &self.cfg.net) {
+                        self.queue.push(release, Event::BarrierRelease { job });
+                    }
+                    return Ok(());
+                }
+                Some(Step::EndIteration(i)) => {
+                    if i > 0 {
+                        self.procs[p].iterations_done = i;
+                    }
+                }
+            }
+        }
+    }
+
+    fn release_barrier(&mut self, job: usize) -> Result<(), String> {
+        let members = self.job_procs[job].clone();
+        for p in members {
+            let proc = &mut self.procs[p];
+            if proc.state == PState::Blocked(BlockKind::Barrier) {
+                if proc.stop_pending {
+                    proc.stop_pending = false;
+                    proc.state = PState::Stopped;
+                } else {
+                    proc.state = PState::Runnable;
+                    let gen = proc.gen;
+                    self.queue.push(self.now, Event::Dispatch { p, gen });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_proc(&mut self, p: usize) -> Result<(), String> {
+        let now = self.now;
+        let proc = &mut self.procs[p];
+        proc.state = PState::Done;
+        proc.finished_at = Some(now);
+        proc.unblock_io(now);
+        let job = proc.job;
+        let done = self.job_procs[job.0 as usize]
+            .iter()
+            .all(|&q| self.procs[q].state == PState::Done);
+        if done {
+            self.on_job_done(job)?;
+        }
+        Ok(())
+    }
+
+    fn on_job_done(&mut self, job: JobId) -> Result<(), String> {
+        let j = job.0 as usize;
+        self.completions[j] = Some(self.now);
+        // The job's processes exit: release their memory and swap.
+        for &p in &self.job_procs[j] {
+            let pid = self.procs[p].pid;
+            let ni = self.procs[p].node;
+            let node = &mut self.nodes[ni];
+            node.kernel
+                .unregister_proc(pid)
+                .map_err(|e| sim_err(e, "unregister"))?;
+            node.engine.forget_proc(pid);
+            debug_assert!(node.kernel.check_invariants().is_ok());
+        }
+        match self.cfg.mode {
+            ScheduleMode::Batch => {
+                self.batch_next += 1;
+                if self.batch_next < self.cfg.jobs.len() {
+                    self.start_batch_job(self.batch_next)?;
+                }
+            }
+            ScheduleMode::Gang => {
+                let saved_expire = self.next_expire;
+                if let Some(plan) = self.sched.job_finished(job) {
+                    // The active job finished: switch to the next slot now
+                    // rather than idling out the quantum.
+                    self.do_switch(plan.out, plan.inn, plan.quantum)?;
+                } else if !self.sched.is_empty() && self.sched.matrix().slots() >= 2 {
+                    // An inactive job finished; the scheduler generation
+                    // moved, so re-arm the pending expiry under the new
+                    // generation.
+                    if let Some(at) = saved_expire {
+                        let sgen = self.sched.generation();
+                        self.queue
+                            .push(at.max(self.now), Event::QuantumExpire { sgen });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling protocol
+    // ------------------------------------------------------------------
+
+    fn start_batch_job(&mut self, j: usize) -> Result<(), String> {
+        let members = self.job_procs[j].clone();
+        for &p in &members {
+            let pid = self.procs[p].pid;
+            let ni = self.procs[p].node;
+            let node = &mut self.nodes[ni];
+            node.engine.set_running(Some(pid));
+            node.kernel
+                .quantum_started(pid)
+                .map_err(|e| sim_err(e, "quantum_started"))?;
+            self.cont_proc(p, self.now);
+        }
+        Ok(())
+    }
+
+    /// The paper's coordinated switch: STOP the outgoing ranks, run the
+    /// adaptive-paging API on every node, CONT the incoming ranks.
+    fn do_switch(
+        &mut self,
+        out: Vec<JobId>,
+        inn: Vec<JobId>,
+        quantum: agp_sim::SimDur,
+    ) -> Result<(), String> {
+        let now = self.now;
+        if !out.is_empty() {
+            self.switches += 1;
+        }
+
+        // 1. SIGSTOP every rank of every outgoing job.
+        for &job in &out {
+            let members = self.job_procs[job.0 as usize].clone();
+            for p in members {
+                self.stop_proc(p);
+            }
+        }
+        // Background writing always halts at the switch (paper §3.4).
+        for node in &mut self.nodes {
+            node.engine.stop_bgwrite();
+        }
+
+        // 2. Per node: adaptive_page_out / adaptive_page_in around the
+        //    incoming rank, then SIGCONT it.
+        for &job in &inn {
+            let members = self.job_procs[job.0 as usize].clone();
+            for &p in &members {
+                if self.procs[p].state == PState::Done {
+                    continue;
+                }
+                let in_pid = self.procs[p].pid;
+                let ni = self.procs[p].node;
+                // The outgoing rank sharing this node, if it still owns
+                // memory.
+                let out_pid = out
+                    .iter()
+                    .flat_map(|&oj| self.job_procs[oj.0 as usize].iter())
+                    .map(|&q| &self.procs[q])
+                    .find(|q| q.node == ni)
+                    .map(|q| q.pid)
+                    .filter(|&pid| self.nodes[ni].kernel.proc(pid).is_ok());
+
+                let node = &mut self.nodes[ni];
+                if let Some(out_pid) = out_pid {
+                    let plan = node
+                        .engine
+                        .adaptive_page_out(&mut node.kernel, out_pid, in_pid, None)
+                        .map_err(|e| sim_err(e, "adaptive_page_out"))?;
+                    if !plan.writes.is_empty() {
+                        let req = DiskRequest::write(plan.writes.clone());
+                        let pages = req.pages();
+                        let c = node.disk.submit(now, &req);
+                        node.trace.record_out(c, pages);
+                    }
+                } else {
+                    node.engine.set_running(Some(in_pid));
+                }
+                node.kernel
+                    .quantum_started(in_pid)
+                    .map_err(|e| sim_err(e, "quantum_started"))?;
+
+                let mut resume_at = now;
+                let plan_in = node
+                    .engine
+                    .adaptive_page_in(&mut node.kernel, in_pid, now)
+                    .map_err(|e| sim_err(e, "adaptive_page_in"))?;
+                if !plan_in.reads.is_empty() {
+                    let req = DiskRequest::read(plan_in.reads.clone());
+                    let pages = req.pages();
+                    let c = node.disk.submit(now, &req);
+                    node.trace.record_in(c, pages);
+                    // The induced faults of Fig. 4: the process starts
+                    // computing once its recorded working set is back.
+                    resume_at = c;
+                }
+                self.cont_proc(p, resume_at);
+            }
+        }
+
+        // 3. Arm the next expiry (only meaningful with ≥ 2 slots) and the
+        //    background-writing window.
+        if self.sched.matrix().slots() >= 2 {
+            let sgen = self.sched.generation();
+            let at = now + quantum;
+            self.queue.push(at, Event::QuantumExpire { sgen });
+            self.next_expire = Some(at);
+            if self.cfg.policy.bg_write {
+                let lead = quantum.mul_f64(1.0 - self.cfg.policy.bg_fraction.clamp(0.0, 1.0));
+                self.queue.push(now + lead, Event::BgStart { sgen });
+            }
+        } else {
+            self.next_expire = None;
+        }
+        Ok(())
+    }
+
+    fn stop_proc(&mut self, p: usize) {
+        let proc = &mut self.procs[p];
+        match proc.state {
+            PState::Runnable | PState::Blocked(_) => proc.stop_pending = true,
+            PState::Stopped | PState::Done => {}
+        }
+    }
+
+    fn cont_proc(&mut self, p: usize, resume_at: SimTime) {
+        let proc = &mut self.procs[p];
+        proc.stop_pending = false;
+        if proc.state == PState::Stopped {
+            proc.state = PState::Runnable;
+            let gen = proc.bump_gen();
+            self.queue.push(resume_at, Event::Dispatch { p, gen });
+        }
+        // Runnable / Blocked ranks continue via their in-flight events;
+        // Done ranks stay done.
+    }
+
+    fn bg_tick(&mut self, ni: usize) -> Result<(), String> {
+        let now = self.now;
+        let sgen = self.sched.generation();
+        let node = &mut self.nodes[ni];
+        if !node.engine.bgwrite_active() {
+            return Ok(());
+        }
+        // "Lower priority": only write when the paging disk is idle.
+        if node.disk.is_idle(now) {
+            let ext = node
+                .engine
+                .bgwrite_tick(&mut node.kernel)
+                .map_err(|e| sim_err(e, "bgwrite_tick"))?;
+            if !ext.is_empty() {
+                let req = DiskRequest::write(ext);
+                let pages = req.pages();
+                let c = node.disk.submit(now, &req);
+                node.trace.record_out(c, pages);
+            }
+        }
+        self.queue
+            .push(now + self.cfg.bg_tick, Event::BgTick { node: ni, sgen });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    fn into_result(self) -> RunResult {
+        let jobs: Vec<JobResult> = self
+            .cfg
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, spec)| {
+                let iterations = self.job_procs[j]
+                    .iter()
+                    .map(|&p| self.procs[p].iterations_done)
+                    .min()
+                    .unwrap_or(0);
+                JobResult {
+                    name: spec.name.clone(),
+                    workload: spec.workload,
+                    completion: self.completions[j].expect("all jobs completed"),
+                    iterations,
+                }
+            })
+            .collect();
+        let makespan = jobs
+            .iter()
+            .map(|j| j.completion)
+            .fold(SimTime::ZERO, SimTime::max)
+            .since(SimTime::ZERO);
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(|n| NodeReport {
+                disk: n.disk.stats().clone(),
+                engine: n.engine.stats(),
+                bg_cleaned_pages: n.engine.bg_cleaned_pages(),
+                trace: n.trace,
+            })
+            .collect();
+        RunResult {
+            policy: self.cfg.policy,
+            mode: self.cfg.mode,
+            seed: self.cfg.seed,
+            jobs,
+            makespan,
+            nodes,
+            switches: self.switches,
+            events: self.events,
+        }
+    }
+}
+
+fn sim_err(e: MemError, what: &str) -> String {
+    format!("memory subsystem error in {what}: {e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JobSpec;
+    use agp_core::PolicyConfig;
+    use agp_sim::SimDur;
+    use agp_workload::{Benchmark, Class, WorkloadSpec};
+
+    /// A scaled-down cluster so tests run fast while keeping the paper's
+    /// pressure geometry: each LU.A job's ~42 MiB working set fits the
+    /// 64 MiB of usable memory alone, but the two jobs together do not —
+    /// so paging happens at job switches, not within a quantum.
+    fn tiny_config(policy: PolicyConfig, mode: ScheduleMode) -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_defaults(1);
+        cfg.mem_mib = 128;
+        cfg.wired_mib = 64;
+        cfg.quantum = SimDur::from_secs(10);
+        cfg.policy = policy;
+        cfg.mode = mode;
+        cfg.trace_bucket = SimDur::from_secs(1);
+        cfg.jobs = vec![
+            JobSpec::new("LU.A #1", WorkloadSpec::serial(Benchmark::LU, Class::A)),
+            JobSpec::new("LU.A #2", WorkloadSpec::serial(Benchmark::LU, Class::A)),
+        ];
+        cfg
+    }
+
+    #[test]
+    fn batch_run_completes_both_jobs() {
+        let r = ClusterSim::new(tiny_config(PolicyConfig::original(), ScheduleMode::Batch))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r.jobs.len(), 2);
+        assert_eq!(r.switches, 0, "batch mode never switches");
+        let spec = WorkloadSpec::serial(Benchmark::LU, Class::A);
+        for j in &r.jobs {
+            assert_eq!(j.iterations, spec.iterations());
+        }
+        assert!(
+            r.jobs[1].completion > r.jobs[0].completion,
+            "batch runs serially"
+        );
+    }
+
+    #[test]
+    fn gang_run_switches_and_completes() {
+        let r = ClusterSim::new(tiny_config(PolicyConfig::original(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(r.switches >= 2, "expected several quantum switches, got {}", r.switches);
+        assert!(r.total_pages_in() > 0, "memory pressure must cause paging");
+        assert!(r.total_pages_out() > 0);
+    }
+
+    #[test]
+    fn gang_is_slower_than_batch_under_pressure() {
+        let batch = ClusterSim::new(tiny_config(PolicyConfig::original(), ScheduleMode::Batch))
+            .unwrap()
+            .run()
+            .unwrap();
+        let gang = ClusterSim::new(tiny_config(PolicyConfig::original(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            gang.makespan > batch.makespan,
+            "switch paging must cost time: gang {} vs batch {}",
+            gang.makespan,
+            batch.makespan
+        );
+    }
+
+    #[test]
+    fn adaptive_beats_original_on_makespan() {
+        let orig = ClusterSim::new(tiny_config(PolicyConfig::original(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let full = ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            full.makespan < orig.makespan,
+            "so/ao/ai/bg {} must beat orig {}",
+            full.makespan,
+            orig.makespan
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.total_pages_in(), b.total_pages_in());
+        assert_eq!(
+            a.jobs.iter().map(|j| j.completion).collect::<Vec<_>>(),
+            b.jobs.iter().map(|j| j.completion).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_still_complete() {
+        let mut cfg = tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
+        cfg.seed = 12345;
+        let r = ClusterSim::new(cfg).unwrap().run().unwrap();
+        assert_eq!(r.jobs.len(), 2);
+    }
+
+    #[test]
+    fn parallel_job_runs_on_multiple_nodes() {
+        let mut cfg = parallel_cfg();
+        cfg.policy = PolicyConfig::original();
+        let r = ClusterSim::new(cfg).unwrap().run().unwrap();
+        assert_eq!(r.nodes.len(), 2);
+        // Both nodes page (each holds one rank of each job).
+        assert!(r.nodes[0].disk.pages_read > 0);
+        assert!(r.nodes[1].disk.pages_read > 0);
+    }
+
+    fn parallel_cfg() -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_defaults(2);
+        cfg.mem_mib = 64;
+        cfg.wired_mib = 24;
+        cfg.quantum = SimDur::from_secs(5);
+        cfg.trace_bucket = SimDur::from_secs(1);
+        cfg.jobs = vec![
+            JobSpec::new("CG.A x2 #1", WorkloadSpec::parallel(Benchmark::CG, Class::A, 2)),
+            JobSpec::new("CG.A x2 #2", WorkloadSpec::parallel(Benchmark::CG, Class::A, 2)),
+        ];
+        cfg
+    }
+
+    #[test]
+    fn selective_policy_reduces_false_evictions() {
+        let orig = ClusterSim::new(tiny_config(PolicyConfig::original(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let so = ClusterSim::new(tiny_config(PolicyConfig::so(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let fe_orig = orig.total_engine_stats().false_evictions;
+        let fe_so = so.total_engine_stats().false_evictions;
+        assert!(
+            fe_so < fe_orig || fe_orig == 0,
+            "selective ({fe_so}) must not falsely evict more than original ({fe_orig})"
+        );
+    }
+
+    #[test]
+    fn bgwrite_cleans_pages() {
+        let r = ClusterSim::new(tiny_config(PolicyConfig::so_ao_bg(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let cleaned: u64 = r.nodes.iter().map(|n| n.bg_cleaned_pages).sum();
+        assert!(cleaned > 0, "background writer must run in the bg window");
+    }
+
+    #[test]
+    fn adaptive_page_in_replays_pages() {
+        let r = ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let stats = r.total_engine_stats();
+        assert!(stats.recorded_pages > 0, "switch evictions are recorded");
+        assert!(stats.replayed_pages > 0, "records are replayed as bulk reads");
+    }
+
+    #[test]
+    fn traces_capture_paging_activity() {
+        let r = ClusterSim::new(tiny_config(PolicyConfig::original(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let tr = r.merged_trace();
+        assert!(tr.total_in() > 0);
+        assert_eq!(tr.total_in(), r.total_pages_in());
+        assert_eq!(tr.total_out(), r.total_pages_out());
+    }
+}

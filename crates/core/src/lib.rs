@@ -1,0 +1,38 @@
+//! # agp-core — adaptive paging mechanisms (the paper's contribution)
+//!
+//! This crate implements the four mechanisms of *Adaptive Memory Paging
+//! for Efficient Gang Scheduling of Parallel Applications* (Ryu,
+//! Pachapurkar, Fong; IPPS 2004) against the simulated kernel in
+//! `agp-mem`, plus the original Linux-2.2 clock/LRU baseline they are
+//! compared with:
+//!
+//! | paper | here |
+//! |---|---|
+//! | selective page-out (§3.1, Fig. 2) | [`PagingEngine::free_pages`] with [`PolicyConfig::selective`] |
+//! | aggressive page-out (§3.2, Fig. 3) | [`PagingEngine::adaptive_page_out`] |
+//! | adaptive page-in (§3.3, Fig. 4) | [`recorder::PageRecorder`] + [`PagingEngine::adaptive_page_in`] |
+//! | background writing (§3.4) | [`bgwrite`] via [`PagingEngine::start_bgwrite`] |
+//! | original LRU/clock (§2) | the same engine with [`PolicyConfig::original`] |
+//!
+//! The public surface mirrors the paper's kernel API (§3.5):
+//! `adaptive_page_out(out_pid, in_pid, wss)`, `adaptive_page_in(in_pid)`,
+//! `start_bgwrite(pid)`, `stop_bgwrite()` — plus the demand-fault path
+//! [`PagingEngine::on_fault`] that every policy shares.
+//!
+//! The engine returns **I/O plans** (extent lists); the cluster layer turns
+//! them into disk requests and charges simulated time. Nothing in this
+//! crate advances the clock itself, which keeps every mechanism unit
+//! testable in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgwrite;
+pub mod engine;
+pub mod policy;
+pub mod recorder;
+
+pub use bgwrite::BgWriter;
+pub use engine::{EngineStats, FaultPlan, IoPlan, PagingEngine};
+pub use policy::PolicyConfig;
+pub use recorder::{PageRecorder, PageRun};

@@ -1,0 +1,259 @@
+//! Policy configuration: which of the paper's four mechanisms are active.
+//!
+//! The paper evaluates named combinations — `ai`, `so`, `so/ao`,
+//! `so/ao/bg`, `so/ao/ai/bg` — against the unmodified kernel (`orig`).
+//! [`PolicyConfig`] models any subset plus the background-writing window
+//! fraction (the paper settles on the last 10 % of the quantum, §3.4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Background-writing window as a fraction of the quantum (paper default:
+/// write during the last 10 %).
+pub const DEFAULT_BG_FRACTION: f64 = 0.10;
+
+/// Victim-selection algorithm used by the default (non-selective)
+/// reclaim path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// The Linux 2.2 clock: sweep the largest-RSS process's page table,
+    /// clearing reference bits and evicting unreferenced pages. This is
+    /// the kernel the paper modified, including its cross-quantum
+    /// false-eviction pathology (§3.1).
+    #[default]
+    Clock,
+    /// Idealized exact global LRU by last-reference time. Not what Linux
+    /// shipped, but the abstraction §3.1 reasons with; selectable for the
+    /// baseline-sensitivity ablation.
+    GlobalLru,
+}
+
+/// Which adaptive paging mechanisms are enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Selective page-out (`so`): reclaim victims come from the outgoing
+    /// process (oldest first) before anyone else — prevents *false
+    /// eviction* of the incoming process's residual pages.
+    pub selective: bool,
+    /// Aggressive page-out (`ao`): at the job switch, synchronously evict
+    /// the outgoing process until free memory covers the incoming
+    /// process's working-set estimate.
+    pub aggressive: bool,
+    /// Adaptive page-in (`ai`): record pages flushed while a process is
+    /// descheduled; replay them as bulk block reads when it is
+    /// rescheduled.
+    pub adaptive_in: bool,
+    /// Background writing (`bg`): flush the running job's dirty pages at
+    /// low priority near the end of its quantum.
+    pub bg_write: bool,
+    /// Fraction of the quantum during which background writing runs
+    /// (ignored unless `bg_write`).
+    pub bg_fraction: f64,
+    /// Victim selection for the default reclaim path.
+    pub baseline: BaselineKind,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig::original()
+    }
+}
+
+impl PolicyConfig {
+    /// The unmodified kernel: plain watermark-driven clock/LRU (`orig`).
+    pub const fn original() -> Self {
+        PolicyConfig {
+            selective: false,
+            aggressive: false,
+            adaptive_in: false,
+            bg_write: false,
+            bg_fraction: DEFAULT_BG_FRACTION,
+            baseline: BaselineKind::Clock,
+        }
+    }
+
+    /// Adaptive page-in alone (`ai`).
+    pub const fn ai() -> Self {
+        PolicyConfig {
+            adaptive_in: true,
+            ..PolicyConfig::original()
+        }
+    }
+
+    /// Selective page-out alone (`so`).
+    pub const fn so() -> Self {
+        PolicyConfig {
+            selective: true,
+            ..PolicyConfig::original()
+        }
+    }
+
+    /// Selective + aggressive page-out (`so/ao`).
+    pub const fn so_ao() -> Self {
+        PolicyConfig {
+            selective: true,
+            aggressive: true,
+            ..PolicyConfig::original()
+        }
+    }
+
+    /// Selective + aggressive page-out + background writing (`so/ao/bg`).
+    pub const fn so_ao_bg() -> Self {
+        PolicyConfig {
+            selective: true,
+            aggressive: true,
+            bg_write: true,
+            ..PolicyConfig::original()
+        }
+    }
+
+    /// All four mechanisms (`so/ao/ai/bg`) — the paper's headline
+    /// configuration.
+    pub const fn full() -> Self {
+        PolicyConfig {
+            selective: true,
+            aggressive: true,
+            adaptive_in: true,
+            bg_write: true,
+            bg_fraction: DEFAULT_BG_FRACTION,
+            baseline: BaselineKind::Clock,
+        }
+    }
+
+    /// The six representative combinations evaluated in the paper's §4.3
+    /// (Fig. 9), in presentation order.
+    pub fn paper_combinations() -> Vec<PolicyConfig> {
+        vec![
+            PolicyConfig::original(),
+            PolicyConfig::ai(),
+            PolicyConfig::so(),
+            PolicyConfig::so_ao(),
+            PolicyConfig::so_ao_bg(),
+            PolicyConfig::full(),
+        ]
+    }
+
+    /// Whether any adaptive mechanism is active.
+    pub fn is_adaptive(&self) -> bool {
+        self.selective || self.aggressive || self.adaptive_in || self.bg_write
+    }
+
+    /// Short label matching the paper's figures (`orig`, `so/ao/ai/bg`, …).
+    pub fn label(&self) -> String {
+        if !self.is_adaptive() {
+            return "orig".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.selective {
+            parts.push("so");
+        }
+        if self.aggressive {
+            parts.push("ao");
+        }
+        if self.adaptive_in {
+            parts.push("ai");
+        }
+        if self.bg_write {
+            parts.push("bg");
+        }
+        parts.join("/")
+    }
+}
+
+impl fmt::Display for PolicyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error from parsing a policy label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePolicyError(pub String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown policy token '{}' (expected orig|lru or a /-joined subset of so,ao,ai,bg)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicyConfig {
+    type Err = ParsePolicyError;
+
+    /// Parse labels like `orig`, `so`, `so/ao/ai/bg` (order-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim().to_ascii_lowercase();
+        if s.is_empty() || s == "orig" || s == "original" || s == "lru" {
+            return Ok(PolicyConfig::original());
+        }
+        let mut cfg = PolicyConfig::original();
+        for tok in s.split(['/', '+', ',']) {
+            match tok.trim() {
+                "so" => cfg.selective = true,
+                "ao" => cfg.aggressive = true,
+                "ai" => cfg.adaptive_in = true,
+                "bg" => cfg.bg_write = true,
+                other => return Err(ParsePolicyError(other.to_string())),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PolicyConfig::original().label(), "orig");
+        assert_eq!(PolicyConfig::ai().label(), "ai");
+        assert_eq!(PolicyConfig::so().label(), "so");
+        assert_eq!(PolicyConfig::so_ao().label(), "so/ao");
+        assert_eq!(PolicyConfig::so_ao_bg().label(), "so/ao/bg");
+        assert_eq!(PolicyConfig::full().label(), "so/ao/ai/bg");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for cfg in PolicyConfig::paper_combinations() {
+            let parsed: PolicyConfig = cfg.label().parse().unwrap();
+            assert_eq!(parsed, cfg, "roundtrip of {}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn parse_aliases_and_order() {
+        assert_eq!("lru".parse::<PolicyConfig>().unwrap(), PolicyConfig::original());
+        assert_eq!(
+            "bg/ai/ao/so".parse::<PolicyConfig>().unwrap(),
+            PolicyConfig::full()
+        );
+        assert_eq!("so+ao".parse::<PolicyConfig>().unwrap(), PolicyConfig::so_ao());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("so/xx".parse::<PolicyConfig>().is_err());
+        assert!("fast".parse::<PolicyConfig>().is_err());
+    }
+
+    #[test]
+    fn six_paper_combos() {
+        let combos = PolicyConfig::paper_combinations();
+        assert_eq!(combos.len(), 6);
+        assert!(!combos[0].is_adaptive());
+        assert!(combos[1..].iter().all(|c| c.is_adaptive()));
+    }
+
+    #[test]
+    fn default_bg_fraction_is_ten_percent() {
+        assert!((PolicyConfig::full().bg_fraction - 0.10).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Contiguous runs of disk blocks.
+//!
+//! All disk traffic in the simulator is expressed as extents. A request
+//! touching `n` pages spread over `k` extents pays `k` seek+settle costs but
+//! only `n` transfer costs — the arithmetic heart of block paging.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A contiguous run of disk blocks `[start, start + len)`.
+///
+/// One block holds one 4 KiB page image.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Extent {
+    /// First block of the run.
+    pub start: u64,
+    /// Number of blocks in the run (always ≥ 1 for extents built by
+    /// [`extents_from_blocks`]).
+    pub len: u64,
+}
+
+impl Extent {
+    /// Construct an extent.
+    pub const fn new(start: u64, len: u64) -> Self {
+        Extent { start, len }
+    }
+
+    /// One block past the end of the run.
+    pub const fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `block` falls inside this extent.
+    pub const fn contains(&self, block: u64) -> bool {
+        block >= self.start && block < self.end()
+    }
+}
+
+impl fmt::Debug for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}+{}]", self.start, self.len)
+    }
+}
+
+/// Coalesce a block list into maximal contiguous extents.
+///
+/// The input is sorted and deduplicated internally; the output extents are
+/// disjoint, sorted by `start`, and their total length equals the number of
+/// distinct input blocks.
+///
+/// ```
+/// use agp_disk::extent::{extents_from_blocks, Extent};
+/// let ext = extents_from_blocks(&mut vec![7, 3, 4, 5, 9, 9]);
+/// assert_eq!(ext, vec![Extent::new(3, 3), Extent::new(7, 1), Extent::new(9, 1)]);
+/// ```
+pub fn extents_from_blocks(blocks: &mut Vec<u64>) -> Vec<Extent> {
+    blocks.sort_unstable();
+    blocks.dedup();
+    let mut out: Vec<Extent> = Vec::new();
+    for &b in blocks.iter() {
+        match out.last_mut() {
+            Some(e) if e.end() == b => e.len += 1,
+            _ => out.push(Extent::new(b, 1)),
+        }
+    }
+    out
+}
+
+/// Total number of blocks covered by a slice of extents.
+pub fn total_blocks(extents: &[Extent]) -> u64 {
+    extents.iter().map(|e| e.len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(extents_from_blocks(&mut vec![]).is_empty());
+    }
+
+    #[test]
+    fn single_block() {
+        assert_eq!(extents_from_blocks(&mut vec![5]), vec![Extent::new(5, 1)]);
+    }
+
+    #[test]
+    fn fully_contiguous() {
+        let ext = extents_from_blocks(&mut (100..200).collect());
+        assert_eq!(ext, vec![Extent::new(100, 100)]);
+    }
+
+    #[test]
+    fn dedup_and_merge() {
+        let ext = extents_from_blocks(&mut vec![2, 1, 2, 3, 10, 11, 20]);
+        assert_eq!(
+            ext,
+            vec![Extent::new(1, 3), Extent::new(10, 2), Extent::new(20, 1)]
+        );
+        assert_eq!(total_blocks(&ext), 6);
+    }
+
+    #[test]
+    fn contains_and_end() {
+        let e = Extent::new(4, 3);
+        assert_eq!(e.end(), 7);
+        assert!(e.contains(4) && e.contains(6));
+        assert!(!e.contains(7) && !e.contains(3));
+    }
+}

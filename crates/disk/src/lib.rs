@@ -1,0 +1,31 @@
+//! # agp-disk — the paging device model
+//!
+//! The paper's central physical argument is that *disk seek latency
+//! dominates paging cost*, so grouping many page transfers into contiguous
+//! block I/O amortizes the arm movement ("Latency of the disk arm movement
+//! is the largest component of the time required to transfer data to and
+//! from the disk during paging", §1). This crate models exactly that
+//! effect and nothing more:
+//!
+//! * a block address space (one block = one 4 KiB page slot),
+//! * a service-time model: distance-dependent seek + half-rotation
+//!   settle per discontiguity + per-page transfer time,
+//! * a FIFO request queue per device with completion times computable at
+//!   submission (no reordering, so the discrete-event layer can schedule a
+//!   single completion event per request).
+//!
+//! Defaults are calibrated to a circa-2003 commodity IDE disk, the class of
+//! hardware in the paper's testbed (≈8.5 ms average seek, 7200 rpm,
+//! ≈40 MB/s media rate).
+//!
+//! The *swap-space allocator* that decides which blocks a page lands in
+//! lives in `agp-mem`; this crate only prices the resulting extents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extent;
+pub mod model;
+
+pub use extent::{extents_from_blocks, Extent};
+pub use model::{Disk, DiskParams, DiskRequest, DiskStats, IoKind};

@@ -1,0 +1,87 @@
+//! Property tests for the disk model: extent coalescing correctness and
+//! service-time monotonicity (the physical premises of block paging).
+
+use agp_disk::{extents_from_blocks, Disk, DiskParams, DiskRequest, Extent};
+use agp_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Coalescing preserves the block set exactly: disjoint, sorted,
+    /// total length = number of distinct blocks, and every input block is
+    /// covered.
+    #[test]
+    fn extents_cover_exactly(blocks in prop::collection::vec(0u64..10_000, 0..300)) {
+        let mut input = blocks.clone();
+        let extents = extents_from_blocks(&mut input);
+        // Sorted and disjoint (with a gap — adjacent extents must merge).
+        for w in extents.windows(2) {
+            prop_assert!(w[0].end() < w[1].start, "adjacent extents should have merged");
+        }
+        let mut distinct = blocks.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let total: u64 = extents.iter().map(|e| e.len).sum();
+        prop_assert_eq!(total as usize, distinct.len());
+        for b in distinct {
+            prop_assert!(extents.iter().any(|e| e.contains(b)), "block {} lost", b);
+        }
+    }
+
+    /// Service time grows monotonically with request size (same layout).
+    #[test]
+    fn service_monotone_in_pages(start in 0u64..100_000, len in 1u64..2_000) {
+        let mut d1 = Disk::new(DiskParams::default());
+        let mut d2 = Disk::new(DiskParams::default());
+        let t1 = d1.submit(SimTime::ZERO, &DiskRequest::read(vec![Extent::new(start, len)]));
+        let t2 = d2.submit(SimTime::ZERO, &DiskRequest::read(vec![Extent::new(start, len + 1)]));
+        prop_assert!(t2 >= t1);
+    }
+
+    /// One contiguous extent is never slower than the same pages split
+    /// into arbitrary scattered extents — the block-paging premise.
+    #[test]
+    fn contiguous_is_fastest(
+        start in 0u64..100_000,
+        len in 2u64..256,
+        scatter_gap in 1u64..5_000,
+    ) {
+        let mut d1 = Disk::new(DiskParams::default());
+        let contiguous = DiskRequest::read(vec![Extent::new(start, len)]);
+        let t1 = d1.submit(SimTime::ZERO, &contiguous);
+
+        let mut d2 = Disk::new(DiskParams::default());
+        let scattered = DiskRequest::read(
+            (0..len).map(|i| Extent::new(start + i * (scatter_gap + 1), 1)).collect(),
+        );
+        let t2 = d2.submit(SimTime::ZERO, &scattered);
+        prop_assert!(t2 >= t1, "scattered {t2:?} vs contiguous {t1:?}");
+    }
+
+    /// FIFO completion times are non-decreasing across submissions, and
+    /// every request completes no earlier than its submission.
+    #[test]
+    fn fifo_completions_monotone(reqs in prop::collection::vec((0u64..50_000, 1u64..64), 1..50)) {
+        let mut d = Disk::new(DiskParams::default());
+        let mut last = SimTime::ZERO;
+        for (i, (start, len)) in reqs.iter().enumerate() {
+            let now = SimTime::from_us(i as u64 * 100);
+            let c = d.submit(now, &DiskRequest::write(vec![Extent::new(*start, *len)]));
+            prop_assert!(c >= now);
+            prop_assert!(c >= last);
+            last = c;
+        }
+        // Stats must account for every page.
+        let total: u64 = reqs.iter().map(|(_, l)| l).sum();
+        prop_assert_eq!(d.stats().pages_written, total);
+    }
+
+    /// The seek model is monotone in distance and bounded by min/max.
+    #[test]
+    fn seek_monotone_and_bounded(d1 in 1u64..1_000_000, d2 in 1u64..1_000_000) {
+        let p = DiskParams::default();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(p.seek_us(lo) <= p.seek_us(hi));
+        prop_assert!(p.seek_us(lo) >= p.min_seek_us);
+        prop_assert!(p.seek_us(hi) <= p.max_seek_us);
+    }
+}

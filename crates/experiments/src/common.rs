@@ -1,0 +1,260 @@
+//! Shared experiment plumbing: scales, scenario execution, output types.
+
+use agp_cluster::{ClusterConfig, JobSpec, RunResult, ScheduleMode};
+use agp_core::PolicyConfig;
+use agp_metrics::{ActivityTrace, Table};
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
+use serde::Serialize;
+
+/// Experiment fidelity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's testbed geometry: 1 GiB nodes, class B/C inputs,
+    /// 5-minute quanta. A full figure takes seconds to a couple of
+    /// minutes of wall time.
+    Paper,
+    /// CI scale: class A inputs, ~tens-of-MiB memory, seconds-long
+    /// quanta. Preserves the pressure geometry (one working set fits,
+    /// two do not) so every directional claim still holds.
+    Quick,
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper" | "full" => Ok(Scale::Paper),
+            "quick" | "ci" | "small" => Ok(Scale::Quick),
+            other => Err(format!("unknown scale '{other}' (paper|quick)")),
+        }
+    }
+}
+
+/// What an experiment produces: tables for the report, optionally labeled
+/// traces (Fig. 6), and free-form notes comparing against the paper.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ExperimentOutput {
+    /// Experiment id (e.g. "fig7").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Result tables, in presentation order.
+    pub tables: Vec<Table>,
+    /// Labeled paging traces (policy label → trace), when the experiment
+    /// produces them.
+    pub traces: Vec<(String, ActivityTrace)>,
+    /// Commentary: what the paper reports vs what this run measured.
+    pub notes: Vec<String>,
+}
+
+/// Run several independent configurations concurrently (one OS thread
+/// each; the simulator itself is single-threaded and deterministic).
+/// Results come back in input order; the first error aborts.
+pub fn run_many(configs: Vec<ClusterConfig>) -> Result<Vec<RunResult>, String> {
+    if configs.len() <= 1 {
+        return configs.into_iter().map(agp_cluster::run).collect();
+    }
+    let mut out: Vec<Option<RunResult>> = Vec::new();
+    out.resize_with(configs.len(), || None);
+    crossbeam::thread::scope(|s| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for (i, cfg) in configs.into_iter().enumerate() {
+            handles.push((i, s.spawn(move |_| agp_cluster::run(cfg))));
+        }
+        for (i, h) in handles {
+            let r = h.join().map_err(|_| "worker thread panicked".to_string())??;
+            out[i] = Some(r);
+        }
+        Ok(())
+    })
+    .map_err(|_| "scope panicked".to_string())??;
+    Ok(out.into_iter().map(|r| r.expect("filled")).collect())
+}
+
+/// Builder for the recurring scenario shape: `n` instances of one
+/// workload on one cluster, under one policy and mode.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Physical memory per node, MiB.
+    pub mem_mib: u64,
+    /// Wired (locked) memory per node, MiB.
+    pub wired_mib: u64,
+    /// Gang quantum.
+    pub quantum: SimDur,
+    /// Per-job quantum override.
+    pub job_quantum: Option<SimDur>,
+    /// The workload; two instances are submitted (the paper's standard
+    /// co-schedule) unless `instances` says otherwise.
+    pub workload: WorkloadSpec,
+    /// Number of identical instances.
+    pub instances: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Two instances of `workload` on `nodes` nodes with the given wiring.
+    pub fn pair(nodes: u32, wired_mib: u64, workload: WorkloadSpec, quantum: SimDur) -> Self {
+        Scenario {
+            nodes,
+            mem_mib: 1024,
+            wired_mib,
+            quantum,
+            job_quantum: None,
+            workload,
+            instances: 2,
+            seed: 0x5EED_600D,
+        }
+    }
+
+    /// Materialize a [`ClusterConfig`] under `policy` and `mode`.
+    pub fn config(&self, policy: PolicyConfig, mode: ScheduleMode) -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_defaults(self.nodes);
+        cfg.mem_mib = self.mem_mib;
+        cfg.wired_mib = self.wired_mib;
+        cfg.quantum = self.quantum;
+        // Keep the trace resolution proportional to the quantum so quick
+        // and paper scales both resolve intra-quantum structure.
+        cfg.trace_bucket = SimDur::from_us((self.quantum.as_us() / 30).clamp(250_000, 10_000_000));
+        cfg.policy = policy;
+        cfg.mode = mode;
+        cfg.seed = self.seed;
+        cfg.jobs = (0..self.instances)
+            .map(|i| {
+                let mut j = JobSpec::new(format!("{} #{}", self.workload, i + 1), self.workload);
+                j.quantum = self.job_quantum;
+                j
+            })
+            .collect();
+        cfg
+    }
+}
+
+/// The three completion times every §4.1-style comparison needs.
+#[derive(Clone, Debug)]
+pub struct PolicyTriple {
+    /// Batch (back-to-back) makespan.
+    pub batch: SimDur,
+    /// Gang makespan under the original kernel.
+    pub orig: SimDur,
+    /// Gang makespans for each requested adaptive policy, in order.
+    pub policies: Vec<(PolicyConfig, RunResult)>,
+    /// The original run's full result.
+    pub orig_result: RunResult,
+}
+
+/// Run batch + original + each policy for one scenario, concurrently.
+pub fn run_policy_set(
+    scenario: &Scenario,
+    policies: &[PolicyConfig],
+) -> Result<PolicyTriple, String> {
+    let mut configs = vec![
+        scenario.config(PolicyConfig::original(), ScheduleMode::Batch),
+        scenario.config(PolicyConfig::original(), ScheduleMode::Gang),
+    ];
+    for &p in policies {
+        configs.push(scenario.config(p, ScheduleMode::Gang));
+    }
+    let mut results = run_many(configs)?;
+    let rest = results.split_off(2);
+    let orig_result = results.pop().expect("orig");
+    let batch = results.pop().expect("batch");
+    Ok(PolicyTriple {
+        batch: batch.makespan,
+        orig: orig_result.makespan,
+        policies: policies.iter().copied().zip(rest).collect(),
+        orig_result,
+    })
+}
+
+/// Usable memory for a quick-scale scenario: 1.5× one instance's
+/// per-iteration working set, so a single job fits comfortably while two
+/// co-scheduled instances over-commit by ~25% — the same pressure
+/// geometry the paper creates with `mlock()`.
+fn quick_usable_mib(w: &WorkloadSpec) -> u64 {
+    let prof = w.profile();
+    let fp = agp_sim::units::mib_from_pages(w.footprint_pages_per_rank() as usize);
+    let ws = fp * (prof.sweep_fraction + prof.random_region_fraction);
+    ((ws * 1.5).ceil() as u64).max(16)
+}
+
+/// The quick-scale analog of a class B serial benchmark: class A input,
+/// a 128 MiB node wired down to ~1.5× the working set, 10 s quanta.
+pub fn quick_serial(bench: Benchmark) -> Scenario {
+    let w = WorkloadSpec::serial(bench, Class::A);
+    let usable = quick_usable_mib(&w);
+    let mut s = Scenario::pair(1, 128 - usable, w, SimDur::from_secs(10));
+    s.mem_mib = 128;
+    s
+}
+
+/// The quick-scale analog of a parallel run: class A split over `nodes`,
+/// per-node memory again at ~1.5× one rank's working set.
+pub fn quick_parallel(bench: Benchmark, nodes: u32) -> Scenario {
+    let w = WorkloadSpec::parallel(bench, Class::A, nodes);
+    let usable = quick_usable_mib(&w);
+    let mut s = Scenario::pair(nodes, 128 - usable, w, SimDur::from_secs(10));
+    s.mem_mib = 128;
+    s
+}
+
+/// Format helper: minutes with one decimal.
+pub fn mins(d: SimDur) -> String {
+    format!("{:.1}", d.as_mins_f64())
+}
+
+/// Format helper: percent with one decimal.
+pub fn pct(p: f64) -> String {
+    format!("{p:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builds_valid_configs() {
+        let s = Scenario::pair(
+            1,
+            574,
+            WorkloadSpec::serial(Benchmark::LU, Class::B),
+            SimDur::from_mins(5),
+        );
+        let cfg = s.config(PolicyConfig::full(), ScheduleMode::Gang);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.jobs.len(), 2);
+        assert_eq!(cfg.jobs[0].name, "LU.Bx1 #1");
+    }
+
+    #[test]
+    fn quick_scenarios_are_valid_and_small() {
+        for b in Benchmark::PAPER_FIVE {
+            let cfg = quick_serial(b).config(PolicyConfig::original(), ScheduleMode::Gang);
+            cfg.validate().unwrap();
+            // 1.5x any class A working set stays well under 100 MiB.
+            assert!(cfg.usable_pages() < 25_000, "{b}: {}", cfg.usable_pages());
+        }
+        let cfg = quick_parallel(Benchmark::LU, 2).config(PolicyConfig::original(), ScheduleMode::Gang);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn run_many_preserves_order_and_parallelizes() {
+        let a = quick_serial(Benchmark::IS).config(PolicyConfig::original(), ScheduleMode::Batch);
+        let b = quick_serial(Benchmark::LU).config(PolicyConfig::original(), ScheduleMode::Batch);
+        let rs = run_many(vec![a, b]).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(rs[0].jobs[0].name.starts_with("IS"));
+        assert!(rs[1].jobs[0].name.starts_with("LU"));
+    }
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!("paper".parse::<Scale>().unwrap(), Scale::Paper);
+        assert_eq!("CI".parse::<Scale>().unwrap(), Scale::Quick);
+        assert!("medium".parse::<Scale>().is_err());
+    }
+}

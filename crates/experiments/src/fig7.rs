@@ -1,0 +1,180 @@
+//! **Fig. 7** — serial benchmarks (§4.1): job completion time, switching
+//! overhead, and paging reduction for two gang-scheduled instances of
+//! each class B benchmark on a single node with a 5-minute quantum.
+//!
+//! Paper-reported values (class B serial, `so/ao/ai/bg` vs `orig`):
+//!
+//! * overhead: "more than or close to 50 %" for SP/CG/IS/MG under the
+//!   original kernel; LU 26 %. Adaptive: between 5 % and 37 %; LU 5 %.
+//! * reduction: MG 93 %, LU 84 %, SP 78 %, CG 68 %, IS 19 %.
+//!
+//! The paper locked memory per benchmark without reporting the amounts
+//! ("different ... memory locking sizes were used", §4.3); the lock sizes
+//! here are calibrated so the *original* kernel lands in the paper's
+//! overhead regime and are recorded in the output notes.
+
+use crate::common::{mins, pct, quick_serial, run_policy_set, ExperimentOutput, Scale, Scenario};
+use agp_core::PolicyConfig;
+use agp_metrics::{overhead_pct, reduction_pct, Table};
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
+
+/// Paper-reported paging reduction (%) per benchmark, Fig. 7(c).
+pub const PAPER_REDUCTION: [(Benchmark, f64); 5] = [
+    (Benchmark::MG, 93.0),
+    (Benchmark::LU, 84.0),
+    (Benchmark::SP, 78.0),
+    (Benchmark::CG, 68.0),
+    (Benchmark::IS, 19.0),
+];
+
+/// Memory locked per benchmark at paper scale (MiB out of 1024), chosen
+/// so the original kernel reproduces the paper's overhead regime.
+pub fn paper_lock_mib(bench: Benchmark) -> u64 {
+    match bench {
+        Benchmark::LU => 574, // 450 MiB usable
+        Benchmark::SP => 624, // 400 MiB usable → orig ≈ 49 % ("close to 50 %")
+        Benchmark::CG => 674, // 350 MiB usable
+        Benchmark::IS => 674,
+        Benchmark::MG => 574, // orig ≈ 89 % — the paper's worst case
+        // Extension codes (not part of Fig. 7):
+        Benchmark::BT => 574,
+        Benchmark::FT => 474,
+        Benchmark::EP => 674,
+    }
+}
+
+fn scenario(bench: Benchmark, scale: Scale) -> Scenario {
+    match scale {
+        Scale::Paper => Scenario::pair(
+            1,
+            paper_lock_mib(bench),
+            WorkloadSpec::serial(bench, Class::B),
+            SimDur::from_mins(5),
+        ),
+        Scale::Quick => quick_serial(bench),
+    }
+}
+
+/// Run Fig. 7 at the given scale.
+pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
+    let full = PolicyConfig::full();
+    let mut a = Table::new(
+        "Fig 7(a) — serial job completion time (minutes, 2 instances)",
+        &["bench", "orig", "so/ao/ai/bg", "batch"],
+    );
+    let mut b = Table::new(
+        "Fig 7(b) — switching overhead (%)",
+        &["bench", "orig", "so/ao/ai/bg", "paper orig", "paper adaptive"],
+    );
+    let mut c = Table::new(
+        "Fig 7(c) — paging reduction over original (%)",
+        &["bench", "measured", "paper"],
+    );
+    let mut notes = Vec::new();
+
+    // The paper's presentation order.
+    let order = [
+        Benchmark::LU,
+        Benchmark::SP,
+        Benchmark::CG,
+        Benchmark::IS,
+        Benchmark::MG,
+    ];
+    let mut measured = Vec::new();
+    for bench in order {
+        let sc = scenario(bench, scale);
+        let t = run_policy_set(&sc, &[full])?;
+        let t_full = t.policies[0].1.makespan;
+        let ov_orig = overhead_pct(t.orig, t.batch);
+        let ov_full = overhead_pct(t_full, t.batch);
+        let red = reduction_pct(t.orig, t_full, t.batch);
+        measured.push((bench, red));
+
+        a.row(vec![
+            bench.to_string(),
+            mins(t.orig),
+            mins(t_full),
+            mins(t.batch),
+        ]);
+        let (paper_o, paper_a) = match bench {
+            Benchmark::LU => ("26", "5"),
+            Benchmark::IS => ("~50", "37"),
+            _ => ("≥50", "5–37"),
+        };
+        b.row(vec![
+            bench.to_string(),
+            pct(ov_orig),
+            pct(ov_full),
+            paper_o.into(),
+            paper_a.into(),
+        ]);
+        let paper_red = PAPER_REDUCTION
+            .iter()
+            .find(|(be, _)| *be == bench)
+            .map(|(_, r)| *r)
+            .unwrap();
+        c.row(vec![bench.to_string(), pct(red), pct(paper_red)]);
+        if scale == Scale::Paper {
+            notes.push(format!(
+                "{bench}: locked {} MiB (usable {} MiB); orig moved {:.0} MiB of pages, adaptive {:.0} MiB",
+                paper_lock_mib(bench),
+                1024 - paper_lock_mib(bench),
+                (t.orig_result.total_pages_in() + t.orig_result.total_pages_out()) as f64 / 256.0,
+                (t.policies[0].1.total_pages_in() + t.policies[0].1.total_pages_out()) as f64
+                    / 256.0,
+            ));
+        }
+    }
+
+    // Shape checks the paper's text makes explicit.
+    let red_of = |b: Benchmark| measured.iter().find(|(x, _)| *x == b).unwrap().1;
+    notes.push(format!(
+        "shape: MG ({:.0}%) has the largest reduction, IS ({:.0}%) the smallest — paper: 93% and 19%",
+        red_of(Benchmark::MG),
+        red_of(Benchmark::IS),
+    ));
+    notes.push(
+        "paper: 'for the serial benchmark programs whose working size is large, our adaptive \
+         paging mechanisms were able to reduce the paging overhead by more than 65%'"
+            .into(),
+    );
+
+    Ok(ExperimentOutput {
+        id: "fig7".into(),
+        title: "Serial benchmarks: completion, overhead, reduction (paper Fig. 7)".into(),
+        tables: vec![a, b, c],
+        traces: Vec::new(),
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full quick-scale Fig. 7: every benchmark must show the paper's
+    /// directional result (adaptive ≥ original, batch fastest).
+    #[test]
+    fn quick_fig7_shapes_hold() {
+        let out = run(Scale::Quick).unwrap();
+        assert_eq!(out.tables.len(), 3);
+        let a = &out.tables[0];
+        assert_eq!(a.len(), 5);
+        for r in 0..a.len() {
+            let orig: f64 = a.cell(r, 1).parse().unwrap();
+            let full: f64 = a.cell(r, 2).parse().unwrap();
+            let batch: f64 = a.cell(r, 3).parse().unwrap();
+            assert!(
+                batch <= orig + 1e-9,
+                "batch must be fastest for {}",
+                a.cell(r, 0)
+            );
+            assert!(
+                full <= orig + 1e-9,
+                "adaptive must not lose to original for {}",
+                a.cell(r, 0)
+            );
+        }
+    }
+}

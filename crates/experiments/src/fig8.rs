@@ -1,0 +1,173 @@
+//! **Fig. 8** — gang-scheduled *parallel* benchmarks (§4.2): completion,
+//! overhead, and reduction on 2 machines (panels a–c) and 4 machines
+//! (panels d–f), two instances each, `orig` vs `so/ao/ai/bg` vs `batch`.
+//!
+//! Benchmark roster follows the paper exactly:
+//! * 2 machines: LU, CG, IS, MG ("SP … does not compile for 2 machines");
+//! * 4 machines: LU, SP, CG, IS ("MG is included only for 2 machines as
+//!   its memory size is not suitable"); SP runs with a 7-minute quantum
+//!   ("to avoid continuous memory thrashing").
+//!
+//! Paper-reported reductions with `so/ao/ai/bg`:
+//! * 2 machines: LU 61 %, IS 72 %, CG 38 %;
+//! * 4 machines: LU 43 %, IS 57 %, SP 70 %, CG 7 % (CG "does not induce
+//!   as much paging"; on 4 machines "paging does not occur").
+
+use crate::common::{
+    mins, pct, quick_parallel, run_policy_set, ExperimentOutput, Scale, Scenario,
+};
+use agp_core::PolicyConfig;
+use agp_metrics::{overhead_pct, reduction_pct, Table};
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
+
+/// One roster entry: benchmark, class, lock size (MiB), quantum override.
+struct Entry {
+    bench: Benchmark,
+    class: Class,
+    lock_mib: u64,
+    quantum: Option<SimDur>,
+    paper_reduction: Option<f64>,
+}
+
+/// The 2-machine roster (panels a–c).
+///
+/// The paper does not state the classes of its parallel runs; classes and
+/// lock sizes here are chosen so each code pages the way its panel shows
+/// (class B halves finish inside one 5-minute quantum for CG/IS, so those
+/// two use class C on 2 machines).
+fn roster_2() -> Vec<Entry> {
+    vec![
+        Entry { bench: Benchmark::LU, class: Class::B, lock_mib: 774, quantum: None, paper_reduction: Some(61.0) },
+        Entry { bench: Benchmark::CG, class: Class::C, lock_mib: 524, quantum: None, paper_reduction: Some(38.0) },
+        Entry { bench: Benchmark::IS, class: Class::C, lock_mib: 724, quantum: None, paper_reduction: Some(72.0) },
+        Entry { bench: Benchmark::MG, class: Class::B, lock_mib: 774, quantum: None, paper_reduction: None },
+    ]
+}
+
+/// The 4-machine roster (panels d–f).
+fn roster_4() -> Vec<Entry> {
+    vec![
+        Entry { bench: Benchmark::LU, class: Class::C, lock_mib: 724, quantum: None, paper_reduction: Some(43.0) },
+        Entry {
+            bench: Benchmark::SP,
+            class: Class::C,
+            lock_mib: 674,
+            quantum: Some(SimDur::from_mins(7)),
+            paper_reduction: Some(70.0),
+        },
+        // Paper: CG's per-rank memory shrinks so far that "even with
+        // memory locking paging does not occur" — class B split 4 ways.
+        Entry { bench: Benchmark::CG, class: Class::B, lock_mib: 674, quantum: None, paper_reduction: Some(7.0) },
+        Entry { bench: Benchmark::IS, class: Class::C, lock_mib: 874, quantum: None, paper_reduction: Some(57.0) },
+    ]
+}
+
+fn run_panel(
+    nodes: u32,
+    roster: Vec<Entry>,
+    scale: Scale,
+    tables: &mut Vec<Table>,
+    notes: &mut Vec<String>,
+) -> Result<(), String> {
+    let suffix = format!("{nodes} machines");
+    let mut a = Table::new(
+        format!("Fig 8 — completion time, {suffix} (minutes)"),
+        &["bench", "orig", "so/ao/ai/bg", "batch"],
+    );
+    let mut b = Table::new(
+        format!("Fig 8 — switching overhead, {suffix} (%)"),
+        &["bench", "orig", "so/ao/ai/bg"],
+    );
+    let mut c = Table::new(
+        format!("Fig 8 — paging reduction, {suffix} (%)"),
+        &["bench", "measured", "paper"],
+    );
+    for e in roster {
+        let (sc, label) = match scale {
+            Scale::Paper => {
+                let mut sc = Scenario::pair(
+                    nodes,
+                    e.lock_mib,
+                    WorkloadSpec::parallel(e.bench, e.class, nodes),
+                    SimDur::from_mins(5),
+                );
+                sc.job_quantum = e.quantum;
+                (sc, format!("{}.{}", e.bench, e.class))
+            }
+            Scale::Quick => (quick_parallel(e.bench, nodes.min(2)), e.bench.to_string()),
+        };
+        let t = run_policy_set(&sc, &[PolicyConfig::full()])?;
+        let t_full = t.policies[0].1.makespan;
+        a.row(vec![label.clone(), mins(t.orig), mins(t_full), mins(t.batch)]);
+        b.row(vec![
+            label.clone(),
+            pct(overhead_pct(t.orig, t.batch)),
+            pct(overhead_pct(t_full, t.batch)),
+        ]);
+        c.row(vec![
+            label.clone(),
+            pct(reduction_pct(t.orig, t_full, t.batch)),
+            e.paper_reduction
+                .map(pct)
+                .unwrap_or_else(|| "n/a".into()),
+        ]);
+        if scale == Scale::Paper && e.bench == Benchmark::CG && nodes == 4 {
+            notes.push(format!(
+                "CG on 4 machines pages little by design (paper: 'paging does not occur'): \
+                 orig moved {:.0} MiB total",
+                (t.orig_result.total_pages_in() + t.orig_result.total_pages_out()) as f64 / 256.0
+            ));
+        }
+    }
+    tables.push(a);
+    tables.push(b);
+    tables.push(c);
+    Ok(())
+}
+
+/// Run Fig. 8 at the given scale.
+pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
+    let mut tables = Vec::new();
+    let mut notes = vec![
+        "paper: 'All the applications consistently improve the completion time with \
+         so/ao/ai/bg'"
+            .into(),
+        "paper: SP on 4 machines 'needs a longer quantum of 7 minutes to avoid continuous \
+         memory thrashing' — reproduced via its per-job quantum override"
+            .into(),
+    ];
+    run_panel(2, roster_2(), scale, &mut tables, &mut notes)?;
+    run_panel(4, roster_4(), scale, &mut tables, &mut notes)?;
+    Ok(ExperimentOutput {
+        id: "fig8".into(),
+        title: "Parallel benchmarks on 2 and 4 machines (paper Fig. 8)".into(),
+        tables,
+        traces: Vec::new(),
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig8_adaptive_never_loses() {
+        let out = run(Scale::Quick).unwrap();
+        assert_eq!(out.tables.len(), 6);
+        for t in out.tables.iter().filter(|t| t.title().contains("completion")) {
+            for r in 0..t.len() {
+                let orig: f64 = t.cell(r, 1).parse().unwrap();
+                let full: f64 = t.cell(r, 2).parse().unwrap();
+                assert!(
+                    full <= orig + 1e-9,
+                    "{}: adaptive {} vs orig {}",
+                    t.cell(r, 0),
+                    full,
+                    orig
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Name → experiment dispatch for the CLI and the bench harness.
+
+use crate::common::{ExperimentOutput, Scale};
+
+/// A runnable experiment.
+pub struct ExperimentInfo {
+    /// Short id used on the command line (`agp run fig7`).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Entry point.
+    pub runner: fn(Scale) -> Result<ExperimentOutput, String>,
+}
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<ExperimentInfo> {
+    vec![
+        ExperimentInfo {
+            id: "moreira",
+            title: "§1 motivation: 3×45MB jobs on 128 vs 256 MB",
+            runner: crate::moreira::run,
+        },
+        ExperimentInfo {
+            id: "fig6",
+            title: "Fig 6: paging-activity traces (LU.C, 4 machines)",
+            runner: crate::fig6::run,
+        },
+        ExperimentInfo {
+            id: "fig7",
+            title: "Fig 7: serial benchmarks — completion/overhead/reduction",
+            runner: crate::fig7::run,
+        },
+        ExperimentInfo {
+            id: "fig8",
+            title: "Fig 8: parallel benchmarks on 2 and 4 machines",
+            runner: crate::fig8::run,
+        },
+        ExperimentInfo {
+            id: "fig9",
+            title: "Fig 9: LU across all policy combinations",
+            runner: crate::fig9::run,
+        },
+        ExperimentInfo {
+            id: "bgablate",
+            title: "§3.4 ablation: background-writing window",
+            runner: crate::bg_ablation::run,
+        },
+        ExperimentInfo {
+            id: "quantum",
+            title: "§5/§6: overhead vs quantum length",
+            runner: crate::quantum_sweep::run,
+        },
+        ExperimentInfo {
+            id: "scale16",
+            title: "extension: 8/16-node scale-up (§6 future work)",
+            runner: crate::scale16::run,
+        },
+        ExperimentInfo {
+            id: "mpl",
+            title: "extension: overhead vs multiprogramming level (§1)",
+            runner: crate::mpl::run,
+        },
+        ExperimentInfo {
+            id: "admission",
+            title: "extension: admission control vs adaptive gang (§5 [15])",
+            runner: crate::admission::run,
+        },
+    ]
+}
+
+/// Look an experiment up by id (case-insensitive).
+pub fn find(id: &str) -> Option<ExperimentInfo> {
+    let id = id.to_ascii_lowercase();
+    all_experiments().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 10);
+        let mut ids: Vec<_> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10, "duplicate experiment ids");
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("FIG7").is_some());
+        assert!(find("fig7").is_some());
+        assert!(find("nope").is_none());
+    }
+}

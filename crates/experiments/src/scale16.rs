@@ -1,0 +1,129 @@
+//! **Scale-up to 8 and 16 nodes** — the paper's announced follow-up work
+//! (§6: "We are extending our performance study to parallel applications
+//! running on 8 and 16 nodes", with "each having 1GB memory and 2GHz
+//! Intel Pentium 4 CPU", footnote 2).
+//!
+//! Two LU class C instances gang-scheduled on 4, 8, and 16 nodes; memory
+//! locked so per-node pressure stays proportional to the per-rank
+//! footprint. The question the paper poses implicitly: does the adaptive
+//! advantage survive as the per-node working set shrinks and barrier
+//! coupling widens? (It does: per-switch I/O shrinks with the rank size,
+//! but so does the compute between switches, and the coordinated bulk
+//! transfers keep all nodes' paging aligned.)
+
+use crate::common::{mins, pct, quick_parallel, run_policy_set, ExperimentOutput, Scale, Scenario};
+use agp_core::PolicyConfig;
+use agp_metrics::{overhead_pct, reduction_pct, Table};
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
+
+/// Node counts swept at paper scale.
+pub const PAPER_NODES: [u32; 3] = [4, 8, 16];
+
+/// Memory locked per node (MiB of 1024) so that two ranks of LU.C
+/// over-commit each node by a similar factor at every scale.
+fn lock_for(nodes: u32) -> u64 {
+    match nodes {
+        4 => 724,  // 188 MiB/rank vs 300 usable
+        8 => 874,  // 101 MiB/rank vs 150 usable
+        16 => 949, // 51 MiB/rank vs 75 usable
+        _ => 724,
+    }
+}
+
+fn scenario(nodes: u32, scale: Scale) -> Scenario {
+    match scale {
+        Scale::Paper => Scenario::pair(
+            nodes,
+            lock_for(nodes),
+            WorkloadSpec::parallel(Benchmark::LU, Class::C, nodes),
+            SimDur::from_mins(5),
+        ),
+        Scale::Quick => quick_parallel(Benchmark::LU, nodes.min(4)),
+    }
+}
+
+/// Run the scale-up study.
+pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
+    let node_counts: Vec<u32> = match scale {
+        Scale::Paper => PAPER_NODES.to_vec(),
+        Scale::Quick => vec![2, 4],
+    };
+    let mut t = Table::new(
+        "Scale-up: 2 × LU.C gang-scheduled across cluster sizes",
+        &[
+            "nodes",
+            "orig (min)",
+            "so/ao/ai/bg (min)",
+            "batch (min)",
+            "orig ovh %",
+            "adaptive ovh %",
+            "reduction %",
+            "pages in/node (orig)",
+        ],
+    );
+    let mut notes = Vec::new();
+    for nodes in node_counts {
+        let sc = scenario(nodes, scale);
+        let r = run_policy_set(&sc, &[PolicyConfig::full()])?;
+        let t_full = r.policies[0].1.makespan;
+        let per_node_in = r.orig_result.total_pages_in() / nodes.max(1) as u64;
+        t.row(vec![
+            nodes.to_string(),
+            mins(r.orig),
+            mins(t_full),
+            mins(r.batch),
+            pct(overhead_pct(r.orig, r.batch)),
+            pct(overhead_pct(t_full, r.batch)),
+            pct(reduction_pct(r.orig, t_full, r.batch)),
+            per_node_in.to_string(),
+        ]);
+        notes.push(format!(
+            "{nodes} nodes: per-node page-in volume {per_node_in} pages under orig \
+             (shrinks with rank size); reduction {:.0}%",
+            reduction_pct(r.orig, t_full, r.batch)
+        ));
+    }
+    notes.push(
+        "paper §6/footnote 2: the authors were running exactly this 8/16-node extension \
+         when the report was written; no numbers are published, so this table is a \
+         prediction from the calibrated model rather than a comparison"
+            .into(),
+    );
+    if scale == Scale::Paper {
+        notes.push(
+            "at 16 nodes a class C rank computes for ~3 minutes — less than one 5-minute \
+             quantum — so each job finishes inside its first turn and no switching (hence \
+             no paging) occurs. Reproducing the paper's pressure at 16 nodes needs a larger \
+             input class, which is presumably why the authors mention 'applications of \
+             various working set sizes' alongside the bigger cluster"
+                .into(),
+        );
+    }
+    Ok(ExperimentOutput {
+        id: "scale16".into(),
+        title: "Extension: 8- and 16-node scale-up (paper §6 future work)".into(),
+        tables: vec![t],
+        traces: Vec::new(),
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scaleup_adaptive_holds() {
+        let out = run(Scale::Quick).unwrap();
+        let t = &out.tables[0];
+        for r in 0..t.len() {
+            let red: f64 = t.cell(r, 6).parse().unwrap();
+            assert!(
+                red > -10.0,
+                "adaptive must not collapse at {} nodes: {red}",
+                t.cell(r, 0)
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # agp-gang — the user-level gang scheduler
+//!
+//! The paper's scheduler (§3.5, Fig. 5) is a user-level process that
+//! timeshares the cluster between parallel jobs: it maintains a scheduling
+//! table (an Ousterhout matrix — rows are time slots, columns are nodes),
+//! and at each quantum boundary sends `SIGSTOP` to every process of the
+//! outgoing job and `SIGCONT` to every process of the incoming one,
+//! coordinated across all nodes. Between the STOP and the CONT it invokes
+//! the kernel's adaptive-paging API.
+//!
+//! This crate implements the scheduling table and rotation logic,
+//! deliberately free of any simulation-time machinery: the cluster layer
+//! asks *"what switches now?"* and carries out the signal protocol and the
+//! paging calls itself. A batch (run-to-completion) mode provides the
+//! paper's `batch` baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod scheduler;
+
+pub use matrix::{JobId, NodeSet, ScheduleMatrix};
+pub use scheduler::{GangScheduler, SwitchPlan};

@@ -1,0 +1,289 @@
+//! The Ousterhout scheduling matrix: rows are time slots, columns are
+//! nodes; a job occupies one row across the set of nodes it runs on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A gang-scheduled job identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A set of cluster nodes (bitmask; supports clusters up to 64 nodes,
+/// ample for the paper's 4–16 node experiments).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct NodeSet(pub u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// The first `n` nodes.
+    pub fn first_n(n: u32) -> Self {
+        assert!(n <= 64, "at most 64 nodes");
+        if n == 64 {
+            NodeSet(u64::MAX)
+        } else {
+            NodeSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Set containing exactly `node`.
+    pub fn single(node: u32) -> Self {
+        assert!(node < 64);
+        NodeSet(1 << node)
+    }
+
+    /// Union.
+    pub fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Whether the sets share any node.
+    pub fn intersects(self, other: NodeSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(self, node: u32) -> bool {
+        node < 64 && self.0 & (1 << node) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate member node indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        (0..64u32).filter(move |&i| self.contains(i))
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nodes{{")?;
+        let mut first = true;
+        for n in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One row (time slot) of the matrix.
+#[derive(Clone, Debug, Default)]
+struct Row {
+    jobs: Vec<(JobId, NodeSet)>,
+    occupied: NodeSet,
+}
+
+/// The scheduling table.
+///
+/// Placement is first-fit: a new job lands in the first row whose occupied
+/// node set does not intersect the job's nodes, creating a new row if none
+/// fits — the classic Ousterhout construction.
+#[derive(Clone, Debug)]
+pub struct ScheduleMatrix {
+    nodes: u32,
+    rows: Vec<Row>,
+}
+
+impl ScheduleMatrix {
+    /// A matrix over a cluster of `nodes` nodes.
+    pub fn new(nodes: u32) -> Self {
+        assert!((1..=64).contains(&nodes));
+        ScheduleMatrix {
+            nodes,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Number of rows (time slots).
+    pub fn slots(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Place `job` on `nodeset`; returns the row index it landed in.
+    pub fn place(&mut self, job: JobId, nodeset: NodeSet) -> Result<usize, String> {
+        if nodeset.is_empty() {
+            return Err(format!("{job}: empty node set"));
+        }
+        if let Some(n) = nodeset.iter().find(|&n| n >= self.nodes) {
+            return Err(format!("{job}: node {n} outside cluster of {}", self.nodes));
+        }
+        if self.find_job(job).is_some() {
+            return Err(format!("{job}: already placed"));
+        }
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if !row.occupied.intersects(nodeset) {
+                row.jobs.push((job, nodeset));
+                row.occupied = row.occupied.union(nodeset);
+                return Ok(i);
+            }
+        }
+        self.rows.push(Row {
+            jobs: vec![(job, nodeset)],
+            occupied: nodeset,
+        });
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Locate a job: `(row, nodeset)`.
+    pub fn find_job(&self, job: JobId) -> Option<(usize, NodeSet)> {
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(&(_, ns)) = row.jobs.iter().find(|(j, _)| *j == job) {
+                return Some((i, ns));
+            }
+        }
+        None
+    }
+
+    /// Remove a completed job; empty rows are dropped (the matrix
+    /// compacts, like the paper's scheduler reclaiming a slot). Returns
+    /// the row it was removed from.
+    pub fn remove(&mut self, job: JobId) -> Option<usize> {
+        let (row_idx, _) = self.find_job(job)?;
+        let row = &mut self.rows[row_idx];
+        row.jobs.retain(|(j, _)| *j != job);
+        row.occupied = row
+            .jobs
+            .iter()
+            .fold(NodeSet::EMPTY, |acc, (_, ns)| acc.union(*ns));
+        if row.jobs.is_empty() {
+            self.rows.remove(row_idx);
+        }
+        Some(row_idx)
+    }
+
+    /// Jobs scheduled in row `idx`.
+    pub fn row_jobs(&self, idx: usize) -> &[(JobId, NodeSet)] {
+        &self.rows[idx].jobs
+    }
+
+    /// Fraction of (row × node) cells occupied — the utilization figure
+    /// gang-scheduling papers track.
+    pub fn utilization(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let occupied: u32 = self.rows.iter().map(|r| r.occupied.len()).sum();
+        occupied as f64 / (self.rows.len() as u32 * self.nodes) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodeset_basics() {
+        let s = NodeSet::first_n(4);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(3) && !s.contains(4));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(NodeSet::single(2).intersects(s));
+        assert!(!NodeSet::single(9).intersects(s));
+        assert_eq!(NodeSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    fn full_cluster_jobs_stack_in_rows() {
+        // The paper's setup: every job spans all nodes, one job per slot.
+        let mut m = ScheduleMatrix::new(4);
+        let all = NodeSet::first_n(4);
+        assert_eq!(m.place(JobId(0), all).unwrap(), 0);
+        assert_eq!(m.place(JobId(1), all).unwrap(), 1);
+        assert_eq!(m.slots(), 2);
+        assert!((m.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_jobs_share_a_row() {
+        let mut m = ScheduleMatrix::new(4);
+        let left = NodeSet::first_n(2);
+        let right = NodeSet(0b1100);
+        assert_eq!(m.place(JobId(0), left).unwrap(), 0);
+        assert_eq!(m.place(JobId(1), right).unwrap(), 0, "disjoint -> same slot");
+        assert_eq!(m.slots(), 1);
+        assert_eq!(m.row_jobs(0).len(), 2);
+    }
+
+    #[test]
+    fn overlapping_jobs_get_new_rows() {
+        let mut m = ScheduleMatrix::new(4);
+        assert_eq!(m.place(JobId(0), NodeSet::first_n(3)).unwrap(), 0);
+        assert_eq!(m.place(JobId(1), NodeSet::first_n(2)).unwrap(), 1);
+    }
+
+    #[test]
+    fn remove_compacts_empty_rows() {
+        let mut m = ScheduleMatrix::new(2);
+        let all = NodeSet::first_n(2);
+        m.place(JobId(0), all).unwrap();
+        m.place(JobId(1), all).unwrap();
+        m.place(JobId(2), all).unwrap();
+        assert_eq!(m.remove(JobId(1)), Some(1));
+        assert_eq!(m.slots(), 2);
+        assert_eq!(m.row_jobs(1)[0].0, JobId(2), "row 2 shifted down");
+        assert_eq!(m.remove(JobId(1)), None, "already gone");
+    }
+
+    #[test]
+    fn placement_errors() {
+        let mut m = ScheduleMatrix::new(2);
+        assert!(m.place(JobId(0), NodeSet::EMPTY).is_err());
+        assert!(m.place(JobId(0), NodeSet::single(5)).is_err());
+        m.place(JobId(0), NodeSet::first_n(2)).unwrap();
+        assert!(m.place(JobId(0), NodeSet::first_n(2)).is_err(), "duplicate");
+    }
+
+    #[test]
+    fn backfill_after_compaction() {
+        let mut m = ScheduleMatrix::new(2);
+        let all = NodeSet::first_n(2);
+        m.place(JobId(0), all).unwrap();
+        m.place(JobId(1), all).unwrap();
+        m.remove(JobId(0));
+        // Row 0 was dropped by compaction; job1 now owns row 0, so a new
+        // full-cluster job opens row 1 — the matrix never grows beyond the
+        // live multiprogramming level.
+        assert_eq!(m.slots(), 1);
+        assert_eq!(m.place(JobId(2), all).unwrap(), 1);
+        assert_eq!(m.find_job(JobId(1)).unwrap().0, 0);
+        assert_eq!(m.find_job(JobId(2)).unwrap().0, 1);
+    }
+
+    #[test]
+    fn utilization_with_holes() {
+        let mut m = ScheduleMatrix::new(4);
+        m.place(JobId(0), NodeSet::first_n(4)).unwrap();
+        m.place(JobId(1), NodeSet::first_n(2)).unwrap();
+        assert!((m.utilization() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,315 @@
+//! Quantum rotation over the scheduling matrix.
+//!
+//! The scheduler is time-free: it answers "which jobs stop, which start,
+//! and how long is the new slot's quantum" — the simulation layer owns the
+//! clock and carries out the paper's STOP → adaptive-paging → CONT switch
+//! protocol.
+
+use crate::matrix::{JobId, NodeSet, ScheduleMatrix};
+use agp_sim::SimDur;
+use std::collections::HashMap;
+
+/// The outcome of a rotation: stop everything in `out`, start everything
+/// in `inn`, and run the new slot for `quantum`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchPlan {
+    /// Jobs being descheduled (empty at the very first activation).
+    pub out: Vec<JobId>,
+    /// Jobs being scheduled.
+    pub inn: Vec<JobId>,
+    /// Quantum of the incoming slot.
+    pub quantum: SimDur,
+}
+
+/// Round-robin gang scheduler over an Ousterhout matrix with per-job
+/// quantum overrides (the paper gives SP a 7-minute quantum where the
+/// default is 5, §4.2).
+#[derive(Clone, Debug)]
+pub struct GangScheduler {
+    matrix: ScheduleMatrix,
+    default_quantum: SimDur,
+    quantum_override: HashMap<JobId, SimDur>,
+    /// Index of the active row, if the schedule has started.
+    active_row: Option<usize>,
+    /// Bumped on every structural change / rotation; lets the simulation
+    /// discard stale quantum-expiry events after an early job completion.
+    generation: u64,
+}
+
+impl GangScheduler {
+    /// A scheduler for `nodes` nodes with the given default quantum.
+    pub fn new(nodes: u32, default_quantum: SimDur) -> Self {
+        GangScheduler {
+            matrix: ScheduleMatrix::new(nodes),
+            default_quantum,
+            quantum_override: HashMap::new(),
+            active_row: None,
+            generation: 0,
+        }
+    }
+
+    /// The underlying matrix (read-only).
+    pub fn matrix(&self) -> &ScheduleMatrix {
+        &self.matrix
+    }
+
+    /// Current generation; quantum-expiry events carry the generation they
+    /// were scheduled under and are ignored if it has moved on.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Register a job on `nodeset`, optionally with its own quantum.
+    pub fn add_job(
+        &mut self,
+        job: JobId,
+        nodeset: NodeSet,
+        quantum: Option<SimDur>,
+    ) -> Result<usize, String> {
+        let row = self.matrix.place(job, nodeset)?;
+        if let Some(q) = quantum {
+            self.quantum_override.insert(job, q);
+        }
+        self.generation += 1;
+        Ok(row)
+    }
+
+    /// Jobs in the currently active slot.
+    pub fn active_jobs(&self) -> Vec<JobId> {
+        match self.active_row {
+            Some(r) if r < self.matrix.slots() => {
+                self.matrix.row_jobs(r).iter().map(|&(j, _)| j).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether any job remains.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.slots() == 0
+    }
+
+    /// Quantum of row `r`: the longest override among its jobs, or the
+    /// default.
+    fn row_quantum(&self, r: usize) -> SimDur {
+        self.matrix
+            .row_jobs(r)
+            .iter()
+            .filter_map(|(j, _)| self.quantum_override.get(j).copied())
+            .fold(self.default_quantum, SimDur::max)
+    }
+
+    /// Activate the first slot. Returns `None` if no jobs are registered.
+    pub fn start(&mut self) -> Option<SwitchPlan> {
+        if self.matrix.slots() == 0 {
+            return None;
+        }
+        self.active_row = Some(0);
+        self.generation += 1;
+        Some(SwitchPlan {
+            out: Vec::new(),
+            inn: self.matrix.row_jobs(0).iter().map(|&(j, _)| j).collect(),
+            quantum: self.row_quantum(0),
+        })
+    }
+
+    /// Rotate to the next slot (quantum expiry). Returns `None` when there
+    /// is at most one slot — the active job keeps running with no further
+    /// switches, exactly like a gang scheduler whose competitor finished.
+    pub fn rotate(&mut self) -> Option<SwitchPlan> {
+        let slots = self.matrix.slots();
+        let cur = self.active_row?;
+        if slots <= 1 {
+            return None;
+        }
+        let next = (cur + 1) % slots;
+        let out = self.matrix.row_jobs(cur).iter().map(|&(j, _)| j).collect();
+        let inn = self.matrix.row_jobs(next).iter().map(|&(j, _)| j).collect();
+        self.active_row = Some(next);
+        self.generation += 1;
+        Some(SwitchPlan {
+            out,
+            inn,
+            quantum: self.row_quantum(next),
+        })
+    }
+
+    /// Remove a finished job. If it was in the active slot and other slots
+    /// remain, returns the switch to perform immediately (the scheduler
+    /// does not idle the cluster for the rest of the quantum).
+    pub fn job_finished(&mut self, job: JobId) -> Option<SwitchPlan> {
+        let (row, _) = self.matrix.find_job(job)?;
+        let was_active = self.active_row == Some(row);
+        let active_before = self.active_row;
+        self.matrix.remove(job);
+        self.quantum_override.remove(&job);
+        self.generation += 1;
+
+        let slots = self.matrix.slots();
+        if slots == 0 {
+            self.active_row = None;
+            return None;
+        }
+        // Re-index the active row after compaction.
+        if let Some(a) = active_before {
+            self.active_row = Some(if row < a { a - 1 } else { a.min(slots - 1) });
+        }
+        if was_active {
+            let next = self.active_row.unwrap_or(0).min(slots - 1);
+            // If the freed row still holds co-scheduled jobs, they keep
+            // running out the quantum; only switch when the slot emptied.
+            if row < slots && !self.matrix.row_jobs(next).is_empty() && was_active {
+                let next_row = next % slots;
+                self.active_row = Some(next_row);
+                return Some(SwitchPlan {
+                    out: Vec::new(),
+                    inn: self
+                        .matrix
+                        .row_jobs(next_row)
+                        .iter()
+                        .map(|&(j, _)| j)
+                        .collect(),
+                    quantum: self.row_quantum(next_row),
+                });
+            } else if row >= slots {
+                // Active row disappeared entirely; wrap to row 0.
+                self.active_row = Some(0);
+                return Some(SwitchPlan {
+                    out: Vec::new(),
+                    inn: self.matrix.row_jobs(0).iter().map(|&(j, _)| j).collect(),
+                    quantum: self.row_quantum(0),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_job_sched() -> GangScheduler {
+        let mut s = GangScheduler::new(4, SimDur::from_mins(5));
+        let all = NodeSet::first_n(4);
+        s.add_job(JobId(0), all, None).unwrap();
+        s.add_job(JobId(1), all, None).unwrap();
+        s
+    }
+
+    #[test]
+    fn start_activates_first_slot() {
+        let mut s = two_job_sched();
+        let plan = s.start().unwrap();
+        assert!(plan.out.is_empty());
+        assert_eq!(plan.inn, vec![JobId(0)]);
+        assert_eq!(plan.quantum, SimDur::from_mins(5));
+        assert_eq!(s.active_jobs(), vec![JobId(0)]);
+    }
+
+    #[test]
+    fn rotation_alternates_jobs() {
+        let mut s = two_job_sched();
+        s.start().unwrap();
+        let p1 = s.rotate().unwrap();
+        assert_eq!(p1.out, vec![JobId(0)]);
+        assert_eq!(p1.inn, vec![JobId(1)]);
+        let p2 = s.rotate().unwrap();
+        assert_eq!(p2.out, vec![JobId(1)]);
+        assert_eq!(p2.inn, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn quantum_override_applies_to_its_slot() {
+        // SP gets 7 minutes (§4.2); its partner keeps the 5-minute default.
+        let mut s = GangScheduler::new(4, SimDur::from_mins(5));
+        let all = NodeSet::first_n(4);
+        s.add_job(JobId(0), all, Some(SimDur::from_mins(7))).unwrap();
+        s.add_job(JobId(1), all, None).unwrap();
+        assert_eq!(s.start().unwrap().quantum, SimDur::from_mins(7));
+        assert_eq!(s.rotate().unwrap().quantum, SimDur::from_mins(5));
+        assert_eq!(s.rotate().unwrap().quantum, SimDur::from_mins(7));
+    }
+
+    #[test]
+    fn single_job_never_rotates() {
+        let mut s = GangScheduler::new(2, SimDur::from_mins(5));
+        s.add_job(JobId(0), NodeSet::first_n(2), None).unwrap();
+        s.start().unwrap();
+        assert_eq!(s.rotate(), None);
+        assert_eq!(s.active_jobs(), vec![JobId(0)]);
+    }
+
+    #[test]
+    fn finishing_inactive_job_changes_nothing_now() {
+        let mut s = two_job_sched();
+        s.start().unwrap(); // job0 active
+        assert_eq!(s.job_finished(JobId(1)), None);
+        assert_eq!(s.active_jobs(), vec![JobId(0)]);
+        assert_eq!(s.rotate(), None, "one slot left");
+    }
+
+    #[test]
+    fn finishing_active_job_switches_immediately() {
+        let mut s = two_job_sched();
+        s.start().unwrap(); // job0 active
+        let plan = s.job_finished(JobId(0)).unwrap();
+        assert!(plan.out.is_empty(), "finished job needs no STOP");
+        assert_eq!(plan.inn, vec![JobId(1)]);
+        assert_eq!(s.active_jobs(), vec![JobId(1)]);
+        assert!(s.rotate().is_none());
+    }
+
+    #[test]
+    fn finishing_last_job_empties_schedule() {
+        let mut s = two_job_sched();
+        s.start().unwrap();
+        s.job_finished(JobId(1));
+        assert_eq!(s.job_finished(JobId(0)), None);
+        assert!(s.is_empty());
+        assert!(s.active_jobs().is_empty());
+    }
+
+    #[test]
+    fn generation_moves_on_every_change() {
+        let mut s = two_job_sched();
+        let g0 = s.generation();
+        s.start().unwrap();
+        let g1 = s.generation();
+        assert!(g1 > g0);
+        s.rotate().unwrap();
+        assert!(s.generation() > g1);
+    }
+
+    #[test]
+    fn three_jobs_round_robin() {
+        let mut s = GangScheduler::new(2, SimDur::from_mins(5));
+        let all = NodeSet::first_n(2);
+        for j in 0..3 {
+            s.add_job(JobId(j), all, None).unwrap();
+        }
+        s.start().unwrap();
+        let seq: Vec<JobId> = (0..6).map(|_| s.rotate().unwrap().inn[0]).collect();
+        assert_eq!(
+            seq,
+            vec![JobId(1), JobId(2), JobId(0), JobId(1), JobId(2), JobId(0)]
+        );
+    }
+
+    #[test]
+    fn middle_job_completion_keeps_rotation_consistent() {
+        let mut s = GangScheduler::new(2, SimDur::from_mins(5));
+        let all = NodeSet::first_n(2);
+        for j in 0..3 {
+            s.add_job(JobId(j), all, None).unwrap();
+        }
+        s.start().unwrap(); // active row 0 (job0)
+        s.rotate().unwrap(); // active row 1 (job1)
+        s.rotate().unwrap(); // active row 2 (job2)
+        assert_eq!(s.job_finished(JobId(0)), None, "inactive job");
+        // Active row index must shift down with the compaction.
+        assert_eq!(s.active_jobs(), vec![JobId(2)]);
+        let p = s.rotate().unwrap();
+        assert_eq!(p.inn, vec![JobId(1)]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the gang scheduler: matrix placement soundness and
+//! rotation fairness under arbitrary job mixes and completions.
+
+use agp_gang::{GangScheduler, JobId, NodeSet, ScheduleMatrix};
+use agp_sim::SimDur;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Placement never double-books a node within a row, for any job mix.
+    #[test]
+    fn matrix_rows_never_overlap(masks in prop::collection::vec(1u64..(1 << 8), 1..40)) {
+        let mut m = ScheduleMatrix::new(8);
+        for (i, &mask) in masks.iter().enumerate() {
+            m.place(JobId(i as u32), NodeSet(mask)).unwrap();
+        }
+        for row in 0..m.slots() {
+            let mut seen = NodeSet::EMPTY;
+            for &(_, ns) in m.row_jobs(row) {
+                prop_assert!(!seen.intersects(ns), "row {} double-books", row);
+                seen = seen.union(ns);
+            }
+        }
+        // Every job is findable exactly once.
+        for i in 0..masks.len() {
+            prop_assert!(m.find_job(JobId(i as u32)).is_some());
+        }
+    }
+
+    /// Removing jobs in any order keeps the matrix consistent and ends
+    /// empty.
+    #[test]
+    fn matrix_removal_consistent(
+        masks in prop::collection::vec(1u64..(1 << 6), 1..20),
+        order_seed in any::<u64>(),
+    ) {
+        let mut m = ScheduleMatrix::new(6);
+        for (i, &mask) in masks.iter().enumerate() {
+            m.place(JobId(i as u32), NodeSet(mask)).unwrap();
+        }
+        // Deterministic pseudo-random removal order.
+        let mut ids: Vec<u32> = (0..masks.len() as u32).collect();
+        let mut s = order_seed;
+        for i in (1..ids.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ids.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        for id in ids {
+            prop_assert!(m.remove(JobId(id)).is_some());
+            prop_assert!(m.find_job(JobId(id)).is_none());
+            // No empty rows survive compaction.
+            for row in 0..m.slots() {
+                prop_assert!(!m.row_jobs(row).is_empty());
+            }
+        }
+        prop_assert_eq!(m.slots(), 0);
+    }
+
+    /// Round-robin rotation over full-cluster jobs is fair: after k
+    /// full cycles every job has been scheduled exactly k times.
+    #[test]
+    fn rotation_is_fair(njobs in 2usize..8, cycles in 1usize..5) {
+        let mut s = GangScheduler::new(4, SimDur::from_mins(5));
+        let all = NodeSet::first_n(4);
+        for j in 0..njobs {
+            s.add_job(JobId(j as u32), all, None).unwrap();
+        }
+        let mut counts: HashMap<JobId, usize> = HashMap::new();
+        let start = s.start().unwrap();
+        *counts.entry(start.inn[0]).or_default() += 1;
+        for _ in 0..(njobs * cycles - 1) {
+            let plan = s.rotate().unwrap();
+            prop_assert_eq!(plan.out.len(), 1);
+            prop_assert_eq!(plan.inn.len(), 1);
+            *counts.entry(plan.inn[0]).or_default() += 1;
+        }
+        for j in 0..njobs {
+            prop_assert_eq!(counts[&JobId(j as u32)], cycles, "job {} unfair", j);
+        }
+    }
+
+    /// Finishing jobs in arbitrary order always leaves a consistent
+    /// schedule: the active slot only holds live jobs, and the scheduler
+    /// empties exactly when the last job finishes.
+    #[test]
+    fn completion_in_any_order(njobs in 1usize..6, order_seed in any::<u64>()) {
+        let mut s = GangScheduler::new(2, SimDur::from_mins(5));
+        let all = NodeSet::first_n(2);
+        for j in 0..njobs {
+            s.add_job(JobId(j as u32), all, None).unwrap();
+        }
+        s.start().unwrap();
+        let mut ids: Vec<u32> = (0..njobs as u32).collect();
+        let mut seed = order_seed;
+        for i in (1..ids.len()).rev() {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ids.swap(i, (seed % (i as u64 + 1)) as usize);
+        }
+        for (n_done, id) in ids.iter().enumerate() {
+            let _ = s.job_finished(JobId(*id));
+            let remaining = njobs - n_done - 1;
+            prop_assert_eq!(s.is_empty(), remaining == 0);
+            let active = s.active_jobs();
+            for a in &active {
+                prop_assert!(
+                    ids[n_done + 1..].contains(&a.0),
+                    "active job {a} already finished"
+                );
+            }
+            if remaining > 0 {
+                prop_assert!(!active.is_empty(), "cluster idles while jobs remain");
+            }
+        }
+    }
+}

@@ -1,0 +1,1113 @@
+//! The per-node memory-management kernel: frames, page tables, swap, and
+//! the mechanism API that paging *policies* (in `agp-core`) are written
+//! against.
+
+use crate::ptable::{PageState, PageTable, Resident};
+use crate::swap::SwapSpace;
+use crate::types::{MemError, PageNum, ProcId, VmParams};
+use agp_disk::{extents_from_blocks, Extent};
+use agp_sim::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of touching a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TouchOutcome {
+    /// The page was resident; bits updated, no fault.
+    Hit,
+    /// Major fault: the page image must be read from the given swap block.
+    NeedsSwapIn {
+        /// Swap block holding the page.
+        block: u64,
+    },
+    /// Minor fault: first touch ever; a frame must be zero-filled (no I/O).
+    NeedsZeroFill,
+}
+
+/// Result of mapping a page into a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapInOutcome {
+    /// Page image must be read from this swap block (disk read required).
+    Read {
+        /// Swap block to read.
+        block: u64,
+    },
+    /// Demand-zero fill; no disk traffic.
+    Zeroed,
+}
+
+/// What eviction of a single page cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictOutcome {
+    /// Clean page with a valid swap copy, or never-written page: frame
+    /// reclaimed with no I/O.
+    Dropped,
+    /// Dirty page: its image must be written to this swap block.
+    Write {
+        /// Destination swap block.
+        block: u64,
+    },
+}
+
+/// Per-process memory bookkeeping.
+#[derive(Clone, Debug)]
+pub struct ProcMem {
+    /// The page table.
+    pub pt: PageTable,
+    /// Current working-set epoch (bumped each time the process is granted
+    /// a quantum).
+    epoch: u32,
+    /// Distinct pages referenced in the current epoch.
+    wss_current: usize,
+    /// Distinct pages referenced in the last completed epoch — the paper's
+    /// WSS estimate ("using the page references during the incoming
+    /// process' previous time quanta", §3.2).
+    wss_last: Option<usize>,
+}
+
+impl ProcMem {
+    fn new(pages: usize) -> Self {
+        ProcMem {
+            pt: PageTable::new(pages),
+            epoch: 0,
+            wss_current: 0,
+            wss_last: None,
+        }
+    }
+
+    /// Resident set size in pages.
+    pub fn rss(&self) -> usize {
+        self.pt.resident()
+    }
+
+    /// Distinct pages referenced so far in the current quantum.
+    pub fn wss_current(&self) -> usize {
+        self.wss_current
+    }
+
+    /// Distinct pages referenced during the previously completed quantum.
+    pub fn wss_last(&self) -> Option<usize> {
+        self.wss_last
+    }
+}
+
+/// The simulated per-node kernel memory manager.
+///
+/// All state transitions preserve the frame-conservation invariant
+/// `free + Σ rss == usable`; [`Kernel::check_invariants`] verifies it (and
+/// swap/owner-map consistency) and is exercised heavily in tests.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    params: VmParams,
+    free: usize,
+    swap: SwapSpace,
+    procs: BTreeMap<ProcId, ProcMem>,
+    /// Blocks that hold a *valid, current* page image → owning page.
+    /// Covers both `Swapped` pages and clean resident pages' `swap_copy`.
+    /// Used by read-ahead to chase swap-contiguous neighbors.
+    swap_owner: HashMap<u64, (ProcId, PageNum)>,
+}
+
+impl Kernel {
+    /// A kernel managing `params.usable_frames()` frames and a swap device
+    /// of `swap_blocks` blocks.
+    pub fn new(params: VmParams, swap_blocks: u64) -> Self {
+        let free = params.usable_frames();
+        Kernel {
+            params,
+            free,
+            swap: SwapSpace::new(swap_blocks),
+            procs: BTreeMap::new(),
+            swap_owner: HashMap::new(),
+        }
+    }
+
+    /// Kernel tuning parameters.
+    pub fn params(&self) -> &VmParams {
+        &self.params
+    }
+
+    /// Frames currently free.
+    pub fn free_frames(&self) -> usize {
+        self.free
+    }
+
+    /// Whether free memory has fallen below `freepages.min` (reclaim must
+    /// run before more frames are handed out).
+    pub fn below_min(&self) -> bool {
+        self.free < self.params.freepages_min
+    }
+
+    /// How many frames reclaim should free right now to honor the
+    /// watermark model: to `freepages.high` if below `freepages.min`,
+    /// otherwise nothing.
+    pub fn reclaim_target(&self) -> usize {
+        if self.below_min() {
+            self.params.freepages_high.saturating_sub(self.free)
+        } else {
+            0
+        }
+    }
+
+    /// The swap allocator (metrics / tests).
+    pub fn swap(&self) -> &SwapSpace {
+        &self.swap
+    }
+
+    /// Register a process with an address space of `pages` pages.
+    pub fn register_proc(&mut self, pid: ProcId, pages: usize) {
+        let prev = self.procs.insert(pid, ProcMem::new(pages));
+        debug_assert!(prev.is_none(), "duplicate process registration {pid}");
+    }
+
+    /// Remove a process, releasing its frames and swap blocks.
+    pub fn unregister_proc(&mut self, pid: ProcId) -> Result<(), MemError> {
+        let pm = self.procs.remove(&pid).ok_or(MemError::NoSuchProc(pid))?;
+        self.free += pm.pt.resident();
+        for (page, st) in pm.pt.iter() {
+            let block = match st {
+                PageState::Swapped { block } => Some(*block),
+                PageState::Resident(r) => r.swap_copy,
+                PageState::Untouched => None,
+            };
+            if let Some(b) = block {
+                self.swap.free_block(b);
+                self.swap_owner.remove(&b);
+            }
+            let _ = page;
+        }
+        Ok(())
+    }
+
+    /// Access a process's bookkeeping.
+    pub fn proc(&self, pid: ProcId) -> Result<&ProcMem, MemError> {
+        self.procs.get(&pid).ok_or(MemError::NoSuchProc(pid))
+    }
+
+    fn proc_mut(&mut self, pid: ProcId) -> Result<&mut ProcMem, MemError> {
+        self.procs.get_mut(&pid).ok_or(MemError::NoSuchProc(pid))
+    }
+
+    /// Iterate over `(pid, rss)` for all registered processes.
+    pub fn procs_rss(&self) -> impl Iterator<Item = (ProcId, usize)> + '_ {
+        self.procs.iter().map(|(&p, m)| (p, m.rss()))
+    }
+
+    /// The process with the largest RSS, excluding `exclude` — the victim
+    /// Linux 2.2's `swap_out()` picks ("examines the process that has the
+    /// largest memory size", paper §2).
+    pub fn largest_rss_proc(&self, exclude: Option<ProcId>) -> Option<ProcId> {
+        self.procs
+            .iter()
+            .filter(|(&p, _)| Some(p) != exclude)
+            .max_by_key(|(&p, m)| (m.rss(), std::cmp::Reverse(p)))
+            .filter(|(_, m)| m.rss() > 0)
+            .map(|(&p, _)| p)
+    }
+
+    // ------------------------------------------------------------------
+    // Touch / fault / map-in
+    // ------------------------------------------------------------------
+
+    /// Touch page `p` of `pid` at `now`. On a hit, updates the reference
+    /// bit, age, dirty bit and WSS accounting; on a miss, reports what the
+    /// fault handler must do (state is not changed until
+    /// [`Kernel::map_in`]).
+    pub fn touch(
+        &mut self,
+        pid: ProcId,
+        p: PageNum,
+        write: bool,
+        now: SimTime,
+    ) -> Result<TouchOutcome, MemError> {
+        let pm = self.proc_mut(pid)?;
+        if p.idx() >= pm.pt.len() {
+            return Err(MemError::BadPage(pid, p));
+        }
+        match *pm.pt.state(p) {
+            PageState::Resident(_) => {
+                let epoch = pm.epoch;
+                let mut fresh_ref = false;
+                let mut stale_copy = None;
+                pm.pt.update_resident(p, |r| {
+                    r.referenced = true;
+                    r.last_ref = now;
+                    if write {
+                        r.dirty = true;
+                        // A write makes any swap copy stale; drop it (the
+                        // Linux swap cache frees the entry on write), so
+                        // the invariant "dirty ⟹ no swap copy" holds.
+                        stale_copy = r.swap_copy.take();
+                    }
+                    if r.epoch != epoch {
+                        r.epoch = epoch;
+                        fresh_ref = true;
+                    }
+                });
+                if fresh_ref {
+                    pm.wss_current += 1;
+                }
+                if let Some(b) = stale_copy {
+                    self.swap_owner.remove(&b);
+                    self.swap.free_block(b);
+                }
+                Ok(TouchOutcome::Hit)
+            }
+            PageState::Swapped { block } => Ok(TouchOutcome::NeedsSwapIn { block }),
+            PageState::Untouched => Ok(TouchOutcome::NeedsZeroFill),
+        }
+    }
+
+    /// Touch up to `max` consecutive pages starting at `first`, stopping
+    /// at the first non-resident page. Returns `(hits, fault)` where
+    /// `hits` is the number of resident pages touched and `fault` is the
+    /// outcome for the first non-resident page, if one was reached within
+    /// the run.
+    ///
+    /// Semantically identical to calling [`Kernel::touch`] in a loop; this
+    /// batch form does one process lookup per run instead of per page,
+    /// which dominates the executor's hot path (a class B LU run touches
+    /// ~10⁷ pages).
+    pub fn touch_run(
+        &mut self,
+        pid: ProcId,
+        first: PageNum,
+        max: usize,
+        write: bool,
+        now: SimTime,
+    ) -> Result<(usize, Option<TouchOutcome>), MemError> {
+        let pm = self.procs.get_mut(&pid).ok_or(MemError::NoSuchProc(pid))?;
+        let end = first.idx() + max;
+        if max > 0 && end > pm.pt.len() {
+            return Err(MemError::BadPage(pid, PageNum((end - 1) as u32)));
+        }
+        let epoch = pm.epoch;
+        let mut hits = 0usize;
+        let mut stale_copies: Vec<u64> = Vec::new();
+        for i in first.idx()..end {
+            let p = PageNum(i as u32);
+            match *pm.pt.state(p) {
+                PageState::Resident(_) => {
+                    let mut fresh_ref = false;
+                    pm.pt.update_resident(p, |r| {
+                        r.referenced = true;
+                        r.last_ref = now;
+                        if write {
+                            r.dirty = true;
+                            if let Some(b) = r.swap_copy.take() {
+                                stale_copies.push(b);
+                            }
+                        }
+                        if r.epoch != epoch {
+                            r.epoch = epoch;
+                            fresh_ref = true;
+                        }
+                    });
+                    if fresh_ref {
+                        pm.wss_current += 1;
+                    }
+                    hits += 1;
+                }
+                PageState::Swapped { block } => {
+                    for b in stale_copies {
+                        self.swap_owner.remove(&b);
+                        self.swap.free_block(b);
+                    }
+                    return Ok((hits, Some(TouchOutcome::NeedsSwapIn { block })));
+                }
+                PageState::Untouched => {
+                    for b in stale_copies {
+                        self.swap_owner.remove(&b);
+                        self.swap.free_block(b);
+                    }
+                    return Ok((hits, Some(TouchOutcome::NeedsZeroFill)));
+                }
+            }
+        }
+        for b in stale_copies {
+            self.swap_owner.remove(&b);
+            self.swap.free_block(b);
+        }
+        Ok((hits, None))
+    }
+
+    /// Map page `p` of `pid` into a free frame at `now`.
+    ///
+    /// Consumes one free frame (fails with [`MemError::OutOfFrames`] if
+    /// none are available — the caller must reclaim first). The page
+    /// becomes resident-referenced-clean; a subsequent [`Kernel::touch`]
+    /// sets the dirty bit if the access is a write.
+    pub fn map_in(
+        &mut self,
+        pid: ProcId,
+        p: PageNum,
+        now: SimTime,
+    ) -> Result<MapInOutcome, MemError> {
+        if self.free == 0 {
+            return Err(MemError::OutOfFrames);
+        }
+        let pm = self.procs.get_mut(&pid).ok_or(MemError::NoSuchProc(pid))?;
+        if p.idx() >= pm.pt.len() {
+            return Err(MemError::BadPage(pid, p));
+        }
+        let epoch = pm.epoch;
+        let outcome = match *pm.pt.state(p) {
+            PageState::Resident(_) => {
+                debug_assert!(false, "map_in of already-resident page {pid}/{p:?}");
+                return Ok(MapInOutcome::Zeroed);
+            }
+            PageState::Swapped { block } => {
+                pm.pt.set(
+                    p,
+                    PageState::Resident(Resident {
+                        referenced: true,
+                        dirty: false,
+                        last_ref: now,
+                        swap_copy: Some(block),
+                        epoch,
+                    }),
+                );
+                MapInOutcome::Read { block }
+            }
+            PageState::Untouched => {
+                pm.pt.set(
+                    p,
+                    PageState::Resident(Resident {
+                        referenced: true,
+                        dirty: false,
+                        last_ref: now,
+                        swap_copy: None,
+                        epoch,
+                    }),
+                );
+                MapInOutcome::Zeroed
+            }
+        };
+        pm.wss_current += 1;
+        self.free -= 1;
+        Ok(outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction
+    // ------------------------------------------------------------------
+
+    /// Evict a single resident page, freeing its frame.
+    ///
+    /// * clean, valid swap copy → page transitions to `Swapped`, no I/O;
+    /// * clean, never written → back to `Untouched` (zero pages are
+    ///   reproducible), no I/O;
+    /// * dirty → allocates a swap block and writes (a dirty page never
+    ///   holds a swap copy; writes free the stale copy eagerly).
+    pub fn evict(&mut self, pid: ProcId, p: PageNum) -> Result<EvictOutcome, MemError> {
+        let outcomes = self.evict_prepared(pid, &[p], &mut Vec::new())?;
+        Ok(outcomes.into_iter().next().expect("one page requested"))
+    }
+
+    /// Evict a batch of pages of one process, allocating swap for all
+    /// dirty-without-copy pages **contiguously** (this is what gives block
+    /// page-out its sequential layout). Returns the coalesced write
+    /// extents; appends the evicted pages to `evicted_log` in eviction
+    /// order (consumed by the adaptive page-in recorder).
+    ///
+    /// Pages in the list that are not resident are skipped (candidate
+    /// lists can go stale between selection and eviction).
+    pub fn evict_batch(
+        &mut self,
+        pid: ProcId,
+        pages: &[PageNum],
+        evicted_log: &mut Vec<PageNum>,
+    ) -> Result<Vec<Extent>, MemError> {
+        let outcomes = self.evict_prepared(pid, pages, evicted_log)?;
+        let mut blocks: Vec<u64> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                EvictOutcome::Write { block } => Some(*block),
+                EvictOutcome::Dropped => None,
+            })
+            .collect();
+        Ok(extents_from_blocks(&mut blocks))
+    }
+
+    fn evict_prepared(
+        &mut self,
+        pid: ProcId,
+        pages: &[PageNum],
+        evicted_log: &mut Vec<PageNum>,
+    ) -> Result<Vec<EvictOutcome>, MemError> {
+        // Pass 1: count dirty pages that need fresh swap blocks.
+        {
+            let pm = self.proc(pid)?;
+            for &p in pages {
+                if p.idx() >= pm.pt.len() {
+                    return Err(MemError::BadPage(pid, p));
+                }
+            }
+        }
+        let pm = self.procs.get(&pid).expect("checked above");
+        let need_fresh: u64 = pages
+            .iter()
+            .filter(|&&p| matches!(pm.pt.state(p), PageState::Resident(r) if r.dirty))
+            .count() as u64;
+        let fresh = self.swap.alloc(need_fresh)?;
+        let mut fresh_blocks = fresh.iter().flat_map(|e| e.start..e.end());
+
+        let mut outcomes = Vec::with_capacity(pages.len());
+        for &p in pages {
+            let pm = self.procs.get_mut(&pid).expect("checked above");
+            let PageState::Resident(r) = *pm.pt.state(p) else {
+                continue; // stale candidate; skip
+            };
+            let outcome = if r.dirty {
+                debug_assert!(r.swap_copy.is_none(), "dirty page holds a swap copy");
+                let block = fresh_blocks.next().expect("allocated exactly enough");
+                pm.pt.set(p, PageState::Swapped { block });
+                self.swap_owner.insert(block, (pid, p));
+                EvictOutcome::Write { block }
+            } else {
+                match r.swap_copy {
+                    Some(b) => {
+                        pm.pt.set(p, PageState::Swapped { block: b });
+                        debug_assert_eq!(self.swap_owner.get(&b), Some(&(pid, p)));
+                        EvictOutcome::Dropped
+                    }
+                    None => {
+                        pm.pt.set(p, PageState::Untouched);
+                        EvictOutcome::Dropped
+                    }
+                }
+            };
+            self.free += 1;
+            evicted_log.push(p);
+            outcomes.push(outcome);
+        }
+        // Return any unused fresh blocks (stale candidates were skipped).
+        for b in fresh_blocks {
+            self.swap.free_block(b);
+        }
+        Ok(outcomes)
+    }
+
+    /// Write a dirty resident page to swap *without* evicting it: the page
+    /// stays resident but becomes clean with a valid swap copy. This is
+    /// the background-writing primitive (paper §3.4). Batch form: swap for
+    /// copy-less pages is allocated contiguously; returns coalesced write
+    /// extents. Non-dirty / non-resident pages are skipped.
+    pub fn clean_batch(
+        &mut self,
+        pid: ProcId,
+        pages: &[PageNum],
+    ) -> Result<Vec<Extent>, MemError> {
+        {
+            let pm = self.proc(pid)?;
+            for &p in pages {
+                if p.idx() >= pm.pt.len() {
+                    return Err(MemError::BadPage(pid, p));
+                }
+            }
+        }
+        let pm = self.procs.get(&pid).expect("checked above");
+        let need_fresh: u64 = pages
+            .iter()
+            .filter(|&&p| matches!(pm.pt.state(p), PageState::Resident(r) if r.dirty))
+            .count() as u64;
+        let fresh = self.swap.alloc(need_fresh)?;
+        let mut fresh_blocks = fresh.iter().flat_map(|e| e.start..e.end());
+
+        let mut blocks = Vec::new();
+        for &p in pages {
+            let pm = self.procs.get_mut(&pid).expect("checked above");
+            let PageState::Resident(r) = *pm.pt.state(p) else {
+                continue;
+            };
+            if !r.dirty {
+                continue;
+            }
+            debug_assert!(r.swap_copy.is_none(), "dirty page holds a swap copy");
+            let block = fresh_blocks.next().expect("allocated exactly enough");
+            pm.pt.update_resident(p, |r| {
+                r.dirty = false;
+                r.swap_copy = Some(block);
+            });
+            self.swap_owner.insert(block, (pid, p));
+            blocks.push(block);
+        }
+        for b in fresh_blocks {
+            self.swap.free_block(b);
+        }
+        Ok(extents_from_blocks(&mut blocks))
+    }
+
+    // ------------------------------------------------------------------
+    // Scan helpers for policies
+    // ------------------------------------------------------------------
+
+    /// Clock-sweep `pid`'s page table (clearing reference bits, collecting
+    /// unreferenced resident pages). See [`PageTable::clock_sweep`].
+    pub fn clock_sweep_proc(
+        &mut self,
+        pid: ProcId,
+        max_scan: usize,
+        max_victims: usize,
+    ) -> Result<Vec<PageNum>, MemError> {
+        Ok(self.proc_mut(pid)?.pt.clock_sweep(max_scan, max_victims))
+    }
+
+    /// `pid`'s resident pages ordered oldest-first (selective/aggressive
+    /// page-out order).
+    pub fn resident_oldest_first(&self, pid: ProcId) -> Result<Vec<PageNum>, MemError> {
+        Ok(self.proc(pid)?.pt.resident_oldest_first())
+    }
+
+    /// Sweep `pid`'s page table from position `hand`, collecting up to
+    /// `max_collect` dirty resident pages while visiting at most
+    /// `max_scan` entries. Returns the victims and the new hand position.
+    ///
+    /// This is the background writer's scan (paper §3.4), shaped like the
+    /// kernel's own bdflush: a cheap cyclic cursor rather than a global
+    /// age sort, so each tick costs O(scan) regardless of table size.
+    pub fn dirty_sweep(
+        &self,
+        pid: ProcId,
+        hand: usize,
+        max_scan: usize,
+        max_collect: usize,
+    ) -> Result<(Vec<PageNum>, usize), MemError> {
+        let pm = self.proc(pid)?;
+        let n = pm.pt.len();
+        if n == 0 || max_collect == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let mut hand = hand % n;
+        let mut out = Vec::new();
+        let mut scanned = 0;
+        while scanned < max_scan.min(n) && out.len() < max_collect {
+            let p = PageNum(hand as u32);
+            if matches!(pm.pt.state(p), PageState::Resident(r) if r.dirty) {
+                out.push(p);
+            }
+            hand = (hand + 1) % n;
+            scanned += 1;
+        }
+        Ok((out, hand))
+    }
+
+    /// `pid`'s dirty resident pages ordered oldest-first (background
+    /// writer scan order).
+    pub fn dirty_oldest_first(&self, pid: ProcId, max: usize) -> Result<Vec<PageNum>, MemError> {
+        let pm = self.proc(pid)?;
+        let mut v: Vec<(SimTime, PageNum)> = pm
+            .pt
+            .iter_resident()
+            .filter(|(_, r)| r.dirty)
+            .map(|(p, r)| (r.last_ref, p))
+            .collect();
+        v.sort_unstable();
+        v.truncate(max);
+        Ok(v.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Current swap block of a page if it is swapped out.
+    pub fn swap_block_of(&self, pid: ProcId, p: PageNum) -> Option<u64> {
+        match self.procs.get(&pid)?.pt.state(p) {
+            PageState::Swapped { block } => Some(*block),
+            _ => None,
+        }
+    }
+
+    /// Follow the swap-block chain after `block`: pages (of the same
+    /// process) stored at `block+1, block+2, …` that are currently swapped
+    /// out, up to `limit` entries. This is the read-ahead neighbor lookup.
+    pub fn swap_chain_after(
+        &self,
+        pid: ProcId,
+        block: u64,
+        limit: usize,
+    ) -> Vec<(PageNum, u64)> {
+        let mut out = Vec::new();
+        let mut b = block + 1;
+        while out.len() < limit {
+            match self.swap_owner.get(&b) {
+                Some(&(owner, page)) if owner == pid => {
+                    // Only chase pages that actually need reading (swapped
+                    // out); resident swap copies are already in memory.
+                    if matches!(
+                        self.procs[&pid].pt.state(page),
+                        PageState::Swapped { .. }
+                    ) {
+                        out.push((page, b));
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+            b += 1;
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Working-set tracking
+    // ------------------------------------------------------------------
+
+    /// Note that `pid` has been granted a new quantum: close the previous
+    /// reference epoch and start a fresh one.
+    pub fn quantum_started(&mut self, pid: ProcId) -> Result<(), MemError> {
+        let pm = self.proc_mut(pid)?;
+        if pm.epoch > 0 || pm.wss_current > 0 {
+            pm.wss_last = Some(pm.wss_current);
+        }
+        pm.epoch = pm.epoch.wrapping_add(1);
+        pm.wss_current = 0;
+        Ok(())
+    }
+
+    /// Working-set estimate for `pid` in pages: the reference count from
+    /// its previous quantum, falling back to its current RSS + swapped
+    /// footprint capped at usable memory when no history exists.
+    pub fn wss_estimate(&self, pid: ProcId) -> Result<usize, MemError> {
+        let pm = self.proc(pid)?;
+        let est = match pm.wss_last {
+            Some(w) if w > 0 => w,
+            _ => {
+                // No completed quantum yet: assume it will want everything
+                // it has ever touched.
+                pm.pt
+                    .iter()
+                    .filter(|(_, s)| !matches!(s, PageState::Untouched))
+                    .count()
+                    .max(pm.rss())
+            }
+        };
+        Ok(est.min(self.params.usable_frames()))
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants
+    // ------------------------------------------------------------------
+
+    /// Verify frame conservation, counter consistency, and swap-owner map
+    /// coherence. Returns a description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let rss_sum: usize = self.procs.values().map(|m| m.pt.resident()).sum();
+        let usable = self.params.usable_frames();
+        if self.free + rss_sum != usable {
+            return Err(format!(
+                "frame conservation violated: free {} + rss {} != usable {}",
+                self.free, rss_sum, usable
+            ));
+        }
+        let mut owned_blocks = 0u64;
+        for (&pid, pm) in &self.procs {
+            let mut dirty = 0;
+            for (p, st) in pm.pt.iter() {
+                match st {
+                    PageState::Resident(r) => {
+                        if r.dirty {
+                            dirty += 1;
+                            if r.swap_copy.is_some() {
+                                return Err(format!(
+                                    "dirty page {pid}/{p:?} holds a swap copy"
+                                ));
+                            }
+                        }
+                        if let Some(b) = r.swap_copy {
+                            // Clean copies must be registered for read-ahead.
+                            if self.swap_owner.get(&b) != Some(&(pid, p)) {
+                                return Err(format!(
+                                    "swap copy {b} of {pid}/{p:?} missing from owner map"
+                                ));
+                            }
+                            owned_blocks += 1;
+                        }
+                    }
+                    PageState::Swapped { block } => {
+                        if self.swap_owner.get(block) != Some(&(pid, p)) {
+                            return Err(format!(
+                                "swapped page {pid}/{p:?} block {block} not in owner map"
+                            ));
+                        }
+                        owned_blocks += 1;
+                    }
+                    PageState::Untouched => {}
+                }
+            }
+            if dirty != pm.pt.dirty_resident() {
+                return Err(format!(
+                    "{pid} dirty counter {} != actual {dirty}",
+                    pm.pt.dirty_resident()
+                ));
+            }
+        }
+        if owned_blocks != self.swap.used_blocks() {
+            return Err(format!(
+                "swap leak: pages reference {owned_blocks} blocks but allocator has {} in use",
+                self.swap.used_blocks()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: SimTime = SimTime(1_000);
+
+    fn kernel(frames: usize) -> Kernel {
+        let params = VmParams {
+            total_frames: frames,
+            wired_frames: 0,
+            freepages_min: 4,
+            freepages_high: 8,
+            readahead: 16,
+        };
+        Kernel::new(params, 4096)
+    }
+
+    #[test]
+    fn demand_zero_lifecycle() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 10);
+        assert_eq!(
+            k.touch(ProcId(1), PageNum(0), false, T).unwrap(),
+            TouchOutcome::NeedsZeroFill
+        );
+        assert_eq!(
+            k.map_in(ProcId(1), PageNum(0), T).unwrap(),
+            MapInOutcome::Zeroed
+        );
+        assert_eq!(k.free_frames(), 63);
+        assert_eq!(
+            k.touch(ProcId(1), PageNum(0), false, T).unwrap(),
+            TouchOutcome::Hit
+        );
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clean_never_written_page_drops_to_untouched() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 4);
+        k.map_in(ProcId(1), PageNum(2), T).unwrap();
+        let out = k.evict(ProcId(1), PageNum(2)).unwrap();
+        assert_eq!(out, EvictOutcome::Dropped);
+        assert_eq!(*k.proc(ProcId(1)).unwrap().pt.state(PageNum(2)), PageState::Untouched);
+        assert_eq!(k.free_frames(), 64);
+        assert_eq!(k.swap().used_blocks(), 0);
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dirty_page_roundtrips_through_swap() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 4);
+        k.map_in(ProcId(1), PageNum(0), T).unwrap();
+        k.touch(ProcId(1), PageNum(0), true, T).unwrap();
+        let EvictOutcome::Write { block } = k.evict(ProcId(1), PageNum(0)).unwrap() else {
+            panic!("dirty page must be written");
+        };
+        assert_eq!(k.swap().used_blocks(), 1);
+        // Fault it back.
+        assert_eq!(
+            k.touch(ProcId(1), PageNum(0), false, T).unwrap(),
+            TouchOutcome::NeedsSwapIn { block }
+        );
+        assert_eq!(
+            k.map_in(ProcId(1), PageNum(0), T).unwrap(),
+            MapInOutcome::Read { block }
+        );
+        // Now resident, clean, with a valid copy: a second eviction is free.
+        assert_eq!(k.evict(ProcId(1), PageNum(0)).unwrap(), EvictOutcome::Dropped);
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn redirty_frees_stale_copy_and_rewrites() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 4);
+        k.map_in(ProcId(1), PageNum(0), T).unwrap();
+        k.touch(ProcId(1), PageNum(0), true, T).unwrap();
+        let EvictOutcome::Write { .. } = k.evict(ProcId(1), PageNum(0)).unwrap() else {
+            panic!()
+        };
+        k.map_in(ProcId(1), PageNum(0), T).unwrap();
+        assert_eq!(k.swap().used_blocks(), 1, "swap copy retained while clean");
+        k.touch(ProcId(1), PageNum(0), true, T).unwrap(); // re-dirty
+        assert_eq!(
+            k.swap().used_blocks(),
+            0,
+            "write frees the stale swap copy (swap-cache semantics)"
+        );
+        let EvictOutcome::Write { .. } = k.evict(ProcId(1), PageNum(0)).unwrap() else {
+            panic!("re-dirtied page must be written")
+        };
+        assert_eq!(k.swap().used_blocks(), 1);
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_touch_invalidates_readahead_chain() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 4);
+        // Build two swapped pages at contiguous blocks.
+        for p in 0..2 {
+            k.map_in(ProcId(1), PageNum(p), T).unwrap();
+            k.touch(ProcId(1), PageNum(p), true, T).unwrap();
+        }
+        let mut log = Vec::new();
+        let ext = k
+            .evict_batch(ProcId(1), &[PageNum(0), PageNum(1)], &mut log)
+            .unwrap();
+        assert_eq!(ext.len(), 1, "batch eviction is contiguous");
+        let b0 = ext[0].start;
+        // Chain from block b0 finds page 1 at b0+1.
+        assert_eq!(k.swap_chain_after(ProcId(1), b0, 16), vec![(PageNum(1), b0 + 1)]);
+        // Fault page 1 back in and dirty it: its copy is stale, chain is cut.
+        k.map_in(ProcId(1), PageNum(1), T).unwrap();
+        k.touch(ProcId(1), PageNum(1), true, T).unwrap();
+        assert!(k.swap_chain_after(ProcId(1), b0, 16).is_empty());
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evict_batch_allocates_contiguous_swap() {
+        let mut k = kernel(256);
+        k.register_proc(ProcId(1), 100);
+        for p in 0..100 {
+            k.map_in(ProcId(1), PageNum(p), T).unwrap();
+            k.touch(ProcId(1), PageNum(p), true, T).unwrap();
+        }
+        let pages: Vec<PageNum> = (0..100).map(PageNum).collect();
+        let mut log = Vec::new();
+        let ext = k.evict_batch(ProcId(1), &pages, &mut log).unwrap();
+        assert_eq!(ext.len(), 1, "fresh swap, one extent");
+        assert_eq!(ext[0].len, 100);
+        assert_eq!(log.len(), 100);
+        assert_eq!(k.free_frames(), 256);
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evict_batch_skips_stale_candidates() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 4);
+        k.map_in(ProcId(1), PageNum(0), T).unwrap();
+        let mut log = Vec::new();
+        // Page 1 was never resident; batch must skip it gracefully.
+        let ext = k
+            .evict_batch(ProcId(1), &[PageNum(0), PageNum(1)], &mut log)
+            .unwrap();
+        assert!(ext.is_empty(), "clean page: no writes");
+        assert_eq!(log, vec![PageNum(0)]);
+        assert_eq!(k.swap().used_blocks(), 0, "unused fresh blocks returned");
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_frames_is_reported() {
+        let mut k = kernel(2);
+        k.register_proc(ProcId(1), 4);
+        k.map_in(ProcId(1), PageNum(0), T).unwrap();
+        k.map_in(ProcId(1), PageNum(1), T).unwrap();
+        assert_eq!(k.map_in(ProcId(1), PageNum(2), T), Err(MemError::OutOfFrames));
+    }
+
+    #[test]
+    fn watermark_logic() {
+        let mut k = kernel(64); // min 4, high 8
+        k.register_proc(ProcId(1), 64);
+        for p in 0..61 {
+            k.map_in(ProcId(1), PageNum(p), T).unwrap();
+        }
+        assert_eq!(k.free_frames(), 3);
+        assert!(k.below_min());
+        assert_eq!(k.reclaim_target(), 5);
+        // Reclaim to high.
+        let pages: Vec<PageNum> = (0..5).map(PageNum).collect();
+        k.evict_batch(ProcId(1), &pages, &mut Vec::new()).unwrap();
+        assert!(!k.below_min());
+        assert_eq!(k.reclaim_target(), 0);
+    }
+
+    #[test]
+    fn wss_tracking_across_quanta() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 16);
+        k.quantum_started(ProcId(1)).unwrap();
+        for p in 0..10 {
+            k.map_in(ProcId(1), PageNum(p), T).unwrap();
+        }
+        // Touching the same pages again does not inflate WSS.
+        for p in 0..10 {
+            k.touch(ProcId(1), PageNum(p), false, T).unwrap();
+        }
+        assert_eq!(k.proc(ProcId(1)).unwrap().wss_current(), 10);
+        k.quantum_started(ProcId(1)).unwrap();
+        assert_eq!(k.wss_estimate(ProcId(1)).unwrap(), 10);
+        // New quantum touches fewer pages.
+        for p in 0..3 {
+            k.touch(ProcId(1), PageNum(p), false, T).unwrap();
+        }
+        k.quantum_started(ProcId(1)).unwrap();
+        assert_eq!(k.wss_estimate(ProcId(1)).unwrap(), 3);
+    }
+
+    #[test]
+    fn wss_estimate_without_history_uses_footprint() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 16);
+        for p in 0..5 {
+            k.map_in(ProcId(1), PageNum(p), T).unwrap();
+        }
+        assert_eq!(k.wss_estimate(ProcId(1)).unwrap(), 5);
+    }
+
+    #[test]
+    fn largest_rss_selection() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 16);
+        k.register_proc(ProcId(2), 16);
+        for p in 0..3 {
+            k.map_in(ProcId(1), PageNum(p), T).unwrap();
+        }
+        for p in 0..7 {
+            k.map_in(ProcId(2), PageNum(p), T).unwrap();
+        }
+        assert_eq!(k.largest_rss_proc(None), Some(ProcId(2)));
+        assert_eq!(k.largest_rss_proc(Some(ProcId(2))), Some(ProcId(1)));
+        assert_eq!(k.largest_rss_proc(Some(ProcId(2))), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn unregister_releases_everything() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 8);
+        for p in 0..8 {
+            k.map_in(ProcId(1), PageNum(p), T).unwrap();
+            k.touch(ProcId(1), PageNum(p), true, T).unwrap();
+        }
+        let pages: Vec<PageNum> = (0..4).map(PageNum).collect();
+        k.evict_batch(ProcId(1), &pages, &mut Vec::new()).unwrap();
+        assert!(k.swap().used_blocks() > 0);
+        k.unregister_proc(ProcId(1)).unwrap();
+        assert_eq!(k.free_frames(), 64);
+        assert_eq!(k.swap().used_blocks(), 0);
+        assert!(k.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn clean_batch_keeps_pages_resident() {
+        let mut k = kernel(64);
+        k.register_proc(ProcId(1), 8);
+        for p in 0..8 {
+            k.map_in(ProcId(1), PageNum(p), T).unwrap();
+            k.touch(ProcId(1), PageNum(p), true, T).unwrap();
+        }
+        let pages: Vec<PageNum> = (0..8).map(PageNum).collect();
+        let ext = k.clean_batch(ProcId(1), &pages).unwrap();
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext[0].len, 8);
+        let pm = k.proc(ProcId(1)).unwrap();
+        assert_eq!(pm.rss(), 8, "pages stay resident");
+        assert_eq!(pm.pt.dirty_resident(), 0, "pages are now clean");
+        // Evicting them later costs nothing.
+        let ext2 = k
+            .evict_batch(ProcId(1), &pages, &mut Vec::new())
+            .unwrap();
+        assert!(ext2.is_empty());
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn touch_run_matches_single_touches() {
+        let pid = ProcId(1);
+        // Build two identical kernels; drive one with touch_run and the
+        // other with per-page touch; states must match.
+        let mut k1 = kernel(64);
+        let mut k2 = kernel(64);
+        for k in [&mut k1, &mut k2] {
+            k.register_proc(pid, 16);
+            for p in 0..8 {
+                k.map_in(pid, PageNum(p), T).unwrap();
+            }
+            // Page 5 swapped out.
+            k.touch(pid, PageNum(5), true, T).unwrap();
+            k.evict(pid, PageNum(5)).unwrap();
+        }
+        let t = SimTime(9_999);
+        let (hits, fault) = k1.touch_run(pid, PageNum(0), 16, true, t).unwrap();
+        let mut hits2 = 0;
+        let mut fault2 = None;
+        for p in 0..16 {
+            match k2.touch(pid, PageNum(p), true, t).unwrap() {
+                TouchOutcome::Hit => hits2 += 1,
+                other => {
+                    fault2 = Some(other);
+                    break;
+                }
+            }
+        }
+        assert_eq!(hits, hits2);
+        assert_eq!(hits, 5, "pages 0..5 hit, page 5 faults");
+        assert_eq!(fault, fault2);
+        assert!(matches!(fault, Some(TouchOutcome::NeedsSwapIn { .. })));
+        assert_eq!(
+            k1.proc(pid).unwrap().wss_current(),
+            k2.proc(pid).unwrap().wss_current()
+        );
+        k1.check_invariants().unwrap();
+        k2.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn touch_run_full_hit_and_bounds() {
+        let pid = ProcId(1);
+        let mut k = kernel(64);
+        k.register_proc(pid, 8);
+        for p in 0..8 {
+            k.map_in(pid, PageNum(p), T).unwrap();
+        }
+        let (hits, fault) = k.touch_run(pid, PageNum(2), 6, false, T).unwrap();
+        assert_eq!((hits, fault), (6, None));
+        assert!(k.touch_run(pid, PageNum(4), 5, false, T).is_err(), "overruns space");
+        assert_eq!(k.touch_run(pid, PageNum(0), 0, false, T).unwrap(), (0, None));
+    }
+
+    #[test]
+    fn touch_run_write_frees_stale_copies() {
+        let pid = ProcId(1);
+        let mut k = kernel(64);
+        k.register_proc(pid, 8);
+        // Create clean-with-copy pages via evict + fault-back.
+        for p in 0..4 {
+            k.map_in(pid, PageNum(p), T).unwrap();
+            k.touch(pid, PageNum(p), true, T).unwrap();
+        }
+        let pages: Vec<PageNum> = (0..4).map(PageNum).collect();
+        k.evict_batch(pid, &pages, &mut Vec::new()).unwrap();
+        for p in 0..4 {
+            k.map_in(pid, PageNum(p), T).unwrap();
+        }
+        assert_eq!(k.swap().used_blocks(), 4);
+        let (hits, _) = k.touch_run(pid, PageNum(0), 4, true, T).unwrap();
+        assert_eq!(hits, 4);
+        assert_eq!(k.swap().used_blocks(), 0, "all copies freed on write");
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bad_page_errors() {
+        let mut k = kernel(8);
+        k.register_proc(ProcId(1), 2);
+        assert!(matches!(
+            k.touch(ProcId(1), PageNum(5), false, T),
+            Err(MemError::BadPage(_, _))
+        ));
+        assert!(matches!(
+            k.touch(ProcId(9), PageNum(0), false, T),
+            Err(MemError::NoSuchProc(_))
+        ));
+    }
+}

@@ -1,0 +1,332 @@
+//! Per-process page tables: page state, reference/dirty bits, age, and a
+//! per-process clock hand for Linux-2.2-style sweeps.
+
+use crate::types::PageNum;
+use agp_sim::SimTime;
+
+/// Metadata for a page currently held in a physical frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resident {
+    /// Hardware reference bit: set on every touch, cleared by clock sweeps.
+    pub referenced: bool,
+    /// Set on write touches; a dirty page must reach the swap device before
+    /// its frame can be reused without losing data.
+    pub dirty: bool,
+    /// Instant of the most recent touch — the "age" used by the paper's
+    /// selective page-out ("in the order of decreasing age", §3.1).
+    pub last_ref: SimTime,
+    /// Block of a still-valid swap copy, if one exists. A clean resident
+    /// page with a valid copy can be reclaimed with **no** I/O (Linux's
+    /// swap cache); a dirty page with `Some(b)` rewrites block `b` in
+    /// place, preserving swap contiguity.
+    pub swap_copy: Option<u64>,
+    /// Working-set epoch of the most recent touch (see `Kernel` WSS
+    /// tracking).
+    pub epoch: u32,
+}
+
+/// State of one virtual page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageState {
+    /// Never touched: the first access demand-zeroes a frame, no disk I/O.
+    Untouched,
+    /// Held in a physical frame.
+    Resident(Resident),
+    /// Only on the swap device, at the given block.
+    Swapped {
+        /// Swap block holding the page image.
+        block: u64,
+    },
+}
+
+impl PageState {
+    /// Whether the page occupies a frame.
+    pub fn is_resident(&self) -> bool {
+        matches!(self, PageState::Resident(_))
+    }
+}
+
+/// One process's page table plus bookkeeping counters.
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    pages: Vec<PageState>,
+    resident: usize,
+    dirty_resident: usize,
+    /// Persistent clock position for sweep-style scans, so repeated sweeps
+    /// make progress instead of rescanning the same prefix (mirrors the
+    /// kernel keeping `swap_address` per mm in Linux 2.2).
+    hand: usize,
+}
+
+impl PageTable {
+    /// A table of `n` untouched pages.
+    pub fn new(n: usize) -> Self {
+        PageTable {
+            pages: vec![PageState::Untouched; n],
+            resident: 0,
+            dirty_resident: 0,
+            hand: 0,
+        }
+    }
+
+    /// Address-space size in pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the address space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Number of pages currently resident (the process RSS).
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of resident pages whose frame content is newer than any swap
+    /// copy.
+    pub fn dirty_resident(&self) -> usize {
+        self.dirty_resident
+    }
+
+    /// Current clock-hand position.
+    pub fn hand(&self) -> usize {
+        self.hand
+    }
+
+    /// Advance the clock hand by `steps`, wrapping.
+    pub fn advance_hand(&mut self, steps: usize) {
+        if !self.pages.is_empty() {
+            self.hand = (self.hand + steps) % self.pages.len();
+        }
+    }
+
+    /// State of page `p`.
+    pub fn state(&self, p: PageNum) -> &PageState {
+        &self.pages[p.idx()]
+    }
+
+    /// Internal accessor that keeps the counters honest; all mutation goes
+    /// through [`PageTable::set`].
+    pub fn set(&mut self, p: PageNum, new: PageState) {
+        let old = &self.pages[p.idx()];
+        if old.is_resident() {
+            self.resident -= 1;
+            if matches!(old, PageState::Resident(r) if r.dirty) {
+                self.dirty_resident -= 1;
+            }
+        }
+        if new.is_resident() {
+            self.resident += 1;
+            if matches!(new, PageState::Resident(r) if r.dirty) {
+                self.dirty_resident += 1;
+            }
+        }
+        self.pages[p.idx()] = new;
+    }
+
+    /// Mutate a resident page's metadata in place via `f`; panics if the
+    /// page is not resident. Keeps the dirty counter consistent.
+    pub fn update_resident(&mut self, p: PageNum, f: impl FnOnce(&mut Resident)) {
+        let PageState::Resident(mut r) = self.pages[p.idx()] else {
+            panic!("update_resident on non-resident page {p:?}");
+        };
+        let was_dirty = r.dirty;
+        f(&mut r);
+        if r.dirty != was_dirty {
+            if r.dirty {
+                self.dirty_resident += 1;
+            } else {
+                self.dirty_resident -= 1;
+            }
+        }
+        self.pages[p.idx()] = PageState::Resident(r);
+    }
+
+    /// Iterate over `(PageNum, &PageState)` for all pages.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNum, &PageState)> {
+        self.pages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (PageNum(i as u32), s))
+    }
+
+    /// Iterate over resident pages only.
+    pub fn iter_resident(&self) -> impl Iterator<Item = (PageNum, &Resident)> {
+        self.pages.iter().enumerate().filter_map(|(i, s)| match s {
+            PageState::Resident(r) => Some((PageNum(i as u32), r)),
+            _ => None,
+        })
+    }
+
+    /// Resident pages sorted oldest-first (by `last_ref`, ties by page
+    /// number). This is the ordering selective/aggressive page-out uses.
+    pub fn resident_oldest_first(&self) -> Vec<PageNum> {
+        let mut v: Vec<(SimTime, PageNum)> = self
+            .iter_resident()
+            .map(|(p, r)| (r.last_ref, p))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Clock sweep from the stored hand position: visit up to `max_scan`
+    /// pages; referenced resident pages get their bit cleared, and
+    /// unreferenced resident pages are collected as eviction candidates
+    /// (up to `max_victims`). The hand advances past every visited page.
+    pub fn clock_sweep(&mut self, max_scan: usize, max_victims: usize) -> Vec<PageNum> {
+        let n = self.pages.len();
+        if n == 0 || max_victims == 0 {
+            return Vec::new();
+        }
+        let mut victims = Vec::new();
+        let mut scanned = 0;
+        while scanned < max_scan.min(n) && victims.len() < max_victims {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % n;
+            scanned += 1;
+            if let PageState::Resident(mut r) = self.pages[i] {
+                if r.referenced {
+                    r.referenced = false;
+                    self.pages[i] = PageState::Resident(r);
+                } else {
+                    victims.push(PageNum(i as u32));
+                }
+            }
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resident(t: u64, dirty: bool) -> PageState {
+        PageState::Resident(Resident {
+            referenced: true,
+            dirty,
+            last_ref: SimTime::from_us(t),
+            swap_copy: None,
+            epoch: 0,
+        })
+    }
+
+    #[test]
+    fn counters_follow_transitions() {
+        let mut pt = PageTable::new(4);
+        assert_eq!(pt.resident(), 0);
+        pt.set(PageNum(0), resident(1, false));
+        pt.set(PageNum(1), resident(2, true));
+        assert_eq!(pt.resident(), 2);
+        assert_eq!(pt.dirty_resident(), 1);
+        pt.set(PageNum(1), PageState::Swapped { block: 9 });
+        assert_eq!(pt.resident(), 1);
+        assert_eq!(pt.dirty_resident(), 0);
+        pt.set(PageNum(0), PageState::Untouched);
+        assert_eq!(pt.resident(), 0);
+    }
+
+    #[test]
+    fn update_resident_tracks_dirty() {
+        let mut pt = PageTable::new(2);
+        pt.set(PageNum(0), resident(1, false));
+        pt.update_resident(PageNum(0), |r| r.dirty = true);
+        assert_eq!(pt.dirty_resident(), 1);
+        pt.update_resident(PageNum(0), |r| r.dirty = false);
+        assert_eq!(pt.dirty_resident(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn update_nonresident_panics() {
+        let mut pt = PageTable::new(1);
+        pt.update_resident(PageNum(0), |_| {});
+    }
+
+    #[test]
+    fn oldest_first_ordering() {
+        let mut pt = PageTable::new(5);
+        pt.set(PageNum(0), resident(50, false));
+        pt.set(PageNum(2), resident(10, false));
+        pt.set(PageNum(4), resident(30, false));
+        assert_eq!(
+            pt.resident_oldest_first(),
+            vec![PageNum(2), PageNum(4), PageNum(0)]
+        );
+    }
+
+    #[test]
+    fn oldest_first_tie_breaks_by_page_number() {
+        let mut pt = PageTable::new(3);
+        for i in 0..3 {
+            pt.set(PageNum(i), resident(7, false));
+        }
+        assert_eq!(
+            pt.resident_oldest_first(),
+            vec![PageNum(0), PageNum(1), PageNum(2)]
+        );
+    }
+
+    #[test]
+    fn clock_sweep_second_chance() {
+        let mut pt = PageTable::new(3);
+        for i in 0..3 {
+            pt.set(PageNum(i), resident(1, false));
+        }
+        // First sweep clears all reference bits, evicts nothing.
+        let v1 = pt.clock_sweep(3, 3);
+        assert!(v1.is_empty());
+        // Second sweep finds all pages unreferenced.
+        let v2 = pt.clock_sweep(3, 3);
+        assert_eq!(v2.len(), 3);
+    }
+
+    #[test]
+    fn clock_sweep_respects_victim_cap() {
+        let mut pt = PageTable::new(10);
+        for i in 0..10 {
+            let mut st = resident(1, false);
+            if let PageState::Resident(r) = &mut st {
+                r.referenced = false;
+            }
+            pt.set(PageNum(i), st);
+        }
+        let v = pt.clock_sweep(10, 4);
+        assert_eq!(v.len(), 4);
+        // Hand advanced past exactly the scanned pages.
+        assert_eq!(pt.hand(), 4);
+    }
+
+    #[test]
+    fn clock_sweep_skips_nonresident() {
+        let mut pt = PageTable::new(4);
+        pt.set(PageNum(1), PageState::Swapped { block: 3 });
+        let mut st = resident(1, false);
+        if let PageState::Resident(r) = &mut st {
+            r.referenced = false;
+        }
+        pt.set(PageNum(3), st);
+        let v = pt.clock_sweep(4, 4);
+        assert_eq!(v, vec![PageNum(3)]);
+    }
+
+    #[test]
+    fn clock_hand_wraps() {
+        let mut pt = PageTable::new(4);
+        pt.advance_hand(3);
+        assert_eq!(pt.hand(), 3);
+        pt.advance_hand(2);
+        assert_eq!(pt.hand(), 1);
+    }
+
+    #[test]
+    fn empty_table_is_safe() {
+        let mut pt = PageTable::new(0);
+        assert!(pt.is_empty());
+        assert!(pt.clock_sweep(10, 10).is_empty());
+        pt.advance_hand(5);
+        assert_eq!(pt.hand(), 0);
+    }
+}

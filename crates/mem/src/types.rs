@@ -1,0 +1,149 @@
+//! Identifier newtypes and kernel tuning parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simulated process identifier, unique within a cluster run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A virtual page index within one process's address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageNum(pub u32);
+
+impl PageNum {
+    /// Index as usize for table access.
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{}", self.0)
+    }
+}
+
+/// Kernel virtual-memory tuning parameters.
+///
+/// The watermarks reproduce the Linux "watermark style page-out model"
+/// (paper §2): reclaim starts when free memory drops below
+/// `freepages.min` and continues until it reaches `freepages.high`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VmParams {
+    /// Total physical page frames on the node.
+    pub total_frames: usize,
+    /// Frames wired down and unavailable (the paper's `mlock()` trick used
+    /// to shrink usable memory to 350 MB, §4).
+    pub wired_frames: usize,
+    /// Reclaim trigger: replacement runs when `free < freepages_min`.
+    pub freepages_min: usize,
+    /// Reclaim target: replacement stops once `free ≥ freepages_high`.
+    pub freepages_high: usize,
+    /// Swap-in read-ahead window in pages (Linux 2.2 default: 16, §3.3).
+    pub readahead: usize,
+}
+
+impl VmParams {
+    /// Parameters for a node with `total_frames` frames of which
+    /// `wired_frames` are locked down, using proportional watermarks
+    /// (min = 0.5 %, high = 2 % of usable frames, floors 32/128) and the
+    /// Linux 2.2 read-ahead of 16 pages.
+    ///
+    /// The min–high gap sets the reclaim batch size: page-out bursts of a
+    /// couple of thousand pages interleave with the fault-in stream, the
+    /// read/write alternation visible in the paper's Fig. 6 first panel.
+    pub fn for_frames(total_frames: usize, wired_frames: usize) -> Self {
+        let usable = total_frames.saturating_sub(wired_frames).max(1);
+        VmParams {
+            total_frames,
+            wired_frames,
+            freepages_min: (usable / 200).max(32),
+            freepages_high: (usable / 50).max(128),
+            readahead: 16,
+        }
+    }
+
+    /// Frames actually available for paging.
+    pub fn usable_frames(&self) -> usize {
+        self.total_frames.saturating_sub(self.wired_frames)
+    }
+}
+
+/// Errors from the memory subsystem. These indicate configuration problems
+/// (e.g. swap smaller than the workload) or simulation bugs, not normal
+/// operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The swap device has no free extent large enough.
+    SwapFull {
+        /// Blocks requested.
+        wanted: u64,
+        /// Blocks free.
+        free: u64,
+    },
+    /// No free frame was available for a mandatory allocation.
+    OutOfFrames,
+    /// Operation referenced a process the kernel does not know.
+    NoSuchProc(ProcId),
+    /// Operation referenced a page outside the process's address space.
+    BadPage(ProcId, PageNum),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::SwapFull { wanted, free } => {
+                write!(f, "swap full: wanted {wanted} blocks, {free} free")
+            }
+            MemError::OutOfFrames => write!(f, "no free page frames"),
+            MemError::NoSuchProc(p) => write!(f, "unknown process {p}"),
+            MemError::BadPage(p, pg) => write!(f, "page {pg:?} out of range for {p}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmparams_watermarks_scale() {
+        // 1 GiB node, 350 MiB usable after wiring (the paper's fig. 6 setup).
+        let total = agp_sim::units::pages_from_mib(1024);
+        let wired = total - agp_sim::units::pages_from_mib(350);
+        let p = VmParams::for_frames(total, wired);
+        assert_eq!(p.usable_frames(), agp_sim::units::pages_from_mib(350));
+        assert!(p.freepages_min < p.freepages_high);
+        assert!(p.freepages_high < p.usable_frames() / 10);
+        assert_eq!(p.readahead, 16);
+    }
+
+    #[test]
+    fn vmparams_floors_apply() {
+        let p = VmParams::for_frames(1000, 0);
+        assert_eq!(p.freepages_min, 32);
+        assert_eq!(p.freepages_high, 128);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MemError::SwapFull { wanted: 10, free: 3 };
+        assert!(e.to_string().contains("swap full"));
+        assert!(MemError::NoSuchProc(ProcId(4)).to_string().contains("pid4"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the VM substrate: the kernel's conservation
+//! invariants must survive arbitrary interleavings of fault, touch,
+//! evict, clean, and process-exit operations, and the swap allocator must
+//! never lose or double-allocate a block.
+
+use agp_mem::{Kernel, MemError, PageNum, ProcId, SwapSpace, VmParams};
+use agp_sim::SimTime;
+use proptest::prelude::*;
+
+/// A random memory-subsystem operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Touch { proc: u8, page: u8, write: bool },
+    MapIn { proc: u8, page: u8 },
+    Evict { proc: u8, page: u8 },
+    EvictBatch { proc: u8, first: u8, len: u8 },
+    CleanBatch { proc: u8, first: u8, len: u8 },
+    Quantum { proc: u8 },
+    Exit { proc: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<bool>())
+            .prop_map(|(p, g, w)| Op::Touch { proc: p, page: g, write: w }),
+        (any::<u8>(), any::<u8>()).prop_map(|(p, g)| Op::MapIn { proc: p, page: g }),
+        (any::<u8>(), any::<u8>()).prop_map(|(p, g)| Op::Evict { proc: p, page: g }),
+        (any::<u8>(), any::<u8>(), 0u8..16)
+            .prop_map(|(p, f, l)| Op::EvictBatch { proc: p, first: f, len: l }),
+        (any::<u8>(), any::<u8>(), 0u8..16)
+            .prop_map(|(p, f, l)| Op::CleanBatch { proc: p, first: f, len: l }),
+        any::<u8>().prop_map(|p| Op::Quantum { proc: p }),
+        any::<u8>().prop_map(|p| Op::Exit { proc: p }),
+    ]
+}
+
+const NPROCS: u32 = 3;
+const PAGES: u32 = 64;
+
+fn kernel() -> Kernel {
+    let mut k = Kernel::new(
+        VmParams {
+            total_frames: 128,
+            wired_frames: 16,
+            freepages_min: 4,
+            freepages_high: 8,
+            readahead: 16,
+        },
+        4096,
+    );
+    for p in 0..NPROCS {
+        k.register_proc(ProcId(p), PAGES as usize);
+    }
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No operation sequence can violate frame conservation, dirty
+    /// counters, swap-owner coherence, or leak swap blocks.
+    #[test]
+    fn kernel_invariants_hold_under_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(), 1..300)
+    ) {
+        let mut k = kernel();
+        let mut alive = [true; NPROCS as usize];
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_us(t);
+            let pid = |p: u8| ProcId(p as u32 % NPROCS);
+            let pg = |g: u8| PageNum(g as u32 % PAGES);
+            let is_alive = |p: u8, alive: &[bool; 3]| alive[(p as u32 % NPROCS) as usize];
+            match op {
+                Op::Touch { proc, page, write } if is_alive(proc, &alive) => {
+                    let _ = k.touch(pid(proc), pg(page), write, now);
+                }
+                Op::MapIn { proc, page } if is_alive(proc, &alive) => {
+                    let p = pid(proc);
+                    let g = pg(page);
+                    // Only legal on non-resident pages with free frames.
+                    if k.free_frames() > 0
+                        && !k.proc(p).unwrap().pt.state(g).is_resident()
+                    {
+                        k.map_in(p, g, now).unwrap();
+                    }
+                }
+                Op::Evict { proc, page } if is_alive(proc, &alive) => {
+                    let p = pid(proc);
+                    let g = pg(page);
+                    if k.proc(p).unwrap().pt.state(g).is_resident() {
+                        k.evict(p, g).unwrap();
+                    }
+                }
+                Op::EvictBatch { proc, first, len } if is_alive(proc, &alive) => {
+                    let p = pid(proc);
+                    let pages: Vec<PageNum> = (0..len as u32)
+                        .map(|i| PageNum((first as u32 + i) % PAGES))
+                        .collect();
+                    k.evict_batch(p, &pages, &mut Vec::new()).unwrap();
+                }
+                Op::CleanBatch { proc, first, len } if is_alive(proc, &alive) => {
+                    let p = pid(proc);
+                    let pages: Vec<PageNum> = (0..len as u32)
+                        .map(|i| PageNum((first as u32 + i) % PAGES))
+                        .collect();
+                    k.clean_batch(p, &pages).unwrap();
+                }
+                Op::Quantum { proc } if is_alive(proc, &alive) => {
+                    k.quantum_started(pid(proc)).unwrap();
+                }
+                Op::Exit { proc } if is_alive(proc, &alive) => {
+                    k.unregister_proc(pid(proc)).unwrap();
+                    alive[(proc as u32 % NPROCS) as usize] = false;
+                }
+                _ => {}
+            }
+            k.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated after {t} ops: {e}"))
+            })?;
+        }
+    }
+
+    /// touch_run over any window agrees with per-page touch on a twin
+    /// kernel (same hits, same fault, same WSS accounting).
+    #[test]
+    fn touch_run_equals_touch_loop(
+        resident in prop::collection::vec(any::<bool>(), PAGES as usize),
+        dirty_seed in any::<u64>(),
+        first in 0u32..PAGES,
+        max in 0usize..(PAGES as usize),
+        write in any::<bool>(),
+    ) {
+        let max = max.min((PAGES - first) as usize);
+        let build = || {
+            let mut k = kernel();
+            let pid = ProcId(0);
+            let mut rng = dirty_seed;
+            for (i, &r) in resident.iter().enumerate() {
+                if r && k.free_frames() > 0 {
+                    k.map_in(pid, PageNum(i as u32), SimTime::from_us(i as u64)).unwrap();
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if rng & 1 == 1 {
+                        k.touch(pid, PageNum(i as u32), true, SimTime::from_us(i as u64)).unwrap();
+                    }
+                }
+            }
+            k
+        };
+        let mut k1 = build();
+        let mut k2 = build();
+        let pid = ProcId(0);
+        let now = SimTime::from_us(9_999);
+        let (hits, fault) = k1.touch_run(pid, PageNum(first), max, write, now).unwrap();
+        let mut hits2 = 0;
+        let mut fault2 = None;
+        for i in 0..max {
+            match k2.touch(pid, PageNum(first + i as u32), write, now).unwrap() {
+                agp_mem::TouchOutcome::Hit => hits2 += 1,
+                other => { fault2 = Some(other); break; }
+            }
+        }
+        prop_assert_eq!(hits, hits2);
+        prop_assert_eq!(fault, fault2);
+        prop_assert_eq!(
+            k1.proc(pid).unwrap().wss_current(),
+            k2.proc(pid).unwrap().wss_current()
+        );
+        k1.check_invariants().unwrap();
+        k2.check_invariants().unwrap();
+    }
+
+    /// The swap allocator conserves blocks across arbitrary alloc/free
+    /// sequences and never hands out overlapping extents.
+    #[test]
+    fn swap_allocator_conserves(ops in prop::collection::vec((any::<bool>(), 1u64..64), 1..200)) {
+        let total = 1024;
+        let mut s = SwapSpace::new(total);
+        let mut held: Vec<agp_disk::Extent> = Vec::new();
+        let mut held_blocks = 0u64;
+        for (do_alloc, n) in ops {
+            if do_alloc {
+                match s.alloc(n) {
+                    Ok(extents) => {
+                        // No overlap with anything already held.
+                        for e in &extents {
+                            for h in &held {
+                                prop_assert!(
+                                    e.end() <= h.start || h.end() <= e.start,
+                                    "overlapping allocation {e:?} vs {h:?}"
+                                );
+                            }
+                        }
+                        held_blocks += n;
+                        held.extend(extents);
+                    }
+                    Err(MemError::SwapFull { free, .. }) => {
+                        prop_assert_eq!(free, total - held_blocks);
+                        prop_assert!(free < n);
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                }
+            } else if let Some(e) = held.pop() {
+                s.free_extent(e);
+                held_blocks -= e.len;
+            }
+            prop_assert_eq!(s.used_blocks(), held_blocks);
+            prop_assert_eq!(s.free_blocks(), total - held_blocks);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # agp-metrics — measurement and reporting
+//!
+//! Everything the paper's evaluation section reports is computed here:
+//!
+//! * [`trace::ActivityTrace`] — time-bucketed page-in/page-out rates, the
+//!   raw material of the paper's Fig. 6 paging-activity traces,
+//! * [`report`] — the §4.1 metric definitions (switching overhead %,
+//!   paging-overhead reduction %) plus plain-text table / CSV / ASCII
+//!   chart rendering used by the CLI, benches, and EXPERIMENTS.md.
+//!
+//! Keeping the math in one crate means every experiment, test, and bench
+//! agrees on exactly what "overhead" and "reduction" mean.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod trace;
+
+pub use report::{overhead_pct, reduction_pct, Table};
+pub use trace::ActivityTrace;

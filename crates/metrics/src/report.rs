@@ -1,0 +1,291 @@
+//! The §4.1 metric definitions and plain-text rendering.
+//!
+//! The paper's serial/parallel result graphs all derive from three
+//! completion times per workload: the original kernel (`T_orig`), an
+//! adaptive policy (`T_p`), and the back-to-back batch run (`T_batch`,
+//! which by construction has no job-switch paging):
+//!
+//! * **switching overhead** of policy *p*: `(T_p − T_batch) / T_p` — "how
+//!   much fraction of the time is spent on paging for job switching";
+//! * **paging(-overhead) reduction** of *p* vs the original:
+//!   `1 − (T_p − T_batch) / (T_orig − T_batch)`.
+//!
+//! Consistency check against the paper: LU serial overhead falls 26 % → 5 %
+//! and the reported reduction is 84 % — with `T_batch = B`,
+//! `T_orig = B/0.74`, `T_p = B/0.95`, the formula gives
+//! `1 − 0.0526/0.3513 ≈ 0.85`. ✓
+
+use agp_sim::SimDur;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Switching overhead of a policy, in percent (paper Fig. 7b/8b/8e/9b).
+pub fn overhead_pct(t_policy: SimDur, t_batch: SimDur) -> f64 {
+    if t_policy.as_us() == 0 {
+        return 0.0;
+    }
+    let over = t_policy.saturating_sub(t_batch);
+    100.0 * over.as_us() as f64 / t_policy.as_us() as f64
+}
+
+/// Reduction in paging overhead vs the original policy, in percent (paper
+/// Fig. 7c/8c/8f/9c). Negative values mean the policy made things worse.
+pub fn reduction_pct(t_orig: SimDur, t_policy: SimDur, t_batch: SimDur) -> f64 {
+    let base = t_orig.saturating_sub(t_batch);
+    if base.as_us() == 0 {
+        return 0.0;
+    }
+    let now = t_policy.saturating_sub(t_batch);
+    100.0 * (1.0 - now.as_us() as f64 / base.as_us() as f64)
+}
+
+/// A plain-text table with aligned columns; renders for terminals and
+/// converts to CSV for EXPERIMENTS.md.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table titled `title` with the given column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, col).
+    pub fn cell(&self, r: usize, c: usize) -> &str {
+        &self.rows[r][c]
+    }
+
+    /// CSV rendering (headers + rows; cells containing commas are quoted).
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Markdown rendering (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("**{}**\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        let _ = ncol;
+        Ok(())
+    }
+}
+
+/// Render a numeric series as a one-line unicode sparkline — used by the
+/// CLI to show Fig. 6-style traces in a terminal.
+pub fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return values.iter().map(|_| ' ').collect();
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                ' '
+            } else {
+                let idx = ((v as u128 * (BARS.len() as u128 - 1)).div_ceil(max as u128)) as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Format a duration as fractional minutes with one decimal — the unit of
+/// the paper's completion-time graphs.
+pub fn fmt_mins(d: SimDur) -> String {
+    format!("{:.1}", d.as_mins_f64())
+}
+
+/// Format a percentage with one decimal.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_matches_papers_lu_example() {
+        // T_batch = 74 min, T_orig = 100 min -> 26% overhead.
+        let batch = SimDur::from_mins(74);
+        let orig = SimDur::from_mins(100);
+        assert!((overhead_pct(orig, batch) - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_reproduces_84_percent() {
+        // 26% -> 5% overhead must report ~85% reduction (§4.1 text: 84%).
+        let batch = SimDur::from_us(74_000_000);
+        let orig = SimDur::from_us(100_000_000); // 26% overhead
+        let adaptive = SimDur::from_us((74_000_000f64 / 0.95) as u64); // 5%
+        let red = reduction_pct(orig, adaptive, batch);
+        assert!((83.0..=87.0).contains(&red), "got {red}");
+    }
+
+    #[test]
+    fn reduction_can_be_negative() {
+        let batch = SimDur::from_mins(10);
+        let orig = SimDur::from_mins(12);
+        let worse = SimDur::from_mins(14);
+        assert!(reduction_pct(orig, worse, batch) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(overhead_pct(SimDur::ZERO, SimDur::ZERO), 0.0);
+        assert_eq!(
+            reduction_pct(SimDur::from_mins(5), SimDur::from_mins(5), SimDur::from_mins(5)),
+            0.0
+        );
+        // Batch longer than policy (measurement noise): overhead clamps to 0.
+        assert_eq!(
+            overhead_pct(SimDur::from_mins(5), SimDur::from_mins(6)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "23".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, 1), "23");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "  ");
+        let s = sparkline(&[0, 1, 50, 100]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[3], '█');
+        assert!(chars[1] < chars[2], "monotone in value");
+    }
+}

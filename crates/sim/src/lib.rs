@@ -1,0 +1,34 @@
+//! # agp-sim — discrete-event simulation engine
+//!
+//! The foundation substrate for the adaptive-gang-paging reproduction: a
+//! deterministic discrete-event simulation (DES) kernel providing
+//!
+//! * [`SimTime`] / [`SimDur`] — integer-microsecond instants and durations,
+//! * [`EventQueue`] — a total-order event queue with deterministic
+//!   tie-breaking (FIFO among equal timestamps),
+//! * [`SimRng`] — a seedable, forkable random-number source so every run is
+//!   reproducible from a single `u64` seed,
+//! * [`units`] — byte/page unit helpers shared by the memory and disk models.
+//!
+//! Nothing in this crate knows about paging or gang scheduling; it is the
+//! generic clockwork every other crate is built on. The design follows the
+//! classic event-list DES structure: the simulation owner pops the earliest
+//! event, advances the clock to its timestamp, and handles it, possibly
+//! pushing future events.
+//!
+//! Determinism contract: given the same sequence of `push` calls and the
+//! same seed, `pop` returns an identical sequence on every platform. This is
+//! load-bearing for the experiment harness (paper figures are regenerated
+//! from fixed seeds) and is verified by property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event_queue;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use event_queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDur, SimTime};

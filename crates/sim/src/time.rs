@@ -1,0 +1,331 @@
+//! Simulation time: integer-microsecond instants ([`SimTime`]) and
+//! durations ([`SimDur`]).
+//!
+//! All simulation arithmetic is exact integer math so runs are bit-for-bit
+//! reproducible; floating point only appears at the reporting boundary
+//! (`as_secs_f64` and friends). A microsecond tick is fine-grained enough
+//! for every latency in the model (the shortest modeled cost, a single-page
+//! DMA transfer, is ~100 µs) while `u64` microseconds can represent about
+//! 584 000 years of simulated time, so overflow is a non-issue for the
+//! paper's 50-minute traces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in microseconds since the start of
+/// the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDur(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "infinity" sentinel for `min()` folds.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Instant `us` microseconds after the start of the run.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Instant `ms` milliseconds after the start of the run.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Instant `s` seconds after the start of the run.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Instant `m` minutes after the start of the run.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000_000)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time as fractional minutes (reporting only).
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60e6
+    }
+
+    /// Duration since an earlier instant. Saturates at zero rather than
+    /// panicking if `earlier` is actually later; callers that care assert.
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDur {
+    /// The empty duration.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// `us` microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDur(us)
+    }
+
+    /// `ms` milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDur(ms * 1_000)
+    }
+
+    /// `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDur(s * 1_000_000)
+    }
+
+    /// `m` minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDur(m * 60_000_000)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional seconds (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration as fractional minutes (reporting only).
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60e6
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest microsecond.
+    /// Used for things like "the last 10% of the quantum" (paper §3.4).
+    pub fn mul_f64(self, factor: f64) -> SimDur {
+        debug_assert!(factor >= 0.0, "durations cannot be negative");
+        SimDur((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Integer ratio of two durations (reporting only).
+    pub fn ratio(self, denom: SimDur) -> f64 {
+        if denom.0 == 0 {
+            return 0.0;
+        }
+        self.0 as f64 / denom.0 as f64
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDur) -> SimDur {
+        SimDur(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDur) -> SimDur {
+        SimDur(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDur> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDur;
+    fn sub(self, rhs: SimTime) -> SimDur {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDur {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    fn sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDur {
+    fn sub_assign(&mut self, rhs: SimDur) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    fn mul(self, rhs: u64) -> SimDur {
+        SimDur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    fn div(self, rhs: u64) -> SimDur {
+        SimDur(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDur {
+    fn sum<I: Iterator<Item = SimDur>>(iter: I) -> SimDur {
+        iter.fold(SimDur::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_us(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_us(self.0))
+    }
+}
+
+impl fmt::Debug for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_us(self.0))
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_us(self.0))
+    }
+}
+
+/// Render a microsecond count with a human-scale unit (`12.3s`, `4m05s`,
+/// `250ms`, `17us`).
+fn format_us(us: u64) -> String {
+    if us >= 60_000_000 {
+        let mins = us / 60_000_000;
+        let secs = (us % 60_000_000) as f64 / 1e6;
+        format!("{mins}m{secs:04.1}s")
+    } else if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1_000));
+        assert_eq!(SimTime::from_mins(2), SimTime::from_secs(120));
+        assert_eq!(SimDur::from_secs(1).as_us(), 1_000_000);
+        assert_eq!(SimDur::from_mins(5), SimDur::from_secs(300));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(10);
+        let d = SimDur::from_ms(2_500);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(5);
+        assert_eq!(a.since(b), SimDur::ZERO);
+        assert_eq!(b.since(a), SimDur::from_secs(4));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let q = SimDur::from_mins(5);
+        // "Last 10% of the quantum" from paper section 3.4.
+        assert_eq!(q.mul_f64(0.1), SimDur::from_secs(30));
+        assert_eq!(SimDur::from_us(3).mul_f64(0.5), SimDur::from_us(2)); // rounds .5 away from zero
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(SimDur::from_secs(1).ratio(SimDur::ZERO), 0.0);
+        assert!((SimDur::from_secs(1).ratio(SimDur::from_secs(4)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_us(5) < SimTime::from_us(6));
+        assert!(SimDur::from_ms(1) > SimDur::from_us(999));
+        assert_eq!(SimTime::from_us(7).max(SimTime::from_us(3)), SimTime::from_us(7));
+        assert_eq!(SimTime::from_us(7).min(SimTime::from_us(3)), SimTime::from_us(3));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDur::from_us(17).to_string(), "17us");
+        assert_eq!(SimDur::from_ms(250).to_string(), "250.0ms");
+        assert_eq!(SimDur::from_secs(12).to_string(), "12.00s");
+        assert_eq!(SimTime::from_secs(245).to_string(), "4m05.0s");
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: SimDur = [1u64, 2, 3].iter().map(|&s| SimDur::from_secs(s)).sum();
+        assert_eq!(total, SimDur::from_secs(6));
+    }
+}

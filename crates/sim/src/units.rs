@@ -1,0 +1,62 @@
+//! Shared memory units: bytes, pages, and conversions.
+//!
+//! The whole model is page-granular with the classic 4 KiB page (the Linux
+//! 2.2 default the paper targets). Sizes in experiment configs are given in
+//! MiB, matching how the paper reports footprints ("45MB footprint",
+//! "350 MB available memory", ...).
+
+/// Bytes per page (4 KiB, the i386 Linux 2.2 default assumed by the paper).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Bytes in a kibibyte.
+pub const KIB: u64 = 1024;
+/// Bytes in a mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// Bytes in a gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Number of 4 KiB pages needed to hold `mib` MiB.
+pub const fn pages_from_mib(mib: u64) -> usize {
+    ((mib * MIB) / PAGE_SIZE) as usize
+}
+
+/// Number of whole pages needed to hold `bytes` bytes (rounds up).
+pub const fn pages_from_bytes(bytes: u64) -> usize {
+    (bytes.div_ceil(PAGE_SIZE)) as usize
+}
+
+/// Size in bytes of `pages` pages.
+pub const fn bytes_from_pages(pages: usize) -> u64 {
+    pages as u64 * PAGE_SIZE
+}
+
+/// Size in MiB (fractional) of `pages` pages; reporting only.
+pub fn mib_from_pages(pages: usize) -> f64 {
+    bytes_from_pages(pages) as f64 / MIB as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mib_roundtrip() {
+        assert_eq!(pages_from_mib(1), 256);
+        assert_eq!(pages_from_mib(350), 89_600);
+        assert_eq!(bytes_from_pages(256), MIB);
+    }
+
+    #[test]
+    fn bytes_round_up() {
+        assert_eq!(pages_from_bytes(0), 0);
+        assert_eq!(pages_from_bytes(1), 1);
+        assert_eq!(pages_from_bytes(PAGE_SIZE), 1);
+        assert_eq!(pages_from_bytes(PAGE_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn reporting_helper() {
+        assert!((mib_from_pages(256) - 1.0).abs() < 1e-12);
+        assert!((mib_from_pages(89_600) - 350.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the DES substrate: total ordering of the event
+//! queue, time arithmetic, and RNG invariants.
+
+use agp_sim::{EventQueue, SimDur, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping yields events in non-decreasing time order, with FIFO
+    /// among equal timestamps, for any push sequence.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_us(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut count = 0;
+        while let Some((t, id)) = q.pop() {
+            count += 1;
+            if let Some((lt, lid)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(id > lid, "FIFO violated for equal times");
+                }
+            }
+            // Event timestamps must be exactly what was pushed.
+            prop_assert_eq!(t, SimTime::from_us(times[id]));
+            last = Some((t, id));
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Interleaved push/pop never yields an event earlier than the last
+    /// popped one (causality).
+    #[test]
+    fn event_queue_causality_under_interleaving(
+        ops in prop::collection::vec((0u64..1000, any::<bool>()), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut watermark = SimTime::ZERO;
+        for (dt, do_pop) in ops {
+            // Always schedule relative to the watermark so pushes are legal.
+            q.push(watermark + SimDur::from_us(dt), ());
+            if do_pop {
+                if let Some((t, ())) = q.pop() {
+                    prop_assert!(t >= watermark);
+                    watermark = t;
+                }
+            }
+        }
+    }
+
+    /// Time arithmetic: (t + d) - d == t and (t + d) since t == d.
+    #[test]
+    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_us(t);
+        let dur = SimDur::from_us(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!((time + dur).since(time), dur);
+        prop_assert_eq!(time.since(time + dur), SimDur::ZERO);
+    }
+
+    /// Duration scaling by a fraction in [0, 1] never exceeds the original.
+    #[test]
+    fn dur_mul_f64_bounded(d in 0u64..1_000_000_000, f in 0.0f64..1.0) {
+        let dur = SimDur::from_us(d);
+        let scaled = dur.mul_f64(f);
+        prop_assert!(scaled <= dur + SimDur::from_us(1), "rounding tolerance");
+    }
+
+    /// below(n) is always < n and deterministic per seed.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..50 {
+            let va = a.below(n);
+            prop_assert!(va < n);
+            prop_assert_eq!(va, b.below(n));
+        }
+    }
+
+    /// Forked streams are independent of parent draws and deterministic.
+    #[test]
+    fn rng_fork_determinism(seed in any::<u64>(), stream in any::<u64>()) {
+        let parent = SimRng::new(seed);
+        let mut c1 = parent.fork(stream);
+        let mut c2 = parent.fork(stream);
+        for _ in 0..20 {
+            prop_assert_eq!(c1.next_u64_raw(), c2.next_u64_raw());
+        }
+    }
+
+    /// Shuffle is a permutation for arbitrary inputs.
+    #[test]
+    fn rng_shuffle_permutes(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..100)) {
+        let mut r = SimRng::new(seed);
+        let mut original = v.clone();
+        r.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(original, v);
+    }
+}

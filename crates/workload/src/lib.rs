@@ -1,0 +1,42 @@
+//! # agp-workload — synthetic NAS NPB2 workload models
+//!
+//! The paper drives its experiments with five NPB2 codes — **LU, SP, CG,
+//! IS, MG** — serial (class B) and MPI-parallel (2 and 4 ranks). What the
+//! paging experiments actually depend on is not the arithmetic those codes
+//! perform but their **memory behavior**:
+//!
+//! * total footprint per process (how hard memory is over-committed),
+//! * per-iteration working set (what a job switch must move),
+//! * access pattern (sequential sweeps page-in beautifully with
+//!   read-ahead; CG/IS's irregular accesses do not),
+//! * write intensity (dirty pages must be written at eviction; read-only
+//!   regions evict for free after their first write-out),
+//! * iteration-level BSP synchronization (a barrier per iteration couples
+//!   every rank to the slowest pager).
+//!
+//! Each model here reproduces those five properties:
+//!
+//! | code | pattern modeled |
+//! |------|-----------------|
+//! | LU   | SSOR: 2 full sweeps/iteration over the grid, read-write |
+//! | SP   | ADI: 3 directional solves/iteration, read-write, largest CPU |
+//! | CG   | sparse mat-vec: big read-only matrix sweep + scattered short read-write touches of vectors |
+//! | IS   | bucket sort: sequential read of keys + scattered bucket writes + all-to-all |
+//! | MG   | multigrid V-cycle: geometric sweep down/up the level hierarchy |
+//!
+//! Footprints follow the published NPB2 sizes closely enough to recreate
+//! the paper's pressure points (class B serial codes "require 188 MB to
+//! 400 MB", §4.1; LU class C on 4 nodes uses 188 MB/rank, §4).
+//!
+//! A workload is compiled into a [`ProcessProgram`]: a deterministic
+//! stream of [`Step`]s (touch runs, compute, communication, barriers) that
+//! the cluster layer executes against the simulated VM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod program;
+pub mod spec;
+
+pub use program::{ProcessProgram, Step};
+pub use spec::{Benchmark, Class, WorkloadSpec};

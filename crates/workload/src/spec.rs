@@ -1,0 +1,452 @@
+//! Benchmark identities, problem classes, and the size/behavior tables.
+
+use agp_sim::units::pages_from_mib;
+use agp_sim::SimDur;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// NPB2 codes: the five the paper evaluates plus the remaining three
+/// (BT, FT, EP), added per the paper's stated follow-up ("applications of
+/// various working set sizes", §6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Benchmark {
+    /// LU: SSOR solver, regular sweeps, the paper's detailed case study.
+    LU,
+    /// SP: scalar pentadiagonal ADI solver; largest memory and CPU.
+    SP,
+    /// CG: conjugate gradient; sparse, irregular, small effective WS.
+    CG,
+    /// IS: integer (bucket) sort; small memory, communication heavy.
+    IS,
+    /// MG: multigrid; large working set, biggest paging reduction in Fig 7.
+    MG,
+    /// BT: block-tridiagonal ADI solver; like SP but heavier still.
+    BT,
+    /// FT: 3-D FFT; the largest footprint in the suite, all-to-all
+    /// transpose every iteration.
+    FT,
+    /// EP: embarrassingly parallel; negligible memory — the control case
+    /// where adaptive paging has nothing to win.
+    EP,
+}
+
+impl Benchmark {
+    /// The five codes the paper's evaluation uses, in its listing order.
+    pub const PAPER_FIVE: [Benchmark; 5] = [
+        Benchmark::LU,
+        Benchmark::SP,
+        Benchmark::CG,
+        Benchmark::IS,
+        Benchmark::MG,
+    ];
+
+    /// Every modeled NPB2 code (the paper's five + BT, FT, EP).
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::LU,
+        Benchmark::SP,
+        Benchmark::CG,
+        Benchmark::IS,
+        Benchmark::MG,
+        Benchmark::BT,
+        Benchmark::FT,
+        Benchmark::EP,
+    ];
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromStr for Benchmark {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "LU" => Ok(Benchmark::LU),
+            "SP" => Ok(Benchmark::SP),
+            "CG" => Ok(Benchmark::CG),
+            "IS" => Ok(Benchmark::IS),
+            "MG" => Ok(Benchmark::MG),
+            "BT" => Ok(Benchmark::BT),
+            "FT" => Ok(Benchmark::FT),
+            "EP" => Ok(Benchmark::EP),
+            other => Err(format!("unknown benchmark '{other}'")),
+        }
+    }
+}
+
+/// NPB problem classes used in the paper (A for the headline experiments'
+/// parallel list, B for serial §4.1, C for the fig. 6 traces).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Smallest evaluated class.
+    A,
+    /// Mid class: the serial experiments (§4.1, 188–400 MB footprints).
+    B,
+    /// Large class: the 4-node trace experiments (§4, 188 MB/rank for LU).
+    C,
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromStr for Class {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "A" => Ok(Class::A),
+            "B" => Ok(Class::B),
+            "C" => Ok(Class::C),
+            other => Err(format!("unknown class '{other}'")),
+        }
+    }
+}
+
+/// A benchmark instance: code, class, and degree of parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which NPB2 code.
+    pub bench: Benchmark,
+    /// Problem class.
+    pub class: Class,
+    /// Number of MPI ranks (1 = the serial version of §4.1).
+    pub nprocs: u32,
+}
+
+impl WorkloadSpec {
+    /// A serial instance.
+    pub fn serial(bench: Benchmark, class: Class) -> Self {
+        WorkloadSpec {
+            bench,
+            class,
+            nprocs: 1,
+        }
+    }
+
+    /// An `n`-rank parallel instance.
+    pub fn parallel(bench: Benchmark, class: Class, nprocs: u32) -> Self {
+        WorkloadSpec {
+            bench,
+            class,
+            nprocs: nprocs.max(1),
+        }
+    }
+
+    /// Total problem footprint in MiB (serial memory requirement),
+    /// following published NPB2 sizes closely enough for the paper's
+    /// pressure regimes.
+    pub fn total_footprint_mib(&self) -> u64 {
+        match (self.bench, self.class) {
+            (Benchmark::LU, Class::A) => 45, // the Moreira et al. 45 MB job
+            (Benchmark::LU, Class::B) => 330,
+            (Benchmark::LU, Class::C) => 750, // 188 MB/rank on 4 nodes (§4)
+            (Benchmark::SP, Class::A) => 50,
+            (Benchmark::SP, Class::B) => 314,
+            (Benchmark::SP, Class::C) => 1100,
+            (Benchmark::CG, Class::A) => 55,
+            (Benchmark::CG, Class::B) => 399,
+            (Benchmark::CG, Class::C) => 900,
+            (Benchmark::IS, Class::A) => 33,
+            (Benchmark::IS, Class::B) => 250,
+            (Benchmark::IS, Class::C) => 510,
+            (Benchmark::MG, Class::A) => 57,
+            (Benchmark::MG, Class::B) => 400,
+            (Benchmark::MG, Class::C) => 3400,
+            (Benchmark::BT, Class::A) => 60,
+            (Benchmark::BT, Class::B) => 360,
+            (Benchmark::BT, Class::C) => 1300,
+            (Benchmark::FT, Class::A) => 80,
+            (Benchmark::FT, Class::B) => 450,
+            (Benchmark::FT, Class::C) => 1700,
+            (Benchmark::EP, Class::A) => 3,
+            (Benchmark::EP, Class::B) => 4,
+            (Benchmark::EP, Class::C) => 6,
+        }
+    }
+
+    /// Parallel decomposition overhead: halo cells, per-rank buffers, and
+    /// the MPI library footprint keep per-rank memory above an even split.
+    pub fn halo_factor(&self) -> f64 {
+        match self.bench {
+            Benchmark::LU => 1.08,
+            Benchmark::SP => 1.10,
+            Benchmark::CG => 1.05,
+            Benchmark::IS => 1.05,
+            Benchmark::MG => 1.12,
+            Benchmark::BT => 1.10,
+            Benchmark::FT => 1.08,
+            Benchmark::EP => 1.01,
+        }
+    }
+
+    /// Address-space size of one rank, in pages.
+    pub fn footprint_pages_per_rank(&self) -> u32 {
+        let total = pages_from_mib(self.total_footprint_mib()) as f64;
+        if self.nprocs <= 1 {
+            return total as u32;
+        }
+        ((total / self.nprocs as f64) * self.halo_factor()).ceil() as u32
+    }
+
+    /// Iterations to completion (init pass excluded). Chosen so a class B
+    /// serial run computes for tens of minutes — the scale at which
+    /// 5-minute gang quanta and multi-minute paging storms interact the
+    /// way the paper shows.
+    pub fn iterations(&self) -> u32 {
+        let base = match self.bench {
+            Benchmark::LU => 100,
+            Benchmark::SP => 80,
+            Benchmark::CG => 90,
+            Benchmark::IS => 160,
+            Benchmark::MG => 80,
+            Benchmark::BT => 70,
+            Benchmark::FT => 60,
+            Benchmark::EP => 40,
+        };
+        match self.class {
+            Class::A => base / 2,
+            Class::B => base,
+            Class::C => base + base / 4,
+        }
+    }
+
+    /// Behavioral profile driving the step generator.
+    pub fn profile(&self) -> BenchProfile {
+        match self.bench {
+            Benchmark::LU => BenchProfile {
+                sweep_fraction: 0.92,
+                sweeps: 2,
+                sweep_write: true,
+                random_region_fraction: 0.0,
+                random_run_len: 0,
+                random_coverage: 0.0,
+                random_write: false,
+                cpu_per_page: SimDur::from_us(60),
+                exchange_bytes: 200 * 1024,
+                alltoall: false,
+                mg_levels: 0,
+                compute_per_iter: SimDur::ZERO,
+            },
+            Benchmark::SP => BenchProfile {
+                sweep_fraction: 0.90,
+                sweeps: 3,
+                sweep_write: true,
+                random_region_fraction: 0.0,
+                random_run_len: 0,
+                random_coverage: 0.0,
+                random_write: false,
+                cpu_per_page: SimDur::from_us(70),
+                exchange_bytes: 400 * 1024,
+                alltoall: false,
+                mg_levels: 0,
+                compute_per_iter: SimDur::ZERO,
+            },
+            Benchmark::CG => BenchProfile {
+                // The sparse matrix: read-only after initialization, so
+                // its pages evict cheaply — one reason CG benefits least.
+                sweep_fraction: 0.60,
+                sweeps: 1,
+                sweep_write: false,
+                random_region_fraction: 0.12,
+                random_run_len: 8,
+                random_coverage: 1.0,
+                random_write: true,
+                cpu_per_page: SimDur::from_us(60),
+                exchange_bytes: 64 * 1024,
+                alltoall: false,
+                mg_levels: 0,
+                compute_per_iter: SimDur::ZERO,
+            },
+            Benchmark::IS => BenchProfile {
+                // Counting pass + ranking pass over the key array.
+                sweep_fraction: 0.45,
+                sweeps: 2,
+                sweep_write: false,
+                random_region_fraction: 0.25,
+                random_run_len: 4,
+                random_coverage: 0.7,
+                random_write: true,
+                cpu_per_page: SimDur::from_us(40),
+                exchange_bytes: 1024 * 1024,
+                alltoall: true,
+                mg_levels: 0,
+                compute_per_iter: SimDur::ZERO,
+            },
+            Benchmark::MG => BenchProfile {
+                sweep_fraction: 0.95,
+                sweeps: 1, // per level, down & up the V-cycle
+                sweep_write: true,
+                random_region_fraction: 0.0,
+                random_run_len: 0,
+                random_coverage: 0.0,
+                random_write: false,
+                cpu_per_page: SimDur::from_us(45),
+                exchange_bytes: 150 * 1024,
+                alltoall: false,
+                mg_levels: 4,
+                compute_per_iter: SimDur::ZERO,
+            },
+            Benchmark::BT => BenchProfile {
+                // Three directional block solves, the heaviest regular code.
+                sweep_fraction: 0.93,
+                sweeps: 3,
+                sweep_write: true,
+                random_region_fraction: 0.0,
+                random_run_len: 0,
+                random_coverage: 0.0,
+                random_write: false,
+                cpu_per_page: SimDur::from_us(90),
+                exchange_bytes: 500 * 1024,
+                alltoall: false,
+                mg_levels: 0,
+                compute_per_iter: SimDur::ZERO,
+            },
+            Benchmark::FT => BenchProfile {
+                // Forward + inverse FFT passes over the grid, then a
+                // full transpose (all-to-all) every iteration.
+                sweep_fraction: 0.96,
+                sweeps: 2,
+                sweep_write: true,
+                random_region_fraction: 0.0,
+                random_run_len: 0,
+                random_coverage: 0.0,
+                random_write: false,
+                cpu_per_page: SimDur::from_us(55),
+                exchange_bytes: 4 * 1024 * 1024,
+                alltoall: true,
+                mg_levels: 0,
+                compute_per_iter: SimDur::ZERO,
+            },
+            Benchmark::EP => BenchProfile {
+                // Random-number tallies in a tiny table; virtually all CPU.
+                sweep_fraction: 0.9,
+                sweeps: 1,
+                sweep_write: true,
+                random_region_fraction: 0.0,
+                random_run_len: 0,
+                random_coverage: 0.0,
+                random_write: false,
+                cpu_per_page: SimDur::from_us(20),
+                exchange_bytes: 4 * 1024,
+                alltoall: false,
+                mg_levels: 0,
+                compute_per_iter: SimDur::from_secs(8),
+            },
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}x{}", self.bench, self.class, self.nprocs)
+    }
+}
+
+/// Behavioral knobs for the step generator (see [`WorkloadSpec::profile`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchProfile {
+    /// Fraction of the rank footprint swept sequentially each iteration.
+    pub sweep_fraction: f64,
+    /// Sequential sweeps per iteration (per level for MG).
+    pub sweeps: u32,
+    /// Whether sweep touches dirty their pages.
+    pub sweep_write: bool,
+    /// Fraction of the footprint addressed by scattered touches.
+    pub random_region_fraction: f64,
+    /// Length in pages of each scattered touch run.
+    pub random_run_len: u32,
+    /// Fraction of the random region touched per iteration.
+    pub random_coverage: f64,
+    /// Whether scattered touches write.
+    pub random_write: bool,
+    /// CPU charged per touched page.
+    pub cpu_per_page: SimDur,
+    /// Bytes exchanged with neighbors per iteration (parallel runs).
+    pub exchange_bytes: u64,
+    /// Whether the per-iteration communication is an all-to-all (IS).
+    pub alltoall: bool,
+    /// Multigrid V-cycle depth; 0 for non-MG codes.
+    pub mg_levels: u32,
+    /// Pure computation per iteration beyond the per-page costs (EP's
+    /// random-number generation dominates its runtime this way).
+    pub compute_per_iter: SimDur,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_b_serial_footprints_match_papers_range() {
+        // §4.1 footnote: the selected class B programs need 188–400 MB.
+        for b in Benchmark::PAPER_FIVE {
+            let mib = WorkloadSpec::serial(b, Class::B).total_footprint_mib();
+            assert!((250..=400).contains(&mib), "{b}: {mib} MiB");
+        }
+    }
+
+    #[test]
+    fn lu_class_c_four_ranks_matches_paper() {
+        // §4: "the data class C of LU uses only 188 MB when running on 4
+        // machines in parallel".
+        let spec = WorkloadSpec::parallel(Benchmark::LU, Class::C, 4);
+        let mib = agp_sim::units::mib_from_pages(spec.footprint_pages_per_rank() as usize);
+        assert!((185.0..=210.0).contains(&mib), "got {mib:.1} MiB/rank");
+    }
+
+    #[test]
+    fn moreira_job_is_45_mib() {
+        let spec = WorkloadSpec::serial(Benchmark::LU, Class::A);
+        assert_eq!(spec.total_footprint_mib(), 45);
+    }
+
+    #[test]
+    fn parallel_split_shrinks_with_ranks_but_never_below_even_share() {
+        for b in Benchmark::ALL {
+            let serial = WorkloadSpec::serial(b, Class::B).footprint_pages_per_rank();
+            let two = WorkloadSpec::parallel(b, Class::B, 2).footprint_pages_per_rank();
+            let four = WorkloadSpec::parallel(b, Class::B, 4).footprint_pages_per_rank();
+            assert!(two < serial && four < two, "{b}");
+            assert!(two as f64 > serial as f64 / 2.0, "{b}: halo overhead present");
+            assert!(four as f64 > serial as f64 / 4.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn iterations_scale_with_class() {
+        for b in Benchmark::ALL {
+            let a = WorkloadSpec::serial(b, Class::A).iterations();
+            let bb = WorkloadSpec::serial(b, Class::B).iterations();
+            let c = WorkloadSpec::serial(b, Class::C).iterations();
+            assert!(a < bb && bb < c, "{b}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_self_consistent() {
+        for b in Benchmark::ALL {
+            let p = WorkloadSpec::serial(b, Class::B).profile();
+            assert!(p.sweep_fraction > 0.0 && p.sweep_fraction <= 1.0);
+            assert!(p.sweep_fraction + p.random_region_fraction <= 1.0, "{b}");
+            assert!(p.cpu_per_page > SimDur::ZERO);
+            if p.random_region_fraction > 0.0 {
+                assert!(p.random_run_len > 0, "{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("lu".parse::<Benchmark>().unwrap(), Benchmark::LU);
+        assert_eq!("b".parse::<Class>().unwrap(), Class::B);
+        assert!("xx".parse::<Benchmark>().is_err());
+        let s = WorkloadSpec::parallel(Benchmark::MG, Class::B, 2);
+        assert_eq!(s.to_string(), "MG.Bx2");
+    }
+}

@@ -1,0 +1,72 @@
+//! A mixed-workload gang-scheduled cluster: three different parallel
+//! jobs timesharing four nodes, the general case the Ousterhout matrix
+//! exists for.
+//!
+//! ```text
+//! cargo run --release --example cluster_gang
+//! ```
+//!
+//! Unlike the paper's two-identical-instances experiments, this runs a
+//! compute-bound LU, an irregular CG, and a sort-and-communicate IS
+//! against each other, and shows per-job completions, per-node paging,
+//! and the engine counters under both the original and the adaptive
+//! kernel.
+
+use adaptive_gang_paging::cluster::{self, ClusterConfig, JobSpec, ScheduleMode};
+use adaptive_gang_paging::core::PolicyConfig;
+use adaptive_gang_paging::sim::SimDur;
+use adaptive_gang_paging::workload::{Benchmark, Class, WorkloadSpec};
+
+fn config(policy: PolicyConfig) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_defaults(4);
+    cfg.mem_mib = 256;
+    cfg.wired_mib = 208; // 48 MiB usable per node: any one rank fits, three don't
+    cfg.quantum = SimDur::from_secs(15);
+    cfg.policy = policy;
+    cfg.mode = ScheduleMode::Gang;
+    cfg.jobs = vec![
+        JobSpec::new("LU.A x4", WorkloadSpec::parallel(Benchmark::LU, Class::A, 4)),
+        JobSpec::new("CG.A x4", WorkloadSpec::parallel(Benchmark::CG, Class::A, 4)),
+        JobSpec::new("IS.A x4", WorkloadSpec::parallel(Benchmark::IS, Class::A, 4)),
+    ];
+    cfg
+}
+
+fn main() -> Result<(), String> {
+    for policy in [PolicyConfig::original(), PolicyConfig::full()] {
+        let r = cluster::run(config(policy))?;
+        println!("═══ policy {} ═══", r.policy);
+        println!(
+            "makespan {}  ({} gang switches, {} sim events)",
+            r.makespan, r.switches, r.events
+        );
+        for j in &r.jobs {
+            println!(
+                "  {:<10} finished at {}  ({} iterations)",
+                j.name,
+                j.completion,
+                j.iterations
+            );
+        }
+        for (i, n) in r.nodes.iter().enumerate() {
+            println!(
+                "  node{i}: {:>8} pages in, {:>8} out, disk busy {}, {} seeks",
+                n.disk.pages_read,
+                n.disk.pages_written,
+                n.disk.busy,
+                n.disk.seeks
+            );
+        }
+        let es = r.total_engine_stats();
+        println!(
+            "  engine: {} major faults, {} false evictions, {} recorded, {} replayed\n",
+            es.major_faults, es.false_evictions, es.recorded_pages, es.replayed_pages
+        );
+    }
+    println!(
+        "note: all three jobs finish sooner under so/ao/ai/bg because every switch\n\
+         moves each rank's working set as a few large sequential transfers instead\n\
+         of a quantum-long trickle of interfering reads and writes."
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! # adaptive-gang-paging — facade crate
+//!
+//! Re-exports the whole workspace under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! ```
+//! use adaptive_gang_paging as agp;
+//! let _ = agp::sim::SimTime::from_secs(1);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use agp_cluster as cluster;
+pub use agp_core as core;
+pub use agp_disk as disk;
+pub use agp_experiments as experiments;
+pub use agp_gang as gang;
+pub use agp_mem as mem;
+pub use agp_metrics as metrics;
+pub use agp_net as net;
+pub use agp_sim as sim;
+pub use agp_workload as workload;

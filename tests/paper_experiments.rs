@@ -1,0 +1,91 @@
+//! Integration tests over the experiment harness: every registered paper
+//! experiment must run at quick scale and exhibit the claims its figure
+//! makes.
+
+use adaptive_gang_paging::experiments::{all_experiments, find, Scale};
+
+#[test]
+fn every_registered_experiment_runs_at_quick_scale() {
+    for e in all_experiments() {
+        let out = (e.runner)(Scale::Quick).unwrap_or_else(|err| panic!("{} failed: {err}", e.id));
+        assert_eq!(out.id, e.id);
+        assert!(!out.tables.is_empty(), "{} produced no tables", e.id);
+        for t in &out.tables {
+            assert!(!t.is_empty(), "{}: empty table '{}'", e.id, t.title());
+        }
+        assert!(!out.notes.is_empty(), "{} produced no notes", e.id);
+    }
+}
+
+#[test]
+fn fig6_traces_show_compaction() {
+    let out = (find("fig6").unwrap().runner)(Scale::Quick).unwrap();
+    assert_eq!(out.traces.len(), 4, "four policy panels");
+    let t = &out.tables[0];
+    let active_orig: usize = t.cell(0, 4).parse().unwrap();
+    let active_full: usize = t.cell(3, 4).parse().unwrap();
+    assert!(
+        active_full <= active_orig,
+        "adaptive paging must compact activity: {active_full} vs {active_orig} buckets"
+    );
+    let vol_orig: u64 = t.cell(0, 2).parse().unwrap();
+    let vol_so: u64 = t.cell(1, 2).parse().unwrap();
+    assert!(vol_so <= vol_orig, "selective reduces paging volume");
+}
+
+#[test]
+fn fig7_reduction_column_is_positive_under_pressure() {
+    let out = (find("fig7").unwrap().runner)(Scale::Quick).unwrap();
+    let c = &out.tables[2];
+    // At least LU and MG (big working sets) must show strong reductions.
+    for r in 0..c.len() {
+        let bench = c.cell(r, 0);
+        let red: f64 = c.cell(r, 1).parse().unwrap();
+        if bench == "LU" || bench == "MG" {
+            assert!(red > 30.0, "{bench}: expected a strong reduction, got {red}");
+        }
+        assert!(red > -20.0, "{bench}: adaptive must not badly regress ({red})");
+    }
+}
+
+#[test]
+fn fig9_so_and_full_beat_original_everywhere() {
+    let out = (find("fig9").unwrap().runner)(Scale::Quick).unwrap();
+    let c = &out.tables[2]; // reduction table: ai, so, so/ao, so/ao/bg, full
+    for r in 0..c.len() {
+        let so: f64 = c.cell(r, 2).parse().unwrap();
+        let full: f64 = c.cell(r, 5).parse().unwrap();
+        assert!(so > 0.0, "{}: so reduction {so}", c.cell(r, 0));
+        assert!(full > 0.0, "{}: full reduction {full}", c.cell(r, 0));
+    }
+}
+
+#[test]
+fn moreira_motivation_shows_memory_cliff() {
+    let out = (find("moreira").unwrap().runner)(Scale::Quick).unwrap();
+    let ratio: f64 = out.tables[1].cell(0, 0).parse().unwrap();
+    assert!(ratio > 1.3, "128 MB must be much slower than 256 MB: {ratio}");
+}
+
+#[test]
+fn bg_ablation_rewrite_cost_grows_with_window() {
+    let out = (find("bgablate").unwrap().runner)(Scale::Quick).unwrap();
+    let t = &out.tables[0];
+    let first_out: u64 = t.cell(0, 3).parse().unwrap();
+    let last_out: u64 = t.cell(t.len() - 1, 3).parse().unwrap();
+    assert!(last_out >= first_out, "wider bg windows cannot write less");
+}
+
+#[test]
+fn quantum_sweep_adaptive_wins_at_short_quanta() {
+    let out = (find("quantum").unwrap().runner)(Scale::Quick).unwrap();
+    let t = &out.tables[0];
+    let ov_orig: f64 = t.cell(0, 1).parse().unwrap();
+    let ov_full: f64 = t.cell(0, 2).parse().unwrap();
+    assert!(ov_full <= ov_orig + 1e-9);
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(find("fig99").is_none());
+}
