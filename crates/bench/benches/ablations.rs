@@ -44,9 +44,17 @@ fn baseline_kind(c: &mut Criterion) {
     let scale = print_scale();
     let mut t = Table::new(
         "ablation: baseline replacement (LU serial pair)",
-        &["baseline", "orig overhead %", "full-policy reduction %", "false evictions"],
+        &[
+            "baseline",
+            "orig overhead %",
+            "full-policy reduction %",
+            "false evictions",
+        ],
     );
-    for (name, kind) in [("2.2 clock", BaselineKind::Clock), ("global LRU", BaselineKind::GlobalLru)] {
+    for (name, kind) in [
+        ("2.2 clock", BaselineKind::Clock),
+        ("global LRU", BaselineKind::GlobalLru),
+    ] {
         let mut orig_p = PolicyConfig::original();
         orig_p.baseline = kind;
         let mut full_p = PolicyConfig::full();
@@ -85,7 +93,12 @@ fn readahead_window(c: &mut Criterion) {
     let scale = print_scale();
     let mut t = Table::new(
         "ablation: swap read-ahead window under the original kernel (§3.3)",
-        &["window (pages)", "completion (min)", "pages in", "major faults"],
+        &[
+            "window (pages)",
+            "completion (min)",
+            "pages in",
+            "major faults",
+        ],
     );
     for window in [1usize, 4, 16, 64, 256] {
         let mut cfg = scenario(PolicyConfig::original(), ScheduleMode::Gang, scale);

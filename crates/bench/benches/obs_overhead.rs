@@ -1,0 +1,50 @@
+//! Observability overhead: the same fig6-scale gang run with no observer
+//! attached (the default every experiment uses), with the aggregating
+//! [`Collector`], and with the JSONL exporter writing to memory. The
+//! first two should be near-identical — a disabled `ObsLink` is one
+//! `Option` check per site — and the third bounds the cost of full
+//! structured tracing.
+
+use agp_experiments::{profile_config, Scale};
+use agp_obs::{shared, Collector, JsonlWriter, ObsLink, SharedSink};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn cfg() -> agp_cluster::ClusterConfig {
+    profile_config("fig6", Scale::Quick).expect("fig6 is registered")
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    group.bench_function("fig6_quick_no_observer", |b| {
+        b.iter(|| black_box(agp_cluster::run(cfg()).unwrap().makespan));
+    });
+
+    group.bench_function("fig6_quick_collector", |b| {
+        b.iter(|| {
+            let sink = shared(Collector::new());
+            let link = ObsLink::to(sink.clone() as SharedSink);
+            let r = agp_cluster::run_observed(cfg(), &link).unwrap();
+            let events = sink.lock().unwrap().counters.events;
+            black_box((r.makespan, events))
+        });
+    });
+
+    group.bench_function("fig6_quick_jsonl_to_memory", |b| {
+        b.iter(|| {
+            let sink = shared(JsonlWriter::new(Vec::new()));
+            let link = ObsLink::to(sink.clone() as SharedSink);
+            let r = agp_cluster::run_observed(cfg(), &link).unwrap();
+            let lines = sink.lock().unwrap().lines();
+            black_box((r.makespan, lines))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(obs, obs_overhead);
+criterion_main!(obs);

@@ -44,7 +44,13 @@ fn touch_run(c: &mut Criterion) {
             let mut done = 0u32;
             while done < 65_536 {
                 let (hits, fault) = k
-                    .touch_run(pid, PageNum(done), 1024.min((65_536 - done) as usize), true, now)
+                    .touch_run(
+                        pid,
+                        PageNum(done),
+                        1024.min((65_536 - done) as usize),
+                        true,
+                        now,
+                    )
                     .unwrap();
                 assert!(fault.is_none());
                 done += hits as u32;
@@ -61,17 +67,17 @@ fn reclaim_under_pressure(c: &mut Criterion) {
                 let mut k = Kernel::new(VmParams::for_frames(66_000, 0), 1 << 20);
                 k.register_proc(ProcId(1), 65_536);
                 for p in 0..65_000u32 {
-                    k.map_in(ProcId(1), PageNum(p), SimTime::from_us(p as u64)).unwrap();
+                    k.map_in(ProcId(1), PageNum(p), SimTime::from_us(p as u64))
+                        .unwrap();
                     if p % 2 == 0 {
-                        k.touch(ProcId(1), PageNum(p), true, SimTime::from_us(p as u64)).unwrap();
+                        k.touch(ProcId(1), PageNum(p), true, SimTime::from_us(p as u64))
+                            .unwrap();
                     }
                 }
                 (k, PagingEngine::new(PolicyConfig::original()))
             },
             |(mut k, mut e)| {
-                let w = e
-                    .free_pages(&mut k, 2048, SimTime::from_secs(100))
-                    .unwrap();
+                let w = e.free_pages(&mut k, 2048, SimTime::from_secs(100)).unwrap();
                 black_box((k.free_frames(), w.len()))
             },
         );
@@ -92,9 +98,7 @@ fn evict_batch_contiguity(c: &mut Criterion) {
             },
             |mut k| {
                 let pages: Vec<PageNum> = (0..8_192).map(PageNum).collect();
-                let ext = k
-                    .evict_batch(ProcId(1), &pages, &mut Vec::new())
-                    .unwrap();
+                let ext = k.evict_batch(ProcId(1), &pages, &mut Vec::new()).unwrap();
                 black_box(ext.len())
             },
         );
@@ -105,9 +109,7 @@ fn disk_service(c: &mut Criterion) {
     c.bench_function("disk_submit_1k_requests", |b| {
         let mut rng = SimRng::new(3);
         let reqs: Vec<DiskRequest> = (0..1000)
-            .map(|_| {
-                DiskRequest::read(vec![Extent::new(rng.below(500_000), 1 + rng.below(63))])
-            })
+            .map(|_| DiskRequest::read(vec![Extent::new(rng.below(500_000), 1 + rng.below(63))]))
             .collect();
         b.iter(|| {
             let mut d = Disk::new(DiskParams::default());

@@ -20,7 +20,10 @@
 
 /// Print an experiment's output (tables + notes) to stderr, labeled.
 pub fn print_output(out: &agp_experiments::ExperimentOutput) {
-    eprintln!("\n================ {} — {} ================", out.id, out.title);
+    eprintln!(
+        "\n================ {} — {} ================",
+        out.id, out.title
+    );
     for t in &out.tables {
         eprintln!("{t}");
     }

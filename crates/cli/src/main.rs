@@ -6,6 +6,8 @@
 //! agp run all --scale quick        # CI-sized pass over every figure
 //! agp sim --bench LU --class B --nodes 1 --policy so/ao/ai/bg ...
 //!                                  # one custom cluster run
+//! agp profile fig6 [--events ev.jsonl]
+//!                                  # switch-phase breakdown + histograms
 //! ```
 //!
 //! Output is plain text: aligned tables, unicode sparklines for the
@@ -14,11 +16,14 @@
 
 use agp_cluster::{ClusterConfig, JobSpec, ScheduleMode};
 use agp_core::PolicyConfig;
-use agp_experiments::{all_experiments, find, ExperimentOutput, Scale};
-use agp_metrics::report::sparkline;
+use agp_experiments::{all_experiments, find, profile_config, ExperimentOutput, Scale};
+use agp_metrics::report::{bar_chart, sparkline};
+use agp_metrics::Table;
+use agp_obs::{shared, Collector, JsonlWriter, ObsLink, SharedSink};
 use agp_sim::SimDur;
 use agp_workload::{Benchmark, Class, WorkloadSpec};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +31,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -48,11 +54,13 @@ fn print_usage() {
          USAGE:\n\
          \x20 agp list                          list the paper experiments\n\
          \x20 agp run <id>|all [options]        regenerate a figure/table\n\
-         \x20 agp sim [options]                 run one custom cluster configuration\n\n\
+         \x20 agp sim [options]                 run one custom cluster configuration\n\
+         \x20 agp profile <id> [options]        profile an experiment's gang switches\n\n\
          RUN OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: paper)\n\
          \x20 --csv                             emit tables as CSV\n\
-         \x20 --json                            emit the raw experiment output as JSON\n\n\
+         \x20 --json                            emit the raw experiment output as JSON\n\
+         \x20 --trace                           print the experiments' paging traces\n\n\
          SIM OPTIONS:\n\
          \x20 --bench LU|SP|CG|IS|MG            workload (default LU)\n\
          \x20 --class A|B|C                     problem class (default B)\n\
@@ -63,7 +71,12 @@ fn print_usage() {
          \x20 --mem MIB / --wired MIB           node memory geometry (default 1024/574)\n\
          \x20 --batch                           run jobs back-to-back instead of gang\n\
          \x20 --seed N                          RNG seed (default 0x5EED600D)\n\
-         \x20 --trace                           print the node-0 paging trace"
+         \x20 --trace                           print the node-0 paging trace\n\
+         \x20 --events PATH                     export the structured event stream as JSONL\n\n\
+         PROFILE OPTIONS:\n\
+         \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
+         \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
+         \x20 --events PATH                     also export the JSONL event stream"
     );
 }
 
@@ -79,6 +92,7 @@ struct Flags {
     scale: Scale,
     csv: bool,
     json: bool,
+    trace: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
@@ -86,6 +100,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         scale: Scale::Paper,
         csv: false,
         json: false,
+        trace: false,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -97,6 +112,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             }
             "--csv" => flags.csv = true,
             "--json" => flags.json = true,
+            "--trace" => flags.trace = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option '{other}'"));
             }
@@ -141,9 +157,11 @@ fn render(out: &ExperimentOutput, flags: &Flags) -> Result<(), String> {
             println!("{t}");
         }
     }
-    for (label, trace) in &out.traces {
-        println!("trace [{label:<11}] in : {}", sparkline(trace.ins()));
-        println!("trace [{label:<11}] out: {}", sparkline(trace.outs()));
+    if flags.trace {
+        for (label, trace) in &out.traces {
+            println!("trace [{label:<11}] in : {}", sparkline(trace.ins()));
+            println!("trace [{label:<11}] out: {}", sparkline(trace.outs()));
+        }
     }
     if !out.notes.is_empty() {
         println!("\nnotes:");
@@ -166,6 +184,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     let mut batch = false;
     let mut seed = 0x5EED_600Du64;
     let mut show_trace = false;
+    let mut events: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -198,6 +217,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             "--seed" => seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--batch" => batch = true,
             "--trace" => show_trace = true,
+            "--events" => events = Some(val("--events")?.clone()),
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -219,7 +239,23 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         .collect();
 
     let t0 = std::time::Instant::now();
-    let r = agp_cluster::run(cfg)?;
+    let r = match &events {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("--events {path}: {e}"))?;
+            let sink = shared(JsonlWriter::new(std::io::BufWriter::new(file)));
+            let link = ObsLink::to(sink.clone() as SharedSink);
+            let r = agp_cluster::run_observed(cfg, &link)?;
+            drop(link);
+            let writer = unwrap_sink(sink)?;
+            let lines = writer.lines();
+            writer
+                .finish()
+                .map_err(|e| format!("--events {path}: {e}"))?;
+            eprintln!("wrote {lines} events to {path}");
+            r
+        }
+        None => agp_cluster::run(cfg)?,
+    };
     eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
 
     println!(
@@ -259,6 +295,144 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         let tr = &r.nodes[0].trace;
         println!("node0 page-in  : {}", sparkline(tr.ins()));
         println!("node0 page-out : {}", sparkline(tr.outs()));
+    }
+    Ok(())
+}
+
+/// Recover a sink from its `Arc` once the simulation has dropped every
+/// observer link (guaranteed after `run_observed` returns).
+fn unwrap_sink<T>(sink: Arc<Mutex<T>>) -> Result<T, String> {
+    let mutex = Arc::try_unwrap(sink)
+        .map_err(|_| "observer sink still shared after the run".to_string())?;
+    Ok(mutex
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner))
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut id: Option<String> = None;
+    let mut scale = Scale::Quick;
+    let mut policy: Option<PolicyConfig> = None;
+    let mut events: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => scale = val("--scale")?.parse()?,
+            "--policy" => policy = Some(val("--policy")?.parse().map_err(|e| format!("{e}"))?),
+            "--events" => events = Some(val("--events")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            other => id = Some(other.to_string()),
+        }
+    }
+    let id =
+        id.ok_or("usage: agp profile <id> [--scale paper|quick] [--policy P] [--events PATH]")?;
+    let mut cfg = profile_config(&id, scale)
+        .ok_or_else(|| format!("no experiment '{id}' (see `agp list`)"))?;
+    if let Some(p) = policy {
+        cfg.policy = p;
+    }
+
+    let collector = shared(Collector::new());
+    let mut sinks: Vec<SharedSink> = vec![collector.clone() as SharedSink];
+    let jsonl = match &events {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("--events {path}: {e}"))?;
+            let sink = shared(JsonlWriter::new(std::io::BufWriter::new(file)));
+            sinks.push(sink.clone() as SharedSink);
+            Some(sink)
+        }
+        None => None,
+    };
+    let link = ObsLink::fanout(sinks);
+
+    eprintln!("profiling {id} ({scale:?} scale)...");
+    let t0 = std::time::Instant::now();
+    let r = agp_cluster::run_observed(cfg, &link)?;
+    drop(link);
+    eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
+    if let (Some(path), Some(sink)) = (&events, jsonl) {
+        let writer = unwrap_sink(sink)?;
+        let lines = writer.lines();
+        writer
+            .finish()
+            .map_err(|e| format!("--events {path}: {e}"))?;
+        eprintln!("wrote {lines} events to {path}");
+    }
+    let c = unwrap_sink(collector)?;
+
+    println!(
+        "policy {}  mode {:?}  makespan {:.1} min  switches {}",
+        r.policy,
+        r.mode,
+        r.makespan.as_mins_f64(),
+        r.switches
+    );
+
+    let mut table = Table::new(
+        format!("{id}: switch-phase breakdown (us)"),
+        &[
+            "switch", "at (s)", "stop", "page-out", "page-in", "cont", "total",
+        ],
+    );
+    for rec in c.switch_records() {
+        table.row(vec![
+            rec.switch.to_string(),
+            format!("{:.1}", rec.at_us as f64 / 1e6),
+            rec.stop_us.to_string(),
+            rec.page_out_us.to_string(),
+            rec.page_in_us.to_string(),
+            rec.cont_us.to_string(),
+            rec.total_us.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let n = c.counters;
+    println!(
+        "events {}: {} major faults ({} serviced, {} readahead pages), {} evictions \
+         ({} false, {} recorded), {} reclaim runs freeing {}, {} aggressive, \
+         {} replayed ({} skipped), {} bg bursts cleaning {}",
+        n.events,
+        n.faults_major,
+        n.majors_serviced,
+        n.readahead_pages,
+        n.evictions,
+        n.false_evictions,
+        n.recorded_evictions,
+        n.reclaim_runs,
+        n.reclaim_freed,
+        n.aggressive_pages,
+        n.replayed_pages,
+        n.replay_skipped,
+        n.bg_ticks,
+        n.bg_pages,
+    );
+    println!(
+        "disk: {} reads ({} pages), {} writes ({} pages); {} barriers",
+        n.disk_reads, n.disk_pages_read, n.disk_writes, n.disk_pages_written, n.barriers
+    );
+
+    for (name, h) in [
+        ("switch duration", &c.switch_total),
+        ("fault service", &c.fault_service),
+        ("disk queue wait", &c.disk_wait),
+        ("disk service", &c.disk_service),
+        ("barrier skew", &c.barrier_skew),
+    ] {
+        if h.is_empty() {
+            println!("\n{name}: no samples");
+            continue;
+        }
+        println!(
+            "\n{name}: n={}  mean={}us  max={}us",
+            h.count(),
+            h.mean_us(),
+            h.max_us()
+        );
+        print!("{}", bar_chart(&h.rows()));
     }
     Ok(())
 }

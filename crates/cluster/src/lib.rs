@@ -43,3 +43,12 @@ pub use sim::ClusterSim;
 pub fn run(config: ClusterConfig) -> Result<RunResult, String> {
     ClusterSim::new(config)?.run()
 }
+
+/// Run a configuration with an observation link attached (see
+/// [`ClusterSim::attach_observer`] for how sinks and source tags are
+/// wired).
+pub fn run_observed(config: ClusterConfig, link: &agp_obs::ObsLink) -> Result<RunResult, String> {
+    let mut sim = ClusterSim::new(config)?;
+    sim.attach_observer(link);
+    sim.run()
+}

@@ -137,13 +137,7 @@ mod tests {
 
     fn proc() -> SimProc {
         let spec = WorkloadSpec::serial(Benchmark::IS, Class::A);
-        SimProc::new(
-            ProcId(7),
-            JobId(0),
-            0,
-            0,
-            ProcessProgram::new(spec, 0, 1),
-        )
+        SimProc::new(ProcId(7), JobId(0), 0, 0, ProcessProgram::new(spec, 0, 1))
     }
 
     #[test]

@@ -32,6 +32,7 @@ use agp_gang::{GangScheduler, JobId, NodeSet};
 use agp_mem::{Kernel, MemError, PageNum, ProcId, VmParams};
 use agp_metrics::ActivityTrace;
 use agp_net::Barrier;
+use agp_obs::{ObsEvent, ObsLink, SwitchPhaseKind, SRC_CLUSTER};
 use agp_sim::{EventQueue, SimTime};
 use agp_workload::{ProcessProgram, Step};
 
@@ -82,6 +83,10 @@ pub struct ClusterSim {
     batch_next: usize,
     switches: u64,
     events: u64,
+    obs: ObsLink,
+    /// Switch-event id counter (counts every `do_switch`, including the
+    /// initial placement, unlike `switches`).
+    obs_switches: u64,
 }
 
 impl ClusterSim {
@@ -146,7 +151,27 @@ impl ClusterSim {
             batch_next: 0,
             switches: 0,
             events: 0,
+            obs: ObsLink::disabled(),
+            obs_switches: 0,
         })
+    }
+
+    /// Attach an observation link before running: every node's kernel,
+    /// engine and disk gets a clone tagged with its node index, every
+    /// job's barrier one tagged with its job index, and the cluster layer
+    /// itself emits under [`SRC_CLUSTER`]. The link's shared clock is
+    /// advanced by the event loop.
+    pub fn attach_observer(&mut self, link: &ObsLink) {
+        for (ni, node) in self.nodes.iter_mut().enumerate() {
+            let tagged = link.with_src(ni as u32);
+            node.kernel.set_observer(tagged.clone());
+            node.engine.set_observer(tagged.clone());
+            node.disk.set_observer(tagged);
+        }
+        for (j, barrier) in self.barriers.iter_mut().enumerate() {
+            barrier.set_observer(link.with_src(j as u32));
+        }
+        self.obs = link.with_src(SRC_CLUSTER);
     }
 
     /// Execute to completion.
@@ -164,6 +189,7 @@ impl ClusterSim {
 
         while let Some((t, ev)) = self.queue.pop() {
             self.now = t;
+            self.obs.tick(t);
             self.events += 1;
             if t.since(SimTime::ZERO) > self.cfg.max_sim_time {
                 return Err(format!(
@@ -321,6 +347,10 @@ impl ClusterSim {
                             completion = completion.max(c);
                         }
                         if completion > t_fault {
+                            self.obs.emit(t_fault, || ObsEvent::FaultService {
+                                pid: pid.0,
+                                wait_us: completion.since(t_fault).as_us(),
+                            });
                             self.procs[p].block_io(now);
                             let gen = self.procs[p].gen;
                             self.queue.push(completion, Event::IoDone { p, gen });
@@ -502,6 +532,10 @@ impl ClusterSim {
         if !out.is_empty() {
             self.switches += 1;
         }
+        // Ends of the write (page-out) and read (page-in) drains across
+        // all nodes, for the switch-phase decomposition.
+        let mut out_end = now;
+        let mut in_end = now;
 
         // 1. SIGSTOP every rank of every outgoing job.
         for &job in &out {
@@ -546,6 +580,7 @@ impl ClusterSim {
                         let pages = req.pages();
                         let c = node.disk.submit(now, &req);
                         node.trace.record_out(c, pages);
+                        out_end = out_end.max(c);
                     }
                 } else {
                     node.engine.set_running(Some(in_pid));
@@ -567,9 +602,41 @@ impl ClusterSim {
                     // The induced faults of Fig. 4: the process starts
                     // computing once its recorded working set is back.
                     resume_at = c;
+                    in_end = in_end.max(c);
                 }
                 self.cont_proc(p, resume_at);
             }
+        }
+
+        // Decompose the switch into the protocol's four phases. STOP and
+        // CONT delivery are instantaneous in this model (signals cost no
+        // simulated time); the page-out phase runs until the last write
+        // drain, the page-in phase from there to the last read drain —
+        // so the four durations sum to the total by construction.
+        let sw = self.obs_switches;
+        self.obs_switches += 1;
+        if self.obs.enabled() {
+            let out_end = out_end.max(now);
+            let in_end = in_end.max(out_end);
+            let pageout_us = out_end.since(now).as_us();
+            let pagein_us = in_end.since(out_end).as_us();
+            let phases = [
+                (SwitchPhaseKind::Stop, 0),
+                (SwitchPhaseKind::PageOut, pageout_us),
+                (SwitchPhaseKind::PageIn, pagein_us),
+                (SwitchPhaseKind::Cont, 0),
+            ];
+            for (phase, dur_us) in phases {
+                self.obs.emit(now, || ObsEvent::SwitchPhase {
+                    switch: sw,
+                    phase,
+                    dur_us,
+                });
+            }
+            self.obs.emit(now, || ObsEvent::SwitchDone {
+                switch: sw,
+                total_us: in_end.since(now).as_us(),
+            });
         }
 
         // 3. Arm the next expiry (only meaningful with ≥ 2 slots) and the
@@ -741,7 +808,11 @@ mod tests {
             .unwrap()
             .run()
             .unwrap();
-        assert!(r.switches >= 2, "expected several quantum switches, got {}", r.switches);
+        assert!(
+            r.switches >= 2,
+            "expected several quantum switches, got {}",
+            r.switches
+        );
         assert!(r.total_pages_in() > 0, "memory pressure must cause paging");
         assert!(r.total_pages_out() > 0);
     }
@@ -827,10 +898,105 @@ mod tests {
         cfg.quantum = SimDur::from_secs(5);
         cfg.trace_bucket = SimDur::from_secs(1);
         cfg.jobs = vec![
-            JobSpec::new("CG.A x2 #1", WorkloadSpec::parallel(Benchmark::CG, Class::A, 2)),
-            JobSpec::new("CG.A x2 #2", WorkloadSpec::parallel(Benchmark::CG, Class::A, 2)),
+            JobSpec::new(
+                "CG.A x2 #1",
+                WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
+            ),
+            JobSpec::new(
+                "CG.A x2 #2",
+                WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
+            ),
         ];
         cfg
+    }
+
+    /// Run `cfg` with a JSONL trace attached and return the result plus
+    /// the rendered trace.
+    fn run_traced(cfg: ClusterConfig) -> (RunResult, String) {
+        let sink = agp_obs::shared(agp_obs::JsonlWriter::new(Vec::new()));
+        let link = agp_obs::ObsLink::to(sink.clone());
+        let mut sim = ClusterSim::new(cfg).unwrap();
+        sim.attach_observer(&link);
+        let r = sim.run().unwrap();
+        drop(link);
+        let writer = std::sync::Arc::try_unwrap(sink)
+            .expect("sim dropped, sink has one owner")
+            .into_inner()
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        (r, String::from_utf8(bytes).unwrap())
+    }
+
+    #[test]
+    fn same_seed_traces_are_byte_identical() {
+        let cfg = || tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
+        let (ra, ta) = run_traced(cfg());
+        let (rb, tb) = run_traced(cfg());
+        assert_eq!(ra.makespan, rb.makespan);
+        assert!(!ta.is_empty(), "a pressured gang run must emit events");
+        assert_eq!(agp_obs::trace_diff(&ta, &tb), None);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seed_traces_diverge() {
+        // CG has a random-region component, so its reference stream (and
+        // hence the event trace) is seed-sensitive; LU is not.
+        let mut a = parallel_cfg();
+        a.seed = 1;
+        let mut b = parallel_cfg();
+        b.seed = 2;
+        let (_, ta) = run_traced(a);
+        let (_, tb) = run_traced(b);
+        let div = agp_obs::trace_diff(&ta, &tb).expect("different seeds must diverge");
+        assert!(div.line >= 1);
+        assert!(div.left.is_some() || div.right.is_some());
+    }
+
+    #[test]
+    fn observer_does_not_perturb_the_simulation() {
+        let plain = ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let (observed, _) = run_traced(tiny_config(PolicyConfig::full(), ScheduleMode::Gang));
+        assert_eq!(plain.makespan, observed.makespan);
+        assert_eq!(plain.events, observed.events);
+        assert_eq!(plain.total_pages_in(), observed.total_pages_in());
+    }
+
+    #[test]
+    fn switch_phase_durations_sum_to_switch_total() {
+        let sink = agp_obs::shared(agp_obs::Collector::new());
+        let link = agp_obs::ObsLink::to(sink.clone());
+        let mut sim =
+            ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang)).unwrap();
+        sim.attach_observer(&link);
+        let r = sim.run().unwrap();
+        let c = sink.lock().unwrap();
+        let recs = c.switch_records();
+        assert_eq!(c.counters.switches as usize, recs.len());
+        assert!(
+            c.counters.switches > r.switches,
+            "every rotation plus the initial placement is recorded"
+        );
+        assert!(
+            recs.iter().any(|rec| rec.total_us > 0),
+            "paging pressure must make some switch cost time"
+        );
+        for rec in recs {
+            assert_eq!(
+                rec.phase_sum_us(),
+                rec.total_us,
+                "switch {} phases must sum to its total",
+                rec.switch
+            );
+        }
+        assert!(
+            c.counters.faults_major + c.counters.faults_minor > 0,
+            "first touches must raise faults"
+        );
+        assert!(c.counters.disk_reads + c.counters.disk_writes > 0);
     }
 
     #[test]
@@ -869,7 +1035,10 @@ mod tests {
             .unwrap();
         let stats = r.total_engine_stats();
         assert!(stats.recorded_pages > 0, "switch evictions are recorded");
-        assert!(stats.replayed_pages > 0, "records are replayed as bulk reads");
+        assert!(
+            stats.replayed_pages > 0,
+            "records are replayed as bulk reads"
+        );
     }
 
     #[test]

@@ -137,8 +137,10 @@ mod tests {
         );
         k.register_proc(pid, n as usize);
         for p in 0..n {
-            k.map_in(pid, PageNum(p), SimTime::from_us(p as u64)).unwrap();
-            k.touch(pid, PageNum(p), true, SimTime::from_us(p as u64)).unwrap();
+            k.map_in(pid, PageNum(p), SimTime::from_us(p as u64))
+                .unwrap();
+            k.touch(pid, PageNum(p), true, SimTime::from_us(p as u64))
+                .unwrap();
         }
         k
     }

@@ -12,6 +12,7 @@ use crate::policy::PolicyConfig;
 use crate::recorder::PageRecorder;
 use agp_disk::{extents_from_blocks, Extent};
 use agp_mem::{Kernel, MapInOutcome, MemError, PageNum, PageState, ProcId};
+use agp_obs::{ObsEvent, ObsLink};
 use agp_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -192,6 +193,7 @@ pub struct PagingEngine {
     lru_cache: GlobalLruCache,
     bg: BgWriter,
     stats: EngineStats,
+    obs: ObsLink,
 }
 
 impl PagingEngine {
@@ -206,7 +208,14 @@ impl PagingEngine {
             lru_cache: GlobalLruCache::default(),
             bg: BgWriter::default(),
             stats: EngineStats::default(),
+            obs: ObsLink::disabled(),
         }
+    }
+
+    /// Attach an observation link (fault-service, reclaim, policy and
+    /// background-writer events).
+    pub fn set_observer(&mut self, obs: ObsLink) {
+        self.obs = obs;
     }
 
     /// Active policy.
@@ -311,12 +320,23 @@ impl PagingEngine {
                             debug_assert_eq!(rb, b2);
                             blocks.push(rb);
                             self.stats.readahead_pages += 1;
+                            self.obs.emit(now, || ObsEvent::ReadaheadHit {
+                                pid: pid.0,
+                                page: p2.0,
+                            });
                         }
                         MapInOutcome::Zeroed => unreachable!("chain pages are swapped"),
                     }
                 }
                 plan.mapped = blocks.len();
                 plan.reads = extents_from_blocks(&mut blocks);
+                self.obs.emit(now, || ObsEvent::MajorFault {
+                    pid: pid.0,
+                    page: page.0,
+                    readahead: (plan.mapped - 1) as u32,
+                    write_pages: plan.writes.iter().map(|e| e.len).sum(),
+                    read_pages: plan.reads.iter().map(|e| e.len).sum(),
+                });
             }
         }
         Ok(plan)
@@ -357,7 +377,6 @@ impl PagingEngine {
         now: SimTime,
         selective_first: bool,
     ) -> Result<Vec<Extent>, MemError> {
-        let _ = now;
         self.stats.reclaim_calls += 1;
         let mut writes: Vec<Extent> = Vec::new();
         let mut freed = 0usize;
@@ -456,6 +475,11 @@ impl PagingEngine {
             }
         }
         self.stats.reclaimed_pages += freed as u64;
+        self.obs.emit(now, || ObsEvent::Reclaim {
+            target: target as u64,
+            freed: freed as u64,
+            write_pages: writes.iter().map(|e| e.len).sum(),
+        });
         Ok(writes)
     }
 
@@ -472,12 +496,24 @@ impl PagingEngine {
         let mut log = Vec::new();
         let ext = kern.evict_batch(pid, pages, &mut log)?;
         writes.extend(ext);
-        if Some(pid) == self.running {
+        let false_eviction = Some(pid) == self.running;
+        let recorded = !false_eviction && self.cfg.adaptive_in;
+        if false_eviction {
             self.stats.false_evictions += log.len() as u64;
-        } else if self.cfg.adaptive_in {
+        } else if recorded {
             let rec = self.recorders.entry(pid).or_default();
             rec.record_all(&log);
             self.stats.recorded_pages += log.len() as u64;
+        }
+        if self.obs.enabled() {
+            for &p in &log {
+                self.obs.emit_clock(|| ObsEvent::Evict {
+                    pid: pid.0,
+                    page: p.0,
+                    false_eviction,
+                    recorded,
+                });
+            }
         }
         Ok(log.len())
     }
@@ -522,6 +558,12 @@ impl PagingEngine {
         cands.truncate(to_free);
         let n = self.evict_recorded(kern, out, &cands, &mut plan.writes)?;
         self.stats.aggressive_evictions += n as u64;
+        if n > 0 {
+            self.obs.emit_clock(|| ObsEvent::AggressiveOut {
+                pid: out.0,
+                pages: n as u64,
+            });
+        }
         // evict_recorded counted these toward reclaimed_pages only via
         // free_pages; keep the aggregate honest here too.
         self.stats.reclaimed_pages += n as u64;
@@ -556,6 +598,8 @@ impl PagingEngine {
         if pages.is_empty() {
             return Ok(plan);
         }
+        let replayed_before = self.stats.replayed_pages;
+        let skipped_before = self.stats.replay_skipped;
         // The record's size is known up front — that is the "adaptive"
         // part — so room for the whole set is made in one aggregate
         // reclaim instead of per induced fault. (Replaying with per-fault
@@ -575,8 +619,7 @@ impl PagingEngine {
         // aggressive page-out does: ending the replay exactly at the
         // reclaim trigger would hand the clock the incoming process as
         // its next victim on the first post-replay allocation.
-        let want_free =
-            (needed + kern.params().freepages_high).min(kern.params().usable_frames());
+        let want_free = (needed + kern.params().freepages_high).min(kern.params().usable_frames());
         let shortfall = want_free.saturating_sub(kern.free_frames());
         if shortfall > 0 {
             plan.writes = self.free_pages_inner(kern, shortfall, now, true)?;
@@ -602,6 +645,11 @@ impl PagingEngine {
             self.stats.replayed_pages += 1;
         }
         plan.reads = extents_from_blocks(&mut blocks);
+        self.obs.emit(now, || ObsEvent::Replay {
+            pid: inn.0,
+            pages: self.stats.replayed_pages - replayed_before,
+            skipped: self.stats.replay_skipped - skipped_before,
+        });
         Ok(plan)
     }
 
@@ -627,7 +675,15 @@ impl PagingEngine {
     /// schedules the next tick. Returns write extents (empty = nothing to
     /// do).
     pub fn bgwrite_tick(&mut self, kern: &mut Kernel) -> Result<Vec<Extent>, MemError> {
-        self.bg.tick(kern)
+        let ext = self.bg.tick(kern)?;
+        if !ext.is_empty() {
+            let pid = self.bg.active().map_or(0, |p| p.0);
+            self.obs.emit_clock(|| ObsEvent::BgTick {
+                pid,
+                pages: ext.iter().map(|e| e.len).sum(),
+            });
+        }
+        Ok(ext)
     }
 
     /// Pages cleaned by the background writer so far.
@@ -690,7 +746,10 @@ mod tests {
         e.set_running(Some(b));
         let plan = e.on_fault(&mut k, b, PageNum(0), NOW).unwrap();
         assert!(!plan.writes.is_empty(), "dirty evictions require writes");
-        assert!(k.free_frames() >= 15, "reclaimed to ~high minus the mapped page");
+        assert!(
+            k.free_frames() >= 15,
+            "reclaimed to ~high minus the mapped page"
+        );
         assert_eq!(e.stats().reclaim_calls, 1);
         k.check_invariants().unwrap();
     }
@@ -709,7 +768,7 @@ mod tests {
         // sweep).
         fill_dirty(&mut k, a, 150, 0);
         let _ = k.clock_sweep_proc(a, 200, 0); // clear ref bits only
-        // Give A one more sweep so bits are all cleared.
+                                               // Give A one more sweep so bits are all cleared.
         let _ = k.clock_sweep_proc(a, 200, 0);
         // B fills the rest: 150 + 98 leaves free = 8... make it dip below min.
         fill_dirty(&mut k, b, 99, 1_000_000); // free = 256-249 = 7 < 8
@@ -779,7 +838,7 @@ mod tests {
         let pages: Vec<PageNum> = (0..100).map(PageNum).collect();
         k.evict_batch(b, &pages, &mut Vec::new()).unwrap();
         k.quantum_started(b).unwrap(); // closes epoch: wss_last = 100
-        // a now owns most of memory.
+                                       // a now owns most of memory.
         fill_dirty(&mut k, a, 240, 1_000);
         assert!(k.free_frames() < 100);
 
@@ -791,7 +850,10 @@ mod tests {
             "free frames now cover b's WSS estimate (100): have {}",
             k.free_frames()
         );
-        assert_eq!(e.stats().aggressive_evictions as usize, plan.write_pages() as usize);
+        assert_eq!(
+            e.stats().aggressive_evictions as usize,
+            plan.write_pages() as usize
+        );
         k.check_invariants().unwrap();
     }
 
@@ -967,20 +1029,18 @@ mod tests {
             0,
             "switch-time eviction after bgwrite needs no writes"
         );
-        assert!(e.stats().aggressive_evictions > 0, "pages were still evicted");
+        assert!(
+            e.stats().aggressive_evictions > 0,
+            "pages were still evicted"
+        );
         k.check_invariants().unwrap();
     }
 
     #[test]
     fn forget_proc_clears_state() {
         let mut e = PagingEngine::new(PolicyConfig::full());
-        e.adaptive_page_out(
-            &mut kernel_with_two(),
-            ProcId(1),
-            ProcId(2),
-            Some(0),
-        )
-        .unwrap();
+        e.adaptive_page_out(&mut kernel_with_two(), ProcId(1), ProcId(2), Some(0))
+            .unwrap();
         e.start_bgwrite(ProcId(2));
         e.forget_proc(ProcId(1));
         e.forget_proc(ProcId(2));

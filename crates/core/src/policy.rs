@@ -230,12 +230,18 @@ mod tests {
 
     #[test]
     fn parse_aliases_and_order() {
-        assert_eq!("lru".parse::<PolicyConfig>().unwrap(), PolicyConfig::original());
+        assert_eq!(
+            "lru".parse::<PolicyConfig>().unwrap(),
+            PolicyConfig::original()
+        );
         assert_eq!(
             "bg/ai/ao/so".parse::<PolicyConfig>().unwrap(),
             PolicyConfig::full()
         );
-        assert_eq!("so+ao".parse::<PolicyConfig>().unwrap(), PolicyConfig::so_ao());
+        assert_eq!(
+            "so+ao".parse::<PolicyConfig>().unwrap(),
+            PolicyConfig::so_ao()
+        );
     }
 
     #[test]

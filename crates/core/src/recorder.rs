@@ -120,7 +120,13 @@ mod tests {
             r.record(pg(i));
         }
         assert_eq!(r.runs().len(), 1);
-        assert_eq!(r.runs()[0], PageRun { base: pg(0), count: 100 });
+        assert_eq!(
+            r.runs()[0],
+            PageRun {
+                base: pg(0),
+                count: 100
+            }
+        );
         assert_eq!(r.total_pages(), 100);
         assert_eq!(r.kernel_bytes(), 12, "100 pages cost one 12-byte node");
     }
@@ -132,9 +138,18 @@ mod tests {
         assert_eq!(
             r.runs(),
             &[
-                PageRun { base: pg(5), count: 2 },
-                PageRun { base: pg(10), count: 3 },
-                PageRun { base: pg(3), count: 1 },
+                PageRun {
+                    base: pg(5),
+                    count: 2
+                },
+                PageRun {
+                    base: pg(10),
+                    count: 3
+                },
+                PageRun {
+                    base: pg(3),
+                    count: 1
+                },
             ]
         );
     }
@@ -151,10 +166,7 @@ mod tests {
     fn drain_replays_in_recorded_order() {
         let mut r = PageRecorder::new();
         r.record_all(&[pg(10), pg(11), pg(2), pg(3), pg(4)]);
-        assert_eq!(
-            r.drain_pages(),
-            vec![pg(10), pg(11), pg(2), pg(3), pg(4)]
-        );
+        assert_eq!(r.drain_pages(), vec![pg(10), pg(11), pg(2), pg(3), pg(4)]);
         assert!(r.is_empty());
         assert_eq!(r.total_pages(), 0);
     }
@@ -182,7 +194,10 @@ mod tests {
 
     #[test]
     fn run_page_iteration() {
-        let run = PageRun { base: pg(4), count: 3 };
+        let run = PageRun {
+            base: pg(4),
+            count: 3,
+        };
         assert_eq!(run.pages().collect::<Vec<_>>(), vec![pg(4), pg(5), pg(6)]);
     }
 }

@@ -1,6 +1,7 @@
 //! The device itself: service-time model, FIFO queue, statistics.
 
 use crate::extent::{total_blocks, Extent};
+use agp_obs::{ObsEvent, ObsLink};
 use agp_sim::{SimDur, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +142,7 @@ pub struct Disk {
     /// Instant the device drains its queue.
     busy_until: SimTime,
     stats: DiskStats,
+    obs: ObsLink,
 }
 
 impl Disk {
@@ -151,7 +153,13 @@ impl Disk {
             head: 0,
             busy_until: SimTime::ZERO,
             stats: DiskStats::default(),
+            obs: ObsLink::disabled(),
         }
+    }
+
+    /// Attach an observation link (per-request `disk_request` events).
+    pub fn set_observer(&mut self, obs: ObsLink) {
+        self.obs = obs;
     }
 
     /// Device parameters.
@@ -234,6 +242,13 @@ impl Disk {
         }
         self.head = final_head;
         self.busy_until = completion;
+        self.obs.emit(now, || ObsEvent::DiskRequest {
+            write: req.kind == IoKind::Write,
+            extents: req.extents.len() as u32,
+            pages,
+            wait_us: start.since(now).as_us(),
+            service_us: svc.as_us(),
+        });
         completion
     }
 }
@@ -252,7 +267,10 @@ mod tests {
         assert_eq!(p.seek_us(0), 0);
         assert!(p.seek_us(1) >= p.min_seek_us);
         assert!(p.seek_us(p.blocks) <= p.max_seek_us);
-        assert!(p.seek_us(100) < p.seek_us(100_000), "seek grows with distance");
+        assert!(
+            p.seek_us(100) < p.seek_us(100_000),
+            "seek grows with distance"
+        );
     }
 
     #[test]
@@ -265,9 +283,8 @@ mod tests {
         let t1 = d1.submit(SimTime::ZERO, &contiguous);
 
         let mut d2 = disk();
-        let scattered = DiskRequest::read(
-            (0..64).map(|i| Extent::new(1000 + i * 5000, 1)).collect(),
-        );
+        let scattered =
+            DiskRequest::read((0..64).map(|i| Extent::new(1000 + i * 5000, 1)).collect());
         let t2 = d2.submit(SimTime::ZERO, &scattered);
         assert!(
             t2.as_us() > 10 * t1.as_us(),
@@ -283,7 +300,11 @@ mod tests {
         let c2 = d.submit(SimTime::ZERO, &DiskRequest::read(vec![Extent::new(16, 16)]));
         assert!(c2 > c1, "second request queues behind the first");
         // Second request is sequential after the first: no seek.
-        assert_eq!(d.stats().seeks, 0, "head at 16 then reading 16..32 is sequential");
+        assert_eq!(
+            d.stats().seeks,
+            0,
+            "head at 16 then reading 16..32 is sequential"
+        );
     }
 
     #[test]

@@ -106,7 +106,9 @@ mod tests {
         let t = &out.tables[0];
         assert_eq!(t.len(), FRACTIONS.len());
         // Page-out volume must not decrease as the window grows.
-        let outs: Vec<u64> = (0..t.len()).map(|r| t.cell(r, 3).parse().unwrap()).collect();
+        let outs: Vec<u64> = (0..t.len())
+            .map(|r| t.cell(r, 3).parse().unwrap())
+            .collect();
         assert!(
             outs.last().unwrap() >= outs.first().unwrap(),
             "wider windows cannot write less: {outs:?}"

@@ -63,7 +63,9 @@ pub fn run_many(configs: Vec<ClusterConfig>) -> Result<Vec<RunResult>, String> {
             handles.push((i, s.spawn(move |_| agp_cluster::run(cfg))));
         }
         for (i, h) in handles {
-            let r = h.join().map_err(|_| "worker thread panicked".to_string())??;
+            let r = h
+                .join()
+                .map_err(|_| "worker thread panicked".to_string())??;
             out[i] = Some(r);
         }
         Ok(())
@@ -237,7 +239,8 @@ mod tests {
             // 1.5x any class A working set stays well under 100 MiB.
             assert!(cfg.usable_pages() < 25_000, "{b}: {}", cfg.usable_pages());
         }
-        let cfg = quick_parallel(Benchmark::LU, 2).config(PolicyConfig::original(), ScheduleMode::Gang);
+        let cfg =
+            quick_parallel(Benchmark::LU, 2).config(PolicyConfig::original(), ScheduleMode::Gang);
         cfg.validate().unwrap();
     }
 

@@ -93,7 +93,12 @@ pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
             tr.peak_in().to_string(),
             format!("{:.0}", tr.compaction()),
         ]);
-        stats.push((policy.label(), tr.active_buckets(), tr.compaction(), tr.total_in()));
+        stats.push((
+            policy.label(),
+            tr.active_buckets(),
+            tr.compaction(),
+            tr.total_in(),
+        ));
         traces.push((policy.label(), tr));
     }
 

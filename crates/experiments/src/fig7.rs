@@ -65,7 +65,13 @@ pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
     );
     let mut b = Table::new(
         "Fig 7(b) — switching overhead (%)",
-        &["bench", "orig", "so/ao/ai/bg", "paper orig", "paper adaptive"],
+        &[
+            "bench",
+            "orig",
+            "so/ao/ai/bg",
+            "paper orig",
+            "paper adaptive",
+        ],
     );
     let mut c = Table::new(
         "Fig 7(c) — paging reduction over original (%)",

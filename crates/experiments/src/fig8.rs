@@ -13,9 +13,7 @@
 //! * 4 machines: LU 43 %, IS 57 %, SP 70 %, CG 7 % (CG "does not induce
 //!   as much paging"; on 4 machines "paging does not occur").
 
-use crate::common::{
-    mins, pct, quick_parallel, run_policy_set, ExperimentOutput, Scale, Scenario,
-};
+use crate::common::{mins, pct, quick_parallel, run_policy_set, ExperimentOutput, Scale, Scenario};
 use agp_core::PolicyConfig;
 use agp_metrics::{overhead_pct, reduction_pct, Table};
 use agp_sim::SimDur;
@@ -38,17 +36,47 @@ struct Entry {
 /// two use class C on 2 machines).
 fn roster_2() -> Vec<Entry> {
     vec![
-        Entry { bench: Benchmark::LU, class: Class::B, lock_mib: 774, quantum: None, paper_reduction: Some(61.0) },
-        Entry { bench: Benchmark::CG, class: Class::C, lock_mib: 524, quantum: None, paper_reduction: Some(38.0) },
-        Entry { bench: Benchmark::IS, class: Class::C, lock_mib: 724, quantum: None, paper_reduction: Some(72.0) },
-        Entry { bench: Benchmark::MG, class: Class::B, lock_mib: 774, quantum: None, paper_reduction: None },
+        Entry {
+            bench: Benchmark::LU,
+            class: Class::B,
+            lock_mib: 774,
+            quantum: None,
+            paper_reduction: Some(61.0),
+        },
+        Entry {
+            bench: Benchmark::CG,
+            class: Class::C,
+            lock_mib: 524,
+            quantum: None,
+            paper_reduction: Some(38.0),
+        },
+        Entry {
+            bench: Benchmark::IS,
+            class: Class::C,
+            lock_mib: 724,
+            quantum: None,
+            paper_reduction: Some(72.0),
+        },
+        Entry {
+            bench: Benchmark::MG,
+            class: Class::B,
+            lock_mib: 774,
+            quantum: None,
+            paper_reduction: None,
+        },
     ]
 }
 
 /// The 4-machine roster (panels d–f).
 fn roster_4() -> Vec<Entry> {
     vec![
-        Entry { bench: Benchmark::LU, class: Class::C, lock_mib: 724, quantum: None, paper_reduction: Some(43.0) },
+        Entry {
+            bench: Benchmark::LU,
+            class: Class::C,
+            lock_mib: 724,
+            quantum: None,
+            paper_reduction: Some(43.0),
+        },
         Entry {
             bench: Benchmark::SP,
             class: Class::C,
@@ -58,8 +86,20 @@ fn roster_4() -> Vec<Entry> {
         },
         // Paper: CG's per-rank memory shrinks so far that "even with
         // memory locking paging does not occur" — class B split 4 ways.
-        Entry { bench: Benchmark::CG, class: Class::B, lock_mib: 674, quantum: None, paper_reduction: Some(7.0) },
-        Entry { bench: Benchmark::IS, class: Class::C, lock_mib: 874, quantum: None, paper_reduction: Some(57.0) },
+        Entry {
+            bench: Benchmark::CG,
+            class: Class::B,
+            lock_mib: 674,
+            quantum: None,
+            paper_reduction: Some(7.0),
+        },
+        Entry {
+            bench: Benchmark::IS,
+            class: Class::C,
+            lock_mib: 874,
+            quantum: None,
+            paper_reduction: Some(57.0),
+        },
     ]
 }
 
@@ -99,7 +139,12 @@ fn run_panel(
         };
         let t = run_policy_set(&sc, &[PolicyConfig::full()])?;
         let t_full = t.policies[0].1.makespan;
-        a.row(vec![label.clone(), mins(t.orig), mins(t_full), mins(t.batch)]);
+        a.row(vec![
+            label.clone(),
+            mins(t.orig),
+            mins(t_full),
+            mins(t.batch),
+        ]);
         b.row(vec![
             label.clone(),
             pct(overhead_pct(t.orig, t.batch)),
@@ -108,9 +153,7 @@ fn run_panel(
         c.row(vec![
             label.clone(),
             pct(reduction_pct(t.orig, t_full, t.batch)),
-            e.paper_reduction
-                .map(pct)
-                .unwrap_or_else(|| "n/a".into()),
+            e.paper_reduction.map(pct).unwrap_or_else(|| "n/a".into()),
         ]);
         if scale == Scale::Paper && e.bench == Benchmark::CG && nodes == 4 {
             notes.push(format!(
@@ -156,7 +199,11 @@ mod tests {
     fn quick_fig8_adaptive_never_loses() {
         let out = run(Scale::Quick).unwrap();
         assert_eq!(out.tables.len(), 6);
-        for t in out.tables.iter().filter(|t| t.title().contains("completion")) {
+        for t in out
+            .tables
+            .iter()
+            .filter(|t| t.title().contains("completion"))
+        {
             for r in 0..t.len() {
                 let orig: f64 = t.cell(r, 1).parse().unwrap();
                 let full: f64 = t.cell(r, 2).parse().unwrap();

@@ -14,7 +14,9 @@
 //!   71 % (4 machines);
 //! * original overhead for parallel runs: 55–75 %.
 
-use crate::common::{mins, pct, quick_parallel, quick_serial, run_policy_set, ExperimentOutput, Scale, Scenario};
+use crate::common::{
+    mins, pct, quick_parallel, quick_serial, run_policy_set, ExperimentOutput, Scale, Scenario,
+};
 use agp_core::PolicyConfig;
 use agp_metrics::{overhead_pct, reduction_pct, Table};
 use agp_sim::SimDur;
@@ -72,15 +74,40 @@ pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
 
     let mut a = Table::new(
         "Fig 9(a) — LU completion time by policy (minutes)",
-        &["config", "orig", "ai", "so", "so/ao", "so/ao/bg", "so/ao/ai/bg", "batch"],
+        &[
+            "config",
+            "orig",
+            "ai",
+            "so",
+            "so/ao",
+            "so/ao/bg",
+            "so/ao/ai/bg",
+            "batch",
+        ],
     );
     let mut b = Table::new(
         "Fig 9(b) — LU paging overhead by policy (%)",
-        &["config", "orig", "ai", "so", "so/ao", "so/ao/bg", "so/ao/ai/bg"],
+        &[
+            "config",
+            "orig",
+            "ai",
+            "so",
+            "so/ao",
+            "so/ao/bg",
+            "so/ao/ai/bg",
+        ],
     );
     let mut c = Table::new(
         "Fig 9(c) — LU overhead reduction vs original (%)",
-        &["config", "ai", "so", "so/ao", "so/ao/bg", "so/ao/ai/bg", "paper (full)"],
+        &[
+            "config",
+            "ai",
+            "so",
+            "so/ao",
+            "so/ao/bg",
+            "so/ao/ai/bg",
+            "paper (full)",
+        ],
     );
     let mut notes = Vec::new();
 

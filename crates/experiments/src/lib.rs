@@ -51,4 +51,4 @@ pub mod registry;
 pub mod scale16;
 
 pub use common::{ExperimentOutput, Scale};
-pub use registry::{all_experiments, find, ExperimentInfo};
+pub use registry::{all_experiments, find, profile_config, ExperimentInfo};

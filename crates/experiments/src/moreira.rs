@@ -38,14 +38,12 @@ fn scenario(mem_mib: u64, scale: Scale) -> Scenario {
 
 /// Run the motivation experiment.
 pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
-    let small = agp_cluster::run(scenario(128, scale).config(
-        PolicyConfig::original(),
-        ScheduleMode::Gang,
-    ))?;
-    let big = agp_cluster::run(scenario(256, scale).config(
-        PolicyConfig::original(),
-        ScheduleMode::Gang,
-    ))?;
+    let small = agp_cluster::run(
+        scenario(128, scale).config(PolicyConfig::original(), ScheduleMode::Gang),
+    )?;
+    let big = agp_cluster::run(
+        scenario(256, scale).config(PolicyConfig::original(), ScheduleMode::Gang),
+    )?;
     let ratio = small.mean_completion().ratio(big.mean_completion());
 
     let mut t = Table::new(

@@ -41,8 +41,14 @@ fn scenario(scale: Scale, quantum: SimDur) -> Scenario {
 /// Run the sweep.
 pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
     let quanta: Vec<SimDur> = match scale {
-        Scale::Paper => PAPER_QUANTA_MIN.iter().map(|&m| SimDur::from_mins(m)).collect(),
-        Scale::Quick => QUICK_QUANTA_SEC.iter().map(|&s| SimDur::from_secs(s)).collect(),
+        Scale::Paper => PAPER_QUANTA_MIN
+            .iter()
+            .map(|&m| SimDur::from_mins(m))
+            .collect(),
+        Scale::Quick => QUICK_QUANTA_SEC
+            .iter()
+            .map(|&s| SimDur::from_secs(s))
+            .collect(),
     };
 
     // One batch run anchors the overhead metric (batch has no quanta).
@@ -60,7 +66,13 @@ pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {
 
     let mut t = Table::new(
         "Switching overhead vs quantum length (LU, 4 machines)",
-        &["quantum", "orig overhead %", "so/ao/ai/bg overhead %", "orig switches", "adaptive switches"],
+        &[
+            "quantum",
+            "orig overhead %",
+            "so/ao/ai/bg overhead %",
+            "orig switches",
+            "adaptive switches",
+        ],
     );
     let mut crossover_note = None;
     for (i, &q) in quanta.iter().enumerate() {

@@ -1,6 +1,10 @@
 //! Name → experiment dispatch for the CLI and the bench harness.
 
-use crate::common::{ExperimentOutput, Scale};
+use crate::common::{quick_parallel, quick_serial, ExperimentOutput, Scale, Scenario};
+use agp_cluster::{ClusterConfig, ScheduleMode};
+use agp_core::PolicyConfig;
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
 
 /// A runnable experiment.
 pub struct ExperimentInfo {
@@ -74,6 +78,41 @@ pub fn find(id: &str) -> Option<ExperimentInfo> {
     all_experiments().into_iter().find(|e| e.id == id)
 }
 
+/// A single representative gang configuration for `agp profile <id>`:
+/// the experiment's characteristic scenario under the full adaptive
+/// policy, as one run (experiments proper sweep many policies; profiling
+/// wants one instrumentable run). Returns `None` for unknown ids.
+pub fn profile_config(id: &str, scale: Scale) -> Option<ClusterConfig> {
+    find(id)?;
+    let scenario = match (id.to_ascii_lowercase().as_str(), scale) {
+        // Fig 6's testbed: LU.C over 4 machines.
+        ("fig6", Scale::Paper) => Scenario::pair(
+            4,
+            724,
+            WorkloadSpec::parallel(Benchmark::LU, Class::C, 4),
+            SimDur::from_mins(5),
+        ),
+        ("fig6", Scale::Quick) => quick_parallel(Benchmark::LU, 2),
+        // The parallel experiments: 2-node LU.
+        ("fig8" | "scale16", Scale::Paper) => Scenario::pair(
+            2,
+            724,
+            WorkloadSpec::parallel(Benchmark::LU, Class::B, 2),
+            SimDur::from_mins(5),
+        ),
+        ("fig8" | "scale16", Scale::Quick) => quick_parallel(Benchmark::LU, 2),
+        // Everything else profiles the serial LU.B pair.
+        (_, Scale::Paper) => Scenario::pair(
+            1,
+            574,
+            WorkloadSpec::serial(Benchmark::LU, Class::B),
+            SimDur::from_mins(5),
+        ),
+        (_, Scale::Quick) => quick_serial(Benchmark::LU),
+    };
+    Some(scenario.config(PolicyConfig::full(), ScheduleMode::Gang))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +132,20 @@ mod tests {
         assert!(find("FIG7").is_some());
         assert!(find("fig7").is_some());
         assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn profile_configs_are_valid_for_every_id() {
+        for e in all_experiments() {
+            let cfg = profile_config(e.id, Scale::Quick)
+                .unwrap_or_else(|| panic!("{} has no profile config", e.id));
+            cfg.validate()
+                .unwrap_or_else(|err| panic!("{}: {err}", e.id));
+            assert_eq!(cfg.mode, agp_cluster::ScheduleMode::Gang);
+        }
+        assert!(profile_config("nope", Scale::Quick).is_none());
+        let paper = profile_config("fig6", Scale::Paper).unwrap();
+        paper.validate().unwrap();
+        assert_eq!(paper.nodes, 4);
     }
 }

@@ -229,7 +229,11 @@ mod tests {
         let left = NodeSet::first_n(2);
         let right = NodeSet(0b1100);
         assert_eq!(m.place(JobId(0), left).unwrap(), 0);
-        assert_eq!(m.place(JobId(1), right).unwrap(), 0, "disjoint -> same slot");
+        assert_eq!(
+            m.place(JobId(1), right).unwrap(),
+            0,
+            "disjoint -> same slot"
+        );
         assert_eq!(m.slots(), 1);
         assert_eq!(m.row_jobs(0).len(), 2);
     }

@@ -224,7 +224,8 @@ mod tests {
         // SP gets 7 minutes (§4.2); its partner keeps the 5-minute default.
         let mut s = GangScheduler::new(4, SimDur::from_mins(5));
         let all = NodeSet::first_n(4);
-        s.add_job(JobId(0), all, Some(SimDur::from_mins(7))).unwrap();
+        s.add_job(JobId(0), all, Some(SimDur::from_mins(7)))
+            .unwrap();
         s.add_job(JobId(1), all, None).unwrap();
         assert_eq!(s.start().unwrap().quantum, SimDur::from_mins(7));
         assert_eq!(s.rotate().unwrap().quantum, SimDur::from_mins(5));

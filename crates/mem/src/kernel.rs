@@ -6,6 +6,7 @@ use crate::ptable::{PageState, PageTable, Resident};
 use crate::swap::SwapSpace;
 use crate::types::{MemError, PageNum, ProcId, VmParams};
 use agp_disk::{extents_from_blocks, Extent};
+use agp_obs::{ObsEvent, ObsLink};
 use agp_sim::SimTime;
 use std::collections::{BTreeMap, HashMap};
 
@@ -105,6 +106,7 @@ pub struct Kernel {
     /// Covers both `Swapped` pages and clean resident pages' `swap_copy`.
     /// Used by read-ahead to chase swap-contiguous neighbors.
     swap_owner: HashMap<u64, (ProcId, PageNum)>,
+    obs: ObsLink,
 }
 
 impl Kernel {
@@ -118,7 +120,13 @@ impl Kernel {
             swap: SwapSpace::new(swap_blocks),
             procs: BTreeMap::new(),
             swap_owner: HashMap::new(),
+            obs: ObsLink::disabled(),
         }
+    }
+
+    /// Attach an observation link (fault and eviction events).
+    pub fn set_observer(&mut self, obs: ObsLink) {
+        self.obs = obs;
     }
 
     /// Kernel tuning parameters.
@@ -252,8 +260,22 @@ impl Kernel {
                 }
                 Ok(TouchOutcome::Hit)
             }
-            PageState::Swapped { block } => Ok(TouchOutcome::NeedsSwapIn { block }),
-            PageState::Untouched => Ok(TouchOutcome::NeedsZeroFill),
+            PageState::Swapped { block } => {
+                self.obs.emit(now, || ObsEvent::PageFault {
+                    pid: pid.0,
+                    page: p.0,
+                    major: true,
+                });
+                Ok(TouchOutcome::NeedsSwapIn { block })
+            }
+            PageState::Untouched => {
+                self.obs.emit(now, || ObsEvent::PageFault {
+                    pid: pid.0,
+                    page: p.0,
+                    major: false,
+                });
+                Ok(TouchOutcome::NeedsZeroFill)
+            }
         }
     }
 
@@ -312,6 +334,11 @@ impl Kernel {
                         self.swap_owner.remove(&b);
                         self.swap.free_block(b);
                     }
+                    self.obs.emit(now, || ObsEvent::PageFault {
+                        pid: pid.0,
+                        page: p.0,
+                        major: true,
+                    });
                     return Ok((hits, Some(TouchOutcome::NeedsSwapIn { block })));
                 }
                 PageState::Untouched => {
@@ -319,6 +346,11 @@ impl Kernel {
                         self.swap_owner.remove(&b);
                         self.swap.free_block(b);
                     }
+                    self.obs.emit(now, || ObsEvent::PageFault {
+                        pid: pid.0,
+                        page: p.0,
+                        major: false,
+                    });
                     return Ok((hits, Some(TouchOutcome::NeedsZeroFill)));
                 }
             }
@@ -425,6 +457,13 @@ impl Kernel {
                 EvictOutcome::Dropped => None,
             })
             .collect();
+        if !outcomes.is_empty() {
+            self.obs.emit_clock(|| ObsEvent::EvictBatch {
+                pid: pid.0,
+                pages: outcomes.len() as u32,
+                write_pages: blocks.len() as u32,
+            });
+        }
         Ok(extents_from_blocks(&mut blocks))
     }
 
@@ -492,11 +531,7 @@ impl Kernel {
     /// the background-writing primitive (paper §3.4). Batch form: swap for
     /// copy-less pages is allocated contiguously; returns coalesced write
     /// extents. Non-dirty / non-resident pages are skipped.
-    pub fn clean_batch(
-        &mut self,
-        pid: ProcId,
-        pages: &[PageNum],
-    ) -> Result<Vec<Extent>, MemError> {
+    pub fn clean_batch(&mut self, pid: ProcId, pages: &[PageNum]) -> Result<Vec<Extent>, MemError> {
         {
             let pm = self.proc(pid)?;
             for &p in pages {
@@ -617,12 +652,7 @@ impl Kernel {
     /// Follow the swap-block chain after `block`: pages (of the same
     /// process) stored at `block+1, block+2, …` that are currently swapped
     /// out, up to `limit` entries. This is the read-ahead neighbor lookup.
-    pub fn swap_chain_after(
-        &self,
-        pid: ProcId,
-        block: u64,
-        limit: usize,
-    ) -> Vec<(PageNum, u64)> {
+    pub fn swap_chain_after(&self, pid: ProcId, block: u64, limit: usize) -> Vec<(PageNum, u64)> {
         let mut out = Vec::new();
         let mut b = block + 1;
         while out.len() < limit {
@@ -630,10 +660,7 @@ impl Kernel {
                 Some(&(owner, page)) if owner == pid => {
                     // Only chase pages that actually need reading (swapped
                     // out); resident swap copies are already in memory.
-                    if matches!(
-                        self.procs[&pid].pt.state(page),
-                        PageState::Swapped { .. }
-                    ) {
+                    if matches!(self.procs[&pid].pt.state(page), PageState::Swapped { .. }) {
                         out.push((page, b));
                     } else {
                         break;
@@ -706,9 +733,7 @@ impl Kernel {
                         if r.dirty {
                             dirty += 1;
                             if r.swap_copy.is_some() {
-                                return Err(format!(
-                                    "dirty page {pid}/{p:?} holds a swap copy"
-                                ));
+                                return Err(format!("dirty page {pid}/{p:?} holds a swap copy"));
                             }
                         }
                         if let Some(b) = r.swap_copy {
@@ -793,7 +818,10 @@ mod tests {
         k.map_in(ProcId(1), PageNum(2), T).unwrap();
         let out = k.evict(ProcId(1), PageNum(2)).unwrap();
         assert_eq!(out, EvictOutcome::Dropped);
-        assert_eq!(*k.proc(ProcId(1)).unwrap().pt.state(PageNum(2)), PageState::Untouched);
+        assert_eq!(
+            *k.proc(ProcId(1)).unwrap().pt.state(PageNum(2)),
+            PageState::Untouched
+        );
         assert_eq!(k.free_frames(), 64);
         assert_eq!(k.swap().used_blocks(), 0);
         k.check_invariants().unwrap();
@@ -819,7 +847,10 @@ mod tests {
             MapInOutcome::Read { block }
         );
         // Now resident, clean, with a valid copy: a second eviction is free.
-        assert_eq!(k.evict(ProcId(1), PageNum(0)).unwrap(), EvictOutcome::Dropped);
+        assert_eq!(
+            k.evict(ProcId(1), PageNum(0)).unwrap(),
+            EvictOutcome::Dropped
+        );
         k.check_invariants().unwrap();
     }
 
@@ -863,7 +894,10 @@ mod tests {
         assert_eq!(ext.len(), 1, "batch eviction is contiguous");
         let b0 = ext[0].start;
         // Chain from block b0 finds page 1 at b0+1.
-        assert_eq!(k.swap_chain_after(ProcId(1), b0, 16), vec![(PageNum(1), b0 + 1)]);
+        assert_eq!(
+            k.swap_chain_after(ProcId(1), b0, 16),
+            vec![(PageNum(1), b0 + 1)]
+        );
         // Fault page 1 back in and dirty it: its copy is stale, chain is cut.
         k.map_in(ProcId(1), PageNum(1), T).unwrap();
         k.touch(ProcId(1), PageNum(1), true, T).unwrap();
@@ -911,7 +945,10 @@ mod tests {
         k.register_proc(ProcId(1), 4);
         k.map_in(ProcId(1), PageNum(0), T).unwrap();
         k.map_in(ProcId(1), PageNum(1), T).unwrap();
-        assert_eq!(k.map_in(ProcId(1), PageNum(2), T), Err(MemError::OutOfFrames));
+        assert_eq!(
+            k.map_in(ProcId(1), PageNum(2), T),
+            Err(MemError::OutOfFrames)
+        );
     }
 
     #[test]
@@ -1013,9 +1050,7 @@ mod tests {
         assert_eq!(pm.rss(), 8, "pages stay resident");
         assert_eq!(pm.pt.dirty_resident(), 0, "pages are now clean");
         // Evicting them later costs nothing.
-        let ext2 = k
-            .evict_batch(ProcId(1), &pages, &mut Vec::new())
-            .unwrap();
+        let ext2 = k.evict_batch(ProcId(1), &pages, &mut Vec::new()).unwrap();
         assert!(ext2.is_empty());
         k.check_invariants().unwrap();
     }
@@ -1071,8 +1106,14 @@ mod tests {
         }
         let (hits, fault) = k.touch_run(pid, PageNum(2), 6, false, T).unwrap();
         assert_eq!((hits, fault), (6, None));
-        assert!(k.touch_run(pid, PageNum(4), 5, false, T).is_err(), "overruns space");
-        assert_eq!(k.touch_run(pid, PageNum(0), 0, false, T).unwrap(), (0, None));
+        assert!(
+            k.touch_run(pid, PageNum(4), 5, false, T).is_err(),
+            "overruns space"
+        );
+        assert_eq!(
+            k.touch_run(pid, PageNum(0), 0, false, T).unwrap(),
+            (0, None)
+        );
     }
 
     #[test]

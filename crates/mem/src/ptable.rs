@@ -163,10 +163,8 @@ impl PageTable {
     /// Resident pages sorted oldest-first (by `last_ref`, ties by page
     /// number). This is the ordering selective/aggressive page-out uses.
     pub fn resident_oldest_first(&self) -> Vec<PageNum> {
-        let mut v: Vec<(SimTime, PageNum)> = self
-            .iter_resident()
-            .map(|(p, r)| (r.last_ref, p))
-            .collect();
+        let mut v: Vec<(SimTime, PageNum)> =
+            self.iter_resident().map(|(p, r)| (r.last_ref, p)).collect();
         v.sort_unstable();
         v.into_iter().map(|(_, p)| p).collect()
     }

@@ -6,8 +6,8 @@
 //! swap layout that real block-paging systems exploit (paper §1, VM/HPO
 //! reference [6]).
 
-use agp_disk::Extent;
 use crate::types::MemError;
+use agp_disk::Extent;
 use std::collections::BTreeMap;
 
 /// Allocator over `[0, total)` swap blocks.
@@ -114,10 +114,7 @@ impl SwapSpace {
             return;
         }
         debug_assert!(e.end() <= self.total, "free past end of swap");
-        debug_assert!(
-            !self.overlaps_free(&e),
-            "double free of swap extent {e:?}"
-        );
+        debug_assert!(!self.overlaps_free(&e), "double free of swap extent {e:?}");
         let mut start = e.start;
         let mut len = e.len;
         // Coalesce with predecessor.
@@ -182,7 +179,13 @@ mod tests {
     fn alloc_failure_leaves_state_untouched() {
         let mut s = SwapSpace::new(10);
         let e = s.alloc(11).unwrap_err();
-        assert_eq!(e, MemError::SwapFull { wanted: 11, free: 10 });
+        assert_eq!(
+            e,
+            MemError::SwapFull {
+                wanted: 11,
+                free: 10
+            }
+        );
         assert_eq!(s.free_blocks(), 10);
         assert_eq!(s.fragments(), 1);
     }
@@ -222,7 +225,11 @@ mod tests {
         s.free_extent(Extent::new(0, 10)); // small first
         s.free_extent(Extent::new(40, 60)); // big later
         let got = s.alloc(20).unwrap();
-        assert_eq!(got, vec![Extent::new(40, 20)], "skips too-small leading extent");
+        assert_eq!(
+            got,
+            vec![Extent::new(40, 20)],
+            "skips too-small leading extent"
+        );
     }
 
     #[test]

@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = MemError::SwapFull { wanted: 10, free: 3 };
+        let e = MemError::SwapFull {
+            wanted: 10,
+            free: 3,
+        };
         assert!(e.to_string().contains("swap full"));
         assert!(MemError::NoSuchProc(ProcId(4)).to_string().contains("pid4"));
     }

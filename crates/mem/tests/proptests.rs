@@ -21,14 +21,23 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<bool>())
-            .prop_map(|(p, g, w)| Op::Touch { proc: p, page: g, write: w }),
+        (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(p, g, w)| Op::Touch {
+            proc: p,
+            page: g,
+            write: w
+        }),
         (any::<u8>(), any::<u8>()).prop_map(|(p, g)| Op::MapIn { proc: p, page: g }),
         (any::<u8>(), any::<u8>()).prop_map(|(p, g)| Op::Evict { proc: p, page: g }),
-        (any::<u8>(), any::<u8>(), 0u8..16)
-            .prop_map(|(p, f, l)| Op::EvictBatch { proc: p, first: f, len: l }),
-        (any::<u8>(), any::<u8>(), 0u8..16)
-            .prop_map(|(p, f, l)| Op::CleanBatch { proc: p, first: f, len: l }),
+        (any::<u8>(), any::<u8>(), 0u8..16).prop_map(|(p, f, l)| Op::EvictBatch {
+            proc: p,
+            first: f,
+            len: l
+        }),
+        (any::<u8>(), any::<u8>(), 0u8..16).prop_map(|(p, f, l)| Op::CleanBatch {
+            proc: p,
+            first: f,
+            len: l
+        }),
         any::<u8>().prop_map(|p| Op::Quantum { proc: p }),
         any::<u8>().prop_map(|p| Op::Exit { proc: p }),
     ]

@@ -17,5 +17,5 @@
 pub mod report;
 pub mod trace;
 
-pub use report::{overhead_pct, reduction_pct, Table};
+pub use report::{bar_chart, overhead_pct, reduction_pct, Table};
 pub use trace::ActivityTrace;

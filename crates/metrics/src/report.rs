@@ -120,10 +120,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("**{}**\n\n", self.title));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -187,6 +184,33 @@ pub fn sparkline(values: &[u64]) -> String {
         .collect()
 }
 
+/// Render labeled counts as an ASCII horizontal bar chart — used by
+/// `agp profile` for the latency histograms. Labels are right-aligned,
+/// bars scale to the largest count (at most 40 characters), and any
+/// non-zero count draws at least one `#`.
+pub fn bar_chart(rows: &[(String, u64)]) -> String {
+    const WIDTH: u64 = 40;
+    let max = rows.iter().map(|(_, c)| *c).max().unwrap_or(0);
+    if max == 0 {
+        return String::new();
+    }
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, count) in rows {
+        let bar = if *count == 0 {
+            0
+        } else {
+            ((count * WIDTH) / max).max(1)
+        };
+        out.push_str(&format!(
+            "{label:>label_w$}  {:<w$}  {count}\n",
+            "#".repeat(bar as usize),
+            w = WIDTH as usize,
+        ));
+    }
+    out
+}
+
 /// Format a duration as fractional minutes with one decimal — the unit of
 /// the paper's completion-time graphs.
 pub fn fmt_mins(d: SimDur) -> String {
@@ -232,7 +256,11 @@ mod tests {
     fn degenerate_inputs_are_safe() {
         assert_eq!(overhead_pct(SimDur::ZERO, SimDur::ZERO), 0.0);
         assert_eq!(
-            reduction_pct(SimDur::from_mins(5), SimDur::from_mins(5), SimDur::from_mins(5)),
+            reduction_pct(
+                SimDur::from_mins(5),
+                SimDur::from_mins(5),
+                SimDur::from_mins(5)
+            ),
             0.0
         );
         // Batch longer than policy (measurement noise): overhead clamps to 0.
@@ -276,6 +304,27 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.contains("|---|---|"));
         assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn bar_chart_scales_and_floors() {
+        let rows = vec![
+            ("1ms".to_string(), 80u64),
+            ("2ms".to_string(), 1),
+            ("4ms".to_string(), 0),
+        ];
+        let s = bar_chart(&rows);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].contains(&"#".repeat(40)),
+            "max row fills the width"
+        );
+        assert!(lines[1].contains('#'), "non-zero rows get at least one #");
+        assert!(!lines[2].contains('#'), "zero rows draw nothing");
+        assert!(lines[0].trim_end().ends_with("80"));
+        assert_eq!(bar_chart(&[]), "");
+        assert_eq!(bar_chart(&[("0".to_string(), 0)]), "");
     }
 
     #[test]

@@ -146,7 +146,12 @@ impl ActivityTrace {
     /// Merge another trace into this one (aggregating nodes).
     pub fn merge(&mut self, other: &ActivityTrace) {
         assert_eq!(self.bucket, other.bucket, "bucket widths must match");
-        self.ensure(other.len().saturating_sub(1));
+        if other.is_empty() {
+            // ensure(0) would grow an empty trace to one zero bucket,
+            // making "merged nothing" observable in bucket counts.
+            return;
+        }
+        self.ensure(other.len() - 1);
         for (i, (&a, &b)) in other.pages_in.iter().zip(&other.pages_out).enumerate() {
             self.pages_in[i] += a;
             self.pages_out[i] += b;
@@ -226,6 +231,22 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.ins(), &[3, 0, 0]);
         assert_eq!(a.outs(), &[0, 0, 3]);
+    }
+
+    #[test]
+    fn merging_an_empty_trace_is_a_no_op() {
+        // Regression: ensure(len-1) on an empty `other` used to grow an
+        // empty trace to a single zero bucket.
+        let mut a = ActivityTrace::new(SimDur::from_secs(10));
+        a.merge(&ActivityTrace::new(SimDur::from_secs(10)));
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+
+        // And a non-empty target is left untouched.
+        let mut b = ActivityTrace::new(SimDur::from_secs(10));
+        b.record_in(t(5), 4);
+        b.merge(&ActivityTrace::new(SimDur::from_secs(10)));
+        assert_eq!(b.ins(), &[4]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use agp_obs::{ObsEvent, ObsLink};
 use agp_sim::{SimDur, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,9 @@ pub struct Barrier {
     count: u32,
     /// Completed barrier episodes (diagnostics / tests).
     pub episodes: u64,
+    /// First arrival instant of the current episode (for skew tracking).
+    first_arrival: Option<SimTime>,
+    obs: ObsLink,
 }
 
 impl Barrier {
@@ -89,7 +93,15 @@ impl Barrier {
             arrived: vec![false; size.max(1) as usize],
             count: 0,
             episodes: 0,
+            first_arrival: None,
+            obs: ObsLink::disabled(),
         }
+    }
+
+    /// Attach an observation link (`barrier_wait` events on each release,
+    /// carrying the first-to-last arrival skew).
+    pub fn set_observer(&mut self, obs: ObsLink) {
+        self.obs = obs;
     }
 
     /// Number of participating ranks.
@@ -114,13 +126,23 @@ impl Barrier {
         if self.arrived[r] {
             return None;
         }
+        if self.count == 0 {
+            self.first_arrival = Some(now);
+        }
         self.arrived[r] = true;
         self.count += 1;
         if self.count == self.size {
             self.arrived.fill(false);
             self.count = 0;
             self.episodes += 1;
-            Some(now + net.barrier_dur(self.size))
+            let lag = net.barrier_dur(self.size);
+            let first = self.first_arrival.take().unwrap_or(now);
+            self.obs.emit(now, || ObsEvent::BarrierWait {
+                ranks: self.size,
+                skew_us: now.since(first).as_us(),
+                lag_us: lag.as_us(),
+            });
+            Some(now + lag)
         } else {
             None
         }
@@ -137,7 +159,10 @@ mod tests {
         assert_eq!(n.xfer_dur(0), SimDur::from_us(100));
         // 1 MiB at 100 Mbps ≈ 83.9 ms + latency.
         let d = n.xfer_dur(1 << 20);
-        assert!(d > SimDur::from_ms(80) && d < SimDur::from_ms(90), "got {d}");
+        assert!(
+            d > SimDur::from_ms(80) && d < SimDur::from_ms(90),
+            "got {d}"
+        );
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! The aggregating collector sink: counters, latency histograms, and the
+//! per-switch phase breakdown.
+
+use crate::event::{ObsEvent, SwitchPhaseKind};
+use crate::hist::LatencyHistogram;
+use crate::observer::Observer;
+use agp_sim::SimTime;
+
+/// Monotonic event counters (everything the stream carries, summed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObsCounters {
+    /// Kernel faults raised needing a swap-in read.
+    pub faults_major: u64,
+    /// Kernel faults raised needing only a zero fill.
+    pub faults_minor: u64,
+    /// Major faults serviced by the engine (with an I/O plan).
+    pub majors_serviced: u64,
+    /// Read-ahead neighbor pages mapped in.
+    pub readahead_pages: u64,
+    /// Pages evicted (policy-level `evict` events).
+    pub evictions: u64,
+    /// Of those, evictions of the currently running process (§3.1).
+    pub false_evictions: u64,
+    /// Of those, evictions recorded for adaptive page-in replay.
+    pub recorded_evictions: u64,
+    /// Runs of the reclaim path.
+    pub reclaim_runs: u64,
+    /// Frames freed by reclaim.
+    pub reclaim_freed: u64,
+    /// Pages evicted by aggressive page-out at switches.
+    pub aggressive_pages: u64,
+    /// Pages replayed by adaptive page-in.
+    pub replayed_pages: u64,
+    /// Recorded pages skipped at replay.
+    pub replay_skipped: u64,
+    /// Background-writer bursts that found work.
+    pub bg_ticks: u64,
+    /// Pages cleaned by the background writer.
+    pub bg_pages: u64,
+    /// Disk read requests.
+    pub disk_reads: u64,
+    /// Disk write requests.
+    pub disk_writes: u64,
+    /// Pages moved by disk reads.
+    pub disk_pages_read: u64,
+    /// Pages moved by disk writes.
+    pub disk_pages_written: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Gang switches completed (including the initial placement).
+    pub switches: u64,
+    /// Total events delivered to this collector.
+    pub events: u64,
+}
+
+/// One gang switch decomposed into the protocol's four phases. The phase
+/// durations sum to `total_us` exactly (asserted by the cluster tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwitchRecord {
+    /// Monotonic switch number (0 is the initial placement).
+    pub switch: u64,
+    /// Instant the switch began, µs.
+    pub at_us: u64,
+    /// STOP-delivery phase, µs.
+    pub stop_us: u64,
+    /// Page-out phase (aggressive/selective writes draining), µs.
+    pub page_out_us: u64,
+    /// Page-in phase (adaptive replay reads draining), µs.
+    pub page_in_us: u64,
+    /// CONT-delivery phase, µs.
+    pub cont_us: u64,
+    /// Total switch duration, µs.
+    pub total_us: u64,
+}
+
+impl SwitchRecord {
+    /// Sum of the four phase durations; equals `total_us` for a
+    /// well-formed stream.
+    pub fn phase_sum_us(&self) -> u64 {
+        self.stop_us + self.page_out_us + self.page_in_us + self.cont_us
+    }
+}
+
+/// The aggregating sink: attach via [`crate::ObsLink::to`], read back
+/// after the run.
+#[derive(Clone, Debug, Default)]
+pub struct Collector {
+    /// Monotonic counters.
+    pub counters: ObsCounters,
+    /// Total switch duration distribution.
+    pub switch_total: LatencyHistogram,
+    /// Fault-service stall distribution.
+    pub fault_service: LatencyHistogram,
+    /// Disk queue-wait distribution.
+    pub disk_wait: LatencyHistogram,
+    /// Disk service-time distribution.
+    pub disk_service: LatencyHistogram,
+    /// Barrier arrival-skew distribution.
+    pub barrier_skew: LatencyHistogram,
+    switches: Vec<SwitchRecord>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Per-switch phase breakdowns, in switch order.
+    pub fn switch_records(&self) -> &[SwitchRecord] {
+        &self.switches
+    }
+
+    fn record_mut(&mut self, switch: u64, at: SimTime) -> &mut SwitchRecord {
+        let needs_new = self.switches.last().map(|r| r.switch) != Some(switch);
+        if needs_new {
+            self.switches.push(SwitchRecord {
+                switch,
+                at_us: at.as_us(),
+                ..SwitchRecord::default()
+            });
+        }
+        self.switches.last_mut().expect("just ensured")
+    }
+}
+
+impl Observer for Collector {
+    fn on_event(&mut self, at: SimTime, _src: u32, ev: &ObsEvent) {
+        self.counters.events += 1;
+        match *ev {
+            ObsEvent::PageFault { major, .. } => {
+                if major {
+                    self.counters.faults_major += 1;
+                } else {
+                    self.counters.faults_minor += 1;
+                }
+            }
+            ObsEvent::MajorFault { readahead, .. } => {
+                self.counters.majors_serviced += 1;
+                self.counters.readahead_pages += readahead as u64;
+            }
+            ObsEvent::ReadaheadHit { .. } => {}
+            ObsEvent::EvictBatch { .. } => {}
+            ObsEvent::Evict {
+                false_eviction,
+                recorded,
+                ..
+            } => {
+                self.counters.evictions += 1;
+                if false_eviction {
+                    self.counters.false_evictions += 1;
+                }
+                if recorded {
+                    self.counters.recorded_evictions += 1;
+                }
+            }
+            ObsEvent::Reclaim { freed, .. } => {
+                self.counters.reclaim_runs += 1;
+                self.counters.reclaim_freed += freed;
+            }
+            ObsEvent::AggressiveOut { pages, .. } => {
+                self.counters.aggressive_pages += pages;
+            }
+            ObsEvent::Replay { pages, skipped, .. } => {
+                self.counters.replayed_pages += pages;
+                self.counters.replay_skipped += skipped;
+            }
+            ObsEvent::BgTick { pages, .. } => {
+                self.counters.bg_ticks += 1;
+                self.counters.bg_pages += pages;
+            }
+            ObsEvent::DiskRequest {
+                write,
+                pages,
+                wait_us,
+                service_us,
+                ..
+            } => {
+                if write {
+                    self.counters.disk_writes += 1;
+                    self.counters.disk_pages_written += pages;
+                } else {
+                    self.counters.disk_reads += 1;
+                    self.counters.disk_pages_read += pages;
+                }
+                self.disk_wait.record(wait_us);
+                self.disk_service.record(service_us);
+            }
+            ObsEvent::FaultService { wait_us, .. } => {
+                self.fault_service.record(wait_us);
+            }
+            ObsEvent::BarrierWait { skew_us, .. } => {
+                self.counters.barriers += 1;
+                self.barrier_skew.record(skew_us);
+            }
+            ObsEvent::SwitchPhase {
+                switch,
+                phase,
+                dur_us,
+            } => {
+                let rec = self.record_mut(switch, at);
+                match phase {
+                    SwitchPhaseKind::Stop => rec.stop_us = dur_us,
+                    SwitchPhaseKind::PageOut => rec.page_out_us = dur_us,
+                    SwitchPhaseKind::PageIn => rec.page_in_us = dur_us,
+                    SwitchPhaseKind::Cont => rec.cont_us = dur_us,
+                }
+            }
+            ObsEvent::SwitchDone { switch, total_us } => {
+                let rec = self.record_mut(switch, at);
+                rec.total_us = total_us;
+                self.counters.switches += 1;
+                self.switch_total.record(total_us);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(c: &mut Collector, evs: &[ObsEvent]) {
+        for (i, ev) in evs.iter().enumerate() {
+            c.on_event(SimTime::from_us(i as u64), 0, ev);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Collector::new();
+        feed(
+            &mut c,
+            &[
+                ObsEvent::PageFault {
+                    pid: 1,
+                    page: 0,
+                    major: true,
+                },
+                ObsEvent::PageFault {
+                    pid: 1,
+                    page: 1,
+                    major: false,
+                },
+                ObsEvent::MajorFault {
+                    pid: 1,
+                    page: 0,
+                    readahead: 3,
+                    write_pages: 0,
+                    read_pages: 4,
+                },
+                ObsEvent::Evict {
+                    pid: 2,
+                    page: 9,
+                    false_eviction: true,
+                    recorded: false,
+                },
+                ObsEvent::Evict {
+                    pid: 2,
+                    page: 10,
+                    false_eviction: false,
+                    recorded: true,
+                },
+                ObsEvent::Reclaim {
+                    target: 16,
+                    freed: 12,
+                    write_pages: 8,
+                },
+                ObsEvent::DiskRequest {
+                    write: true,
+                    extents: 1,
+                    pages: 8,
+                    wait_us: 5,
+                    service_us: 100,
+                },
+                ObsEvent::DiskRequest {
+                    write: false,
+                    extents: 1,
+                    pages: 4,
+                    wait_us: 0,
+                    service_us: 50,
+                },
+                ObsEvent::BarrierWait {
+                    ranks: 2,
+                    skew_us: 77,
+                    lag_us: 200,
+                },
+            ],
+        );
+        assert_eq!(c.counters.faults_major, 1);
+        assert_eq!(c.counters.faults_minor, 1);
+        assert_eq!(c.counters.majors_serviced, 1);
+        assert_eq!(c.counters.readahead_pages, 3);
+        assert_eq!(c.counters.evictions, 2);
+        assert_eq!(c.counters.false_evictions, 1);
+        assert_eq!(c.counters.recorded_evictions, 1);
+        assert_eq!(c.counters.reclaim_runs, 1);
+        assert_eq!(c.counters.reclaim_freed, 12);
+        assert_eq!(c.counters.disk_writes, 1);
+        assert_eq!(c.counters.disk_reads, 1);
+        assert_eq!(c.counters.disk_pages_written, 8);
+        assert_eq!(c.counters.disk_pages_read, 4);
+        assert_eq!(c.counters.barriers, 1);
+        assert_eq!(c.counters.events, 9);
+        assert_eq!(c.disk_wait.count(), 2);
+        assert_eq!(c.barrier_skew.max_us(), 77);
+    }
+
+    #[test]
+    fn switch_records_assemble_from_phases() {
+        let mut c = Collector::new();
+        let at = SimTime::from_secs(10);
+        for (phase, dur) in [
+            (SwitchPhaseKind::Stop, 0),
+            (SwitchPhaseKind::PageOut, 300),
+            (SwitchPhaseKind::PageIn, 700),
+            (SwitchPhaseKind::Cont, 0),
+        ] {
+            c.on_event(
+                at,
+                u32::MAX,
+                &ObsEvent::SwitchPhase {
+                    switch: 1,
+                    phase,
+                    dur_us: dur,
+                },
+            );
+        }
+        c.on_event(
+            at,
+            u32::MAX,
+            &ObsEvent::SwitchDone {
+                switch: 1,
+                total_us: 1000,
+            },
+        );
+        let recs = c.switch_records();
+        assert_eq!(recs.len(), 1);
+        let r = recs[0];
+        assert_eq!(r.switch, 1);
+        assert_eq!(r.at_us, 10_000_000);
+        assert_eq!(r.page_out_us, 300);
+        assert_eq!(r.page_in_us, 700);
+        assert_eq!(r.total_us, 1000);
+        assert_eq!(r.phase_sum_us(), r.total_us);
+        assert_eq!(c.counters.switches, 1);
+        assert_eq!(c.switch_total.count(), 1);
+    }
+
+    #[test]
+    fn consecutive_switches_get_separate_records() {
+        let mut c = Collector::new();
+        for sw in 0..3u64 {
+            let at = SimTime::from_secs(sw);
+            c.on_event(
+                at,
+                0,
+                &ObsEvent::SwitchPhase {
+                    switch: sw,
+                    phase: SwitchPhaseKind::PageOut,
+                    dur_us: sw,
+                },
+            );
+            c.on_event(
+                at,
+                0,
+                &ObsEvent::SwitchDone {
+                    switch: sw,
+                    total_us: sw,
+                },
+            );
+        }
+        assert_eq!(c.switch_records().len(), 3);
+        assert_eq!(c.switch_records()[2].page_out_us, 2);
+    }
+}

@@ -1,0 +1,424 @@
+//! The event taxonomy and its deterministic JSONL encoding.
+
+use agp_sim::SimTime;
+use std::fmt::Write as _;
+
+/// `src` tag for events emitted by the cluster layer itself (switch
+/// phases, fault service) rather than by one node or one job.
+pub const SRC_CLUSTER: u32 = u32::MAX;
+
+/// One of the four phases of the paper's coordinated gang switch
+/// (STOP every outgoing rank → `adaptive_page_out` → `adaptive_page_in`
+/// → CONT the incoming ranks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SwitchPhaseKind {
+    /// SIGSTOP delivery to the outgoing ranks.
+    Stop,
+    /// Switch-time page-out (selective context + aggressive eviction
+    /// writes draining).
+    PageOut,
+    /// Switch-time page-in (adaptive replay reads draining).
+    PageIn,
+    /// SIGCONT delivery / resumption of the incoming ranks.
+    Cont,
+}
+
+impl SwitchPhaseKind {
+    /// Stable wire name used in the JSONL encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchPhaseKind::Stop => "stop",
+            SwitchPhaseKind::PageOut => "page_out",
+            SwitchPhaseKind::PageIn => "page_in",
+            SwitchPhaseKind::Cont => "cont",
+        }
+    }
+}
+
+/// A structured simulation event.
+///
+/// Payloads are plain integers/bools so encoding is trivially
+/// deterministic. `pid` fields are raw `ProcId` values, `page` fields raw
+/// `PageNum` values; durations are integer microseconds (the simulator's
+/// native unit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// The kernel observed a fault while a process touched a page
+    /// (`major`: the page image must be read from swap; otherwise it is a
+    /// first-touch zero fill).
+    PageFault {
+        /// Faulting process.
+        pid: u32,
+        /// Faulted page number.
+        page: u32,
+        /// Whether a swap-in read is required.
+        major: bool,
+    },
+    /// The engine serviced a major fault: the resulting I/O plan sizes.
+    MajorFault {
+        /// Faulting process.
+        pid: u32,
+        /// Faulted page number.
+        page: u32,
+        /// Read-ahead neighbors mapped alongside the faulted page.
+        readahead: u32,
+        /// Reclaim write-back pages the fault forced.
+        write_pages: u64,
+        /// Total pages read (fault + read-ahead).
+        read_pages: u64,
+    },
+    /// A read-ahead neighbor was mapped in alongside a major fault.
+    ReadaheadHit {
+        /// Owning process.
+        pid: u32,
+        /// The neighbor page.
+        page: u32,
+    },
+    /// The kernel evicted a batch of one process's pages (mechanism-level
+    /// view; the per-page policy view is [`ObsEvent::Evict`]).
+    EvictBatch {
+        /// Victim process.
+        pid: u32,
+        /// Frames actually freed.
+        pages: u32,
+        /// Of those, dirty pages that required a swap write.
+        write_pages: u32,
+    },
+    /// The engine evicted one page (policy-level view).
+    Evict {
+        /// Victim process.
+        pid: u32,
+        /// Evicted page number.
+        page: u32,
+        /// Whether the victim is the *currently running* process — the
+        /// paper's §3.1 "false eviction".
+        false_eviction: bool,
+        /// Whether the page was recorded for adaptive page-in replay.
+        recorded: bool,
+    },
+    /// One run of the reclaim path (`try_to_free_pages` analog).
+    Reclaim {
+        /// Frames the watermark model asked for.
+        target: u64,
+        /// Frames actually freed.
+        freed: u64,
+        /// Write-back pages the reclaim produced.
+        write_pages: u64,
+    },
+    /// Aggressive page-out evicted the outgoing process at a switch.
+    AggressiveOut {
+        /// The outgoing process.
+        pid: u32,
+        /// Pages evicted to cover the incoming working-set estimate.
+        pages: u64,
+    },
+    /// Adaptive page-in replayed a recorded working set.
+    Replay {
+        /// The incoming process.
+        pid: u32,
+        /// Pages brought back by the replay.
+        pages: u64,
+        /// Recorded pages skipped (already resident / no frames).
+        skipped: u64,
+    },
+    /// One background-writer burst that found dirty pages.
+    BgTick {
+        /// Process being cleaned.
+        pid: u32,
+        /// Pages written dirty → clean-with-copy.
+        pages: u64,
+    },
+    /// A request was submitted to a node's paging disk.
+    DiskRequest {
+        /// Whether this is a write (page-out) request.
+        write: bool,
+        /// Extents in the request (seek count proxy).
+        extents: u32,
+        /// Pages moved.
+        pages: u64,
+        /// Queue wait before service started, µs.
+        wait_us: u64,
+        /// Device service time, µs.
+        service_us: u64,
+    },
+    /// A faulting process blocked on disk I/O; emitted at the fault
+    /// instant with the full stall duration.
+    FaultService {
+        /// The blocked process.
+        pid: u32,
+        /// Stall until the fault I/O completed, µs.
+        wait_us: u64,
+    },
+    /// All ranks of a job passed a barrier (emitted at the release
+    /// decision, i.e. the last arrival).
+    BarrierWait {
+        /// Participating ranks.
+        ranks: u32,
+        /// Spread between first and last arrival, µs — the skew one
+        /// node's paging imposes on every other node.
+        skew_us: u64,
+        /// Network completion lag after the last arrival, µs.
+        lag_us: u64,
+    },
+    /// One phase of gang switch number `switch`.
+    SwitchPhase {
+        /// Monotonic switch counter (includes the initial placement).
+        switch: u64,
+        /// Which phase.
+        phase: SwitchPhaseKind,
+        /// Phase duration, µs.
+        dur_us: u64,
+    },
+    /// Gang switch number `switch` completed planning; its four
+    /// [`ObsEvent::SwitchPhase`] durations sum to `total_us` exactly.
+    SwitchDone {
+        /// Monotonic switch counter.
+        switch: u64,
+        /// Total switch duration, µs.
+        total_us: u64,
+    },
+}
+
+impl ObsEvent {
+    /// Stable wire name of the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObsEvent::PageFault { .. } => "page_fault",
+            ObsEvent::MajorFault { .. } => "major_fault",
+            ObsEvent::ReadaheadHit { .. } => "readahead_hit",
+            ObsEvent::EvictBatch { .. } => "evict_batch",
+            ObsEvent::Evict { .. } => "evict",
+            ObsEvent::Reclaim { .. } => "reclaim",
+            ObsEvent::AggressiveOut { .. } => "aggressive_out",
+            ObsEvent::Replay { .. } => "replay",
+            ObsEvent::BgTick { .. } => "bg_tick",
+            ObsEvent::DiskRequest { .. } => "disk_request",
+            ObsEvent::FaultService { .. } => "fault_service",
+            ObsEvent::BarrierWait { .. } => "barrier_wait",
+            ObsEvent::SwitchPhase { .. } => "switch_phase",
+            ObsEvent::SwitchDone { .. } => "switch_done",
+        }
+    }
+
+    /// Encode as one JSON line (no trailing newline): fixed field order,
+    /// integers and booleans only — byte-identical across runs for
+    /// identical event streams.
+    pub fn to_json_line(&self, at: SimTime, src: u32) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"src\":{},\"ev\":\"{}\"",
+            at.as_us(),
+            src,
+            self.name()
+        );
+        match *self {
+            ObsEvent::PageFault { pid, page, major } => {
+                let _ = write!(s, ",\"pid\":{pid},\"page\":{page},\"major\":{major}");
+            }
+            ObsEvent::MajorFault {
+                pid,
+                page,
+                readahead,
+                write_pages,
+                read_pages,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pid\":{pid},\"page\":{page},\"readahead\":{readahead},\"write_pages\":{write_pages},\"read_pages\":{read_pages}"
+                );
+            }
+            ObsEvent::ReadaheadHit { pid, page } => {
+                let _ = write!(s, ",\"pid\":{pid},\"page\":{page}");
+            }
+            ObsEvent::EvictBatch {
+                pid,
+                pages,
+                write_pages,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pid\":{pid},\"pages\":{pages},\"write_pages\":{write_pages}"
+                );
+            }
+            ObsEvent::Evict {
+                pid,
+                page,
+                false_eviction,
+                recorded,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pid\":{pid},\"page\":{page},\"false_eviction\":{false_eviction},\"recorded\":{recorded}"
+                );
+            }
+            ObsEvent::Reclaim {
+                target,
+                freed,
+                write_pages,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"target\":{target},\"freed\":{freed},\"write_pages\":{write_pages}"
+                );
+            }
+            ObsEvent::AggressiveOut { pid, pages } => {
+                let _ = write!(s, ",\"pid\":{pid},\"pages\":{pages}");
+            }
+            ObsEvent::Replay {
+                pid,
+                pages,
+                skipped,
+            } => {
+                let _ = write!(s, ",\"pid\":{pid},\"pages\":{pages},\"skipped\":{skipped}");
+            }
+            ObsEvent::BgTick { pid, pages } => {
+                let _ = write!(s, ",\"pid\":{pid},\"pages\":{pages}");
+            }
+            ObsEvent::DiskRequest {
+                write,
+                extents,
+                pages,
+                wait_us,
+                service_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"write\":{write},\"extents\":{extents},\"pages\":{pages},\"wait_us\":{wait_us},\"service_us\":{service_us}"
+                );
+            }
+            ObsEvent::FaultService { pid, wait_us } => {
+                let _ = write!(s, ",\"pid\":{pid},\"wait_us\":{wait_us}");
+            }
+            ObsEvent::BarrierWait {
+                ranks,
+                skew_us,
+                lag_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ranks\":{ranks},\"skew_us\":{skew_us},\"lag_us\":{lag_us}"
+                );
+            }
+            ObsEvent::SwitchPhase {
+                switch,
+                phase,
+                dur_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"switch\":{switch},\"phase\":\"{}\",\"dur_us\":{dur_us}",
+                    phase.name()
+                );
+            }
+            ObsEvent::SwitchDone { switch, total_us } => {
+                let _ = write!(s, ",\"switch\":{switch},\"total_us\":{total_us}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_encoding_is_stable() {
+        let ev = ObsEvent::DiskRequest {
+            write: true,
+            extents: 2,
+            pages: 64,
+            wait_us: 0,
+            service_us: 12_500,
+        };
+        assert_eq!(
+            ev.to_json_line(SimTime::from_ms(3), 1),
+            "{\"t\":3000,\"src\":1,\"ev\":\"disk_request\",\"write\":true,\"extents\":2,\"pages\":64,\"wait_us\":0,\"service_us\":12500}"
+        );
+        let ph = ObsEvent::SwitchPhase {
+            switch: 4,
+            phase: SwitchPhaseKind::PageIn,
+            dur_us: 77,
+        };
+        assert_eq!(
+            ph.to_json_line(SimTime::ZERO, SRC_CLUSTER),
+            format!("{{\"t\":0,\"src\":{},\"ev\":\"switch_phase\",\"switch\":4,\"phase\":\"page_in\",\"dur_us\":77}}", u32::MAX)
+        );
+    }
+
+    #[test]
+    fn every_variant_names_itself() {
+        let evs = [
+            ObsEvent::PageFault {
+                pid: 0,
+                page: 0,
+                major: false,
+            },
+            ObsEvent::MajorFault {
+                pid: 0,
+                page: 0,
+                readahead: 0,
+                write_pages: 0,
+                read_pages: 1,
+            },
+            ObsEvent::ReadaheadHit { pid: 0, page: 0 },
+            ObsEvent::EvictBatch {
+                pid: 0,
+                pages: 0,
+                write_pages: 0,
+            },
+            ObsEvent::Evict {
+                pid: 0,
+                page: 0,
+                false_eviction: false,
+                recorded: false,
+            },
+            ObsEvent::Reclaim {
+                target: 0,
+                freed: 0,
+                write_pages: 0,
+            },
+            ObsEvent::AggressiveOut { pid: 0, pages: 0 },
+            ObsEvent::Replay {
+                pid: 0,
+                pages: 0,
+                skipped: 0,
+            },
+            ObsEvent::BgTick { pid: 0, pages: 0 },
+            ObsEvent::DiskRequest {
+                write: false,
+                extents: 0,
+                pages: 0,
+                wait_us: 0,
+                service_us: 0,
+            },
+            ObsEvent::FaultService { pid: 0, wait_us: 0 },
+            ObsEvent::BarrierWait {
+                ranks: 2,
+                skew_us: 0,
+                lag_us: 0,
+            },
+            ObsEvent::SwitchPhase {
+                switch: 0,
+                phase: SwitchPhaseKind::Stop,
+                dur_us: 0,
+            },
+            ObsEvent::SwitchDone {
+                switch: 0,
+                total_us: 0,
+            },
+        ];
+        let mut names: Vec<&str> = evs.iter().map(|e| e.name()).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "wire names must be unique");
+        for ev in &evs {
+            let line = ev.to_json_line(SimTime::ZERO, 0);
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains(&format!("\"ev\":\"{}\"", ev.name())));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Fixed-bucket latency histograms.
+
+/// Number of buckets: one zero bucket plus one per power of two up to
+/// `u64::MAX` (bucket `i ≥ 1` covers `[2^(i-1), 2^i)` µs).
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket (log₂ microsecond) latency histogram.
+///
+/// Bucket 0 counts exact zeros; bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i)`. Fixed power-of-two buckets keep recording to a
+/// handful of integer ops and make the rendered shape comparable across
+/// runs regardless of the value range.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            64 - us.leading_zeros() as usize
+        }
+    }
+
+    /// Record one value (microseconds).
+    pub fn record(&mut self, us: u64) {
+        self.counts[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(us);
+        self.max = self.max.max(us);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values, µs (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded value, µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The non-empty buckets between the first and last occupied one
+    /// (inclusive), as `(label, count)` rows ready for a bar chart.
+    /// Interior zero buckets are kept so gaps in the distribution stay
+    /// visible.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let first = match self.counts.iter().position(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("first exists");
+        (first..=last)
+            .map(|i| (bucket_label(i), self.counts[i]))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean_us", &self.mean_us())
+            .field("max_us", &self.max)
+            .finish()
+    }
+}
+
+/// Human label for a bucket's lower bound (`0`, `1us`, `512us`, `1ms`,
+/// `1s`, …).
+fn bucket_label(i: usize) -> String {
+    if i == 0 {
+        return "0".to_string();
+    }
+    let lo = 1u64 << (i - 1);
+    if lo >= 1_000_000 {
+        format!("{}s", lo / 1_000_000)
+    } else if lo >= 1_000 {
+        format!("{}ms", lo / 1_000)
+    } else {
+        format!("{lo}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let rows = h.rows();
+        // Buckets: 0 -> 1, [1,2) -> 1, [2,4) -> 2, [4,8) -> 1.
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], ("0".to_string(), 1));
+        assert_eq!(rows[1], ("1us".to_string(), 1));
+        assert_eq!(rows[2], ("2us".to_string(), 2));
+        assert_eq!(rows[3], ("4us".to_string(), 1));
+    }
+
+    #[test]
+    fn stats_track_inputs() {
+        let mut h = LatencyHistogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), 60);
+        assert_eq!(h.mean_us(), 20);
+        assert_eq!(h.max_us(), 30);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_rows() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert!(h.rows().is_empty());
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn interior_gaps_are_kept() {
+        let mut h = LatencyHistogram::new();
+        h.record(1); // bucket 1
+        h.record(1 << 10); // bucket 11
+        let rows = h.rows();
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows.iter().filter(|(_, c)| *c > 0).count(), 2);
+        assert_eq!(rows.last().unwrap().0, "1ms");
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max_us(), u64::MAX);
+        assert_eq!(h.rows().len(), 1);
+    }
+}

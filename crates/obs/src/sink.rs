@@ -1,0 +1,266 @@
+//! Event sinks: in-memory ring buffer, deterministic JSONL exporter, and
+//! the trace-diff helper.
+
+use crate::event::ObsEvent;
+use crate::observer::Observer;
+use agp_sim::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+
+/// One delivered event with its stamp and source tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// Simulation instant of the event.
+    pub at: SimTime,
+    /// Emitting component's source tag.
+    pub src: u32,
+    /// The event itself.
+    pub event: ObsEvent,
+}
+
+/// A bounded in-memory sink keeping the most recent events, for
+/// interactive debugging and tests.
+#[derive(Clone, Debug)]
+pub struct RingBuffer {
+    cap: usize,
+    buf: VecDeque<TracedEvent>,
+    total: u64,
+}
+
+impl RingBuffer {
+    /// A ring keeping at most `cap` events (`cap` 0 keeps none).
+    pub fn new(cap: usize) -> Self {
+        RingBuffer {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            total: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TracedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever delivered (including evicted ones).
+    pub fn total_seen(&self) -> u64 {
+        self.total
+    }
+
+    /// Drain the retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<TracedEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl Observer for RingBuffer {
+    fn on_event(&mut self, at: SimTime, src: u32, ev: &ObsEvent) {
+        self.total += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(TracedEvent {
+            at,
+            src,
+            event: ev.clone(),
+        });
+    }
+}
+
+/// A sink writing one JSON object per line to any [`Write`] target.
+///
+/// The encoding is [`ObsEvent::to_json_line`]: hand-rolled, fixed field
+/// order, integers only — so two runs with identical seeds produce
+/// byte-identical files. I/O errors are latched (the stream stops
+/// writing) and surfaced by [`JsonlWriter::finish`].
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wrap a write target.
+    pub fn new(out: W) -> Self {
+        JsonlWriter {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and return the inner writer, or the first latched I/O error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Observer for JsonlWriter<W> {
+    fn on_event(&mut self, at: SimTime, src: u32, ev: &ObsEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = ev.to_json_line(at, src);
+        let res = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"));
+        match res {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// The first point where two JSONL traces differ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceDivergence {
+    /// 1-indexed line number of the first difference.
+    pub line: u64,
+    /// That line in the left trace (`None` if it ended first).
+    pub left: Option<String>,
+    /// That line in the right trace (`None` if it ended first).
+    pub right: Option<String>,
+}
+
+impl fmt::Display for TraceDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "traces diverge at line {}:", self.line)?;
+        match &self.left {
+            Some(l) => writeln!(f, "  left:  {l}")?,
+            None => writeln!(f, "  left:  <end of trace>")?,
+        }
+        match &self.right {
+            Some(r) => write!(f, "  right: {r}"),
+            None => write!(f, "  right: <end of trace>"),
+        }
+    }
+}
+
+/// Compare two JSONL traces line by line and report the first divergent
+/// line, or `None` when the traces are identical.
+pub fn trace_diff(left: &str, right: &str) -> Option<TraceDivergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0u64;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => {}
+            (a, b) => {
+                return Some(TraceDivergence {
+                    line,
+                    left: a.map(str::to_string),
+                    right: b.map(str::to_string),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(page: u32) -> ObsEvent {
+        ObsEvent::ReadaheadHit { pid: 1, page }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_last_n() {
+        let mut ring = RingBuffer::new(2);
+        for i in 0..5 {
+            ring.on_event(SimTime::from_us(i as u64), 0, &ev(i));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.total_seen(), 5);
+        let pages: Vec<u32> = ring
+            .events()
+            .map(|t| match t.event {
+                ObsEvent::ReadaheadHit { page, .. } => page,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pages, vec![3, 4]);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_ring_counts_but_keeps_nothing() {
+        let mut ring = RingBuffer::new(0);
+        ring.on_event(SimTime::ZERO, 0, &ev(0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_seen(), 1);
+    }
+
+    #[test]
+    fn jsonl_writer_is_deterministic() {
+        let render = || {
+            let mut w = JsonlWriter::new(Vec::new());
+            for i in 0..3 {
+                w.on_event(SimTime::from_us(10 + i as u64), 2, &ev(i));
+            }
+            assert_eq!(w.lines(), 3);
+            String::from_utf8(w.finish().unwrap()).unwrap()
+        };
+        let a = render();
+        let b = render();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 3);
+        assert!(a.starts_with("{\"t\":10,"));
+    }
+
+    #[test]
+    fn trace_diff_finds_first_divergent_line() {
+        let a = "x\ny\nz\n";
+        let b = "x\nY\nz\n";
+        let d = trace_diff(a, b).expect("must diverge");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("y"));
+        assert_eq!(d.right.as_deref(), Some("Y"));
+        assert!(d.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn trace_diff_reports_length_mismatch() {
+        let a = "x\ny\n";
+        let b = "x\n";
+        let d = trace_diff(a, b).expect("must diverge");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("y"));
+        assert_eq!(d.right, None);
+        assert!(d.to_string().contains("<end of trace>"));
+    }
+
+    #[test]
+    fn identical_traces_have_no_diff() {
+        assert_eq!(trace_diff("a\nb\n", "a\nb\n"), None);
+        assert_eq!(trace_diff("", ""), None);
+    }
+}

@@ -311,8 +311,14 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(SimTime::from_us(5) < SimTime::from_us(6));
         assert!(SimDur::from_ms(1) > SimDur::from_us(999));
-        assert_eq!(SimTime::from_us(7).max(SimTime::from_us(3)), SimTime::from_us(7));
-        assert_eq!(SimTime::from_us(7).min(SimTime::from_us(3)), SimTime::from_us(3));
+        assert_eq!(
+            SimTime::from_us(7).max(SimTime::from_us(3)),
+            SimTime::from_us(7)
+        );
+        assert_eq!(
+            SimTime::from_us(7).min(SimTime::from_us(3)),
+            SimTime::from_us(3)
+        );
     }
 
     #[test]

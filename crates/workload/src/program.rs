@@ -92,7 +92,10 @@ impl ProcessProgram {
 
     /// `(completed_iterations, total_iterations)` — excludes the init pass.
     pub fn progress(&self) -> (u32, u32) {
-        (self.next_iter.saturating_sub(1).min(self.iters_total), self.iters_total)
+        (
+            self.next_iter.saturating_sub(1).min(self.iters_total),
+            self.iters_total,
+        )
     }
 
     /// Pull the next step; `None` once the workload is complete.
@@ -176,8 +179,7 @@ impl ProcessProgram {
         // `random_coverage` of it per iteration.
         if p.random_region_fraction > 0.0 && p.random_run_len > 0 {
             let region_start = sweep_pages.min(self.footprint.saturating_sub(1));
-            let region_len =
-                ((self.footprint as f64) * p.random_region_fraction).max(1.0) as u32;
+            let region_len = ((self.footprint as f64) * p.random_region_fraction).max(1.0) as u32;
             let region_len = region_len.min(self.footprint - region_start).max(1);
             let touched = ((region_len as f64) * p.random_coverage) as u32;
             let runs = (touched / p.random_run_len).max(1);
@@ -273,7 +275,9 @@ mod tests {
         let mut p = ProcessProgram::new(spec, 0, 1);
         let init = steps_of_one_iteration(&mut p);
         match init[0] {
-            Step::Touch { first, len, write, .. } => {
+            Step::Touch {
+                first, len, write, ..
+            } => {
                 assert_eq!(first, 0);
                 assert_eq!(len, p.footprint_pages());
                 assert!(write);
@@ -291,7 +295,10 @@ mod tests {
         while let Some(s) = p.next_step() {
             n += 1;
             assert!(
-                !matches!(s, Step::Barrier | Step::Exchange { .. } | Step::AllToAll { .. }),
+                !matches!(
+                    s,
+                    Step::Barrier | Step::Exchange { .. } | Step::AllToAll { .. }
+                ),
                 "serial program emitted {s:?}"
             );
         }
@@ -351,7 +358,10 @@ mod tests {
             })
             .collect();
         assert_eq!(lens.len(), 8, "4 levels down + 4 up");
-        assert!(lens[0] > lens[1] && lens[1] > lens[2], "restriction shrinks");
+        assert!(
+            lens[0] > lens[1] && lens[1] > lens[2],
+            "restriction shrinks"
+        );
         assert_eq!(lens[3], lens[4], "turnaround at the coarsest level");
         assert!(lens[5] > lens[4], "prolongation grows");
         assert_eq!(lens[0], lens[7], "finest level revisited");
@@ -404,9 +414,9 @@ mod tests {
         let touch_cost: u64 = iter1
             .iter()
             .filter_map(|s| match s {
-                Step::Touch { len, cpu_per_page, .. } => {
-                    Some(*len as u64 * cpu_per_page.as_us())
-                }
+                Step::Touch {
+                    len, cpu_per_page, ..
+                } => Some(*len as u64 * cpu_per_page.as_us()),
                 _ => None,
             })
             .sum();
@@ -431,7 +441,10 @@ mod tests {
         let mut p = ProcessProgram::new(spec, 0, 1);
         let _ = steps_of_one_iteration(&mut p);
         let iter1 = steps_of_one_iteration(&mut p);
-        let sweeps = iter1.iter().filter(|s| matches!(s, Step::Touch { .. })).count();
+        let sweeps = iter1
+            .iter()
+            .filter(|s| matches!(s, Step::Touch { .. }))
+            .count();
         assert_eq!(sweeps, 3);
     }
 

@@ -413,7 +413,10 @@ mod tests {
             let two = WorkloadSpec::parallel(b, Class::B, 2).footprint_pages_per_rank();
             let four = WorkloadSpec::parallel(b, Class::B, 4).footprint_pages_per_rank();
             assert!(two < serial && four < two, "{b}");
-            assert!(two as f64 > serial as f64 / 2.0, "{b}: halo overhead present");
+            assert!(
+                two as f64 > serial as f64 / 2.0,
+                "{b}: halo overhead present"
+            );
             assert!(four as f64 > serial as f64 / 4.0, "{b}");
         }
     }

@@ -25,9 +25,18 @@ fn config(policy: PolicyConfig) -> ClusterConfig {
     cfg.policy = policy;
     cfg.mode = ScheduleMode::Gang;
     cfg.jobs = vec![
-        JobSpec::new("LU.A x4", WorkloadSpec::parallel(Benchmark::LU, Class::A, 4)),
-        JobSpec::new("CG.A x4", WorkloadSpec::parallel(Benchmark::CG, Class::A, 4)),
-        JobSpec::new("IS.A x4", WorkloadSpec::parallel(Benchmark::IS, Class::A, 4)),
+        JobSpec::new(
+            "LU.A x4",
+            WorkloadSpec::parallel(Benchmark::LU, Class::A, 4),
+        ),
+        JobSpec::new(
+            "CG.A x4",
+            WorkloadSpec::parallel(Benchmark::CG, Class::A, 4),
+        ),
+        JobSpec::new(
+            "IS.A x4",
+            WorkloadSpec::parallel(Benchmark::IS, Class::A, 4),
+        ),
     ];
     cfg
 }
@@ -43,18 +52,13 @@ fn main() -> Result<(), String> {
         for j in &r.jobs {
             println!(
                 "  {:<10} finished at {}  ({} iterations)",
-                j.name,
-                j.completion,
-                j.iterations
+                j.name, j.completion, j.iterations
             );
         }
         for (i, n) in r.nodes.iter().enumerate() {
             println!(
                 "  node{i}: {:>8} pages in, {:>8} out, disk busy {}, {} seeks",
-                n.disk.pages_read,
-                n.disk.pages_written,
-                n.disk.busy,
-                n.disk.seeks
+                n.disk.pages_read, n.disk.pages_written, n.disk.busy, n.disk.seeks
             );
         }
         let es = r.total_engine_stats();

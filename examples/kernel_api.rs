@@ -111,7 +111,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.stats().false_evictions
     );
 
-    kern.check_invariants().map_err(|e| format!("invariant: {e}"))?;
-    println!("\nkernel invariants verified; recorder occupies {} bytes", engine.recorder_bytes());
+    kern.check_invariants()
+        .map_err(|e| format!("invariant: {e}"))?;
+    println!(
+        "\nkernel invariants verified; recorder occupies {} bytes",
+        engine.recorder_bytes()
+    );
     Ok(())
 }

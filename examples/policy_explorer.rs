@@ -32,9 +32,7 @@ fn main() -> Result<(), String> {
         quick_serial(bench)
     };
 
-    let batch = cluster::run(
-        scenario.config(PolicyConfig::original(), ScheduleMode::Batch),
-    )?;
+    let batch = cluster::run(scenario.config(PolicyConfig::original(), ScheduleMode::Batch))?;
     let tb = batch.makespan;
 
     let mut table = Table::new(
@@ -42,7 +40,14 @@ fn main() -> Result<(), String> {
             "policy ladder: 2 × {} on {} node(s), quantum {}",
             scenario.workload, scenario.nodes, scenario.quantum
         ),
-        &["policy", "makespan", "overhead %", "reduction %", "false evictions", "replayed"],
+        &[
+            "policy",
+            "makespan",
+            "overhead %",
+            "reduction %",
+            "false evictions",
+            "replayed",
+        ],
     );
     let mut t_orig = None;
     for policy in PolicyConfig::paper_combinations() {

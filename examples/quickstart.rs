@@ -40,8 +40,15 @@ fn main() -> Result<(), String> {
     let orig = cluster::run(config(PolicyConfig::original(), ScheduleMode::Gang))?;
     let full = cluster::run(config(PolicyConfig::full(), ScheduleMode::Gang))?;
 
-    println!("{:<22} {:>10} {:>12} {:>12}", "", "makespan", "pages in", "pages out");
-    for (name, r) in [("batch (no switches)", &batch), ("gang, orig", &orig), ("gang, so/ao/ai/bg", &full)] {
+    println!(
+        "{:<22} {:>10} {:>12} {:>12}",
+        "", "makespan", "pages in", "pages out"
+    );
+    for (name, r) in [
+        ("batch (no switches)", &batch),
+        ("gang, orig", &orig),
+        ("gang, so/ao/ai/bg", &full),
+    ] {
         println!(
             "{:<22} {:>10} {:>12} {:>12}",
             name,

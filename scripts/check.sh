@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI (and a reviewer) requires before merge.
+# Run from the workspace root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy -- -D warnings

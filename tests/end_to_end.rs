@@ -21,7 +21,11 @@ fn run(cfg: ClusterConfig) -> RunResult {
 #[test]
 fn every_benchmark_full_policy_beats_original() {
     for bench in Benchmark::ALL {
-        let orig = run(serial_cfg(bench, PolicyConfig::original(), ScheduleMode::Gang));
+        let orig = run(serial_cfg(
+            bench,
+            PolicyConfig::original(),
+            ScheduleMode::Gang,
+        ));
         let full = run(serial_cfg(bench, PolicyConfig::full(), ScheduleMode::Gang));
         assert!(
             full.makespan <= orig.makespan,
@@ -51,20 +55,43 @@ fn batch_is_the_floor() {
 fn headline_reduction_is_substantial() {
     // The abstract: "these new adaptive paging mechanisms can reduce the
     // job switching time significantly (up to 90%)".
-    let batch = run(serial_cfg(Benchmark::LU, PolicyConfig::original(), ScheduleMode::Batch));
-    let orig = run(serial_cfg(Benchmark::LU, PolicyConfig::original(), ScheduleMode::Gang));
-    let full = run(serial_cfg(Benchmark::LU, PolicyConfig::full(), ScheduleMode::Gang));
+    let batch = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::original(),
+        ScheduleMode::Batch,
+    ));
+    let orig = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::original(),
+        ScheduleMode::Gang,
+    ));
+    let full = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::full(),
+        ScheduleMode::Gang,
+    ));
     let red = reduction_pct(orig.makespan, full.makespan, batch.makespan);
     assert!(red > 50.0, "expected a large reduction, got {red:.1}%");
 }
 
 #[test]
 fn selective_eliminates_false_evictions() {
-    let orig = run(serial_cfg(Benchmark::LU, PolicyConfig::original(), ScheduleMode::Gang));
-    let so = run(serial_cfg(Benchmark::LU, PolicyConfig::so(), ScheduleMode::Gang));
+    let orig = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::original(),
+        ScheduleMode::Gang,
+    ));
+    let so = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::so(),
+        ScheduleMode::Gang,
+    ));
     let fe_orig = orig.total_engine_stats().false_evictions;
     let fe_so = so.total_engine_stats().false_evictions;
-    assert!(fe_orig > 0, "the original kernel must exhibit §3.1 false evictions");
+    assert!(
+        fe_orig > 0,
+        "the original kernel must exhibit §3.1 false evictions"
+    );
     assert!(
         fe_so * 10 < fe_orig,
         "selective must (nearly) eliminate them: {fe_so} vs {fe_orig}"
@@ -73,8 +100,16 @@ fn selective_eliminates_false_evictions() {
 
 #[test]
 fn aggressive_compacts_page_outs_into_switches() {
-    let so = run(serial_cfg(Benchmark::LU, PolicyConfig::so(), ScheduleMode::Gang));
-    let so_ao = run(serial_cfg(Benchmark::LU, PolicyConfig::so_ao(), ScheduleMode::Gang));
+    let so = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::so(),
+        ScheduleMode::Gang,
+    ));
+    let so_ao = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::so_ao(),
+        ScheduleMode::Gang,
+    ));
     let s = so_ao.total_engine_stats();
     assert!(s.aggressive_evictions > 0, "ao must evict at switches");
     // With ao, demand-time reclaim shrinks relative to so alone.
@@ -86,7 +121,11 @@ fn aggressive_compacts_page_outs_into_switches() {
 
 #[test]
 fn adaptive_page_in_records_and_replays() {
-    let r = run(serial_cfg(Benchmark::LU, PolicyConfig::full(), ScheduleMode::Gang));
+    let r = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::full(),
+        ScheduleMode::Gang,
+    ));
     let s = r.total_engine_stats();
     assert!(s.recorded_pages > 0);
     assert!(s.replayed_pages > 0);
@@ -104,15 +143,27 @@ fn adaptive_page_in_records_and_replays() {
 
 #[test]
 fn background_writing_cleans_before_switches() {
-    let r = run(serial_cfg(Benchmark::LU, PolicyConfig::so_ao_bg(), ScheduleMode::Gang));
+    let r = run(serial_cfg(
+        Benchmark::LU,
+        PolicyConfig::so_ao_bg(),
+        ScheduleMode::Gang,
+    ));
     let cleaned: u64 = r.nodes.iter().map(|n| n.bg_cleaned_pages).sum();
     assert!(cleaned > 0, "bg writer must run in its window");
 }
 
 #[test]
 fn determinism_across_identical_runs() {
-    let a = run(serial_cfg(Benchmark::CG, PolicyConfig::full(), ScheduleMode::Gang));
-    let b = run(serial_cfg(Benchmark::CG, PolicyConfig::full(), ScheduleMode::Gang));
+    let a = run(serial_cfg(
+        Benchmark::CG,
+        PolicyConfig::full(),
+        ScheduleMode::Gang,
+    ));
+    let b = run(serial_cfg(
+        Benchmark::CG,
+        PolicyConfig::full(),
+        ScheduleMode::Gang,
+    ));
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.events, b.events);
     assert_eq!(a.total_pages_in(), b.total_pages_in());
@@ -165,12 +216,23 @@ fn sp_quantum_override_reaches_the_scheduler() {
 
 #[test]
 fn overhead_formulas_match_run_results() {
-    let batch = run(serial_cfg(Benchmark::MG, PolicyConfig::original(), ScheduleMode::Batch));
-    let orig = run(serial_cfg(Benchmark::MG, PolicyConfig::original(), ScheduleMode::Gang));
+    let batch = run(serial_cfg(
+        Benchmark::MG,
+        PolicyConfig::original(),
+        ScheduleMode::Batch,
+    ));
+    let orig = run(serial_cfg(
+        Benchmark::MG,
+        PolicyConfig::original(),
+        ScheduleMode::Gang,
+    ));
     let ov = overhead_pct(orig.makespan, batch.makespan);
     assert!((0.0..100.0).contains(&ov));
     // Consistency: reduction of orig vs itself is zero.
-    assert_eq!(reduction_pct(orig.makespan, orig.makespan, batch.makespan), 0.0);
+    assert_eq!(
+        reduction_pct(orig.makespan, orig.makespan, batch.makespan),
+        0.0
+    );
 }
 
 #[test]
@@ -178,6 +240,10 @@ fn memory_is_fully_reclaimed_after_completion() {
     // Jobs exit -> kernels must return to an all-free state. We verify via
     // a fresh run whose node reports show swap fully drained (no leak
     // means pages_out can exceed swap size over time without exhaustion).
-    let r = run(serial_cfg(Benchmark::IS, PolicyConfig::full(), ScheduleMode::Gang));
+    let r = run(serial_cfg(
+        Benchmark::IS,
+        PolicyConfig::full(),
+        ScheduleMode::Gang,
+    ));
     assert!(r.total_pages_out() < 10_000_000, "sanity");
 }

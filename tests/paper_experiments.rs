@@ -42,9 +42,15 @@ fn fig7_reduction_column_is_positive_under_pressure() {
         let bench = c.cell(r, 0);
         let red: f64 = c.cell(r, 1).parse().unwrap();
         if bench == "LU" || bench == "MG" {
-            assert!(red > 30.0, "{bench}: expected a strong reduction, got {red}");
+            assert!(
+                red > 30.0,
+                "{bench}: expected a strong reduction, got {red}"
+            );
         }
-        assert!(red > -20.0, "{bench}: adaptive must not badly regress ({red})");
+        assert!(
+            red > -20.0,
+            "{bench}: adaptive must not badly regress ({red})"
+        );
     }
 }
 
@@ -64,7 +70,10 @@ fn fig9_so_and_full_beat_original_everywhere() {
 fn moreira_motivation_shows_memory_cliff() {
     let out = (find("moreira").unwrap().runner)(Scale::Quick).unwrap();
     let ratio: f64 = out.tables[1].cell(0, 0).parse().unwrap();
-    assert!(ratio > 1.3, "128 MB must be much slower than 256 MB: {ratio}");
+    assert!(
+        ratio > 1.3,
+        "128 MB must be much slower than 256 MB: {ratio}"
+    );
 }
 
 #[test]
