@@ -72,7 +72,8 @@ fn print_usage() {
          \x20 --batch                           run jobs back-to-back instead of gang\n\
          \x20 --seed N                          RNG seed (default 0x5EED600D)\n\
          \x20 --trace                           print the node-0 paging trace\n\
-         \x20 --events PATH                     export the structured event stream as JSONL\n\n\
+         \x20 --events PATH                     export the structured event stream as JSONL\n\
+         \x20 --check-invariants                sweep conservation/coherence invariants during the run\n\n\
          PROFILE OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
          \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
@@ -185,6 +186,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     let mut seed = 0x5EED_600Du64;
     let mut show_trace = false;
     let mut events: Option<String> = None;
+    let mut check_invariants = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -218,6 +220,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             "--batch" => batch = true,
             "--trace" => show_trace = true,
             "--events" => events = Some(val("--events")?.clone()),
+            "--check-invariants" => check_invariants = true,
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -234,6 +237,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         ScheduleMode::Gang
     };
     cfg.seed = seed;
+    cfg.check_invariants = check_invariants;
     cfg.jobs = (0..jobs)
         .map(|i| JobSpec::new(format!("{workload} #{}", i + 1), workload))
         .collect();
@@ -257,6 +261,13 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         None => agp_cluster::run(cfg)?,
     };
     eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
+    if check_invariants {
+        eprintln!(
+            "invariants: {} sweeps over {} node(s), zero violations",
+            r.invariant_checks,
+            r.nodes.len()
+        );
+    }
 
     println!(
         "policy {}  mode {:?}  makespan {:.1} min  switches {}",

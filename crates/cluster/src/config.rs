@@ -79,6 +79,15 @@ pub struct ClusterConfig {
     /// Hard wall on simulated time (guards against thrashing livelock in
     /// misconfigured runs).
     pub max_sim_time: SimDur,
+    /// Run the conservation/coherence invariant sweep during the
+    /// simulation: after every coordinated switch, at each job completion,
+    /// periodically in the event loop, and once at the end. A violation
+    /// aborts the run with a diagnostic instead of producing silently
+    /// wrong results. Enabled by `agp sim --check-invariants` and by
+    /// default in the crate's own tests; off in production runs (the sweep
+    /// walks every page table).
+    #[serde(default)]
+    pub check_invariants: bool,
 }
 
 impl ClusterConfig {
@@ -101,6 +110,7 @@ impl ClusterConfig {
             bg_tick: SimDur::from_ms(60),
             chunk_pages: 1024,
             max_sim_time: SimDur::from_mins(24 * 60),
+            check_invariants: false,
         }
     }
 

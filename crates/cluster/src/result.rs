@@ -54,6 +54,11 @@ pub struct RunResult {
     pub switches: u64,
     /// Events processed (diagnostics).
     pub events: u64,
+    /// Invariant sweeps performed (0 unless the run was started with
+    /// `check_invariants`; each sweep covers every node's kernel and
+    /// engine). A run that returns at all had zero violations — a
+    /// violation aborts with an error.
+    pub invariant_checks: u64,
 }
 
 impl RunResult {
@@ -106,18 +111,13 @@ impl RunResult {
         if self.mode != ScheduleMode::Batch {
             return None;
         }
-        let mut order: Vec<&JobResult> = self.jobs.iter().collect();
-        order.sort_by_key(|j| j.completion);
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by_key(|&i| self.jobs[i].completion);
         let mut prev = SimTime::ZERO;
         let mut out = vec![SimDur::ZERO; self.jobs.len()];
-        for j in &order {
-            let idx = self
-                .jobs
-                .iter()
-                .position(|x| std::ptr::eq(x, *j))
-                .expect("same vec");
-            out[idx] = j.completion.since(prev);
-            prev = j.completion;
+        for idx in order {
+            out[idx] = self.jobs[idx].completion.since(prev);
+            prev = self.jobs[idx].completion;
         }
         Some(out)
     }

@@ -64,6 +64,12 @@ enum Event {
     BgTick { node: usize, sgen: u64 },
 }
 
+/// With `check_invariants` on, sweep every node once per this many events
+/// (in addition to the per-switch and per-job-completion sweeps). Frequent
+/// enough to localize a corruption to a few thousand events, cheap enough
+/// that test runs stay fast.
+const INVARIANT_SWEEP_EVERY: u64 = 4096;
+
 /// The simulation.
 pub struct ClusterSim {
     cfg: ClusterConfig,
@@ -83,6 +89,8 @@ pub struct ClusterSim {
     batch_next: usize,
     switches: u64,
     events: u64,
+    /// Invariant sweeps performed (see [`ClusterSim::verify_invariants`]).
+    invariant_checks: u64,
     obs: ObsLink,
     /// Switch-event id counter (counts every `do_switch`, including the
     /// initial placement, unlike `switches`).
@@ -151,6 +159,7 @@ impl ClusterSim {
             batch_next: 0,
             switches: 0,
             events: 0,
+            invariant_checks: 0,
             obs: ObsLink::disabled(),
             obs_switches: 0,
         })
@@ -198,6 +207,9 @@ impl ClusterSim {
                 ));
             }
             self.handle(ev)?;
+            if self.cfg.check_invariants && self.events.is_multiple_of(INVARIANT_SWEEP_EVERY) {
+                self.verify_invariants("periodic sweep")?;
+            }
             if self.completions.iter().all(|c| c.is_some()) {
                 break;
             }
@@ -205,7 +217,41 @@ impl ClusterSim {
         if !self.completions.iter().all(|c| c.is_some()) {
             return Err("event queue drained before all jobs completed (model deadlock)".into());
         }
+        if self.cfg.check_invariants {
+            self.verify_invariants("final state")?;
+        }
         Ok(self.into_result())
+    }
+
+    /// One conservation/coherence sweep over every node, run when the
+    /// configuration enables `check_invariants`:
+    ///
+    /// * [`Kernel::check_invariants`] — frame conservation
+    ///   (`free + Σ rss == usable`), dirty ⟹ no swap copy, swap-owner-map
+    ///   bijection with referencing pages, no leaked swap blocks;
+    /// * [`PagingEngine::check_invariants`] — every adaptive page-in record
+    ///   is a coherent run-length list, and records only exist when `ai`
+    ///   is enabled.
+    ///
+    /// A violation is a simulator bug, not an operator error, so the run
+    /// aborts with the diagnostic rather than continuing on corrupt state.
+    fn verify_invariants(&mut self, context: &str) -> Result<(), String> {
+        for (ni, node) in self.nodes.iter().enumerate() {
+            node.kernel.check_invariants().map_err(|e| {
+                format!(
+                    "invariant violation at {} ({context}, node {ni}): {e}",
+                    self.now
+                )
+            })?;
+            node.engine.check_invariants().map_err(|e| {
+                format!(
+                    "invariant violation at {} ({context}, node {ni}): {e}",
+                    self.now
+                )
+            })?;
+        }
+        self.invariant_checks += 1;
+        Ok(())
     }
 
     fn handle(&mut self, ev: Event) -> Result<(), String> {
@@ -473,6 +519,9 @@ impl ClusterSim {
             node.engine.forget_proc(pid);
             debug_assert!(node.kernel.check_invariants().is_ok());
         }
+        if self.cfg.check_invariants {
+            self.verify_invariants("job completion")?;
+        }
         match self.cfg.mode {
             ScheduleMode::Batch => {
                 self.batch_next += 1;
@@ -615,11 +664,25 @@ impl ClusterSim {
         // so the four durations sum to the total by construction.
         let sw = self.obs_switches;
         self.obs_switches += 1;
+        let out_end = out_end.max(now);
+        let in_end = in_end.max(out_end);
+        let pageout_us = out_end.since(now).as_us();
+        let pagein_us = in_end.since(out_end).as_us();
+        if self.cfg.check_invariants {
+            // Phase decomposition must tile the switch exactly: STOP and
+            // CONT are instantaneous, so page-out + page-in == total. This
+            // holds by construction today; the check guards refactors that
+            // overlap the drains or add phases without re-deriving the sum.
+            let total_us = in_end.since(now).as_us();
+            if pageout_us + pagein_us != total_us {
+                return Err(format!(
+                    "invariant violation at {now} (switch {sw}): phase durations \
+                     {pageout_us} + {pagein_us} µs do not sum to switch total {total_us} µs"
+                ));
+            }
+            self.verify_invariants("post-switch")?;
+        }
         if self.obs.enabled() {
-            let out_end = out_end.max(now);
-            let in_end = in_end.max(out_end);
-            let pageout_us = out_end.since(now).as_us();
-            let pagein_us = in_end.since(out_end).as_us();
             let phases = [
                 (SwitchPhaseKind::Stop, 0),
                 (SwitchPhaseKind::PageOut, pageout_us),
@@ -720,6 +783,9 @@ impl ClusterSim {
                 JobResult {
                     name: spec.name.clone(),
                     workload: spec.workload,
+                    // into_result runs only after run() drains the queue,
+                    // at which point every job has a completion time.
+                    // agp-lint: allow(panic-site): run loop completed all jobs
                     completion: self.completions[j].expect("all jobs completed"),
                     iterations,
                 }
@@ -749,6 +815,7 @@ impl ClusterSim {
             nodes,
             switches: self.switches,
             events: self.events,
+            invariant_checks: self.invariant_checks,
         }
     }
 }
@@ -781,6 +848,8 @@ mod tests {
             JobSpec::new("LU.A #1", WorkloadSpec::serial(Benchmark::LU, Class::A)),
             JobSpec::new("LU.A #2", WorkloadSpec::serial(Benchmark::LU, Class::A)),
         ];
+        // Tests always run the conservation sweep; production runs opt in.
+        cfg.check_invariants = true;
         cfg
     }
 
@@ -873,6 +942,26 @@ mod tests {
     }
 
     #[test]
+    fn invariant_sweep_runs_and_does_not_perturb() {
+        let checked = tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
+        let mut plain = tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
+        plain.check_invariants = false;
+        let a = ClusterSim::new(checked).unwrap().run().unwrap();
+        let b = ClusterSim::new(plain).unwrap().run().unwrap();
+        assert!(
+            a.invariant_checks > a.switches,
+            "per-switch + periodic + final sweeps: got {} over {} switches",
+            a.invariant_checks,
+            a.switches
+        );
+        assert_eq!(b.invariant_checks, 0, "sweeps are opt-in");
+        // The sweep only reads state: both runs must be identical.
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.total_pages_in(), b.total_pages_in());
+    }
+
+    #[test]
     fn different_seeds_still_complete() {
         let mut cfg = tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
         cfg.seed = 12345;
@@ -907,6 +996,7 @@ mod tests {
                 WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
             ),
         ];
+        cfg.check_invariants = true;
         cfg
     }
 

@@ -15,7 +15,7 @@ use agp_mem::{Kernel, MapInOutcome, MemError, PageNum, PageState, ProcId};
 use agp_obs::{ObsEvent, ObsLink};
 use agp_sim::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Disk work produced by a switch-time operation: writes are submitted
 /// before reads (and the node's FIFO disk preserves that order).
@@ -188,7 +188,7 @@ pub struct PagingEngine {
     /// Process currently scheduled on this node (evictions of anyone else
     /// are recorded when `adaptive_in` is on).
     running: Option<ProcId>,
-    recorders: HashMap<ProcId, PageRecorder>,
+    recorders: BTreeMap<ProcId, PageRecorder>,
     selective_cache: SelectiveCache,
     lru_cache: GlobalLruCache,
     bg: BgWriter,
@@ -203,7 +203,7 @@ impl PagingEngine {
             cfg,
             outgoing: None,
             running: None,
-            recorders: HashMap::new(),
+            recorders: BTreeMap::new(),
             selective_cache: SelectiveCache::default(),
             lru_cache: GlobalLruCache::default(),
             bg: BgWriter::default(),
@@ -325,6 +325,9 @@ impl PagingEngine {
                                 page: p2.0,
                             });
                         }
+                        // swap_chain_after only returns Swapped pages, which
+                        // map_in always reads from disk.
+                        // agp-lint: allow(panic-site): chain pages are swapped
                         MapInOutcome::Zeroed => unreachable!("chain pages are swapped"),
                     }
                 }
@@ -689,6 +692,23 @@ impl PagingEngine {
     /// Pages cleaned by the background writer so far.
     pub fn bg_cleaned_pages(&self) -> u64 {
         self.bg.stats().cleaned_pages
+    }
+
+    /// Engine-level structural invariants, paired with
+    /// [`Kernel::check_invariants`](agp_mem::Kernel::check_invariants) by the
+    /// cluster's `--check-invariants` sweep: every adaptive page-in record
+    /// must be a coherent run-length list
+    /// ([`PageRecorder::check_coherence`]), and records only exist at all
+    /// when the `ai` mechanism is enabled.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if !self.cfg.adaptive_in && self.recorders.values().any(|r| !r.is_empty()) {
+            return Err("page-in records exist but adaptive_in is disabled".to_string());
+        }
+        for (pid, rec) in &self.recorders {
+            rec.check_coherence()
+                .map_err(|e| format!("page-in record of {pid}: {e}"))?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,109 @@
+//! Deterministic (seeded) mirror of the invariant-layer property tests.
+//!
+//! The proptest suite in `proptests.rs` explores the same state spaces
+//! with shrinking; these tests drive the identical operation mix from
+//! `SimRng` so the invariant layer stays exercised in builds where the
+//! proptest dev-dependency is unavailable, and so a fixed seed pins one
+//! known-good trajectory forever.
+
+use agp_core::{PageRecorder, PagingEngine, PolicyConfig};
+use agp_mem::{Kernel, PageNum, ProcId, VmParams};
+use agp_sim::{SimRng, SimTime};
+
+const NPROCS: u32 = 2;
+const PAGES: u32 = 96;
+
+fn kernel() -> Kernel {
+    let mut k = Kernel::new(
+        VmParams {
+            total_frames: 128,
+            wired_frames: 0,
+            freepages_min: 4,
+            freepages_high: 8,
+            readahead: 16,
+        },
+        8192,
+    );
+    for p in 0..NPROCS {
+        k.register_proc(ProcId(p), PAGES as usize);
+    }
+    k
+}
+
+#[test]
+fn recorder_coherence_survives_seeded_flush_orders() {
+    let mut rng = SimRng::new(0xC0_4E5E);
+    for round in 0..64 {
+        let mut r = PageRecorder::new();
+        let n = rng.below(300);
+        for i in 0..n {
+            // Mostly-ascending with jumps: the flush-order shape real
+            // evictions produce, plus occasional duplicates.
+            r.record(PageNum(rng.below(128) as u32));
+            r.check_coherence()
+                .unwrap_or_else(|e| panic!("round {round} op {i}: {e}"));
+            if rng.chance(0.02) {
+                r.drain_pages();
+                r.check_coherence()
+                    .unwrap_or_else(|e| panic!("round {round} post-drain: {e}"));
+            }
+        }
+        r.clear();
+        assert!(r.check_coherence().is_ok());
+    }
+}
+
+#[test]
+fn engine_and_kernel_invariants_survive_seeded_schedules() {
+    let mut rng = SimRng::new(0x16A6_5C4E_D);
+    for (pi, &policy) in PolicyConfig::paper_combinations().iter().enumerate() {
+        let mut k = kernel();
+        let mut e = PagingEngine::new(policy);
+        e.set_running(Some(ProcId(0)));
+        if policy.bg_write {
+            e.start_bgwrite(ProcId(0));
+        }
+        let mut t = 0u64;
+        for step in 0..400 {
+            t += 7;
+            let now = SimTime::from_us(t);
+            match rng.below(6) {
+                // Weighted like the proptest strategy: faults dominate.
+                0..=2 => {
+                    let pid = ProcId(rng.below(NPROCS as u64) as u32);
+                    let pg = PageNum(rng.below(PAGES as u64) as u32);
+                    let write = rng.chance(0.3);
+                    match k.touch(pid, pg, write, now).unwrap() {
+                        agp_mem::TouchOutcome::Hit => {}
+                        _ => {
+                            let plan = e.on_fault(&mut k, pid, pg, now).unwrap();
+                            assert!(plan.mapped >= 1);
+                        }
+                    }
+                }
+                3 => {
+                    let o = ProcId(rng.below(NPROCS as u64) as u32);
+                    let i = ProcId(rng.below(NPROCS as u64) as u32);
+                    if o != i {
+                        e.stop_bgwrite();
+                        e.adaptive_page_out(&mut k, o, i, None).unwrap();
+                        k.quantum_started(i).unwrap();
+                        e.adaptive_page_in(&mut k, i, now).unwrap();
+                        e.start_bgwrite(i);
+                    }
+                }
+                4 => {
+                    let pid = ProcId(rng.below(NPROCS as u64) as u32);
+                    e.adaptive_page_in(&mut k, pid, now).unwrap();
+                }
+                _ => {
+                    e.bgwrite_tick(&mut k).unwrap();
+                }
+            }
+            k.check_invariants()
+                .unwrap_or_else(|er| panic!("policy {pi} step {step}: kernel: {er}"));
+            e.check_invariants()
+                .unwrap_or_else(|er| panic!("policy {pi} step {step}: engine: {er}"));
+        }
+    }
+}

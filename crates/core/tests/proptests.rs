@@ -25,6 +25,28 @@ proptest! {
         prop_assert!(r.is_empty());
     }
 
+    /// The structural coherence check accepts every reachable recorder
+    /// state: after each record, after a drain, and after a clear. (The
+    /// corruption-detection direction is covered by unit tests that
+    /// forge states `record()` cannot produce.)
+    #[test]
+    fn recorder_coherence_is_invariant(
+        pages in prop::collection::vec(0u32..128, 0..300),
+        drain_at in prop::option::of(0usize..300),
+    ) {
+        let mut r = PageRecorder::new();
+        for (i, &p) in pages.iter().enumerate() {
+            r.record(PageNum(p));
+            r.check_coherence().map_err(TestCaseError::fail)?;
+            if Some(i) == drain_at {
+                r.drain_pages();
+                r.check_coherence().map_err(TestCaseError::fail)?;
+            }
+        }
+        r.clear();
+        prop_assert!(r.check_coherence().is_ok());
+    }
+
     /// Sorted contiguous input compresses to exactly the number of
     /// maximal runs.
     #[test]
@@ -143,6 +165,7 @@ proptest! {
                 }
             }
             k.check_invariants().map_err(TestCaseError::fail)?;
+            e.check_invariants().map_err(TestCaseError::fail)?;
         }
         // Engine-level consistency: replayed ≤ recorded.
         let s = e.stats();

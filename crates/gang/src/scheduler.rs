@@ -7,7 +7,7 @@
 
 use crate::matrix::{JobId, NodeSet, ScheduleMatrix};
 use agp_sim::SimDur;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The outcome of a rotation: stop everything in `out`, start everything
 /// in `inn`, and run the new slot for `quantum`.
@@ -28,7 +28,7 @@ pub struct SwitchPlan {
 pub struct GangScheduler {
     matrix: ScheduleMatrix,
     default_quantum: SimDur,
-    quantum_override: HashMap<JobId, SimDur>,
+    quantum_override: BTreeMap<JobId, SimDur>,
     /// Index of the active row, if the schedule has started.
     active_row: Option<usize>,
     /// Bumped on every structural change / rotation; lets the simulation
@@ -42,7 +42,7 @@ impl GangScheduler {
         GangScheduler {
             matrix: ScheduleMatrix::new(nodes),
             default_quantum,
-            quantum_override: HashMap::new(),
+            quantum_override: BTreeMap::new(),
             active_row: None,
             generation: 0,
         }

@@ -1,0 +1,50 @@
+//! Seeded lint fixture: one site per hazard class, plus sites that must
+//! NOT fire (suppressed or test-only). Never compiled — `agp-lint` reads it
+//! as text. The integration test asserts the exact findings.
+
+use std::collections::HashMap; // line 5: hash-container
+use std::time::Instant;
+
+struct Tracker {
+    seen: HashMap<u64, u64>, // line 9: hash-container
+}
+
+fn wall_clock_latency() -> u64 {
+    let t0 = Instant::now(); // line 13: wall-clock
+    let t1 = std::time::SystemTime::now(); // line 14: wall-clock
+    drop(t1);
+    t0.elapsed().as_micros() as u64
+}
+
+fn unseeded(n: u64) -> u64 {
+    let mut rng = rand::thread_rng(); // line 20: unseeded-rng
+    rng.gen_range(0..n)
+}
+
+fn unstable_mean(m: &HashMap<u64, f64>) -> f64 {
+    // line 25 declares the map above; the accumulation below is the hazard.
+    m.values().sum::<f64>() / m.len() as f64 // line 26: float-accumulate (+ hash-container on line 24)
+}
+
+fn hot_path(opt: Option<u64>) -> u64 {
+    opt.unwrap() // line 30: panic-site
+}
+
+fn suppressed(opt: Option<u64>) -> u64 {
+    // agp-lint: allow(panic-site): fixture proves suppression works
+    opt.expect("never fires")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_may_use_host_facilities() {
+        let _start = std::time::Instant::now();
+        let mut s: HashSet<u64> = HashSet::new();
+        s.insert(1);
+        assert_eq!(hot_path(Some(2)), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-crate lint configuration from `Cargo.toml` metadata.
+//!
+//! A crate can opt whole lint classes out via a metadata block:
+//!
+//! ```toml
+//! [package.metadata.agp-lint]
+//! allow = ["wall-clock", "panic-site"]
+//! ```
+//!
+//! Only this tiny subset of TOML is needed, so the parser is hand-rolled:
+//! it finds the `[package.metadata.agp-lint]` table and reads the `allow`
+//! string array (single- or multi-line). Everything else in the manifest is
+//! ignored.
+
+/// Parsed lint config for one crate.
+#[derive(Clone, Debug, Default)]
+pub struct CrateConfig {
+    /// Package name from `[package] name = "…"` (empty if not found).
+    pub name: String,
+    /// Lint ids allowed (silenced) crate-wide.
+    pub allow: Vec<String>,
+}
+
+/// Extract the string after `name = "` on a line, if present.
+fn string_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.trim().strip_prefix(key)?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Parse `manifest` (the contents of a `Cargo.toml`) into a [`CrateConfig`].
+pub fn parse_manifest(manifest: &str) -> CrateConfig {
+    let mut cfg = CrateConfig::default();
+    let mut section = String::new();
+    let mut in_allow_array = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if in_allow_array {
+            // Continuation of a multi-line `allow = [` array.
+            for part in line.split(',') {
+                let part = part.trim().trim_end_matches(']').trim();
+                if let Some(id) = part.strip_prefix('"').and_then(|p| p.strip_suffix('"')) {
+                    cfg.allow.push(id.to_string());
+                }
+            }
+            if line.contains(']') {
+                in_allow_array = false;
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            if let Some(end) = rest.find(']') {
+                section = rest[..end].to_string();
+            }
+            continue;
+        }
+        match section.as_str() {
+            "package" if cfg.name.is_empty() => {
+                if let Some(v) = string_value(line, "name") {
+                    cfg.name = v;
+                }
+            }
+            "package.metadata.agp-lint" => {
+                if let Some(rest) = line.strip_prefix("allow") {
+                    let rest = rest.trim_start();
+                    if let Some(arr) = rest.strip_prefix('=') {
+                        let arr = arr.trim();
+                        if let Some(body) = arr.strip_prefix('[') {
+                            if let Some(end) = body.find(']') {
+                                for part in body[..end].split(',') {
+                                    let part = part.trim();
+                                    if let Some(id) =
+                                        part.strip_prefix('"').and_then(|p| p.strip_suffix('"'))
+                                    {
+                                        cfg.allow.push(id.to_string());
+                                    }
+                                }
+                            } else {
+                                // Array continues on following lines.
+                                for part in body.split(',') {
+                                    let part = part.trim();
+                                    if let Some(id) =
+                                        part.strip_prefix('"').and_then(|p| p.strip_suffix('"'))
+                                    {
+                                        cfg.allow.push(id.to_string());
+                                    }
+                                }
+                                in_allow_array = true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_and_single_line_allow() {
+        let cfg = parse_manifest(
+            "[package]\nname = \"agp-cli\"\nversion = \"0.1.0\"\n\n\
+             [package.metadata.agp-lint]\nallow = [\"wall-clock\", \"panic-site\"]\n",
+        );
+        assert_eq!(cfg.name, "agp-cli");
+        assert_eq!(cfg.allow, vec!["wall-clock", "panic-site"]);
+    }
+
+    #[test]
+    fn parses_multi_line_allow() {
+        let cfg = parse_manifest(
+            "[package]\nname = \"x\"\n[package.metadata.agp-lint]\nallow = [\n    \
+             \"hash-container\",\n    \"wall-clock\",\n]\n[dependencies]\n",
+        );
+        assert_eq!(cfg.allow, vec!["hash-container", "wall-clock"]);
+    }
+
+    #[test]
+    fn no_metadata_block_means_no_allows() {
+        let cfg = parse_manifest("[package]\nname = \"agp-mem\"\n[dependencies]\nserde = \"1\"\n");
+        assert_eq!(cfg.name, "agp-mem");
+        assert!(cfg.allow.is_empty());
+    }
+
+    #[test]
+    fn dependency_named_name_is_not_package_name() {
+        let cfg = parse_manifest("[dependencies]\nname = \"oops\"\n[package]\nname = \"real\"\n");
+        assert_eq!(cfg.name, "real");
+    }
+}

@@ -1,0 +1,149 @@
+//! Diagnostic model and text/JSON rendering.
+//!
+//! JSON output is hand-rolled (the workspace builds offline, so no
+//! `serde_json` in build tooling) and emits one object per diagnostic with
+//! stable key order, so downstream tooling can diff reports byte-for-byte.
+
+use std::fmt;
+
+/// How bad a finding is. `Error` findings always fail the run; `Warn`
+/// findings fail it only under `--deny-warnings`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding, pinned to a file position.
+#[derive(Clone, Debug)]
+pub struct Diag {
+    /// Path relative to the workspace root (or as given on the command line).
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// Stable lint id, e.g. `hash-container`.
+    pub id: &'static str,
+    pub severity: Severity,
+    /// What was found and why it matters.
+    pub message: String,
+    /// How to fix or suppress it.
+    pub suggestion: String,
+}
+
+impl Diag {
+    /// `path:line:col: error[id]: message` followed by an indented help line.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}]: {}\n    help: {}",
+            self.file, self.line, self.col, self.severity, self.id, self.message, self.suggestion
+        )
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full report as a JSON document:
+/// `{"diagnostics": [...], "errors": N, "warnings": M}`.
+pub fn render_json(diags: &[Diag]) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"id\": \"{}\", \
+             \"severity\": \"{}\", \"message\": \"{}\", \"suggestion\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            d.id,
+            d.severity,
+            json_escape(&d.message),
+            json_escape(&d.suggestion),
+        ));
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    out.push_str(&format!(
+        "\n  ],\n  \"errors\": {errors},\n  \"warnings\": {warnings}\n}}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_render_is_clickable() {
+        let d = Diag {
+            file: "crates/mem/src/kernel.rs".into(),
+            line: 108,
+            col: 23,
+            id: "hash-container",
+            severity: Severity::Error,
+            message: "std HashMap".into(),
+            suggestion: "use BTreeMap".into(),
+        };
+        let s = d.render_text();
+        assert!(s.starts_with("crates/mem/src/kernel.rs:108:23: error[hash-container]:"));
+        assert!(s.contains("help: use BTreeMap"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diag {
+            file: "a\"b.rs".into(),
+            line: 1,
+            col: 2,
+            id: "panic-site",
+            severity: Severity::Warn,
+            message: "line1\nline2".into(),
+            suggestion: "s".into(),
+        };
+        let s = render_json(&[d]);
+        assert!(s.contains("a\\\"b.rs"));
+        assert!(s.contains("line1\\nline2"));
+        assert!(s.contains("\"errors\": 0"));
+        assert!(s.contains("\"warnings\": 1"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let s = render_json(&[]);
+        assert!(s.contains("\"diagnostics\": []") || s.contains("\"diagnostics\": [\n  ]"));
+        assert!(s.contains("\"errors\": 0"));
+    }
+}

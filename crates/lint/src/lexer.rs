@@ -1,0 +1,529 @@
+//! A minimal Rust token scanner.
+//!
+//! The workspace builds offline, so `agp-lint` cannot pull in `syn`; the
+//! lints it implements only need a token stream with accurate line/column
+//! positions, comment handling, and string-literal skipping, which this
+//! hand-rolled scanner provides in ~300 lines. It understands:
+//!
+//! * line comments (`//`) and nested block comments (`/* /* */ */`),
+//! * string, byte-string, raw-string (`r#"…"#`) and char literals,
+//! * the char-literal vs lifetime ambiguity (`'a'` vs `'a`),
+//! * numeric literals including floats (`1.5e3`, `0x_ff`),
+//! * identifiers (including raw `r#ident`) and single-char punctuation.
+//!
+//! It also collects `// agp-lint: allow(<id>, …)` suppression comments so
+//! the rule layer can silence a diagnostic on the same line or the line
+//! directly below the comment.
+
+/// Token classification. Punctuation is emitted one character at a time;
+/// rules match multi-character operators (`::`) as adjacent `Punct` tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String/char/numeric literal (contents not interpreted).
+    Lit,
+    /// Single punctuation character.
+    Punct,
+    /// Lifetime such as `'a` (kept distinct so rules can ignore it).
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A suppression comment: the line it appears on plus the allowed lint ids.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    pub line: u32,
+    pub ids: Vec<String>,
+}
+
+/// Output of [`lex`]: the token stream plus any suppression comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub suppressions: Vec<Suppression>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Parse the id list out of an `agp-lint: allow(a, b)` comment body.
+/// Returns `None` when the comment is not a suppression directive.
+fn parse_suppression(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("agp-lint:")?;
+    let rest = comment[at + "agp-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let ids: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids)
+    }
+}
+
+/// Tokenize `src`. Malformed input (unterminated literal, stray byte) is
+/// handled leniently — the scanner never panics, it just keeps going — since
+/// files that do not compile will be caught by `cargo` anyway.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = &src[start..cur.pos];
+                if let Some(ids) = parse_suppression(text) {
+                    out.suppressions.push(Suppression { line, ids });
+                }
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                let text = scan_string(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                scan_quote(&mut cur, &mut out, line, col);
+            }
+            _ if b.is_ascii_digit() => {
+                let text = scan_number(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                // `r"…"` / `r#"…"#` raw strings, `b"…"`/`br"…"` byte strings,
+                // and raw identifiers `r#name` all start like an identifier.
+                if let Some(text) = try_scan_raw_or_byte_string(&mut cur) {
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                let start = cur.pos;
+                cur.bump();
+                // Raw identifier prefix.
+                if b == b'r'
+                    && cur.peek() == Some(b'#')
+                    && cur.peek_at(1).is_some_and(is_ident_start)
+                {
+                    cur.bump();
+                }
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Scan a `"…"` string literal (cursor on the opening quote).
+fn scan_string(cur: &mut Cursor) -> String {
+    let start = cur.pos;
+    cur.bump();
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'"' => {
+                cur.bump();
+                break;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
+}
+
+/// Scan a `'` token: either a char literal (`'a'`, `'\n'`) or a lifetime
+/// (`'a`, `'static`). Rustc disambiguates the same way: if the quote is
+/// followed by an identifier and no closing quote, it is a lifetime.
+fn scan_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    let start = cur.pos;
+    cur.bump(); // opening '
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal.
+            cur.bump();
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            } else {
+                // Multi-char escapes like '\x7f' or '\u{1F600}'.
+                while let Some(c) = cur.peek() {
+                    cur.bump();
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+                col,
+            });
+        }
+        Some(c) if is_ident_start(c) => {
+            if cur.peek_at(1) == Some(b'\'') {
+                // 'a' — single-char literal.
+                cur.bump();
+                cur.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            } else {
+                // Lifetime: consume the identifier.
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+        }
+        Some(_) => {
+            // Something like '(' inside a char literal: ' X '.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+                col,
+            });
+        }
+        None => {}
+    }
+}
+
+/// Scan a numeric literal, including floats and exponents. Stops before a
+/// `..` range operator so `0..10` lexes as `0`, `.`, `.`, `10`.
+fn scan_number(cur: &mut Cursor) -> String {
+    let start = cur.pos;
+    while cur
+        .peek()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+    {
+        let c = cur.peek();
+        cur.bump();
+        // Exponent sign: 1e-3 / 1E+3.
+        if matches!(c, Some(b'e') | Some(b'E'))
+            && matches!(cur.peek(), Some(b'+') | Some(b'-'))
+            && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            cur.bump();
+        }
+    }
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            let c = cur.peek();
+            cur.bump();
+            if matches!(c, Some(b'e') | Some(b'E'))
+                && matches!(cur.peek(), Some(b'+') | Some(b'-'))
+                && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                cur.bump();
+            }
+        }
+    }
+    String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
+}
+
+/// If the cursor sits on a raw/byte string prefix (`r"`, `r#"`, `b"`, `br"`,
+/// `br#"`), consume the whole literal and return its text. Otherwise leave
+/// the cursor untouched and return `None`.
+fn try_scan_raw_or_byte_string(cur: &mut Cursor) -> Option<String> {
+    let b0 = cur.peek()?;
+    let (mut off, raw) = match b0 {
+        b'r' => (1usize, true),
+        b'b' => match cur.peek_at(1) {
+            Some(b'"') => (1, false),
+            Some(b'r') => (2, true),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let mut hashes = 0usize;
+    if raw {
+        while cur.peek_at(off) == Some(b'#') {
+            hashes += 1;
+            off += 1;
+        }
+    }
+    if cur.peek_at(off) != Some(b'"') {
+        return None;
+    }
+    let start = cur.pos;
+    for _ in 0..=off {
+        cur.bump(); // prefix + opening quote
+    }
+    if raw {
+        // Scan to `"` followed by `hashes` hash marks; no escapes in raw strings.
+        'outer: while let Some(c) = cur.peek() {
+            cur.bump();
+            if c == b'"' {
+                for i in 0..hashes {
+                    if cur.peek_at(i) != Some(b'#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    } else {
+        while let Some(c) = cur.peek() {
+            match c {
+                b'\\' => {
+                    cur.bump();
+                    cur.bump();
+                }
+                b'"' => {
+                    cur.bump();
+                    break;
+                }
+                _ => {
+                    cur.bump();
+                }
+            }
+        }
+    }
+    Some(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_idents() {
+        let src = r###"
+            // HashMap in a comment
+            /* Instant::now in /* nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"SystemTime"#;
+            let real = thing;
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .collect();
+        assert_eq!(lits.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let lexed = lex("a\nb\n  c\n");
+        let pos: Vec<(String, u32, u32)> = lexed
+            .toks
+            .iter()
+            .map(|t| (t.text.clone(), t.line, t.col))
+            .collect();
+        assert_eq!(
+            pos,
+            vec![
+                ("a".to_string(), 1, 1),
+                ("b".to_string(), 2, 1),
+                ("c".to_string(), 3, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn suppressions_are_collected() {
+        let src = "\nlet x = 1; // agp-lint: allow(panic-site): reason here\n\
+                   // agp-lint: allow(hash-container, wall-clock)\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.suppressions.len(), 2);
+        assert_eq!(lexed.suppressions[0].line, 2);
+        assert_eq!(lexed.suppressions[0].ids, vec!["panic-site"]);
+        assert_eq!(lexed.suppressions[1].line, 3);
+        assert_eq!(
+            lexed.suppressions[1].ids,
+            vec!["hash-container", "wall-clock"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let lexed = lex("for i in 0..10 { f(1.5e-3); }");
+        let lits: Vec<String> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["0", "10", "1.5e-3"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r####"let s = r##"quote " and "# inside"##; let t = u;"####);
+        let ids = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect::<Vec<_>>();
+        assert!(ids.contains(&"t".to_string()));
+        assert!(ids.contains(&"u".to_string()));
+        assert!(!ids.iter().any(|i| i == "quote" || i == "inside"));
+    }
+}

@@ -1,0 +1,180 @@
+//! # agp-lint — determinism & robustness static analysis for the workspace
+//!
+//! The simulator's headline guarantee is byte-identical replay: the same
+//! seed must produce the same `--events` JSONL, the same metrics, the same
+//! makespan, on every platform, forever. That guarantee dies quietly — one
+//! `HashMap` iteration in a hot path, one `Instant::now()` folded into a
+//! latency, one `thread_rng()` — and nothing in `cargo test` notices until
+//! a paper figure stops reproducing. `agp-lint` is the mechanical gate:
+//! it scans every workspace crate's sources and reports structured
+//! diagnostics for five hazard classes (see [`rules`]).
+//!
+//! ## Design notes
+//!
+//! The workspace builds fully offline, so the linter cannot depend on `syn`
+//! or `serde`; it runs on a hand-rolled token scanner ([`lexer`]) that is
+//! accurate for these lints (comments, strings, raw strings, char-vs-
+//! lifetime, `#[cfg(test)]` item exclusion). Output rendering ([`diag`])
+//! and `Cargo.toml` metadata parsing ([`config`]) are equally
+//! dependency-free.
+//!
+//! ## Suppression
+//!
+//! * Site-level: `// agp-lint: allow(<id>): <reason>` on the offending line
+//!   or the line directly above.
+//! * Crate-level: `[package.metadata.agp-lint] allow = ["<id>", …]`.
+//!
+//! Run as `cargo run -p agp-lint -- [--format json] [--deny-warnings]`.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use diag::{render_json, Diag, Severity};
+
+/// Lint one source file with an explicit crate-level allow list.
+///
+/// `display` is the path recorded in diagnostics (usually root-relative).
+pub fn lint_file(path: &Path, display: &str, crate_allow: &[String]) -> io::Result<Vec<Diag>> {
+    let src = fs::read_to_string(path)?;
+    Ok(rules::lint_tokens(display, &lexer::lex(&src), crate_allow))
+}
+
+/// Collect all `.rs` files under `dir`, depth-first in sorted order so the
+/// report is stable across filesystems.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// One lintable package: its manifest config plus its `src/` root.
+#[derive(Debug)]
+struct Package {
+    dir: PathBuf,
+    cfg: config::CrateConfig,
+}
+
+/// Discover workspace packages: the root package plus every `crates/*`
+/// member, identified by a `Cargo.toml` next to a `src/` directory.
+fn discover_packages(root: &Path) -> io::Result<Vec<Package>> {
+    let mut dirs = vec![root.to_path_buf()];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        dirs.extend(members);
+    }
+    let mut out = Vec::new();
+    for dir in dirs {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() || !dir.join("src").is_dir() {
+            continue;
+        }
+        let cfg = config::parse_manifest(&fs::read_to_string(&manifest)?);
+        out.push(Package { dir, cfg });
+    }
+    Ok(out)
+}
+
+fn display_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint every package's `src/` tree under `root` (library, binary, and
+/// module sources; `tests/`, `benches/`, `examples/` and fixtures are out
+/// of scope — they are allowed to use host facilities).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diag>> {
+    let mut diags = Vec::new();
+    for pkg in discover_packages(root)? {
+        let mut files = Vec::new();
+        walk_rs(&pkg.dir.join("src"), &mut files)?;
+        for f in files {
+            let display = display_path(root, &f);
+            diags.extend(lint_file(&f, &display, &pkg.cfg.allow)?);
+        }
+    }
+    diags.sort_by(|a, b| {
+        (a.file.clone(), a.line, a.col, a.id).cmp(&(b.file.clone(), b.line, b.col, b.id))
+    });
+    Ok(diags)
+}
+
+/// Lint explicitly named files/directories. No crate config applies — every
+/// finding in the given paths is reported (site suppressions still work).
+pub fn lint_paths(paths: &[PathBuf]) -> io::Result<Vec<Diag>> {
+    let mut diags = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut files = Vec::new();
+            walk_rs(p, &mut files)?;
+            for f in files {
+                let display = f.to_string_lossy().replace('\\', "/");
+                diags.extend(lint_file(&f, &display, &[])?);
+            }
+        } else {
+            let display = p.to_string_lossy().replace('\\', "/");
+            diags.extend(lint_file(p, &display, &[])?);
+        }
+    }
+    Ok(diags)
+}
+
+/// Decide the process exit code for a finished report.
+///
+/// 0 = clean (or warnings without `--deny-warnings`), 1 = findings fail.
+pub fn exit_code(diags: &[Diag], deny_warnings: bool) -> i32 {
+    let errors = diags.iter().any(|d| d.severity == Severity::Error);
+    let warns = diags.iter().any(|d| d.severity == Severity::Warn);
+    if errors || (deny_warnings && warns) {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_code_policy() {
+        let warn = Diag {
+            file: "f".into(),
+            line: 1,
+            col: 1,
+            id: rules::PANIC_SITE,
+            severity: Severity::Warn,
+            message: String::new(),
+            suggestion: String::new(),
+        };
+        let mut err = warn.clone();
+        err.severity = Severity::Error;
+        assert_eq!(exit_code(&[], false), 0);
+        assert_eq!(exit_code(&[warn.clone()], false), 0);
+        assert_eq!(exit_code(&[warn.clone()], true), 1);
+        assert_eq!(exit_code(&[err], false), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! `agp-lint` CLI.
+//!
+//! ```text
+//! cargo run -p agp-lint --                    # lint the workspace, text report
+//! cargo run -p agp-lint -- --format json      # machine-readable report
+//! cargo run -p agp-lint -- --deny-warnings    # warnings also fail (CI mode)
+//! cargo run -p agp-lint -- path/to/file.rs    # lint explicit paths only
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (errors, or warnings under
+//! `--deny-warnings`), 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use agp_lint::{exit_code, lint_paths, lint_workspace, render_json, rules, Severity};
+
+const USAGE: &str = "\
+agp-lint: determinism & robustness static analysis for the agp workspace
+
+USAGE:
+    agp-lint [OPTIONS] [PATHS...]
+
+OPTIONS:
+    --format <text|json>   report format (default: text)
+    --deny-warnings        exit non-zero on warnings too (CI mode)
+    --root <DIR>           workspace root to scan (default: auto-detected)
+    -h, --help             show this help
+
+With no PATHS, lints every workspace crate's src/ tree, honouring
+[package.metadata.agp-lint] allow lists. With PATHS, lints exactly those
+files/directories with no crate-level allows (site suppressions still
+apply).
+
+LINTS (id — severity):
+";
+
+fn print_usage() {
+    print!("{USAGE}");
+    for id in rules::ALL_IDS {
+        let sev = match id {
+            rules::FLOAT_ACCUMULATE | rules::PANIC_SITE => "warn",
+            _ => "error",
+        };
+        println!("    {id} — {sev}");
+    }
+}
+
+/// Locate the workspace root: walk up from the current directory to the
+/// first `Cargo.toml` containing a `[workspace]` table.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!("agp-lint: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("agp-lint: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("agp-lint: unknown option {other}");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let result = if paths.is_empty() {
+        let root = match root.or_else(find_root) {
+            Some(r) => r,
+            None => {
+                eprintln!("agp-lint: could not find a workspace root (use --root)");
+                return ExitCode::from(2);
+            }
+        };
+        lint_workspace(&root)
+    } else {
+        lint_paths(&paths)
+    };
+
+    let diags = match result {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("agp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format_json {
+        print!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render_text());
+        }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count();
+        if diags.is_empty() {
+            println!("agp-lint: clean");
+        } else {
+            println!("agp-lint: {errors} error(s), {warnings} warning(s)");
+        }
+    }
+
+    ExitCode::from(exit_code(&diags, deny_warnings) as u8)
+}

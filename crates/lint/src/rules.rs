@@ -1,0 +1,528 @@
+//! The lint rules.
+//!
+//! Five determinism/robustness hazard classes, matched over the token
+//! stream from [`crate::lexer`]:
+//!
+//! | id                 | severity | hazard                                             |
+//! |--------------------|----------|----------------------------------------------------|
+//! | `hash-container`   | error    | `std` `HashMap`/`HashSet` — randomized iteration   |
+//! | `wall-clock`       | error    | `Instant::now` / `SystemTime` — host-time leakage  |
+//! | `unseeded-rng`     | error    | `thread_rng`/`OsRng`/entropy-seeded generators     |
+//! | `float-accumulate` | warn     | float `sum`/`fold` over unordered map iterators    |
+//! | `panic-site`       | warn     | `unwrap`/`expect`/`panic!` family in library code  |
+//!
+//! Code under `#[cfg(test)]` / `#[test]` items is excluded. A finding can
+//! be silenced at the site with `// agp-lint: allow(<id>)` on the same line
+//! or the line directly above, or crate-wide via
+//! `[package.metadata.agp-lint] allow = [...]` (see [`crate::config`]).
+
+use crate::diag::{Diag, Severity};
+use crate::lexer::{Lexed, Tok, TokKind};
+
+pub const HASH_CONTAINER: &str = "hash-container";
+pub const WALL_CLOCK: &str = "wall-clock";
+pub const UNSEEDED_RNG: &str = "unseeded-rng";
+pub const FLOAT_ACCUMULATE: &str = "float-accumulate";
+pub const PANIC_SITE: &str = "panic-site";
+
+/// All lint ids, for `--help` output and config validation.
+pub const ALL_IDS: [&str; 5] = [
+    HASH_CONTAINER,
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    FLOAT_ACCUMULATE,
+    PANIC_SITE,
+];
+
+/// Mark tokens that belong to test-only items so rules skip them.
+///
+/// An item is test-only when it is preceded by an attribute containing the
+/// identifier `test` and not the identifier `not` — this covers `#[test]`,
+/// `#[cfg(test)]`, and `#[cfg(all(test, …))]`, while leaving
+/// `#[cfg(not(test))]` linted. The item extent runs from the attribute to
+/// the matching close brace of its first block (or the terminating `;` for
+/// brace-less items like `mod tests;`).
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Outer `#[…]` or inner `#![…]` attribute.
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "!" {
+            j += 1;
+        }
+        if !(j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "[") {
+            i += 1;
+            continue;
+        }
+        // Scan to the matching `]`, noting the idents inside.
+        let mut depth = 0usize;
+        let mut has_test = false;
+        let mut has_not = false;
+        let attr_start = i;
+        while j < toks.len() {
+            match (&toks[j].kind, toks[j].text.as_str()) {
+                (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, "]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (TokKind::Ident, "test") => has_test = true,
+                (TokKind::Ident, "not") => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_end = j; // index of the closing `]` (or end of stream)
+        if !has_test || has_not {
+            i = attr_end + 1;
+            continue;
+        }
+        // Test attribute: mask it, any stacked attributes, and the item body.
+        let mut k = attr_end + 1;
+        loop {
+            // Skip further attributes between this one and the item.
+            if k < toks.len() && toks[k].kind == TokKind::Punct && toks[k].text == "#" {
+                let mut d = 0usize;
+                let mut m = k + 1;
+                if m < toks.len() && toks[m].text == "!" {
+                    m += 1;
+                }
+                while m < toks.len() {
+                    match toks[m].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                k = m + 1;
+                continue;
+            }
+            break;
+        }
+        // Find the item extent: first `{` at depth 0 then its match, or `;`.
+        let mut brace = 0i64;
+        let mut saw_brace = false;
+        while k < toks.len() {
+            if toks[k].kind == TokKind::Punct {
+                match toks[k].text.as_str() {
+                    "{" => {
+                        brace += 1;
+                        saw_brace = true;
+                    }
+                    "}" => {
+                        brace -= 1;
+                        if saw_brace && brace == 0 {
+                            break;
+                        }
+                    }
+                    ";" if !saw_brace => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let item_end = k.min(toks.len().saturating_sub(1));
+        for m in mask.iter_mut().take(item_end + 1).skip(attr_start) {
+            *m = true;
+        }
+        i = item_end + 1;
+    }
+    mask
+}
+
+/// Context handed to each rule: tokens, the test mask, and the display path.
+struct Ctx<'a> {
+    file: &'a str,
+    toks: &'a [Tok],
+    mask: &'a [bool],
+}
+
+impl<'a> Ctx<'a> {
+    /// Token text at `i` if it is live (not test-masked), else "".
+    fn live(&self, i: usize) -> Option<&Tok> {
+        if i < self.toks.len() && !self.mask[i] {
+            Some(&self.toks[i])
+        } else {
+            None
+        }
+    }
+
+    fn is_punct(&self, i: usize, p: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+    }
+
+    fn diag(
+        &self,
+        i: usize,
+        id: &'static str,
+        severity: Severity,
+        message: String,
+        suggestion: String,
+    ) -> Diag {
+        Diag {
+            file: self.file.to_string(),
+            line: self.toks[i].line,
+            col: self.toks[i].col,
+            id,
+            severity,
+            message,
+            suggestion,
+        }
+    }
+}
+
+fn rule_hash_container(ctx: &Ctx, out: &mut Vec<Diag>) {
+    for i in 0..ctx.toks.len() {
+        let Some(t) = ctx.live(i) else { continue };
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            let alt = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            out.push(ctx.diag(
+                i,
+                HASH_CONTAINER,
+                Severity::Error,
+                format!(
+                    "std::collections::{} has a randomized iteration order, which breaks \
+                     byte-identical replay of simulation runs",
+                    t.text
+                ),
+                format!("use {alt} (or an index-ordered map) so iteration order is deterministic"),
+            ));
+        }
+    }
+}
+
+fn rule_wall_clock(ctx: &Ctx, out: &mut Vec<Diag>) {
+    for i in 0..ctx.toks.len() {
+        let Some(t) = ctx.live(i) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "SystemTime" => true,
+            "Instant" => {
+                ctx.is_punct(i + 1, ":") && ctx.is_punct(i + 2, ":") && ctx.is_ident(i + 3, "now")
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(
+                ctx.diag(
+                    i,
+                    WALL_CLOCK,
+                    Severity::Error,
+                    format!(
+                        "`{}` reads the host clock; simulation logic must derive all time from \
+                     SimTime so runs replay identically",
+                        t.text
+                    ),
+                    "use agp_sim::SimTime / SimDur, or add this crate to the CLI/bench allowlist \
+                 via [package.metadata.agp-lint]"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+fn rule_unseeded_rng(ctx: &Ctx, out: &mut Vec<Diag>) {
+    for i in 0..ctx.toks.len() {
+        let Some(t) = ctx.live(i) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = matches!(
+            t.text.as_str(),
+            "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy" | "getrandom"
+        ) || (t.text == "rand"
+            && ctx.is_punct(i + 1, ":")
+            && ctx.is_punct(i + 2, ":")
+            && ctx.is_ident(i + 3, "random"));
+        if hit {
+            out.push(
+                ctx.diag(
+                    i,
+                    UNSEEDED_RNG,
+                    Severity::Error,
+                    format!(
+                        "`{}` draws entropy from the host, so two runs with the same master seed \
+                     diverge",
+                        t.text
+                    ),
+                    "derive randomness from agp_sim::SimRng (seeded from the experiment's master \
+                 seed, forked per stream)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+fn rule_float_accumulate(ctx: &Ctx, out: &mut Vec<Diag>) {
+    // Only meaningful when the file also iterates a hash container; after
+    // the container sweep this fires only on regressions that reintroduce
+    // both halves of the hazard.
+    let file_has_hash = (0..ctx.toks.len()).any(|i| {
+        ctx.live(i).is_some_and(|t| {
+            t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet")
+        })
+    });
+    if !file_has_hash {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        let Some(t) = ctx.live(i) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `.sum::<f64>()` / `.product::<f32>()` / `.fold(0.0, …)`.
+        let accum = match t.text.as_str() {
+            "sum" | "product" => {
+                ctx.is_punct(i + 1, ":")
+                    && ctx.is_punct(i + 2, ":")
+                    && ctx.is_punct(i + 3, "<")
+                    && (ctx.is_ident(i + 4, "f64") || ctx.is_ident(i + 4, "f32"))
+            }
+            "fold" => {
+                ctx.is_punct(i + 1, "(")
+                    && ctx
+                        .toks
+                        .get(i + 2)
+                        .is_some_and(|t| t.kind == TokKind::Lit && t.text.contains('.'))
+            }
+            _ => false,
+        };
+        if !accum || !ctx.is_punct(i.wrapping_sub(1), ".") {
+            continue;
+        }
+        // Same-statement check: an unordered-iterator source upstream.
+        let stmt_start = (0..i)
+            .rev()
+            .find(|&j| ctx.is_punct(j, ";") || ctx.is_punct(j, "{"))
+            .map(|j| j + 1)
+            .unwrap_or(0);
+        let unordered = (stmt_start..i).any(|j| {
+            (ctx.is_ident(j, "values") || ctx.is_ident(j, "keys") || ctx.is_ident(j, "iter"))
+                && ctx.is_punct(j + 1, "(")
+        });
+        if unordered {
+            out.push(
+                ctx.diag(
+                    i,
+                    FLOAT_ACCUMULATE,
+                    Severity::Warn,
+                    format!(
+                        "floating-point `{}` over a hash-container iterator: float addition is \
+                     not associative, so a randomized visit order changes the result",
+                        t.text
+                    ),
+                    "iterate a deterministic container (BTreeMap) or collect-and-sort before \
+                 accumulating"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+fn rule_panic_site(ctx: &Ctx, out: &mut Vec<Diag>) {
+    for i in 0..ctx.toks.len() {
+        let Some(t) = ctx.live(i) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "panic" | "todo" | "unimplemented" | "unreachable" => ctx.is_punct(i + 1, "!"),
+            "unwrap" => {
+                ctx.is_punct(i.wrapping_sub(1), ".")
+                    && ctx.is_punct(i + 1, "(")
+                    && ctx.is_punct(i + 2, ")")
+            }
+            "expect" => ctx.is_punct(i.wrapping_sub(1), ".") && ctx.is_punct(i + 1, "("),
+            _ => false,
+        };
+        if hit {
+            out.push(
+                ctx.diag(
+                    i,
+                    PANIC_SITE,
+                    Severity::Warn,
+                    format!(
+                        "`{}` can abort the whole simulation from library code",
+                        t.text
+                    ),
+                    "return a typed error (e.g. MemError) or, where the invariant is locally \
+                 provable, keep it with `// agp-lint: allow(panic-site): <why>`"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Run every rule over one lexed file, applying site suppressions.
+///
+/// `crate_allow` silences whole lint classes for the crate the file belongs
+/// to (from `[package.metadata.agp-lint]`).
+pub fn lint_tokens(file: &str, lexed: &Lexed, crate_allow: &[String]) -> Vec<Diag> {
+    let mask = test_mask(&lexed.toks);
+    let ctx = Ctx {
+        file,
+        toks: &lexed.toks,
+        mask: &mask,
+    };
+    let mut out = Vec::new();
+    rule_hash_container(&ctx, &mut out);
+    rule_wall_clock(&ctx, &mut out);
+    rule_unseeded_rng(&ctx, &mut out);
+    rule_float_accumulate(&ctx, &mut out);
+    rule_panic_site(&ctx, &mut out);
+
+    out.retain(|d| {
+        if crate_allow.iter().any(|a| a == d.id || a == "all") {
+            return false;
+        }
+        // `// agp-lint: allow(id)` on the same line or the line above.
+        !lexed.suppressions.iter().any(|s| {
+            (s.line == d.line || s.line + 1 == d.line)
+                && s.ids.iter().any(|id| id == d.id || id == "all")
+        })
+    });
+    out.sort_by(|a, b| (a.line, a.col, a.id).cmp(&(b.line, b.col, b.id)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ids(src: &str) -> Vec<&'static str> {
+        lint_tokens("t.rs", &lex(src), &[])
+            .into_iter()
+            .map(|d| d.id)
+            .collect()
+    }
+
+    #[test]
+    fn flags_hash_containers() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n";
+        assert_eq!(ids(src), vec![HASH_CONTAINER, HASH_CONTAINER]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "struct S;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    \
+                   fn f() { let t = std::time::Instant::now(); t.elapsed(); }\n}\n";
+        assert!(ids(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn f() { let m: HashMap<u8, u8> = make(); }\n";
+        assert_eq!(ids(src), vec![HASH_CONTAINER]);
+    }
+
+    #[test]
+    fn wall_clock_and_rng() {
+        let src = "fn f() { let t = Instant::now(); let r = rand::thread_rng(); \
+                   let s = SystemTime::now(); }";
+        let got = ids(src);
+        assert!(got.contains(&WALL_CLOCK));
+        assert!(got.contains(&UNSEEDED_RNG));
+        assert_eq!(got.iter().filter(|i| **i == WALL_CLOCK).count(), 2);
+    }
+
+    #[test]
+    fn instant_without_now_is_fine() {
+        assert!(ids("struct S { started: Instant }").is_empty());
+    }
+
+    #[test]
+    fn panic_family() {
+        let src = "fn f(x: Option<u8>) -> u8 { let v = x.unwrap(); \
+                   let w = x.expect(\"msg\"); if v == w { panic!(\"boom\") } else { v } }";
+        assert_eq!(ids(src), vec![PANIC_SITE, PANIC_SITE, PANIC_SITE]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(
+            ids("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn float_accumulate_needs_hash_and_float() {
+        let hazard = "fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }";
+        assert!(ids(hazard).contains(&FLOAT_ACCUMULATE));
+        // Integer sum over the same iterator is order-independent: no warn.
+        let int_sum = "fn f(m: &HashMap<u32, u64>) -> u64 { m.values().sum::<u64>() }";
+        assert!(!ids(int_sum).contains(&FLOAT_ACCUMULATE));
+        // Float sum over a Vec is ordered: no warn.
+        let vec_sum = "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }";
+        assert!(ids(vec_sum).is_empty());
+    }
+
+    #[test]
+    fn fold_with_float_seed() {
+        let src = "fn f(m: &HashMap<u32, f64>) -> f64 { m.values().fold(0.0, |a, b| a + b) }";
+        assert!(ids(src).contains(&FLOAT_ACCUMULATE));
+    }
+
+    #[test]
+    fn site_suppression_same_line_and_above() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    \
+                   x.unwrap() // agp-lint: allow(panic-site): checked by caller\n}\n";
+        assert!(ids(src).is_empty());
+        let src2 = "fn f(x: Option<u8>) -> u8 {\n    \
+                    // agp-lint: allow(panic-site): checked by caller\n    x.unwrap()\n}\n";
+        assert!(ids(src2).is_empty());
+        // Suppressing a different id does not help.
+        let src3 = "fn f(x: Option<u8>) -> u8 {\n    \
+                    x.unwrap() // agp-lint: allow(wall-clock)\n}\n";
+        assert_eq!(ids(src3), vec![PANIC_SITE]);
+    }
+
+    #[test]
+    fn crate_allow_silences_class() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let got = lint_tokens("t.rs", &lex(src), &["wall-clock".to_string()]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn diags_are_sorted_by_position() {
+        let src = "fn f(m: HashMap<u8, u8>, x: Option<u8>) { x.unwrap(); let _ = &m; }";
+        let got = lint_tokens("t.rs", &lex(src), &[]);
+        let lines_cols: Vec<_> = got.iter().map(|d| (d.line, d.col)).collect();
+        let mut sorted = lines_cols.clone();
+        sorted.sort();
+        assert_eq!(lines_cols, sorted);
+    }
+}

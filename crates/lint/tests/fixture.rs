@@ -1,0 +1,105 @@
+//! Integration tests: the seeded fixture trips every hazard class, and the
+//! cleaned workspace itself lints clean. The second test is the acceptance
+//! gate — it means `cargo test` fails if anyone reintroduces a hazard
+//! without a documented suppression.
+
+use std::path::{Path, PathBuf};
+
+use agp_lint::{exit_code, lint_paths, lint_workspace, render_json, rules, Severity};
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/hazards.rs")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[test]
+fn fixture_trips_every_hazard_class() {
+    let diags = lint_paths(&[fixture()]).expect("fixture readable");
+    for id in rules::ALL_IDS {
+        assert!(
+            diags.iter().any(|d| d.id == id),
+            "expected a {id} finding in the fixture; got: {:#?}",
+            diags
+        );
+    }
+    // The run must fail CI: errors present, so non-zero even without
+    // --deny-warnings.
+    assert_eq!(exit_code(&diags, false), 1);
+}
+
+#[test]
+fn fixture_findings_are_exactly_the_marked_lines() {
+    let diags = lint_paths(&[fixture()]).expect("fixture readable");
+    let got: Vec<(&str, u32)> = diags.iter().map(|d| (d.id, d.line)).collect();
+    let expect: Vec<(&str, u32)> = vec![
+        (rules::HASH_CONTAINER, 5),
+        (rules::HASH_CONTAINER, 9),
+        (rules::WALL_CLOCK, 13),
+        (rules::WALL_CLOCK, 14),
+        (rules::UNSEEDED_RNG, 20),
+        (rules::HASH_CONTAINER, 24),
+        (rules::FLOAT_ACCUMULATE, 26),
+        (rules::PANIC_SITE, 30),
+    ];
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn fixture_suppression_and_test_module_do_not_fire() {
+    let diags = lint_paths(&[fixture()]).expect("fixture readable");
+    // The suppressed `expect` site.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.id == rules::PANIC_SITE && d.line > 30),
+        "suppressed expect() fired: {diags:#?}"
+    );
+    // Nothing inside the #[cfg(test)] module (lines >= 38).
+    assert!(
+        diags.iter().all(|d| d.line < 38),
+        "test module leaked: {diags:#?}"
+    );
+}
+
+#[test]
+fn json_report_contains_structured_fields() {
+    let diags = lint_paths(&[fixture()]).expect("fixture readable");
+    let json = render_json(&diags);
+    assert!(json.contains("\"id\": \"hash-container\""));
+    assert!(json.contains("\"severity\": \"error\""));
+    assert!(json.contains("\"line\": 13"));
+    assert!(json.contains("\"suggestion\""));
+    assert!(json.contains(&format!(
+        "\"errors\": {}",
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    )));
+}
+
+#[test]
+fn cleaned_workspace_lints_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file() && root.join("crates").is_dir(),
+        "workspace root not found at {root:?}"
+    );
+    let diags = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean (fix or suppress):\n{}",
+        diags
+            .iter()
+            .map(|d| d.render_text())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

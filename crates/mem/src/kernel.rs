@@ -8,7 +8,7 @@ use crate::types::{MemError, PageNum, ProcId, VmParams};
 use agp_disk::{extents_from_blocks, Extent};
 use agp_obs::{ObsEvent, ObsLink};
 use agp_sim::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Result of touching a page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,7 +105,7 @@ pub struct Kernel {
     /// Blocks that hold a *valid, current* page image → owning page.
     /// Covers both `Swapped` pages and clean resident pages' `swap_copy`.
     /// Used by read-ahead to chase swap-contiguous neighbors.
-    swap_owner: HashMap<u64, (ProcId, PageNum)>,
+    swap_owner: BTreeMap<u64, (ProcId, PageNum)>,
     obs: ObsLink,
 }
 
@@ -119,7 +119,7 @@ impl Kernel {
             free,
             swap: SwapSpace::new(swap_blocks),
             procs: BTreeMap::new(),
-            swap_owner: HashMap::new(),
+            swap_owner: BTreeMap::new(),
             obs: ObsLink::disabled(),
         }
     }
@@ -432,7 +432,10 @@ impl Kernel {
     ///   holds a swap copy; writes free the stale copy eagerly).
     pub fn evict(&mut self, pid: ProcId, p: PageNum) -> Result<EvictOutcome, MemError> {
         let outcomes = self.evict_prepared(pid, &[p], &mut Vec::new())?;
-        Ok(outcomes.into_iter().next().expect("one page requested"))
+        outcomes
+            .into_iter()
+            .next()
+            .ok_or(MemError::NotResident(pid, p))
     }
 
     /// Evict a batch of pages of one process, allocating swap for all
@@ -482,7 +485,7 @@ impl Kernel {
                 }
             }
         }
-        let pm = self.procs.get(&pid).expect("checked above");
+        let pm = self.procs.get(&pid).ok_or(MemError::NoSuchProc(pid))?;
         let need_fresh: u64 = pages
             .iter()
             .filter(|&&p| matches!(pm.pt.state(p), PageState::Resident(r) if r.dirty))
@@ -492,12 +495,15 @@ impl Kernel {
 
         let mut outcomes = Vec::with_capacity(pages.len());
         for &p in pages {
-            let pm = self.procs.get_mut(&pid).expect("checked above");
+            let pm = self.procs.get_mut(&pid).ok_or(MemError::NoSuchProc(pid))?;
             let PageState::Resident(r) = *pm.pt.state(p) else {
                 continue; // stale candidate; skip
             };
             let outcome = if r.dirty {
                 debug_assert!(r.swap_copy.is_none(), "dirty page holds a swap copy");
+                // Pass 1 counted the dirty pages and alloc() returned exactly that
+                // many blocks; nothing mutates the page tables in between.
+                // agp-lint: allow(panic-site): pass-1 count matches allocation
                 let block = fresh_blocks.next().expect("allocated exactly enough");
                 pm.pt.set(p, PageState::Swapped { block });
                 self.swap_owner.insert(block, (pid, p));
@@ -540,7 +546,7 @@ impl Kernel {
                 }
             }
         }
-        let pm = self.procs.get(&pid).expect("checked above");
+        let pm = self.procs.get(&pid).ok_or(MemError::NoSuchProc(pid))?;
         let need_fresh: u64 = pages
             .iter()
             .filter(|&&p| matches!(pm.pt.state(p), PageState::Resident(r) if r.dirty))
@@ -550,7 +556,7 @@ impl Kernel {
 
         let mut blocks = Vec::new();
         for &p in pages {
-            let pm = self.procs.get_mut(&pid).expect("checked above");
+            let pm = self.procs.get_mut(&pid).ok_or(MemError::NoSuchProc(pid))?;
             let PageState::Resident(r) = *pm.pt.state(p) else {
                 continue;
             };
@@ -558,6 +564,9 @@ impl Kernel {
                 continue;
             }
             debug_assert!(r.swap_copy.is_none(), "dirty page holds a swap copy");
+            // Pass 1 counted the dirty pages and alloc() returned exactly that
+            // many blocks; nothing mutates the page tables in between.
+            // agp-lint: allow(panic-site): pass-1 count matches allocation
             let block = fresh_blocks.next().expect("allocated exactly enough");
             pm.pt.update_resident(p, |r| {
                 r.dirty = false;
@@ -769,6 +778,32 @@ impl Kernel {
                 "swap leak: pages reference {owned_blocks} blocks but allocator has {} in use",
                 self.swap.used_blocks()
             ));
+        }
+        // Reverse direction: every owner-map entry must point at a page that
+        // actually references the block, so stale entries cannot linger and
+        // feed read-ahead garbage. (The forward pass counted every
+        // referencing page, so equal sizes + forward coverage = bijection.)
+        if self.swap_owner.len() as u64 != owned_blocks {
+            return Err(format!(
+                "owner map has {} entries but pages reference {owned_blocks} blocks",
+                self.swap_owner.len()
+            ));
+        }
+        for (&block, &(pid, p)) in &self.swap_owner {
+            let references = self.procs.get(&pid).is_some_and(|pm| {
+                p.idx() < pm.pt.len()
+                    && match *pm.pt.state(p) {
+                        PageState::Swapped { block: b } => b == block,
+                        PageState::Resident(r) => r.swap_copy == Some(block),
+                        PageState::Untouched => false,
+                    }
+            });
+            if !references {
+                return Err(format!(
+                    "stale owner-map entry: block {block} -> {pid}/{p:?} which does not \
+                     reference it"
+                ));
+            }
         }
         Ok(())
     }

@@ -130,6 +130,7 @@ impl PageTable {
     /// page is not resident. Keeps the dirty counter consistent.
     pub fn update_resident(&mut self, p: PageNum, f: impl FnOnce(&mut Resident)) {
         let PageState::Resident(mut r) = self.pages[p.idx()] else {
+            // agp-lint: allow(panic-site): documented contract — callers match
             panic!("update_resident on non-resident page {p:?}");
         };
         let was_dirty = r.dirty;

@@ -100,6 +100,8 @@ pub enum MemError {
     NoSuchProc(ProcId),
     /// Operation referenced a page outside the process's address space.
     BadPage(ProcId, PageNum),
+    /// Operation required a resident page, but the page is not resident.
+    NotResident(ProcId, PageNum),
 }
 
 impl fmt::Display for MemError {
@@ -111,6 +113,7 @@ impl fmt::Display for MemError {
             MemError::OutOfFrames => write!(f, "no free page frames"),
             MemError::NoSuchProc(p) => write!(f, "unknown process {p}"),
             MemError::BadPage(p, pg) => write!(f, "page {pg:?} out of range for {p}"),
+            MemError::NotResident(p, pg) => write!(f, "page {pg:?} of {p} is not resident"),
         }
     }
 }

@@ -1,0 +1,89 @@
+//! Deterministic (seeded) mirror of the kernel-invariant property test.
+//!
+//! `proptests.rs` explores the same operation space with shrinking; this
+//! drives the identical mix from `SimRng` so the conservation checks —
+//! including the swap-owner reverse-map coherence added for the
+//! invariant sweep — stay exercised in builds where the proptest
+//! dev-dependency is unavailable.
+
+use agp_mem::{Kernel, PageNum, ProcId, VmParams};
+use agp_sim::{SimRng, SimTime};
+
+const NPROCS: u32 = 3;
+const PAGES: u32 = 64;
+
+fn kernel() -> Kernel {
+    let mut k = Kernel::new(
+        VmParams {
+            total_frames: 128,
+            wired_frames: 16,
+            freepages_min: 4,
+            freepages_high: 8,
+            readahead: 16,
+        },
+        4096,
+    );
+    for p in 0..NPROCS {
+        k.register_proc(ProcId(p), PAGES as usize);
+    }
+    k
+}
+
+#[test]
+fn kernel_invariants_survive_seeded_op_sequences() {
+    let mut rng = SimRng::new(0x5EED_1417);
+    for round in 0..24 {
+        let mut k = kernel();
+        let mut alive = [true; NPROCS as usize];
+        let mut t = 0u64;
+        for step in 0..400 {
+            t += 1;
+            let now = SimTime::from_us(t);
+            let pid = ProcId(rng.below(NPROCS as u64) as u32);
+            let pg = PageNum(rng.below(PAGES as u64) as u32);
+            if !alive[pid.0 as usize] {
+                continue;
+            }
+            match rng.below(7) {
+                0 | 1 => {
+                    let write = rng.chance(0.4);
+                    let _ = k.touch(pid, pg, write, now);
+                }
+                2 => {
+                    if k.free_frames() > 0 && !k.proc(pid).unwrap().pt.state(pg).is_resident() {
+                        k.map_in(pid, pg, now).unwrap();
+                    }
+                }
+                3 => {
+                    if k.proc(pid).unwrap().pt.state(pg).is_resident() {
+                        k.evict(pid, pg).unwrap();
+                    }
+                }
+                4 => {
+                    let len = rng.below(16);
+                    let pages: Vec<PageNum> = (0..len as u32)
+                        .map(|i| PageNum((pg.0 + i) % PAGES))
+                        .collect();
+                    k.evict_batch(pid, &pages, &mut Vec::new()).unwrap();
+                }
+                5 => {
+                    let len = rng.below(16);
+                    let pages: Vec<PageNum> = (0..len as u32)
+                        .map(|i| PageNum((pg.0 + i) % PAGES))
+                        .collect();
+                    k.clean_batch(pid, &pages).unwrap();
+                }
+                _ => {
+                    if rng.chance(0.1) {
+                        k.unregister_proc(pid).unwrap();
+                        alive[pid.0 as usize] = false;
+                    } else {
+                        k.quantum_started(pid).unwrap();
+                    }
+                }
+            }
+            k.check_invariants()
+                .unwrap_or_else(|e| panic!("round {round} step {step}: {e}"));
+        }
+    }
+}

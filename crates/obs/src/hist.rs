@@ -85,11 +85,9 @@ impl LatencyHistogram {
             Some(i) => i,
             None => return Vec::new(),
         };
-        let last = self
-            .counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .expect("first exists");
+        // position() found a nonzero bucket, so rposition() must too;
+        // fall back to `first` rather than keeping a panic path.
+        let last = self.counts.iter().rposition(|&c| c > 0).unwrap_or(first);
         (first..=last)
             .map(|i| (bucket_label(i), self.counts[i]))
             .collect()

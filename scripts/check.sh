@@ -8,3 +8,4 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
+cargo run --release -p agp-lint -- --deny-warnings

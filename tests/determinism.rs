@@ -1,0 +1,78 @@
+//! The byte-identical-replay regression test for the determinism sweep:
+//! after replacing every `HashMap`/`HashSet` in sim-state crates with
+//! ordered containers (enforced by `agp-lint`), two runs from the same seed
+//! must produce byte-identical `--events` JSONL — with the invariant sweep
+//! enabled, proving zero conservation/coherence violations along the way.
+
+use adaptive_gang_paging::cluster::{ClusterConfig, ClusterSim, JobSpec, RunResult};
+use adaptive_gang_paging::core::PolicyConfig;
+use adaptive_gang_paging::obs::{shared, JsonlWriter, ObsLink};
+use adaptive_gang_paging::sim::SimDur;
+use adaptive_gang_paging::workload::{Benchmark, Class, WorkloadSpec};
+
+/// Two CG jobs (seed-sensitive random access component) across two nodes:
+/// the configuration most likely to surface iteration-order divergence.
+fn cfg(seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_defaults(2);
+    cfg.mem_mib = 64;
+    cfg.wired_mib = 24;
+    cfg.quantum = SimDur::from_secs(5);
+    cfg.trace_bucket = SimDur::from_secs(1);
+    cfg.seed = seed;
+    cfg.check_invariants = true;
+    cfg.policy = PolicyConfig::full();
+    cfg.jobs = vec![
+        JobSpec::new(
+            "CG.A x2 #1",
+            WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
+        ),
+        JobSpec::new(
+            "CG.A x2 #2",
+            WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
+        ),
+    ];
+    cfg
+}
+
+/// Run with a JSONL event trace attached, exactly as `agp sim --events
+/// --check-invariants` wires it.
+fn run_traced(cfg: ClusterConfig) -> (RunResult, Vec<u8>) {
+    let sink = shared(JsonlWriter::new(Vec::new()));
+    let link = ObsLink::to(sink.clone());
+    let mut sim = ClusterSim::new(cfg).expect("valid config");
+    sim.attach_observer(&link);
+    let r = sim
+        .run()
+        .expect("run completes with zero invariant violations");
+    drop(link);
+    let writer = std::sync::Arc::try_unwrap(sink)
+        .expect("sim dropped, sink has one owner")
+        .into_inner()
+        .expect("sink not poisoned");
+    (r, writer.finish().expect("in-memory writer"))
+}
+
+#[test]
+fn same_seed_event_streams_are_byte_identical() {
+    let (ra, ta) = run_traced(cfg(0x5EED_600D));
+    let (rb, tb) = run_traced(cfg(0x5EED_600D));
+    assert!(!ta.is_empty(), "a pressured gang run must emit events");
+    assert!(
+        ra.invariant_checks > 0 && ra.invariant_checks == rb.invariant_checks,
+        "both runs swept invariants identically ({} vs {})",
+        ra.invariant_checks,
+        rb.invariant_checks
+    );
+    assert_eq!(ra.makespan, rb.makespan);
+    assert_eq!(ta, tb, "identical seeds must replay byte-identically");
+}
+
+#[test]
+fn different_seeds_give_different_streams() {
+    // Guards against the trace accidentally not covering the seeded state:
+    // if seed changes don't move the bytes, the identity test above is
+    // vacuous.
+    let (_, ta) = run_traced(cfg(1));
+    let (_, tb) = run_traced(cfg(2));
+    assert_ne!(ta, tb, "CG's random component must make traces diverge");
+}
