@@ -8,6 +8,9 @@
 //!                                  # one custom cluster run
 //! agp profile fig6 [--events ev.jsonl]
 //!                                  # switch-phase breakdown + histograms
+//! agp trace fig6 --perfetto out.json
+//!                                  # Perfetto/Chrome trace of one run
+//! agp report [--check]             # parity manifest vs committed golden
 //! ```
 //!
 //! Output is plain text: aligned tables, unicode sparklines for the
@@ -16,11 +19,15 @@
 
 use agp_cluster::{ClusterConfig, JobSpec, ScheduleMode};
 use agp_core::PolicyConfig;
-use agp_experiments::{all_experiments, find, profile_config, ExperimentOutput, Scale};
+use agp_experiments::{
+    all_experiments, default_tolerances, find, manifest_of, profile_config, scale_name,
+    ExperimentOutput, Scale,
+};
 use agp_metrics::report::{bar_chart, sparkline};
-use agp_metrics::Table;
+use agp_metrics::{BenchManifest, ParityManifest, Table};
 use agp_obs::{shared, Collector, JsonlWriter, ObsLink, SharedSink};
 use agp_sim::SimDur;
+use agp_telemetry::PerfettoTrace;
 use agp_workload::{Benchmark, Class, WorkloadSpec};
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -32,6 +39,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -55,7 +64,9 @@ fn print_usage() {
          \x20 agp list                          list the paper experiments\n\
          \x20 agp run <id>|all [options]        regenerate a figure/table\n\
          \x20 agp sim [options]                 run one custom cluster configuration\n\
-         \x20 agp profile <id> [options]        profile an experiment's gang switches\n\n\
+         \x20 agp profile <id> [options]        profile an experiment's gang switches\n\
+         \x20 agp trace <id> [options]          export one run as a Perfetto/Chrome trace\n\
+         \x20 agp report [options]              run the registry, emit the parity manifest\n\n\
          RUN OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: paper)\n\
          \x20 --csv                             emit tables as CSV\n\
@@ -77,7 +88,19 @@ fn print_usage() {
          PROFILE OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
          \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
-         \x20 --events PATH                     also export the JSONL event stream"
+         \x20 --events PATH                     also export the JSONL event stream\n\n\
+         TRACE OPTIONS:\n\
+         \x20 --perfetto PATH                   output file (default <id>.perfetto.json)\n\
+         \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
+         \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
+         \x20 --sample-ms N                     gauge sampling cadence (default 500 quick, 5000 paper)\n\n\
+         REPORT OPTIONS:\n\
+         \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
+         \x20 --check                           compare against the committed golden; exit 1 on drift\n\
+         \x20 --update-golden                   rewrite the committed golden from this run\n\
+         \x20 --out PATH                        manifest path (default report.json)\n\
+         \x20 --bench-out PATH                  self-timing path (default BENCH_agp.json)\n\
+         \x20 --golden PATH                     golden path (default goldens/report.<scale>.json)"
     );
 }
 
@@ -310,6 +333,146 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut id: Option<String> = None;
+    let mut scale = Scale::Quick;
+    let mut policy: Option<PolicyConfig> = None;
+    let mut out: Option<String> = None;
+    let mut sample_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => scale = val("--scale")?.parse()?,
+            "--policy" => policy = Some(val("--policy")?.parse().map_err(|e| format!("{e}"))?),
+            "--perfetto" => out = Some(val("--perfetto")?.clone()),
+            "--sample-ms" => {
+                sample_ms = Some(
+                    val("--sample-ms")?
+                        .parse()
+                        .map_err(|e| format!("--sample-ms: {e}"))?,
+                )
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            other => id = Some(other.to_string()),
+        }
+    }
+    let id = id.ok_or(
+        "usage: agp trace <id> [--perfetto PATH] [--scale paper|quick] [--policy P] [--sample-ms N]",
+    )?;
+    let mut cfg = profile_config(&id, scale)
+        .ok_or_else(|| format!("no experiment '{id}' (see `agp list`)"))?;
+    if let Some(p) = policy {
+        cfg.policy = p;
+    }
+    // Default cadence: dense enough to draw counter tracks, coarse enough
+    // that gauges stay a small fraction of the trace.
+    cfg.sample_every = Some(SimDur::from_ms(sample_ms.unwrap_or(match scale {
+        Scale::Paper => 5_000,
+        Scale::Quick => 500,
+    })));
+    let path = out.unwrap_or_else(|| format!("{id}.perfetto.json"));
+
+    let sink = shared(PerfettoTrace::new());
+    let link = ObsLink::to(sink.clone() as SharedSink);
+    eprintln!("tracing {id} ({scale:?} scale)...");
+    let t0 = std::time::Instant::now();
+    let r = agp_cluster::run_observed(cfg, &link)?;
+    drop(link);
+    eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
+    let trace = unwrap_sink(sink)?;
+    let spans = trace.len();
+    std::fs::write(&path, trace.finish()).map_err(|e| format!("--perfetto {path}: {e}"))?;
+    eprintln!("wrote {spans} trace events to {path} (open in ui.perfetto.dev)");
+    println!(
+        "policy {}  mode {:?}  makespan {:.1} min  switches {}",
+        r.policy,
+        r.mode,
+        r.makespan.as_mins_f64(),
+        r.switches
+    );
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut scale = Scale::Quick;
+    let mut check = false;
+    let mut update_golden = false;
+    let mut out = "report.json".to_string();
+    let mut bench_out = "BENCH_agp.json".to_string();
+    let mut golden: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => scale = val("--scale")?.parse()?,
+            "--check" => check = true,
+            "--update-golden" => update_golden = true,
+            "--out" => out = val("--out")?.clone(),
+            "--bench-out" => bench_out = val("--bench-out")?.clone(),
+            "--golden" => golden = Some(val("--golden")?.clone()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let golden_path =
+        golden.unwrap_or_else(|| format!("goldens/report.{}.json", scale_name(scale)));
+
+    let mut outputs = Vec::new();
+    let mut bench = BenchManifest::new();
+    for e in all_experiments() {
+        eprintln!("report: running {} ({:?} scale)...", e.id, scale);
+        let t0 = std::time::Instant::now();
+        outputs.push((e.runner)(scale)?);
+        bench.insert(e.id, t0.elapsed().as_secs_f64());
+    }
+    let manifest = manifest_of(&outputs, scale);
+    std::fs::write(&out, manifest.to_json()).map_err(|e| format!("--out {out}: {e}"))?;
+    std::fs::write(&bench_out, bench.to_json())
+        .map_err(|e| format!("--bench-out {bench_out}: {e}"))?;
+    eprintln!(
+        "wrote {} metrics to {out}, {} timings to {bench_out}",
+        manifest.metrics.len(),
+        bench.wall_secs.len()
+    );
+
+    if update_golden {
+        if let Some(dir) = std::path::Path::new(&golden_path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(&golden_path, manifest.to_json())
+            .map_err(|e| format!("--golden {golden_path}: {e}"))?;
+        eprintln!("updated golden {golden_path}");
+    }
+    if check {
+        let text = std::fs::read_to_string(&golden_path).map_err(|e| {
+            format!("--check: cannot read golden {golden_path}: {e} (run `agp report --update-golden`?)")
+        })?;
+        let gold = ParityManifest::parse(&text)
+            .map_err(|e| format!("--check: golden {golden_path}: {e}"))?;
+        let drifts = manifest.compare(&gold, &default_tolerances());
+        if !drifts.is_empty() {
+            for d in &drifts {
+                eprintln!("drift: {d}");
+            }
+            return Err(format!(
+                "{} metric(s) drifted from {golden_path}",
+                drifts.len()
+            ));
+        }
+        println!(
+            "parity OK: {} metrics within tolerance of {golden_path}",
+            manifest.metrics.len()
+        );
+    }
+    Ok(())
+}
+
 /// Recover a sink from its `Arc` once the simulation has dropped every
 /// observer link (guaranteed after `run_observed` returns).
 fn unwrap_sink<T>(sink: Arc<Mutex<T>>) -> Result<T, String> {
@@ -438,9 +601,12 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             continue;
         }
         println!(
-            "\n{name}: n={}  mean={}us  max={}us",
+            "\n{name}: n={}  mean={}us  p50={}us  p90={}us  p99={}us  max={}us",
             h.count(),
             h.mean_us(),
+            h.p50_us(),
+            h.p90_us(),
+            h.p99_us(),
             h.max_us()
         );
         print!("{}", bar_chart(&h.rows()));

@@ -88,6 +88,14 @@ pub struct ClusterConfig {
     /// walks every page table).
     #[serde(default)]
     pub check_invariants: bool,
+    /// Telemetry sampling cadence. When set (and an observer is attached),
+    /// the event loop emits [`agp_obs::ObsEvent::NodeGauge`] and
+    /// [`agp_obs::ObsEvent::ProcGauge`] snapshots for every node on this
+    /// fixed sim-time period. `None` (the default) schedules no sampling
+    /// events at all, so unsampled runs are identical to the seed
+    /// simulation event for event.
+    #[serde(default)]
+    pub sample_every: Option<SimDur>,
 }
 
 impl ClusterConfig {
@@ -111,6 +119,7 @@ impl ClusterConfig {
             chunk_pages: 1024,
             max_sim_time: SimDur::from_mins(24 * 60),
             check_invariants: false,
+            sample_every: None,
         }
     }
 

@@ -36,7 +36,7 @@ pub mod result;
 pub mod sim;
 
 pub use config::{ClusterConfig, JobSpec, ScheduleMode};
-pub use result::{JobResult, NodeReport, RunResult};
+pub use result::{JobResult, NodeReport, RunResult, RESULT_SCHEMA_VERSION};
 pub use sim::ClusterSim;
 
 /// Run a configuration to completion (convenience wrapper).

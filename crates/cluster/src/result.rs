@@ -9,6 +9,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::ScheduleMode;
 
+/// Schema version stamped into every serialized [`RunResult`]. Bump on any
+/// breaking change to the JSON shape so downstream consumers (`report.json`
+/// goldens, archived traces) can detect files they no longer understand.
+pub const RESULT_SCHEMA_VERSION: u32 = 1;
+
 /// Outcome of one job.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JobResult {
@@ -23,7 +28,7 @@ pub struct JobResult {
 }
 
 /// Per-node accounting.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NodeReport {
     /// Paging-device statistics.
     pub disk: DiskStats,
@@ -36,8 +41,12 @@ pub struct NodeReport {
 }
 
 /// Everything a finished run reports.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunResult {
+    /// Serialization schema version (see [`RESULT_SCHEMA_VERSION`]);
+    /// defaults to 0 ("unversioned") when reading files that predate it.
+    #[serde(default)]
+    pub schema_version: u32,
     /// Policy the run used.
     pub policy: PolicyConfig,
     /// Scheduling mode.

@@ -62,6 +62,9 @@ enum Event {
     BgStart { sgen: u64 },
     /// One background-writer burst on `node`.
     BgTick { node: usize, sgen: u64 },
+    /// Telemetry gauge sample across all nodes (scheduled only when the
+    /// config sets `sample_every` and an observer is attached).
+    Sample,
 }
 
 /// With `check_invariants` on, sweep every node once per this many events
@@ -92,6 +95,9 @@ pub struct ClusterSim {
     /// Invariant sweeps performed (see [`ClusterSim::verify_invariants`]).
     invariant_checks: u64,
     obs: ObsLink,
+    /// Per-node observation links for gauge samples (tagged with the node
+    /// index; empty until an observer is attached).
+    gauge_obs: Vec<ObsLink>,
     /// Switch-event id counter (counts every `do_switch`, including the
     /// initial placement, unlike `switches`).
     obs_switches: u64,
@@ -161,6 +167,7 @@ impl ClusterSim {
             events: 0,
             invariant_checks: 0,
             obs: ObsLink::disabled(),
+            gauge_obs: Vec::new(),
             obs_switches: 0,
         })
     }
@@ -171,11 +178,13 @@ impl ClusterSim {
     /// itself emits under [`SRC_CLUSTER`]. The link's shared clock is
     /// advanced by the event loop.
     pub fn attach_observer(&mut self, link: &ObsLink) {
+        self.gauge_obs.clear();
         for (ni, node) in self.nodes.iter_mut().enumerate() {
             let tagged = link.with_src(ni as u32);
             node.kernel.set_observer(tagged.clone());
             node.engine.set_observer(tagged.clone());
-            node.disk.set_observer(tagged);
+            node.disk.set_observer(tagged.clone());
+            self.gauge_obs.push(tagged);
         }
         for (j, barrier) in self.barriers.iter_mut().enumerate() {
             barrier.set_observer(link.with_src(j as u32));
@@ -194,6 +203,9 @@ impl ClusterSim {
                 self.do_switch(plan.out, plan.inn, plan.quantum)?;
             }
             ScheduleMode::Batch => self.start_batch_job(0)?,
+        }
+        if self.cfg.sample_every.is_some() && self.obs.enabled() {
+            self.queue.push(SimTime::ZERO, Event::Sample);
         }
 
         while let Some((t, ev)) = self.queue.pop() {
@@ -301,8 +313,52 @@ impl ClusterSim {
                     self.bg_tick(node)?;
                 }
             }
+            Event::Sample => {
+                self.sample_gauges();
+                if let Some(every) = self.cfg.sample_every {
+                    self.queue.push(self.now + every, Event::Sample);
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Emit one telemetry snapshot per node: a [`ObsEvent::NodeGauge`]
+    /// with memory/disk/background-writer state, then one
+    /// [`ObsEvent::ProcGauge`] per registered process (in pid order, so
+    /// the stream is deterministic).
+    fn sample_gauges(&mut self) {
+        let now = self.now;
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let Some(obs) = self.gauge_obs.get(ni) else {
+                return;
+            };
+            let dirty_pages: u64 = node
+                .kernel
+                .procs_rss()
+                .filter_map(|(pid, _)| node.kernel.proc(pid).ok())
+                .map(|pm| pm.pt.dirty_resident() as u64)
+                .sum();
+            obs.emit(now, || ObsEvent::NodeGauge {
+                free_frames: node.kernel.free_frames() as u64,
+                dirty_pages,
+                disk_backlog_us: node.disk.busy_until().since(now).as_us(),
+                disk_busy_us: node.disk.stats().busy.as_us(),
+                bg_cleaned: node.engine.bg_cleaned_pages(),
+            });
+            for (pid, rss) in node.kernel.procs_rss() {
+                let dirty = node
+                    .kernel
+                    .proc(pid)
+                    .map(|pm| pm.pt.dirty_resident() as u64)
+                    .unwrap_or(0);
+                obs.emit(now, || ObsEvent::ProcGauge {
+                    pid: pid.0,
+                    resident: rss as u64,
+                    dirty,
+                });
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -807,6 +863,7 @@ impl ClusterSim {
             })
             .collect();
         RunResult {
+            schema_version: crate::result::RESULT_SCHEMA_VERSION,
             policy: self.cfg.policy,
             mode: self.cfg.mode,
             seed: self.cfg.seed,
@@ -1129,6 +1186,57 @@ mod tests {
             stats.replayed_pages > 0,
             "records are replayed as bulk reads"
         );
+    }
+
+    #[test]
+    fn gauge_sampling_is_opt_in_and_does_not_perturb_outcomes() {
+        let plain = ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut cfg = tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
+        cfg.sample_every = Some(SimDur::from_secs(5));
+        let sink = agp_obs::shared(agp_obs::Collector::new());
+        let link = agp_obs::ObsLink::to(sink.clone());
+        let mut sim = ClusterSim::new(cfg).unwrap();
+        sim.attach_observer(&link);
+        let sampled = sim.run().unwrap();
+        let c = sink.lock().unwrap();
+        assert!(c.counters.gauge_samples > 0, "cadence must deliver gauges");
+        // Sampling adds observation events but must not change the physics.
+        assert_eq!(plain.makespan, sampled.makespan);
+        assert_eq!(plain.total_pages_in(), sampled.total_pages_in());
+        assert_eq!(plain.switches, sampled.switches);
+        assert!(
+            sampled.events > plain.events,
+            "sample ticks pass through the event loop"
+        );
+    }
+
+    #[test]
+    fn sampling_without_observer_schedules_nothing() {
+        let mut cfg = tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
+        cfg.sample_every = Some(SimDur::from_secs(5));
+        let r = ClusterSim::new(cfg).unwrap().run().unwrap();
+        let plain = ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r.events, plain.events, "no observer, no sample events");
+    }
+
+    #[test]
+    fn gauge_sampled_traces_are_byte_identical_and_tagged() {
+        let cfg = || {
+            let mut c = tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
+            c.sample_every = Some(SimDur::from_secs(5));
+            c
+        };
+        let (_, ta) = run_traced(cfg());
+        let (_, tb) = run_traced(cfg());
+        assert_eq!(agp_obs::trace_diff(&ta, &tb), None);
+        assert!(ta.contains("\"ev\":\"node_gauge\""));
+        assert!(ta.contains("\"ev\":\"proc_gauge\""));
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! JSON round-trip of [`RunResult`] — guards the serialized schema that
+//! `report.json` goldens and archived traces depend on.
+//!
+//! Requires the real `serde_json`; the offline stub-build scratch drops
+//! this file (see `.claude/skills/verify/SKILL.md`).
+
+use agp_cluster::{
+    ClusterConfig, ClusterSim, JobSpec, RunResult, ScheduleMode, RESULT_SCHEMA_VERSION,
+};
+use agp_core::PolicyConfig;
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
+
+/// A small pressured run (same geometry as the sim unit tests) so the
+/// result exercises every field: paging, switches, traces.
+fn tiny_run() -> RunResult {
+    let mut cfg = ClusterConfig::paper_defaults(1);
+    cfg.mem_mib = 128;
+    cfg.wired_mib = 64;
+    cfg.quantum = SimDur::from_secs(10);
+    cfg.policy = PolicyConfig::full();
+    cfg.mode = ScheduleMode::Gang;
+    cfg.trace_bucket = SimDur::from_secs(1);
+    cfg.jobs = vec![
+        JobSpec::new("LU.A #1", WorkloadSpec::serial(Benchmark::LU, Class::A)),
+        JobSpec::new("LU.A #2", WorkloadSpec::serial(Benchmark::LU, Class::A)),
+    ];
+    ClusterSim::new(cfg).unwrap().run().unwrap()
+}
+
+#[test]
+fn run_result_round_trips_through_json() {
+    let r = tiny_run();
+    assert_eq!(r.schema_version, RESULT_SCHEMA_VERSION);
+    let json = serde_json::to_string(&r).unwrap();
+    let back: RunResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.schema_version, r.schema_version);
+    assert_eq!(back.seed, r.seed);
+    assert_eq!(back.makespan, r.makespan);
+    assert_eq!(back.switches, r.switches);
+    assert_eq!(back.jobs.len(), r.jobs.len());
+    assert_eq!(back.nodes.len(), r.nodes.len());
+    assert_eq!(back.total_pages_in(), r.total_pages_in());
+    assert_eq!(back.total_pages_out(), r.total_pages_out());
+    // Lossless: re-serializing the deserialized value reproduces the
+    // bytes exactly.
+    let json2 = serde_json::to_string(&back).unwrap();
+    assert_eq!(json, json2);
+}
+
+#[test]
+fn missing_schema_version_reads_as_unversioned() {
+    let r = tiny_run();
+    let json = serde_json::to_string(&r).unwrap();
+    let legacy = json.replace(&format!("\"schema_version\":{RESULT_SCHEMA_VERSION},"), "");
+    assert_ne!(legacy, json, "the field must have been present");
+    let back: RunResult = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(back.schema_version, 0, "pre-schema files default to 0");
+}

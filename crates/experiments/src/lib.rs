@@ -46,9 +46,11 @@ pub mod fig8;
 pub mod fig9;
 pub mod moreira;
 pub mod mpl;
+pub mod parity;
 pub mod quantum_sweep;
 pub mod registry;
 pub mod scale16;
 
 pub use common::{ExperimentOutput, Scale};
+pub use parity::{add_output, default_tolerances, manifest_of, scale_name, REPORT_SEED};
 pub use registry::{all_experiments, find, profile_config, ExperimentInfo};

@@ -1,0 +1,135 @@
+//! Flattening experiment outputs into the parity manifest behind
+//! `agp report`.
+//!
+//! Every numeric cell of every result table becomes one manifest metric,
+//! keyed `"{experiment}.{table}.{row}.{column}"` with each segment
+//! slugged (`fig7.fig-7-b-switching-overhead.lu.orig`). The first column
+//! of a table names its rows; non-numeric cells (benchmark names, the
+//! paper's "≥50"-style reference strings) are skipped. The mapping is
+//! pure string processing over already-deterministic tables, so a golden
+//! manifest pins the complete numeric surface of EXPERIMENTS.md.
+
+use crate::common::{ExperimentOutput, Scale};
+use agp_metrics::manifest::slug;
+use agp_metrics::{ParityManifest, Tolerance, Tolerances};
+
+/// The master seed every registry experiment runs under (the workspace
+/// default; experiments do not override it).
+pub const REPORT_SEED: u64 = 0x5EED_600D;
+
+/// Wire name of a scale in manifests and golden-file paths.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Paper => "paper",
+        Scale::Quick => "quick",
+    }
+}
+
+/// Parse one table cell as a metric value. Accepts plain numbers with an
+/// optional `%` suffix; anything else (labels, `≥50`, `5–37`, em-dashes)
+/// is not a metric.
+fn parse_cell(cell: &str) -> Option<f64> {
+    let s = cell.trim().trim_end_matches('%').trim();
+    let v: f64 = s.parse().ok()?;
+    v.is_finite().then_some(v)
+}
+
+/// Fold one experiment's tables into `m`.
+pub fn add_output(m: &mut ParityManifest, out: &ExperimentOutput) {
+    let exp = slug(&out.id);
+    for t in &out.tables {
+        let tab = slug(t.title());
+        for r in 0..t.len() {
+            let row = slug(t.cell(r, 0));
+            for (c, header) in t.headers().iter().enumerate().skip(1) {
+                if let Some(v) = parse_cell(t.cell(r, c)) {
+                    m.insert(format!("{exp}.{tab}.{row}.{}", slug(header)), v);
+                }
+            }
+        }
+    }
+}
+
+/// Flatten a full registry run into one manifest.
+pub fn manifest_of(outputs: &[ExperimentOutput], scale: Scale) -> ParityManifest {
+    let mut m = ParityManifest::new(scale_name(scale), REPORT_SEED);
+    for out in outputs {
+        add_output(&mut m, out);
+    }
+    m
+}
+
+/// The tolerance bands `agp report --check` gates with.
+///
+/// The simulation is deterministic given the seed, so the default band is
+/// effectively exact (it only absorbs the one-decimal rounding the tables
+/// print with). Derived percentage metrics divide two nearly-equal
+/// makespans, so legitimate refactors that shift a run by one I/O event
+/// can move them visibly — they get a small absolute band instead of
+/// failing on noise.
+pub fn default_tolerances() -> Tolerances {
+    Tolerances::new(Tolerance::new(0.0, 0.051))
+        .with_override("fig7.fig-7-b", Tolerance::new(0.0, 1.0))
+        .with_override("fig7.fig-7-c", Tolerance::new(0.0, 1.0))
+        .with_override("fig8", Tolerance::new(0.0, 1.0))
+        .with_override("fig9", Tolerance::new(0.0, 1.0))
+        .with_override("quantum", Tolerance::new(0.0, 1.0))
+        .with_override("mpl", Tolerance::new(0.0, 1.0))
+        .with_override("admission", Tolerance::new(0.0, 1.0))
+        .with_override("scale16", Tolerance::new(0.0, 1.0))
+        .with_override("bgablate", Tolerance::new(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agp_metrics::Table;
+
+    #[test]
+    fn cells_parse_numbers_and_skip_prose() {
+        assert_eq!(parse_cell("26"), Some(26.0));
+        assert_eq!(parse_cell(" 5.2 "), Some(5.2));
+        assert_eq!(parse_cell("37%"), Some(37.0));
+        assert_eq!(parse_cell("-3.5"), Some(-3.5));
+        assert_eq!(parse_cell("LU"), None);
+        assert_eq!(parse_cell("≥50"), None);
+        assert_eq!(parse_cell("5–37"), None);
+        assert_eq!(parse_cell("NaN"), None);
+    }
+
+    #[test]
+    fn tables_flatten_to_slugged_keys() {
+        let mut t = Table::new(
+            "Fig 7(b) — switching overhead (%)",
+            &["bench", "orig", "paper"],
+        );
+        t.row(vec!["LU".into(), "26.0".into(), "≥50".into()]);
+        t.row(vec!["IS".into(), "49.9".into(), "37".into()]);
+        let out = ExperimentOutput {
+            id: "fig7".into(),
+            title: "t".into(),
+            tables: vec![t],
+            ..Default::default()
+        };
+        let m = manifest_of(std::slice::from_ref(&out), Scale::Quick);
+        assert_eq!(m.scale, "quick");
+        assert_eq!(m.seed, REPORT_SEED);
+        assert_eq!(m.metrics["fig7.fig-7-b-switching-overhead.lu.orig"], 26.0);
+        assert_eq!(m.metrics["fig7.fig-7-b-switching-overhead.is.paper"], 37.0);
+        // The "≥50" reference cell is prose, not a metric.
+        assert_eq!(m.metrics.len(), 3);
+    }
+
+    #[test]
+    fn registry_quick_run_yields_a_stable_nonempty_manifest() {
+        // moreira is the fastest registry entry; it stands in for the
+        // full `agp report` sweep here.
+        let out = crate::moreira::run(Scale::Quick).expect("moreira runs");
+        let a = manifest_of(std::slice::from_ref(&out), Scale::Quick);
+        assert!(!a.metrics.is_empty(), "moreira produces metrics");
+        let out2 = crate::moreira::run(Scale::Quick).expect("moreira runs");
+        let b = manifest_of(std::slice::from_ref(&out2), Scale::Quick);
+        assert_eq!(a.to_json(), b.to_json(), "same seed, same manifest");
+        assert!(a.compare(&b, &default_tolerances()).is_empty());
+    }
+}

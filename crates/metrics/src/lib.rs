@@ -6,7 +6,11 @@
 //!   raw material of the paper's Fig. 6 paging-activity traces,
 //! * [`report`] — the §4.1 metric definitions (switching overhead %,
 //!   paging-overhead reduction %) plus plain-text table / CSV / ASCII
-//!   chart rendering used by the CLI, benches, and EXPERIMENTS.md.
+//!   chart rendering used by the CLI, benches, and EXPERIMENTS.md,
+//! * [`manifest`] — the flat parity manifest (`report.json`) and the
+//!   tolerance-band compare behind `agp report --check`,
+//! * [`json`] — the dependency-free, byte-deterministic JSON value model
+//!   the manifests (and the Perfetto exporter's tests) are built on.
 //!
 //! Keeping the math in one crate means every experiment, test, and bench
 //! agrees on exactly what "overhead" and "reduction" mean.
@@ -14,8 +18,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod manifest;
 pub mod report;
 pub mod trace;
 
+pub use json::Json;
+pub use manifest::{
+    BenchManifest, Drift, ParityManifest, Tolerance, Tolerances, MANIFEST_SCHEMA_VERSION,
+};
 pub use report::{bar_chart, overhead_pct, reduction_pct, Table};
 pub use trace::ActivityTrace;

@@ -1,0 +1,499 @@
+//! The paper-parity manifest: every EXPERIMENTS.md number as a flat,
+//! versioned, machine-comparable map — plus the tolerance-band compare
+//! that turns it into a regression gate (`agp report --check`).
+//!
+//! A manifest is a `metric key → f64` map. Keys are dotted slugs,
+//! `"{experiment}.{table}.{row}.{column}"` (built by the experiments
+//! crate), so tolerances can target anything from one cell to a whole
+//! experiment by prefix. Serialization is the hand-rolled [`crate::json`]
+//! writer: BTreeMap key order + deterministic float formatting means two
+//! identical runs produce byte-identical `report.json` files.
+
+use crate::json::{format_f64, Json};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema version stamped into `report.json` / `BENCH_agp.json`; bump on
+/// breaking shape changes so stale goldens fail loudly instead of
+/// comparing garbage.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// A flat map of parity metrics from one run of the experiment registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParityManifest {
+    /// Manifest schema version (see [`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Experiment scale the run used ("quick" or "paper").
+    pub scale: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Metric slug → value. BTreeMap so serialization order is fixed.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl ParityManifest {
+    /// An empty manifest for the given scale and seed.
+    pub fn new(scale: impl Into<String>, seed: u64) -> Self {
+        ParityManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            scale: scale.into(),
+            seed,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Record one metric. Duplicate keys get a `#2`, `#3`, … suffix so no
+    /// table cell is silently dropped.
+    pub fn insert(&mut self, key: impl Into<String>, value: f64) {
+        use std::collections::btree_map::Entry;
+        let key = key.into();
+        let mut n = 1u32;
+        loop {
+            let k = if n == 1 {
+                key.clone()
+            } else {
+                format!("{key}#{n}")
+            };
+            if let Entry::Vacant(slot) = self.metrics.entry(k) {
+                slot.insert(value);
+                return;
+            }
+            n += 1;
+        }
+    }
+
+    /// Deterministic pretty JSON (2-space indent, sorted metric keys,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            Json::Str(k.clone()).write(&mut out);
+            out.push_str(": ");
+            out.push_str(&format_f64(*v));
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parse a manifest written by [`ParityManifest::to_json`] (or any
+    /// standard encoder producing the same shape).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema_version")? as u32;
+        if schema_version != MANIFEST_SCHEMA_VERSION {
+            return Err(format!(
+                "manifest schema_version {schema_version} != supported {MANIFEST_SCHEMA_VERSION}"
+            ));
+        }
+        let scale = v
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or("missing scale")?
+            .to_string();
+        let seed = v.get("seed").and_then(Json::as_f64).ok_or("missing seed")? as u64;
+        let mut metrics = BTreeMap::new();
+        for (k, val) in v
+            .get("metrics")
+            .and_then(Json::as_object)
+            .ok_or("missing metrics object")?
+        {
+            let num = val
+                .as_f64()
+                .ok_or_else(|| format!("metric {k} is not a number"))?;
+            metrics.insert(k.clone(), num);
+        }
+        Ok(ParityManifest {
+            schema_version,
+            scale,
+            seed,
+            metrics,
+        })
+    }
+
+    /// Compare this run against a golden manifest under `tol`, returning
+    /// every drifted/missing/extra metric (empty = pass). Key order of the
+    /// result is deterministic (sorted).
+    pub fn compare(&self, golden: &ParityManifest, tol: &Tolerances) -> Vec<Drift> {
+        let mut out = Vec::new();
+        if self.scale != golden.scale {
+            out.push(Drift {
+                key: "<scale>".to_string(),
+                got: None,
+                want: None,
+                allowed: 0.0,
+                note: format!("run scale '{}' vs golden '{}'", self.scale, golden.scale),
+            });
+        }
+        let keys: BTreeMap<&String, ()> = self
+            .metrics
+            .keys()
+            .chain(golden.metrics.keys())
+            .map(|k| (k, ()))
+            .collect();
+        for (key, ()) in keys {
+            let got = self.metrics.get(key).copied();
+            let want = golden.metrics.get(key).copied();
+            let t = tol.for_key(key);
+            match (got, want) {
+                (Some(g), Some(w)) => {
+                    let allowed = t.abs.max(t.rel * w.abs());
+                    if (g - w).abs() > allowed {
+                        out.push(Drift {
+                            key: key.clone(),
+                            got,
+                            want,
+                            allowed,
+                            note: String::new(),
+                        });
+                    }
+                }
+                _ => out.push(Drift {
+                    key: key.clone(),
+                    got,
+                    want,
+                    allowed: 0.0,
+                    note: String::new(),
+                }),
+            }
+        }
+        out
+    }
+}
+
+/// Allowed deviation for one metric: passes when
+/// `|got − want| ≤ max(abs, rel·|want|)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerance {
+    /// Relative band (fraction of the golden value).
+    pub rel: f64,
+    /// Absolute band (same unit as the metric).
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// A band of `rel` fraction and `abs` absolute slack.
+    pub fn new(rel: f64, abs: f64) -> Self {
+        Tolerance { rel, abs }
+    }
+
+    /// Exact match required.
+    pub fn exact() -> Self {
+        Tolerance { rel: 0.0, abs: 0.0 }
+    }
+}
+
+/// Per-metric tolerance bands: a default plus longest-prefix overrides.
+#[derive(Clone, Debug)]
+pub struct Tolerances {
+    default: Tolerance,
+    /// `(key prefix, band)`, matched longest-prefix-first.
+    overrides: Vec<(String, Tolerance)>,
+}
+
+impl Tolerances {
+    /// All metrics use `default` unless overridden.
+    pub fn new(default: Tolerance) -> Self {
+        Tolerances {
+            default,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Add a prefix override (e.g. `"fig6."` for a whole experiment or
+    /// `"fig7.overhead.LU"` for one row).
+    pub fn with_override(mut self, prefix: impl Into<String>, tol: Tolerance) -> Self {
+        self.overrides.push((prefix.into(), tol));
+        self
+    }
+
+    /// The band that applies to `key`.
+    pub fn for_key(&self, key: &str) -> Tolerance {
+        self.overrides
+            .iter()
+            .filter(|(p, _)| key.starts_with(p.as_str()))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, t)| *t)
+            .unwrap_or(self.default)
+    }
+}
+
+/// One metric outside its tolerance band (or missing from one side).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Drift {
+    /// Metric slug.
+    pub key: String,
+    /// Value from this run (`None` = metric vanished).
+    pub got: Option<f64>,
+    /// Golden value (`None` = metric is new, not in the golden).
+    pub want: Option<f64>,
+    /// The band that was allowed.
+    pub allowed: f64,
+    /// Extra context for structural mismatches.
+    pub note: String,
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.note.is_empty() {
+            return write!(f, "{}: {}", self.key, self.note);
+        }
+        match (self.got, self.want) {
+            (Some(g), Some(w)) => write!(
+                f,
+                "{}: got {}, golden {}, |Δ| {} > allowed {}",
+                self.key,
+                format_f64(g),
+                format_f64(w),
+                format_f64((g - w).abs()),
+                format_f64(self.allowed)
+            ),
+            (Some(g), None) => write!(
+                f,
+                "{}: got {} but metric is absent from the golden (run --update-golden?)",
+                self.key,
+                format_f64(g)
+            ),
+            (None, Some(w)) => write!(
+                f,
+                "{}: golden expects {} but the run did not produce it",
+                self.key,
+                format_f64(w)
+            ),
+            (None, None) => write!(f, "{}: structural mismatch", self.key),
+        }
+    }
+}
+
+/// Wall-clock self-timings per experiment (`BENCH_agp.json`). Inherently
+/// machine-dependent, so it is *recorded* each run for trend tracking but
+/// never gated on by `--check`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchManifest {
+    /// Manifest schema version (see [`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Experiment id → wall-clock seconds.
+    pub wall_secs: BTreeMap<String, f64>,
+}
+
+impl BenchManifest {
+    /// An empty bench manifest.
+    pub fn new() -> Self {
+        BenchManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            wall_secs: BTreeMap::new(),
+        }
+    }
+
+    /// Record one experiment's wall-clock time.
+    pub fn insert(&mut self, id: impl Into<String>, secs: f64) {
+        self.wall_secs.insert(id.into(), secs);
+    }
+
+    /// Deterministic pretty JSON (modulo the timing values themselves).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str("  \"wall_secs\": {");
+        for (i, (k, v)) in self.wall_secs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            Json::Str(k.clone()).write(&mut out);
+            out.push_str(": ");
+            out.push_str(&format_f64(*v));
+        }
+        if !self.wall_secs.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parse a bench manifest written by [`BenchManifest::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema_version")? as u32;
+        let mut wall_secs = BTreeMap::new();
+        for (k, val) in v
+            .get("wall_secs")
+            .and_then(Json::as_object)
+            .ok_or("missing wall_secs object")?
+        {
+            wall_secs.insert(
+                k.clone(),
+                val.as_f64().ok_or_else(|| format!("{k} is not a number"))?,
+            );
+        }
+        Ok(BenchManifest {
+            schema_version,
+            wall_secs,
+        })
+    }
+}
+
+impl Default for BenchManifest {
+    fn default() -> Self {
+        BenchManifest::new()
+    }
+}
+
+/// Slugify a table title / row label / column header into a dotted-key
+/// segment: lowercase alphanumerics, runs of everything else collapse to
+/// one `-`, trimmed. Empty inputs become `"x"`.
+pub fn slug(s: &str) -> String {
+    let mut out = String::new();
+    let mut dash = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            if dash && !out.is_empty() {
+                out.push('-');
+            }
+            dash = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            dash = true;
+        }
+    }
+    if out.is_empty() {
+        "x".to_string()
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParityManifest {
+        let mut m = ParityManifest::new("quick", 7);
+        m.insert("fig7.overhead.lu.orig", 26.0);
+        m.insert("fig7.overhead.lu.full", 5.2);
+        m.insert("moreira.completion.mean-min", 35.0);
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_and_is_byte_stable() {
+        let m = sample();
+        let j = m.to_json();
+        assert_eq!(ParityManifest::parse(&j).unwrap(), m);
+        assert_eq!(m.to_json(), j, "writer is deterministic");
+        assert!(j.ends_with("}\n"));
+        // Keys serialize sorted regardless of insertion order.
+        let fig7 = j.find("fig7.overhead.lu.full").unwrap();
+        let moreira = j.find("moreira.completion").unwrap();
+        assert!(fig7 < moreira);
+    }
+
+    #[test]
+    fn duplicate_keys_are_suffixed_not_dropped() {
+        let mut m = ParityManifest::new("quick", 0);
+        m.insert("a.b", 1.0);
+        m.insert("a.b", 2.0);
+        m.insert("a.b", 3.0);
+        assert_eq!(m.metrics.len(), 3);
+        assert_eq!(m.metrics["a.b#2"], 2.0);
+        assert_eq!(m.metrics["a.b#3"], 3.0);
+    }
+
+    #[test]
+    fn compare_passes_inside_bands_and_names_drifts() {
+        let golden = sample();
+        let mut run = sample();
+        let tol = Tolerances::new(Tolerance::new(0.05, 0.0));
+        assert!(run.compare(&golden, &tol).is_empty());
+
+        run.metrics.insert("fig7.overhead.lu.orig".into(), 28.0);
+        let drifts = run.compare(&golden, &tol);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].key, "fig7.overhead.lu.orig");
+        let msg = drifts[0].to_string();
+        assert!(msg.contains("got 28"), "{msg}");
+        assert!(msg.contains("golden 26"), "{msg}");
+
+        // A wider override on the experiment prefix absorbs it.
+        let loose = Tolerances::new(Tolerance::new(0.05, 0.0))
+            .with_override("fig7.", Tolerance::new(0.10, 0.0));
+        assert!(run.compare(&golden, &loose).is_empty());
+    }
+
+    #[test]
+    fn longest_prefix_override_wins() {
+        let tol = Tolerances::new(Tolerance::exact())
+            .with_override("fig7.", Tolerance::new(0.5, 0.0))
+            .with_override("fig7.overhead.", Tolerance::new(0.01, 0.0));
+        assert_eq!(tol.for_key("fig7.overhead.lu.orig").rel, 0.01);
+        assert_eq!(tol.for_key("fig7.pages.lu").rel, 0.5);
+        assert_eq!(tol.for_key("fig6.peak").rel, 0.0);
+    }
+
+    #[test]
+    fn missing_and_extra_metrics_are_drifts() {
+        let golden = sample();
+        let mut run = sample();
+        run.metrics.remove("fig7.overhead.lu.full");
+        run.metrics.insert("fig9.new-metric".into(), 1.0);
+        let drifts = run.compare(&golden, &Tolerances::new(Tolerance::new(1.0, 1e9)));
+        assert_eq!(drifts.len(), 2, "huge bands never excuse shape changes");
+        assert!(drifts.iter().any(|d| d.got.is_none()));
+        assert!(drifts.iter().any(|d| d.want.is_none()));
+    }
+
+    #[test]
+    fn scale_mismatch_is_reported() {
+        let golden = sample();
+        let mut run = sample();
+        run.scale = "paper".to_string();
+        let drifts = run.compare(&golden, &Tolerances::new(Tolerance::new(1.0, 1e9)));
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].to_string().contains("scale"));
+    }
+
+    #[test]
+    fn stale_schema_version_is_rejected() {
+        let j = sample()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = ParityManifest::parse(&j).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn bench_manifest_round_trips() {
+        let mut b = BenchManifest::new();
+        b.insert("moreira", 1.25);
+        b.insert("fig6", 0.5);
+        let j = b.to_json();
+        assert_eq!(BenchManifest::parse(&j).unwrap(), b);
+    }
+
+    #[test]
+    fn slugs_are_filesystem_and_key_safe() {
+        assert_eq!(slug("LU.A #1"), "lu-a-1");
+        assert_eq!(slug("Overhead (%)"), "overhead");
+        assert_eq!(slug("  T_batch / min  "), "t-batch-min");
+        assert_eq!(slug("§4.1"), "4-1");
+        assert_eq!(slug("***"), "x");
+    }
+}

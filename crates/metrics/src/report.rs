@@ -63,6 +63,11 @@ impl Table {
         &self.title
     }
 
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
     /// Append a row (must match the header count).
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
         assert_eq!(

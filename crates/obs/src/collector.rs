@@ -47,6 +47,8 @@ pub struct ObsCounters {
     pub disk_pages_written: u64,
     /// Barrier episodes completed.
     pub barriers: u64,
+    /// Telemetry gauge samples delivered (node + per-process).
+    pub gauge_samples: u64,
     /// Gang switches completed (including the initial placement).
     pub switches: u64,
     /// Total events delivered to this collector.
@@ -213,6 +215,9 @@ impl Observer for Collector {
                 rec.total_us = total_us;
                 self.counters.switches += 1;
                 self.switch_total.record(total_us);
+            }
+            ObsEvent::NodeGauge { .. } | ObsEvent::ProcGauge { .. } => {
+                self.counters.gauge_samples += 1;
             }
         }
     }

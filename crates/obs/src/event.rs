@@ -177,6 +177,34 @@ pub enum ObsEvent {
         /// Total switch duration, µs.
         total_us: u64,
     },
+    /// Periodic per-node state sample (telemetry sampler cadence; `src`
+    /// is the node index). All values are instantaneous gauges except the
+    /// two cumulative counters noted below.
+    NodeGauge {
+        /// Free (allocatable) frames right now.
+        free_frames: u64,
+        /// Dirty resident pages across all registered processes.
+        dirty_pages: u64,
+        /// Outstanding paging-disk backlog: how far `busy_until` lies
+        /// beyond the sample instant, µs (0 when the device is idle).
+        disk_backlog_us: u64,
+        /// Cumulative device busy time, µs (monotonic counter; the
+        /// consumer differences consecutive samples for a busy-% series).
+        disk_busy_us: u64,
+        /// Cumulative pages cleaned by the background writer (monotonic
+        /// counter tracking bg-writer progress through the window).
+        bg_cleaned: u64,
+    },
+    /// Periodic per-process residency sample (paired with
+    /// [`ObsEvent::NodeGauge`]; `src` is the node index).
+    ProcGauge {
+        /// Sampled process.
+        pid: u32,
+        /// Resident pages.
+        resident: u64,
+        /// Of those, dirty pages.
+        dirty: u64,
+    },
 }
 
 impl ObsEvent {
@@ -197,6 +225,8 @@ impl ObsEvent {
             ObsEvent::BarrierWait { .. } => "barrier_wait",
             ObsEvent::SwitchPhase { .. } => "switch_phase",
             ObsEvent::SwitchDone { .. } => "switch_done",
+            ObsEvent::NodeGauge { .. } => "node_gauge",
+            ObsEvent::ProcGauge { .. } => "proc_gauge",
         }
     }
 
@@ -314,6 +344,28 @@ impl ObsEvent {
             ObsEvent::SwitchDone { switch, total_us } => {
                 let _ = write!(s, ",\"switch\":{switch},\"total_us\":{total_us}");
             }
+            ObsEvent::NodeGauge {
+                free_frames,
+                dirty_pages,
+                disk_backlog_us,
+                disk_busy_us,
+                bg_cleaned,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"free_frames\":{free_frames},\"dirty_pages\":{dirty_pages},\"disk_backlog_us\":{disk_backlog_us},\"disk_busy_us\":{disk_busy_us},\"bg_cleaned\":{bg_cleaned}"
+                );
+            }
+            ObsEvent::ProcGauge {
+                pid,
+                resident,
+                dirty,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pid\":{pid},\"resident\":{resident},\"dirty\":{dirty}"
+                );
+            }
         }
         s.push('}');
         s
@@ -345,6 +397,30 @@ mod tests {
         assert_eq!(
             ph.to_json_line(SimTime::ZERO, SRC_CLUSTER),
             format!("{{\"t\":0,\"src\":{},\"ev\":\"switch_phase\",\"switch\":4,\"phase\":\"page_in\",\"dur_us\":77}}", u32::MAX)
+        );
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        let ng = ObsEvent::NodeGauge {
+            free_frames: 120,
+            dirty_pages: 33,
+            disk_backlog_us: 4_500,
+            disk_busy_us: 987_654,
+            bg_cleaned: 256,
+        };
+        assert_eq!(
+            ng.to_json_line(SimTime::from_us(77), 2),
+            "{\"t\":77,\"src\":2,\"ev\":\"node_gauge\",\"free_frames\":120,\"dirty_pages\":33,\"disk_backlog_us\":4500,\"disk_busy_us\":987654,\"bg_cleaned\":256}"
+        );
+        let pg = ObsEvent::ProcGauge {
+            pid: 3,
+            resident: 9_000,
+            dirty: 41,
+        };
+        assert_eq!(
+            pg.to_json_line(SimTime::ZERO, 0),
+            "{\"t\":0,\"src\":0,\"ev\":\"proc_gauge\",\"pid\":3,\"resident\":9000,\"dirty\":41}"
         );
     }
 
@@ -408,6 +484,18 @@ mod tests {
             ObsEvent::SwitchDone {
                 switch: 0,
                 total_us: 0,
+            },
+            ObsEvent::NodeGauge {
+                free_frames: 0,
+                dirty_pages: 0,
+                disk_backlog_us: 0,
+                disk_busy_us: 0,
+                bg_cleaned: 0,
+            },
+            ObsEvent::ProcGauge {
+                pid: 0,
+                resident: 0,
+                dirty: 0,
             },
         ];
         let mut names: Vec<&str> = evs.iter().map(|e| e.name()).collect();

@@ -76,6 +76,65 @@ impl LatencyHistogram {
         self.count == 0
     }
 
+    /// Estimate the `p`-th percentile (0–100), µs, by locating the bucket
+    /// holding the target rank and interpolating linearly within its
+    /// `[2^(i-1), 2^i)` range. Exact for bucket 0 (all zeros); elsewhere
+    /// the estimate is within one bucket width of the true value. The top
+    /// bucket is clamped to the recorded maximum. Returns 0 when empty;
+    /// `p` is clamped to `[0, 100]`.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Target rank in [0, count-1], interpolation-style: rank r means
+        // "the value below which r of the count-1 gaps fall".
+        let rank = p / 100.0 * (self.count - 1) as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let hi_rank = (cum + c - 1) as f64;
+            if rank <= hi_rank {
+                if i == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 }.min(self.max);
+                if hi <= lo {
+                    return lo.min(self.max);
+                }
+                if c == 1 {
+                    // A lone occupant of the top bucket is the recorded
+                    // maximum itself; elsewhere the floor is the best guess.
+                    return if cum + c == self.count { self.max } else { lo };
+                }
+                // Fraction of the way through this bucket's occupants.
+                let frac = (rank - cum as f64) / (c - 1) as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).min(self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Median estimate, µs (see [`LatencyHistogram::percentile_us`]).
+    pub fn p50_us(&self) -> u64 {
+        self.percentile_us(50.0)
+    }
+
+    /// 90th-percentile estimate, µs.
+    pub fn p90_us(&self) -> u64 {
+        self.percentile_us(90.0)
+    }
+
+    /// 99th-percentile estimate, µs.
+    pub fn p99_us(&self) -> u64 {
+        self.percentile_us(99.0)
+    }
+
     /// The non-empty buckets between the first and last occupied one
     /// (inclusive), as `(label, count)` rows ready for a bar chart.
     /// Interior zero buckets are kept so gaps in the distribution stay
@@ -171,6 +230,81 @@ mod tests {
         assert_eq!(rows.len(), 11);
         assert_eq!(rows.iter().filter(|(_, c)| *c > 0).count(), 2);
         assert_eq!(rows.last().unwrap().0, "1ms");
+    }
+
+    /// Exact percentile of sorted samples, matching the histogram's
+    /// rank definition (linear interpolation between order statistics).
+    fn exact_percentile(sorted: &[u64], p: f64) -> f64 {
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] as f64 + frac * (sorted[hi] - sorted[lo]) as f64
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_degenerate_inputs() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.p50_us(), 0, "empty histogram");
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.p50_us(), 0);
+        assert_eq!(h.p99_us(), 0);
+        let mut one = LatencyHistogram::new();
+        one.record(777);
+        assert_eq!(one.p50_us(), 777, "single sample clamps to max");
+        assert_eq!(one.p99_us(), 777);
+    }
+
+    #[test]
+    fn percentiles_track_exact_values_on_seeded_samples() {
+        // Deterministic LCG (no external RNG) spanning several decades.
+        let mut state = 0x5EED_600Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 100_000
+        };
+        let mut h = LatencyHistogram::new();
+        let mut samples = Vec::new();
+        for _ in 0..10_000 {
+            let v = next();
+            h.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for p in [50.0, 90.0, 99.0] {
+            let exact = exact_percentile(&samples, p);
+            let est = h.percentile_us(p) as f64;
+            // A log2-bucket estimate can sit anywhere inside the exact
+            // value's bucket: within a factor of two, and never above max.
+            assert!(
+                est <= 2.0 * exact && est >= exact / 2.0,
+                "p{p}: estimate {est} vs exact {exact}"
+            );
+            assert!(est <= h.max_us() as f64);
+        }
+        // Percentiles are monotone in p.
+        assert!(h.p50_us() <= h.p90_us());
+        assert!(h.p90_us() <= h.p99_us());
+        assert!(h.p99_us() <= h.max_us());
+    }
+
+    #[test]
+    fn uniform_in_bucket_interpolates() {
+        // 4 samples all in bucket [8, 16): ranks interpolate inside it.
+        let mut h = LatencyHistogram::new();
+        for v in [8, 10, 12, 15] {
+            h.record(v);
+        }
+        let p0 = h.percentile_us(0.0);
+        let p100 = h.percentile_us(100.0);
+        assert_eq!(p0, 8, "0th percentile is the bucket floor");
+        assert_eq!(p100, 15, "100th percentile clamps to the max");
+        let p50 = h.p50_us();
+        assert!((8..=15).contains(&p50), "median interpolates: {p50}");
     }
 
     #[test]

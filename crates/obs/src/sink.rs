@@ -259,6 +259,44 @@ mod tests {
     }
 
     #[test]
+    fn trace_diff_pinpoints_gauge_divergence() {
+        // Two streams identical except one NodeGauge value: the diff must
+        // land on exactly that line, for both gauge-event kinds.
+        let render = |free: u64, dirty: u64| {
+            let mut w = JsonlWriter::new(Vec::new());
+            w.on_event(
+                SimTime::from_us(1),
+                0,
+                &ObsEvent::NodeGauge {
+                    free_frames: free,
+                    dirty_pages: 4,
+                    disk_backlog_us: 0,
+                    disk_busy_us: 10,
+                    bg_cleaned: 0,
+                },
+            );
+            w.on_event(
+                SimTime::from_us(2),
+                0,
+                &ObsEvent::ProcGauge {
+                    pid: 7,
+                    resident: 100,
+                    dirty,
+                },
+            );
+            String::from_utf8(w.finish().unwrap()).unwrap()
+        };
+        let base = render(50, 9);
+        assert_eq!(trace_diff(&base, &render(50, 9)), None);
+        let d = trace_diff(&base, &render(51, 9)).expect("node gauge diverges");
+        assert_eq!(d.line, 1);
+        assert!(d.left.unwrap().contains("\"ev\":\"node_gauge\""));
+        let d = trace_diff(&base, &render(50, 8)).expect("proc gauge diverges");
+        assert_eq!(d.line, 2);
+        assert!(d.right.unwrap().contains("\"ev\":\"proc_gauge\""));
+    }
+
+    #[test]
     fn identical_traces_have_no_diff() {
         assert_eq!(trace_diff("a\nb\n", "a\nb\n"), None);
         assert_eq!(trace_diff("", ""), None);

@@ -1,0 +1,33 @@
+//! # agp-telemetry — time series and trace exporters over the observer seam
+//!
+//! Two sinks that plug into [`agp_obs::ObsLink`]:
+//!
+//! * [`SeriesSet`] — folds the simulator's gauge events
+//!   ([`agp_obs::ObsEvent::NodeGauge`] / [`ObsEvent::ProcGauge`]) into
+//!   named, compact time series (`node0.free_frames`,
+//!   `node0.pid3.resident`, …) for programmatic analysis;
+//! * [`PerfettoTrace`] — renders the full event stream as Chrome Trace
+//!   Event JSON: gang switches and their page-out/page-in phases as
+//!   nested spans, disk transfers and fault stalls as duration spans,
+//!   reclaim/replay/background-writer activity as instants, and gauges
+//!   as counter tracks. The output loads directly in `ui.perfetto.dev`
+//!   (or `chrome://tracing`).
+//!
+//! Both sinks follow the repo's determinism discipline: no hash
+//! containers, no wall-clock reads, and hand-rolled integer-only JSON, so
+//! two same-seed runs produce **byte-identical** exports.
+//!
+//! Sampling cadence is owned by the simulator
+//! (`ClusterConfig::sample_every`); these sinks only fold what the stream
+//! delivers.
+//!
+//! [`ObsEvent::ProcGauge`]: agp_obs::ObsEvent::ProcGauge
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod perfetto;
+mod series;
+
+pub use perfetto::PerfettoTrace;
+pub use series::{SeriesPoint, SeriesSet, TimeSeries};

@@ -1,0 +1,498 @@
+//! Chrome Trace Event / Perfetto JSON exporter.
+//!
+//! ## Track layout
+//!
+//! | Perfetto pid | track | content |
+//! |--------------|-------|---------|
+//! | 0 "cluster" | tid 1 "switches" | one span per gang switch, with `page_out` / `page_in` child spans tiling it |
+//! | 0 "cluster" | tid 2 "barriers" | one span per barrier release (`dur` = network lag, args carry the skew) |
+//! | 0 "cluster" | tid 3 "faults" | one span per fault-service stall (`dur` = the stall) — fault storms read as dense rows |
+//! | n+1 "node n" | tid 1 "disk" | one span per disk request, placed at service start (`ts` = submit + queue wait) |
+//! | n+1 "node n" | tid 2 "paging" | instants for reclaim / evict batches / aggressive page-out / replay / bg-writer bursts |
+//! | n+1 "node n" | counters | `mem` (free/dirty frames), `disk` (backlog/cumulative busy), `bg` (pages cleaned), `pid{p}` (resident/dirty) |
+//!
+//! Timestamps are sim-time microseconds — exactly the Trace Event
+//! format's unit. All values are integers and every object is rendered
+//! with a fixed field order, so same-seed runs export byte-identical
+//! files. Per-page events (`PageFault`, `Evict`, `ReadaheadHit`,
+//! `MajorFault`) are deliberately dropped: they dominate the stream's
+//! cardinality while the aggregate rows above already show the storms.
+//!
+//! Metadata (`ph:"M"` process/thread names) is emitted lazily on first
+//! use of a track; since the event stream is deterministic, so is the
+//! metadata placement.
+
+use agp_obs::{ObsEvent, Observer, SwitchPhaseKind, SRC_CLUSTER};
+use agp_sim::SimTime;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+const PID_CLUSTER: u32 = 0;
+const TID_SWITCHES: u32 = 1;
+const TID_BARRIERS: u32 = 2;
+const TID_FAULTS: u32 = 3;
+const TID_DISK: u32 = 1;
+const TID_PAGING: u32 = 2;
+
+/// An observer sink rendering the stream as Trace Event JSON; call
+/// [`PerfettoTrace::finish`] after the run for the document.
+#[derive(Clone, Debug, Default)]
+pub struct PerfettoTrace {
+    events: Vec<String>,
+    named_procs: BTreeSet<u32>,
+    named_threads: BTreeSet<(u32, u32)>,
+    /// Phases of the switch whose `SwitchDone` has not arrived yet, in
+    /// stream order.
+    pending_phases: Vec<(SwitchPhaseKind, u64)>,
+    pending_switch: Option<u64>,
+}
+
+impl PerfettoTrace {
+    /// An empty exporter.
+    pub fn new() -> Self {
+        PerfettoTrace::default()
+    }
+
+    /// Trace events rendered so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been rendered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render the complete JSON document (one event per line inside
+    /// `traceEvents`, so traces diff line by line).
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(&self.events.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+
+    fn pid_of(src: u32) -> u32 {
+        if src == SRC_CLUSTER {
+            PID_CLUSTER
+        } else {
+            src + 1
+        }
+    }
+
+    fn ensure_process(&mut self, pid: u32) {
+        if !self.named_procs.insert(pid) {
+            return;
+        }
+        let name = if pid == PID_CLUSTER {
+            "cluster".to_string()
+        } else {
+            format!("node {}", pid - 1)
+        };
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+
+    fn ensure_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.ensure_process(pid);
+        if !self.named_threads.insert((pid, tid)) {
+            return;
+        }
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+
+    /// A complete (`ph:"X"`) span. `args` names must be JSON-safe ASCII.
+    fn span(&mut self, pid: u32, tid: u32, ts: u64, dur: u64, name: &str, args: &[(&str, u64)]) {
+        let mut e = format!(
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid}"
+        );
+        push_args(&mut e, args);
+        e.push('}');
+        self.events.push(e);
+    }
+
+    /// A thread-scoped instant (`ph:"i"`).
+    fn instant(&mut self, pid: u32, tid: u32, ts: u64, name: &str, args: &[(&str, u64)]) {
+        let mut e = format!(
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"s\":\"t\""
+        );
+        push_args(&mut e, args);
+        e.push('}');
+        self.events.push(e);
+    }
+
+    /// A counter sample (`ph:"C"`); multiple args render as stacked
+    /// series on one counter track.
+    fn counter(&mut self, pid: u32, ts: u64, name: &str, args: &[(&str, u64)]) {
+        self.ensure_process(pid);
+        let mut e = format!("{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid}");
+        push_args(&mut e, args);
+        e.push('}');
+        self.events.push(e);
+    }
+}
+
+fn push_args(e: &mut String, args: &[(&str, u64)]) {
+    e.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            e.push(',');
+        }
+        // Keys are compile-time ASCII identifiers; no escaping needed.
+        let _ = write!(e, "\"{k}\":{v}");
+    }
+    e.push('}');
+}
+
+fn phase_name(p: SwitchPhaseKind) -> &'static str {
+    match p {
+        SwitchPhaseKind::Stop => "stop",
+        SwitchPhaseKind::PageOut => "page_out",
+        SwitchPhaseKind::PageIn => "page_in",
+        SwitchPhaseKind::Cont => "cont",
+    }
+}
+
+impl Observer for PerfettoTrace {
+    fn on_event(&mut self, at: SimTime, src: u32, ev: &ObsEvent) {
+        let ts = at.as_us();
+        match *ev {
+            ObsEvent::SwitchPhase {
+                switch,
+                phase,
+                dur_us,
+            } => {
+                if self.pending_switch != Some(switch) {
+                    // A done-less predecessor would be a stream bug;
+                    // rendering fresh is the graceful recovery.
+                    self.pending_phases.clear();
+                    self.pending_switch = Some(switch);
+                }
+                self.pending_phases.push((phase, dur_us));
+            }
+            ObsEvent::SwitchDone { switch, total_us } => {
+                self.ensure_thread(PID_CLUSTER, TID_SWITCHES, "switches");
+                let name = format!("switch {switch}");
+                self.span(PID_CLUSTER, TID_SWITCHES, ts, total_us, &name, &[]);
+                if self.pending_switch == Some(switch) {
+                    let mut offset = 0u64;
+                    let phases = std::mem::take(&mut self.pending_phases);
+                    for (phase, dur_us) in phases {
+                        if dur_us > 0 {
+                            self.span(
+                                PID_CLUSTER,
+                                TID_SWITCHES,
+                                ts + offset,
+                                dur_us,
+                                phase_name(phase),
+                                &[],
+                            );
+                        }
+                        offset += dur_us;
+                    }
+                }
+                self.pending_switch = None;
+            }
+            ObsEvent::BarrierWait {
+                ranks,
+                skew_us,
+                lag_us,
+            } => {
+                self.ensure_thread(PID_CLUSTER, TID_BARRIERS, "barriers");
+                let name = format!("barrier job{src}");
+                self.span(
+                    PID_CLUSTER,
+                    TID_BARRIERS,
+                    ts,
+                    lag_us,
+                    &name,
+                    &[("ranks", ranks as u64), ("skew_us", skew_us)],
+                );
+            }
+            ObsEvent::FaultService { pid, wait_us } => {
+                self.ensure_thread(PID_CLUSTER, TID_FAULTS, "faults");
+                let name = format!("fault pid{pid}");
+                self.span(PID_CLUSTER, TID_FAULTS, ts, wait_us, &name, &[]);
+            }
+            ObsEvent::DiskRequest {
+                write,
+                extents,
+                pages,
+                wait_us,
+                service_us,
+            } => {
+                let pid = Self::pid_of(src);
+                self.ensure_thread(pid, TID_DISK, "disk");
+                self.span(
+                    pid,
+                    TID_DISK,
+                    ts + wait_us,
+                    service_us,
+                    if write { "write" } else { "read" },
+                    &[
+                        ("pages", pages),
+                        ("extents", extents as u64),
+                        ("wait_us", wait_us),
+                    ],
+                );
+            }
+            ObsEvent::Reclaim {
+                target,
+                freed,
+                write_pages,
+            } => {
+                let pid = Self::pid_of(src);
+                self.ensure_thread(pid, TID_PAGING, "paging");
+                self.instant(
+                    pid,
+                    TID_PAGING,
+                    ts,
+                    "reclaim",
+                    &[
+                        ("target", target),
+                        ("freed", freed),
+                        ("write_pages", write_pages),
+                    ],
+                );
+            }
+            ObsEvent::EvictBatch {
+                pid: vic,
+                pages,
+                write_pages,
+            } => {
+                let pid = Self::pid_of(src);
+                self.ensure_thread(pid, TID_PAGING, "paging");
+                let name = format!("evict_batch pid{vic}");
+                self.instant(
+                    pid,
+                    TID_PAGING,
+                    ts,
+                    &name,
+                    &[("pages", pages as u64), ("write_pages", write_pages as u64)],
+                );
+            }
+            ObsEvent::AggressiveOut { pid: out, pages } => {
+                let pid = Self::pid_of(src);
+                self.ensure_thread(pid, TID_PAGING, "paging");
+                let name = format!("aggressive_out pid{out}");
+                self.instant(pid, TID_PAGING, ts, &name, &[("pages", pages)]);
+            }
+            ObsEvent::Replay {
+                pid: inn,
+                pages,
+                skipped,
+            } => {
+                let pid = Self::pid_of(src);
+                self.ensure_thread(pid, TID_PAGING, "paging");
+                let name = format!("replay pid{inn}");
+                self.instant(
+                    pid,
+                    TID_PAGING,
+                    ts,
+                    &name,
+                    &[("pages", pages), ("skipped", skipped)],
+                );
+            }
+            ObsEvent::BgTick {
+                pid: cleaned,
+                pages,
+            } => {
+                let pid = Self::pid_of(src);
+                self.ensure_thread(pid, TID_PAGING, "paging");
+                let name = format!("bg pid{cleaned}");
+                self.instant(pid, TID_PAGING, ts, &name, &[("pages", pages)]);
+            }
+            ObsEvent::NodeGauge {
+                free_frames,
+                dirty_pages,
+                disk_backlog_us,
+                disk_busy_us,
+                bg_cleaned,
+            } => {
+                let pid = Self::pid_of(src);
+                self.counter(
+                    pid,
+                    ts,
+                    "mem",
+                    &[("free_frames", free_frames), ("dirty_pages", dirty_pages)],
+                );
+                self.counter(
+                    pid,
+                    ts,
+                    "disk",
+                    &[("backlog_us", disk_backlog_us), ("busy_us", disk_busy_us)],
+                );
+                self.counter(pid, ts, "bg", &[("cleaned", bg_cleaned)]);
+            }
+            ObsEvent::ProcGauge {
+                pid: p,
+                resident,
+                dirty,
+            } => {
+                let pid = Self::pid_of(src);
+                let name = format!("pid{p}");
+                self.counter(pid, ts, &name, &[("resident", resident), ("dirty", dirty)]);
+            }
+            // Per-page noise: aggregate rows above already show the
+            // storms these belong to.
+            ObsEvent::PageFault { .. }
+            | ObsEvent::MajorFault { .. }
+            | ObsEvent::ReadaheadHit { .. }
+            | ObsEvent::Evict { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(tr: &mut PerfettoTrace, at: u64, src: u32, ev: ObsEvent) {
+        tr.on_event(SimTime::from_us(at), src, &ev);
+    }
+
+    fn switch_stream(tr: &mut PerfettoTrace) {
+        for (phase, dur) in [
+            (SwitchPhaseKind::Stop, 0),
+            (SwitchPhaseKind::PageOut, 300),
+            (SwitchPhaseKind::PageIn, 700),
+            (SwitchPhaseKind::Cont, 0),
+        ] {
+            feed(
+                tr,
+                1_000,
+                SRC_CLUSTER,
+                ObsEvent::SwitchPhase {
+                    switch: 1,
+                    phase,
+                    dur_us: dur,
+                },
+            );
+        }
+        feed(
+            tr,
+            1_000,
+            SRC_CLUSTER,
+            ObsEvent::SwitchDone {
+                switch: 1,
+                total_us: 1_000,
+            },
+        );
+    }
+
+    #[test]
+    fn switch_phases_nest_inside_the_switch_span() {
+        let mut tr = PerfettoTrace::new();
+        switch_stream(&mut tr);
+        let out = tr.finish();
+        assert!(out.contains("\"name\":\"switch 1\",\"ph\":\"X\",\"ts\":1000,\"dur\":1000"));
+        assert!(out.contains("\"name\":\"page_out\",\"ph\":\"X\",\"ts\":1000,\"dur\":300"));
+        assert!(out.contains("\"name\":\"page_in\",\"ph\":\"X\",\"ts\":1300,\"dur\":700"));
+        // Zero-duration stop/cont phases are dropped.
+        assert!(!out.contains("\"name\":\"stop\""));
+        assert!(!out.contains("\"name\":\"cont\""));
+    }
+
+    #[test]
+    fn disk_spans_start_at_service_not_submit() {
+        let mut tr = PerfettoTrace::new();
+        feed(
+            &mut tr,
+            500,
+            2,
+            ObsEvent::DiskRequest {
+                write: true,
+                extents: 3,
+                pages: 64,
+                wait_us: 200,
+                service_us: 900,
+            },
+        );
+        let out = tr.finish();
+        assert!(out.contains(
+            "\"name\":\"write\",\"ph\":\"X\",\"ts\":700,\"dur\":900,\"pid\":3,\"tid\":1"
+        ));
+        assert!(out.contains("\"args\":{\"pages\":64,\"extents\":3,\"wait_us\":200}"));
+        assert!(out.contains("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,\"args\":{\"name\":\"node 2\"}}"));
+    }
+
+    #[test]
+    fn gauges_render_as_counters() {
+        let mut tr = PerfettoTrace::new();
+        feed(
+            &mut tr,
+            77,
+            0,
+            ObsEvent::NodeGauge {
+                free_frames: 120,
+                dirty_pages: 33,
+                disk_backlog_us: 4_500,
+                disk_busy_us: 987_654,
+                bg_cleaned: 256,
+            },
+        );
+        feed(
+            &mut tr,
+            77,
+            0,
+            ObsEvent::ProcGauge {
+                pid: 9,
+                resident: 1_000,
+                dirty: 10,
+            },
+        );
+        let out = tr.finish();
+        assert!(out.contains(
+            "{\"name\":\"mem\",\"ph\":\"C\",\"ts\":77,\"pid\":1,\"args\":{\"free_frames\":120,\"dirty_pages\":33}}"
+        ));
+        assert!(out.contains(
+            "{\"name\":\"disk\",\"ph\":\"C\",\"ts\":77,\"pid\":1,\"args\":{\"backlog_us\":4500,\"busy_us\":987654}}"
+        ));
+        assert!(out.contains(
+            "{\"name\":\"pid9\",\"ph\":\"C\",\"ts\":77,\"pid\":1,\"args\":{\"resident\":1000,\"dirty\":10}}"
+        ));
+    }
+
+    #[test]
+    fn per_page_events_are_dropped() {
+        let mut tr = PerfettoTrace::new();
+        feed(
+            &mut tr,
+            1,
+            0,
+            ObsEvent::PageFault {
+                pid: 1,
+                page: 2,
+                major: true,
+            },
+        );
+        feed(&mut tr, 1, 0, ObsEvent::ReadaheadHit { pid: 1, page: 3 });
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let render = || {
+            let mut tr = PerfettoTrace::new();
+            switch_stream(&mut tr);
+            feed(
+                &mut tr,
+                2_000,
+                0,
+                ObsEvent::Replay {
+                    pid: 4,
+                    pages: 100,
+                    skipped: 2,
+                },
+            );
+            tr.finish()
+        };
+        let a = render();
+        assert_eq!(a, render());
+        assert!(a.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(a.ends_with("\n]}\n"));
+    }
+}

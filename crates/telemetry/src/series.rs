@@ -1,0 +1,253 @@
+//! Compact named time series folded from gauge events.
+
+use agp_obs::{ObsEvent, Observer};
+use agp_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// One sampled point: sim time (µs) and gauge value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Sample instant, µs of sim time.
+    pub t_us: u64,
+    /// Gauge value at that instant.
+    pub value: u64,
+}
+
+/// One gauge's samples in time order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    points: Vec<SeriesPoint>,
+}
+
+impl TimeSeries {
+    /// The sampled points, oldest first.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<SeriesPoint> {
+        self.points.last().copied()
+    }
+
+    /// Smallest sampled value.
+    pub fn min(&self) -> Option<u64> {
+        self.points.iter().map(|p| p.value).min()
+    }
+
+    /// Largest sampled value.
+    pub fn max(&self) -> Option<u64> {
+        self.points.iter().map(|p| p.value).max()
+    }
+
+    /// Mean sampled value (integer division; `None` when empty).
+    pub fn mean(&self) -> Option<u64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let sum: u64 = self
+            .points
+            .iter()
+            .fold(0u64, |acc, p| acc.saturating_add(p.value));
+        Some(sum / self.points.len() as u64)
+    }
+
+    /// Successive differences, for cumulative gauges (`disk_busy_us`,
+    /// `bg_cleaned`): point *i* holds `value[i] − value[i−1]` at
+    /// `t_us[i]`, saturating at zero. One point shorter than the source.
+    pub fn deltas(&self) -> Vec<SeriesPoint> {
+        self.points
+            .windows(2)
+            .map(|w| SeriesPoint {
+                t_us: w[1].t_us,
+                value: w[1].value.saturating_sub(w[0].value),
+            })
+            .collect()
+    }
+}
+
+/// An observer sink folding gauge events into named series.
+///
+/// Names are `node{n}.{gauge}` for node gauges (`free_frames`,
+/// `dirty_pages`, `disk_backlog_us`, `disk_busy_us`, `bg_cleaned`) and
+/// `node{n}.pid{p}.{gauge}` for per-process gauges (`resident`, `dirty`),
+/// where `n` is the event's source tag. Non-gauge events are ignored, so
+/// the sink can share a fanout with heavier exporters.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesSet {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl SeriesSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SeriesSet::default()
+    }
+
+    /// Series names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// The series named `name`, if any samples arrived for it.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no gauge events arrived.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Iterate `(name, series)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    fn push(&mut self, name: String, t_us: u64, value: u64) {
+        self.series
+            .entry(name)
+            .or_default()
+            .points
+            .push(SeriesPoint { t_us, value });
+    }
+}
+
+impl Observer for SeriesSet {
+    fn on_event(&mut self, at: SimTime, src: u32, ev: &ObsEvent) {
+        let t = at.as_us();
+        match *ev {
+            ObsEvent::NodeGauge {
+                free_frames,
+                dirty_pages,
+                disk_backlog_us,
+                disk_busy_us,
+                bg_cleaned,
+            } => {
+                for (gauge, value) in [
+                    ("free_frames", free_frames),
+                    ("dirty_pages", dirty_pages),
+                    ("disk_backlog_us", disk_backlog_us),
+                    ("disk_busy_us", disk_busy_us),
+                    ("bg_cleaned", bg_cleaned),
+                ] {
+                    self.push(format!("node{src}.{gauge}"), t, value);
+                }
+            }
+            ObsEvent::ProcGauge {
+                pid,
+                resident,
+                dirty,
+            } => {
+                self.push(format!("node{src}.pid{pid}.resident"), t, resident);
+                self.push(format!("node{src}.pid{pid}.dirty"), t, dirty);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_gauge(free: u64, busy: u64) -> ObsEvent {
+        ObsEvent::NodeGauge {
+            free_frames: free,
+            dirty_pages: 2,
+            disk_backlog_us: 0,
+            disk_busy_us: busy,
+            bg_cleaned: 0,
+        }
+    }
+
+    #[test]
+    fn gauges_fold_into_named_series() {
+        let mut s = SeriesSet::new();
+        s.on_event(SimTime::from_us(10), 0, &node_gauge(100, 5));
+        s.on_event(SimTime::from_us(20), 0, &node_gauge(90, 9));
+        s.on_event(
+            SimTime::from_us(20),
+            0,
+            &ObsEvent::ProcGauge {
+                pid: 3,
+                resident: 64,
+                dirty: 8,
+            },
+        );
+        // 5 node gauges + 2 proc gauges.
+        assert_eq!(s.len(), 7);
+        let free = s.get("node0.free_frames").unwrap();
+        assert_eq!(free.len(), 2);
+        assert_eq!(free.min(), Some(90));
+        assert_eq!(free.max(), Some(100));
+        assert_eq!(free.mean(), Some(95));
+        assert_eq!(
+            free.last(),
+            Some(SeriesPoint {
+                t_us: 20,
+                value: 90
+            })
+        );
+        assert_eq!(s.get("node0.pid3.resident").unwrap().len(), 1);
+        assert_eq!(s.get("node0.pid3.dirty").unwrap().len(), 1);
+        assert!(s.get("node1.free_frames").is_none());
+    }
+
+    #[test]
+    fn non_gauge_events_are_ignored() {
+        let mut s = SeriesSet::new();
+        s.on_event(
+            SimTime::ZERO,
+            0,
+            &ObsEvent::ReadaheadHit { pid: 1, page: 2 },
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn deltas_unroll_cumulative_gauges() {
+        let mut s = SeriesSet::new();
+        for (t, busy) in [(10, 100), (20, 250), (30, 250), (40, 400)] {
+            s.on_event(SimTime::from_us(t), 1, &node_gauge(0, busy));
+        }
+        let d = s.get("node1.disk_busy_us").unwrap().deltas();
+        assert_eq!(
+            d.iter().map(|p| (p.t_us, p.value)).collect::<Vec<_>>(),
+            vec![(20, 150), (30, 0), (40, 150)]
+        );
+        assert!(s.get("node1.bg_cleaned").unwrap().deltas().len() == 3);
+    }
+
+    #[test]
+    fn per_node_series_are_distinct() {
+        let mut s = SeriesSet::new();
+        s.on_event(SimTime::from_us(1), 0, &node_gauge(10, 0));
+        s.on_event(SimTime::from_us(1), 1, &node_gauge(20, 0));
+        assert_eq!(
+            s.get("node0.free_frames").unwrap().last().unwrap().value,
+            10
+        );
+        assert_eq!(
+            s.get("node1.free_frames").unwrap().last().unwrap().value,
+            20
+        );
+        let names: Vec<&str> = s.names().collect();
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "names are sorted");
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end trace export over a real experiment run: same seed ⇒
+//! byte-identical Perfetto output, with structurally valid nesting.
+
+use agp_experiments::{profile_config, Scale};
+use agp_metrics::Json;
+use agp_obs::{shared, ObsLink};
+use agp_sim::SimDur;
+use agp_telemetry::{PerfettoTrace, SeriesSet};
+
+fn export_moreira() -> String {
+    let mut cfg =
+        profile_config("moreira", Scale::Quick).expect("moreira is a registered experiment");
+    cfg.sample_every = Some(SimDur::from_ms(500));
+    let sink = shared(PerfettoTrace::new());
+    let result = agp_cluster::run_observed(cfg, &ObsLink::to(sink.clone()))
+        .expect("moreira quick run succeeds");
+    assert!(result.makespan.as_us() > 0);
+    let trace = match sink.lock() {
+        Ok(g) => g.clone(),
+        Err(p) => p.into_inner().clone(),
+    };
+    trace.finish()
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_traces() {
+    let a = export_moreira();
+    assert_eq!(a, export_moreira());
+    assert!(a.len() > 1_000, "a real run renders a non-trivial trace");
+}
+
+#[test]
+fn moreira_trace_is_structurally_valid() {
+    let doc = Json::parse(&export_moreira()).expect("exported trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+
+    let str_of = |e: &Json, k: &str| e.get(k).and_then(Json::as_str).unwrap_or("").to_string();
+    let num_of = |e: &Json, k: &str| e.get(k).and_then(Json::as_f64);
+
+    let mut switch_spans = Vec::new();
+    let mut phase_spans = Vec::new();
+    for e in events {
+        let ph = str_of(e, "ph");
+        assert!(
+            matches!(ph.as_str(), "X" | "i" | "C" | "M"),
+            "unexpected ph {ph:?}"
+        );
+        match ph.as_str() {
+            "X" => {
+                let ts = num_of(e, "ts").expect("span has ts");
+                let dur = num_of(e, "dur").expect("span has dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                let name = str_of(e, "name");
+                if name.starts_with("switch ") {
+                    switch_spans.push((ts, dur));
+                } else if matches!(name.as_str(), "stop" | "page_out" | "page_in" | "cont") {
+                    phase_spans.push((ts, dur));
+                }
+            }
+            "i" => assert_eq!(str_of(e, "s"), "t", "instants are thread-scoped"),
+            "C" => {
+                let args = e
+                    .get("args")
+                    .and_then(Json::as_object)
+                    .expect("counter args");
+                assert!(!args.is_empty());
+            }
+            _ => {}
+        }
+    }
+
+    // A gang run has at least the placement switch, and every rendered
+    // phase nests inside some switch span.
+    assert!(!switch_spans.is_empty(), "no switch spans in trace");
+    assert!(!phase_spans.is_empty(), "no switch-phase child spans");
+    for &(ts, dur) in &phase_spans {
+        assert!(
+            switch_spans
+                .iter()
+                .any(|&(pts, pdur)| ts >= pts && ts + dur <= pts + pdur),
+            "phase span at ts={ts} escapes every switch span"
+        );
+    }
+
+    // The sampler ran: both mem counters and per-process counters exist.
+    let counter_names: Vec<String> = events
+        .iter()
+        .filter(|e| str_of(e, "ph") == "C")
+        .map(|e| str_of(e, "name"))
+        .collect();
+    assert!(counter_names.iter().any(|n| n == "mem"));
+    assert!(counter_names.iter().any(|n| n.starts_with("pid")));
+}
+
+#[test]
+fn series_set_folds_the_same_run() {
+    let mut cfg =
+        profile_config("moreira", Scale::Quick).expect("moreira is a registered experiment");
+    cfg.sample_every = Some(SimDur::from_ms(500));
+    let sink = shared(SeriesSet::new());
+    agp_cluster::run_observed(cfg, &ObsLink::to(sink.clone())).expect("run succeeds");
+    let set = match sink.lock() {
+        Ok(g) => g.clone(),
+        Err(p) => p.into_inner().clone(),
+    };
+    let free = set.get("node0.free_frames").expect("node gauge series");
+    assert!(free.len() > 1, "sampler fired repeatedly");
+    assert!(free.min().is_some() && free.max().is_some());
+    // Cumulative disk-busy gauge never decreases.
+    let busy = set.get("node0.disk_busy_us").expect("disk gauge series");
+    assert!(busy.deltas().iter().all(|p| p.value < u64::MAX));
+    let pts = busy.points();
+    assert!(pts.windows(2).all(|w| w[0].value <= w[1].value));
+}

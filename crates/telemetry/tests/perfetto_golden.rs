@@ -1,0 +1,274 @@
+//! Golden-file and structural tests for the Perfetto exporter.
+//!
+//! The synthetic-stream golden pins the exact bytes the exporter emits
+//! for every event kind it renders. To re-bless after an intentional
+//! format change:
+//!
+//! ```text
+//! AGP_BLESS=1 cargo test -p agp-telemetry --test perfetto_golden
+//! ```
+
+use agp_metrics::Json;
+use agp_obs::{ObsEvent, Observer, SwitchPhaseKind, SRC_CLUSTER};
+use agp_sim::SimTime;
+use agp_telemetry::PerfettoTrace;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/goldens/synthetic_trace.json"
+);
+
+/// A fixed stream touching every rendered event kind (and the dropped
+/// per-page ones), in a realistic order.
+fn synthetic_stream() -> Vec<(u64, u32, ObsEvent)> {
+    let mut s = Vec::new();
+    // Initial placement: switch 1 with all four phases non-trivial.
+    for (phase, dur) in [
+        (SwitchPhaseKind::Stop, 50),
+        (SwitchPhaseKind::PageOut, 300),
+        (SwitchPhaseKind::PageIn, 700),
+        (SwitchPhaseKind::Cont, 25),
+    ] {
+        s.push((
+            1_000,
+            SRC_CLUSTER,
+            ObsEvent::SwitchPhase {
+                switch: 1,
+                phase,
+                dur_us: dur,
+            },
+        ));
+    }
+    s.push((
+        1_000,
+        SRC_CLUSTER,
+        ObsEvent::SwitchDone {
+            switch: 1,
+            total_us: 1_075,
+        },
+    ));
+    // Node 0 pages the incoming job in.
+    s.push((
+        1_050,
+        0,
+        ObsEvent::DiskRequest {
+            write: false,
+            extents: 2,
+            pages: 32,
+            wait_us: 0,
+            service_us: 4_000,
+        },
+    ));
+    s.push((
+        1_060,
+        0,
+        ObsEvent::Replay {
+            pid: 1,
+            pages: 32,
+            skipped: 3,
+        },
+    ));
+    // Per-page noise that must not appear in the trace.
+    s.push((
+        1_100,
+        0,
+        ObsEvent::PageFault {
+            pid: 1,
+            page: 7,
+            major: true,
+        },
+    ));
+    s.push((
+        1_100,
+        0,
+        ObsEvent::MajorFault {
+            pid: 1,
+            page: 7,
+            readahead: 4,
+            write_pages: 0,
+            read_pages: 5,
+        },
+    ));
+    s.push((1_100, 0, ObsEvent::ReadaheadHit { pid: 1, page: 8 }));
+    s.push((
+        1_200,
+        0,
+        ObsEvent::Evict {
+            pid: 2,
+            page: 9,
+            false_eviction: false,
+            recorded: true,
+        },
+    ));
+    // A fault stall and the reclaim it triggered.
+    s.push((
+        1_100,
+        SRC_CLUSTER,
+        ObsEvent::FaultService {
+            pid: 1,
+            wait_us: 4_200,
+        },
+    ));
+    s.push((
+        1_150,
+        0,
+        ObsEvent::Reclaim {
+            target: 64,
+            freed: 60,
+            write_pages: 12,
+        },
+    ));
+    s.push((
+        1_150,
+        0,
+        ObsEvent::EvictBatch {
+            pid: 2,
+            pages: 60,
+            write_pages: 12,
+        },
+    ));
+    s.push((
+        1_200,
+        0,
+        ObsEvent::DiskRequest {
+            write: true,
+            extents: 1,
+            pages: 12,
+            wait_us: 4_000,
+            service_us: 1_500,
+        },
+    ));
+    // Node 1 runs the background writer and an aggressive page-out.
+    s.push((2_000, 1, ObsEvent::BgTick { pid: 3, pages: 8 }));
+    s.push((2_100, 1, ObsEvent::AggressiveOut { pid: 3, pages: 40 }));
+    // A barrier release for job 0.
+    s.push((
+        2_500,
+        0,
+        ObsEvent::BarrierWait {
+            ranks: 4,
+            skew_us: 120,
+            lag_us: 30,
+        },
+    ));
+    // One telemetry sample on each node.
+    for (t, node) in [(3_000u64, 0u32), (3_000, 1)] {
+        s.push((
+            t,
+            node,
+            ObsEvent::NodeGauge {
+                free_frames: 100 + node as u64,
+                dirty_pages: 20,
+                disk_backlog_us: 500,
+                disk_busy_us: 9_000,
+                bg_cleaned: 8,
+            },
+        ));
+        s.push((
+            t,
+            node,
+            ObsEvent::ProcGauge {
+                pid: 1 + node,
+                resident: 256,
+                dirty: 16,
+            },
+        ));
+    }
+    s
+}
+
+fn render_synthetic() -> String {
+    let mut tr = PerfettoTrace::new();
+    for (t, src, ev) in synthetic_stream() {
+        tr.on_event(SimTime::from_us(t), src, &ev);
+    }
+    tr.finish()
+}
+
+#[test]
+fn synthetic_stream_matches_the_committed_golden() {
+    let got = render_synthetic();
+    if std::env::var_os("AGP_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = include_str!("goldens/synthetic_trace.json");
+    assert_eq!(
+        got, want,
+        "Perfetto render drifted from tests/goldens/synthetic_trace.json; \
+         re-bless with AGP_BLESS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn golden_is_valid_json_with_nested_switch_phases() {
+    let doc = Json::parse(&render_synthetic()).expect("exporter emits valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let field = |e: &Json, k: &str| -> f64 { e.get(k).and_then(Json::as_f64).unwrap_or(-1.0) };
+    let name = |e: &Json| -> String {
+        e.get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+
+    // Every phase span lies inside its parent switch span, on the same
+    // track, and the phases tile the parent's duration exactly.
+    let spans: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    let parent = spans
+        .iter()
+        .find(|e| name(e) == "switch 1")
+        .expect("switch parent span");
+    let (p_ts, p_dur) = (field(parent, "ts"), field(parent, "dur"));
+    let phase_names = ["stop", "page_out", "page_in", "cont"];
+    let phases: Vec<&&Json> = spans
+        .iter()
+        .filter(|e| phase_names.contains(&name(e).as_str()))
+        .collect();
+    assert_eq!(phases.len(), 4);
+    let mut tiled = 0.0;
+    for ph in &phases {
+        let (ts, dur) = (field(ph, "ts"), field(ph, "dur"));
+        assert!(
+            ts >= p_ts && ts + dur <= p_ts + p_dur,
+            "phase escapes parent"
+        );
+        assert_eq!(field(ph, "pid"), field(parent, "pid"));
+        assert_eq!(field(ph, "tid"), field(parent, "tid"));
+        assert_eq!(ts, p_ts + tiled, "phases are contiguous");
+        tiled += dur;
+    }
+    assert_eq!(tiled, p_dur, "phases tile the switch exactly");
+
+    // Counter samples exist for both nodes, and every pid in use has a
+    // process_name metadata record.
+    let counters: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+        .collect();
+    assert!(counters.iter().any(|e| field(e, "pid") == 1.0));
+    assert!(counters.iter().any(|e| field(e, "pid") == 2.0));
+    let named: Vec<f64> = events
+        .iter()
+        .filter(|e| name(e) == "process_name")
+        .map(|e| field(e, "pid"))
+        .collect();
+    for e in events {
+        let pid = field(e, "pid");
+        assert!(named.contains(&pid), "pid {pid} used before being named");
+    }
+
+    // Dropped per-page events never leak through.
+    for e in events {
+        let n = name(e);
+        assert!(!n.contains("page_fault") && !n.contains("readahead"));
+    }
+}

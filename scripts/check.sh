@@ -9,3 +9,4 @@ cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
 cargo run --release -p agp-lint -- --deny-warnings
+cargo run --release -p agp-cli -- report --check
