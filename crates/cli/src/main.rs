@@ -40,6 +40,18 @@ fn main() -> ExitCode {
         Some("sim") => cmd_sim(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        // trace-diff has a three-way exit: 0 identical, 2 divergent,
+        // 1 usage/IO error — so it bypasses the Result funnel below.
+        Some("trace-diff") => {
+            return match cmd_trace_diff(&args[1..]) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("agp: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("report") => cmd_report(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -66,6 +78,8 @@ fn print_usage() {
          \x20 agp sim [options]                 run one custom cluster configuration\n\
          \x20 agp profile <id> [options]        profile an experiment's gang switches\n\
          \x20 agp trace <id> [options]          export one run as a Perfetto/Chrome trace\n\
+         \x20 agp explain <id> [options]        causal critical-path attribution of switch latency\n\
+         \x20 agp trace-diff <left> <right>     first divergence between two JSONL traces (exit 2)\n\
          \x20 agp report [options]              run the registry, emit the parity manifest\n\n\
          RUN OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: paper)\n\
@@ -94,6 +108,12 @@ fn print_usage() {
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
          \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
          \x20 --sample-ms N                     gauge sampling cadence (default 500 quick, 5000 paper)\n\n\
+         EXPLAIN OPTIONS:\n\
+         \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
+         \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
+         \x20 --against P                       also run a base policy, emit the differential report\n\
+         \x20 --json PATH                       write the (diff) report as deterministic JSON\n\
+         \x20 --bench-out PATH                  append this pass's wall-clock to a BENCH manifest\n\n\
          REPORT OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
          \x20 --check                           compare against the committed golden; exit 1 on drift\n\
@@ -376,13 +396,30 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let path = out.unwrap_or_else(|| format!("{id}.perfetto.json"));
 
     let sink = shared(PerfettoTrace::new());
-    let link = ObsLink::to(sink.clone() as SharedSink);
+    let analyzer = shared(agp_explain::Analyzer::new());
+    let link = ObsLink::fanout(vec![
+        sink.clone() as SharedSink,
+        analyzer.clone() as SharedSink,
+    ]);
     eprintln!("tracing {id} ({scale:?} scale)...");
     let t0 = std::time::Instant::now();
     let r = agp_cluster::run_observed(cfg, &link)?;
     drop(link);
     eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
-    let trace = unwrap_sink(sink)?;
+    let mut trace = unwrap_sink(sink)?;
+    // Overlay the per-switch critical path as its own track: one span
+    // per attributed cause segment, tiling each switch exactly.
+    let analysis = unwrap_sink(analyzer)?;
+    let mut highlighted = 0usize;
+    for sw in analysis.switches() {
+        let mut ts = sw.at_us;
+        for seg in &sw.segments {
+            trace.highlight(ts, seg.dur_us, seg.cause.name());
+            ts += seg.dur_us;
+        }
+        highlighted += 1;
+    }
+    eprintln!("highlighted the critical path of {highlighted} switches");
     let spans = trace.len();
     std::fs::write(&path, trace.finish()).map_err(|e| format!("--perfetto {path}: {e}"))?;
     eprintln!("wrote {spans} trace events to {path} (open in ui.perfetto.dev)");
@@ -471,6 +508,127 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let mut id: Option<String> = None;
+    let mut scale = Scale::Quick;
+    let mut policy: Option<PolicyConfig> = None;
+    let mut against: Option<PolicyConfig> = None;
+    let mut json: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => scale = val("--scale")?.parse()?,
+            "--policy" => policy = Some(val("--policy")?.parse().map_err(|e| format!("{e}"))?),
+            "--against" => against = Some(val("--against")?.parse().map_err(|e| format!("{e}"))?),
+            "--json" => json = Some(val("--json")?.clone()),
+            "--bench-out" => bench_out = Some(val("--bench-out")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            other => id = Some(other.to_string()),
+        }
+    }
+    let id = id.ok_or(
+        "usage: agp explain <id> [--scale paper|quick] [--policy P] [--against P] \
+         [--json PATH] [--bench-out PATH]",
+    )?;
+    let mut cfg = profile_config(&id, scale)
+        .ok_or_else(|| format!("no experiment '{id}' (see `agp list`)"))?;
+    if let Some(p) = policy {
+        cfg.policy = p;
+    }
+
+    let t0 = std::time::Instant::now();
+    eprintln!(
+        "explaining {id} ({scale:?} scale, policy {})...",
+        cfg.policy.label()
+    );
+    let (r, report) = agp_explain::explain_run(&cfg, &id, scale_name(scale))?;
+    eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
+    println!(
+        "policy {}  mode {:?}  makespan {:.1} min  switches {}",
+        r.policy,
+        r.mode,
+        r.makespan.as_mins_f64(),
+        r.switches
+    );
+
+    let json_text = match against {
+        None => {
+            for t in report.tables() {
+                println!("{t}");
+            }
+            println!("notes:");
+            for n in report.notes() {
+                println!("  * {n}");
+            }
+            report.to_json_string()
+        }
+        Some(base_policy) => {
+            let mut base_cfg = cfg.clone();
+            base_cfg.policy = base_policy;
+            eprintln!("explaining base policy {}...", base_cfg.policy.label());
+            let (rb, base_report) = agp_explain::explain_run(&base_cfg, &id, scale_name(scale))?;
+            eprintln!("base simulated ({} events)", rb.events);
+            let diff = agp_explain::ExplainDiff::new(report, base_report);
+            for t in diff.tables() {
+                println!("{t}");
+            }
+            println!("attribution:");
+            for n in diff.notes() {
+                println!("  * {n}");
+            }
+            diff.to_json_string()
+        }
+    };
+    if let Some(path) = &json {
+        std::fs::write(path, &json_text).map_err(|e| format!("--json {path}: {e}"))?;
+        eprintln!("wrote explain report to {path}");
+    }
+    if let Some(path) = &bench_out {
+        let mut bench = match std::fs::read_to_string(path) {
+            Ok(text) => BenchManifest::parse(&text)
+                .map_err(|e| format!("--bench-out {path}: {e} (delete it to start fresh)"))?,
+            Err(_) => BenchManifest::new(),
+        };
+        bench.insert(format!("explain.{id}"), t0.elapsed().as_secs_f64());
+        std::fs::write(path, bench.to_json()).map_err(|e| format!("--bench-out {path}: {e}"))?;
+        eprintln!("appended explain.{id} wall-clock to {path}");
+    }
+    Ok(())
+}
+
+/// `agp trace-diff <left> <right>`: exit 0 when the JSONL traces are
+/// identical, 2 at the first divergence (printed with context), 1 on
+/// usage or I/O errors.
+fn cmd_trace_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut pos = Vec::new();
+    for a in args {
+        if a.starts_with("--") {
+            return Err(format!("unknown option '{a}'"));
+        }
+        pos.push(a.as_str());
+    }
+    let (left, right) = match pos.as_slice() {
+        [l, r] => (*l, *r),
+        _ => return Err("usage: agp trace-diff <left.jsonl> <right.jsonl>".into()),
+    };
+    let l = std::fs::read_to_string(left).map_err(|e| format!("{left}: {e}"))?;
+    let r = std::fs::read_to_string(right).map_err(|e| format!("{right}: {e}"))?;
+    match agp_obs::trace_diff(&l, &r) {
+        None => {
+            println!("traces identical ({} lines)", l.lines().count());
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(d) => {
+            print!("{d}");
+            Ok(ExitCode::from(2))
+        }
+    }
 }
 
 /// Recover a sink from its `Arc` once the simulation has dropped every

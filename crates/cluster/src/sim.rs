@@ -451,6 +451,7 @@ impl ClusterSim {
                         if completion > t_fault {
                             self.obs.emit(t_fault, || ObsEvent::FaultService {
                                 pid: pid.0,
+                                page: fpage.0,
                                 wait_us: completion.since(t_fault).as_us(),
                             });
                             self.procs[p].block_io(now);

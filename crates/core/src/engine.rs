@@ -646,6 +646,12 @@ impl PagingEngine {
                 MapInOutcome::Zeroed => {}
             }
             self.stats.replayed_pages += 1;
+            if self.obs.enabled() {
+                self.obs.emit(now, || ObsEvent::ReplayPage {
+                    pid: inn.0,
+                    page: p.0,
+                });
+            }
         }
         plan.reads = extents_from_blocks(&mut blocks);
         self.obs.emit(now, || ObsEvent::Replay {

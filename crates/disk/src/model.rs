@@ -183,23 +183,26 @@ impl Disk {
     }
 
     /// Pure service-time computation for `extents` given a starting head
-    /// position; returns `(service_time, final_head, seeks)`.
-    fn service(&self, mut head: u64, extents: &[Extent]) -> (SimDur, u64, u64) {
+    /// position; returns `(service_time, final_head, seeks, seek_us)`
+    /// where `seek_us` is the positioning (seek + rotation) share of the
+    /// service time.
+    fn service(&self, mut head: u64, extents: &[Extent]) -> (SimDur, u64, u64, u64) {
         let mut us = 0u64;
         let mut seeks = 0u64;
+        let mut seek_us = 0u64;
         for e in extents {
             if e.len == 0 {
                 continue;
             }
             let dist = head.abs_diff(e.start);
             if dist != 0 {
-                us += self.params.seek_us(dist) + self.params.half_rotation_us();
+                seek_us += self.params.seek_us(dist) + self.params.half_rotation_us();
                 seeks += 1;
             }
             us += e.len * self.params.page_transfer_us;
             head = e.end();
         }
-        (SimDur::from_us(us), head, seeks)
+        (SimDur::from_us(us + seek_us), head, seeks, seek_us)
     }
 
     /// Quote the service time of a request *without* submitting it
@@ -208,7 +211,7 @@ impl Disk {
         if req.is_empty() {
             return SimDur::ZERO;
         }
-        let (svc, _, _) = self.service(self.head, &req.extents);
+        let (svc, _, _, _) = self.service(self.head, &req.extents);
         svc + SimDur::from_us(self.params.command_overhead_us)
     }
 
@@ -222,7 +225,7 @@ impl Disk {
         if req.is_empty() {
             return start;
         }
-        let (svc, final_head, seeks) = self.service(self.head, &req.extents);
+        let (svc, final_head, seeks, seek_us) = self.service(self.head, &req.extents);
         let svc = svc + SimDur::from_us(self.params.command_overhead_us);
         let completion = start + svc;
 
@@ -247,6 +250,7 @@ impl Disk {
             extents: req.extents.len() as u32,
             pages,
             wait_us: start.since(now).as_us(),
+            seek_us,
             service_us: svc.as_us(),
         });
         completion

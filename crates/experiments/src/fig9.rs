@@ -17,6 +17,7 @@
 use crate::common::{
     mins, pct, quick_parallel, quick_serial, run_policy_set, ExperimentOutput, Scale, Scenario,
 };
+use agp_cluster::{ClusterConfig, ScheduleMode};
 use agp_core::PolicyConfig;
 use agp_metrics::{overhead_pct, reduction_pct, Table};
 use agp_sim::SimDur;
@@ -64,6 +65,26 @@ fn scenarios(scale: Scale) -> Vec<(String, Scenario)> {
 /// Paper-reported total reduction with `so/ao/ai/bg` per configuration.
 pub const PAPER_TOTAL_REDUCTION: [(&str, f64); 3] =
     [("serial", 83.0), ("2 machines", 61.0), ("4 machines", 71.0)];
+
+/// A seeded same-config policy pair for differential explanation:
+/// identical serial-LU Fig. 9 scenario, same seed, differing in exactly
+/// one policy bit — selective page-out on (`so`, test) vs everything
+/// off (`orig`, base). `agp explain fig9 --policy so --against orig`
+/// and the explain golden tests both run this pair.
+pub fn explain_pair(scale: Scale) -> (ClusterConfig, ClusterConfig) {
+    let sc = match scale {
+        Scale::Paper => Scenario::pair(
+            1,
+            574,
+            WorkloadSpec::serial(Benchmark::LU, Class::B),
+            SimDur::from_mins(5),
+        ),
+        Scale::Quick => quick_serial(Benchmark::LU),
+    };
+    let test = sc.config(PolicyConfig::so(), ScheduleMode::Gang);
+    let base = sc.config(PolicyConfig::original(), ScheduleMode::Gang);
+    (test, base)
+}
 
 /// Run Fig. 9 at the given scale.
 pub fn run(scale: Scale) -> Result<ExperimentOutput, String> {

@@ -1,0 +1,660 @@
+//! The stream analyzer: an [`Observer`] that rebuilds per-switch causal
+//! DAGs, accumulates per-job stall attribution, and detects the paper's
+//! pathologies (false-eviction refaults, redundant page-ins, dirty-flush
+//! storms) with event provenance.
+//!
+//! Every event delivered to the analyzer gets a monotonically increasing
+//! sequence number; diagnostics cite those numbers (`evict#123 ->
+//! fault#456`), so provenance is exact, replayable against a JSONL trace
+//! of the same run, and byte-deterministic.
+
+use std::collections::BTreeMap;
+
+use agp_obs::{ObsEvent, Observer, SwitchPhaseKind};
+use agp_sim::SimTime;
+
+use crate::causes::CauseBuckets;
+use crate::dag::{ReqInfo, Segment, SwitchDag};
+
+/// Write-page count at a single switch that qualifies as a dirty-flush
+/// storm (§3.3: selective page-out exists precisely to avoid shoving
+/// this much dirty state through the switch edge).
+pub const STORM_THRESHOLD_PAGES: u64 = 128;
+
+/// Cap on provenance samples kept per diagnostic kind (the counts keep
+/// accumulating past it).
+const MAX_SAMPLES: usize = 8;
+
+/// One explained gang switch.
+#[derive(Clone, Debug)]
+pub struct SwitchExplain {
+    /// Monotonic switch number (0 is the initial placement).
+    pub switch: u64,
+    /// Instant the switch began, µs.
+    pub at_us: u64,
+    /// Total switch latency, µs (matches `agp profile`).
+    pub total_us: u64,
+    /// Page-out phase length, µs.
+    pub pageout_us: u64,
+    /// Page-in phase length, µs.
+    pub pagein_us: u64,
+    /// Critical-path time per cause; sums to `total_us` exactly.
+    pub causes: CauseBuckets,
+    /// Critical-path slices in temporal order, tiling
+    /// `[at_us, at_us + total_us]`.
+    pub segments: Vec<Segment>,
+    /// Terminal request on the critical path (empty if none recorded).
+    pub critical: String,
+}
+
+/// Per-job stall attribution (fault-service time the job's processes
+/// spent blocked, and barrier skew it absorbed).
+#[derive(Clone, Debug, Default)]
+pub struct JobStalls {
+    /// Job name from the cluster config.
+    pub name: String,
+    /// Major-fault stalls serviced.
+    pub fault_stalls: u64,
+    /// Total fault-service stall time, µs.
+    pub fault_stall_us: u64,
+    /// Of those, stalls re-reading a page the policy evicted from the
+    /// *running* process (§3.1 false evictions).
+    pub false_eviction_stalls: u64,
+    /// Stall time attributable to false evictions, µs.
+    pub false_eviction_stall_us: u64,
+    /// Barrier episodes the job completed.
+    pub barriers: u64,
+    /// Summed barrier arrival skew, µs.
+    pub barrier_skew_us: u64,
+}
+
+/// One detected anomaly class, with provenance samples.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable kind tag (`false_eviction_refault`, `redundant_page_in`,
+    /// `dirty_flush_storm`).
+    pub kind: &'static str,
+    /// Occurrences detected.
+    pub count: u64,
+    /// Stall/latency microseconds the occurrences account for.
+    pub us: u64,
+    /// Up to eight event-sequence provenance strings.
+    pub samples: Vec<String>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct EvictMark {
+    seq: u64,
+    false_eviction: bool,
+}
+
+/// The analyzing sink. Attach via [`agp_obs::ObsLink::to`] (or fan out
+/// next to a [`agp_obs::Collector`]), read back after the run.
+#[derive(Debug)]
+pub struct Analyzer {
+    seq: u64,
+    // -- switch assembly --
+    cur_reqs: Vec<ReqInfo>,
+    cur_reqs_at: u64,
+    cur_pageout_us: u64,
+    cur_pagein_us: u64,
+    switches: Vec<SwitchExplain>,
+    // -- anomaly state (BTreeMaps keep iteration deterministic) --
+    last_evict: BTreeMap<(u32, u32), EvictMark>,
+    staged: BTreeMap<(u32, u32), u64>,
+    wasted: BTreeMap<(u32, u32), (u64, u64)>,
+    last_fault_seq: BTreeMap<u32, u64>,
+    // -- job attribution --
+    jobs: Vec<JobStalls>,
+    pid_job: BTreeMap<u32, usize>,
+    // -- diagnostics --
+    false_refault: Diagnostic,
+    redundant: Diagnostic,
+    storm: Diagnostic,
+    /// Pages the background writer cleaned ahead of switches.
+    bg_cleaned_pages: u64,
+    events: u64,
+}
+
+impl Diagnostic {
+    fn new(kind: &'static str) -> Diagnostic {
+        Diagnostic {
+            kind,
+            count: 0,
+            us: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    fn hit(&mut self, us: u64, sample: String) {
+        self.count += 1;
+        self.us += us;
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(sample);
+        }
+    }
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer without job attribution (the `jobs` section stays
+    /// empty; switch and diagnostic analysis is unaffected).
+    pub fn new() -> Analyzer {
+        Analyzer {
+            seq: 0,
+            cur_reqs: Vec::new(),
+            cur_reqs_at: 0,
+            cur_pageout_us: 0,
+            cur_pagein_us: 0,
+            switches: Vec::new(),
+            last_evict: BTreeMap::new(),
+            staged: BTreeMap::new(),
+            wasted: BTreeMap::new(),
+            last_fault_seq: BTreeMap::new(),
+            jobs: Vec::new(),
+            pid_job: BTreeMap::new(),
+            false_refault: Diagnostic::new("false_eviction_refault"),
+            redundant: Diagnostic::new("redundant_page_in"),
+            storm: Diagnostic::new("dirty_flush_storm"),
+            bg_cleaned_pages: 0,
+            events: 0,
+        }
+    }
+
+    /// An analyzer that attributes stalls to jobs. `names` are the job
+    /// names in submission order; `pid_job` maps every pid to its index
+    /// in `names` (pids are assigned sequentially per job, so the map
+    /// is derivable from the cluster config — see
+    /// [`crate::explain_run`]).
+    pub fn with_jobs(names: Vec<String>, pid_job: BTreeMap<u32, usize>) -> Analyzer {
+        let mut a = Analyzer::new();
+        a.jobs = names
+            .into_iter()
+            .map(|name| JobStalls {
+                name,
+                ..JobStalls::default()
+            })
+            .collect();
+        a.pid_job = pid_job;
+        a
+    }
+
+    /// Explained switches, in switch order.
+    pub fn switches(&self) -> &[SwitchExplain] {
+        &self.switches
+    }
+
+    /// Per-job stall attribution (empty without [`Analyzer::with_jobs`]).
+    pub fn jobs(&self) -> &[JobStalls] {
+        &self.jobs
+    }
+
+    /// The three diagnostic classes, in stable order. Zero-count
+    /// diagnostics are included so reports are shape-stable.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        vec![
+            self.false_refault.clone(),
+            self.redundant.clone(),
+            self.storm.clone(),
+        ]
+    }
+
+    /// Pages the background writer cleaned (the bg-write savings side
+    /// of the ledger: dirty pages that did *not* have to drain at a
+    /// switch edge).
+    pub fn bg_cleaned_pages(&self) -> u64 {
+        self.bg_cleaned_pages
+    }
+
+    /// Events delivered to this analyzer.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn job_mut(&mut self, pid: u32) -> Option<&mut JobStalls> {
+        let j = *self.pid_job.get(&pid)?;
+        self.jobs.get_mut(j)
+    }
+
+    fn finish_switch(&mut self, switch: u64, at_us: u64, total_us: u64) {
+        let reqs: Vec<ReqInfo> = if self.cur_reqs_at == at_us {
+            std::mem::take(&mut self.cur_reqs)
+        } else {
+            Vec::new()
+        };
+        let pageout_us = self.cur_pageout_us;
+        let pagein_us = self.cur_pagein_us;
+        self.cur_reqs.clear();
+        self.cur_pageout_us = 0;
+        self.cur_pagein_us = 0;
+
+        let cp = SwitchDag::build(pageout_us, &reqs).critical_path();
+        let segments = cp.attributed(total_us);
+        let mut causes = CauseBuckets::new();
+        for s in &segments {
+            causes.add(s.cause, s.dur_us);
+        }
+        debug_assert_eq!(causes.total_us(), total_us);
+
+        let write_pages: u64 = reqs.iter().filter(|r| r.write).map(|r| r.pages).sum();
+        if write_pages >= STORM_THRESHOLD_PAGES {
+            let bursts = reqs.iter().filter(|r| r.write).count();
+            self.storm.hit(
+                pageout_us,
+                format!(
+                    "switch#{switch}: {write_pages} dirty pages flushed in {bursts} bursts \
+                     at {at_us}us (page-out phase {pageout_us}us)"
+                ),
+            );
+        }
+
+        self.switches.push(SwitchExplain {
+            switch,
+            at_us,
+            total_us,
+            pageout_us,
+            pagein_us,
+            causes,
+            segments,
+            critical: cp.terminal,
+        });
+    }
+}
+
+impl Observer for Analyzer {
+    fn on_event(&mut self, at: SimTime, src: u32, ev: &ObsEvent) {
+        self.seq += 1;
+        self.events += 1;
+        let seq = self.seq;
+        let at_us = at.as_us();
+        match *ev {
+            ObsEvent::DiskRequest {
+                write,
+                pages,
+                wait_us,
+                seek_us,
+                service_us,
+                ..
+            } => {
+                // Only the most recent instant's burst can belong to a
+                // switch (switch events follow their submissions at the
+                // same timestamp), so older requests are dropped here.
+                if self.cur_reqs_at != at_us {
+                    self.cur_reqs.clear();
+                    self.cur_reqs_at = at_us;
+                }
+                self.cur_reqs.push(ReqInfo {
+                    seq,
+                    src,
+                    at_us,
+                    write,
+                    pages,
+                    wait_us,
+                    seek_us,
+                    service_us,
+                });
+            }
+            ObsEvent::SwitchPhase { phase, dur_us, .. } => match phase {
+                SwitchPhaseKind::PageOut => self.cur_pageout_us = dur_us,
+                SwitchPhaseKind::PageIn => self.cur_pagein_us = dur_us,
+                SwitchPhaseKind::Stop | SwitchPhaseKind::Cont => {}
+            },
+            ObsEvent::SwitchDone { switch, total_us } => {
+                self.finish_switch(switch, at_us, total_us);
+            }
+            ObsEvent::Evict {
+                pid,
+                page,
+                false_eviction,
+                ..
+            } => {
+                self.last_evict.insert(
+                    (pid, page),
+                    EvictMark {
+                        seq,
+                        false_eviction,
+                    },
+                );
+                // A page staged by replay and evicted before its owner
+                // faulted even once since staging was paged in for
+                // nothing; remember it in case it gets re-read later.
+                if let Some(stage_seq) = self.staged.remove(&(pid, page)) {
+                    let faulted_since = self
+                        .last_fault_seq
+                        .get(&pid)
+                        .map(|&f| f > stage_seq)
+                        .unwrap_or(false);
+                    if !faulted_since {
+                        self.wasted.insert((pid, page), (stage_seq, seq));
+                    }
+                }
+            }
+            ObsEvent::ReplayPage { pid, page } => {
+                self.staged.insert((pid, page), seq);
+            }
+            ObsEvent::PageFault { pid, page, major } => {
+                self.last_fault_seq.insert(pid, seq);
+                if major {
+                    if let Some((stage_seq, evict_seq)) = self.wasted.remove(&(pid, page)) {
+                        self.redundant.hit(
+                            0,
+                            format!(
+                                "replay#{stage_seq} -> evict#{evict_seq} -> refault#{seq}: \
+                                 pid {pid} page {page} staged, thrown away unused, re-read"
+                            ),
+                        );
+                    }
+                }
+            }
+            ObsEvent::FaultService { pid, page, wait_us } => {
+                let false_ev = match self.last_evict.remove(&(pid, page)) {
+                    Some(mark) if mark.false_eviction => Some(mark.seq),
+                    _ => None,
+                };
+                if let Some(evict_seq) = false_ev {
+                    self.false_refault.hit(
+                        wait_us,
+                        format!(
+                            "evict#{evict_seq} -> fault#{seq}: pid {pid} page {page} \
+                             evicted from the running process, stalled {wait_us}us re-reading"
+                        ),
+                    );
+                }
+                if let Some(job) = self.job_mut(pid) {
+                    job.fault_stalls += 1;
+                    job.fault_stall_us += wait_us;
+                    if false_ev.is_some() {
+                        job.false_eviction_stalls += 1;
+                        job.false_eviction_stall_us += wait_us;
+                    }
+                }
+            }
+            ObsEvent::BarrierWait { skew_us, .. } => {
+                // Barrier links are tagged with the job index.
+                if let Some(job) = self.jobs.get_mut(src as usize) {
+                    job.barriers += 1;
+                    job.barrier_skew_us += skew_us;
+                }
+            }
+            ObsEvent::BgTick { pages, .. } => {
+                self.bg_cleaned_pages += pages;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causes::Cause;
+
+    fn feed(a: &mut Analyzer, at_us: u64, src: u32, ev: ObsEvent) {
+        a.on_event(SimTime::from_us(at_us), src, &ev);
+    }
+
+    fn switch_at(a: &mut Analyzer, at_us: u64, switch: u64, pageout: u64, pagein: u64) {
+        for (phase, dur) in [
+            (SwitchPhaseKind::Stop, 0),
+            (SwitchPhaseKind::PageOut, pageout),
+            (SwitchPhaseKind::PageIn, pagein),
+            (SwitchPhaseKind::Cont, 0),
+        ] {
+            feed(
+                a,
+                at_us,
+                u32::MAX,
+                ObsEvent::SwitchPhase {
+                    switch,
+                    phase,
+                    dur_us: dur,
+                },
+            );
+        }
+        feed(
+            a,
+            at_us,
+            u32::MAX,
+            ObsEvent::SwitchDone {
+                switch,
+                total_us: pageout + pagein,
+            },
+        );
+    }
+
+    #[test]
+    fn switch_buckets_sum_to_the_reported_total() {
+        let mut a = Analyzer::new();
+        feed(
+            &mut a,
+            5_000,
+            0,
+            ObsEvent::DiskRequest {
+                write: true,
+                extents: 1,
+                pages: 12,
+                wait_us: 0,
+                seek_us: 100,
+                service_us: 300,
+            },
+        );
+        feed(
+            &mut a,
+            5_000,
+            0,
+            ObsEvent::DiskRequest {
+                write: false,
+                extents: 2,
+                pages: 32,
+                wait_us: 300,
+                seek_us: 50,
+                service_us: 650,
+            },
+        );
+        switch_at(&mut a, 5_000, 1, 300, 650);
+        let sw = &a.switches()[0];
+        assert_eq!(sw.total_us, 950);
+        assert_eq!(sw.causes.total_us(), 950);
+        assert_eq!(sw.causes.get(Cause::InterleavedPageoutWait), 300);
+        assert_eq!(sw.causes.get(Cause::PageinTransfer), 600);
+        assert_eq!(sw.causes.get(Cause::Other), 0);
+        assert!(sw.critical.contains("read req#2"));
+    }
+
+    #[test]
+    fn stale_fault_requests_do_not_pollute_the_switch() {
+        let mut a = Analyzer::new();
+        // A fault-time read long before the switch instant.
+        feed(
+            &mut a,
+            1_000,
+            0,
+            ObsEvent::DiskRequest {
+                write: false,
+                extents: 1,
+                pages: 4,
+                wait_us: 0,
+                seek_us: 10,
+                service_us: 90,
+            },
+        );
+        switch_at(&mut a, 9_000, 1, 0, 0);
+        let sw = &a.switches()[0];
+        assert_eq!(sw.total_us, 0);
+        assert!(sw.segments.is_empty());
+        assert!(sw.critical.is_empty());
+    }
+
+    #[test]
+    fn unexplained_time_lands_in_other() {
+        let mut a = Analyzer::new();
+        switch_at(&mut a, 2_000, 3, 100, 400);
+        let sw = &a.switches()[0];
+        assert_eq!(sw.causes.get(Cause::Other), 500);
+        assert_eq!(sw.causes.total_us(), sw.total_us);
+    }
+
+    #[test]
+    fn false_eviction_refault_is_detected_with_provenance() {
+        let mut pid_job = BTreeMap::new();
+        pid_job.insert(7u32, 0usize);
+        let mut a = Analyzer::with_jobs(vec!["lu.0".into()], pid_job);
+        feed(
+            &mut a,
+            1_000,
+            0,
+            ObsEvent::Evict {
+                pid: 7,
+                page: 42,
+                false_eviction: true,
+                recorded: false,
+            },
+        );
+        feed(
+            &mut a,
+            2_000,
+            u32::MAX,
+            ObsEvent::FaultService {
+                pid: 7,
+                page: 42,
+                wait_us: 8_000,
+            },
+        );
+        let d = &a.diagnostics()[0];
+        assert_eq!(d.kind, "false_eviction_refault");
+        assert_eq!(d.count, 1);
+        assert_eq!(d.us, 8_000);
+        assert!(d.samples[0].contains("evict#1 -> fault#2"));
+        assert_eq!(a.jobs()[0].false_eviction_stalls, 1);
+        assert_eq!(a.jobs()[0].false_eviction_stall_us, 8_000);
+        // A second service of the same page without a new evict does
+        // not double-count.
+        feed(
+            &mut a,
+            3_000,
+            u32::MAX,
+            ObsEvent::FaultService {
+                pid: 7,
+                page: 42,
+                wait_us: 5_000,
+            },
+        );
+        assert_eq!(a.diagnostics()[0].count, 1);
+        assert_eq!(a.jobs()[0].fault_stalls, 2);
+    }
+
+    #[test]
+    fn redundant_page_in_needs_stage_evict_refault_without_use() {
+        let mut a = Analyzer::new();
+        feed(&mut a, 1_000, 0, ObsEvent::ReplayPage { pid: 3, page: 9 });
+        feed(
+            &mut a,
+            2_000,
+            0,
+            ObsEvent::Evict {
+                pid: 3,
+                page: 9,
+                false_eviction: false,
+                recorded: true,
+            },
+        );
+        feed(
+            &mut a,
+            3_000,
+            0,
+            ObsEvent::PageFault {
+                pid: 3,
+                page: 9,
+                major: true,
+            },
+        );
+        let d = &a.diagnostics()[1];
+        assert_eq!(d.kind, "redundant_page_in");
+        assert_eq!(d.count, 1);
+        assert!(d.samples[0].contains("replay#1 -> evict#2 -> refault#3"));
+
+        // If the owner faulted between stage and evict, it ran — the
+        // staging was not wasted.
+        let mut b = Analyzer::new();
+        feed(&mut b, 1_000, 0, ObsEvent::ReplayPage { pid: 3, page: 9 });
+        feed(
+            &mut b,
+            1_500,
+            0,
+            ObsEvent::PageFault {
+                pid: 3,
+                page: 11,
+                major: false,
+            },
+        );
+        feed(
+            &mut b,
+            2_000,
+            0,
+            ObsEvent::Evict {
+                pid: 3,
+                page: 9,
+                false_eviction: false,
+                recorded: true,
+            },
+        );
+        feed(
+            &mut b,
+            3_000,
+            0,
+            ObsEvent::PageFault {
+                pid: 3,
+                page: 9,
+                major: true,
+            },
+        );
+        assert_eq!(b.diagnostics()[1].count, 0);
+    }
+
+    #[test]
+    fn dirty_flush_storm_trips_at_the_threshold() {
+        let mut a = Analyzer::new();
+        feed(
+            &mut a,
+            4_000,
+            0,
+            ObsEvent::DiskRequest {
+                write: true,
+                extents: 4,
+                pages: STORM_THRESHOLD_PAGES,
+                wait_us: 0,
+                seek_us: 500,
+                service_us: 9_500,
+            },
+        );
+        switch_at(&mut a, 4_000, 2, 9_500, 0);
+        let d = &a.diagnostics()[2];
+        assert_eq!(d.kind, "dirty_flush_storm");
+        assert_eq!(d.count, 1);
+        assert_eq!(d.us, 9_500);
+        assert!(d.samples[0].contains("switch#2"));
+    }
+
+    #[test]
+    fn barrier_skew_lands_on_the_src_job() {
+        let mut a = Analyzer::with_jobs(vec!["a".into(), "b".into()], BTreeMap::new());
+        feed(
+            &mut a,
+            1_000,
+            1,
+            ObsEvent::BarrierWait {
+                ranks: 4,
+                skew_us: 250,
+                lag_us: 10,
+            },
+        );
+        assert_eq!(a.jobs()[1].barriers, 1);
+        assert_eq!(a.jobs()[1].barrier_skew_us, 250);
+        assert_eq!(a.jobs()[0].barriers, 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! The per-switch causal event DAG and its critical path.
+//!
+//! Every gang switch submits its selective/aggressive page-out writes and
+//! its adaptive page-in replay reads to the per-node disk FIFOs in the
+//! same simulated instant; the switch completes when the last of those
+//! requests drains (§3.2). This module rebuilds that structure from the
+//! observed [`agp_obs::ObsEvent::DiskRequest`] records as an explicit
+//! DAG — one chain of `queue-wait → seek → transfer` edges per request,
+//! joined through a page-out barrier node into the switch-complete node —
+//! and extracts the longest (critical) path.
+//!
+//! The path is then *attributed*: clamped or padded against the switch
+//! latency the simulator actually reported, walking backwards from the
+//! completion edge so the terminal transfer stays intact and any
+//! unexplained remainder lands in [`Cause::Other`]. The resulting
+//! segments always sum to the reported latency exactly — the invariant
+//! the explain golden test pins against `agp profile`.
+
+use crate::causes::Cause;
+
+/// One disk request observed at a switch instant, as fed to the DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReqInfo {
+    /// Analyzer-local sequence number of the `DiskRequest` event.
+    pub seq: u64,
+    /// Emitting node index.
+    pub src: u32,
+    /// Submission instant, µs.
+    pub at_us: u64,
+    /// Write (page-out) vs read (page-in replay).
+    pub write: bool,
+    /// Pages moved.
+    pub pages: u64,
+    /// FIFO queue wait ahead of service, µs.
+    pub wait_us: u64,
+    /// Seek portion of the service time, µs.
+    pub seek_us: u64,
+    /// Total service time (seek + transfer), µs.
+    pub service_us: u64,
+}
+
+/// One critical-path slice: `dur_us` microseconds attributed to `cause`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Why this slice of the switch took time.
+    pub cause: Cause,
+    /// Slice length, µs.
+    pub dur_us: u64,
+}
+
+struct Edge {
+    from: usize,
+    to: usize,
+    dur_us: u64,
+    cause: Cause,
+    /// Set on the transfer edge of a request chain: identifies the
+    /// request for provenance.
+    detail: Option<String>,
+}
+
+/// The causal DAG for one gang switch.
+pub struct SwitchDag {
+    /// Node labels; index is the node id. Construction order is a
+    /// topological order (every edge points from a lower id to a
+    /// higher one).
+    labels: Vec<&'static str>,
+    edges: Vec<Edge>,
+    end: usize,
+}
+
+/// The longest start→end path through a [`SwitchDag`].
+pub struct CriticalPath {
+    /// Path slices in temporal order (zero-length join edges dropped).
+    pub segments: Vec<Segment>,
+    /// Provenance of the terminal request on the path, e.g.
+    /// `"read req#1042 (node 0, 32 pages)"`; empty when the DAG holds
+    /// no requests.
+    pub terminal: String,
+}
+
+impl SwitchDag {
+    /// Build the DAG for one switch from its observed requests.
+    ///
+    /// `pageout_us` is the reported page-out phase length; it splits
+    /// each read's queue wait into the interleaved-page-out portion and
+    /// the residual page-in queue wait.
+    pub fn build(pageout_us: u64, reqs: &[ReqInfo]) -> SwitchDag {
+        let mut dag = SwitchDag {
+            labels: vec!["start"],
+            edges: Vec::new(),
+            end: 0,
+        };
+        let mut write_done = Vec::new();
+        let mut read_done = Vec::new();
+        for r in reqs {
+            let detail = format!(
+                "{} req#{} (node {}, {} pages)",
+                if r.write { "write" } else { "read" },
+                r.seq,
+                r.src,
+                r.pages
+            );
+            let mut at = 0usize; // chain cursor, starting at `start`
+            if r.write {
+                at = dag.chain(at, r.wait_us, Cause::PageoutQueueWait, "w-queued");
+                at = dag.chain(at, r.seek_us, Cause::PageoutSeek, "w-positioned");
+                let xfer = r.service_us.saturating_sub(r.seek_us);
+                at = dag.chain_detail(at, xfer, Cause::PageoutTransfer, "w-done", detail);
+                write_done.push(at);
+            } else {
+                let interleaved = r.wait_us.min(pageout_us);
+                at = dag.chain(at, interleaved, Cause::InterleavedPageoutWait, "r-blocked");
+                at = dag.chain(
+                    at,
+                    r.wait_us - interleaved,
+                    Cause::PageinQueueWait,
+                    "r-queued",
+                );
+                at = dag.chain(at, r.seek_us, Cause::PageinSeek, "r-positioned");
+                let xfer = r.service_us.saturating_sub(r.seek_us);
+                at = dag.chain_detail(at, xfer, Cause::PageinTransfer, "r-done", detail);
+                read_done.push(at);
+            }
+        }
+        // Join: writes meet at the page-out barrier, which (with every
+        // read) feeds the switch-complete node — in_end = max(out_end,
+        // read completions), exactly the simulator's rule.
+        let out_join = dag.node("page-out drained");
+        dag.join(0, out_join); // out_end >= now even with no writes
+        for w in write_done {
+            dag.join(w, out_join);
+        }
+        let end = dag.node("switch complete");
+        dag.join(out_join, end);
+        for r in read_done {
+            dag.join(r, end);
+        }
+        dag.end = end;
+        dag
+    }
+
+    fn node(&mut self, label: &'static str) -> usize {
+        self.labels.push(label);
+        self.labels.len() - 1
+    }
+
+    fn chain(&mut self, from: usize, dur_us: u64, cause: Cause, label: &'static str) -> usize {
+        let to = self.node(label);
+        self.edges.push(Edge {
+            from,
+            to,
+            dur_us,
+            cause,
+            detail: None,
+        });
+        to
+    }
+
+    fn chain_detail(
+        &mut self,
+        from: usize,
+        dur_us: u64,
+        cause: Cause,
+        label: &'static str,
+        detail: String,
+    ) -> usize {
+        let to = self.chain(from, dur_us, cause, label);
+        if let Some(e) = self.edges.last_mut() {
+            e.detail = Some(detail);
+        }
+        to
+    }
+
+    fn join(&mut self, from: usize, to: usize) {
+        self.edges.push(Edge {
+            from,
+            to,
+            dur_us: 0,
+            cause: Cause::Other,
+            detail: None,
+        });
+    }
+
+    /// Number of nodes (for diagnostics and tests).
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Longest path from `start` to `switch complete`.
+    ///
+    /// Nodes were created in topological order, so a single forward
+    /// relaxation pass suffices. Ties pick the earliest-built edge,
+    /// keeping the result deterministic.
+    pub fn critical_path(&self) -> CriticalPath {
+        let n = self.labels.len();
+        let mut dist: Vec<Option<u64>> = vec![None; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        dist[0] = Some(0);
+        let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            in_edges[e.to].push(i);
+        }
+        for node in 1..n {
+            for &ei in &in_edges[node] {
+                let e = &self.edges[ei];
+                if let Some(d) = dist[e.from] {
+                    let cand = d + e.dur_us;
+                    if dist[node].map(|cur| cand > cur).unwrap_or(true) {
+                        dist[node] = Some(cand);
+                        pred[node] = Some(ei);
+                    }
+                }
+            }
+        }
+        let mut segments = Vec::new();
+        let mut terminal = String::new();
+        let mut at = self.end;
+        while let Some(ei) = pred[at] {
+            let e = &self.edges[ei];
+            if e.dur_us > 0 {
+                segments.push(Segment {
+                    cause: e.cause,
+                    dur_us: e.dur_us,
+                });
+            }
+            if terminal.is_empty() {
+                if let Some(d) = &e.detail {
+                    terminal = d.clone();
+                }
+            }
+            at = e.from;
+        }
+        segments.reverse();
+        CriticalPath { segments, terminal }
+    }
+}
+
+impl CriticalPath {
+    /// Reconcile the path against the switch latency the simulator
+    /// reported, producing segments that sum to `total_us` *exactly*.
+    ///
+    /// Walking backwards from the completion edge, each segment keeps
+    /// `min(remaining, len)` — so if stray same-instant requests made
+    /// the path longer than the switch, the earliest (wait) slices are
+    /// trimmed, and the terminal transfer survives. Any shortfall the
+    /// requests cannot explain is prepended as [`Cause::Other`].
+    pub fn attributed(&self, total_us: u64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let mut remaining = total_us;
+        for s in self.segments.iter().rev() {
+            if remaining == 0 {
+                break;
+            }
+            let take = s.dur_us.min(remaining);
+            out.push(Segment {
+                cause: s.cause,
+                dur_us: take,
+            });
+            remaining -= take;
+        }
+        if remaining > 0 {
+            out.push(Segment {
+                cause: Cause::Other,
+                dur_us: remaining,
+            });
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(seq: u64, wait: u64, seek: u64, service: u64) -> ReqInfo {
+        ReqInfo {
+            seq,
+            src: 0,
+            at_us: 1_000,
+            write: false,
+            pages: 16,
+            wait_us: wait,
+            seek_us: seek,
+            service_us: service,
+        }
+    }
+
+    fn write(seq: u64, wait: u64, seek: u64, service: u64) -> ReqInfo {
+        ReqInfo {
+            write: true,
+            ..read(seq, wait, seek, service)
+        }
+    }
+
+    #[test]
+    fn empty_dag_has_zero_critical_path() {
+        let cp = SwitchDag::build(0, &[]).critical_path();
+        assert!(cp.segments.is_empty());
+        assert!(cp.terminal.is_empty());
+        assert_eq!(cp.attributed(0), Vec::new());
+    }
+
+    #[test]
+    fn read_terminal_path_splits_wait_at_the_pageout_boundary() {
+        // One write draining 300us, one read queued 300us behind it
+        // then 200us more, seek 50, transfer 450.
+        let reqs = [write(1, 0, 100, 300), read(2, 500, 50, 500)];
+        let cp = SwitchDag::build(300, &reqs).critical_path();
+        assert_eq!(cp.terminal, "read req#2 (node 0, 16 pages)");
+        let total = 1_000; // 500 wait + 500 service
+        let segs = cp.attributed(total);
+        let sum: u64 = segs.iter().map(|s| s.dur_us).sum();
+        assert_eq!(sum, total);
+        assert_eq!(
+            segs.iter().map(|s| s.cause).collect::<Vec<_>>(),
+            vec![
+                Cause::InterleavedPageoutWait,
+                Cause::PageinQueueWait,
+                Cause::PageinSeek,
+                Cause::PageinTransfer,
+            ]
+        );
+        assert_eq!(segs[0].dur_us, 300);
+        assert_eq!(segs[1].dur_us, 200);
+        assert_eq!(segs[3].dur_us, 450);
+    }
+
+    #[test]
+    fn write_terminal_path_uses_pageout_causes() {
+        let reqs = [write(1, 120, 80, 400)];
+        let cp = SwitchDag::build(520, &reqs).critical_path();
+        let segs = cp.attributed(520);
+        assert_eq!(
+            segs.iter().map(|s| (s.cause, s.dur_us)).collect::<Vec<_>>(),
+            vec![
+                (Cause::PageoutQueueWait, 120),
+                (Cause::PageoutSeek, 80),
+                (Cause::PageoutTransfer, 320),
+            ]
+        );
+    }
+
+    #[test]
+    fn shortfall_pads_other_and_excess_trims_waits() {
+        let reqs = [read(1, 100, 10, 90)];
+        // Simulator reports more than the requests explain.
+        let padded = SwitchDag::build(0, &reqs).critical_path().attributed(250);
+        assert_eq!(padded[0].cause, Cause::Other);
+        assert_eq!(padded[0].dur_us, 60);
+        assert_eq!(padded.iter().map(|s| s.dur_us).sum::<u64>(), 250);
+        // Simulator reports less: the wait is trimmed, transfer intact.
+        let trimmed = SwitchDag::build(0, &reqs).critical_path().attributed(120);
+        assert_eq!(trimmed.iter().map(|s| s.dur_us).sum::<u64>(), 120);
+        assert_eq!(trimmed.last().map(|s| s.cause), Some(Cause::PageinTransfer));
+        assert_eq!(trimmed.last().map(|s| s.dur_us), Some(80));
+    }
+
+    #[test]
+    fn longest_chain_wins_among_parallel_requests() {
+        let reqs = [
+            read(1, 0, 10, 200),
+            read(2, 50, 20, 400), // 450 total — the critical one
+            write(3, 0, 30, 100),
+        ];
+        let cp = SwitchDag::build(100, &reqs).critical_path();
+        assert_eq!(cp.terminal, "read req#2 (node 0, 16 pages)");
+        assert_eq!(cp.segments.iter().map(|s| s.dur_us).sum::<u64>(), 450);
+    }
+}

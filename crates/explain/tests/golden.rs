@@ -1,0 +1,128 @@
+//! End-to-end golden and acceptance tests for `agp explain`.
+//!
+//! The golden pins the exact bytes of the quick-scale fig9 explain JSON.
+//! To re-bless after an intentional schema or attribution change:
+//!
+//! ```text
+//! AGP_BLESS=1 cargo test -p agp-explain --test golden
+//! ```
+
+use agp_cluster::{run_observed, ClusterConfig};
+use agp_core::PolicyConfig;
+use agp_experiments::{explain_pair, Scale};
+use agp_explain::{explain_run, Analyzer, ExplainDiff};
+use agp_obs::{shared, Collector, ObsLink};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/goldens/explain.quick.json"
+);
+
+/// The quick fig9 scenario under the full policy — the one combination
+/// whose switches actually move pages (`ao` writes at the quantum edge,
+/// `ai` replays the recorded set), so the cause buckets are non-trivial.
+fn full_policy_cfg() -> ClusterConfig {
+    let (mut cfg, _) = explain_pair(Scale::Quick);
+    cfg.policy = PolicyConfig::full();
+    cfg
+}
+
+#[test]
+fn quick_fig9_explain_matches_the_committed_golden() {
+    let (_, report) = explain_run(&full_policy_cfg(), "fig9", "quick").expect("explain run");
+    assert!(
+        report.causes.total_us() > 0,
+        "the golden must capture real switch-time paging, not an all-zero run"
+    );
+    let got = report.to_json_string();
+    if std::env::var_os("AGP_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = include_str!("goldens/explain.quick.json");
+    assert_eq!(
+        got, want,
+        "explain JSON drifted from tests/goldens/explain.quick.json; \
+         re-bless with AGP_BLESS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn per_switch_cause_buckets_sum_to_the_collector_switch_latency() {
+    // Fan the same observed run into both the aggregate Collector and the
+    // causal Analyzer: every switch the Collector times must be explained
+    // by the Analyzer down to the exact microsecond.
+    let collector = shared(Collector::new());
+    let analyzer = shared(Analyzer::new());
+    let link = ObsLink::fanout(vec![collector.clone(), analyzer.clone()]);
+    run_observed(full_policy_cfg(), &link).expect("observed run");
+    drop(link);
+    let collector = collector.lock().expect("collector sink").clone();
+    let switches = analyzer.lock().expect("analyzer sink").switches().to_vec();
+
+    let records = collector.switch_records();
+    assert_eq!(records.len(), switches.len(), "both sinks saw every switch");
+    assert!(!switches.is_empty(), "the quick scenario must gang-switch");
+    assert!(
+        records.iter().any(|r| r.total_us > 0),
+        "the equality must be exercised on real switch latency, not all zeros"
+    );
+    for (rec, exp) in records.iter().zip(&switches) {
+        assert_eq!(rec.switch, exp.switch);
+        assert_eq!(rec.total_us, exp.total_us, "switch #{}", rec.switch);
+        assert_eq!(
+            exp.causes.total_us(),
+            rec.total_us,
+            "cause buckets of switch #{} must sum to its profiled latency",
+            rec.switch
+        );
+    }
+}
+
+#[test]
+fn differential_attributes_the_so_delta_to_false_evictions_with_provenance() {
+    // The acceptance criterion: on a same-seed so-on/so-off pair the
+    // differential report attributes a non-zero delta to the
+    // false-eviction bucket, with named event provenance from the base
+    // (orig) run.
+    let (test_cfg, base_cfg) = explain_pair(Scale::Quick);
+    assert_eq!(test_cfg.seed, base_cfg.seed, "pair must share the seed");
+    let (_, test) = explain_run(&test_cfg, "fig9", "quick").expect("so run");
+    let (_, base) = explain_run(&base_cfg, "fig9", "quick").expect("orig run");
+    let diff = ExplainDiff::new(test, base);
+
+    let counts = diff.false_eviction_counts();
+    assert!(
+        counts.base > 0,
+        "the orig policy must actually commit false evictions at quick scale"
+    );
+    assert_ne!(
+        counts.delta(),
+        0,
+        "selective page-out must change the false-eviction count"
+    );
+    let samples = diff.base_false_eviction_samples();
+    assert!(
+        !samples.is_empty(),
+        "the delta must carry named event provenance"
+    );
+    for s in samples {
+        assert!(
+            s.contains("evict#") && s.contains("fault#"),
+            "provenance names both the eviction and the refault: {s}"
+        );
+    }
+}
+
+#[test]
+fn diff_json_is_deterministic() {
+    let build = || {
+        let (test_cfg, base_cfg) = explain_pair(Scale::Quick);
+        let (_, test) = explain_run(&test_cfg, "fig9", "quick").expect("so run");
+        let (_, base) = explain_run(&base_cfg, "fig9", "quick").expect("orig run");
+        ExplainDiff::new(test, base).to_json_string()
+    };
+    let a = build();
+    assert_eq!(a, build(), "same seeds must render byte-identical diffs");
+    assert!(a.ends_with('\n'));
+}

@@ -165,6 +165,9 @@ impl Observer for Collector {
             ObsEvent::AggressiveOut { pages, .. } => {
                 self.counters.aggressive_pages += pages;
             }
+            // Per-page detail; the Replay summary below carries the
+            // aggregates this collector counts.
+            ObsEvent::ReplayPage { .. } => {}
             ObsEvent::Replay { pages, skipped, .. } => {
                 self.counters.replayed_pages += pages;
                 self.counters.replay_skipped += skipped;
@@ -278,6 +281,7 @@ mod tests {
                     extents: 1,
                     pages: 8,
                     wait_us: 5,
+                    seek_us: 20,
                     service_us: 100,
                 },
                 ObsEvent::DiskRequest {
@@ -285,6 +289,7 @@ mod tests {
                     extents: 1,
                     pages: 4,
                     wait_us: 0,
+                    seek_us: 0,
                     service_us: 50,
                 },
                 ObsEvent::BarrierWait {
@@ -379,5 +384,91 @@ mod tests {
         }
         assert_eq!(c.switch_records().len(), 3);
         assert_eq!(c.switch_records()[2].page_out_us, 2);
+    }
+
+    #[test]
+    fn zero_length_quantum_switch_is_recorded_as_all_zero() {
+        // A zero-length quantum produces a switch whose four phases and
+        // total are all zero; it must still get a record and count.
+        let mut c = Collector::new();
+        let at = SimTime::from_us(77);
+        for phase in [
+            SwitchPhaseKind::Stop,
+            SwitchPhaseKind::PageOut,
+            SwitchPhaseKind::PageIn,
+            SwitchPhaseKind::Cont,
+        ] {
+            c.on_event(
+                at,
+                u32::MAX,
+                &ObsEvent::SwitchPhase {
+                    switch: 0,
+                    phase,
+                    dur_us: 0,
+                },
+            );
+        }
+        c.on_event(
+            at,
+            u32::MAX,
+            &ObsEvent::SwitchDone {
+                switch: 0,
+                total_us: 0,
+            },
+        );
+        let recs = c.switch_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].total_us, 0);
+        assert_eq!(recs[0].phase_sum_us(), 0);
+        assert_eq!(recs[0].at_us, 77);
+        assert_eq!(c.counters.switches, 1);
+        assert_eq!(c.switch_total.count(), 1);
+        // The zero total lands in the histogram's zero bucket, not lost.
+        assert_eq!(c.switch_total.percentile_us(100.0), 0);
+    }
+
+    #[test]
+    fn switch_without_page_traffic_leaves_disk_counters_untouched() {
+        let mut c = Collector::new();
+        let at = SimTime::from_secs(3);
+        c.on_event(
+            at,
+            u32::MAX,
+            &ObsEvent::SwitchPhase {
+                switch: 2,
+                phase: SwitchPhaseKind::PageOut,
+                dur_us: 0,
+            },
+        );
+        c.on_event(
+            at,
+            u32::MAX,
+            &ObsEvent::SwitchDone {
+                switch: 2,
+                total_us: 0,
+            },
+        );
+        assert_eq!(c.counters.disk_reads, 0);
+        assert_eq!(c.counters.disk_writes, 0);
+        assert_eq!(c.counters.disk_pages_read, 0);
+        assert_eq!(c.counters.disk_pages_written, 0);
+        assert_eq!(c.disk_wait.count(), 0);
+        assert_eq!(c.disk_service.count(), 0);
+        assert_eq!(c.switch_records().len(), 1);
+        assert_eq!(c.counters.events, 2);
+    }
+
+    #[test]
+    fn empty_stream_yields_a_default_collector() {
+        // A collector that never saw an event (e.g. merging an empty
+        // trace) reads back as all-default and answers percentile
+        // queries with zero rather than panicking.
+        let c = Collector::new();
+        assert_eq!(c.counters, ObsCounters::default());
+        assert!(c.switch_records().is_empty());
+        assert_eq!(c.switch_total.count(), 0);
+        assert_eq!(c.fault_service.percentile_us(99.0), 0);
+        assert_eq!(c.disk_wait.percentile_us(50.0), 0);
+        assert_eq!(c.barrier_skew.max_us(), 0);
     }
 }

@@ -112,6 +112,15 @@ pub enum ObsEvent {
         /// Pages evicted to cover the incoming working-set estimate.
         pages: u64,
     },
+    /// Adaptive page-in staged one recorded page back into memory
+    /// (per-page view of [`ObsEvent::Replay`]; the redundant-page-in
+    /// detector joins these to later evict/fault events).
+    ReplayPage {
+        /// The incoming process.
+        pid: u32,
+        /// The staged page.
+        page: u32,
+    },
     /// Adaptive page-in replayed a recorded working set.
     Replay {
         /// The incoming process.
@@ -138,7 +147,10 @@ pub enum ObsEvent {
         pages: u64,
         /// Queue wait before service started, µs.
         wait_us: u64,
-        /// Device service time, µs.
+        /// Head positioning (seek + rotation) share of the service time,
+        /// µs — lets consumers split service into seek vs transfer.
+        seek_us: u64,
+        /// Device service time, µs (positioning + transfer + overhead).
         service_us: u64,
     },
     /// A faulting process blocked on disk I/O; emitted at the fault
@@ -146,6 +158,9 @@ pub enum ObsEvent {
     FaultService {
         /// The blocked process.
         pid: u32,
+        /// The faulted page — joins the stall to the `Evict` that pushed
+        /// the page out (false-eviction provenance).
+        page: u32,
         /// Stall until the fault I/O completed, µs.
         wait_us: u64,
     },
@@ -218,6 +233,7 @@ impl ObsEvent {
             ObsEvent::Evict { .. } => "evict",
             ObsEvent::Reclaim { .. } => "reclaim",
             ObsEvent::AggressiveOut { .. } => "aggressive_out",
+            ObsEvent::ReplayPage { .. } => "replay_page",
             ObsEvent::Replay { .. } => "replay",
             ObsEvent::BgTick { .. } => "bg_tick",
             ObsEvent::DiskRequest { .. } => "disk_request",
@@ -295,6 +311,9 @@ impl ObsEvent {
             ObsEvent::AggressiveOut { pid, pages } => {
                 let _ = write!(s, ",\"pid\":{pid},\"pages\":{pages}");
             }
+            ObsEvent::ReplayPage { pid, page } => {
+                let _ = write!(s, ",\"pid\":{pid},\"page\":{page}");
+            }
             ObsEvent::Replay {
                 pid,
                 pages,
@@ -310,15 +329,16 @@ impl ObsEvent {
                 extents,
                 pages,
                 wait_us,
+                seek_us,
                 service_us,
             } => {
                 let _ = write!(
                     s,
-                    ",\"write\":{write},\"extents\":{extents},\"pages\":{pages},\"wait_us\":{wait_us},\"service_us\":{service_us}"
+                    ",\"write\":{write},\"extents\":{extents},\"pages\":{pages},\"wait_us\":{wait_us},\"seek_us\":{seek_us},\"service_us\":{service_us}"
                 );
             }
-            ObsEvent::FaultService { pid, wait_us } => {
-                let _ = write!(s, ",\"pid\":{pid},\"wait_us\":{wait_us}");
+            ObsEvent::FaultService { pid, page, wait_us } => {
+                let _ = write!(s, ",\"pid\":{pid},\"page\":{page},\"wait_us\":{wait_us}");
             }
             ObsEvent::BarrierWait {
                 ranks,
@@ -383,11 +403,12 @@ mod tests {
             extents: 2,
             pages: 64,
             wait_us: 0,
+            seek_us: 8_100,
             service_us: 12_500,
         };
         assert_eq!(
             ev.to_json_line(SimTime::from_ms(3), 1),
-            "{\"t\":3000,\"src\":1,\"ev\":\"disk_request\",\"write\":true,\"extents\":2,\"pages\":64,\"wait_us\":0,\"service_us\":12500}"
+            "{\"t\":3000,\"src\":1,\"ev\":\"disk_request\",\"write\":true,\"extents\":2,\"pages\":64,\"wait_us\":0,\"seek_us\":8100,\"service_us\":12500}"
         );
         let ph = ObsEvent::SwitchPhase {
             switch: 4,
@@ -457,6 +478,7 @@ mod tests {
                 write_pages: 0,
             },
             ObsEvent::AggressiveOut { pid: 0, pages: 0 },
+            ObsEvent::ReplayPage { pid: 0, page: 0 },
             ObsEvent::Replay {
                 pid: 0,
                 pages: 0,
@@ -468,9 +490,14 @@ mod tests {
                 extents: 0,
                 pages: 0,
                 wait_us: 0,
+                seek_us: 0,
                 service_us: 0,
             },
-            ObsEvent::FaultService { pid: 0, wait_us: 0 },
+            ObsEvent::FaultService {
+                pid: 0,
+                page: 0,
+                wait_us: 0,
+            },
             ObsEvent::BarrierWait {
                 ranks: 2,
                 skew_us: 0,

@@ -53,4 +53,6 @@ pub use collector::{Collector, ObsCounters, SwitchRecord};
 pub use event::{ObsEvent, SwitchPhaseKind, SRC_CLUSTER};
 pub use hist::LatencyHistogram;
 pub use observer::{shared, ObsLink, Observer, SharedSink};
-pub use sink::{trace_diff, JsonlWriter, RingBuffer, TraceDivergence, TracedEvent};
+pub use sink::{
+    trace_diff, JsonlWriter, RingBuffer, TraceDivergence, TracedEvent, DIFF_CONTEXT_LINES,
+};

@@ -136,7 +136,11 @@ impl<W: Write> Observer for JsonlWriter<W> {
     }
 }
 
-/// The first point where two JSONL traces differ.
+/// Shared lines shown on each side of a divergence.
+pub const DIFF_CONTEXT_LINES: usize = 3;
+
+/// The first point where two JSONL traces differ, with up to
+/// [`DIFF_CONTEXT_LINES`] lines of context on each side.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceDivergence {
     /// 1-indexed line number of the first difference.
@@ -145,39 +149,74 @@ pub struct TraceDivergence {
     pub left: Option<String>,
     /// That line in the right trace (`None` if it ended first).
     pub right: Option<String>,
+    /// Up to [`DIFF_CONTEXT_LINES`] shared lines immediately before the
+    /// divergence, in file order.
+    pub before: Vec<String>,
+    /// Up to [`DIFF_CONTEXT_LINES`] lines following the divergence in
+    /// the left trace.
+    pub left_after: Vec<String>,
+    /// Up to [`DIFF_CONTEXT_LINES`] lines following the divergence in
+    /// the right trace.
+    pub right_after: Vec<String>,
 }
 
 impl fmt::Display for TraceDivergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "traces diverge at line {}:", self.line)?;
+        let first_ctx = self.line as usize - self.before.len();
+        for (i, l) in self.before.iter().enumerate() {
+            writeln!(f, "  {:>6} | {l}", first_ctx + i)?;
+        }
         match &self.left {
             Some(l) => writeln!(f, "  left:  {l}")?,
             None => writeln!(f, "  left:  <end of trace>")?,
         }
         match &self.right {
-            Some(r) => write!(f, "  right: {r}"),
-            None => write!(f, "  right: <end of trace>"),
+            Some(r) => writeln!(f, "  right: {r}")?,
+            None => writeln!(f, "  right: <end of trace>")?,
         }
+        for (i, l) in self.left_after.iter().enumerate() {
+            writeln!(f, "  left  +{} | {l}", i + 1)?;
+        }
+        for (i, l) in self.right_after.iter().enumerate() {
+            writeln!(f, "  right +{} | {l}", i + 1)?;
+        }
+        Ok(())
     }
 }
 
 /// Compare two JSONL traces line by line and report the first divergent
-/// line, or `None` when the traces are identical.
+/// line (with surrounding context), or `None` when the traces are
+/// identical.
 pub fn trace_diff(left: &str, right: &str) -> Option<TraceDivergence> {
     let mut l = left.lines();
     let mut r = right.lines();
+    let mut before: VecDeque<String> = VecDeque::with_capacity(DIFF_CONTEXT_LINES + 1);
     let mut line = 0u64;
     loop {
         line += 1;
         match (l.next(), r.next()) {
             (None, None) => return None,
-            (a, b) if a == b => {}
+            (a, b) if a == b => {
+                if before.len() == DIFF_CONTEXT_LINES {
+                    before.pop_front();
+                }
+                if let Some(shared) = a {
+                    before.push_back(shared.to_string());
+                }
+            }
             (a, b) => {
+                let tail = |it: std::str::Lines<'_>| {
+                    it.take(DIFF_CONTEXT_LINES).map(str::to_string).collect()
+                };
                 return Some(TraceDivergence {
                     line,
                     left: a.map(str::to_string),
                     right: b.map(str::to_string),
-                })
+                    before: before.into_iter().collect(),
+                    left_after: tail(l),
+                    right_after: tail(r),
+                });
             }
         }
     }
@@ -300,5 +339,33 @@ mod tests {
     fn identical_traces_have_no_diff() {
         assert_eq!(trace_diff("a\nb\n", "a\nb\n"), None);
         assert_eq!(trace_diff("", ""), None);
+    }
+
+    #[test]
+    fn trace_diff_carries_three_lines_of_context() {
+        let a = "1\n2\n3\n4\n5\n6\n7\n8\n";
+        let b = "1\n2\n3\n4\nX\n6\n7\n9\n";
+        let d = trace_diff(a, b).expect("must diverge");
+        assert_eq!(d.line, 5);
+        assert_eq!(d.before, vec!["2", "3", "4"]);
+        assert_eq!(d.left_after, vec!["6", "7", "8"]);
+        assert_eq!(d.right_after, vec!["6", "7", "9"]);
+        let shown = d.to_string();
+        assert!(shown.contains("| 4"), "context lines rendered: {shown}");
+        assert!(shown.contains("left  +1 | 6"));
+        assert!(shown.contains("right +3 | 9"));
+    }
+
+    #[test]
+    fn trace_diff_context_is_short_near_the_edges() {
+        let d = trace_diff("a\nz\n", "b\nz\n").expect("first line differs");
+        assert_eq!(d.line, 1);
+        assert!(d.before.is_empty());
+        assert_eq!(d.left_after, vec!["z"]);
+        // Length mismatch: the ended side has no after-context.
+        let d = trace_diff("x\ny\n", "x\n").expect("length mismatch");
+        assert_eq!(d.before, vec!["x"]);
+        assert!(d.left_after.is_empty());
+        assert!(d.right_after.is_empty());
     }
 }

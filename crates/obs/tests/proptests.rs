@@ -1,0 +1,142 @@
+//! Property tests for `LatencyHistogram::percentile_us` at bucket
+//! boundaries.
+//!
+//! The histogram stores log2 buckets (bucket 0 holds zeros, bucket `i`
+//! covers `[2^(i-1), 2^i)`), so a percentile estimate cannot be exact —
+//! its documented contract is *bucket accuracy*: the estimate lands in
+//! the same bucket as the exact sample at the ceiling of the percentile
+//! rank. These properties pin that contract adversarially across power-
+//! of-two boundary values (a strict value-ratio band is provably
+//! unattainable: with samples `[1, 1_000_000]`, p=1 must answer from the
+//! top bucket while the exact interpolated value is near the bottom).
+
+use agp_obs::LatencyHistogram;
+use proptest::prelude::*;
+
+/// The bucket index `LatencyHistogram` files `v` under.
+fn bucket_of(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros()
+    }
+}
+
+/// Values biased hard toward bucket edges: exact powers of two, one
+/// below, one above, zero, and `u64::MAX`.
+fn boundary_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        (0u32..63).prop_map(|k| 1u64 << k),
+        (1u32..64).prop_map(|k| (1u64 << k) - 1),
+        (0u32..62).prop_map(|k| (1u64 << k) + 1),
+        any::<u64>(),
+    ]
+}
+
+fn build(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// The estimate's bucket equals the bucket of the exact sample at
+    /// `ceil(rank)` — the histogram never answers from the wrong bucket,
+    /// even when the rank straddles empty buckets.
+    #[test]
+    fn estimate_lands_in_the_exact_samples_bucket(
+        mut samples in proptest::collection::vec(boundary_value(), 1..200),
+        p in 0u32..=100u32,
+    ) {
+        let h = build(&samples);
+        samples.sort_unstable();
+        let p = p as f64;
+        let est = h.percentile_us(p);
+        // Mirror the implementation's rank formula exactly.
+        let rank = (p / 100.0) * (samples.len() - 1) as f64;
+        let ceil_idx = (rank.ceil() as usize).min(samples.len() - 1);
+        let exact_hi = samples[ceil_idx];
+        prop_assert_eq!(
+            bucket_of(est),
+            bucket_of(exact_hi),
+            "p={} est={} exact-hi={} over {} samples",
+            p, est, exact_hi, samples.len()
+        );
+    }
+
+    /// Estimates never exceed the recorded maximum, and p=100 hits it
+    /// exactly.
+    #[test]
+    fn estimate_is_bounded_by_max_and_p100_is_exact(
+        samples in proptest::collection::vec(boundary_value(), 1..200),
+        p in 0u32..=100u32,
+    ) {
+        let h = build(&samples);
+        prop_assert!(h.percentile_us(p as f64) <= h.max_us());
+        prop_assert_eq!(h.percentile_us(100.0), h.max_us());
+    }
+
+    /// Percentiles are monotone in `p`.
+    #[test]
+    fn estimates_are_monotone_in_p(
+        samples in proptest::collection::vec(boundary_value(), 1..200),
+        p1 in 0u32..=100u32,
+        p2 in 0u32..=100u32,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let h = build(&samples);
+        prop_assert!(h.percentile_us(lo as f64) <= h.percentile_us(hi as f64));
+    }
+
+    /// A single sample answers every percentile exactly.
+    #[test]
+    fn single_sample_is_exact_at_every_percentile(
+        v in boundary_value(),
+        p in 0u32..=100u32,
+    ) {
+        let h = build(&[v]);
+        prop_assert_eq!(h.percentile_us(p as f64), v);
+    }
+
+    /// A saturated single-bucket histogram (every sample equal) stays
+    /// inside that bucket at every percentile and is exact at p=100.
+    #[test]
+    fn saturated_single_bucket_stays_in_bucket(
+        v in boundary_value(),
+        n in 1usize..64,
+        p in 0u32..=100u32,
+    ) {
+        let h = build(&vec![v; n]);
+        let est = h.percentile_us(p as f64);
+        prop_assert_eq!(bucket_of(est), bucket_of(v));
+        prop_assert_eq!(h.percentile_us(100.0), v);
+    }
+}
+
+#[test]
+fn empty_histogram_answers_zero() {
+    let h = LatencyHistogram::default();
+    for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+        assert_eq!(h.percentile_us(p), 0);
+    }
+}
+
+#[test]
+fn all_zero_samples_answer_zero() {
+    let h = build(&[0, 0, 0, 0]);
+    for p in [0.0, 50.0, 100.0] {
+        assert_eq!(h.percentile_us(p), 0);
+    }
+}
+
+#[test]
+fn u64_max_saturates_without_panicking() {
+    let h = build(&[u64::MAX, u64::MAX, 1]);
+    assert_eq!(h.percentile_us(100.0), u64::MAX);
+    assert!(h.percentile_us(0.0) <= u64::MAX);
+}

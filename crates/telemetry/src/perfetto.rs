@@ -33,6 +33,7 @@ const TID_BARRIERS: u32 = 2;
 const TID_FAULTS: u32 = 3;
 const TID_DISK: u32 = 1;
 const TID_PAGING: u32 = 2;
+const TID_CRITICAL: u32 = 4;
 
 /// An observer sink rendering the stream as Trace Event JSON; call
 /// [`PerfettoTrace::finish`] after the run for the document.
@@ -124,6 +125,19 @@ impl PerfettoTrace {
         self.events.push(e);
     }
 
+    /// Add one segment to the cluster's "critical path" highlight track
+    /// (tid 4). The explain layer calls this after the run with each
+    /// cause-labelled segment of a switch's critical path, so the
+    /// dominant chain reads as a contiguous row above the switch spans.
+    /// Zero-duration segments are dropped.
+    pub fn highlight(&mut self, ts: u64, dur_us: u64, name: &str) {
+        if dur_us == 0 {
+            return;
+        }
+        self.ensure_thread(PID_CLUSTER, TID_CRITICAL, "critical path");
+        self.span(PID_CLUSTER, TID_CRITICAL, ts, dur_us, name, &[]);
+    }
+
     /// A counter sample (`ph:"C"`); multiple args render as stacked
     /// series on one counter track.
     fn counter(&mut self, pid: u32, ts: u64, name: &str, args: &[(&str, u64)]) {
@@ -212,16 +226,24 @@ impl Observer for PerfettoTrace {
                     &[("ranks", ranks as u64), ("skew_us", skew_us)],
                 );
             }
-            ObsEvent::FaultService { pid, wait_us } => {
+            ObsEvent::FaultService { pid, page, wait_us } => {
                 self.ensure_thread(PID_CLUSTER, TID_FAULTS, "faults");
                 let name = format!("fault pid{pid}");
-                self.span(PID_CLUSTER, TID_FAULTS, ts, wait_us, &name, &[]);
+                self.span(
+                    PID_CLUSTER,
+                    TID_FAULTS,
+                    ts,
+                    wait_us,
+                    &name,
+                    &[("page", page as u64)],
+                );
             }
             ObsEvent::DiskRequest {
                 write,
                 extents,
                 pages,
                 wait_us,
+                seek_us,
                 service_us,
             } => {
                 let pid = Self::pid_of(src);
@@ -236,6 +258,7 @@ impl Observer for PerfettoTrace {
                         ("pages", pages),
                         ("extents", extents as u64),
                         ("wait_us", wait_us),
+                        ("seek_us", seek_us),
                     ],
                 );
             }
@@ -341,6 +364,7 @@ impl Observer for PerfettoTrace {
             ObsEvent::PageFault { .. }
             | ObsEvent::MajorFault { .. }
             | ObsEvent::ReadaheadHit { .. }
+            | ObsEvent::ReplayPage { .. }
             | ObsEvent::Evict { .. } => {}
         }
     }
@@ -408,6 +432,7 @@ mod tests {
                 extents: 3,
                 pages: 64,
                 wait_us: 200,
+                seek_us: 250,
                 service_us: 900,
             },
         );
@@ -415,7 +440,9 @@ mod tests {
         assert!(out.contains(
             "\"name\":\"write\",\"ph\":\"X\",\"ts\":700,\"dur\":900,\"pid\":3,\"tid\":1"
         ));
-        assert!(out.contains("\"args\":{\"pages\":64,\"extents\":3,\"wait_us\":200}"));
+        assert!(
+            out.contains("\"args\":{\"pages\":64,\"extents\":3,\"wait_us\":200,\"seek_us\":250}")
+        );
         assert!(out.contains("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,\"args\":{\"name\":\"node 2\"}}"));
     }
 
@@ -470,7 +497,24 @@ mod tests {
             },
         );
         feed(&mut tr, 1, 0, ObsEvent::ReadaheadHit { pid: 1, page: 3 });
+        feed(&mut tr, 1, 0, ObsEvent::ReplayPage { pid: 1, page: 4 });
         assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn highlight_renders_on_the_critical_path_track() {
+        let mut tr = PerfettoTrace::new();
+        tr.highlight(1_000, 0, "pagein_seek"); // dropped: zero duration
+        tr.highlight(1_000, 400, "pageout_transfer");
+        tr.highlight(1_400, 600, "pagein_queue_wait");
+        let out = tr.finish();
+        assert!(out.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":4,\"args\":{\"name\":\"critical path\"}}"
+        ));
+        assert!(out.contains(
+            "\"name\":\"pageout_transfer\",\"ph\":\"X\",\"ts\":1000,\"dur\":400,\"pid\":0,\"tid\":4"
+        ));
+        assert!(!out.contains("pagein_seek"));
     }
 
     #[test]

@@ -56,9 +56,12 @@ fn synthetic_stream() -> Vec<(u64, u32, ObsEvent)> {
             extents: 2,
             pages: 32,
             wait_us: 0,
+            seek_us: 2_400,
             service_us: 4_000,
         },
     ));
+    // Per-page replay detail (dropped) ahead of its summary.
+    s.push((1_060, 0, ObsEvent::ReplayPage { pid: 1, page: 40 }));
     s.push((
         1_060,
         0,
@@ -106,6 +109,7 @@ fn synthetic_stream() -> Vec<(u64, u32, ObsEvent)> {
         SRC_CLUSTER,
         ObsEvent::FaultService {
             pid: 1,
+            page: 7,
             wait_us: 4_200,
         },
     ));
@@ -135,6 +139,7 @@ fn synthetic_stream() -> Vec<(u64, u32, ObsEvent)> {
             extents: 1,
             pages: 12,
             wait_us: 4_000,
+            seek_us: 700,
             service_us: 1_500,
         },
     ));

@@ -10,3 +10,5 @@ cargo fmt --check
 cargo clippy -- -D warnings
 cargo run --release -p agp-lint -- --deny-warnings
 cargo run --release -p agp-cli -- report --check
+cargo run --release -p agp-cli -- explain fig9 --policy so --against orig \
+  --json explain.json --bench-out BENCH_agp.json
