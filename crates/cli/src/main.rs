@@ -20,9 +20,10 @@
 use agp_cluster::{ClusterConfig, JobSpec, ScheduleMode};
 use agp_core::PolicyConfig;
 use agp_experiments::{
-    all_experiments, default_tolerances, find, manifest_of, profile_config, scale_name,
+    all_experiments, chaos_demo, default_tolerances, find, manifest_of, profile_config, scale_name,
     ExperimentOutput, Scale,
 };
+use agp_faults::FaultPlan;
 use agp_metrics::report::{bar_chart, sparkline};
 use agp_metrics::{BenchManifest, ParityManifest, Table};
 use agp_obs::{shared, Collector, JsonlWriter, ObsLink, SharedSink};
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
@@ -76,6 +78,7 @@ fn print_usage() {
          \x20 agp list                          list the paper experiments\n\
          \x20 agp run <id>|all [options]        regenerate a figure/table\n\
          \x20 agp sim [options]                 run one custom cluster configuration\n\
+         \x20 agp chaos [options]               fault-injection demo run with recovery summary\n\
          \x20 agp profile <id> [options]        profile an experiment's gang switches\n\
          \x20 agp trace <id> [options]          export one run as a Perfetto/Chrome trace\n\
          \x20 agp explain <id> [options]        causal critical-path attribution of switch latency\n\
@@ -98,7 +101,16 @@ fn print_usage() {
          \x20 --seed N                          RNG seed (default 0x5EED600D)\n\
          \x20 --trace                           print the node-0 paging trace\n\
          \x20 --events PATH                     export the structured event stream as JSONL\n\
-         \x20 --check-invariants                sweep conservation/coherence invariants during the run\n\n\
+         \x20 --check-invariants                sweep conservation/coherence invariants during the run\n\
+         \x20 --faults PATH                     inject a deterministic fault plan (JSON, see `agp chaos --emit-plan`)\n\n\
+         CHAOS OPTIONS:\n\
+         \x20 --plan PATH                       fault plan JSON (default: the built-in smoke plan)\n\
+         \x20 --emit-plan PATH                  write the built-in smoke plan as JSON and exit\n\
+         \x20 --seed N                          seed for the demo run and built-in plan (default 0x5EED600D)\n\
+         \x20 --verify                          run twice, require byte-identical event streams\n\
+         \x20 --events PATH                     export the JSONL event stream\n\
+         \x20 --check-invariants                sweep conservation/coherence invariants during the run\n\
+         \x20 --bench-out PATH                  append this pass's wall-clock to a BENCH manifest\n\n\
          PROFILE OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
          \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
@@ -230,6 +242,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     let mut show_trace = false;
     let mut events: Option<String> = None;
     let mut check_invariants = false;
+    let mut faults: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -264,6 +277,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             "--trace" => show_trace = true,
             "--events" => events = Some(val("--events")?.clone()),
             "--check-invariants" => check_invariants = true,
+            "--faults" => faults = Some(val("--faults")?.clone()),
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -284,25 +298,50 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     cfg.jobs = (0..jobs)
         .map(|i| JobSpec::new(format!("{workload} #{}", i + 1), workload))
         .collect();
+    if let Some(path) = &faults {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--faults {path}: {e}"))?;
+        let plan = FaultPlan::from_json_str(&text).map_err(|e| format!("--faults {path}: {e}"))?;
+        eprintln!(
+            "injecting fault plan {path} ({} fault(s), plan seed {})",
+            plan.faults.len(),
+            plan.seed
+        );
+        cfg.faults = Some(plan);
+    }
 
     let t0 = std::time::Instant::now();
-    let r = match &events {
+    // A Collector rides along whenever faults are injected so the run can
+    // report what actually fired (observers never perturb the sim).
+    let collector = cfg.faults.is_some().then(|| shared(Collector::new()));
+    let writer = match &events {
         Some(path) => {
             let file = std::fs::File::create(path).map_err(|e| format!("--events {path}: {e}"))?;
-            let sink = shared(JsonlWriter::new(std::io::BufWriter::new(file)));
-            let link = ObsLink::to(sink.clone() as SharedSink);
-            let r = agp_cluster::run_observed(cfg, &link)?;
-            drop(link);
-            let writer = unwrap_sink(sink)?;
-            let lines = writer.lines();
-            writer
-                .finish()
-                .map_err(|e| format!("--events {path}: {e}"))?;
-            eprintln!("wrote {lines} events to {path}");
-            r
+            Some(shared(JsonlWriter::new(std::io::BufWriter::new(file))))
         }
-        None => agp_cluster::run(cfg)?,
+        None => None,
     };
+    let r = if collector.is_none() && writer.is_none() {
+        agp_cluster::run(cfg)?
+    } else {
+        let mut sinks: Vec<SharedSink> = Vec::new();
+        if let Some(c) = &collector {
+            sinks.push(c.clone() as SharedSink);
+        }
+        if let Some(w) = &writer {
+            sinks.push(w.clone() as SharedSink);
+        }
+        let link = ObsLink::fanout(sinks);
+        let r = agp_cluster::run_observed(cfg, &link)?;
+        drop(link);
+        r
+    };
+    if let Some(sink) = writer {
+        let path = events.as_deref().unwrap_or("");
+        let w = unwrap_sink(sink)?;
+        let lines = w.lines();
+        w.finish().map_err(|e| format!("--events {path}: {e}"))?;
+        eprintln!("wrote {lines} events to {path}");
+    }
     eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
     if check_invariants {
         eprintln!(
@@ -349,6 +388,165 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         let tr = &r.nodes[0].trace;
         println!("node0 page-in  : {}", sparkline(tr.ins()));
         println!("node0 page-out : {}", sparkline(tr.outs()));
+    }
+    if let Some(sink) = collector {
+        let c = unwrap_sink(sink)?;
+        print_fault_summary(&c.counters);
+    }
+    Ok(())
+}
+
+/// What the injected faults and the recovery machinery did, from the
+/// ride-along collector's chaos counters.
+fn print_fault_summary(c: &agp_obs::ObsCounters) {
+    println!(
+        "faults: {} disk errors ({} retries), {}us slowdown penalty, {} barrier timeouts, \
+         {} mem-pressure pages",
+        c.fault_disk_errors,
+        c.fault_io_retries,
+        c.fault_disk_slow_us,
+        c.fault_barrier_timeouts,
+        c.fault_mem_pressure_pages
+    );
+    println!(
+        "recovery: {} node crashes, {} restarts, {} jobs requeued, {} ai degradations",
+        c.fault_node_crashes, c.fault_node_restarts, c.fault_jobs_requeued, c.fault_ai_degrades
+    );
+}
+
+/// `agp chaos`: run the demo cluster under a fault plan (the built-in
+/// smoke plan unless `--plan` is given) and summarize what fired and how
+/// the scheduler recovered. `--verify` runs the whole simulation twice
+/// and requires byte-identical event streams — the determinism guarantee
+/// `plans/smoke.json` is committed to document.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let mut plan_path: Option<String> = None;
+    let mut emit_plan: Option<String> = None;
+    let mut seed = 0x5EED_600Du64;
+    let mut verify = false;
+    let mut events: Option<String> = None;
+    let mut check_invariants = false;
+    let mut bench_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--plan" => plan_path = Some(val("--plan")?.clone()),
+            "--emit-plan" => emit_plan = Some(val("--emit-plan")?.clone()),
+            "--seed" => seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--verify" => verify = true,
+            "--events" => events = Some(val("--events")?.clone()),
+            "--check-invariants" => check_invariants = true,
+            "--bench-out" => bench_out = Some(val("--bench-out")?.clone()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    if let Some(path) = &emit_plan {
+        let plan = FaultPlan::smoke(seed);
+        std::fs::write(path, plan.to_json_string())
+            .map_err(|e| format!("--emit-plan {path}: {e}"))?;
+        println!(
+            "wrote the built-in smoke plan (seed {seed}, {} faults) to {path}",
+            plan.faults.len()
+        );
+        return Ok(());
+    }
+
+    let plan = match &plan_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("--plan {path}: {e}"))?;
+            FaultPlan::from_json_str(&text).map_err(|e| format!("--plan {path}: {e}"))?
+        }
+        None => FaultPlan::smoke(seed),
+    };
+    let mut cfg = chaos_demo(seed);
+    cfg.check_invariants = check_invariants;
+    cfg.faults = Some(plan);
+    cfg.validate()?;
+
+    // One observed run: collector for the summary, an in-memory JSONL
+    // writer for --verify's byte comparison, a file writer for --events.
+    let run_once = |cfg: ClusterConfig,
+                    capture: bool|
+     -> Result<(agp_cluster::RunResult, agp_obs::ObsCounters, Vec<u8>), String> {
+        let collector = shared(Collector::new());
+        let mem = capture.then(|| shared(JsonlWriter::new(Vec::new())));
+        let mut sinks: Vec<SharedSink> = vec![collector.clone() as SharedSink];
+        if let Some(m) = &mem {
+            sinks.push(m.clone() as SharedSink);
+        }
+        let link = ObsLink::fanout(sinks);
+        let r = agp_cluster::run_observed(cfg, &link)?;
+        drop(link);
+        let counters = unwrap_sink(collector)?.counters;
+        let bytes = match mem {
+            Some(m) => unwrap_sink(m)?
+                .finish()
+                .map_err(|e| format!("event capture: {e}"))?,
+            None => Vec::new(),
+        };
+        Ok((r, counters, bytes))
+    };
+
+    let t0 = std::time::Instant::now();
+    eprintln!(
+        "chaos demo: 2x CG.A on 2 nodes, policy {}, seed {seed}, {} fault(s)",
+        cfg.policy.label(),
+        cfg.faults.as_ref().map_or(0, |p| p.faults.len())
+    );
+    let (r, counters, first) = run_once(cfg.clone(), verify || events.is_some())?;
+    eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
+
+    if verify {
+        let (_, _, second) = run_once(cfg.clone(), true)?;
+        if first != second {
+            return Err("verify: same plan + seed produced divergent event streams".into());
+        }
+        println!(
+            "verify: two runs, byte-identical event streams ({} bytes)",
+            first.len()
+        );
+    }
+    if let Some(path) = &events {
+        std::fs::write(path, &first).map_err(|e| format!("--events {path}: {e}"))?;
+        eprintln!("wrote {} event bytes to {path}", first.len());
+    }
+
+    println!(
+        "policy {}  mode {:?}  makespan {:.1} min  switches {}",
+        r.policy,
+        r.mode,
+        r.makespan.as_mins_f64(),
+        r.switches
+    );
+    for j in &r.jobs {
+        println!(
+            "  {:<14} completed {:.1} min  ({} iterations)",
+            j.name,
+            j.completion.as_mins_f64(),
+            j.iterations
+        );
+    }
+    print_fault_summary(&counters);
+    if check_invariants {
+        println!(
+            "invariants: {} sweeps over {} node(s), zero violations",
+            r.invariant_checks,
+            r.nodes.len()
+        );
+    }
+    if let Some(path) = &bench_out {
+        let mut bench = match std::fs::read_to_string(path) {
+            Ok(text) => BenchManifest::parse(&text)
+                .map_err(|e| format!("--bench-out {path}: {e} (delete it to start fresh)"))?,
+            Err(_) => BenchManifest::new(),
+        };
+        bench.insert("chaos.smoke".to_string(), t0.elapsed().as_secs_f64());
+        std::fs::write(path, bench.to_json()).map_err(|e| format!("--bench-out {path}: {e}"))?;
+        eprintln!("appended chaos.smoke wall-clock to {path}");
     }
     Ok(())
 }

@@ -2,6 +2,7 @@
 
 use agp_core::PolicyConfig;
 use agp_disk::DiskParams;
+use agp_faults::FaultPlan;
 use agp_net::NetParams;
 use agp_sim::units::pages_from_mib;
 use agp_sim::SimDur;
@@ -96,6 +97,13 @@ pub struct ClusterConfig {
     /// simulation event for event.
     #[serde(default)]
     pub sample_every: Option<SimDur>,
+    /// Deterministic fault plan (chaos injection). `None` (the default)
+    /// runs the seed simulation untouched — no injector is built, no
+    /// RNG stream is forked, and the event stream is byte-identical to
+    /// a build without the faults subsystem. Set by
+    /// `agp sim --faults <plan.json>` and `agp chaos`.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -120,6 +128,7 @@ impl ClusterConfig {
             max_sim_time: SimDur::from_mins(24 * 60),
             check_invariants: false,
             sample_every: None,
+            faults: None,
         }
     }
 
@@ -174,6 +183,10 @@ impl ClusterConfig {
                 "swap of {} blocks cannot back {} pages of job images per node",
                 self.disk.blocks, per_node_pages
             ));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(self.nodes as usize, self.jobs.len())
+                .map_err(|e| format!("fault plan: {e}"))?;
         }
         Ok(())
     }

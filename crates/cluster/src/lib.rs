@@ -31,23 +31,29 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod proc;
 pub mod result;
 pub mod sim;
 
 pub use config::{ClusterConfig, JobSpec, ScheduleMode};
+pub use error::SimError;
 pub use result::{JobResult, NodeReport, RunResult, RESULT_SCHEMA_VERSION};
 pub use sim::ClusterSim;
 
 /// Run a configuration to completion (convenience wrapper).
-pub fn run(config: ClusterConfig) -> Result<RunResult, String> {
+///
+/// Errors are typed ([`SimError`]) with node/time provenance;
+/// `From<SimError> for String` keeps legacy string-error callers
+/// compiling through `?`.
+pub fn run(config: ClusterConfig) -> Result<RunResult, SimError> {
     ClusterSim::new(config)?.run()
 }
 
 /// Run a configuration with an observation link attached (see
 /// [`ClusterSim::attach_observer`] for how sinks and source tags are
 /// wired).
-pub fn run_observed(config: ClusterConfig, link: &agp_obs::ObsLink) -> Result<RunResult, String> {
+pub fn run_observed(config: ClusterConfig, link: &agp_obs::ObsLink) -> Result<RunResult, SimError> {
     let mut sim = ClusterSim::new(config)?;
     sim.attach_observer(link);
     sim.run()

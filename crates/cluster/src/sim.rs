@@ -28,15 +28,17 @@
 
 use agp_core::PagingEngine;
 use agp_disk::{Disk, DiskRequest};
+use agp_faults::{DiskOutcome, FaultInjector, RecoveryPolicy, TimedFault};
 use agp_gang::{GangScheduler, JobId, NodeSet};
 use agp_mem::{Kernel, MemError, PageNum, ProcId, VmParams};
 use agp_metrics::ActivityTrace;
 use agp_net::Barrier;
 use agp_obs::{ObsEvent, ObsLink, SwitchPhaseKind, SRC_CLUSTER};
-use agp_sim::{EventQueue, SimTime};
+use agp_sim::{EventQueue, SimDur, SimTime};
 use agp_workload::{ProcessProgram, Step};
 
 use crate::config::{ClusterConfig, ScheduleMode};
+use crate::error::SimError;
 use crate::proc::{BlockKind, CurStep, PState, SimProc};
 use crate::result::{JobResult, NodeReport, RunResult};
 
@@ -56,8 +58,20 @@ enum Event {
     IoDone { p: usize, gen: u64 },
     /// A gang quantum ended (valid only at scheduler generation `sgen`).
     QuantumExpire { sgen: u64 },
-    /// All ranks of `job` passed their barrier.
-    BarrierRelease { job: usize },
+    /// All ranks of `job` passed their barrier (valid only while the
+    /// job's barrier episode is still `epoch` — a crash-requeue abandons
+    /// the episode and bumps the epoch).
+    BarrierRelease { job: usize, epoch: u64 },
+    /// The release for `job` was dropped by an injected network fault;
+    /// re-issue attempt `attempt` fires after the barrier timeout.
+    BarrierRetry {
+        job: usize,
+        attempt: u32,
+        epoch: u64,
+    },
+    /// Apply the `idx`-th entry of the precomputed timed-fault list
+    /// (node crash/restart, memory-pressure burst).
+    Chaos { idx: usize },
     /// Begin background writing for the active slot.
     BgStart { sgen: u64 },
     /// One background-writer burst on `node`.
@@ -101,17 +115,49 @@ pub struct ClusterSim {
     /// Switch-event id counter (counts every `do_switch`, including the
     /// initial placement, unlike `switches`).
     obs_switches: u64,
+    /// Fault injector, present only when the config carries a plan. With
+    /// `None` no chaos code path runs and the event stream is identical
+    /// to the seed simulation.
+    injector: Option<FaultInjector>,
+    /// Recovery knobs (the plan's, or defaults when no plan is set).
+    recovery: RecoveryPolicy,
+    /// Precomputed schedule of timed faults, sorted by instant;
+    /// `Event::Chaos { idx }` indexes into it.
+    timed_faults: Vec<(u64, TimedFault)>,
+    /// Liveness per node; a crashed node rejects new work until restart.
+    node_up: Vec<bool>,
+    /// Barrier episode counter per job; bumped when a crash abandons an
+    /// episode so in-flight release/retry events go stale.
+    barrier_epoch: Vec<u64>,
+    /// Jobs suspended by a node crash, waiting for their nodes to return.
+    pending_requeue: Vec<usize>,
 }
 
 impl ClusterSim {
     /// Build a simulation from a validated configuration.
-    pub fn new(cfg: ClusterConfig) -> Result<Self, String> {
-        cfg.validate()?;
-        let total_frames = agp_sim::units::pages_from_mib(cfg.mem_mib);
-        let wired_frames = agp_sim::units::pages_from_mib(cfg.wired_mib);
-        let mut params = VmParams::for_frames(total_frames, wired_frames);
-        if let Some(ra) = cfg.readahead {
-            params.readahead = ra;
+    pub fn new(cfg: ClusterConfig) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::InvalidConfig)?;
+        let params = vm_params(&cfg);
+
+        let injector = cfg
+            .faults
+            .as_ref()
+            .map(|plan| FaultInjector::new(plan.clone(), cfg.nodes as usize));
+        let recovery = injector
+            .as_ref()
+            .map(|i| i.recovery().clone())
+            .unwrap_or_default();
+        let timed_faults = injector.as_ref().map(|i| i.timed()).unwrap_or_default();
+        if cfg.mode == ScheduleMode::Batch
+            && timed_faults
+                .iter()
+                .any(|&(_, f)| matches!(f, TimedFault::Crash { .. }))
+        {
+            // Batch has no scheduler to compact around a dead node; the
+            // crashed job would wedge the whole run.
+            return Err(SimError::FaultPlan(
+                "node_crash faults require gang mode".into(),
+            ));
         }
 
         let mut nodes: Vec<Node> = (0..cfg.nodes)
@@ -133,7 +179,10 @@ impl ClusterSim {
             let n = job.workload.nprocs;
             sched
                 .add_job(jid, NodeSet::first_n(n), job.quantum)
-                .map_err(|e| format!("scheduling {}: {e}", job.name))?;
+                .map_err(|e| SimError::Schedule {
+                    job: job.name.clone(),
+                    detail: e,
+                })?;
             let mut members = Vec::new();
             for rank in 0..n {
                 let pid = ProcId(procs.len() as u32);
@@ -147,10 +196,18 @@ impl ClusterSim {
                 procs.push(SimProc::new(pid, jid, node, rank, program));
             }
             job_procs.push(members);
-            barriers.push(Barrier::new(n));
+            // With a fault plan attached the barrier carries the plan's
+            // timeout; without one, the stock barrier (same default) keeps
+            // the construction path identical to the seed simulation.
+            barriers.push(if injector.is_some() {
+                Barrier::with_timeout(n, SimDur::from_us(recovery.barrier_timeout_us))
+            } else {
+                Barrier::new(n)
+            });
         }
 
         let njobs = cfg.jobs.len();
+        let nnodes = cfg.nodes as usize;
         Ok(ClusterSim {
             cfg,
             queue: EventQueue::with_capacity(1024),
@@ -169,6 +226,12 @@ impl ClusterSim {
             obs: ObsLink::disabled(),
             gauge_obs: Vec::new(),
             obs_switches: 0,
+            injector,
+            recovery,
+            timed_faults,
+            node_up: vec![true; nnodes],
+            barrier_epoch: vec![0; njobs],
+            pending_requeue: Vec::new(),
         })
     }
 
@@ -193,13 +256,13 @@ impl ClusterSim {
     }
 
     /// Execute to completion.
-    pub fn run(mut self) -> Result<RunResult, String> {
+    pub fn run(mut self) -> Result<RunResult, SimError> {
         match self.cfg.mode {
             ScheduleMode::Gang => {
                 let plan = self
                     .sched
                     .start()
-                    .ok_or_else(|| "no jobs to schedule".to_string())?;
+                    .ok_or_else(|| SimError::InvalidConfig("no jobs to schedule".into()))?;
                 self.do_switch(plan.out, plan.inn, plan.quantum)?;
             }
             ScheduleMode::Batch => self.start_batch_job(0)?,
@@ -207,16 +270,20 @@ impl ClusterSim {
         if self.cfg.sample_every.is_some() && self.obs.enabled() {
             self.queue.push(SimTime::ZERO, Event::Sample);
         }
+        for idx in 0..self.timed_faults.len() {
+            let at = SimTime::ZERO + SimDur::from_us(self.timed_faults[idx].0);
+            self.queue.push(at, Event::Chaos { idx });
+        }
 
         while let Some((t, ev)) = self.queue.pop() {
             self.now = t;
             self.obs.tick(t);
             self.events += 1;
             if t.since(SimTime::ZERO) > self.cfg.max_sim_time {
-                return Err(format!(
-                    "simulation exceeded max_sim_time ({}) — thrashing livelock?",
-                    self.cfg.max_sim_time
-                ));
+                return Err(SimError::SimTimeExceeded {
+                    limit: self.cfg.max_sim_time,
+                    at_us: t.since(SimTime::ZERO).as_us(),
+                });
             }
             self.handle(ev)?;
             if self.cfg.check_invariants && self.events.is_multiple_of(INVARIANT_SWEEP_EVERY) {
@@ -227,7 +294,11 @@ impl ClusterSim {
             }
         }
         if !self.completions.iter().all(|c| c.is_some()) {
-            return Err("event queue drained before all jobs completed (model deadlock)".into());
+            let unfinished = self.completions.iter().filter(|c| c.is_none()).count() as u32;
+            return Err(SimError::Deadlock {
+                at_us: self.now.since(SimTime::ZERO).as_us(),
+                unfinished,
+            });
         }
         if self.cfg.check_invariants {
             self.verify_invariants("final state")?;
@@ -247,26 +318,31 @@ impl ClusterSim {
     ///
     /// A violation is a simulator bug, not an operator error, so the run
     /// aborts with the diagnostic rather than continuing on corrupt state.
-    fn verify_invariants(&mut self, context: &str) -> Result<(), String> {
+    fn verify_invariants(&mut self, context: &str) -> Result<(), SimError> {
+        let at_us = self.now.since(SimTime::ZERO).as_us();
         for (ni, node) in self.nodes.iter().enumerate() {
-            node.kernel.check_invariants().map_err(|e| {
-                format!(
-                    "invariant violation at {} ({context}, node {ni}): {e}",
-                    self.now
-                )
-            })?;
-            node.engine.check_invariants().map_err(|e| {
-                format!(
-                    "invariant violation at {} ({context}, node {ni}): {e}",
-                    self.now
-                )
-            })?;
+            node.kernel
+                .check_invariants()
+                .map_err(|e| SimError::InvariantViolation {
+                    context: context.to_string(),
+                    node: Some(ni as u32),
+                    at_us,
+                    detail: e,
+                })?;
+            node.engine
+                .check_invariants()
+                .map_err(|e| SimError::InvariantViolation {
+                    context: context.to_string(),
+                    node: Some(ni as u32),
+                    at_us,
+                    detail: e,
+                })?;
         }
         self.invariant_checks += 1;
         Ok(())
     }
 
-    fn handle(&mut self, ev: Event) -> Result<(), String> {
+    fn handle(&mut self, ev: Event) -> Result<(), SimError> {
         match ev {
             Event::Dispatch { p, gen } => {
                 if self.procs[p].live(gen) && self.procs[p].state == PState::Runnable {
@@ -294,7 +370,17 @@ impl ClusterSim {
                     }
                 }
             }
-            Event::BarrierRelease { job } => self.release_barrier(job)?,
+            Event::BarrierRelease { job, epoch } => {
+                if epoch == self.barrier_epoch[job] {
+                    self.release_barrier(job)?;
+                }
+            }
+            Event::BarrierRetry {
+                job,
+                attempt,
+                epoch,
+            } => self.barrier_retry(job, attempt, epoch)?,
+            Event::Chaos { idx } => self.apply_timed_fault(idx)?,
             Event::BgStart { sgen } => {
                 if sgen == self.sched.generation() {
                     for ni in 0..self.nodes.len() {
@@ -367,7 +453,7 @@ impl ClusterSim {
 
     /// Run process `p` from its current position until it blocks, yields
     /// CPU (schedules its next dispatch), stops, or finishes.
-    fn exec(&mut self, p: usize) -> Result<(), String> {
+    fn exec(&mut self, p: usize) -> Result<(), SimError> {
         let now = self.now;
         if self.procs[p].stop_pending {
             let proc = &mut self.procs[p];
@@ -392,7 +478,7 @@ impl ClusterSim {
                 let (hits, fault) = self.nodes[ni]
                     .kernel
                     .touch_run(pid, PageNum(first + done), chunk, write, now)
-                    .map_err(|e| sim_err(e, "touch_run"))?;
+                    .map_err(mem_err("touch_run", ni, now))?;
                 let cpu = cpu_per_page * hits as u64;
                 let new_done = done + hits as u32;
 
@@ -428,24 +514,25 @@ impl ClusterSim {
                         });
                         let t_fault = now + cpu;
                         let fpage = PageNum(first + new_done);
-                        let node = &mut self.nodes[ni];
-                        let plan = node
-                            .engine
-                            .on_fault(&mut node.kernel, pid, fpage, t_fault)
-                            .map_err(|e| sim_err(e, "on_fault"))?;
+                        let plan = {
+                            let node = &mut self.nodes[ni];
+                            node.engine
+                                .on_fault(&mut node.kernel, pid, fpage, t_fault)
+                                .map_err(mem_err("on_fault", ni, t_fault))?
+                        };
                         let mut completion = t_fault;
                         if !plan.writes.is_empty() {
                             let req = DiskRequest::write(plan.writes.clone());
                             let pages = req.pages();
-                            let c = node.disk.submit(t_fault, &req);
-                            node.trace.record_out(c, pages);
+                            let c = self.submit_io(ni, t_fault, &req);
+                            self.nodes[ni].trace.record_out(c, pages);
                             completion = completion.max(c);
                         }
                         if !plan.reads.is_empty() {
                             let req = DiskRequest::read(plan.reads.clone());
                             let pages = req.pages();
-                            let c = node.disk.submit(t_fault, &req);
-                            node.trace.record_in(c, pages);
+                            let c = self.submit_io(ni, t_fault, &req);
+                            self.nodes[ni].trace.record_in(c, pages);
                             completion = completion.max(c);
                         }
                         if completion > t_fault {
@@ -515,7 +602,26 @@ impl ClusterSim {
                     let rank = self.procs[p].rank;
                     self.procs[p].state = PState::Blocked(BlockKind::Barrier);
                     if let Some(release) = self.barriers[job].arrive(rank, now, &self.cfg.net) {
-                        self.queue.push(release, Event::BarrierRelease { job });
+                        let epoch = self.barrier_epoch[job];
+                        let dropped = self.injector.as_mut().is_some_and(|inj| {
+                            inj.barrier_dropped(job, now.since(SimTime::ZERO).as_us())
+                        });
+                        if dropped {
+                            // The release message is lost; the ranks sit in
+                            // the barrier until its timeout re-issues it.
+                            let timeout = SimDur::from_us(self.recovery.barrier_timeout_us);
+                            self.queue.push(
+                                release + timeout,
+                                Event::BarrierRetry {
+                                    job,
+                                    attempt: 1,
+                                    epoch,
+                                },
+                            );
+                        } else {
+                            self.queue
+                                .push(release, Event::BarrierRelease { job, epoch });
+                        }
                     }
                     return Ok(());
                 }
@@ -528,7 +634,7 @@ impl ClusterSim {
         }
     }
 
-    fn release_barrier(&mut self, job: usize) -> Result<(), String> {
+    fn release_barrier(&mut self, job: usize) -> Result<(), SimError> {
         let members = self.job_procs[job].clone();
         for p in members {
             let proc = &mut self.procs[p];
@@ -546,7 +652,7 @@ impl ClusterSim {
         Ok(())
     }
 
-    fn finish_proc(&mut self, p: usize) -> Result<(), String> {
+    fn finish_proc(&mut self, p: usize) -> Result<(), SimError> {
         let now = self.now;
         let proc = &mut self.procs[p];
         proc.state = PState::Done;
@@ -562,9 +668,10 @@ impl ClusterSim {
         Ok(())
     }
 
-    fn on_job_done(&mut self, job: JobId) -> Result<(), String> {
+    fn on_job_done(&mut self, job: JobId) -> Result<(), SimError> {
         let j = job.0 as usize;
-        self.completions[j] = Some(self.now);
+        let now = self.now;
+        self.completions[j] = Some(now);
         // The job's processes exit: release their memory and swap.
         for &p in &self.job_procs[j] {
             let pid = self.procs[p].pid;
@@ -572,7 +679,7 @@ impl ClusterSim {
             let node = &mut self.nodes[ni];
             node.kernel
                 .unregister_proc(pid)
-                .map_err(|e| sim_err(e, "unregister"))?;
+                .map_err(mem_err("unregister", ni, now))?;
             node.engine.forget_proc(pid);
             debug_assert!(node.kernel.check_invariants().is_ok());
         }
@@ -611,7 +718,8 @@ impl ClusterSim {
     // Scheduling protocol
     // ------------------------------------------------------------------
 
-    fn start_batch_job(&mut self, j: usize) -> Result<(), String> {
+    fn start_batch_job(&mut self, j: usize) -> Result<(), SimError> {
+        let now = self.now;
         let members = self.job_procs[j].clone();
         for &p in &members {
             let pid = self.procs[p].pid;
@@ -620,8 +728,8 @@ impl ClusterSim {
             node.engine.set_running(Some(pid));
             node.kernel
                 .quantum_started(pid)
-                .map_err(|e| sim_err(e, "quantum_started"))?;
-            self.cont_proc(p, self.now);
+                .map_err(mem_err("quantum_started", ni, now))?;
+            self.cont_proc(p, now);
         }
         Ok(())
     }
@@ -632,8 +740,8 @@ impl ClusterSim {
         &mut self,
         out: Vec<JobId>,
         inn: Vec<JobId>,
-        quantum: agp_sim::SimDur,
-    ) -> Result<(), String> {
+        quantum: SimDur,
+    ) -> Result<(), SimError> {
         let now = self.now;
         if !out.is_empty() {
             self.switches += 1;
@@ -675,36 +783,40 @@ impl ClusterSim {
                     .map(|q| q.pid)
                     .filter(|&pid| self.nodes[ni].kernel.proc(pid).is_ok());
 
-                let node = &mut self.nodes[ni];
                 if let Some(out_pid) = out_pid {
-                    let plan = node
-                        .engine
-                        .adaptive_page_out(&mut node.kernel, out_pid, in_pid, None)
-                        .map_err(|e| sim_err(e, "adaptive_page_out"))?;
+                    let plan = {
+                        let node = &mut self.nodes[ni];
+                        node.engine
+                            .adaptive_page_out(&mut node.kernel, out_pid, in_pid, None)
+                            .map_err(mem_err("adaptive_page_out", ni, now))?
+                    };
                     if !plan.writes.is_empty() {
                         let req = DiskRequest::write(plan.writes.clone());
                         let pages = req.pages();
-                        let c = node.disk.submit(now, &req);
-                        node.trace.record_out(c, pages);
+                        let c = self.submit_io(ni, now, &req);
+                        self.nodes[ni].trace.record_out(c, pages);
                         out_end = out_end.max(c);
                     }
                 } else {
-                    node.engine.set_running(Some(in_pid));
+                    self.nodes[ni].engine.set_running(Some(in_pid));
                 }
-                node.kernel
+                self.nodes[ni]
+                    .kernel
                     .quantum_started(in_pid)
-                    .map_err(|e| sim_err(e, "quantum_started"))?;
+                    .map_err(mem_err("quantum_started", ni, now))?;
 
                 let mut resume_at = now;
-                let plan_in = node
-                    .engine
-                    .adaptive_page_in(&mut node.kernel, in_pid, now)
-                    .map_err(|e| sim_err(e, "adaptive_page_in"))?;
+                let plan_in = {
+                    let node = &mut self.nodes[ni];
+                    node.engine
+                        .adaptive_page_in(&mut node.kernel, in_pid, now)
+                        .map_err(mem_err("adaptive_page_in", ni, now))?
+                };
                 if !plan_in.reads.is_empty() {
                     let req = DiskRequest::read(plan_in.reads.clone());
                     let pages = req.pages();
-                    let c = node.disk.submit(now, &req);
-                    node.trace.record_in(c, pages);
+                    let c = self.submit_io(ni, now, &req);
+                    self.nodes[ni].trace.record_in(c, pages);
                     // The induced faults of Fig. 4: the process starts
                     // computing once its recorded working set is back.
                     resume_at = c;
@@ -732,10 +844,15 @@ impl ClusterSim {
             // overlap the drains or add phases without re-deriving the sum.
             let total_us = in_end.since(now).as_us();
             if pageout_us + pagein_us != total_us {
-                return Err(format!(
-                    "invariant violation at {now} (switch {sw}): phase durations \
-                     {pageout_us} + {pagein_us} µs do not sum to switch total {total_us} µs"
-                ));
+                return Err(SimError::InvariantViolation {
+                    context: format!("switch {sw}"),
+                    node: None,
+                    at_us: now.since(SimTime::ZERO).as_us(),
+                    detail: format!(
+                        "phase durations {pageout_us} + {pagein_us} µs do not sum to \
+                         switch total {total_us} µs"
+                    ),
+                });
             }
             self.verify_invariants("post-switch")?;
         }
@@ -796,28 +913,346 @@ impl ClusterSim {
         // Done ranks stay done.
     }
 
-    fn bg_tick(&mut self, ni: usize) -> Result<(), String> {
+    fn bg_tick(&mut self, ni: usize) -> Result<(), SimError> {
         let now = self.now;
         let sgen = self.sched.generation();
-        let node = &mut self.nodes[ni];
-        if !node.engine.bgwrite_active() {
+        if !self.nodes[ni].engine.bgwrite_active() {
             return Ok(());
         }
         // "Lower priority": only write when the paging disk is idle.
-        if node.disk.is_idle(now) {
-            let ext = node
-                .engine
-                .bgwrite_tick(&mut node.kernel)
-                .map_err(|e| sim_err(e, "bgwrite_tick"))?;
+        if self.nodes[ni].disk.is_idle(now) {
+            let ext = {
+                let node = &mut self.nodes[ni];
+                node.engine.bgwrite_tick(&mut node.kernel).map_err(mem_err(
+                    "bgwrite_tick",
+                    ni,
+                    now,
+                ))?
+            };
             if !ext.is_empty() {
                 let req = DiskRequest::write(ext);
                 let pages = req.pages();
-                let c = node.disk.submit(now, &req);
-                node.trace.record_out(c, pages);
+                let c = self.submit_io(ni, now, &req);
+                self.nodes[ni].trace.record_out(c, pages);
             }
         }
         self.queue
             .push(now + self.cfg.bg_tick, Event::BgTick { node: ni, sgen });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & recovery
+    // ------------------------------------------------------------------
+
+    /// Submit a disk request through the fault injector: an injected
+    /// error burns the device for the command overhead, then the request
+    /// is retried after capped exponential backoff ([`RecoveryPolicy`]);
+    /// an injected latency spike inflates this one request's service
+    /// time. With no injector this is exactly `Disk::submit`.
+    ///
+    /// Returns the completion instant of the finally-successful attempt.
+    fn submit_io(&mut self, ni: usize, at: SimTime, req: &DiskRequest) -> SimTime {
+        let injector = &mut self.injector;
+        let node = &mut self.nodes[ni];
+        let Some(inj) = injector.as_mut() else {
+            return node.disk.submit(at, req);
+        };
+        if req.is_empty() {
+            return node.disk.submit(at, req);
+        }
+        let mut t = at;
+        let mut attempt: u32 = 0;
+        loop {
+            // The injected errors model transient media failures: after
+            // the configured retries the attempt is forced to succeed, so
+            // a pathological plan cannot livelock the simulation.
+            let outcome = if attempt >= self.recovery.io_retries {
+                DiskOutcome::Ok
+            } else {
+                inj.disk_outcome(ni, t.since(SimTime::ZERO).as_us())
+            };
+            match outcome {
+                DiskOutcome::Ok => return node.disk.submit(t, req),
+                DiskOutcome::Slow(penalty_us) => {
+                    return node.disk.submit_slowed(t, req, penalty_us)
+                }
+                DiskOutcome::Error => {
+                    let failed_at = node.disk.submit_failing(t, req);
+                    let backoff_us = self.recovery.backoff_us(attempt);
+                    attempt += 1;
+                    self.obs.emit(t, || ObsEvent::IoRetry {
+                        node: ni as u32,
+                        attempt,
+                        backoff_us,
+                    });
+                    // Graceful degradation: a flaky disk makes the bulk
+                    // replay reads of adaptive page-in a liability, so the
+                    // node falls back to demand paging.
+                    let errors = inj.disk_errors_on(ni);
+                    if errors >= u64::from(self.recovery.ai_degrade_after)
+                        && node.engine.cfg().adaptive_in
+                    {
+                        node.engine.set_adaptive_in(false);
+                        self.obs.emit(t, || ObsEvent::AiDegraded {
+                            node: ni as u32,
+                            errors,
+                        });
+                    }
+                    t = failed_at + SimDur::from_us(backoff_us);
+                }
+            }
+        }
+    }
+
+    /// A barrier release re-issue fired: the original release message was
+    /// dropped by an injected network fault and the barrier timed out.
+    /// Stale epochs (the episode was abandoned by a crash-requeue) are
+    /// ignored; after `barrier_retries` re-issues the release is forced
+    /// through — the injected fault is transient, delivery is guaranteed
+    /// eventually.
+    fn barrier_retry(&mut self, job: usize, attempt: u32, epoch: u64) -> Result<(), SimError> {
+        if epoch != self.barrier_epoch[job] {
+            return Ok(());
+        }
+        let now = self.now;
+        let timeout_us = self.recovery.barrier_timeout_us;
+        self.obs.emit(now, || ObsEvent::BarrierTimeout {
+            job: job as u32,
+            attempt,
+            waited_us: timeout_us.saturating_mul(u64::from(attempt)),
+        });
+        let drop_again = attempt <= self.recovery.barrier_retries
+            && self
+                .injector
+                .as_mut()
+                .is_some_and(|inj| inj.barrier_dropped(job, now.since(SimTime::ZERO).as_us()));
+        if drop_again {
+            self.queue.push(
+                now + SimDur::from_us(timeout_us),
+                Event::BarrierRetry {
+                    job,
+                    attempt: attempt + 1,
+                    epoch,
+                },
+            );
+            return Ok(());
+        }
+        self.release_barrier(job)
+    }
+
+    fn apply_timed_fault(&mut self, idx: usize) -> Result<(), SimError> {
+        match self.timed_faults[idx].1 {
+            TimedFault::Crash { node } => self.crash_node(node as usize),
+            TimedFault::Restart { node } => self.restart_node(node as usize),
+            TimedFault::MemPressure { node, pages } => self.mem_pressure(node as usize, pages),
+        }
+    }
+
+    /// A node dies. Its volatile state (kernel, paging engine, resident
+    /// sets) is gone; the disk hardware and the activity trace survive.
+    /// Every unfinished job with a rank there is torn down cluster-wide —
+    /// surviving ranks release their memory, the barrier episode is
+    /// abandoned — and queued for re-admission at restart. The gang
+    /// schedule compacts around the loss instead of wedging: if the dead
+    /// node's job held the active slot, the next surviving job switches
+    /// in immediately.
+    fn crash_node(&mut self, ni: usize) -> Result<(), SimError> {
+        if !self.node_up[ni] {
+            return Ok(());
+        }
+        let now = self.now;
+        self.node_up[ni] = false;
+
+        // Victim jobs: any unfinished job with a rank on the dead node
+        // (completed jobs already released their memory everywhere).
+        let victims: Vec<usize> = (0..self.job_procs.len())
+            .filter(|&j| {
+                self.completions[j].is_none()
+                    && self.job_procs[j].iter().any(|&p| self.procs[p].node == ni)
+            })
+            .collect();
+        self.obs.emit(now, || ObsEvent::NodeCrash {
+            node: ni as u32,
+            jobs_suspended: victims.len() as u32,
+        });
+
+        for &j in &victims {
+            let seed = self.cfg.seed.wrapping_add((j as u64) * 7919);
+            let spec = self.cfg.jobs[j].workload;
+            let members = self.job_procs[j].clone();
+            for &p in &members {
+                let pid = self.procs[p].pid;
+                let pn = self.procs[p].node;
+                if pn != ni && self.nodes[pn].kernel.proc(pid).is_ok() {
+                    // Surviving rank: release its memory and swap like a
+                    // normal exit (the job restarts from scratch).
+                    let node = &mut self.nodes[pn];
+                    node.kernel
+                        .unregister_proc(pid)
+                        .map_err(mem_err("unregister", pn, now))?;
+                    node.engine.forget_proc(pid);
+                }
+                let proc = &mut self.procs[p];
+                let rank = proc.rank;
+                proc.bump_gen();
+                proc.unblock_io(now);
+                proc.stop_pending = false;
+                proc.state = PState::Stopped;
+                proc.cur = None;
+                proc.iterations_done = 0;
+                proc.program = ProcessProgram::new(spec, rank, seed);
+            }
+            // Abandon the barrier episode; in-flight release/retry events
+            // for the old epoch go stale.
+            self.barriers[j].reset();
+            self.barrier_epoch[j] += 1;
+            self.pending_requeue.push(j);
+        }
+
+        // The crashed node reboots with empty memory. Re-attach the
+        // node-tagged observer so telemetry keeps flowing after restart.
+        {
+            let node = &mut self.nodes[ni];
+            node.kernel = Kernel::new(vm_params(&self.cfg), self.cfg.disk.blocks);
+            node.engine = PagingEngine::new(self.cfg.policy);
+            if let Some(tagged) = self.gauge_obs.get(ni) {
+                node.kernel.set_observer(tagged.clone());
+                node.engine.set_observer(tagged.clone());
+            }
+        }
+
+        // Pull the victims out of the gang schedule. Removals are batched
+        // before any switch so a forced switch can only land on a
+        // surviving job; `job_finished` hands back a plan exactly when the
+        // active slot empties, and a later removal of the newly activated
+        // job supersedes the earlier plan.
+        let saved_expire = self.next_expire;
+        let mut plan = None;
+        let mut removed_any = false;
+        for &j in &victims {
+            let jid = JobId(j as u32);
+            if !self.sched.has_job(jid) {
+                continue;
+            }
+            removed_any = true;
+            if let Some(p) = self.sched.job_finished(jid) {
+                plan = Some(p);
+            }
+        }
+        if let Some(plan) = plan {
+            self.do_switch(plan.out, plan.inn, plan.quantum)?;
+        } else if removed_any {
+            if self.sched.is_active() && self.sched.matrix().slots() >= 2 {
+                // The active job survived but the scheduler generation
+                // moved; re-arm the pending expiry under the new one.
+                if let Some(at) = saved_expire {
+                    let at = at.max(now);
+                    let sgen = self.sched.generation();
+                    self.queue.push(at, Event::QuantumExpire { sgen });
+                    self.next_expire = Some(at);
+                }
+            } else {
+                self.next_expire = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// The crashed node returns with empty memory. Suspended jobs whose
+    /// nodes are all back up are re-admitted to the gang schedule and
+    /// restart from their first instruction (the model has no
+    /// checkpointing); the rest keep waiting for their other nodes.
+    fn restart_node(&mut self, ni: usize) -> Result<(), SimError> {
+        if self.node_up[ni] {
+            return Ok(());
+        }
+        let now = self.now;
+        self.node_up[ni] = true;
+
+        let pending = std::mem::take(&mut self.pending_requeue);
+        let mut ready = Vec::new();
+        for j in pending {
+            let all_up = self.job_procs[j]
+                .iter()
+                .all(|&p| self.node_up[self.procs[p].node]);
+            if all_up {
+                ready.push(j);
+            } else {
+                self.pending_requeue.push(j);
+            }
+        }
+        self.obs.emit(now, || ObsEvent::NodeRestart {
+            node: ni as u32,
+            jobs_requeued: ready.len() as u32,
+        });
+
+        for &j in &ready {
+            let jid = JobId(j as u32);
+            let spec = &self.cfg.jobs[j];
+            self.sched
+                .add_job(jid, NodeSet::first_n(spec.workload.nprocs), spec.quantum)
+                .map_err(|e| SimError::Schedule {
+                    job: spec.name.clone(),
+                    detail: e,
+                })?;
+            for &p in &self.job_procs[j] {
+                let pid = self.procs[p].pid;
+                let pn = self.procs[p].node;
+                let pages = self.procs[p].program.footprint_pages() as usize;
+                self.nodes[pn].kernel.register_proc(pid, pages);
+            }
+            self.obs
+                .emit(now, || ObsEvent::JobRequeued { job: j as u32 });
+        }
+
+        if !ready.is_empty() {
+            if !self.sched.is_active() {
+                // The crash drained the schedule; restart it.
+                if let Some(plan) = self.sched.start() {
+                    self.do_switch(plan.out, plan.inn, plan.quantum)?;
+                }
+            } else if self.sched.matrix().slots() >= 2 {
+                // A survivor kept running; `add_job` moved the generation,
+                // so re-arm the expiry under it. With no pending expiry
+                // (the survivor ran alone) the rotation fires immediately
+                // and the requeued jobs get their first quantum.
+                let at = self.next_expire.unwrap_or(now).max(now);
+                let sgen = self.sched.generation();
+                self.queue.push(at, Event::QuantumExpire { sgen });
+                self.next_expire = Some(at);
+            }
+        }
+        Ok(())
+    }
+
+    /// A transient memory-pressure burst (the model's stand-in for an
+    /// external allocation) forces an immediate reclaim of `pages`
+    /// frames; dirty victims are written out through the fault-aware I/O
+    /// path.
+    fn mem_pressure(&mut self, ni: usize, pages: u64) -> Result<(), SimError> {
+        if !self.node_up[ni] {
+            return Ok(());
+        }
+        let now = self.now;
+        let writes = {
+            let node = &mut self.nodes[ni];
+            node.engine
+                .free_pages(&mut node.kernel, pages as usize, now)
+                .map_err(mem_err("free_pages", ni, now))?
+        };
+        let mut write_pages = 0;
+        if !writes.is_empty() {
+            let req = DiskRequest::write(writes);
+            write_pages = req.pages();
+            let c = self.submit_io(ni, now, &req);
+            self.nodes[ni].trace.record_out(c, write_pages);
+        }
+        self.obs.emit(now, || ObsEvent::MemPressure {
+            node: ni as u32,
+            target: pages,
+            write_pages,
+        });
         Ok(())
     }
 
@@ -878,8 +1313,26 @@ impl ClusterSim {
     }
 }
 
-fn sim_err(e: MemError, what: &str) -> String {
-    format!("memory subsystem error in {what}: {e}")
+/// Provenance-carrying adapter for `map_err` on memory-subsystem calls.
+fn mem_err(what: &'static str, ni: usize, at: SimTime) -> impl FnOnce(MemError) -> SimError {
+    move |e| SimError::Mem {
+        what,
+        node: ni as u32,
+        at_us: at.since(SimTime::ZERO).as_us(),
+        source: e,
+    }
+}
+
+/// VM geometry from the config (also used to rebuild a crashed node's
+/// kernel with the exact construction-time parameters).
+fn vm_params(cfg: &ClusterConfig) -> VmParams {
+    let total_frames = agp_sim::units::pages_from_mib(cfg.mem_mib);
+    let wired_frames = agp_sim::units::pages_from_mib(cfg.wired_mib);
+    let mut params = VmParams::for_frames(total_frames, wired_frames);
+    if let Some(ra) = cfg.readahead {
+        params.readahead = ra;
+    }
+    params
 }
 
 #[cfg(test)]
@@ -1238,6 +1691,206 @@ mod tests {
         assert_eq!(agp_obs::trace_diff(&ta, &tb), None);
         assert!(ta.contains("\"ev\":\"node_gauge\""));
         assert!(ta.contains("\"ev\":\"proc_gauge\""));
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos: fault injection & recovery
+    // ------------------------------------------------------------------
+
+    use agp_faults::{FaultPlan, FaultSpec};
+
+    /// Collector-backed run helper for counter assertions.
+    fn run_collected(cfg: ClusterConfig) -> (RunResult, agp_obs::ObsCounters) {
+        let sink = agp_obs::shared(agp_obs::Collector::new());
+        let link = agp_obs::ObsLink::to(sink.clone());
+        let mut sim = ClusterSim::new(cfg).unwrap();
+        sim.attach_observer(&link);
+        let r = sim.run().unwrap();
+        let counters = sink.lock().unwrap().counters.clone();
+        (r, counters)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        // The zero-behavioural-diff guarantee: attaching an injector with
+        // no fault specs must not move a single event.
+        let plain = parallel_cfg();
+        let mut chaos = parallel_cfg();
+        chaos.faults = Some(FaultPlan::empty(99));
+        let (ra, ta) = run_traced(plain);
+        let (rb, tb) = run_traced(chaos);
+        assert_eq!(ra.makespan, rb.makespan);
+        assert_eq!(ra.events, rb.events);
+        assert_eq!(agp_obs::trace_diff(&ta, &tb), None);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn chaos_same_seed_traces_are_byte_identical() {
+        let cfg = || {
+            let mut c = parallel_cfg();
+            c.faults = Some(FaultPlan::smoke(42));
+            c
+        };
+        let (ra, ta) = run_traced(cfg());
+        let (rb, tb) = run_traced(cfg());
+        assert_eq!(ra.makespan, rb.makespan);
+        assert_eq!(agp_obs::trace_diff(&ta, &tb), None);
+        assert_eq!(ta, tb);
+        assert!(
+            ta.contains("\"ev\":\"disk_error\"") || ta.contains("\"ev\":\"disk_slowdown\""),
+            "the smoke plan must actually inject disk faults"
+        );
+    }
+
+    #[test]
+    fn node_crash_requeues_jobs_and_completes() {
+        let base = ClusterSim::new(parallel_cfg()).unwrap().run().unwrap();
+        let mid = base.makespan.as_us() / 3;
+        let mut plan = FaultPlan::empty(7);
+        plan.faults.push(FaultSpec::NodeCrash {
+            node: 1,
+            at_us: mid,
+            down_us: mid / 2,
+        });
+        plan.faults.push(FaultSpec::MemPressure {
+            node: 0,
+            at_us: mid / 2,
+            pages: 256,
+        });
+        let mut cfg = parallel_cfg();
+        cfg.faults = Some(plan);
+        // Both jobs have a rank on node 1: the crash suspends both and
+        // the restart requeues both. The run must complete — with the
+        // restarted-from-scratch work on top of the baseline.
+        let (r, c) = run_collected(cfg);
+        assert_eq!(r.jobs.len(), 2);
+        assert_eq!(c.fault_node_crashes, 1);
+        assert_eq!(c.fault_node_restarts, 1);
+        assert_eq!(c.fault_jobs_requeued, 2);
+        assert!(c.fault_mem_pressure_pages > 0);
+        assert!(
+            r.makespan > base.makespan,
+            "requeued jobs restart from iteration 0: {} vs {}",
+            r.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn injected_disk_errors_retry_and_stats_cohere() {
+        let mut plan = FaultPlan::empty(5);
+        // The window must span the first gang switch (quantum = 10s) —
+        // both jobs fit cold-start in memory, so earlier instants see no
+        // disk traffic at all.
+        plan.faults.push(FaultSpec::DiskErrors {
+            node: 0,
+            p: 1.0,
+            from_us: 0,
+            until_us: 30_000_000,
+        });
+        let mut cfg = tiny_config(PolicyConfig::original(), ScheduleMode::Gang);
+        cfg.faults = Some(plan);
+        let (r, c) = run_collected(cfg);
+        let disk = &r.nodes[0].disk;
+        assert!(disk.errors > 0, "the window must catch live requests");
+        assert_eq!(
+            c.fault_disk_errors, disk.errors,
+            "collector and DiskStats must agree on the error count"
+        );
+        assert_eq!(
+            c.fault_io_retries, c.fault_disk_errors,
+            "every failed attempt is followed by exactly one retry"
+        );
+        // Errored attempts move no pages: the activity trace (successful
+        // completions only) still reconciles with the disk page counters.
+        let tr = r.merged_trace();
+        assert_eq!(tr.total_in(), r.total_pages_in());
+        assert_eq!(tr.total_out(), r.total_pages_out());
+    }
+
+    #[test]
+    fn repeated_disk_errors_degrade_adaptive_page_in() {
+        let mut plan = FaultPlan::empty(11);
+        plan.faults.push(FaultSpec::DiskErrors {
+            node: 0,
+            p: 1.0,
+            from_us: 0,
+            until_us: 30_000_000,
+        });
+        let mut cfg = tiny_config(PolicyConfig::full(), ScheduleMode::Gang);
+        cfg.faults = Some(plan);
+        let (r, c) = run_collected(cfg);
+        assert_eq!(
+            c.fault_ai_degrades, 1,
+            "ai falls back to demand paging exactly once per node"
+        );
+        assert!(
+            c.fault_disk_errors
+                >= u64::from(agp_faults::RecoveryPolicy::default().ai_degrade_after)
+        );
+        assert_eq!(r.jobs.len(), 2, "degraded run still completes");
+    }
+
+    #[test]
+    fn dropped_barrier_releases_time_out_and_reissue() {
+        let mut plan = FaultPlan::empty(3);
+        plan.faults.push(FaultSpec::BarrierDrops {
+            job: 0,
+            p: 1.0,
+            from_us: 0,
+            until_us: u64::MAX,
+        });
+        plan.recovery.barrier_timeout_us = 100_000;
+        plan.recovery.barrier_retries = 1;
+        let base = ClusterSim::new(parallel_cfg()).unwrap().run().unwrap();
+        let mut cfg = parallel_cfg();
+        cfg.faults = Some(plan);
+        let (r, c) = run_collected(cfg);
+        assert!(
+            c.fault_barrier_timeouts > 0,
+            "every release of job 0 is dropped and must time out"
+        );
+        assert!(
+            r.makespan > base.makespan,
+            "barrier stalls must cost wall time: {} vs {}",
+            r.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn typed_errors_carry_the_failure_class() {
+        // A plan referencing a node outside the cluster is a config error.
+        let mut cfg = tiny_config(PolicyConfig::original(), ScheduleMode::Gang);
+        let mut plan = FaultPlan::empty(1);
+        plan.faults.push(FaultSpec::MemPressure {
+            node: 64,
+            at_us: 1,
+            pages: 1,
+        });
+        cfg.faults = Some(plan);
+        match ClusterSim::new(cfg).map(|_| ()) {
+            Err(SimError::InvalidConfig(msg)) => assert!(msg.contains("fault plan"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Node crashes need a scheduler that can compact; batch has none.
+        let mut cfg = tiny_config(PolicyConfig::original(), ScheduleMode::Batch);
+        let mut plan = FaultPlan::empty(1);
+        plan.faults.push(FaultSpec::NodeCrash {
+            node: 0,
+            at_us: 1,
+            down_us: 1,
+        });
+        cfg.faults = Some(plan);
+        match ClusterSim::new(cfg).map(|_| ()) {
+            Err(SimError::FaultPlan(msg)) => assert!(msg.contains("gang"), "{msg}"),
+            other => panic!("expected FaultPlan error, got {other:?}"),
+        }
+        // The legacy string bridge renders the same text as Display.
+        let e = SimError::FaultPlan("x".into());
+        let s: String = e.clone().into();
+        assert_eq!(s, e.to_string());
     }
 
     #[test]

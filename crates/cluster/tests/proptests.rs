@@ -1,0 +1,152 @@
+//! Property tests over the fault-injection surface: any in-range seeded
+//! fault plan either completes the run or surfaces a typed [`SimError`] —
+//! never a panic, never a hang — and equal (seed, plan) pairs replay to
+//! identical results.
+//!
+//! Requires the real `proptest`; the offline stub-build scratch drops this
+//! file (see `.claude/skills/verify/SKILL.md`).
+
+use agp_cluster::{ClusterConfig, ClusterSim, JobSpec, ScheduleMode, SimError};
+use agp_core::PolicyConfig;
+use agp_faults::{FaultPlan, FaultSpec};
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
+use proptest::prelude::*;
+
+const NODES: u32 = 2;
+const JOBS: usize = 2;
+
+/// The sim unit tests' two-node pressured geometry: two 2-rank CG.A
+/// instances, 64 MiB nodes wired to 24 MiB, 5 s quanta. Small enough that
+/// a property case runs in tens of milliseconds.
+fn chaos_cfg(seed: u64, plan: FaultPlan) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_defaults(NODES);
+    cfg.mem_mib = 64;
+    cfg.wired_mib = 24;
+    cfg.quantum = SimDur::from_secs(5);
+    cfg.trace_bucket = SimDur::from_secs(1);
+    cfg.policy = PolicyConfig::full();
+    cfg.mode = ScheduleMode::Gang;
+    cfg.seed = seed;
+    cfg.jobs = (0..JOBS)
+        .map(|i| {
+            JobSpec::new(
+                format!("CG.A x2 #{}", i + 1),
+                WorkloadSpec::parallel(Benchmark::CG, Class::A, NODES),
+            )
+        })
+        .collect();
+    cfg.check_invariants = true;
+    cfg.faults = Some(plan);
+    cfg
+}
+
+/// One non-crash fault spec with parameters inside the validated ranges.
+/// Fault windows stay within the first two minutes of sim time — past any
+/// makespan this geometry produces, so out-of-window specs are also
+/// exercised (they must be inert, not fatal).
+fn non_crash_spec() -> impl Strategy<Value = FaultSpec> {
+    let window = (0u64..60_000_000, 1_000_000u64..120_000_000);
+    prop_oneof![
+        (0..NODES, 0.0f64..=1.0, window).prop_map(|(node, p, (from_us, until_us))| {
+            FaultSpec::DiskErrors {
+                node,
+                p,
+                from_us,
+                until_us,
+            }
+        }),
+        (0..NODES, 1u64..50_000, 0.0f64..=1.0, window).prop_map(
+            |(node, penalty_us, p, (from_us, until_us))| FaultSpec::DiskSlow {
+                node,
+                penalty_us,
+                p,
+                from_us,
+                until_us,
+            }
+        ),
+        (0..JOBS as u32, 0.0f64..=0.5, window).prop_map(|(job, p, (from_us, until_us))| {
+            FaultSpec::BarrierDrops {
+                job,
+                p,
+                from_us,
+                until_us,
+            }
+        }),
+        (0..NODES, 0u64..60_000_000, 1u64..2048)
+            .prop_map(|(node, at_us, pages)| { FaultSpec::MemPressure { node, at_us, pages } }),
+    ]
+}
+
+/// A whole plan: up to three non-crash specs plus at most one node crash
+/// (two overlapping crashes would leave zero schedulable nodes, which the
+/// gang scheduler treats as a stall rather than a fault scenario).
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        prop::collection::vec(non_crash_spec(), 0..3),
+        prop::option::of((0..NODES, 1u64..90_000_000, 1u64..30_000_000)),
+        1u32..6,
+        1u32..5,
+    )
+        .prop_map(|(seed, mut faults, crash, io_retries, ai_degrade_after)| {
+            if let Some((node, at_us, down_us)) = crash {
+                faults.push(FaultSpec::NodeCrash {
+                    node,
+                    at_us,
+                    down_us,
+                });
+            }
+            let mut plan = FaultPlan::empty(seed);
+            plan.faults = faults;
+            plan.recovery.io_retries = io_retries;
+            plan.recovery.ai_degrade_after = ai_degrade_after;
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Liveness under arbitrary in-range plans: the run either completes
+    /// (every job done, nonzero makespan) or returns a typed error. A
+    /// panic or a hang fails the test; there is no third outcome.
+    #[test]
+    fn any_seeded_plan_completes_or_errors(seed in any::<u64>(), plan in plan_strategy()) {
+        prop_assert!(plan.validate(NODES as usize, JOBS).is_ok());
+        let cfg = chaos_cfg(seed, plan);
+        prop_assert!(cfg.validate().is_ok());
+        match ClusterSim::new(cfg).and_then(|sim| sim.run()) {
+            Ok(r) => {
+                prop_assert_eq!(r.jobs.len(), JOBS);
+                prop_assert!(r.makespan.as_us() > 0);
+            }
+            Err(e) => {
+                // Typed, printable, and stable enough to match on.
+                let _: &SimError = &e;
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Determinism under faults: the same (seed, plan) pair replays to an
+    /// identical result — makespan, event log, and paging totals.
+    #[test]
+    fn same_seed_and_plan_replay_identically(seed in any::<u64>(), plan in plan_strategy()) {
+        let run = || ClusterSim::new(chaos_cfg(seed, plan.clone())).and_then(|s| s.run());
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.makespan, b.makespan);
+                prop_assert_eq!(a.events, b.events);
+                prop_assert_eq!(a.total_pages_in(), b.total_pages_in());
+                prop_assert_eq!(a.total_pages_out(), b.total_pages_out());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a.map(|r| r.makespan), b.map(|r| r.makespan)),
+        }
+    }
+}

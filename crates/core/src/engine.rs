@@ -223,6 +223,22 @@ impl PagingEngine {
         &self.cfg
     }
 
+    /// Enable or disable adaptive page-in at runtime (graceful
+    /// degradation: the cluster simulator downgrades a node to demand
+    /// paging after repeated disk errors, because replaying access
+    /// sequences into a flaky device multiplies the failed I/O).
+    ///
+    /// Disabling drops all page-in recorders — a half-recorded access
+    /// sequence must not be replayed later, and
+    /// [`PagingEngine::check_invariants`] treats live recorders with
+    /// the policy off as a violation.
+    pub fn set_adaptive_in(&mut self, on: bool) {
+        self.cfg.adaptive_in = on;
+        if !on {
+            self.recorders.clear();
+        }
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
@@ -967,6 +983,32 @@ mod tests {
         let mut e = PagingEngine::new(PolicyConfig::so_ao());
         let plan = e.adaptive_page_in(&mut k, b, NOW).unwrap();
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn degrading_adaptive_in_drops_recorders_coherently() {
+        let mut k = kernel(128);
+        let a = ProcId(1);
+        let b = ProcId(2);
+        k.register_proc(a, 120);
+        k.register_proc(b, 100);
+        fill_dirty(&mut k, b, 100, 0);
+        let mut e = PagingEngine::new(PolicyConfig::full());
+        k.quantum_started(a).unwrap();
+        e.adaptive_page_out(&mut k, b, a, Some(100)).unwrap();
+        assert!(e.stats().recorded_pages > 0, "b's eviction was recorded");
+        // Degrade to demand paging: the half-recorded sequence must go
+        // with it or check_invariants flags the stale records.
+        e.set_adaptive_in(false);
+        assert!(!e.cfg().adaptive_in);
+        e.check_invariants().unwrap();
+        k.quantum_started(b).unwrap();
+        e.adaptive_page_out(&mut k, a, b, Some(0)).unwrap();
+        let plan = e.adaptive_page_in(&mut k, b, NOW).unwrap();
+        assert!(plan.is_empty(), "no replay after degradation");
+        // Re-enabling starts from a clean slate.
+        e.set_adaptive_in(true);
+        e.check_invariants().unwrap();
     }
 
     #[test]

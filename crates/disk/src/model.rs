@@ -125,6 +125,15 @@ pub struct DiskStats {
     pub busy: SimDur,
     /// Total time requests spent queued before service began.
     pub queued: SimDur,
+    /// Requests that failed with a device error (chaos injection).
+    /// Errored requests move no pages and are *not* counted in
+    /// `read_requests`/`write_requests` or the page totals.
+    #[serde(default)]
+    pub errors: u64,
+    /// Injected latency-spike penalty absorbed by slowed requests
+    /// (chaos injection), summed.
+    #[serde(default)]
+    pub slow_penalty: SimDur,
 }
 
 /// A paging disk with a FIFO queue.
@@ -255,6 +264,53 @@ impl Disk {
         });
         completion
     }
+
+    /// Enqueue a request that the device will *fail* (chaos injection);
+    /// returns the instant the error is reported to the caller.
+    ///
+    /// A failed request burns only the controller command overhead: the
+    /// drive rejects it before moving the head, so no seek happens, no
+    /// pages transfer, and the head stays where the queue left it. The
+    /// request is counted in [`DiskStats::errors`] — never in the
+    /// completed-request or page totals — so throughput numbers remain
+    /// "work actually done".
+    pub fn submit_failing(&mut self, now: SimTime, req: &DiskRequest) -> SimTime {
+        let start = now.max(self.busy_until);
+        let svc = SimDur::from_us(self.params.command_overhead_us);
+        let completion = start + svc;
+
+        self.stats.queued += start - now;
+        self.stats.busy += svc;
+        self.stats.errors += 1;
+        self.busy_until = completion;
+        self.obs.emit(now, || ObsEvent::DiskError {
+            write: req.kind == IoKind::Write,
+            pages: req.pages(),
+            service_us: svc.as_us(),
+        });
+        completion
+    }
+
+    /// Enqueue a request slowed by an injected latency spike of
+    /// `penalty_us` (chaos injection); returns its completion instant.
+    ///
+    /// The request succeeds and is accounted exactly like a normal
+    /// [`Disk::submit`] — same seeks, same pages, same `DiskRequest`
+    /// event — with the penalty added on top of the service time and
+    /// recorded in [`DiskStats::slow_penalty`]. A trailing
+    /// `DiskSlowdown` event attributes the extra time to the fault.
+    pub fn submit_slowed(&mut self, now: SimTime, req: &DiskRequest, penalty_us: u64) -> SimTime {
+        let completion = self.submit(now, req);
+        if req.is_empty() || penalty_us == 0 {
+            return completion;
+        }
+        let penalty = SimDur::from_us(penalty_us);
+        self.stats.busy += penalty;
+        self.stats.slow_penalty += penalty;
+        self.busy_until = completion + penalty;
+        self.obs.emit(now, || ObsEvent::DiskSlowdown { penalty_us });
+        self.busy_until
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +411,53 @@ mod tests {
         let q = d.quote(&r);
         let c = d.submit(SimTime::ZERO, &r);
         assert_eq!(c.since(SimTime::ZERO), q);
+    }
+
+    #[test]
+    fn failed_request_counts_as_error_not_completion() {
+        let mut d = disk();
+        let r = DiskRequest::write(vec![Extent::new(0, 40)]);
+        let c = d.submit_failing(SimTime::ZERO, &r);
+        // Only command overhead is burned; the head never moved.
+        assert_eq!(
+            c.as_us(),
+            DiskParams::default().command_overhead_us,
+            "error is reported after command overhead only"
+        );
+        assert_eq!(d.stats().errors, 1);
+        assert_eq!(
+            d.stats().write_requests,
+            0,
+            "errored I/O is not completed I/O"
+        );
+        assert_eq!(d.stats().pages_written, 0, "errored I/O moved nothing");
+        assert_eq!(d.stats().seeks, 0, "rejected before the head moved");
+        // A retry of the same request behaves as if the failure never
+        // positioned the head.
+        let mut fresh = disk();
+        let c_retry = d.submit(c, &r);
+        let c_fresh = fresh.submit(SimTime::ZERO, &r);
+        assert_eq!(c_retry.since(c), c_fresh.since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn slowed_request_pays_the_penalty_once() {
+        let mut slow = disk();
+        let mut base = disk();
+        let r = DiskRequest::read(vec![Extent::new(100, 16)]);
+        let c_base = base.submit(SimTime::ZERO, &r);
+        let c_slow = slow.submit_slowed(SimTime::ZERO, &r, 7_000);
+        assert_eq!(c_slow.since(c_base), SimDur::from_us(7_000));
+        assert_eq!(slow.stats().slow_penalty, SimDur::from_us(7_000));
+        // The transfer itself is accounted normally.
+        assert_eq!(slow.stats().read_requests, 1);
+        assert_eq!(slow.stats().pages_read, 16);
+        assert_eq!(slow.busy_until(), c_slow, "queue drains after the penalty");
+        // Zero penalty degrades to a plain submit.
+        let mut z = disk();
+        let c_z = z.submit_slowed(SimTime::ZERO, &r, 0);
+        assert_eq!(c_z, c_base);
+        assert_eq!(z.stats().slow_penalty, SimDur::ZERO);
     }
 
     #[test]

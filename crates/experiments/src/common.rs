@@ -53,7 +53,10 @@ pub struct ExperimentOutput {
 /// Results come back in input order; the first error aborts.
 pub fn run_many(configs: Vec<ClusterConfig>) -> Result<Vec<RunResult>, String> {
     if configs.len() <= 1 {
-        return configs.into_iter().map(agp_cluster::run).collect();
+        return configs
+            .into_iter()
+            .map(|cfg| agp_cluster::run(cfg).map_err(String::from))
+            .collect();
     }
     let mut out: Vec<Option<RunResult>> = Vec::new();
     out.resize_with(configs.len(), || None);
@@ -201,6 +204,20 @@ pub fn quick_parallel(bench: Benchmark, nodes: u32) -> Scenario {
     let mut s = Scenario::pair(nodes, 128 - usable, w, SimDur::from_secs(10));
     s.mem_mib = 128;
     s
+}
+
+/// The demo geometry `agp chaos` runs: two 2-rank CG.A instances on a
+/// 2-node cluster under the full policy at quick scale. The node and job
+/// indices line up with the built-in smoke fault plan
+/// (`agp_faults::FaultPlan::smoke`), which targets nodes 0/1 and job 0.
+/// Deliberately *not* part of [`crate::all_experiments`]: chaos runs are
+/// exercised by `agp chaos` and the CI smoke, never by the parity report.
+pub fn chaos_demo(seed: u64) -> ClusterConfig {
+    let mut s = quick_parallel(Benchmark::CG, 2);
+    s.seed = seed;
+    let mut cfg = s.config(PolicyConfig::full(), ScheduleMode::Gang);
+    cfg.check_invariants = false;
+    cfg
 }
 
 /// Format helper: minutes with one decimal.

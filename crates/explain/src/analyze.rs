@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use agp_obs::{ObsEvent, Observer, SwitchPhaseKind};
 use agp_sim::SimTime;
 
-use crate::causes::CauseBuckets;
+use crate::causes::{Cause, CauseBuckets};
 use crate::dag::{ReqInfo, Segment, SwitchDag};
 
 /// Write-page count at a single switch that qualifies as a dirty-flush
@@ -98,6 +98,11 @@ pub struct Analyzer {
     cur_reqs_at: u64,
     cur_pageout_us: u64,
     cur_pagein_us: u64,
+    // Injected-fault time since the last switch, as (at_us, us) pairs:
+    // only entries stamped at (or after) the switch instant belong to
+    // the switch's drain; earlier ones were mid-quantum demand faults.
+    cur_fault_io: Vec<(u64, u64)>,
+    cur_fault_slow: Vec<(u64, u64)>,
     switches: Vec<SwitchExplain>,
     // -- anomaly state (BTreeMaps keep iteration deterministic) --
     last_evict: BTreeMap<(u32, u32), EvictMark>,
@@ -151,6 +156,8 @@ impl Analyzer {
             cur_reqs_at: 0,
             cur_pageout_us: 0,
             cur_pagein_us: 0,
+            cur_fault_io: Vec::new(),
+            cur_fault_slow: Vec::new(),
             switches: Vec::new(),
             last_evict: BTreeMap::new(),
             staged: BTreeMap::new(),
@@ -232,6 +239,24 @@ impl Analyzer {
         self.cur_reqs.clear();
         self.cur_pageout_us = 0;
         self.cur_pagein_us = 0;
+        // Fault time stamped at the switch instant or later happened
+        // inside this drain (retry timestamps advance past the switch
+        // start as backoff accumulates); anything earlier belongs to the
+        // preceding quantum's demand faults and is discarded.
+        let fault_io_us: u64 = self
+            .cur_fault_io
+            .iter()
+            .filter(|&&(t, _)| t >= at_us)
+            .map(|&(_, us)| us)
+            .sum();
+        let fault_slow_us: u64 = self
+            .cur_fault_slow
+            .iter()
+            .filter(|&&(t, _)| t >= at_us)
+            .map(|&(_, us)| us)
+            .sum();
+        self.cur_fault_io.clear();
+        self.cur_fault_slow.clear();
 
         let cp = SwitchDag::build(pageout_us, &reqs).critical_path();
         let segments = cp.attributed(total_us);
@@ -240,6 +265,13 @@ impl Analyzer {
             causes.add(s.cause, s.dur_us);
         }
         debug_assert_eq!(causes.total_us(), total_us);
+        // Injected faults stretch the drain beyond what the successful
+        // requests explain (error service + backoff, latency penalties),
+        // so the stretch sits in the unexplained remainder. Carve it out
+        // into the fault taxonomy, clamped so buckets still tile the
+        // switch latency exactly.
+        causes.reassign(Cause::Other, Cause::FaultIoError, fault_io_us);
+        causes.reassign(Cause::Other, Cause::FaultDiskSlow, fault_slow_us);
 
         let write_pages: u64 = reqs.iter().filter(|r| r.write).map(|r| r.pages).sum();
         if write_pages >= STORM_THRESHOLD_PAGES {
@@ -384,6 +416,15 @@ impl Observer for Analyzer {
             ObsEvent::BgTick { pages, .. } => {
                 self.bg_cleaned_pages += pages;
             }
+            ObsEvent::DiskError { service_us, .. } => {
+                self.cur_fault_io.push((at_us, service_us));
+            }
+            ObsEvent::IoRetry { backoff_us, .. } => {
+                self.cur_fault_io.push((at_us, backoff_us));
+            }
+            ObsEvent::DiskSlowdown { penalty_us } => {
+                self.cur_fault_slow.push((at_us, penalty_us));
+            }
             _ => {}
         }
     }
@@ -497,6 +538,94 @@ mod tests {
         let sw = &a.switches()[0];
         assert_eq!(sw.causes.get(Cause::Other), 500);
         assert_eq!(sw.causes.total_us(), sw.total_us);
+    }
+
+    #[test]
+    fn switch_instant_fault_time_lands_in_fault_causes() {
+        let mut a = Analyzer::new();
+        feed(
+            &mut a,
+            5_000,
+            0,
+            ObsEvent::DiskError {
+                write: true,
+                pages: 4,
+                service_us: 1_000,
+            },
+        );
+        feed(
+            &mut a,
+            5_000,
+            u32::MAX,
+            ObsEvent::IoRetry {
+                node: 0,
+                attempt: 1,
+                backoff_us: 2_000,
+            },
+        );
+        feed(&mut a, 5_000, 0, ObsEvent::DiskSlowdown { penalty_us: 700 });
+        switch_at(&mut a, 5_000, 1, 0, 10_000);
+        let sw = &a.switches()[0];
+        assert_eq!(sw.total_us, 10_000);
+        assert_eq!(sw.causes.get(Cause::FaultIoError), 3_000);
+        assert_eq!(sw.causes.get(Cause::FaultDiskSlow), 700);
+        assert_eq!(sw.causes.get(Cause::Other), 6_300);
+        assert_eq!(sw.causes.total_us(), sw.total_us, "buckets still tile");
+    }
+
+    #[test]
+    fn mid_quantum_fault_time_is_not_charged_to_the_switch() {
+        let mut a = Analyzer::new();
+        // A demand-fault retry long before the switch instant.
+        feed(
+            &mut a,
+            1_000,
+            u32::MAX,
+            ObsEvent::IoRetry {
+                node: 0,
+                attempt: 1,
+                backoff_us: 2_000,
+            },
+        );
+        switch_at(&mut a, 9_000, 1, 100, 400);
+        let sw = &a.switches()[0];
+        assert_eq!(sw.causes.get(Cause::FaultIoError), 0);
+        assert_eq!(sw.causes.get(Cause::Other), 500);
+        // And the stale entry does not leak into the next switch either.
+        feed(
+            &mut a,
+            9_500,
+            u32::MAX,
+            ObsEvent::IoRetry {
+                node: 0,
+                attempt: 1,
+                backoff_us: 300,
+            },
+        );
+        switch_at(&mut a, 9_400, 2, 0, 1_000);
+        assert_eq!(a.switches()[1].causes.get(Cause::FaultIoError), 300);
+    }
+
+    #[test]
+    fn fault_reassignment_is_clamped_to_the_unexplained_remainder() {
+        let mut a = Analyzer::new();
+        feed(
+            &mut a,
+            2_000,
+            0,
+            ObsEvent::DiskError {
+                write: false,
+                pages: 8,
+                service_us: 50_000,
+            },
+        );
+        // The switch is shorter than the claimed fault time: the carve-out
+        // must clamp instead of going negative.
+        switch_at(&mut a, 2_000, 1, 0, 4_000);
+        let sw = &a.switches()[0];
+        assert_eq!(sw.causes.get(Cause::FaultIoError), 4_000);
+        assert_eq!(sw.causes.get(Cause::Other), 0);
+        assert_eq!(sw.causes.total_us(), 4_000);
     }
 
     #[test]

@@ -31,13 +31,37 @@ pub enum Cause {
     PageinSeek,
     /// Raw data transfer of a page-in read.
     PageinTransfer,
+    /// Injected disk errors at the switch edge: device time burned by
+    /// failing attempts plus the retry backoff the recovery policy
+    /// waited (chaos runs only — always zero on a fault-free run).
+    FaultIoError,
+    /// Injected disk latency spikes that inflated switch-edge request
+    /// service times (chaos runs only).
+    FaultDiskSlow,
     /// Critical-path time the recorded requests cannot account for.
     Other,
 }
 
 impl Cause {
     /// Every cause, in the (stable) schema order.
-    pub const ALL: [Cause; 8] = [
+    pub const ALL: [Cause; 10] = [
+        Cause::PageoutQueueWait,
+        Cause::PageoutSeek,
+        Cause::PageoutTransfer,
+        Cause::InterleavedPageoutWait,
+        Cause::PageinQueueWait,
+        Cause::PageinSeek,
+        Cause::PageinTransfer,
+        Cause::FaultIoError,
+        Cause::FaultDiskSlow,
+        Cause::Other,
+    ];
+
+    /// The fault-free causes — the report schema before chaos existed.
+    /// Reports emit these unconditionally and the fault causes only when
+    /// nonzero, so fault-free explain JSON is byte-identical to the
+    /// pre-chaos golden.
+    pub const CORE: [Cause; 8] = [
         Cause::PageoutQueueWait,
         Cause::PageoutSeek,
         Cause::PageoutTransfer,
@@ -47,6 +71,11 @@ impl Cause {
         Cause::PageinTransfer,
         Cause::Other,
     ];
+
+    /// Whether this cause comes from the fault-injection taxonomy.
+    pub fn is_fault(self) -> bool {
+        matches!(self, Cause::FaultIoError | Cause::FaultDiskSlow)
+    }
 
     /// The stable snake_case schema name.
     pub fn name(self) -> &'static str {
@@ -58,6 +87,8 @@ impl Cause {
             Cause::PageinQueueWait => "pagein_queue_wait",
             Cause::PageinSeek => "pagein_seek",
             Cause::PageinTransfer => "pagein_transfer",
+            Cause::FaultIoError => "fault_io_error",
+            Cause::FaultDiskSlow => "fault_disk_slow",
             Cause::Other => "other",
         }
     }
@@ -71,7 +102,9 @@ impl Cause {
             Cause::PageinQueueWait => 4,
             Cause::PageinSeek => 5,
             Cause::PageinTransfer => 6,
-            Cause::Other => 7,
+            Cause::FaultIoError => 7,
+            Cause::FaultDiskSlow => 8,
+            Cause::Other => 9,
         }
     }
 }
@@ -85,7 +118,7 @@ impl fmt::Display for Cause {
 /// Microseconds attributed to each [`Cause`], iterated in schema order.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CauseBuckets {
-    us: [u64; 8],
+    us: [u64; 10],
 }
 
 impl CauseBuckets {
@@ -108,6 +141,16 @@ impl CauseBuckets {
     /// buckets (asserted by the explain golden test).
     pub fn total_us(&self) -> u64 {
         self.us.iter().sum()
+    }
+
+    /// Move up to `us` microseconds from `from` to `to`, clamped to what
+    /// `from` actually holds so the bucket total is preserved exactly.
+    /// Returns the amount moved.
+    pub fn reassign(&mut self, from: Cause, to: Cause, us: u64) -> u64 {
+        let moved = us.min(self.us[from.index()]);
+        self.us[from.index()] -= moved;
+        self.us[to.index()] += moved;
+        moved
     }
 
     /// Fold another set of buckets into this one.
@@ -152,9 +195,26 @@ mod tests {
                 "pagein_queue_wait",
                 "pagein_seek",
                 "pagein_transfer",
+                "fault_io_error",
+                "fault_disk_slow",
                 "other",
             ]
         );
+        let core: Vec<_> = Cause::CORE.iter().map(|c| c.name()).collect();
+        assert!(!core.iter().any(|n| n.starts_with("fault_")));
+        assert_eq!(core.len() + 2, Cause::ALL.len());
+    }
+
+    #[test]
+    fn reassign_is_clamped_and_total_preserving() {
+        let mut b = CauseBuckets::new();
+        b.add(Cause::Other, 100);
+        assert_eq!(b.reassign(Cause::Other, Cause::FaultIoError, 60), 60);
+        assert_eq!(b.reassign(Cause::Other, Cause::FaultDiskSlow, 90), 40);
+        assert_eq!(b.get(Cause::Other), 0);
+        assert_eq!(b.get(Cause::FaultIoError), 60);
+        assert_eq!(b.get(Cause::FaultDiskSlow), 40);
+        assert_eq!(b.total_us(), 100);
     }
 
     #[test]

@@ -62,7 +62,9 @@ impl ExplainDiff {
         Delta::of(self.test.switch_total_us, self.base.switch_total_us)
     }
 
-    /// Per-cause deltas in schema order.
+    /// Per-cause deltas in schema order. Fault-taxonomy causes are
+    /// included only when either side holds time, so fault-free diffs
+    /// keep the pre-chaos schema.
     pub fn causes(&self) -> Vec<(Cause, Delta)> {
         Cause::ALL
             .iter()
@@ -72,6 +74,7 @@ impl ExplainDiff {
                     Delta::of(self.test.causes.get(c), self.base.causes.get(c)),
                 )
             })
+            .filter(|&(c, d)| !c.is_fault() || d.test > 0 || d.base > 0)
             .collect()
     }
 

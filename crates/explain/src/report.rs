@@ -138,6 +138,9 @@ impl ExplainReport {
         );
         let total = self.switch_total_us.max(1) as f64;
         for (cause, us) in self.causes.iter() {
+            if cause.is_fault() && us == 0 {
+                continue;
+            }
             t1.row(vec![
                 cause.name().into(),
                 us.to_string(),
@@ -239,9 +242,13 @@ pub(crate) fn meta_json(m: &RunMeta) -> Json {
     ])
 }
 
+/// Cause buckets as JSON. The fault-taxonomy causes only appear when
+/// they hold time, so fault-free reports keep the pre-chaos schema (and
+/// the committed golden) byte for byte.
 pub(crate) fn causes_json(c: &CauseBuckets) -> Json {
     Json::Obj(
         c.iter()
+            .filter(|&(cause, us)| !cause.is_fault() || us > 0)
             .map(|(cause, us)| (cause.name().into(), num(us)))
             .collect(),
     )
@@ -358,20 +365,38 @@ mod tests {
             .and_then(Json::as_array)
             .expect("diagnostics");
         assert_eq!(diags.len(), 3, "all kinds present even at zero count");
-        // Cause keys appear in schema order.
+        // A fault-free run emits exactly the core (pre-chaos) cause keys,
+        // in schema order.
         let causes = doc.get("causes").and_then(Json::as_object).expect("causes");
         let keys: Vec<&str> = causes.iter().map(|(k, _)| k.as_str()).collect();
-        let want: Vec<&str> = Cause::ALL.iter().map(|c| c.name()).collect();
+        let want: Vec<&str> = Cause::CORE.iter().map(|c| c.name()).collect();
         assert_eq!(keys, want);
         // Byte-determinism of the writer itself.
         assert_eq!(text, r.to_json_string());
     }
 
     #[test]
+    fn fault_causes_appear_only_when_nonzero() {
+        let mut r = ExplainReport::build(Analyzer::new(), meta(), 1_000, 1);
+        r.causes.add(Cause::FaultIoError, 250);
+        let doc = Json::parse(&r.to_json_string()).expect("parses");
+        let causes = doc.get("causes").and_then(Json::as_object).expect("causes");
+        let keys: Vec<&str> = causes.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"fault_io_error"));
+        assert!(
+            !keys.contains(&"fault_disk_slow"),
+            "still-zero fault cause stays hidden"
+        );
+        // Schema order is preserved: the fault cause slots in before "other".
+        assert_eq!(keys.last(), Some(&"other"));
+        assert_eq!(r.tables()[0].len(), Cause::CORE.len() + 1);
+    }
+
+    #[test]
     fn tables_cover_every_cause() {
         let r = ExplainReport::build(Analyzer::new(), meta(), 0, 0);
         let t = r.tables();
-        assert_eq!(t[0].len(), Cause::ALL.len());
+        assert_eq!(t[0].len(), Cause::CORE.len());
         assert!(r
             .notes()
             .iter()

@@ -1,0 +1,300 @@
+//! The runtime injector: turns a [`FaultPlan`] into deterministic
+//! per-decision answers for the cluster simulation.
+
+use agp_sim::SimRng;
+
+use crate::plan::{FaultPlan, FaultSpec, RecoveryPolicy};
+
+/// Stream tags for the injector's forked RNG substreams. Disk and
+/// network draws come from independent streams so adding a disk fault
+/// spec never perturbs the barrier-drop sequence (and vice versa).
+const STREAM_DISK: u64 = 0xD15C;
+const STREAM_NET: u64 = 0xBA88;
+
+/// What happens to one disk request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskOutcome {
+    /// The request proceeds normally.
+    Ok,
+    /// The request proceeds but its service time is inflated by this many
+    /// microseconds (latency spike).
+    Slow(u64),
+    /// The request fails after the device's command overhead; the caller
+    /// retries with backoff.
+    Error,
+}
+
+/// A fault that fires at a plan-scheduled instant rather than per
+/// decision; the simulation turns these into queue events up front.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimedFault {
+    /// Node `node` crashes.
+    Crash {
+        /// Crashing node index.
+        node: u32,
+    },
+    /// Node `node` comes back.
+    Restart {
+        /// Restarting node index.
+        node: u32,
+    },
+    /// Forced reclaim of `pages` frames on `node`.
+    MemPressure {
+        /// Target node index.
+        node: u32,
+        /// Frames to reclaim.
+        pages: u64,
+    },
+}
+
+/// The deterministic chaos oracle. One per run; owned by the cluster
+/// simulation when a plan is active.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    disk_rng: SimRng,
+    net_rng: SimRng,
+    /// Cumulative injected disk errors per node; drives the `ai`
+    /// degradation threshold.
+    disk_errors: Vec<u64>,
+}
+
+impl FaultInjector {
+    /// Build an injector for a cluster of `nodes` nodes. The plan should
+    /// already be validated against the geometry.
+    pub fn new(plan: FaultPlan, nodes: usize) -> FaultInjector {
+        let root = SimRng::new(plan.seed);
+        FaultInjector {
+            disk_rng: root.fork(STREAM_DISK),
+            net_rng: root.fork(STREAM_NET),
+            disk_errors: vec![0; nodes],
+            plan,
+        }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The recovery knobs.
+    pub fn recovery(&self) -> &RecoveryPolicy {
+        &self.plan.recovery
+    }
+
+    /// Plan-scheduled faults as `(at_us, fault)` pairs, sorted by time
+    /// (ties keep plan order). Each `NodeCrash` contributes both the
+    /// crash and its paired restart.
+    pub fn timed(&self) -> Vec<(u64, TimedFault)> {
+        let mut out = Vec::new();
+        for f in &self.plan.faults {
+            match *f {
+                FaultSpec::NodeCrash {
+                    node,
+                    at_us,
+                    down_us,
+                } => {
+                    out.push((at_us, TimedFault::Crash { node }));
+                    out.push((at_us.saturating_add(down_us), TimedFault::Restart { node }));
+                }
+                FaultSpec::MemPressure { node, at_us, pages } => {
+                    out.push((at_us, TimedFault::MemPressure { node, pages }));
+                }
+                FaultSpec::DiskErrors { .. }
+                | FaultSpec::DiskSlow { .. }
+                | FaultSpec::BarrierDrops { .. } => {}
+            }
+        }
+        out.sort_by_key(|&(at, _)| at);
+        out
+    }
+
+    /// Decide the fate of a disk request submitted on `node` at `now_us`.
+    /// Error specs are consulted before slow specs (a failed request
+    /// cannot also be slow); within a class, plan order wins.
+    pub fn disk_outcome(&mut self, node: usize, now_us: u64) -> DiskOutcome {
+        for f in &self.plan.faults {
+            if let FaultSpec::DiskErrors {
+                node: n,
+                p,
+                from_us,
+                until_us,
+            } = *f
+            {
+                if n as usize == node
+                    && now_us >= from_us
+                    && now_us < until_us
+                    && self.disk_rng.chance(p)
+                {
+                    self.disk_errors[node] += 1;
+                    return DiskOutcome::Error;
+                }
+            }
+        }
+        for f in &self.plan.faults {
+            if let FaultSpec::DiskSlow {
+                node: n,
+                penalty_us,
+                p,
+                from_us,
+                until_us,
+            } = *f
+            {
+                if n as usize == node
+                    && now_us >= from_us
+                    && now_us < until_us
+                    && self.disk_rng.chance(p)
+                {
+                    return DiskOutcome::Slow(penalty_us);
+                }
+            }
+        }
+        DiskOutcome::Ok
+    }
+
+    /// Whether the barrier release message for `job` at `now_us` is
+    /// dropped (the blocked ranks then wait for the timeout re-issue).
+    pub fn barrier_dropped(&mut self, job: usize, now_us: u64) -> bool {
+        for f in &self.plan.faults {
+            if let FaultSpec::BarrierDrops {
+                job: j,
+                p,
+                from_us,
+                until_us,
+            } = *f
+            {
+                if j as usize == job
+                    && now_us >= from_us
+                    && now_us < until_us
+                    && self.net_rng.chance(p)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Cumulative injected disk errors on `node` (drives the `ai`
+    /// degradation threshold, [`RecoveryPolicy::ai_degrade_after`]).
+    pub fn disk_errors_on(&self, node: usize) -> u64 {
+        self.disk_errors.get(node).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultSpec;
+
+    fn plan_with(faults: Vec<FaultSpec>) -> FaultPlan {
+        FaultPlan {
+            faults,
+            ..FaultPlan::empty(0xC4A0)
+        }
+    }
+
+    #[test]
+    fn same_plan_same_decision_sequence() {
+        let plan = plan_with(vec![
+            FaultSpec::DiskErrors {
+                node: 0,
+                p: 0.3,
+                from_us: 0,
+                until_us: u64::MAX,
+            },
+            FaultSpec::BarrierDrops {
+                job: 0,
+                p: 0.3,
+                from_us: 0,
+                until_us: u64::MAX,
+            },
+        ]);
+        let mut a = FaultInjector::new(plan.clone(), 1);
+        let mut b = FaultInjector::new(plan, 1);
+        for t in 0..200u64 {
+            assert_eq!(a.disk_outcome(0, t), b.disk_outcome(0, t));
+            assert_eq!(a.barrier_dropped(0, t), b.barrier_dropped(0, t));
+        }
+        assert_eq!(a.disk_errors_on(0), b.disk_errors_on(0));
+        assert!(a.disk_errors_on(0) > 0, "p=0.3 over 200 draws must hit");
+    }
+
+    #[test]
+    fn disk_and_net_streams_are_independent() {
+        // Consuming disk draws must not shift the barrier-drop sequence.
+        let plan = plan_with(vec![
+            FaultSpec::DiskErrors {
+                node: 0,
+                p: 0.5,
+                from_us: 0,
+                until_us: u64::MAX,
+            },
+            FaultSpec::BarrierDrops {
+                job: 0,
+                p: 0.5,
+                from_us: 0,
+                until_us: u64::MAX,
+            },
+        ]);
+        let mut pure = FaultInjector::new(plan.clone(), 1);
+        let net_only: Vec<bool> = (0..64).map(|t| pure.barrier_dropped(0, t)).collect();
+        let mut mixed = FaultInjector::new(plan, 1);
+        let net_mixed: Vec<bool> = (0..64)
+            .map(|t| {
+                let _ = mixed.disk_outcome(0, t);
+                mixed.barrier_dropped(0, t)
+            })
+            .collect();
+        assert_eq!(net_only, net_mixed);
+    }
+
+    #[test]
+    fn windows_gate_injection() {
+        let plan = plan_with(vec![FaultSpec::DiskErrors {
+            node: 0,
+            p: 1.0,
+            from_us: 100,
+            until_us: 200,
+        }]);
+        let mut inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.disk_outcome(0, 99), DiskOutcome::Ok);
+        assert_eq!(inj.disk_outcome(0, 100), DiskOutcome::Error);
+        assert_eq!(inj.disk_outcome(0, 199), DiskOutcome::Error);
+        assert_eq!(inj.disk_outcome(0, 200), DiskOutcome::Ok);
+        assert_eq!(inj.disk_outcome(1, 150), DiskOutcome::Ok, "other node");
+    }
+
+    #[test]
+    fn error_wins_over_slow_and_crash_pairs_restart() {
+        let plan = plan_with(vec![
+            FaultSpec::DiskSlow {
+                node: 0,
+                penalty_us: 5_000,
+                p: 1.0,
+                from_us: 0,
+                until_us: u64::MAX,
+            },
+            FaultSpec::DiskErrors {
+                node: 0,
+                p: 1.0,
+                from_us: 0,
+                until_us: u64::MAX,
+            },
+            FaultSpec::NodeCrash {
+                node: 0,
+                at_us: 50,
+                down_us: 10,
+            },
+        ]);
+        let mut inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.disk_outcome(0, 0), DiskOutcome::Error);
+        assert_eq!(
+            inj.timed(),
+            vec![
+                (50, TimedFault::Crash { node: 0 }),
+                (60, TimedFault::Restart { node: 0 }),
+            ]
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # agp-faults — deterministic fault injection (`agp-chaos`)
+//!
+//! The paper's gang scheduler ran on a real 5-node cluster where disks
+//! stall, links drop messages, and nodes die; the reproduction's adaptive
+//! policies (`so`/`ao`/`ai`/`bg`) are only trustworthy if they survive the
+//! same weather. This crate supplies the *fault half* of that story:
+//!
+//! * [`FaultPlan`] — a seeded, schema-versioned description of what goes
+//!   wrong and when: disk I/O errors and latency spikes, barrier
+//!   release-message drops, node crash/restart pairs, and transient
+//!   memory-pressure bursts. Plans are plain serde JSON so they can be
+//!   committed (see `plans/smoke.json`) and replayed byte-for-byte.
+//! * [`FaultInjector`] — the runtime oracle the cluster simulation
+//!   consults. Every probabilistic decision comes from [`agp_sim::SimRng`]
+//!   substreams forked from the plan's seed — never wall-clock, never a
+//!   global RNG — so the same `(config seed, plan)` pair yields a
+//!   byte-identical event trace on every run.
+//! * [`RecoveryPolicy`] — the knobs for the *recovery half* implemented in
+//!   `agp-cluster`: capped exponential retry/backoff for failed paging
+//!   I/O, barrier timeout + re-issue, adaptive-page-in degradation after
+//!   repeated disk errors, and crash requeue.
+//!
+//! The injector decides *whether* a fault fires; the cluster simulation
+//! owns *what happens next* (retry, degrade, requeue) and emits the
+//! corresponding `ObsEvent`s so `agp profile` / `agp explain` can
+//! attribute degraded switches to a fault-taxonomy cause.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inject;
+mod plan;
+
+pub use inject::{DiskOutcome, FaultInjector, TimedFault};
+pub use plan::{FaultPlan, FaultSpec, RecoveryPolicy, FAULT_PLAN_SCHEMA_VERSION};

@@ -1,0 +1,723 @@
+//! The fault plan: a committed, seeded description of injected failures.
+//!
+//! A plan is deliberately *declarative*: it names windows, probabilities,
+//! and instants, and leaves every probabilistic draw to the
+//! [`FaultInjector`](crate::FaultInjector) so that the draw order — and
+//! therefore the whole simulation — is reproducible from the seed.
+//!
+//! Plans serialize through [`agp_metrics::Json`] (the workspace's
+//! deterministic, dependency-free JSON model) so `plans/*.json` files are
+//! byte-stable and the parser is strict: unknown fields are errors, not
+//! silently ignored typos. Integer fields are carried as JSON numbers and
+//! must stay below 2^53 (the exact-integer range of an IEEE double).
+
+use agp_metrics::Json;
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every serialized plan; bump on breaking changes.
+pub const FAULT_PLAN_SCHEMA_VERSION: u32 = 1;
+
+// Referenced only from `#[serde(default = "...")]` attributes, which the
+// dependency-stubbed offline build expands to nothing.
+#[allow(dead_code)]
+fn schema_version_default() -> u32 {
+    FAULT_PLAN_SCHEMA_VERSION
+}
+
+#[allow(dead_code)]
+fn until_default() -> u64 {
+    u64::MAX
+}
+
+/// One injected failure mode. Windows are half-open `[from_us, until_us)`
+/// in sim time; probabilities are per *decision* (per disk request, per
+/// barrier release), not per unit time, so they compose with the
+/// simulation's own event density.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultSpec {
+    /// Each disk request submitted on `node` inside the window fails with
+    /// probability `p` (a transient medium error: the device burns its
+    /// command overhead and reports failure; no pages move).
+    DiskErrors {
+        /// Target node index.
+        node: u32,
+        /// Per-request failure probability in `[0, 1]`.
+        p: f64,
+        /// Window start, µs (default 0).
+        #[serde(default)]
+        from_us: u64,
+        /// Window end, µs, exclusive (default: forever).
+        #[serde(default = "until_default")]
+        until_us: u64,
+    },
+    /// Each disk request submitted on `node` inside the window is slowed
+    /// by `penalty_us` with probability `p` (a latency spike: thermal
+    /// recalibration, firmware GC, a bus retry storm).
+    DiskSlow {
+        /// Target node index.
+        node: u32,
+        /// Added service latency per affected request, µs.
+        penalty_us: u64,
+        /// Per-request spike probability in `[0, 1]`.
+        p: f64,
+        /// Window start, µs (default 0).
+        #[serde(default)]
+        from_us: u64,
+        /// Window end, µs, exclusive (default: forever).
+        #[serde(default = "until_default")]
+        until_us: u64,
+    },
+    /// The barrier release message for `job` is dropped with probability
+    /// `p` inside the window; blocked ranks sit until the barrier timeout
+    /// re-issues it (see [`RecoveryPolicy::barrier_timeout_us`]).
+    BarrierDrops {
+        /// Target job index.
+        job: u32,
+        /// Per-release drop probability in `[0, 1]`.
+        p: f64,
+        /// Window start, µs (default 0).
+        #[serde(default)]
+        from_us: u64,
+        /// Window end, µs, exclusive (default: forever).
+        #[serde(default = "until_default")]
+        until_us: u64,
+    },
+    /// `node` crashes at `at_us` and restarts `down_us` later. Every job
+    /// with a rank on the node loses its volatile state: the cluster
+    /// requeues those jobs (restarted from iteration 0 — there is no
+    /// checkpointing in the model) and the gang keeps rotating over the
+    /// survivors instead of wedging.
+    NodeCrash {
+        /// Crashing node index.
+        node: u32,
+        /// Crash instant, µs.
+        at_us: u64,
+        /// Outage duration, µs (the restart fires at `at_us + down_us`).
+        down_us: u64,
+    },
+    /// A transient memory-pressure burst on `node` at `at_us`: an
+    /// external agent (in the paper's setting, a daemon waking up)
+    /// demands `pages` frames, forcing an immediate reclaim of that many
+    /// pages through the normal eviction path.
+    MemPressure {
+        /// Target node index.
+        node: u32,
+        /// Burst instant, µs.
+        at_us: u64,
+        /// Frames reclaimed by the burst.
+        pages: u64,
+    },
+}
+
+/// Recovery knobs consumed by the cluster simulation. All defaults are
+/// deliberately conservative; a plan may override any subset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RecoveryPolicy {
+    /// Retries after a failed disk request before the transient fault is
+    /// considered cleared (the attempt after the last retry always
+    /// succeeds — the injected errors model *transient* media failures).
+    pub io_retries: u32,
+    /// Backoff before the first retry, µs; doubles per attempt.
+    pub io_backoff_us: u64,
+    /// Upper bound on any single backoff, µs.
+    pub io_backoff_cap_us: u64,
+    /// Injected disk errors on a node after which adaptive page-in (`ai`)
+    /// degrades to plain demand paging on that node (bulk replay reads
+    /// amplify a flaky disk; falling back sheds the amplification).
+    pub ai_degrade_after: u32,
+    /// Barrier release re-issue timeout, µs. Defaults to
+    /// `agp-net`'s documented barrier timeout (60 s).
+    pub barrier_timeout_us: u64,
+    /// Re-issue attempts before the release is forced through (the
+    /// network fault is transient; delivery is guaranteed eventually).
+    pub barrier_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            io_retries: 4,
+            io_backoff_us: 2_000,
+            io_backoff_cap_us: 64_000,
+            ai_degrade_after: 3,
+            barrier_timeout_us: 60_000_000,
+            barrier_retries: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before retry number `attempt` (0-based): capped
+    /// exponential, `min(io_backoff_us << attempt, io_backoff_cap_us)`.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .io_backoff_us
+            .checked_shl(attempt.min(32))
+            .unwrap_or(self.io_backoff_cap_us);
+        shifted.min(self.io_backoff_cap_us)
+    }
+}
+
+/// A complete, committable chaos scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Plan schema version (see [`FAULT_PLAN_SCHEMA_VERSION`]).
+    #[serde(default = "schema_version_default")]
+    pub schema_version: u32,
+    /// Seed for the injector's RNG substreams. Independent of the
+    /// simulation seed: the same weather can be replayed over different
+    /// workload seeds and vice versa.
+    pub seed: u64,
+    /// The injected failure modes.
+    #[serde(default)]
+    pub faults: Vec<FaultSpec>,
+    /// Recovery knobs.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, default recovery) — useful as a base.
+    pub fn empty(seed: u64) -> FaultPlan {
+        FaultPlan {
+            schema_version: FAULT_PLAN_SCHEMA_VERSION,
+            seed,
+            faults: Vec::new(),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// The built-in smoke scenario used by `agp chaos` when no plan file
+    /// is given, and the generator for the committed `plans/smoke.json`.
+    /// Geometry: assumes ≥ 2 nodes and ≥ 2 jobs (the chaos demo config).
+    /// It exercises every fault class: early disk errors and a latency
+    /// spike window on node 0, barrier drops for job 0, a memory-pressure
+    /// burst, and a crash/restart of node 1 mid-run.
+    pub fn smoke(seed: u64) -> FaultPlan {
+        FaultPlan {
+            schema_version: FAULT_PLAN_SCHEMA_VERSION,
+            seed,
+            faults: vec![
+                FaultSpec::DiskErrors {
+                    node: 0,
+                    p: 0.08,
+                    from_us: 0,
+                    until_us: 400_000_000,
+                },
+                FaultSpec::DiskSlow {
+                    node: 0,
+                    penalty_us: 15_000,
+                    p: 0.10,
+                    from_us: 0,
+                    until_us: 600_000_000,
+                },
+                FaultSpec::BarrierDrops {
+                    job: 0,
+                    p: 0.02,
+                    from_us: 0,
+                    until_us: u64::MAX,
+                },
+                FaultSpec::MemPressure {
+                    node: 0,
+                    at_us: 30_000_000,
+                    pages: 512,
+                },
+                FaultSpec::NodeCrash {
+                    node: 1,
+                    at_us: 120_000_000,
+                    down_us: 45_000_000,
+                },
+            ],
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Validate the plan against a cluster geometry. `nodes`/`jobs` are
+    /// the config's counts; out-of-range targets are configuration
+    /// errors, not silent no-ops.
+    pub fn validate(&self, nodes: usize, jobs: usize) -> Result<(), String> {
+        if self.schema_version != FAULT_PLAN_SCHEMA_VERSION {
+            return Err(format!(
+                "fault plan schema v{} unsupported (expected v{FAULT_PLAN_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        let chk_p = |p: f64, what: &str| {
+            if !(0.0..=1.0).contains(&p) {
+                Err(format!("{what}: probability {p} outside [0, 1]"))
+            } else {
+                Ok(())
+            }
+        };
+        let chk_node = |n: u32, what: &str| {
+            if (n as usize) < nodes {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{what}: node {n} out of range (cluster has {nodes})"
+                ))
+            }
+        };
+        for (i, f) in self.faults.iter().enumerate() {
+            let what = format!("faults[{i}]");
+            match *f {
+                FaultSpec::DiskErrors {
+                    node,
+                    p,
+                    from_us,
+                    until_us,
+                }
+                | FaultSpec::DiskSlow {
+                    node,
+                    p,
+                    from_us,
+                    until_us,
+                    ..
+                } => {
+                    chk_node(node, &what)?;
+                    chk_p(p, &what)?;
+                    if from_us >= until_us {
+                        return Err(format!("{what}: empty window [{from_us}, {until_us})"));
+                    }
+                }
+                FaultSpec::BarrierDrops {
+                    job,
+                    p,
+                    from_us,
+                    until_us,
+                } => {
+                    if job as usize >= jobs {
+                        return Err(format!(
+                            "{what}: job {job} out of range (config has {jobs})"
+                        ));
+                    }
+                    chk_p(p, &what)?;
+                    if from_us >= until_us {
+                        return Err(format!("{what}: empty window [{from_us}, {until_us})"));
+                    }
+                }
+                FaultSpec::NodeCrash { node, down_us, .. } => {
+                    chk_node(node, &what)?;
+                    if down_us == 0 {
+                        return Err(format!("{what}: down_us must be > 0"));
+                    }
+                }
+                FaultSpec::MemPressure { node, pages, .. } => {
+                    chk_node(node, &what)?;
+                    if pages == 0 {
+                        return Err(format!("{what}: pages must be > 0"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a plan from JSON text (strict: unknown fields are errors).
+    pub fn from_json_str(text: &str) -> Result<FaultPlan, String> {
+        let doc = Json::parse(text).map_err(|e| format!("fault plan parse error: {e}"))?;
+        plan_from_json(&doc)
+    }
+
+    /// The plan as a [`Json`] document with a fixed field order
+    /// (windows open until forever omit `until_us`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), num(self.schema_version as u64)),
+            ("seed".into(), num(self.seed)),
+            (
+                "faults".into(),
+                Json::Arr(self.faults.iter().map(spec_json).collect()),
+            ),
+            (
+                "recovery".into(),
+                Json::Obj(vec![
+                    ("io_retries".into(), num(self.recovery.io_retries as u64)),
+                    ("io_backoff_us".into(), num(self.recovery.io_backoff_us)),
+                    (
+                        "io_backoff_cap_us".into(),
+                        num(self.recovery.io_backoff_cap_us),
+                    ),
+                    (
+                        "ai_degrade_after".into(),
+                        num(self.recovery.ai_degrade_after as u64),
+                    ),
+                    (
+                        "barrier_timeout_us".into(),
+                        num(self.recovery.barrier_timeout_us),
+                    ),
+                    (
+                        "barrier_retries".into(),
+                        num(self.recovery.barrier_retries as u64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Serialize the plan as pretty JSON with a trailing newline (the
+    /// format committed under `plans/`). Byte-deterministic.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        pretty(&self.to_json(), 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn num(v: u64) -> Json {
+    debug_assert!(v < (1u64 << 53), "JSON number out of exact-integer range");
+    Json::Num(v as f64)
+}
+
+fn spec_json(f: &FaultSpec) -> Json {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    let mut push = |k: &str, v: Json| pairs.push((k.into(), v));
+    let window = |push: &mut dyn FnMut(&str, Json), from_us: u64, until_us: u64| {
+        push("from_us", num(from_us));
+        if until_us != u64::MAX {
+            push("until_us", num(until_us));
+        }
+    };
+    match *f {
+        FaultSpec::DiskErrors {
+            node,
+            p,
+            from_us,
+            until_us,
+        } => {
+            push("kind", Json::Str("disk_errors".into()));
+            push("node", num(node as u64));
+            push("p", Json::Num(p));
+            window(&mut push, from_us, until_us);
+        }
+        FaultSpec::DiskSlow {
+            node,
+            penalty_us,
+            p,
+            from_us,
+            until_us,
+        } => {
+            push("kind", Json::Str("disk_slow".into()));
+            push("node", num(node as u64));
+            push("penalty_us", num(penalty_us));
+            push("p", Json::Num(p));
+            window(&mut push, from_us, until_us);
+        }
+        FaultSpec::BarrierDrops {
+            job,
+            p,
+            from_us,
+            until_us,
+        } => {
+            push("kind", Json::Str("barrier_drops".into()));
+            push("job", num(job as u64));
+            push("p", Json::Num(p));
+            window(&mut push, from_us, until_us);
+        }
+        FaultSpec::NodeCrash {
+            node,
+            at_us,
+            down_us,
+        } => {
+            push("kind", Json::Str("node_crash".into()));
+            push("node", num(node as u64));
+            push("at_us", num(at_us));
+            push("down_us", num(down_us));
+        }
+        FaultSpec::MemPressure { node, at_us, pages } => {
+            push("kind", Json::Str("mem_pressure".into()));
+            push("node", num(node as u64));
+            push("at_us", num(at_us));
+            push("pages", num(pages));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+/// Strict field reader over one JSON object: every `take` marks the key
+/// consumed; [`Fields::finish`] rejects leftovers (typo protection a
+/// committed plan format needs).
+struct Fields<'a> {
+    what: String,
+    pairs: &'a [(String, Json)],
+    seen: Vec<&'a str>,
+}
+
+impl<'a> Fields<'a> {
+    fn of(doc: &'a Json, what: &str) -> Result<Fields<'a>, String> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| format!("{what}: expected a JSON object"))?;
+        Ok(Fields {
+            what: what.to_string(),
+            pairs,
+            seen: Vec::new(),
+        })
+    }
+
+    fn take(&mut self, key: &'a str) -> Option<&'a Json> {
+        self.seen.push(key);
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn u64(&mut self, key: &'a str) -> Result<u64, String> {
+        let what = self.what.clone();
+        let v = self
+            .take(key)
+            .ok_or_else(|| format!("{what}: missing field `{key}`"))?;
+        to_u64(v).ok_or_else(|| format!("{what}: `{key}` must be a non-negative integer"))
+    }
+
+    fn u64_or(&mut self, key: &'a str, default: u64) -> Result<u64, String> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => to_u64(v)
+                .ok_or_else(|| format!("{}: `{key}` must be a non-negative integer", self.what)),
+        }
+    }
+
+    fn f64(&mut self, key: &'a str) -> Result<f64, String> {
+        let what = self.what.clone();
+        let v = self
+            .take(key)
+            .ok_or_else(|| format!("{what}: missing field `{key}`"))?;
+        v.as_f64()
+            .ok_or_else(|| format!("{what}: `{key}` must be a number"))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        for (k, _) in self.pairs {
+            if !self.seen.contains(&k.as_str()) {
+                return Err(format!("{}: unknown field `{k}`", self.what));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn to_u64(v: &Json) -> Option<u64> {
+    let f = v.as_f64()?;
+    if f >= 0.0 && f.fract() == 0.0 && f < (1u64 << 53) as f64 {
+        Some(f as u64)
+    } else {
+        None
+    }
+}
+
+fn plan_from_json(doc: &Json) -> Result<FaultPlan, String> {
+    let mut top = Fields::of(doc, "plan")?;
+    let schema_version = top.u64_or("schema_version", u64::from(FAULT_PLAN_SCHEMA_VERSION))? as u32;
+    let seed = top.u64("seed")?;
+    let faults = match top.take("faults") {
+        None => Vec::new(),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| "plan: `faults` must be an array".to_string())?;
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| spec_from_json(item, i))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    let recovery = match top.take("recovery") {
+        None => RecoveryPolicy::default(),
+        Some(v) => recovery_from_json(v)?,
+    };
+    top.finish()?;
+    Ok(FaultPlan {
+        schema_version,
+        seed,
+        faults,
+        recovery,
+    })
+}
+
+fn recovery_from_json(doc: &Json) -> Result<RecoveryPolicy, String> {
+    let d = RecoveryPolicy::default();
+    let mut f = Fields::of(doc, "recovery")?;
+    let out = RecoveryPolicy {
+        io_retries: f.u64_or("io_retries", d.io_retries as u64)? as u32,
+        io_backoff_us: f.u64_or("io_backoff_us", d.io_backoff_us)?,
+        io_backoff_cap_us: f.u64_or("io_backoff_cap_us", d.io_backoff_cap_us)?,
+        ai_degrade_after: f.u64_or("ai_degrade_after", d.ai_degrade_after as u64)? as u32,
+        barrier_timeout_us: f.u64_or("barrier_timeout_us", d.barrier_timeout_us)?,
+        barrier_retries: f.u64_or("barrier_retries", d.barrier_retries as u64)? as u32,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn spec_from_json(doc: &Json, index: usize) -> Result<FaultSpec, String> {
+    let what = format!("faults[{index}]");
+    let mut f = Fields::of(doc, &what)?;
+    let kind = f
+        .take("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: missing string field `kind`"))?
+        .to_string();
+    let spec = match kind.as_str() {
+        "disk_errors" => FaultSpec::DiskErrors {
+            node: f.u64("node")? as u32,
+            p: f.f64("p")?,
+            from_us: f.u64_or("from_us", 0)?,
+            until_us: f.u64_or("until_us", u64::MAX)?,
+        },
+        "disk_slow" => FaultSpec::DiskSlow {
+            node: f.u64("node")? as u32,
+            penalty_us: f.u64("penalty_us")?,
+            p: f.f64("p")?,
+            from_us: f.u64_or("from_us", 0)?,
+            until_us: f.u64_or("until_us", u64::MAX)?,
+        },
+        "barrier_drops" => FaultSpec::BarrierDrops {
+            job: f.u64("job")? as u32,
+            p: f.f64("p")?,
+            from_us: f.u64_or("from_us", 0)?,
+            until_us: f.u64_or("until_us", u64::MAX)?,
+        },
+        "node_crash" => FaultSpec::NodeCrash {
+            node: f.u64("node")? as u32,
+            at_us: f.u64("at_us")?,
+            down_us: f.u64("down_us")?,
+        },
+        "mem_pressure" => FaultSpec::MemPressure {
+            node: f.u64("node")? as u32,
+            at_us: f.u64("at_us")?,
+            pages: f.u64("pages")?,
+        },
+        other => return Err(format!("{what}: unknown fault kind `{other}`")),
+    };
+    f.finish()?;
+    Ok(spec)
+}
+
+/// Two-space-indented pretty printer (same style as the other committed
+/// JSON artifacts in this workspace).
+fn pretty(v: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push(']');
+        }
+        Json::Obj(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push_str(&pad);
+                out.push('"');
+                out.push_str(k);
+                out.push_str("\": ");
+                pretty(val, indent + 1, out);
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string_compact()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_plan_roundtrips_and_validates() {
+        let plan = FaultPlan::smoke(42);
+        plan.validate(2, 2).expect("smoke plan valid for 2x2");
+        let text = plan.to_json_string();
+        let back = FaultPlan::from_json_str(&text).expect("roundtrip");
+        assert_eq!(plan, back);
+        assert_eq!(text, back.to_json_string(), "serialization is stable");
+    }
+
+    #[test]
+    fn parser_rejects_unknown_fields_and_kinds() {
+        let bad_field = r#"{ "seed": 1, "faults": [
+            { "kind": "node_crash", "node": 0, "at_us": 5, "down_us": 5, "oops": 1 }
+        ] }"#;
+        let err = FaultPlan::from_json_str(bad_field).unwrap_err();
+        assert!(err.contains("unknown field `oops`"), "{err}");
+        let bad_kind = r#"{ "seed": 1, "faults": [ { "kind": "gamma_rays" } ] }"#;
+        let err = FaultPlan::from_json_str(bad_kind).unwrap_err();
+        assert!(err.contains("unknown fault kind"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry_and_probabilities() {
+        let plan = FaultPlan::smoke(42);
+        // Node 1 crash is out of range on a 1-node cluster.
+        assert!(plan.validate(1, 2).is_err());
+        let mut bad = FaultPlan::empty(1);
+        bad.faults.push(FaultSpec::DiskErrors {
+            node: 0,
+            p: 1.5,
+            from_us: 0,
+            until_us: u64::MAX,
+        });
+        assert!(bad.validate(1, 1).is_err());
+        let mut zero = FaultPlan::empty(1);
+        zero.faults.push(FaultSpec::NodeCrash {
+            node: 0,
+            at_us: 5,
+            down_us: 0,
+        });
+        assert!(zero.validate(1, 1).is_err());
+    }
+
+    #[test]
+    fn schema_version_gate_rejects_future_plans() {
+        let mut plan = FaultPlan::empty(7);
+        plan.schema_version = FAULT_PLAN_SCHEMA_VERSION + 1;
+        assert!(plan.validate(1, 1).is_err());
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let r = RecoveryPolicy::default();
+        assert_eq!(r.backoff_us(0), 2_000);
+        assert_eq!(r.backoff_us(1), 4_000);
+        assert_eq!(r.backoff_us(4), 32_000);
+        assert_eq!(r.backoff_us(5), 64_000);
+        assert_eq!(r.backoff_us(63), 64_000, "huge attempts stay capped");
+    }
+
+    #[test]
+    fn missing_fields_take_defaults() {
+        let plan = FaultPlan::from_json_str(r#"{ "seed": 9 }"#).expect("minimal plan");
+        assert_eq!(plan.schema_version, FAULT_PLAN_SCHEMA_VERSION);
+        assert!(plan.faults.is_empty());
+        assert_eq!(plan.recovery, RecoveryPolicy::default());
+        let windowless = r#"{ "seed": 9, "faults": [
+            { "kind": "disk_errors", "node": 0, "p": 0.5 }
+        ] }"#;
+        let plan = FaultPlan::from_json_str(windowless).expect("window defaults");
+        assert_eq!(
+            plan.faults[0],
+            FaultSpec::DiskErrors {
+                node: 0,
+                p: 0.5,
+                from_us: 0,
+                until_us: u64::MAX,
+            }
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the fault-plan schema: any in-range plan survives a
+//! JSON round-trip byte-for-byte stable, and validation accepts exactly
+//! the plans the generators produce.
+//!
+//! Requires the real `proptest`; the offline stub-build scratch drops this
+//! file (see `.claude/skills/verify/SKILL.md`).
+
+use agp_faults::{FaultPlan, FaultSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
+    let window = (0u64..u32::MAX as u64, 0u64..u32::MAX as u64);
+    prop_oneof![
+        (any::<u32>(), 0.0f64..=1.0, window).prop_map(|(node, p, (from_us, until_us))| {
+            FaultSpec::DiskErrors {
+                node,
+                p,
+                from_us,
+                until_us,
+            }
+        }),
+        (any::<u32>(), any::<u32>(), 0.0f64..=1.0, window).prop_map(
+            |(node, penalty, p, (from_us, until_us))| FaultSpec::DiskSlow {
+                node,
+                penalty_us: penalty as u64,
+                p,
+                from_us,
+                until_us,
+            }
+        ),
+        (any::<u32>(), 0.0f64..=1.0, window).prop_map(|(job, p, (from_us, until_us))| {
+            FaultSpec::BarrierDrops {
+                job,
+                p,
+                from_us,
+                until_us,
+            }
+        }),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(node, at, down)| {
+            FaultSpec::NodeCrash {
+                node,
+                at_us: at as u64,
+                down_us: down as u64,
+            }
+        }),
+        (any::<u32>(), any::<u32>(), 1u64..1_000_000).prop_map(|(node, at, pages)| {
+            FaultSpec::MemPressure {
+                node,
+                at_us: at as u64,
+                pages,
+            }
+        }),
+    ]
+}
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        prop::collection::vec(spec_strategy(), 0..6),
+        1u32..8,
+        1u64..100_000,
+    )
+        .prop_map(|(seed, faults, io_retries, io_backoff_us)| {
+            let mut plan = FaultPlan::empty(seed);
+            plan.faults = faults;
+            plan.recovery.io_retries = io_retries;
+            plan.recovery.io_backoff_us = io_backoff_us;
+            plan
+        })
+}
+
+proptest! {
+    /// Serialization is lossless and stable: parse(render(p)) == p, and
+    /// rendering the parsed plan reproduces the bytes exactly (the CI
+    /// smoke plan is committed, so byte churn would show up as diff noise).
+    #[test]
+    fn plan_json_round_trips_losslessly(plan in plan_strategy()) {
+        let json = plan.to_json_string();
+        let back = FaultPlan::from_json_str(&json).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&back, &plan);
+        prop_assert_eq!(back.to_json_string(), json);
+    }
+
+    /// Backoff growth: capped exponential, monotone in the attempt number,
+    /// and never above the cap.
+    #[test]
+    fn backoff_is_monotone_and_capped(plan in plan_strategy(), attempts in 1u32..20) {
+        let r = &plan.recovery;
+        let mut prev = 0;
+        for a in 1..=attempts {
+            let b = r.backoff_us(a);
+            prop_assert!(b >= prev);
+            prop_assert!(b <= r.io_backoff_cap_us);
+            prev = b;
+        }
+    }
+}

@@ -89,6 +89,19 @@ impl GangScheduler {
         self.matrix.slots() == 0
     }
 
+    /// Whether the schedule has an active slot (i.e. [`Self::start`]
+    /// has run and jobs remain). A scheduler drained by
+    /// [`Self::job_finished`] goes inactive and needs a fresh `start`
+    /// after re-admission — the crash-recovery requeue path uses this.
+    pub fn is_active(&self) -> bool {
+        self.active_row.is_some()
+    }
+
+    /// Whether `job` is currently placed in the matrix.
+    pub fn has_job(&self, job: JobId) -> bool {
+        self.matrix.find_job(job).is_some()
+    }
+
     /// Quantum of row `r`: the longest override among its jobs, or the
     /// default.
     fn row_quantum(&self, r: usize) -> SimDur {
@@ -269,6 +282,26 @@ mod tests {
         assert_eq!(s.job_finished(JobId(0)), None);
         assert!(s.is_empty());
         assert!(s.active_jobs().is_empty());
+    }
+
+    #[test]
+    fn requeue_after_drain_restarts_the_schedule() {
+        // Crash-recovery shape: both jobs leave the matrix (one crashed,
+        // one finished), then the crashed one is re-admitted.
+        let mut s = two_job_sched();
+        s.start().unwrap();
+        assert!(s.is_active());
+        assert!(s.has_job(JobId(0)));
+        s.job_finished(JobId(1));
+        s.job_finished(JobId(0));
+        assert!(!s.is_active());
+        assert!(!s.has_job(JobId(0)));
+        s.add_job(JobId(0), NodeSet::first_n(4), None).unwrap();
+        assert!(s.has_job(JobId(0)));
+        assert!(!s.is_active(), "re-admission alone does not activate");
+        let plan = s.start().unwrap();
+        assert_eq!(plan.inn, vec![JobId(0)]);
+        assert!(s.is_active());
     }
 
     #[test]

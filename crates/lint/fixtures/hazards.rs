@@ -35,6 +35,11 @@ fn suppressed(opt: Option<u64>) -> u64 {
     opt.expect("never fires")
 }
 
+fn io_unwrap_hazard(path: &str) -> String {
+    // agp-lint: allow(panic-site): the io-unwrap finding below is the point
+    std::fs::read_to_string(path).unwrap() // line 40: io-unwrap
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

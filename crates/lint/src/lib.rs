@@ -7,7 +7,7 @@
 //! latency, one `thread_rng()` — and nothing in `cargo test` notices until
 //! a paper figure stops reproducing. `agp-lint` is the mechanical gate:
 //! it scans every workspace crate's sources and reports structured
-//! diagnostics for five hazard classes (see [`rules`]).
+//! diagnostics for six hazard classes (see [`rules`]).
 //!
 //! ## Design notes
 //!

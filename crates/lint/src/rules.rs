@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Five determinism/robustness hazard classes, matched over the token
+//! Six determinism/robustness hazard classes, matched over the token
 //! stream from [`crate::lexer`]:
 //!
 //! | id                 | severity | hazard                                             |
@@ -10,6 +10,7 @@
 //! | `unseeded-rng`     | error    | `thread_rng`/`OsRng`/entropy-seeded generators     |
 //! | `float-accumulate` | warn     | float `sum`/`fold` over unordered map iterators    |
 //! | `panic-site`       | warn     | `unwrap`/`expect`/`panic!` family in library code  |
+//! | `io-unwrap`        | error    | `unwrap`/`expect` on a `std::fs`/`io` result       |
 //!
 //! Code under `#[cfg(test)]` / `#[test]` items is excluded. A finding can
 //! be silenced at the site with `// agp-lint: allow(<id>)` on the same line
@@ -24,14 +25,16 @@ pub const WALL_CLOCK: &str = "wall-clock";
 pub const UNSEEDED_RNG: &str = "unseeded-rng";
 pub const FLOAT_ACCUMULATE: &str = "float-accumulate";
 pub const PANIC_SITE: &str = "panic-site";
+pub const IO_UNWRAP: &str = "io-unwrap";
 
 /// All lint ids, for `--help` output and config validation.
-pub const ALL_IDS: [&str; 5] = [
+pub const ALL_IDS: [&str; 6] = [
     HASH_CONTAINER,
     WALL_CLOCK,
     UNSEEDED_RNG,
     FLOAT_ACCUMULATE,
     PANIC_SITE,
+    IO_UNWRAP,
 ];
 
 /// Mark tokens that belong to test-only items so rules skip them.
@@ -384,6 +387,72 @@ fn rule_panic_site(ctx: &Ctx, out: &mut Vec<Diag>) {
     }
 }
 
+/// Identifiers that mark a statement as producing an `io::Result`: the
+/// `std::fs` path segment (covers every `fs::` free function), the file
+/// handle types, and the `Read`/`Write` trait methods that touch the OS.
+const IO_MARKS: [&str; 12] = [
+    "fs",
+    "File",
+    "OpenOptions",
+    "read_to_string",
+    "read_dir",
+    "create_dir_all",
+    "remove_file",
+    "read_exact",
+    "read_line",
+    "write_all",
+    "flush",
+    "sync_all",
+];
+
+fn rule_io_unwrap(ctx: &Ctx, out: &mut Vec<Diag>) {
+    for i in 0..ctx.toks.len() {
+        let Some(t) = ctx.live(i) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "unwrap" => {
+                ctx.is_punct(i.wrapping_sub(1), ".")
+                    && ctx.is_punct(i + 1, "(")
+                    && ctx.is_punct(i + 2, ")")
+            }
+            "expect" => ctx.is_punct(i.wrapping_sub(1), ".") && ctx.is_punct(i + 1, "("),
+            _ => false,
+        };
+        if !hit {
+            continue;
+        }
+        // Same-statement check (as in float-accumulate): an I/O source
+        // upstream of the unwrap within the current statement.
+        let stmt_start = (0..i)
+            .rev()
+            .find(|&j| ctx.is_punct(j, ";") || ctx.is_punct(j, "{"))
+            .map(|j| j + 1)
+            .unwrap_or(0);
+        let io = (stmt_start..i).any(|j| {
+            ctx.toks[j].kind == TokKind::Ident && IO_MARKS.contains(&ctx.toks[j].text.as_str())
+        });
+        if io {
+            out.push(
+                ctx.diag(
+                    i,
+                    IO_UNWRAP,
+                    Severity::Error,
+                    format!(
+                        "`{}` on an I/O result: disk and file errors are expected at runtime \
+                     (and injected by fault plans), so this aborts instead of recovering",
+                        t.text
+                    ),
+                    "propagate with `?` into a typed error (e.g. SimError::Io) so retry/backoff \
+                 and degradation policies can observe the failure"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
 /// Run every rule over one lexed file, applying site suppressions.
 ///
 /// `crate_allow` silences whole lint classes for the crate the file belongs
@@ -401,6 +470,7 @@ pub fn lint_tokens(file: &str, lexed: &Lexed, crate_allow: &[String]) -> Vec<Dia
     rule_unseeded_rng(&ctx, &mut out);
     rule_float_accumulate(&ctx, &mut out);
     rule_panic_site(&ctx, &mut out);
+    rule_io_unwrap(&ctx, &mut out);
 
     out.retain(|d| {
         if crate_allow.iter().any(|a| a == d.id || a == "all") {
@@ -493,6 +563,36 @@ mod tests {
     fn fold_with_float_seed() {
         let src = "fn f(m: &HashMap<u32, f64>) -> f64 { m.values().fold(0.0, |a, b| a + b) }";
         assert!(ids(src).contains(&FLOAT_ACCUMULATE));
+    }
+
+    #[test]
+    fn io_unwrap_fires_alongside_panic_site() {
+        // Same token trips both rules; sort order puts io-unwrap first
+        // ("io-unwrap" < "panic-site" at equal position).
+        let src = "fn f() -> String { std::fs::read_to_string(\"p\").unwrap() }";
+        assert_eq!(ids(src), vec![IO_UNWRAP, PANIC_SITE]);
+        let src2 = "fn f() -> File { File::open(\"p\").expect(\"open\") }";
+        assert_eq!(ids(src2), vec![IO_UNWRAP, PANIC_SITE]);
+    }
+
+    #[test]
+    fn io_unwrap_needs_io_in_the_same_statement() {
+        // I/O in a *previous* statement does not taint a later unwrap.
+        let src = "fn f(x: Option<u8>) -> u8 { let _ = std::fs::read_dir(\".\"); x.unwrap() }";
+        assert_eq!(ids(src), vec![PANIC_SITE]);
+        // A plain Option unwrap never trips io-unwrap.
+        assert_eq!(
+            ids("fn f(x: Option<u8>) -> u8 { x.unwrap() }"),
+            vec![PANIC_SITE]
+        );
+    }
+
+    #[test]
+    fn io_unwrap_sees_writer_methods() {
+        let src = "fn f(w: &mut W) { w.write_all(b\"x\").unwrap(); }";
+        assert_eq!(ids(src), vec![IO_UNWRAP, PANIC_SITE]);
+        // `?`-propagated I/O is the sanctioned form: nothing fires.
+        assert!(ids("fn f(w: &mut W) -> R { w.write_all(b\"x\")?; Ok(()) }").is_empty());
     }
 
     #[test]

@@ -53,6 +53,27 @@ pub struct ObsCounters {
     pub switches: u64,
     /// Total events delivered to this collector.
     pub events: u64,
+    /// Injected disk errors (chaos). Failed requests are *not* counted
+    /// in `disk_reads`/`disk_writes` or the page totals — errored I/O
+    /// moved nothing.
+    pub fault_disk_errors: u64,
+    /// Injected disk latency-spike penalty, summed µs (chaos).
+    pub fault_disk_slow_us: u64,
+    /// Disk request retries after backoff (chaos recovery).
+    pub fault_io_retries: u64,
+    /// Node crashes (chaos).
+    pub fault_node_crashes: u64,
+    /// Node restarts (chaos recovery).
+    pub fault_node_restarts: u64,
+    /// Jobs requeued after a crash (chaos recovery).
+    pub fault_jobs_requeued: u64,
+    /// Barrier release timeouts / re-issues (chaos recovery).
+    pub fault_barrier_timeouts: u64,
+    /// Frames demanded by memory-pressure bursts (chaos).
+    pub fault_mem_pressure_pages: u64,
+    /// Nodes where adaptive page-in degraded to demand paging (chaos
+    /// graceful degradation).
+    pub fault_ai_degrades: u64,
 }
 
 /// One gang switch decomposed into the protocol's four phases. The phase
@@ -221,6 +242,35 @@ impl Observer for Collector {
             }
             ObsEvent::NodeGauge { .. } | ObsEvent::ProcGauge { .. } => {
                 self.counters.gauge_samples += 1;
+            }
+            // Chaos events: counted in their own bucket so fault-free
+            // aggregates (completed requests, moved pages) stay coherent.
+            ObsEvent::DiskError { .. } => {
+                self.counters.fault_disk_errors += 1;
+            }
+            ObsEvent::DiskSlowdown { penalty_us } => {
+                self.counters.fault_disk_slow_us += penalty_us;
+            }
+            ObsEvent::IoRetry { .. } => {
+                self.counters.fault_io_retries += 1;
+            }
+            ObsEvent::NodeCrash { .. } => {
+                self.counters.fault_node_crashes += 1;
+            }
+            ObsEvent::NodeRestart { .. } => {
+                self.counters.fault_node_restarts += 1;
+            }
+            ObsEvent::JobRequeued { .. } => {
+                self.counters.fault_jobs_requeued += 1;
+            }
+            ObsEvent::BarrierTimeout { .. } => {
+                self.counters.fault_barrier_timeouts += 1;
+            }
+            ObsEvent::MemPressure { target, .. } => {
+                self.counters.fault_mem_pressure_pages += target;
+            }
+            ObsEvent::AiDegraded { .. } => {
+                self.counters.fault_ai_degrades += 1;
             }
         }
     }

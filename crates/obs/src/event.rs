@@ -220,6 +220,82 @@ pub enum ObsEvent {
         /// Of those, dirty pages.
         dirty: u64,
     },
+    /// An injected transient disk error: the request burned the device's
+    /// command overhead and failed; no pages moved (chaos only — never
+    /// emitted on a fault-free run, like every variant below).
+    DiskError {
+        /// Whether the failed request was a write.
+        write: bool,
+        /// Pages the request would have moved.
+        pages: u64,
+        /// Time the failed attempt occupied the device, µs.
+        service_us: u64,
+    },
+    /// An injected latency spike inflated one request's service time.
+    DiskSlowdown {
+        /// Added service latency, µs.
+        penalty_us: u64,
+    },
+    /// The cluster re-submitted a failed disk request after backoff.
+    IoRetry {
+        /// Node whose disk failed.
+        node: u32,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff waited before this retry, µs.
+        backoff_us: u64,
+    },
+    /// A node crashed; its volatile state (kernel, paging engine,
+    /// resident sets) is gone and every job with a rank there is
+    /// suspended pending requeue.
+    NodeCrash {
+        /// The crashed node.
+        node: u32,
+        /// Jobs suspended by the crash.
+        jobs_suspended: u32,
+    },
+    /// A crashed node restarted; suspended jobs whose nodes are all up
+    /// again were requeued with the gang scheduler.
+    NodeRestart {
+        /// The restarted node.
+        node: u32,
+        /// Jobs requeued at this restart.
+        jobs_requeued: u32,
+    },
+    /// One job was requeued after a crash (restarts from iteration 0 —
+    /// the model has no checkpointing).
+    JobRequeued {
+        /// The requeued job.
+        job: u32,
+    },
+    /// A barrier release message was dropped; the timeout fired and the
+    /// release was re-issued (or forced through on the final attempt).
+    BarrierTimeout {
+        /// The affected job.
+        job: u32,
+        /// Re-issue attempt number (1-based).
+        attempt: u32,
+        /// Time the ranks waited past the original release, µs.
+        waited_us: u64,
+    },
+    /// An injected memory-pressure burst forced an immediate reclaim.
+    MemPressure {
+        /// The pressured node.
+        node: u32,
+        /// Frames the burst demanded.
+        target: u64,
+        /// Write-back pages the forced reclaim produced.
+        write_pages: u64,
+    },
+    /// Adaptive page-in degraded to demand paging on one node after
+    /// repeated injected disk errors (graceful degradation: bulk replay
+    /// reads amplify a flaky disk).
+    AiDegraded {
+        /// The degraded node.
+        node: u32,
+        /// Injected disk errors observed when the policy tripped.
+        errors: u64,
+    },
 }
 
 impl ObsEvent {
@@ -243,6 +319,15 @@ impl ObsEvent {
             ObsEvent::SwitchDone { .. } => "switch_done",
             ObsEvent::NodeGauge { .. } => "node_gauge",
             ObsEvent::ProcGauge { .. } => "proc_gauge",
+            ObsEvent::DiskError { .. } => "disk_error",
+            ObsEvent::DiskSlowdown { .. } => "disk_slowdown",
+            ObsEvent::IoRetry { .. } => "io_retry",
+            ObsEvent::NodeCrash { .. } => "node_crash",
+            ObsEvent::NodeRestart { .. } => "node_restart",
+            ObsEvent::JobRequeued { .. } => "job_requeued",
+            ObsEvent::BarrierTimeout { .. } => "barrier_timeout",
+            ObsEvent::MemPressure { .. } => "mem_pressure",
+            ObsEvent::AiDegraded { .. } => "ai_degraded",
         }
     }
 
@@ -386,6 +471,67 @@ impl ObsEvent {
                     ",\"pid\":{pid},\"resident\":{resident},\"dirty\":{dirty}"
                 );
             }
+            ObsEvent::DiskError {
+                write,
+                pages,
+                service_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"write\":{write},\"pages\":{pages},\"service_us\":{service_us}"
+                );
+            }
+            ObsEvent::DiskSlowdown { penalty_us } => {
+                let _ = write!(s, ",\"penalty_us\":{penalty_us}");
+            }
+            ObsEvent::IoRetry {
+                node,
+                attempt,
+                backoff_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"attempt\":{attempt},\"backoff_us\":{backoff_us}"
+                );
+            }
+            ObsEvent::NodeCrash {
+                node,
+                jobs_suspended,
+            } => {
+                let _ = write!(s, ",\"node\":{node},\"jobs_suspended\":{jobs_suspended}");
+            }
+            ObsEvent::NodeRestart {
+                node,
+                jobs_requeued,
+            } => {
+                let _ = write!(s, ",\"node\":{node},\"jobs_requeued\":{jobs_requeued}");
+            }
+            ObsEvent::JobRequeued { job } => {
+                let _ = write!(s, ",\"job\":{job}");
+            }
+            ObsEvent::BarrierTimeout {
+                job,
+                attempt,
+                waited_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{job},\"attempt\":{attempt},\"waited_us\":{waited_us}"
+                );
+            }
+            ObsEvent::MemPressure {
+                node,
+                target,
+                write_pages,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"target\":{target},\"write_pages\":{write_pages}"
+                );
+            }
+            ObsEvent::AiDegraded { node, errors } => {
+                let _ = write!(s, ",\"node\":{node},\"errors\":{errors}");
+            }
         }
         s.push('}');
         s
@@ -524,6 +670,37 @@ mod tests {
                 resident: 0,
                 dirty: 0,
             },
+            ObsEvent::DiskError {
+                write: false,
+                pages: 0,
+                service_us: 0,
+            },
+            ObsEvent::DiskSlowdown { penalty_us: 0 },
+            ObsEvent::IoRetry {
+                node: 0,
+                attempt: 1,
+                backoff_us: 0,
+            },
+            ObsEvent::NodeCrash {
+                node: 0,
+                jobs_suspended: 0,
+            },
+            ObsEvent::NodeRestart {
+                node: 0,
+                jobs_requeued: 0,
+            },
+            ObsEvent::JobRequeued { job: 0 },
+            ObsEvent::BarrierTimeout {
+                job: 0,
+                attempt: 1,
+                waited_us: 0,
+            },
+            ObsEvent::MemPressure {
+                node: 0,
+                target: 0,
+                write_pages: 0,
+            },
+            ObsEvent::AiDegraded { node: 0, errors: 0 },
         ];
         let mut names: Vec<&str> = evs.iter().map(|e| e.name()).collect();
         let n = names.len();

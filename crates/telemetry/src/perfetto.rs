@@ -34,6 +34,7 @@ const TID_FAULTS: u32 = 3;
 const TID_DISK: u32 = 1;
 const TID_PAGING: u32 = 2;
 const TID_CRITICAL: u32 = 4;
+const TID_CHAOS: u32 = 5;
 
 /// An observer sink rendering the stream as Trace Event JSON; call
 /// [`PerfettoTrace::finish`] after the run for the document.
@@ -358,6 +359,130 @@ impl Observer for PerfettoTrace {
                 let pid = Self::pid_of(src);
                 let name = format!("pid{p}");
                 self.counter(pid, ts, &name, &[("resident", resident), ("dirty", dirty)]);
+            }
+            // Chaos events: one "chaos" row per scope so injected
+            // faults and recovery actions line up against the switch
+            // and disk tracks they perturb.
+            ObsEvent::DiskError {
+                write,
+                pages,
+                service_us,
+            } => {
+                let pid = Self::pid_of(src);
+                self.ensure_thread(pid, TID_CHAOS, "chaos");
+                self.instant(
+                    pid,
+                    TID_CHAOS,
+                    ts,
+                    if write {
+                        "disk_error write"
+                    } else {
+                        "disk_error read"
+                    },
+                    &[("pages", pages), ("service_us", service_us)],
+                );
+            }
+            ObsEvent::DiskSlowdown { penalty_us } => {
+                let pid = Self::pid_of(src);
+                self.ensure_thread(pid, TID_CHAOS, "chaos");
+                self.instant(
+                    pid,
+                    TID_CHAOS,
+                    ts,
+                    "disk_slowdown",
+                    &[("penalty_us", penalty_us)],
+                );
+            }
+            ObsEvent::IoRetry {
+                node,
+                attempt,
+                backoff_us,
+            } => {
+                let pid = Self::pid_of(node);
+                self.ensure_thread(pid, TID_CHAOS, "chaos");
+                self.instant(
+                    pid,
+                    TID_CHAOS,
+                    ts,
+                    "io_retry",
+                    &[("attempt", attempt as u64), ("backoff_us", backoff_us)],
+                );
+            }
+            ObsEvent::NodeCrash {
+                node,
+                jobs_suspended,
+            } => {
+                let pid = Self::pid_of(node);
+                self.ensure_thread(pid, TID_CHAOS, "chaos");
+                self.instant(
+                    pid,
+                    TID_CHAOS,
+                    ts,
+                    "node_crash",
+                    &[("jobs_suspended", jobs_suspended as u64)],
+                );
+            }
+            ObsEvent::NodeRestart {
+                node,
+                jobs_requeued,
+            } => {
+                let pid = Self::pid_of(node);
+                self.ensure_thread(pid, TID_CHAOS, "chaos");
+                self.instant(
+                    pid,
+                    TID_CHAOS,
+                    ts,
+                    "node_restart",
+                    &[("jobs_requeued", jobs_requeued as u64)],
+                );
+            }
+            ObsEvent::JobRequeued { job } => {
+                self.ensure_thread(PID_CLUSTER, TID_CHAOS, "chaos");
+                self.instant(
+                    PID_CLUSTER,
+                    TID_CHAOS,
+                    ts,
+                    "job_requeued",
+                    &[("job", job as u64)],
+                );
+            }
+            ObsEvent::BarrierTimeout {
+                job,
+                attempt,
+                waited_us,
+            } => {
+                self.ensure_thread(PID_CLUSTER, TID_CHAOS, "chaos");
+                self.instant(
+                    PID_CLUSTER,
+                    TID_CHAOS,
+                    ts,
+                    "barrier_timeout",
+                    &[
+                        ("job", job as u64),
+                        ("attempt", attempt as u64),
+                        ("waited_us", waited_us),
+                    ],
+                );
+            }
+            ObsEvent::MemPressure {
+                node,
+                target,
+                write_pages,
+            } => {
+                let pid = Self::pid_of(node);
+                self.ensure_thread(pid, TID_CHAOS, "chaos");
+                self.instant(
+                    pid,
+                    TID_CHAOS,
+                    ts,
+                    "mem_pressure",
+                    &[("target", target), ("write_pages", write_pages)],
+                );
+            }
+            ObsEvent::AiDegraded { node, errors } => {
+                let pid = Self::pid_of(node);
+                self.ensure_thread(pid, TID_CHAOS, "chaos");
+                self.instant(pid, TID_CHAOS, ts, "ai_degraded", &[("errors", errors)]);
             }
             // Per-page noise: aggregate rows above already show the
             // storms these belong to.

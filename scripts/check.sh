@@ -12,3 +12,5 @@ cargo run --release -p agp-lint -- --deny-warnings
 cargo run --release -p agp-cli -- report --check
 cargo run --release -p agp-cli -- explain fig9 --policy so --against orig \
   --json explain.json --bench-out BENCH_agp.json
+cargo run --release -p agp-cli -- chaos --plan plans/smoke.json --verify \
+  --check-invariants --events chaos.jsonl --bench-out BENCH_agp.json

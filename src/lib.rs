@@ -18,6 +18,7 @@ pub use agp_core as core;
 pub use agp_disk as disk;
 pub use agp_experiments as experiments;
 pub use agp_explain as explain;
+pub use agp_faults as faults;
 pub use agp_gang as gang;
 pub use agp_mem as mem;
 pub use agp_metrics as metrics;
