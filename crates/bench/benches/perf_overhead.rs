@@ -1,0 +1,68 @@
+//! Cost of the `agp-perf` span guards, isolated and end-to-end.
+//!
+//! The guards are compiled into release builds unconditionally, so the
+//! number that matters most is the *disabled* path: one relaxed atomic
+//! load and a branch (`scope_disabled`, expected ~1 ns). The enabled
+//! path adds two clock reads plus the recorder bookkeeping per frame
+//! (`scope_enabled`). The two `fig6_quick_*` rows bound the real-world
+//! impact on a full gang run — profiler off vs profiler on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use agp_experiments::{profile_config, Scale};
+
+fn cfg() -> agp_cluster::ClusterConfig {
+    profile_config("fig6", Scale::Quick).expect("fig6 is registered")
+}
+
+fn span_guard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_overhead");
+
+    // The branch-only cost every instrumented site pays when profiling
+    // is off (the default for all experiments, tests, and goldens).
+    agp_perf::enable(false);
+    group.bench_function("scope_disabled", |b| {
+        b.iter(|| {
+            let g = agp_perf::scope(black_box(agp_perf::Span::SimDispatch));
+            black_box(g)
+        });
+    });
+
+    // Full enter/exit with the recorder doing inclusive/exclusive/
+    // histogram/path accounting.
+    agp_perf::enable(true);
+    group.bench_function("scope_enabled", |b| {
+        b.iter(|| {
+            let g = agp_perf::scope(black_box(agp_perf::Span::SimDispatch));
+            black_box(g)
+        });
+    });
+    agp_perf::enable(false);
+    let _ = agp_perf::take_report();
+
+    group.finish();
+}
+
+fn run_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_overhead_run");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    agp_perf::enable(false);
+    group.bench_function("fig6_quick_profiler_off", |b| {
+        b.iter(|| black_box(agp_cluster::run(cfg()).unwrap().makespan));
+    });
+
+    group.bench_function("fig6_quick_profiler_on", |b| {
+        agp_perf::enable(true);
+        b.iter(|| black_box(agp_cluster::run(cfg()).unwrap().makespan));
+        agp_perf::enable(false);
+        let _ = agp_perf::take_report();
+    });
+
+    group.finish();
+}
+
+criterion_group!(perf, span_guard, run_overhead);
+criterion_main!(perf);

@@ -54,6 +54,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("perf") => cmd_perf(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -83,6 +84,7 @@ fn print_usage() {
          \x20 agp trace <id> [options]          export one run as a Perfetto/Chrome trace\n\
          \x20 agp explain <id> [options]        causal critical-path attribution of switch latency\n\
          \x20 agp trace-diff <left> <right>     first divergence between two JSONL traces (exit 2)\n\
+         \x20 agp perf <id> [options]           self-profile one run: hot spans, rates, flamegraph export\n\
          \x20 agp report [options]              run the registry, emit the parity manifest\n\n\
          RUN OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: paper)\n\
@@ -126,13 +128,24 @@ fn print_usage() {
          \x20 --against P                       also run a base policy, emit the differential report\n\
          \x20 --json PATH                       write the (diff) report as deterministic JSON\n\
          \x20 --bench-out PATH                  append this pass's wall-clock to a BENCH manifest\n\n\
+         PERF OPTIONS:\n\
+         \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
+         \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
+         \x20 --top N                           span-table rows (default 12)\n\
+         \x20 --json PATH                       write the full profile as deterministic JSON\n\
+         \x20 --collapsed PATH                  write collapsed stacks (flamegraph.pl / inferno input)\n\
+         \x20 --prometheus PATH                 write the Prometheus text exposition\n\n\
          REPORT OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
          \x20 --check                           compare against the committed golden; exit 1 on drift\n\
          \x20 --update-golden                   rewrite the committed golden from this run\n\
          \x20 --out PATH                        manifest path (default report.json)\n\
          \x20 --bench-out PATH                  self-timing path (default BENCH_agp.json)\n\
-         \x20 --golden PATH                     golden path (default goldens/report.<scale>.json)"
+         \x20 --golden PATH                     golden path (default goldens/report.<scale>.json)\n\
+         \x20 --iters N                         timing iterations per experiment; wall = min (default 1)\n\
+         \x20 --stamp LABEL                     harness-supplied run label written into the bench manifest\n\
+         \x20 --wall-band REL                   --check wall-clock regression band, fraction (default 2.0)\n\
+         \x20 --wall-abs SECS                   --check wall-clock absolute slack (default 1.0)"
     );
 }
 
@@ -600,11 +613,18 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         analyzer.clone() as SharedSink,
     ]);
     eprintln!("tracing {id} ({scale:?} scale)...");
+    // Self-profile the traced run so the export carries a "host perf"
+    // counter track next to the sim tracks.
+    agp_perf::enable(true);
+    let _ = agp_perf::take_report();
     let t0 = std::time::Instant::now();
     let r = agp_cluster::run_observed(cfg, &link)?;
+    agp_perf::enable(false);
+    let perf = agp_perf::take_report();
     drop(link);
     eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
     let mut trace = unwrap_sink(sink)?;
+    trace.host_perf_track(&perf, r.makespan.as_us());
     // Overlay the per-switch critical path as its own track: one span
     // per attributed cause segment, tiling each switch exactly.
     let analysis = unwrap_sink(analyzer)?;
@@ -631,6 +651,136 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Self-profile one experiment run: hot-span table, throughput gauges,
+/// and the flamegraph / JSON / Prometheus exports.
+fn cmd_perf(args: &[String]) -> Result<(), String> {
+    let mut id: Option<String> = None;
+    let mut scale = Scale::Quick;
+    let mut policy: Option<PolicyConfig> = None;
+    let mut top = 12usize;
+    let mut json_out: Option<String> = None;
+    let mut collapsed_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => scale = val("--scale")?.parse()?,
+            "--policy" => policy = Some(val("--policy")?.parse().map_err(|e| format!("{e}"))?),
+            "--top" => top = val("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--json" => json_out = Some(val("--json")?.clone()),
+            "--collapsed" => collapsed_out = Some(val("--collapsed")?.clone()),
+            "--prometheus" => prom_out = Some(val("--prometheus")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            other => id = Some(other.to_string()),
+        }
+    }
+    let id = id.ok_or(
+        "usage: agp perf <id> [--scale paper|quick] [--policy P] [--top N] \
+         [--json PATH] [--collapsed PATH] [--prometheus PATH]",
+    )?;
+    let mut cfg = profile_config(&id, scale)
+        .ok_or_else(|| format!("no experiment '{id}' (see `agp list`)"))?;
+    if let Some(p) = policy {
+        cfg.policy = p;
+    }
+
+    agp_perf::enable(true);
+    let _ = agp_perf::take_report(); // discard anything a prior region recorded
+    eprintln!("profiling {id} ({scale:?} scale)...");
+    let t0 = std::time::Instant::now();
+    let r = agp_cluster::run(cfg)?;
+    let wall = t0.elapsed();
+    agp_perf::enable(false);
+    let mut rep = agp_perf::take_report();
+    let es = r.total_engine_stats();
+    let d = agp_perf::Derived {
+        events: r.events,
+        faults: es.major_faults + es.minor_faults,
+        sim_us: r.makespan.as_us(),
+        wall_ns: wall.as_nanos() as u64,
+    };
+    rep.derived = Some(d);
+
+    println!(
+        "profiled {id} ({} scale): policy {}, wall {:.3} s, {} events, {} switches",
+        scale_name(scale),
+        r.policy,
+        wall.as_secs_f64(),
+        r.events,
+        r.switches
+    );
+    println!(
+        "rates: {:.0} events/s, {:.0} faults/s, {:.1} sim-us per wall-ms",
+        d.events_per_sec(),
+        d.faults_per_sec(),
+        d.sim_us_per_wall_ms()
+    );
+
+    println!(
+        "\n{:<14} {:>10} {:>11} {:>11} {:>6} {:>9} {:>9}",
+        "SPAN", "CALLS", "TOTAL_MS", "SELF_MS", "SELF%", "P50_NS", "P99_NS"
+    );
+    let total_self = rep.total_self_ns();
+    for agg in rep.by_self_time().into_iter().take(top) {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            agg.excl_ns as f64 * 100.0 / total_self as f64
+        };
+        println!(
+            "{:<14} {:>10} {:>11.3} {:>11.3} {:>6.1} {:>9} {:>9}",
+            agg.span.name(),
+            agg.count,
+            agg.incl_ns as f64 / 1e6,
+            agg.excl_ns as f64 / 1e6,
+            pct,
+            agg.p50_ns(),
+            agg.p99_ns()
+        );
+    }
+
+    // Tiling: self times sum to the root span's inclusive time by
+    // construction; both should cover nearly all of the measured wall
+    // (the gap is setup/teardown outside the instrumented run).
+    let root_ns = rep
+        .spans
+        .iter()
+        .find(|a| a.span == agp_perf::Span::Run)
+        .map_or(0, |a| a.incl_ns);
+    let wall_ns = wall.as_nanos() as u64;
+    let coverage = if wall_ns == 0 {
+        0.0
+    } else {
+        total_self as f64 * 100.0 / wall_ns as f64
+    };
+    println!(
+        "\ncoverage: spans tile {:.3} ms of {:.3} ms wall ({:.1}%); root span {:.3} ms, {} unbalanced exits",
+        total_self as f64 / 1e6,
+        wall_ns as f64 / 1e6,
+        coverage,
+        root_ns as f64 / 1e6,
+        rep.unbalanced_exits
+    );
+
+    if let Some(path) = &json_out {
+        std::fs::write(path, rep.to_json_string()).map_err(|e| format!("--json {path}: {e}"))?;
+        eprintln!("wrote profile JSON to {path}");
+    }
+    if let Some(path) = &collapsed_out {
+        std::fs::write(path, rep.collapsed()).map_err(|e| format!("--collapsed {path}: {e}"))?;
+        eprintln!("wrote collapsed stacks to {path} (flamegraph.pl / inferno-flamegraph input)");
+    }
+    if let Some(path) = &prom_out {
+        std::fs::write(path, agp_perf::render_prometheus(&rep))
+            .map_err(|e| format!("--prometheus {path}: {e}"))?;
+        eprintln!("wrote Prometheus exposition to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::Quick;
     let mut check = false;
@@ -638,6 +788,10 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut out = "report.json".to_string();
     let mut bench_out = "BENCH_agp.json".to_string();
     let mut golden: Option<String> = None;
+    let mut iters = 1u32;
+    let mut stamp = String::new();
+    let mut wall_band = 2.0f64;
+    let mut wall_abs = 1.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -650,20 +804,100 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             "--out" => out = val("--out")?.clone(),
             "--bench-out" => bench_out = val("--bench-out")?.clone(),
             "--golden" => golden = Some(val("--golden")?.clone()),
+            "--iters" => {
+                iters = val("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+                if iters == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+            }
+            "--stamp" => stamp = val("--stamp")?.clone(),
+            "--wall-band" => {
+                wall_band = val("--wall-band")?
+                    .parse()
+                    .map_err(|e| format!("--wall-band: {e}"))?
+            }
+            "--wall-abs" => {
+                wall_abs = val("--wall-abs")?
+                    .parse()
+                    .map_err(|e| format!("--wall-abs: {e}"))?
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
     let golden_path =
         golden.unwrap_or_else(|| format!("goldens/report.{}.json", scale_name(scale)));
 
+    // Read the committed wall-clock baseline before this run overwrites
+    // it. Unreadable/missing baselines downgrade the wall gate to a
+    // warning — the parity gate below stays strict either way.
+    let baseline = if check && !update_golden {
+        match std::fs::read_to_string(&bench_out) {
+            Ok(text) => match BenchManifest::parse(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!(
+                        "warning: wall-clock baseline {bench_out}: {e}; skipping the wall gate"
+                    );
+                    None
+                }
+            },
+            Err(_) => {
+                eprintln!("warning: no wall-clock baseline at {bench_out}; skipping the wall gate");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     let mut outputs = Vec::new();
     let mut bench = BenchManifest::new();
+    bench.iterations = iters;
+    bench.stamp = stamp;
+    // Experiments run under the self-profiler so the bench manifest
+    // carries per-span host-time aggregates next to the wall numbers.
+    agp_perf::enable(true);
+    let _ = agp_perf::take_report();
     for e in all_experiments() {
-        eprintln!("report: running {} ({:?} scale)...", e.id, scale);
-        let t0 = std::time::Instant::now();
-        outputs.push((e.runner)(scale)?);
-        bench.insert(e.id, t0.elapsed().as_secs_f64());
+        eprintln!(
+            "report: running {} ({:?} scale, {iters} iter)...",
+            e.id, scale
+        );
+        let mut best: Option<(f64, agp_perf::PerfReport, ExperimentOutput)> = None;
+        for _ in 0..iters {
+            let t0 = std::time::Instant::now();
+            let output = (e.runner)(scale)?;
+            let secs = t0.elapsed().as_secs_f64();
+            let rep = agp_perf::take_report();
+            if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
+                best = Some((secs, rep, output));
+            }
+        }
+        // agp-lint: allow(panic-site): iters >= 1 is enforced at flag parse
+        let (secs, rep, output) = best.expect("iters >= 1");
+        outputs.push(output);
+        bench.insert(e.id, secs);
+        let cells: std::collections::BTreeMap<String, agp_metrics::SpanCell> = rep
+            .spans
+            .iter()
+            .map(|a| {
+                (
+                    a.span.name().to_string(),
+                    agp_metrics::SpanCell {
+                        calls: a.count,
+                        total_ns: a.incl_ns,
+                        self_ns: a.excl_ns,
+                    },
+                )
+            })
+            .collect();
+        if !cells.is_empty() {
+            bench.insert_spans(e.id, cells);
+        }
     }
+    agp_perf::enable(false);
     let manifest = manifest_of(&outputs, scale);
     std::fs::write(&out, manifest.to_json()).map_err(|e| format!("--out {out}: {e}"))?;
     std::fs::write(&bench_out, bench.to_json())
@@ -704,6 +938,32 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             "parity OK: {} metrics within tolerance of {golden_path}",
             manifest.metrics.len()
         );
+        if let Some(base) = &baseline {
+            if base.build_profile != bench.build_profile {
+                eprintln!(
+                    "warning: baseline built under '{}' but this run is '{}'; skipping the wall gate",
+                    base.build_profile, bench.build_profile
+                );
+            } else {
+                let band = agp_metrics::Tolerance::new(wall_band, wall_abs);
+                let slow = bench.compare_wall(base, band);
+                if !slow.is_empty() {
+                    for d in &slow {
+                        eprintln!("drift: {d}");
+                    }
+                    return Err(format!(
+                        "{} experiment(s) regressed past the wall-clock band of {bench_out} \
+                         (rerun, or refresh the baseline with `agp report` on a quiet machine)",
+                        slow.len()
+                    ));
+                }
+                println!(
+                    "wall-clock OK: {} experiments within +max({wall_abs} s, {:.0}% ) of {bench_out}",
+                    bench.wall_secs.len(),
+                    wall_band * 100.0
+                );
+            }
+        }
     }
     Ok(())
 }

@@ -81,6 +81,19 @@ enum Event {
     Sample,
 }
 
+/// Profiling span for one event's handler (host-time accounting only).
+fn perf_span(ev: &Event) -> agp_perf::Span {
+    match ev {
+        Event::Dispatch { .. } => agp_perf::Span::SimDispatch,
+        Event::IoDone { .. } => agp_perf::Span::SimIoDone,
+        Event::QuantumExpire { .. } => agp_perf::Span::SimQuantum,
+        Event::BarrierRelease { .. } | Event::BarrierRetry { .. } => agp_perf::Span::SimBarrier,
+        Event::Chaos { .. } => agp_perf::Span::SimChaos,
+        Event::BgStart { .. } | Event::BgTick { .. } => agp_perf::Span::SimBgWrite,
+        Event::Sample => agp_perf::Span::SimSample,
+    }
+}
+
 /// With `check_invariants` on, sweep every node once per this many events
 /// (in addition to the per-switch and per-job-completion sweeps). Frequent
 /// enough to localize a corruption to a few thousand events, cheap enough
@@ -256,7 +269,21 @@ impl ClusterSim {
     }
 
     /// Execute to completion.
-    pub fn run(mut self) -> Result<RunResult, SimError> {
+    pub fn run(self) -> Result<RunResult, SimError> {
+        let res = {
+            // Root profiling span: everything below tiles against this
+            // frame (host-time accounting only; no effect on sim state).
+            let _perf = agp_perf::scope(agp_perf::Span::Run);
+            self.run_inner()
+        };
+        // Fold this thread's samples into the process aggregate — the
+        // experiment runners fan configurations out one worker thread
+        // each, and those threads are gone by reporting time.
+        agp_perf::flush();
+        res
+    }
+
+    fn run_inner(mut self) -> Result<RunResult, SimError> {
         match self.cfg.mode {
             ScheduleMode::Gang => {
                 let plan = self
@@ -285,7 +312,10 @@ impl ClusterSim {
                     at_us: t.since(SimTime::ZERO).as_us(),
                 });
             }
-            self.handle(ev)?;
+            {
+                let _ev_perf = agp_perf::scope(perf_span(&ev));
+                self.handle(ev)?;
+            }
             if self.cfg.check_invariants && self.events.is_multiple_of(INVARIANT_SWEEP_EVERY) {
                 self.verify_invariants("periodic sweep")?;
             }
@@ -742,6 +772,7 @@ impl ClusterSim {
         inn: Vec<JobId>,
         quantum: SimDur,
     ) -> Result<(), SimError> {
+        let _perf = agp_perf::scope(agp_perf::Span::SimSwitch);
         let now = self.now;
         if !out.is_empty() {
             self.switches += 1;

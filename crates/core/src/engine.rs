@@ -304,6 +304,7 @@ impl PagingEngine {
         page: PageNum,
         now: SimTime,
     ) -> Result<FaultPlan, MemError> {
+        let _perf = agp_perf::scope(agp_perf::Span::MemFault);
         let mut plan = FaultPlan::default();
 
         // Watermark model: reclaim to freepages.high once free dips below
@@ -396,6 +397,7 @@ impl PagingEngine {
         now: SimTime,
         selective_first: bool,
     ) -> Result<Vec<Extent>, MemError> {
+        let _perf = agp_perf::scope(agp_perf::Span::MemReclaim);
         self.stats.reclaim_calls += 1;
         let mut writes: Vec<Extent> = Vec::new();
         let mut freed = 0usize;
@@ -557,6 +559,7 @@ impl PagingEngine {
         inn: ProcId,
         wss_hint: Option<usize>,
     ) -> Result<IoPlan, MemError> {
+        let _perf = agp_perf::scope(agp_perf::Span::MemPageOut);
         self.outgoing = Some(out);
         self.running = Some(inn);
         self.selective_cache = SelectiveCache::default();
@@ -606,6 +609,7 @@ impl PagingEngine {
         inn: ProcId,
         now: SimTime,
     ) -> Result<IoPlan, MemError> {
+        let _perf = agp_perf::scope(agp_perf::Span::MemPageIn);
         let mut plan = IoPlan::default();
         if !self.cfg.adaptive_in {
             return Ok(plan);
@@ -700,6 +704,7 @@ impl PagingEngine {
     /// schedules the next tick. Returns write extents (empty = nothing to
     /// do).
     pub fn bgwrite_tick(&mut self, kern: &mut Kernel) -> Result<Vec<Extent>, MemError> {
+        let _perf = agp_perf::scope(agp_perf::Span::MemBgTick);
         let ext = self.bg.tick(kern)?;
         if !ext.is_empty() {
             let pid = self.bg.active().map_or(0, |p| p.0);

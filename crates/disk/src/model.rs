@@ -230,6 +230,7 @@ impl Disk {
     /// i.e. it still waits for the queue to drain, which models "wait for
     /// outstanding paging I/O" synchronization points.
     pub fn submit(&mut self, now: SimTime, req: &DiskRequest) -> SimTime {
+        let _perf = agp_perf::scope(agp_perf::Span::DiskSubmit);
         let start = now.max(self.busy_until);
         if req.is_empty() {
             return start;
@@ -275,6 +276,7 @@ impl Disk {
     /// completed-request or page totals — so throughput numbers remain
     /// "work actually done".
     pub fn submit_failing(&mut self, now: SimTime, req: &DiskRequest) -> SimTime {
+        let _perf = agp_perf::scope(agp_perf::Span::DiskSubmit);
         let start = now.max(self.busy_until);
         let svc = SimDur::from_us(self.params.command_overhead_us);
         let completion = start + svc;

@@ -1,0 +1,10 @@
+//! Lint fixture: simulation-flavoured code reading the host clock. The
+//! manifest claims `allow = ["wall-clock"]`, but this crate is not on
+//! `agp_lint::WALL_CLOCK_SANCTIONED`, so the lint must fire anyway.
+
+/// Folds host time into a "latency" — exactly the determinism leak the
+/// wall-clock lint exists to catch.
+pub fn leaky_latency_us() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_micros()
+}

@@ -1,0 +1,8 @@
+//! Lint fixture: identical host-clock use to `rogue-sim`, under a
+//! sanctioned package name. The crate-level allow applies; no findings.
+
+/// Same body as rogue-sim's — only the package name differs.
+pub fn leaky_latency_us() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_micros()
+}

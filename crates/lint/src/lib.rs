@@ -39,6 +39,30 @@ use std::path::{Path, PathBuf};
 
 pub use diag::{render_json, Diag, Severity};
 
+/// Crates whose `allow = ["wall-clock"]` manifest metadata is honoured:
+/// `agp-perf` is the self-profiler (the host clock is its product),
+/// `agp-cli` and `agp-bench` report real elapsed runtime to the
+/// operator, and `agp-lint` necessarily spells the hazardous
+/// identifiers out in its own rule tables. A `wall-clock` allow claimed
+/// by any other crate is ignored, so the lint still fires there —
+/// keeping `Instant::now` structurally impossible to smuggle into
+/// simulation crates by editing only their own manifest.
+pub const WALL_CLOCK_SANCTIONED: &[&str] = &["agp-bench", "agp-cli", "agp-lint", "agp-perf"];
+
+/// The crate-level allow list that actually applies to `crate_name`:
+/// every claimed id except `wall-clock`, which passes through only for
+/// [`WALL_CLOCK_SANCTIONED`] crates. Site-level suppressions are
+/// unaffected (they carry a written reason at the offending line).
+pub fn effective_allow(crate_name: &str, allow: &[String]) -> Vec<String> {
+    allow
+        .iter()
+        .filter(|id| {
+            id.as_str() != rules::WALL_CLOCK || WALL_CLOCK_SANCTIONED.contains(&crate_name)
+        })
+        .cloned()
+        .collect()
+}
+
 /// Lint one source file with an explicit crate-level allow list.
 ///
 /// `display` is the path recorded in diagnostics (usually root-relative).
@@ -109,12 +133,33 @@ fn display_path(root: &Path, p: &Path) -> String {
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diag>> {
     let mut diags = Vec::new();
     for pkg in discover_packages(root)? {
+        let allow = effective_allow(&pkg.cfg.name, &pkg.cfg.allow);
         let mut files = Vec::new();
         walk_rs(&pkg.dir.join("src"), &mut files)?;
         for f in files {
             let display = display_path(root, &f);
-            diags.extend(lint_file(&f, &display, &pkg.cfg.allow)?);
+            diags.extend(lint_file(&f, &display, &allow)?);
         }
+    }
+    diags.sort_by(|a, b| {
+        (a.file.clone(), a.line, a.col, a.id).cmp(&(b.file.clone(), b.line, b.col, b.id))
+    });
+    Ok(diags)
+}
+
+/// Lint one package directory (a `Cargo.toml` next to `src/`), applying
+/// the same crate-level allow + sanction rules as [`lint_workspace`].
+/// Diagnostics use package-relative paths. Used by the fixture tests to
+/// pin the sanction behaviour on packages outside the workspace.
+pub fn lint_package_dir(dir: &Path) -> io::Result<Vec<Diag>> {
+    let cfg = config::parse_manifest(&fs::read_to_string(dir.join("Cargo.toml"))?);
+    let allow = effective_allow(&cfg.name, &cfg.allow);
+    let mut files = Vec::new();
+    walk_rs(&dir.join("src"), &mut files)?;
+    let mut diags = Vec::new();
+    for f in files {
+        let display = display_path(dir, &f);
+        diags.extend(lint_file(&f, &display, &allow)?);
     }
     diags.sort_by(|a, b| {
         (a.file.clone(), a.line, a.col, a.id).cmp(&(b.file.clone(), b.line, b.col, b.id))
@@ -158,6 +203,20 @@ pub fn exit_code(diags: &[Diag], deny_warnings: bool) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_clock_allow_passes_only_for_sanctioned_crates() {
+        let claimed = vec!["wall-clock".to_string(), "panic-site".to_string()];
+        for name in WALL_CLOCK_SANCTIONED {
+            assert_eq!(effective_allow(name, &claimed), claimed, "{name}");
+        }
+        assert_eq!(
+            effective_allow("agp-mem", &claimed),
+            vec!["panic-site".to_string()],
+            "an unsanctioned crate keeps its other allows but not wall-clock"
+        );
+        assert!(effective_allow("agp-mem", &[]).is_empty());
+    }
 
     #[test]
     fn exit_code_policy() {

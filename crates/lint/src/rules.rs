@@ -243,8 +243,8 @@ fn rule_wall_clock(ctx: &Ctx, out: &mut Vec<Diag>) {
                      SimTime so runs replay identically",
                         t.text
                     ),
-                    "use agp_sim::SimTime / SimDur, or add this crate to the CLI/bench allowlist \
-                 via [package.metadata.agp-lint]"
+                    "use agp_sim::SimTime / SimDur — only the sanctioned profiler/CLI/bench \
+                 crates (agp_lint::WALL_CLOCK_SANCTIONED) may claim the wall-clock allow"
                         .to_string(),
                 ),
             );

@@ -5,10 +5,18 @@
 
 use std::path::{Path, PathBuf};
 
-use agp_lint::{exit_code, lint_paths, lint_workspace, render_json, rules, Severity};
+use agp_lint::{
+    exit_code, lint_package_dir, lint_paths, lint_workspace, render_json, rules, Severity,
+};
 
 fn fixture() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/hazards.rs")
+}
+
+fn fixture_pkg(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
 }
 
 fn workspace_root() -> PathBuf {
@@ -86,6 +94,25 @@ fn json_report_contains_structured_fields() {
             .filter(|d| d.severity == Severity::Error)
             .count()
     )));
+}
+
+#[test]
+fn unsanctioned_wall_clock_allow_is_ignored() {
+    let diags = lint_package_dir(&fixture_pkg("rogue-sim")).expect("fixture readable");
+    assert!(
+        diags.iter().any(|d| d.id == rules::WALL_CLOCK),
+        "wall-clock must fire despite the crate-level allow: {diags:#?}"
+    );
+    assert_eq!(exit_code(&diags, false), 1, "rogue crate must fail CI");
+}
+
+#[test]
+fn sanctioned_crate_keeps_its_wall_clock_allow() {
+    let diags = lint_package_dir(&fixture_pkg("sanctioned-sim")).expect("fixture readable");
+    assert!(
+        diags.is_empty(),
+        "identical source under a sanctioned name lints clean: {diags:#?}"
+    );
 }
 
 #[test]

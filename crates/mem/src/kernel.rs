@@ -297,6 +297,7 @@ impl Kernel {
         write: bool,
         now: SimTime,
     ) -> Result<(usize, Option<TouchOutcome>), MemError> {
+        let _perf = agp_perf::scope(agp_perf::Span::MemTouch);
         let pm = self.procs.get_mut(&pid).ok_or(MemError::NoSuchProc(pid))?;
         let end = first.idx() + max;
         if max > 0 && end > pm.pt.len() {

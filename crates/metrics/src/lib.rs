@@ -25,7 +25,8 @@ pub mod trace;
 
 pub use json::Json;
 pub use manifest::{
-    BenchManifest, Drift, ParityManifest, Tolerance, Tolerances, MANIFEST_SCHEMA_VERSION,
+    BenchManifest, Drift, ParityManifest, SpanCell, Tolerance, Tolerances, BENCH_SCHEMA_VERSION,
+    MANIFEST_SCHEMA_VERSION,
 };
 pub use report::{bar_chart, overhead_pct, reduction_pct, Table};
 pub use trace::ActivityTrace;

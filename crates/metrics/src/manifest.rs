@@ -279,23 +279,61 @@ impl fmt::Display for Drift {
     }
 }
 
-/// Wall-clock self-timings per experiment (`BENCH_agp.json`). Inherently
-/// machine-dependent, so it is *recorded* each run for trend tracking but
-/// never gated on by `--check`.
+/// Schema version stamped into `BENCH_agp.json`. v2 added run metadata
+/// (`build_profile`, `iterations`, harness-injected `stamp`) and
+/// per-experiment per-span host-time aggregates next to the wall-clock
+/// map; v1 files are rejected loudly with a migration hint.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Host-time aggregate for one profiler span within one experiment
+/// (mirrors `agp-perf`'s flat span stats).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanCell {
+    /// Frames exited.
+    pub calls: u64,
+    /// Inclusive wall nanoseconds.
+    pub total_ns: u64,
+    /// Exclusive (self) wall nanoseconds.
+    pub self_ns: u64,
+}
+
+/// Wall-clock self-timings per experiment (`BENCH_agp.json`). The
+/// timing values are machine-dependent, so `agp report --check` gates
+/// them only through a generous one-sided regression band
+/// ([`BenchManifest::compare_wall`]) — the *shape* (schema v2) is
+/// enforced strictly by parse and by `scripts/check.sh`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchManifest {
-    /// Manifest schema version (see [`MANIFEST_SCHEMA_VERSION`]).
+    /// Manifest schema version (see [`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Cargo profile the run was built under (`release` / `debug`).
+    pub build_profile: String,
+    /// Timing iterations per experiment (wall numbers are the minimum).
+    pub iterations: u32,
+    /// Harness-injected label (tier timestamp, CI run id, …). Always
+    /// supplied from outside the simulator — never from `SystemTime`
+    /// inside it — so sim code stays wall-clock-free.
+    pub stamp: String,
     /// Experiment id → wall-clock seconds.
     pub wall_secs: BTreeMap<String, f64>,
+    /// Experiment id → span name → host-time aggregate.
+    pub spans: BTreeMap<String, BTreeMap<String, SpanCell>>,
 }
 
 impl BenchManifest {
-    /// An empty bench manifest.
+    /// An empty bench manifest stamped with this build's profile.
     pub fn new() -> Self {
         BenchManifest {
-            schema_version: MANIFEST_SCHEMA_VERSION,
+            schema_version: BENCH_SCHEMA_VERSION,
+            build_profile: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+            iterations: 1,
+            stamp: String::new(),
             wall_secs: BTreeMap::new(),
+            spans: BTreeMap::new(),
         }
     }
 
@@ -304,11 +342,23 @@ impl BenchManifest {
         self.wall_secs.insert(id.into(), secs);
     }
 
+    /// Record one experiment's per-span host-time aggregates.
+    pub fn insert_spans(&mut self, id: impl Into<String>, cells: BTreeMap<String, SpanCell>) {
+        self.spans.insert(id.into(), cells);
+    }
+
     /// Deterministic pretty JSON (modulo the timing values themselves).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str("  \"build_profile\": ");
+        Json::Str(self.build_profile.clone()).write(&mut out);
+        out.push_str(",\n");
+        out.push_str(&format!("  \"iterations\": {},\n", self.iterations));
+        out.push_str("  \"stamp\": ");
+        Json::Str(self.stamp.clone()).write(&mut out);
+        out.push_str(",\n");
         out.push_str("  \"wall_secs\": {");
         for (i, (k, v)) in self.wall_secs.iter().enumerate() {
             if i > 0 {
@@ -322,17 +372,69 @@ impl BenchManifest {
         if !self.wall_secs.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("},\n");
+        out.push_str("  \"spans\": {");
+        for (i, (id, cells)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            Json::Str(id.clone()).write(&mut out);
+            out.push_str(": {");
+            for (j, (span, c)) in cells.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      ");
+                Json::Str(span.clone()).write(&mut out);
+                out.push_str(&format!(
+                    ": {{\"calls\": {}, \"total_ns\": {}, \"self_ns\": {}}}",
+                    c.calls, c.total_ns, c.self_ns
+                ));
+            }
+            if !cells.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push('}');
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("}\n}\n");
         out
     }
 
     /// Parse a bench manifest written by [`BenchManifest::to_json`].
+    ///
+    /// The schema version is enforced strictly (a v1 file names its
+    /// migration path); the metadata fields default leniently so
+    /// hand-edited manifests stay usable.
     pub fn parse(text: &str) -> Result<Self, String> {
         let v = Json::parse(text).map_err(|e| e.to_string())?;
         let schema_version = v
             .get("schema_version")
             .and_then(Json::as_f64)
             .ok_or("missing schema_version")? as u32;
+        if schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench schema_version {schema_version} != supported {BENCH_SCHEMA_VERSION} \
+                 (regenerate with `agp report`)"
+            ));
+        }
+        let build_profile = v
+            .get("build_profile")
+            .and_then(Json::as_str)
+            .unwrap_or("release")
+            .to_string();
+        let iterations = v
+            .get("iterations")
+            .and_then(Json::as_f64)
+            .map_or(1, |n| n as u32);
+        let stamp = v
+            .get("stamp")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
         let mut wall_secs = BTreeMap::new();
         for (k, val) in v
             .get("wall_secs")
@@ -344,10 +446,73 @@ impl BenchManifest {
                 val.as_f64().ok_or_else(|| format!("{k} is not a number"))?,
             );
         }
+        let mut spans = BTreeMap::new();
+        if let Some(obj) = v.get("spans").and_then(Json::as_object) {
+            for (id, cells_v) in obj {
+                let mut cells = BTreeMap::new();
+                for (span, cell_v) in cells_v
+                    .as_object()
+                    .ok_or_else(|| format!("spans.{id} is not an object"))?
+                {
+                    let field = |name: &str| -> Result<u64, String> {
+                        cell_v
+                            .get(name)
+                            .and_then(Json::as_f64)
+                            .map(|n| n as u64)
+                            .ok_or_else(|| format!("spans.{id}.{span}: missing {name}"))
+                    };
+                    cells.insert(
+                        span.clone(),
+                        SpanCell {
+                            calls: field("calls")?,
+                            total_ns: field("total_ns")?,
+                            self_ns: field("self_ns")?,
+                        },
+                    );
+                }
+                spans.insert(id.clone(), cells);
+            }
+        }
         Ok(BenchManifest {
             schema_version,
+            build_profile,
+            iterations,
+            stamp,
             wall_secs,
+            spans,
         })
+    }
+
+    /// One-sided wall-clock regression check against a committed
+    /// baseline: an experiment fails only when it got *slower* than its
+    /// band allows (`got − want > max(abs, rel·want)`); being faster
+    /// never fails. Only experiments present on both sides are compared
+    /// — the baseline may carry extra entries appended by later gate
+    /// steps (e.g. `explain.fig9`, `chaos.smoke`), and a brand-new
+    /// experiment has no band yet.
+    pub fn compare_wall(&self, baseline: &BenchManifest, band: Tolerance) -> Vec<Drift> {
+        let mut out = Vec::new();
+        for (id, &got) in &self.wall_secs {
+            let Some(&want) = baseline.wall_secs.get(id) else {
+                continue;
+            };
+            let allowed = band.abs.max(band.rel * want.abs());
+            if got - want > allowed {
+                out.push(Drift {
+                    key: id.clone(),
+                    got: Some(got),
+                    want: Some(want),
+                    allowed,
+                    note: format!(
+                        "wall-clock regression: {} s vs baseline {} s (allowed +{})",
+                        format_f64(got),
+                        format_f64(want),
+                        format_f64(allowed)
+                    ),
+                });
+            }
+        }
+        out
     }
 }
 
@@ -482,10 +647,56 @@ mod tests {
     #[test]
     fn bench_manifest_round_trips() {
         let mut b = BenchManifest::new();
+        b.iterations = 3;
+        b.stamp = "tier-2026-08-07".to_string();
         b.insert("moreira", 1.25);
         b.insert("fig6", 0.5);
+        let mut cells = BTreeMap::new();
+        cells.insert(
+            "sim.dispatch".to_string(),
+            SpanCell {
+                calls: 120,
+                total_ns: 9_000,
+                self_ns: 4_500,
+            },
+        );
+        b.insert_spans("moreira", cells);
         let j = b.to_json();
         assert_eq!(BenchManifest::parse(&j).unwrap(), b);
+        assert_eq!(b.to_json(), j, "writer is deterministic");
+        assert!(j.contains("\"schema_version\": 2"), "{j}");
+        assert!(j.contains("\"build_profile\""), "{j}");
+    }
+
+    #[test]
+    fn bench_v1_files_are_rejected_with_migration_hint() {
+        let v1 = "{\n  \"schema_version\": 1,\n  \"wall_secs\": {\n    \"fig7\": 3.3\n  }\n}\n";
+        let err = BenchManifest::parse(v1).unwrap_err();
+        assert!(err.contains("schema_version 1"), "{err}");
+        assert!(err.contains("agp report"), "{err}");
+    }
+
+    #[test]
+    fn wall_band_fails_only_on_regressions() {
+        let mut baseline = BenchManifest::new();
+        baseline.insert("fig7", 2.0);
+        baseline.insert("fig8", 4.0);
+        baseline.insert("chaos.smoke", 0.1); // appended later; run lacks it
+
+        let mut run = BenchManifest::new();
+        run.insert("fig7", 2.0 * 3.5); // past the 2x rel band
+        run.insert("fig8", 1.0); // faster: never a drift
+        run.insert("brand-new", 9.9); // no baseline: no band yet
+
+        let band = Tolerance::new(2.0, 1.0);
+        let drifts = run.compare_wall(&baseline, band);
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert_eq!(drifts[0].key, "fig7");
+        assert!(drifts[0].to_string().contains("regression"));
+
+        // At exactly the band edge (2 + max(1, 2*2) = 6) it still passes.
+        run.wall_secs.insert("fig7".into(), 6.0);
+        assert!(run.compare_wall(&baseline, band).is_empty());
     }
 
     #[test]

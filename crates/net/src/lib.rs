@@ -174,6 +174,7 @@ impl Barrier {
     /// Double arrival by the same rank within an episode indicates a
     /// simulation bug and panics in debug builds.
     pub fn arrive(&mut self, rank: u32, now: SimTime, net: &NetParams) -> Option<SimTime> {
+        let _perf = agp_perf::scope(agp_perf::Span::NetBarrier);
         let r = rank as usize;
         debug_assert!(!self.arrived[r], "rank {rank} arrived twice at one barrier");
         if self.arrived[r] {

@@ -130,6 +130,7 @@ impl ObsLink {
 }
 
 fn deliver(inner: &LinkInner, at: SimTime, src: u32, ev: ObsEvent) {
+    let _perf = agp_perf::scope(agp_perf::Span::ObsEmit);
     for sink in &inner.sinks {
         let mut guard = match sink.lock() {
             Ok(g) => g,

@@ -1,0 +1,228 @@
+//! Prometheus text exposition (version 0.0.4) of a [`PerfReport`].
+//!
+//! This is the module a future `agp serve` mounts at `/metrics`; today
+//! the CLI writes it to a file via `agp perf --prometheus`. Output is
+//! fully deterministic for a given report: metric families in a fixed
+//! order, span label values in registry order, histogram buckets in
+//! ascending `le` order.
+
+use crate::recorder::NsHistogram;
+use crate::report::PerfReport;
+
+fn push_family(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Render the report as Prometheus text exposition format.
+pub fn render_prometheus(report: &PerfReport) -> String {
+    let mut out = String::new();
+
+    push_family(
+        &mut out,
+        "agp_perf_span_calls_total",
+        "Frames exited per instrumented span.",
+        "counter",
+    );
+    for a in &report.spans {
+        out.push_str(&format!(
+            "agp_perf_span_calls_total{{span=\"{}\"}} {}\n",
+            a.span.name(),
+            a.count
+        ));
+    }
+
+    push_family(
+        &mut out,
+        "agp_perf_span_self_ns_total",
+        "Exclusive (self) wall nanoseconds per span.",
+        "counter",
+    );
+    for a in &report.spans {
+        out.push_str(&format!(
+            "agp_perf_span_self_ns_total{{span=\"{}\"}} {}\n",
+            a.span.name(),
+            a.excl_ns
+        ));
+    }
+
+    push_family(
+        &mut out,
+        "agp_perf_span_ns_total",
+        "Inclusive wall nanoseconds per span (outermost activations).",
+        "counter",
+    );
+    for a in &report.spans {
+        out.push_str(&format!(
+            "agp_perf_span_ns_total{{span=\"{}\"}} {}\n",
+            a.span.name(),
+            a.incl_ns
+        ));
+    }
+
+    push_family(
+        &mut out,
+        "agp_perf_span_latency_ns",
+        "Per-frame wall-ns latency, power-of-two buckets.",
+        "histogram",
+    );
+    for a in &report.spans {
+        let span = a.span.name();
+        let buckets = a.hist.buckets();
+        let top = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (i, &c) in buckets.iter().enumerate().take(top + 1) {
+            cum += c;
+            out.push_str(&format!(
+                "agp_perf_span_latency_ns_bucket{{span=\"{span}\",le=\"{}\"}} {cum}\n",
+                NsHistogram::bucket_upper(i)
+            ));
+        }
+        out.push_str(&format!(
+            "agp_perf_span_latency_ns_bucket{{span=\"{span}\",le=\"+Inf\"}} {}\n",
+            a.count
+        ));
+        out.push_str(&format!(
+            "agp_perf_span_latency_ns_sum{{span=\"{span}\"}} {}\n",
+            a.sum_ns
+        ));
+        out.push_str(&format!(
+            "agp_perf_span_latency_ns_count{{span=\"{span}\"}} {}\n",
+            a.count
+        ));
+    }
+
+    if let Some(d) = &report.derived {
+        push_family(
+            &mut out,
+            "agp_perf_events_per_sec",
+            "Simulator events handled per host second.",
+            "gauge",
+        );
+        out.push_str(&format!(
+            "agp_perf_events_per_sec {:.3}\n",
+            d.events_per_sec()
+        ));
+        push_family(
+            &mut out,
+            "agp_perf_faults_per_sec",
+            "Page faults serviced per host second.",
+            "gauge",
+        );
+        out.push_str(&format!(
+            "agp_perf_faults_per_sec {:.3}\n",
+            d.faults_per_sec()
+        ));
+        push_family(
+            &mut out,
+            "agp_perf_sim_us_per_wall_ms",
+            "Simulated microseconds advanced per host millisecond.",
+            "gauge",
+        );
+        out.push_str(&format!(
+            "agp_perf_sim_us_per_wall_ms {:.3}\n",
+            d.sim_us_per_wall_ms()
+        ));
+    }
+
+    push_family(
+        &mut out,
+        "agp_perf_unbalanced_exits_total",
+        "Span guard enter/exit mismatches (0 on a healthy run).",
+        "counter",
+    );
+    out.push_str(&format!(
+        "agp_perf_unbalanced_exits_total {}\n",
+        report.unbalanced_exits
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::report::{Derived, PerfReport};
+    use crate::span::Span;
+
+    /// Golden exposition for a fixed synthetic session: any formatting
+    /// change must be deliberate and show up in this diff.
+    #[test]
+    fn golden_exposition() {
+        let mut r = Recorder::new();
+        r.enter(Span::Run, 0);
+        r.enter(Span::MemTouch, 100);
+        r.exit(103); // 3 ns -> bucket [2,4)
+        r.enter(Span::MemTouch, 200);
+        r.exit(209); // 9 ns -> bucket [8,16)
+        r.exit(1_000);
+        let mut rep = PerfReport::from_recorder(&r);
+        rep.derived = Some(Derived {
+            events: 2,
+            faults: 2,
+            sim_us: 10,
+            wall_ns: 1_000,
+        });
+
+        let got = render_prometheus(&rep);
+        let want = "\
+# HELP agp_perf_span_calls_total Frames exited per instrumented span.
+# TYPE agp_perf_span_calls_total counter
+agp_perf_span_calls_total{span=\"sim.run\"} 1
+agp_perf_span_calls_total{span=\"mem.touch_run\"} 2
+# HELP agp_perf_span_self_ns_total Exclusive (self) wall nanoseconds per span.
+# TYPE agp_perf_span_self_ns_total counter
+agp_perf_span_self_ns_total{span=\"sim.run\"} 988
+agp_perf_span_self_ns_total{span=\"mem.touch_run\"} 12
+# HELP agp_perf_span_ns_total Inclusive wall nanoseconds per span (outermost activations).
+# TYPE agp_perf_span_ns_total counter
+agp_perf_span_ns_total{span=\"sim.run\"} 1000
+agp_perf_span_ns_total{span=\"mem.touch_run\"} 12
+# HELP agp_perf_span_latency_ns Per-frame wall-ns latency, power-of-two buckets.
+# TYPE agp_perf_span_latency_ns histogram
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"0\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"2\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"4\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"8\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"16\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"32\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"64\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"128\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"256\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"512\"} 0
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"1024\"} 1
+agp_perf_span_latency_ns_bucket{span=\"sim.run\",le=\"+Inf\"} 1
+agp_perf_span_latency_ns_sum{span=\"sim.run\"} 1000
+agp_perf_span_latency_ns_count{span=\"sim.run\"} 1
+agp_perf_span_latency_ns_bucket{span=\"mem.touch_run\",le=\"0\"} 0
+agp_perf_span_latency_ns_bucket{span=\"mem.touch_run\",le=\"2\"} 0
+agp_perf_span_latency_ns_bucket{span=\"mem.touch_run\",le=\"4\"} 1
+agp_perf_span_latency_ns_bucket{span=\"mem.touch_run\",le=\"8\"} 1
+agp_perf_span_latency_ns_bucket{span=\"mem.touch_run\",le=\"16\"} 2
+agp_perf_span_latency_ns_bucket{span=\"mem.touch_run\",le=\"+Inf\"} 2
+agp_perf_span_latency_ns_sum{span=\"mem.touch_run\"} 12
+agp_perf_span_latency_ns_count{span=\"mem.touch_run\"} 2
+# HELP agp_perf_events_per_sec Simulator events handled per host second.
+# TYPE agp_perf_events_per_sec gauge
+agp_perf_events_per_sec 2000000.000
+# HELP agp_perf_faults_per_sec Page faults serviced per host second.
+# TYPE agp_perf_faults_per_sec gauge
+agp_perf_faults_per_sec 2000000.000
+# HELP agp_perf_sim_us_per_wall_ms Simulated microseconds advanced per host millisecond.
+# TYPE agp_perf_sim_us_per_wall_ms gauge
+agp_perf_sim_us_per_wall_ms 10000.000
+# HELP agp_perf_unbalanced_exits_total Span guard enter/exit mismatches (0 on a healthy run).
+# TYPE agp_perf_unbalanced_exits_total counter
+agp_perf_unbalanced_exits_total 0
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_report_renders_families_only() {
+        let got = render_prometheus(&PerfReport::default());
+        assert!(got.contains("# TYPE agp_perf_span_calls_total counter"));
+        assert!(got.contains("agp_perf_unbalanced_exits_total 0\n"));
+        assert!(!got.contains("span=\""));
+    }
+}

@@ -1,0 +1,397 @@
+//! The explicit-clock aggregation core.
+//!
+//! [`Recorder`] knows nothing about real time: callers pass monotonic
+//! nanosecond timestamps into [`Recorder::enter`] / [`Recorder::exit`].
+//! That makes the whole accounting model — inclusive vs. exclusive
+//! attribution, recursion handling, stack-path self time — unit- and
+//! property-testable with synthetic clocks, while the thin process-global
+//! layer in `lib.rs` is the only place that reads `Instant::now`.
+//!
+//! Accounting model:
+//!
+//! * **Inclusive** time of a span is wall time with at least one
+//!   activation of that span on the stack. Re-entrant activations do not
+//!   double-count: only the outermost activation adds to `incl_ns`.
+//! * **Exclusive** (self) time of a frame is its elapsed time minus the
+//!   elapsed time of its direct children. Every nanosecond inside the
+//!   root frame is exclusive to exactly one frame, so
+//!   `Σ excl_ns over all spans == incl_ns of the root span` — the tiling
+//!   invariant the `agp perf` table and its property test rely on.
+//! * **Paths** aggregate exclusive time per call stack (sequence of span
+//!   ids from the root), which is exactly the collapsed-stack format
+//!   flamegraph tools consume.
+
+use crate::span::{Span, SPAN_COUNT};
+use std::collections::BTreeMap;
+
+/// Power-of-two nanosecond latency histogram.
+///
+/// Bucket 0 counts zero-duration observations; bucket `i >= 1` counts
+/// durations in `[2^(i-1), 2^i)` ns. 64 value buckets plus the zero
+/// bucket cover the full `u64` range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NsHistogram {
+    buckets: [u64; Self::BUCKETS],
+}
+
+impl NsHistogram {
+    /// Number of buckets (zero bucket + one per power of two).
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        NsHistogram {
+            buckets: [0; Self::BUCKETS],
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            (64 - ns.leading_zeros()) as usize
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Raw bucket counts (index = power-of-two bucket).
+    pub fn buckets(&self) -> &[u64; Self::BUCKETS] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of bucket `i` in ns (0 for the zero bucket).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Upper bound of the bucket holding quantile `q` in `[0, 1]`.
+    ///
+    /// Coarse by construction (a power of two), which is all the hot-span
+    /// table needs; returns 0 on an empty histogram.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(Self::BUCKETS - 1)
+    }
+}
+
+impl Default for NsHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Flat per-span aggregate.
+#[derive(Clone, Debug)]
+pub struct SpanStat {
+    /// Number of frames exited for this span.
+    pub count: u64,
+    /// Outermost-activation wall time (see module docs).
+    pub incl_ns: u64,
+    /// Self time: elapsed minus direct children's elapsed.
+    pub excl_ns: u64,
+    /// Sum of per-frame elapsed time (every activation, including
+    /// re-entrant ones; the histogram's `_sum`).
+    pub sum_ns: u64,
+    /// Largest single-frame elapsed time.
+    pub max_ns: u64,
+    /// Per-frame elapsed-time distribution.
+    pub hist: NsHistogram,
+}
+
+impl SpanStat {
+    fn new() -> Self {
+        SpanStat {
+            count: 0,
+            incl_ns: 0,
+            excl_ns: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            hist: NsHistogram::new(),
+        }
+    }
+}
+
+/// Exclusive-time aggregate for one call stack (root-first span ids).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Frames exited with exactly this stack.
+    pub count: u64,
+    /// Exclusive time accrued with exactly this stack.
+    pub self_ns: u64,
+}
+
+struct Frame {
+    span: Span,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+/// Span-stack aggregator driven by an explicit monotonic clock.
+pub struct Recorder {
+    stats: Vec<SpanStat>,
+    /// Open frames, root first.
+    stack: Vec<Frame>,
+    /// Span ids of `stack`, kept in lockstep so path keys are one slice copy.
+    stack_ids: Vec<u16>,
+    /// Activation depth per span, for re-entrancy-safe inclusive time.
+    active: [u32; SPAN_COUNT],
+    paths: BTreeMap<Vec<u16>, PathStat>,
+    /// Exits observed with an empty stack (always a caller bug; kept
+    /// visible instead of panicking in release runs).
+    pub unbalanced_exits: u64,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder {
+            stats: (0..SPAN_COUNT).map(|_| SpanStat::new()).collect(),
+            stack: Vec::with_capacity(16),
+            stack_ids: Vec::with_capacity(16),
+            active: [0; SPAN_COUNT],
+            paths: BTreeMap::new(),
+            unbalanced_exits: 0,
+        }
+    }
+
+    /// Open a frame for `span` at monotonic time `now_ns`.
+    pub fn enter(&mut self, span: Span, now_ns: u64) {
+        self.active[span.id()] += 1;
+        self.stack_ids.push(span as u16);
+        self.stack.push(Frame {
+            span,
+            start_ns: now_ns,
+            child_ns: 0,
+        });
+    }
+
+    /// Close the innermost frame at monotonic time `now_ns`.
+    pub fn exit(&mut self, now_ns: u64) {
+        let Some(frame) = self.stack.pop() else {
+            self.unbalanced_exits += 1;
+            return;
+        };
+        let el = now_ns.saturating_sub(frame.start_ns);
+        let excl = el.saturating_sub(frame.child_ns);
+        let id = frame.span.id();
+
+        let path = self.paths.entry(self.stack_ids.clone()).or_default();
+        path.count += 1;
+        path.self_ns += excl;
+        self.stack_ids.pop();
+
+        let stat = &mut self.stats[id];
+        stat.count += 1;
+        stat.excl_ns += excl;
+        stat.sum_ns += el;
+        stat.max_ns = stat.max_ns.max(el);
+        stat.hist.record(el);
+        self.active[id] -= 1;
+        if self.active[id] == 0 {
+            stat.incl_ns += el;
+        }
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += el;
+        }
+    }
+
+    /// Current stack depth (open frames).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The flat aggregate for one span.
+    pub fn stat(&self, span: Span) -> &SpanStat {
+        &self.stats[span.id()]
+    }
+
+    /// All flat aggregates, indexed by span id.
+    pub fn stats(&self) -> &[SpanStat] {
+        &self.stats
+    }
+
+    /// Exclusive-time aggregates keyed by root-first stack paths.
+    pub fn paths(&self) -> &BTreeMap<Vec<u16>, PathStat> {
+        &self.paths
+    }
+
+    /// Sum of exclusive time over every span.
+    ///
+    /// With balanced frames and a single root this equals the root span's
+    /// inclusive time exactly (the tiling invariant).
+    pub fn total_self_ns(&self) -> u64 {
+        self.stats.iter().map(|s| s.excl_ns).sum()
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stats.iter().all(|s| s.count == 0) && self.stack.is_empty()
+    }
+
+    /// Fold another recorder's *completed* frames into this one (open
+    /// frames on `other`, if any, are not transferable and are ignored).
+    /// Used to merge per-thread recorders into a process aggregate when
+    /// simulations run on worker threads.
+    pub fn merge_from(&mut self, other: &Recorder) {
+        for (id, o) in other.stats.iter().enumerate() {
+            let s = &mut self.stats[id];
+            s.count += o.count;
+            s.incl_ns += o.incl_ns;
+            s.excl_ns += o.excl_ns;
+            s.sum_ns += o.sum_ns;
+            s.max_ns = s.max_ns.max(o.max_ns);
+            for (b, &c) in o.hist.buckets.iter().enumerate() {
+                s.hist.buckets[b] += c;
+            }
+        }
+        for (k, p) in &other.paths {
+            let slot = self.paths.entry(k.clone()).or_default();
+            slot.count += p.count;
+            slot.self_ns += p.self_ns;
+        }
+        self.unbalanced_exits += other.unbalanced_exits;
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = NsHistogram::new();
+        for ns in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[1], 1); // [1,2)
+        assert_eq!(h.buckets()[2], 2); // [2,4): 2, 3
+        assert_eq!(h.buckets()[3], 2); // [4,8): 4, 7
+        assert_eq!(h.buckets()[4], 1); // [8,16): 8
+        assert_eq!(h.buckets()[10], 1); // [512,1024): 1023
+        assert_eq!(h.buckets()[11], 1); // [1024,2048): 1024
+        assert_eq!(h.buckets()[64], 1); // top bucket: u64::MAX
+    }
+
+    #[test]
+    fn histogram_quantiles_return_bucket_upper_bounds() {
+        let mut h = NsHistogram::new();
+        assert_eq!(h.quantile_upper(0.5), 0);
+        for _ in 0..99 {
+            h.record(3); // bucket 2, upper bound 4
+        }
+        h.record(1_000_000); // bucket 20, upper bound 1 << 20
+        assert_eq!(h.quantile_upper(0.5), 4);
+        assert_eq!(h.quantile_upper(0.99), 4);
+        assert_eq!(h.quantile_upper(1.0), 1 << 20);
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_direct_children() {
+        let mut r = Recorder::new();
+        r.enter(Span::Run, 0);
+        r.enter(Span::SimDispatch, 10);
+        r.enter(Span::MemTouch, 20);
+        r.exit(30); // mem.touch: 10 incl, 10 excl
+        r.exit(50); // sim.dispatch: 40 incl, 30 excl
+        r.exit(100); // sim.run: 100 incl, 60 excl
+
+        assert_eq!(r.stat(Span::MemTouch).incl_ns, 10);
+        assert_eq!(r.stat(Span::MemTouch).excl_ns, 10);
+        assert_eq!(r.stat(Span::SimDispatch).incl_ns, 40);
+        assert_eq!(r.stat(Span::SimDispatch).excl_ns, 30);
+        assert_eq!(r.stat(Span::Run).incl_ns, 100);
+        assert_eq!(r.stat(Span::Run).excl_ns, 60);
+        assert_eq!(r.total_self_ns(), r.stat(Span::Run).incl_ns);
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.unbalanced_exits, 0);
+    }
+
+    #[test]
+    fn reentrant_spans_count_inclusive_once() {
+        let mut r = Recorder::new();
+        r.enter(Span::Run, 0);
+        r.enter(Span::MemFault, 0);
+        r.enter(Span::MemFault, 10); // recursive activation
+        r.exit(20);
+        r.exit(40);
+        r.exit(40);
+        let s = r.stat(Span::MemFault);
+        assert_eq!(s.count, 2);
+        // Only the outer activation contributes inclusive time.
+        assert_eq!(s.incl_ns, 40);
+        // Exclusive still tiles: inner 10 + outer (40 - 10) = 40.
+        assert_eq!(s.excl_ns, 40);
+        assert_eq!(r.total_self_ns(), r.stat(Span::Run).incl_ns);
+    }
+
+    #[test]
+    fn paths_aggregate_self_time_per_stack() {
+        let mut r = Recorder::new();
+        r.enter(Span::Run, 0);
+        for i in 0..3u64 {
+            r.enter(Span::SimDispatch, 100 * i);
+            r.enter(Span::MemTouch, 100 * i + 10);
+            r.exit(100 * i + 30);
+            r.exit(100 * i + 50);
+        }
+        r.exit(1000);
+
+        let key_touch = vec![
+            Span::Run as u16,
+            Span::SimDispatch as u16,
+            Span::MemTouch as u16,
+        ];
+        let key_dispatch = vec![Span::Run as u16, Span::SimDispatch as u16];
+        let touch = r.paths()[&key_touch];
+        assert_eq!(touch.count, 3);
+        assert_eq!(touch.self_ns, 60);
+        let dispatch = r.paths()[&key_dispatch];
+        assert_eq!(dispatch.count, 3);
+        assert_eq!(dispatch.self_ns, 3 * (50 - 20));
+        // Path self times tile too.
+        let path_total: u64 = r.paths().values().map(|p| p.self_ns).sum();
+        assert_eq!(path_total, r.stat(Span::Run).incl_ns);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_counted_not_fatal() {
+        let mut r = Recorder::new();
+        r.exit(5);
+        assert_eq!(r.unbalanced_exits, 1);
+        assert!(r.is_empty() || r.unbalanced_exits == 1);
+    }
+}

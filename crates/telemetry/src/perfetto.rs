@@ -36,6 +36,10 @@ const TID_PAGING: u32 = 2;
 const TID_CRITICAL: u32 = 4;
 const TID_CHAOS: u32 = 5;
 
+/// Perfetto pid for the host-performance counter tracks ([`PerfettoTrace::
+/// host_perf_track`]). High enough that no node pid (`src + 1`) collides.
+const PID_HOST_PERF: u32 = 9_999;
+
 /// An observer sink rendering the stream as Trace Event JSON; call
 /// [`PerfettoTrace::finish`] after the run for the document.
 #[derive(Clone, Debug, Default)]
@@ -137,6 +141,39 @@ impl PerfettoTrace {
         }
         self.ensure_thread(PID_CLUSTER, TID_CRITICAL, "critical path");
         self.span(PID_CLUSTER, TID_CRITICAL, ts, dur_us, name, &[]);
+    }
+
+    /// Merge an `agp-perf` host-profile into the trace as a dedicated
+    /// "host perf" process: one counter track per instrumented span
+    /// carrying its exclusive (self) host time in microseconds, sampled
+    /// at the start and end of the sim-time axis so each renders as a
+    /// readable bar alongside the sim tracks. Purely additive — traces
+    /// exported without a profile are unchanged byte for byte.
+    ///
+    /// The time *axis* stays sim-µs; only the counter values are host
+    /// time, so this reads as "where the simulator itself spent its
+    /// wall clock while producing everything above".
+    pub fn host_perf_track(&mut self, report: &agp_perf::PerfReport, end_ts_us: u64) {
+        if report.spans.is_empty() {
+            return;
+        }
+        if self.named_procs.insert(PID_HOST_PERF) {
+            self.events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_HOST_PERF},\"tid\":0,\
+                 \"args\":{{\"name\":\"host perf\"}}}}"
+            ));
+        }
+        for agg in &report.spans {
+            let name = format!("host {}", agg.span.name());
+            let self_us = agg.excl_ns / 1_000;
+            self.counter(PID_HOST_PERF, 0, &name, &[("self_us", self_us)]);
+            self.counter(
+                PID_HOST_PERF,
+                end_ts_us.max(1),
+                &name,
+                &[("self_us", self_us)],
+            );
+        }
     }
 
     /// A counter sample (`ph:"C"`); multiple args render as stacked
@@ -640,6 +677,39 @@ mod tests {
             "\"name\":\"pageout_transfer\",\"ph\":\"X\",\"ts\":1000,\"dur\":400,\"pid\":0,\"tid\":4"
         ));
         assert!(!out.contains("pagein_seek"));
+    }
+
+    #[test]
+    fn host_perf_track_renders_counters_under_its_own_process() {
+        let mut rec = agp_perf::Recorder::new();
+        rec.enter(agp_perf::Span::Run, 0);
+        rec.enter(agp_perf::Span::SimDispatch, 100);
+        rec.exit(400);
+        rec.exit(1_000);
+        let rep = agp_perf::PerfReport::from_recorder(&rec);
+        let mut tr = PerfettoTrace::new();
+        tr.host_perf_track(&rep, 5_000);
+        let out = tr.finish();
+        assert!(out.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":9999,\"tid\":0,\"args\":{\"name\":\"host perf\"}}"
+        ));
+        // sim.run self time = 1000 - 300 (dispatch child) = 700 ns -> 0 µs
+        // after integer truncation; dispatch self = 300 ns -> 0 µs. Values
+        // are sampled at ts 0 and at the end of the sim axis.
+        assert!(out
+            .contains("{\"name\":\"host sim.run\",\"ph\":\"C\",\"ts\":0,\"pid\":9999,\"args\":{\"self_us\":0}}"));
+        assert!(out
+            .contains("{\"name\":\"host sim.dispatch\",\"ph\":\"C\",\"ts\":5000,\"pid\":9999,\"args\":{\"self_us\":0}}"));
+        // No "node 9998" misnaming from the lazy process-metadata path.
+        assert!(!out.contains("node 9998"));
+
+        // An empty report is a strict no-op.
+        let mut empty = PerfettoTrace::new();
+        empty.host_perf_track(
+            &agp_perf::PerfReport::from_recorder(&agp_perf::Recorder::new()),
+            5_000,
+        );
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -9,7 +9,21 @@ cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
 cargo run --release -p agp-lint -- --deny-warnings
+# Parity gate + wall-clock regression gate: fails when an experiment runs
+# past the band of the committed BENCH_agp.json baseline. After a real
+# speedup (or on a new reference machine), refresh the baseline by
+# committing the rewritten BENCH_agp.json from a quiet run; to refresh
+# the parity golden itself, rerun with --update-golden (which also skips
+# the wall gate for that run).
 cargo run --release -p agp-cli -- report --check
+# BENCH_agp.json must stay on bench schema v2 (run metadata + per-span
+# host-time aggregates). The report step above regenerates it, so drift
+# here means the writer and the committed shape disagree.
+grep -q '"schema_version": 2' BENCH_agp.json
+grep -q '"spans": {' BENCH_agp.json
+# Self-profiler smoke: span table, flamegraph export, Prometheus text.
+cargo run --release -p agp-cli -- perf fig6 \
+  --json perf.json --collapsed perf.collapsed --prometheus perf.prom
 cargo run --release -p agp-cli -- explain fig9 --policy so --against orig \
   --json explain.json --bench-out BENCH_agp.json
 cargo run --release -p agp-cli -- chaos --plan plans/smoke.json --verify \

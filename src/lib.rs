@@ -24,6 +24,7 @@ pub use agp_mem as mem;
 pub use agp_metrics as metrics;
 pub use agp_net as net;
 pub use agp_obs as obs;
+pub use agp_perf as perf;
 pub use agp_sim as sim;
 pub use agp_telemetry as telemetry;
 pub use agp_workload as workload;

@@ -1,0 +1,133 @@
+//! Integration tests for the `agp-perf` self-profiler's two core
+//! contracts, at the level the paper artifacts depend on:
+//!
+//! 1. **Observation is free of side effects**: with profiling enabled,
+//!    the structured event stream of a pressured gang run is
+//!    byte-identical to a profiler-off run — the host clock never leaks
+//!    into simulation state.
+//! 2. **The accounting tiles**: per-span exclusive times sum exactly to
+//!    the root span's inclusive time, and that root time matches the
+//!    wall clock measured around the run to within 5%.
+
+use adaptive_gang_paging as agp;
+use agp::cluster::{ClusterConfig, ClusterSim, JobSpec, RunResult};
+use agp::core::PolicyConfig;
+use agp::obs::{shared, JsonlWriter, ObsLink};
+use agp::sim::SimDur;
+use agp::workload::{Benchmark, Class, WorkloadSpec};
+use std::sync::Mutex;
+
+/// Profiling is a process-global switch while the test harness is
+/// multi-threaded, so tests that flip it must not interleave.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// A memory-pressured two-node gang run — enough faults, switches, disk
+/// and barrier traffic to exercise every instrumented span.
+fn cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_defaults(2);
+    cfg.mem_mib = 64;
+    cfg.wired_mib = 24;
+    cfg.quantum = SimDur::from_secs(5);
+    cfg.trace_bucket = SimDur::from_secs(1);
+    cfg.seed = 0x5EED_600D;
+    cfg.policy = PolicyConfig::full();
+    cfg.jobs = vec![
+        JobSpec::new(
+            "CG.A x2 #1",
+            WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
+        ),
+        JobSpec::new(
+            "CG.A x2 #2",
+            WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
+        ),
+    ];
+    cfg
+}
+
+/// Run with a JSONL event trace attached (the `agp sim --events` wiring).
+fn run_traced(cfg: ClusterConfig) -> (RunResult, Vec<u8>) {
+    let sink = shared(JsonlWriter::new(Vec::new()));
+    let link = ObsLink::to(sink.clone());
+    let mut sim = ClusterSim::new(cfg).expect("valid config");
+    sim.attach_observer(&link);
+    let r = sim.run().expect("run completes");
+    drop(link);
+    let writer = std::sync::Arc::try_unwrap(sink)
+        .expect("sim dropped, sink has one owner")
+        .into_inner()
+        .expect("sink not poisoned");
+    (r, writer.finish().expect("in-memory writer"))
+}
+
+#[test]
+fn profiler_on_and_off_event_streams_are_byte_identical() {
+    let _g = GATE.lock().unwrap();
+    agp::perf::enable(false);
+    let _ = agp::perf::take_report();
+    let (r_off, t_off) = run_traced(cfg());
+    let off_rep = agp::perf::take_report();
+    assert!(
+        off_rep.spans.is_empty(),
+        "profiler-off run must record nothing"
+    );
+
+    agp::perf::enable(true);
+    let (r_on, t_on) = run_traced(cfg());
+    agp::perf::enable(false);
+    let rep = agp::perf::take_report();
+
+    assert!(!t_off.is_empty(), "a pressured gang run must emit events");
+    assert_eq!(r_off.makespan, r_on.makespan);
+    assert_eq!(r_off.switches, r_on.switches);
+    assert_eq!(
+        t_off, t_on,
+        "profiling must never perturb the simulated event stream"
+    );
+    // …and the profiled run actually profiled, or the test is vacuous.
+    assert!(
+        rep.spans.len() >= 8,
+        "a full-policy pressured run should light up most spans, got {:?}",
+        rep.spans.iter().map(|a| a.span.name()).collect::<Vec<_>>()
+    );
+    assert_eq!(rep.unbalanced_exits, 0);
+}
+
+#[test]
+fn span_breakdown_tiles_root_and_wall_within_5pct() {
+    let _g = GATE.lock().unwrap();
+    agp::perf::enable(true);
+    let _ = agp::perf::take_report();
+    let mut sim = ClusterSim::new(cfg()).expect("valid config");
+    let t0 = std::time::Instant::now();
+    let r = sim.run().expect("run completes");
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    agp::perf::enable(false);
+    let rep = agp::perf::take_report();
+
+    assert!(r.events > 0);
+    assert_eq!(rep.unbalanced_exits, 0);
+    let root = rep
+        .spans
+        .iter()
+        .find(|a| a.span == agp::perf::Span::Run)
+        .expect("root span recorded");
+    assert_eq!(root.count, 1);
+    // Exact tiling: exclusive times sum to the root's inclusive time.
+    assert_eq!(
+        rep.total_self_ns(),
+        root.incl_ns,
+        "per-span self times must tile the root span exactly"
+    );
+    // Collapsed-stack weights are the same partition of the same total.
+    let collapsed_total: u64 = rep.paths.iter().map(|p| p.self_ns).sum();
+    assert_eq!(collapsed_total, root.incl_ns);
+    // The root span covers everything inside run(); the wall clock around
+    // the call adds only scope setup/teardown, so they agree closely.
+    assert!(root.incl_ns <= wall_ns);
+    assert!(
+        (wall_ns - root.incl_ns) as f64 <= 0.05 * wall_ns as f64,
+        "root span {} ns should be within 5% of measured wall {} ns",
+        root.incl_ns,
+        wall_ns
+    );
+}
