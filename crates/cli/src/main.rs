@@ -54,6 +54,17 @@ fn main() -> ExitCode {
                 }
             }
         }
+        // lint keeps agp-lint's exit contract: 0 clean, 1 findings,
+        // 2 usage/IO error — so it also bypasses the funnel.
+        Some("lint") => {
+            return match cmd_lint(&args[1..]) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("agp: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some("perf") => cmd_perf(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -85,7 +96,8 @@ fn print_usage() {
          \x20 agp explain <id> [options]        causal critical-path attribution of switch latency\n\
          \x20 agp trace-diff <left> <right>     first divergence between two JSONL traces (exit 2)\n\
          \x20 agp perf <id> [options]           self-profile one run: hot spans, rates, flamegraph export\n\
-         \x20 agp report [options]              run the registry, emit the parity manifest\n\n\
+         \x20 agp report [options]              run the registry, emit the parity manifest\n\
+         \x20 agp lint [options]                determinism & robustness static analysis of the workspace\n\n\
          RUN OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: paper)\n\
          \x20 --csv                             emit tables as CSV\n\
@@ -145,8 +157,101 @@ fn print_usage() {
          \x20 --iters N                         timing iterations per experiment; wall = min (default 1)\n\
          \x20 --stamp LABEL                     harness-supplied run label written into the bench manifest\n\
          \x20 --wall-band REL                   --check wall-clock regression band, fraction (default 2.0)\n\
-         \x20 --wall-abs SECS                   --check wall-clock absolute slack (default 1.0)"
+         \x20 --wall-abs SECS                   --check wall-clock absolute slack (default 1.0)\n\n\
+         LINT OPTIONS:\n\
+         \x20 --explain RULE-ID                 print the rationale for one lint rule and exit\n\
+         \x20 --format text|json|sarif          report format (default: text)\n\
+         \x20 --sarif PATH                      also write a SARIF 2.1.0 report to PATH\n\
+         \x20 --deny-warnings                   exit non-zero on warnings too (CI mode)\n\
+         \x20 --root DIR                        workspace root to scan (default: auto-detected)"
     );
+}
+
+/// `agp lint` — run the agp-lint analysis over the workspace, or print a
+/// rule's rationale with `--explain`. Mirrors the standalone `agp-lint`
+/// binary so CI and operators can use whichever entry point is handy.
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    use agp_lint::{exit_code, explain, lint_workspace, render_json, render_sarif, rules};
+
+    let mut format = String::from("text");
+    let mut sarif_path: Option<std::path::PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut root: Option<std::path::PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--explain" => {
+                let id = it.next().ok_or("--explain expects a rule id")?;
+                let text = explain::explain(id).ok_or_else(|| {
+                    format!(
+                        "unknown rule '{id}' (one of: {})",
+                        rules::ALL_IDS.join(", ")
+                    )
+                })?;
+                print!("{text}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--format" => {
+                let f = it.next().ok_or("--format expects text|json|sarif")?;
+                if !matches!(f.as_str(), "text" | "json" | "sarif") {
+                    return Err(format!("--format expects text|json|sarif, got '{f}'"));
+                }
+                format = f.clone();
+            }
+            "--sarif" => {
+                sarif_path = Some(it.next().ok_or("--sarif expects an output file")?.into());
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => root = Some(it.next().ok_or("--root expects a directory")?.into()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root().ok_or("could not find a workspace root (use --root)")?,
+    };
+    let diags = lint_workspace(&root).map_err(|e| e.to_string())?;
+
+    if let Some(path) = &sarif_path {
+        std::fs::write(path, render_sarif(&diags))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    match format.as_str() {
+        "json" => print!("{}", render_json(&diags)),
+        "sarif" => print!("{}", render_sarif(&diags)),
+        _ => {
+            for d in &diags {
+                println!("{}", d.render_text());
+            }
+            if diags.is_empty() {
+                println!("agp lint: clean");
+            } else {
+                println!("agp lint: {} finding(s)", diags.len());
+            }
+        }
+    }
+    Ok(ExitCode::from(exit_code(&diags, deny_warnings) as u8))
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]` table.
+fn find_workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
 }
 
 fn cmd_list() -> Result<(), String> {

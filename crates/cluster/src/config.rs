@@ -125,7 +125,7 @@ impl ClusterConfig {
             trace_bucket: SimDur::from_secs(10),
             bg_tick: SimDur::from_ms(60),
             chunk_pages: 1024,
-            max_sim_time: SimDur::from_mins(24 * 60),
+            max_sim_time: SimDur::from_mins(1_440), // 24 h
             check_invariants: false,
             sample_every: None,
             faults: None,

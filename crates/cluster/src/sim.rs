@@ -874,7 +874,7 @@ impl ClusterSim {
             // holds by construction today; the check guards refactors that
             // overlap the drains or add phases without re-deriving the sum.
             let total_us = in_end.since(now).as_us();
-            if pageout_us + pagein_us != total_us {
+            if pageout_us.checked_add(pagein_us) != Some(total_us) {
                 return Err(SimError::InvariantViolation {
                     context: format!("switch {sw}"),
                     node: None,

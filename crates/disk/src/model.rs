@@ -205,13 +205,20 @@ impl Disk {
             }
             let dist = head.abs_diff(e.start);
             if dist != 0 {
-                seek_us += self.params.seek_us(dist) + self.params.half_rotation_us();
+                seek_us = seek_us
+                    .saturating_add(self.params.seek_us(dist))
+                    .saturating_add(self.params.half_rotation_us());
                 seeks += 1;
             }
-            us += e.len * self.params.page_transfer_us;
+            us = us.saturating_add(e.len.saturating_mul(self.params.page_transfer_us));
             head = e.end();
         }
-        (SimDur::from_us(us + seek_us), head, seeks, seek_us)
+        (
+            SimDur::from_us(us.saturating_add(seek_us)),
+            head,
+            seeks,
+            seek_us,
+        )
     }
 
     /// Quote the service time of a request *without* submitting it

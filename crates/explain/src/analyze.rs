@@ -425,7 +425,28 @@ impl Observer for Analyzer {
             ObsEvent::DiskSlowdown { penalty_us } => {
                 self.cur_fault_slow.push((at_us, penalty_us));
             }
-            _ => {}
+            // Intentionally unanalyzed, but named so the match stays
+            // exhaustive: adding an ObsEvent variant without deciding how
+            // the explain pass treats it is a compile error here (and the
+            // `event-protocol` lint flags wildcard funnels). These carry
+            // detail the switch-latency analysis already gets in another
+            // form — MajorFault's I/O plan arrives as DiskRequest, the
+            // batch events as per-page Evict/ReplayPage — or gauge and
+            // chaos telemetry consumed by the report/replay layers.
+            ObsEvent::MajorFault { .. }
+            | ObsEvent::ReadaheadHit { .. }
+            | ObsEvent::EvictBatch { .. }
+            | ObsEvent::Reclaim { .. }
+            | ObsEvent::AggressiveOut { .. }
+            | ObsEvent::Replay { .. }
+            | ObsEvent::NodeGauge { .. }
+            | ObsEvent::ProcGauge { .. }
+            | ObsEvent::NodeCrash { .. }
+            | ObsEvent::NodeRestart { .. }
+            | ObsEvent::JobRequeued { .. }
+            | ObsEvent::BarrierTimeout { .. }
+            | ObsEvent::MemPressure { .. }
+            | ObsEvent::AiDegraded { .. } => {}
         }
     }
 }

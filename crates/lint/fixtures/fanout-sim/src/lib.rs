@@ -1,0 +1,14 @@
+//! Lint fixture: every parallel-readiness hazard class in one file. This
+//! source ships byte-for-byte under two package names — `agp-sim` (on the
+//! rayon fan-out list: all three `par-*` rules must fire) and
+//! `agp-telemetry` (not on the list: the whole family must stay silent).
+
+static mut FRAME_COUNTER: u64 = 0;
+
+pub struct Scratch {
+    pub hot: std::cell::RefCell<Vec<u64>>,
+}
+
+thread_local! {
+    static LAST_SLOT: u64 = 0;
+}

@@ -23,7 +23,7 @@ fn unseeded(n: u64) -> u64 {
 
 fn unstable_mean(m: &HashMap<u64, f64>) -> f64 {
     // line 25 declares the map above; the accumulation below is the hazard.
-    m.values().sum::<f64>() / m.len() as f64 // line 26: float-accumulate (+ hash-container on line 24)
+    m.values().sum::<f64>() / m.len() as f64 // line 26: float-accumulate + nondet-iter
 }
 
 fn hot_path(opt: Option<u64>) -> u64 {
@@ -38,6 +38,36 @@ fn suppressed(opt: Option<u64>) -> u64 {
 fn io_unwrap_hazard(path: &str) -> String {
     // agp-lint: allow(panic-site): the io-unwrap finding below is the point
     std::fs::read_to_string(path).unwrap() // line 40: io-unwrap
+}
+
+type Residency = HashMap<u64, u64>; // line 43: hash-container
+
+fn nondet_sweep(r: &Residency) -> u64 {
+    let mut n = 0u64;
+    for page in r.keys() { // line 47: nondet-iter (seen through the alias)
+        n += page;
+    }
+    n
+}
+
+fn sim_time_overflow(a: SimTime, b: SimDur) -> u64 {
+    a.as_us() + b.as_us() // line 54: sim-time-arith (tainted operands)
+}
+
+fn destined_accumulator(lens: &[u64], per_page: u64) -> SimDur {
+    let mut us = 0u64;
+    for len in lens.iter() {
+        us += len * per_page; // line 60: sim-time-arith (us feeds from_us below)
+    }
+    SimDur::from_us(us)
+}
+
+fn drifting_mean(m: &HashMap<u64, f64>) -> f64 { // line 65: hash-container
+    let mut total = 0.0;
+    for v in m.values() { // line 67: nondet-iter
+        total += v; // line 68: float-accum-loop
+    }
+    total
 }
 
 #[cfg(test)]

@@ -1,0 +1,11 @@
+//! Protocol fixture: the consuming side. `Orphan` is named (so only its
+//! missing emission fires); `Funneled` falls through the wildcard arm.
+
+pub fn digest(e: &ObsEvent) -> u32 {
+    match e {
+        ObsEvent::Tick { .. } => 1,
+        ObsEvent::Drop(_) => 2,
+        ObsEvent::Orphan(_) => 3,
+        _ => 0,
+    }
+}

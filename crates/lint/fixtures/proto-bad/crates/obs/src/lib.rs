@@ -1,0 +1,10 @@
+//! Protocol fixture: a rotted contract. `Orphan` is dead protocol
+//! surface (never constructed); `Funneled` is live telemetry that only
+//! reaches the explain side's `_ =>` arm.
+
+pub enum ObsEvent {
+    Tick { at: u64 },
+    Drop(u64),
+    Orphan(u64),       // line 8: event-protocol (never emitted)
+    Funneled { n: u64 }, // line 9: event-protocol (wildcard-funneled)
+}

@@ -1,0 +1,8 @@
+//! Protocol fixture: the emitting side. `Orphan` is deliberately absent;
+//! `Funneled` is emitted but nobody downstream names it.
+
+pub fn emit_all(bus: &mut Vec<ObsEvent>) {
+    bus.push(ObsEvent::Tick { at: 1 });
+    bus.push(ObsEvent::Drop(7));
+    bus.push(ObsEvent::Funneled { n: 3 });
+}

@@ -1,0 +1,9 @@
+//! Protocol fixture: the consuming side — names every variant, no
+//! wildcard arm.
+
+pub fn digest(e: &ObsEvent) -> u32 {
+    match e {
+        ObsEvent::Tick { .. } => 1,
+        ObsEvent::Drop(_) => 2,
+    }
+}

@@ -1,0 +1,7 @@
+//! Protocol fixture: the observability contract. Both variants are
+//! emitted by `fx-sim` and named explicitly by `fx-explain`.
+
+pub enum ObsEvent {
+    Tick { at: u64 },
+    Drop(u64),
+}

@@ -1,0 +1,6 @@
+//! Protocol fixture: the emitting side — constructs every variant.
+
+pub fn emit_all(bus: &mut Vec<ObsEvent>) {
+    bus.push(ObsEvent::Tick { at: 1 });
+    bus.push(ObsEvent::Drop(7));
+}

@@ -1,0 +1,176 @@
+//! Parser torture fixture: one file exercising every grammar shape the
+//! recursive-descent parser models (and several it deliberately skips).
+//! Never compiled — `tests/parser_golden.rs` pins the exact AST outline,
+//! and `tests/parse_workspace.rs` requires zero parse issues here.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::{self, Debug};
+
+pub type FrameTable<'a> = BTreeMap<u64, &'a [u8]>;
+
+pub struct Unit;
+
+pub struct Pair(u64, f64);
+
+pub struct Node<T> {
+    pub id: u64,
+    pub payload: T,
+    pub edges: Vec<(u64, f64)>,
+}
+
+pub enum Shape {
+    Unit,
+    Tuple(u64, f64),
+    Struct { width: u64, depth: u64 },
+}
+
+static GREETING: &str = "torture";
+static mut COUNTER: u64 = 0;
+const LIMIT: usize = 4096;
+
+pub trait Visit {
+    fn visit(&mut self, id: u64) -> bool;
+
+    fn visit_all(&mut self, ids: &[u64]) -> usize {
+        let mut n = 0usize;
+        for id in ids.iter() {
+            if self.visit(*id) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+impl<T: Debug> Node<T> {
+    pub fn new(id: u64, payload: T) -> Self {
+        Node {
+            id,
+            payload,
+            edges: Vec::new(),
+        }
+    }
+
+    pub fn heaviest(&self) -> Option<u64> {
+        self.edges
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|e| e.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::Unit => write!(f, "unit"),
+            Shape::Tuple(a, b) if *b > 0.5 => write!(f, "tuple({a}, hot)"),
+            Shape::Tuple(a, _) => write!(f, "tuple({a})"),
+            Shape::Struct { width, depth } => write!(f, "{width}x{depth}"),
+        }
+    }
+}
+
+pub mod inner {
+    pub fn double(x: u64) -> u64 {
+        x.wrapping_mul(2)
+    }
+
+    pub mod deeper {
+        pub const BIAS: i64 = -3;
+    }
+}
+
+fn control_flow(n: u64, table: &HashMap<u64, u64>) -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0;
+    while i < n {
+        i += 1;
+        if i % 15 == 0 {
+            continue;
+        } else if i > LIMIT as u64 {
+            break;
+        }
+        acc = acc.wrapping_add(i);
+    }
+    loop {
+        acc ^= 1;
+        if acc & 1 == 0 {
+            break;
+        }
+    }
+    for (k, v) in table.iter() {
+        acc = acc.wrapping_add(k ^ v);
+    }
+    match acc {
+        0 => 1,
+        1..=9 => acc * 2,
+        x if x % 2 == 0 => x / 2,
+        _ => acc,
+    }
+}
+
+fn expressions(xs: &[u64]) -> (u64, f64) {
+    let head = xs.first().copied().unwrap_or_default();
+    let tail = &xs[1..];
+    let sum: u64 = tail.iter().copied().sum::<u64>() + head;
+    let parsed = "42".parse::<u64>().unwrap_or(0);
+    let arr = [head, sum, parsed];
+    let pair = (sum as f64 * 0.5, !head);
+    let picked = arr[(sum % 3) as usize];
+    let range_sum: u64 = (0..picked).chain(0..=3).sum();
+    let negated = -(picked as i64);
+    let shifted = (picked << 2) >> 1 | 1 & 3;
+    let cmp = shifted >= picked || !(shifted == 0) && picked != 1;
+    let chosen = if cmp { range_sum } else { negated as u64 };
+    (chosen, pair.0)
+}
+
+fn closures_and_chains(scores: &mut Vec<f64>) -> f64 {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let scale = 2.0f64;
+    let boosted = scores
+        .iter()
+        .map(|s| s * scale)
+        .filter(|s| *s > 1.0)
+        .fold(0.0, |acc, s| acc + s);
+    let mut apply = move |x: f64| x + boosted;
+    apply(1.5)
+}
+
+fn builders() -> Shape {
+    let unit = Shape::Unit;
+    let tuple = Shape::Tuple(3, 0.25);
+    drop((unit, tuple));
+    Shape::Struct {
+        width: inner::double(8),
+        depth: inner::deeper::BIAS.unsigned_abs(),
+    }
+}
+
+fn fallible(input: &str) -> Result<u64, std::num::ParseIntError> {
+    let n = input.trim().parse::<u64>()?;
+    if n == 0 {
+        return Err("0".parse::<u64>().unwrap_err());
+    }
+    Ok(n.saturating_add(1))
+}
+
+fn macros_and_raw() -> String {
+    let path = r"C:\frames\slot";
+    let re = r#"page "fault""#;
+    let mut out = String::new();
+    out.push_str(path);
+    format!("{out}{re}{}", vec![1u8, 2, 3].len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torture_is_reachable() {
+        assert_eq!(inner::double(2), 4);
+        assert!(fallible("7").is_ok());
+        let _ = macros_and_raw();
+    }
+}

@@ -1,0 +1,352 @@
+//! The lightweight AST produced by [`crate::parser`].
+//!
+//! This is not a faithful Rust grammar — it is the minimal shape the
+//! semantic rules need: items with names and types, function bodies as
+//! expression trees, and byte-accurate spans on every node so diagnostics
+//! anchor to real source positions and the span round-trip property tests
+//! can verify the parser against the lexer.
+//!
+//! Every node carries a [`Span`] (`lo..hi` byte range plus the line/col of
+//! its first token) and the index of its first token in the lexed stream
+//! (`tok`), which the driver uses to consult the `#[cfg(test)]` mask.
+
+/// Byte range of a node plus the position of its first token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub lo: usize,
+    pub hi: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub const DUMMY: Span = Span {
+        lo: 0,
+        hi: 0,
+        line: 0,
+        col: 0,
+    };
+
+    /// Smallest span covering both inputs (line/col from the earlier one).
+    pub fn to(self, other: Span) -> Span {
+        let (first, _) = if self.lo <= other.lo {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+/// A type as written in source, resolved no further than its path text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Type {
+    pub kind: TypeKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeKind {
+    /// `a::b::C<D, E>` — segments plus generic arguments of the last one.
+    Path { segs: Vec<String>, args: Vec<Type> },
+    /// `&T` / `&mut T` (lifetimes dropped).
+    Ref { mutable: bool, inner: Box<Type> },
+    /// `(A, B, …)`.
+    Tuple(Vec<Type>),
+    /// `[T]` / `[T; N]` (length expression dropped).
+    Slice(Box<Type>),
+    /// Anything we do not model (fn pointers, `impl Trait`, macros…).
+    Unknown,
+}
+
+impl Type {
+    pub fn unknown(span: Span) -> Type {
+        Type {
+            kind: TypeKind::Unknown,
+            span,
+        }
+    }
+
+    /// The final path segment, seen through references: the name rules
+    /// match against (`HashMap`, `SimTime`, a local alias…).
+    pub fn head(&self) -> Option<&str> {
+        match &self.kind {
+            TypeKind::Path { segs, .. } => segs.last().map(String::as_str),
+            TypeKind::Ref { inner, .. } => inner.head(),
+            _ => None,
+        }
+    }
+
+    /// Full path segments, seen through references.
+    pub fn path_segs(&self) -> Option<&[String]> {
+        match &self.kind {
+            TypeKind::Path { segs, .. } => Some(segs),
+            TypeKind::Ref { inner, .. } => inner.path_segs(),
+            _ => None,
+        }
+    }
+}
+
+/// One enum variant (name is all the protocol check needs).
+#[derive(Debug, Clone)]
+pub struct Variant {
+    pub name: String,
+    pub span: Span,
+    pub tok: usize,
+}
+
+/// A `name: Type` function parameter (patterns collapse to their first
+/// binding identifier; `self` appears as the literal name `self`).
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub ty: Option<Type>,
+}
+
+/// A function definition (free, method, or default trait method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub ret: Option<Type>,
+    pub body: Option<Block>,
+    pub span: Span,
+    pub tok: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let <ident>[: ty] = init;` — pattern collapsed to its first binding.
+    Let {
+        name: Option<String>,
+        ty: Option<Type>,
+        init: Option<Expr>,
+        span: Span,
+    },
+    /// Expression statement (with or without trailing `;`).
+    Expr(Expr),
+    /// A nested item inside a block (fn, struct, use…).
+    Item(Box<Item>),
+}
+
+/// A match arm: the pattern is kept as its raw token index range (patterns
+/// are matched textually by the rules that care), guard and body as exprs.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub pat_toks: (usize, usize),
+    pub guard: Option<Expr>,
+    pub body: Expr,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+    /// Index of this node's first token in the lexed stream.
+    pub tok: usize,
+}
+
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Literal token (number, string, char).
+    Lit(String),
+    /// `a::b::c` (single identifiers included).
+    Path(Vec<String>),
+    /// `recv.name(args)` / `recv.name::<T>(args)`.
+    MethodCall {
+        recv: Box<Expr>,
+        name: String,
+        args: Vec<Expr>,
+    },
+    /// `callee(args)`.
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    /// `recv.name` / `recv.0`.
+    Field {
+        recv: Box<Expr>,
+        name: String,
+    },
+    /// `recv[index]`.
+    Index {
+        recv: Box<Expr>,
+        index: Box<Expr>,
+    },
+    /// `lhs <op> rhs` for a binary operator (`+`, `*`, `==`, `>>`, …).
+    Binary {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `lhs = rhs` / `lhs += rhs` / … (`op` includes the `=`).
+    Assign {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `!e`, `-e`, `*e`.
+    Unary {
+        op: String,
+        expr: Box<Expr>,
+    },
+    /// `&e` / `&mut e`.
+    Ref {
+        mutable: bool,
+        expr: Box<Expr>,
+    },
+    /// `e as T`.
+    Cast {
+        expr: Box<Expr>,
+        ty: Type,
+    },
+    /// `e?`.
+    Try(Box<Expr>),
+    /// `for <ident> in iter { body }` — pattern collapsed to first binding.
+    For {
+        pat: Option<String>,
+        iter: Box<Expr>,
+        body: Block,
+    },
+    While {
+        cond: Box<Expr>,
+        body: Block,
+    },
+    Loop {
+        body: Block,
+    },
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        els: Option<Box<Expr>>,
+    },
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<Arm>,
+    },
+    /// `|a, b| body` / `move |…| body`.
+    Closure {
+        params: Vec<Param>,
+        body: Box<Expr>,
+    },
+    /// `Path { field: expr, .. }`.
+    StructLit {
+        path: Vec<String>,
+        fields: Vec<(String, Expr)>,
+    },
+    /// `name!(…)` / `path::name! { … }` — arguments parsed best-effort as
+    /// a comma-separated expression list (formatting strings etc. land as
+    /// `Lit`s); unparseable tails are dropped.
+    Macro {
+        path: Vec<String>,
+        args: Vec<Expr>,
+    },
+    Tuple(Vec<Expr>),
+    Array(Vec<Expr>),
+    Block(Block),
+    Return(Option<Box<Expr>>),
+    Break,
+    Continue,
+    /// `a..b` / `a..=b` (either side optional).
+    Range {
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+    },
+    /// Something the parser skipped over (balanced, but unmodeled).
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    pub span: Span,
+    pub tok: usize,
+}
+
+#[derive(Debug, Clone)]
+pub enum ItemKind {
+    /// `use a::b::{c, d};` — one entry per leaf path.
+    Use(Vec<Vec<String>>),
+    /// `type Name = T;`
+    TypeAlias {
+        name: String,
+        ty: Type,
+    },
+    /// `struct Name { field: T, … }` (tuple fields named `0`, `1`, …).
+    Struct {
+        name: String,
+        fields: Vec<(String, Type)>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+    Static {
+        name: String,
+        mutable: bool,
+        ty: Option<Type>,
+    },
+    Const {
+        name: String,
+    },
+    Fn(FnDef),
+    /// `impl [Trait for] Target { items }` — `target` is the self type's
+    /// head name, `trait_` the implemented trait's head if any.
+    Impl {
+        target: Option<String>,
+        trait_: Option<String>,
+        items: Vec<Item>,
+    },
+    Trait {
+        name: String,
+        items: Vec<Item>,
+    },
+    Mod {
+        name: String,
+        items: Option<Vec<Item>>,
+    },
+    /// Item-position macro invocation: `thread_local! { … }`, `macro_rules!`…
+    MacroInvoke {
+        path: Vec<String>,
+    },
+    /// Anything else, skipped with balanced delimiters.
+    Other,
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+impl File {
+    /// Depth-first walk over all items, including those nested in impls,
+    /// traits, inline modules, and blocks inside function bodies.
+    pub fn walk_items<'a>(&'a self, f: &mut dyn FnMut(&'a Item)) {
+        fn visit<'a>(items: &'a [Item], f: &mut dyn FnMut(&'a Item)) {
+            for it in items {
+                f(it);
+                match &it.kind {
+                    ItemKind::Impl { items, .. } | ItemKind::Trait { items, .. } => visit(items, f),
+                    ItemKind::Mod {
+                        items: Some(items), ..
+                    } => visit(items, f),
+                    _ => {}
+                }
+            }
+        }
+        visit(&self.items, f);
+    }
+}

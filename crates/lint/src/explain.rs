@@ -1,0 +1,224 @@
+//! Rule documentation for `--explain <rule-id>`.
+//!
+//! Each entry answers the three questions a developer hitting a finding
+//! actually has: why is this a hazard *in this workspace*, what does the
+//! firing shape look like, and what is the sanctioned fix (including how
+//! to suppress when the finding is a reviewed false positive).
+
+use crate::rules;
+
+/// One-line summary, used in SARIF rule metadata and `--explain` headers.
+pub fn short_description(id: &str) -> Option<&'static str> {
+    Some(match id {
+        rules::HASH_CONTAINER => "std HashMap/HashSet has randomized iteration order",
+        rules::WALL_CLOCK => "host-clock reads leak wall time into simulation logic",
+        rules::UNSEEDED_RNG => "entropy-seeded RNG diverges between identical runs",
+        rules::FLOAT_ACCUMULATE => "float sum/fold over an unordered map iterator",
+        rules::PANIC_SITE => "panic family can abort the simulation from library code",
+        rules::IO_UNWRAP => "unwrap/expect on an I/O result defeats fault injection",
+        rules::NONDET_ITER => "iteration over a value that resolves to a hash container",
+        rules::SIM_TIME_ARITH => "unchecked +/* on raw sim-time microseconds",
+        rules::FLOAT_ACCUM_LOOP => "float accumulator updated inside a hash-iter loop",
+        rules::PAR_STATIC_MUT => "static mut in a crate scheduled for rayon fan-out",
+        rules::PAR_INTERIOR_MUT => "Cell/RefCell in a crate scheduled for rayon fan-out",
+        rules::PAR_THREAD_LOCAL => "thread_local! in a crate scheduled for rayon fan-out",
+        rules::EVENT_PROTOCOL => "ObsEvent variant never emitted or funneled to a wildcard",
+        _ => return None,
+    })
+}
+
+/// Full explanation for `--explain <id>`, or `None` for an unknown id.
+pub fn explain(id: &str) -> Option<String> {
+    let body = match id {
+        rules::HASH_CONTAINER => {
+            "Why: std's hashers are seeded per-process, so HashMap/HashSet iteration\n\
+             order differs between runs. Any output derived from that order breaks\n\
+             the byte-identical replay guarantee the paper's experiments depend on.\n\
+             \n\
+             Fires on:\n\
+             \x20   use std::collections::HashMap;\n\
+             \x20   struct Residency { frames: HashMap<FrameId, Slot> }\n\
+             \n\
+             Fix: use BTreeMap/BTreeSet (or an index-ordered map). Suppress a\n\
+             reviewed exception with `// agp-lint: allow(hash-container): <why>`."
+        }
+        rules::WALL_CLOCK => {
+            "Why: `Instant::now()`/`SystemTime` read the host clock. Folding host\n\
+             time into scheduling or paging decisions makes runs unrepeatable and\n\
+             invalidates recorded traces.\n\
+             \n\
+             Fires on:\n\
+             \x20   let t = Instant::now();      // in a simulation crate\n\
+             \n\
+             Fix: derive all time from agp_sim::SimTime/SimDur. Only the sanctioned\n\
+             crates (agp-perf, agp-cli, agp-bench, agp-lint) may claim the crate-\n\
+             level `wall-clock` allow; everywhere else use a site allow with a\n\
+             written reason."
+        }
+        rules::UNSEEDED_RNG => {
+            "Why: `thread_rng()`, `OsRng`, `from_entropy()` and friends draw host\n\
+             entropy, so two runs with the same master seed diverge.\n\
+             \n\
+             Fires on:\n\
+             \x20   let mut rng = rand::thread_rng();\n\
+             \n\
+             Fix: fork a stream from agp_sim::SimRng (seeded from the experiment's\n\
+             master seed). Suppress with `// agp-lint: allow(unseeded-rng): <why>`."
+        }
+        rules::FLOAT_ACCUMULATE => {
+            "Why: float addition is not associative; summing a hash iterator's\n\
+             values accumulates in a randomized order, so the total changes between\n\
+             runs even though the inputs are identical.\n\
+             \n\
+             Fires on:\n\
+             \x20   m.values().sum::<f64>()      // m: HashMap<_, f64>\n\
+             \n\
+             Fix: iterate a deterministic container, or collect-and-sort first."
+        }
+        rules::PANIC_SITE => {
+            "Why: `unwrap`/`expect`/`panic!` in library code aborts the whole\n\
+             simulation, including the fault-injection campaigns that expect to\n\
+             observe and recover from failures.\n\
+             \n\
+             Fires on:\n\
+             \x20   let slot = table.get(&frame).unwrap();\n\
+             \n\
+             Fix: return a typed error. Where the invariant is locally provable,\n\
+             keep it with `// agp-lint: allow(panic-site): <why>`."
+        }
+        rules::IO_UNWRAP => {
+            "Why: disk and file errors are expected at runtime — the chaos rig\n\
+             injects them deliberately. Unwrapping an I/O result turns a planned\n\
+             fault into a process abort.\n\
+             \n\
+             Fires on:\n\
+             \x20   let text = std::fs::read_to_string(path).unwrap();\n\
+             \n\
+             Fix: propagate with `?` into a typed error so retry/backoff and\n\
+             degradation policies can observe the failure."
+        }
+        rules::NONDET_ITER => {
+            "Why: the AST pass resolves local variables, struct fields, function\n\
+             returns, and `type` aliases across the workspace; iterating anything\n\
+             that bottoms out in HashMap/HashSet visits entries in a per-process\n\
+             random order, which silently breaks replay. Unlike `hash-container`\n\
+             (which flags the spelled-out type), this rule sees through names:\n\
+             \n\
+             Fires on:\n\
+             \x20   type Residency = HashMap<FrameId, Slot>;   // possibly another crate\n\
+             \x20   for slot in residency.values() { ... }      // <- flagged here\n\
+             \n\
+             Fix: make the underlying container deterministic (BTreeMap), or\n\
+             collect-and-sort before iterating. Suppress a reviewed exception with\n\
+             `// agp-lint: allow(nondet-iter): <why>`."
+        }
+        rules::SIM_TIME_ARITH => {
+            "Why: raw microsecond values escaped from SimTime/SimDur (via `.as_us()`\n\
+             or `.0`) are plain integers; unchecked `+`/`*` on them wraps silently\n\
+             in release builds and corrupts the simulated clock — the worst kind of\n\
+             bug, because the run keeps going with a poisoned timeline. The pass\n\
+             taints escaped values through local bindings and also flags raw\n\
+             accumulators that later feed a SimTime/SimDur constructor.\n\
+             \n\
+             Fires on:\n\
+             \x20   let total = a.as_us() + b.as_us();\n\
+             \x20   us += e.len * params.page_transfer_us;  // later: SimDur::from_us(us)\n\
+             \n\
+             Fix: use `checked_add`/`checked_mul` (propagating the error) or\n\
+             `saturating_add`/`saturating_mul`. An explicit `as` cast marks a\n\
+             reviewed narrowing and is not flagged."
+        }
+        rules::FLOAT_ACCUM_LOOP => {
+            "Why: the loop form of `float-accumulate` — a floating-point\n\
+             accumulator updated with `+=` inside a loop whose iteration order\n\
+             comes from a hash container. The dataflow pass tracks the accumulator\n\
+             variable across the loop body, so splitting the sum over several\n\
+             statements does not hide it.\n\
+             \n\
+             Fires on:\n\
+             \x20   let mut total = 0.0;\n\
+             \x20   for v in residency.values() { total += v.cost; }\n\
+             \n\
+             Fix: iterate a deterministic container, or collect values and sort\n\
+             before accumulating."
+        }
+        rules::PAR_STATIC_MUT => {
+            "Why: this crate is on the ROADMAP's rayon fan-out list; a `static mut`\n\
+             is a guaranteed data race once worker threads arrive, and unsafe to\n\
+             the borrow checker today.\n\
+             \n\
+             Fires on:\n\
+             \x20   static mut FRAME_COUNTER: u64 = 0;   // in agp-sim/agp-cluster/agp-mem/agp-core\n\
+             \n\
+             Fix: use an atomic, a lock, or thread the state through explicit\n\
+             arguments."
+        }
+        rules::PAR_INTERIOR_MUT => {
+            "Why: `Cell`/`RefCell` are single-threaded interior mutability; shared\n\
+             across the planned rayon fan-out they either fail to compile (best\n\
+             case) or, smuggled behind unsafe, race. Flagged only in fan-out\n\
+             crates so single-threaded convenience elsewhere stays legal.\n\
+             \n\
+             Fires on:\n\
+             \x20   struct Tile { hot: RefCell<Vec<FrameId>> }   // in a fan-out crate\n\
+             \n\
+             Fix: prefer &mut plumbing; if the state must be shared, use an atomic\n\
+             or a lock (crossbeam's AtomicCell is fine and not flagged)."
+        }
+        rules::PAR_THREAD_LOCAL => {
+            "Why: `thread_local!` state silently forks per worker under rayon, so\n\
+             results depend on which thread ran which slice — nondeterminism that\n\
+             only appears after the fan-out lands.\n\
+             \n\
+             Fires on:\n\
+             \x20   thread_local! { static SCRATCH: RefCell<Vec<u64>> = ... }\n\
+             \n\
+             Fix: keep per-thread scratch out of fan-out crates, or merge it\n\
+             deterministically the way agp-perf's recorder registry does."
+        }
+        rules::EVENT_PROTOCOL => {
+            "Why: the ObsEvent enum is the observability contract between the\n\
+             simulation crates (emitters) and agp-explain (consumer). Both rot\n\
+             modes compile cleanly: a variant nobody constructs is dead protocol\n\
+             surface, and a variant the explain pass only reaches through `_ =>`\n\
+             is telemetry that never feeds the analysis it was added for. The\n\
+             cross-crate pass verifies every variant is constructed somewhere\n\
+             outside the explain side and named somewhere inside it; match\n\
+             patterns do not count as emissions.\n\
+             \n\
+             Fires on: (anchored at the variant's definition site)\n\
+             \x20   pub enum ObsEvent { ..., GangPreempt { .. } }  // never emitted,\n\
+             \x20                                                  // or only `_ =>`ed\n\
+             \n\
+             Fix: emit the variant from the subsystem it describes, handle it\n\
+             explicitly in agp-explain (an intentional ignore should still name\n\
+             it), or retire it together with its consumers."
+        }
+        _ => return None,
+    };
+    let short = short_description(id)?;
+    Some(format!("{id}: {short}\n\n{body}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ALL_IDS;
+
+    #[test]
+    fn every_rule_id_has_an_explanation() {
+        for id in ALL_IDS {
+            let text = explain(id).unwrap_or_else(|| panic!("missing explain for {id}"));
+            assert!(text.starts_with(id), "{id}");
+            assert!(text.contains("Fires on:"), "{id}");
+            assert!(text.contains("Fix:"), "{id}");
+            assert!(short_description(id).is_some(), "{id}");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(explain("no-such-rule").is_none());
+        assert!(short_description("no-such-rule").is_none());
+    }
+}

@@ -29,13 +29,25 @@ pub enum TokKind {
     Lifetime,
 }
 
-/// One token with its source position (1-based line and column).
+/// One token with its source position (1-based line and column) and its
+/// byte offset into the source. The invariant pinned by the span
+/// round-trip proptest: `src[offset..offset + text.len()] == text` for
+/// every token, so AST spans assembled from token offsets always map back
+/// to the exact source bytes.
 #[derive(Clone, Debug)]
 pub struct Tok {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
     pub col: u32,
+    pub offset: usize,
+}
+
+impl Tok {
+    /// Byte offset one past the end of this token.
+    pub fn end(&self) -> usize {
+        self.offset + self.text.len()
+    }
 }
 
 /// A suppression comment: the line it appears on plus the allowed lint ids.
@@ -123,6 +135,7 @@ pub fn lex(src: &str) -> Lexed {
 
     while let Some(b) = cur.peek() {
         let (line, col) = (cur.line, cur.col);
+        let offset = cur.pos;
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 cur.bump();
@@ -170,10 +183,19 @@ pub fn lex(src: &str) -> Lexed {
                     text,
                     line,
                     col,
+                    offset,
                 });
             }
             b'\'' => {
-                scan_quote(&mut cur, &mut out, line, col);
+                let start = cur.pos;
+                scan_quote(&mut cur, start, &mut out, line, col);
+            }
+            // Byte-char literal `b'x'` / `b'\n'`: one Lit token including
+            // the prefix, not an `b` ident followed by a stray quote.
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                let start = cur.pos;
+                cur.bump(); // the `b` prefix
+                scan_quote(&mut cur, start, &mut out, line, col);
             }
             _ if b.is_ascii_digit() => {
                 let text = scan_number(&mut cur);
@@ -182,6 +204,7 @@ pub fn lex(src: &str) -> Lexed {
                     text,
                     line,
                     col,
+                    offset,
                 });
             }
             _ if is_ident_start(b) => {
@@ -193,6 +216,7 @@ pub fn lex(src: &str) -> Lexed {
                         text,
                         line,
                         col,
+                        offset,
                     });
                     continue;
                 }
@@ -213,6 +237,7 @@ pub fn lex(src: &str) -> Lexed {
                     text: src[start..cur.pos].to_string(),
                     line,
                     col,
+                    offset,
                 });
             }
             _ => {
@@ -222,6 +247,7 @@ pub fn lex(src: &str) -> Lexed {
                     text: (b as char).to_string(),
                     line,
                     col,
+                    offset,
                 });
             }
         }
@@ -251,12 +277,23 @@ fn scan_string(cur: &mut Cursor) -> String {
     String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
 }
 
-/// Scan a `'` token: either a char literal (`'a'`, `'\n'`) or a lifetime
-/// (`'a`, `'static`). Rustc disambiguates the same way: if the quote is
-/// followed by an identifier and no closing quote, it is a lifetime.
-fn scan_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
-    let start = cur.pos;
+/// Scan a `'` token: either a char literal (`'a'`, `'\n'`, `'é'`) or a
+/// lifetime (`'a`, `'static`). Rustc disambiguates the same way: if the
+/// quote is followed by exactly one character and a closing quote, it is a
+/// char literal, otherwise a lifetime. `start` is the byte offset of the
+/// token (it precedes the quote for `b'x'` byte-char literals, whose `b`
+/// prefix the caller has already consumed).
+fn scan_quote(cur: &mut Cursor, start: usize, out: &mut Lexed, line: u32, col: u32) {
     cur.bump(); // opening '
+    let push = |cur: &Cursor, out: &mut Lexed, kind: TokKind| {
+        out.toks.push(Tok {
+            kind,
+            text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+            line,
+            col,
+            offset: start,
+        });
+    };
     match cur.peek() {
         Some(b'\\') => {
             // Escaped char literal.
@@ -273,35 +310,24 @@ fn scan_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
                     }
                 }
             }
-            out.toks.push(Tok {
-                kind: TokKind::Lit,
-                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
-                line,
-                col,
-            });
+            push(cur, out, TokKind::Lit);
         }
         Some(c) if is_ident_start(c) => {
-            if cur.peek_at(1) == Some(b'\'') {
-                // 'a' — single-char literal.
-                cur.bump();
-                cur.bump();
-                out.toks.push(Tok {
-                    kind: TokKind::Lit,
-                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
-                    line,
-                    col,
-                });
+            // One full UTF-8 character followed by a closing quote means a
+            // char literal; measuring a single *byte* here used to mislex
+            // multibyte literals like 'é' as lifetimes.
+            let char_len = utf8_len(c);
+            if cur.peek_at(char_len) == Some(b'\'') {
+                for _ in 0..=char_len {
+                    cur.bump();
+                }
+                push(cur, out, TokKind::Lit);
             } else {
                 // Lifetime: consume the identifier.
                 while cur.peek().is_some_and(is_ident_continue) {
                     cur.bump();
                 }
-                out.toks.push(Tok {
-                    kind: TokKind::Lifetime,
-                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
-                    line,
-                    col,
-                });
+                push(cur, out, TokKind::Lifetime);
             }
         }
         Some(_) => {
@@ -310,14 +336,19 @@ fn scan_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
             if cur.peek() == Some(b'\'') {
                 cur.bump();
             }
-            out.toks.push(Tok {
-                kind: TokKind::Lit,
-                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
-                line,
-                col,
-            });
+            push(cur, out, TokKind::Lit);
         }
         None => {}
+    }
+}
+
+/// Byte length of the UTF-8 character starting with lead byte `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
     }
 }
 
@@ -511,6 +542,92 @@ mod tests {
             .map(|t| t.text.clone())
             .collect();
         assert_eq!(lits, vec!["0", "10", "1.5e-3"]);
+    }
+
+    #[test]
+    fn byte_offsets_round_trip_for_every_token() {
+        let src = "fn f<'a>(x: &'a str) -> Vec<Vec<u8>> {\n  let c = 'é'; let b = b'\\n';\n  r#\"raw \" text\"# ;\n}\n";
+        for t in lex(src).toks {
+            assert_eq!(
+                &src[t.offset..t.end()],
+                t.text,
+                "token text must be the exact source slice at its offset"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_generic_closers_lex_as_adjacent_angles() {
+        // `>>` must come out as two separate `>` puncts whose byte offsets
+        // are adjacent — the parser glues shift operators back together by
+        // offset adjacency, and splits generic closers apart by nesting.
+        let lexed = lex("let v: Vec<Vec<u8>> = x >> 2;");
+        let angles: Vec<&Tok> = lexed.toks.iter().filter(|t| t.text == ">").collect();
+        assert_eq!(angles.len(), 4);
+        assert_eq!(
+            angles[0].end(),
+            angles[1].offset,
+            "generic closers adjacent"
+        );
+        assert_eq!(angles[2].end(), angles[3].offset, "shift halves adjacent");
+        // And every token still reconstructs its source slice.
+        let src = "let v: Vec<Vec<u8>> = x >> 2;";
+        for t in lex(src).toks {
+            assert_eq!(&src[t.offset..t.end()], t.text);
+        }
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_not_a_lifetime() {
+        let lexed = lex("let c = 'é'; let d = '中'; fn f<'a>(x: &'a u8) {}");
+        let lits: Vec<String> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["'é'", "'中'"]);
+        let lifetimes: Vec<String> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+    }
+
+    #[test]
+    fn byte_char_literal_is_one_token() {
+        let lexed = lex("let q = b'x'; let n = b'\\n'; let v = by;");
+        let lits: Vec<String> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["b'x'", "b'\\n'"]);
+        // A `b`-prefixed identifier is still an identifier.
+        assert!(lexed.toks.iter().any(|t| t.text == "by"));
+        assert!(!lexed.toks.iter().any(|t| t.text == "b"));
+    }
+
+    #[test]
+    fn raw_strings_keep_line_numbers_and_offsets() {
+        let src = "let s = r##\"line one\nline \"# two\"##;\nlet after = 1;\n";
+        let lexed = lex(src);
+        let raw = lexed
+            .toks
+            .iter()
+            .find(|t| t.text.starts_with("r##"))
+            .expect("raw string token");
+        assert_eq!(&src[raw.offset..raw.end()], raw.text);
+        let after = lexed.toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3, "newline inside the raw string counted");
+        // Byte raw strings with hashes lex as one literal too.
+        let lexed2 = lex("let b = br#\"bytes \" here\"#; let t = u;");
+        assert!(lexed2.toks.iter().any(|t| t.text.starts_with("br#")));
+        assert!(lexed2.toks.iter().any(|t| t.text == "u"));
+        assert!(!lexed2.toks.iter().any(|t| t.text == "bytes"));
     }
 
     #[test]

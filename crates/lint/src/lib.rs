@@ -6,17 +6,29 @@
 //! `HashMap` iteration in a hot path, one `Instant::now()` folded into a
 //! latency, one `thread_rng()` — and nothing in `cargo test` notices until
 //! a paper figure stops reproducing. `agp-lint` is the mechanical gate:
-//! it scans every workspace crate's sources and reports structured
-//! diagnostics for six hazard classes (see [`rules`]).
+//! it loads the whole workspace in one run and reports structured
+//! diagnostics for thirteen hazard classes (see [`rules`] for the
+//! registry).
 //!
-//! ## Design notes
+//! ## Architecture (v2)
 //!
-//! The workspace builds fully offline, so the linter cannot depend on `syn`
-//! or `serde`; it runs on a hand-rolled token scanner ([`lexer`]) that is
-//! accurate for these lints (comments, strings, raw strings, char-vs-
-//! lifetime, `#[cfg(test)]` item exclusion). Output rendering ([`diag`])
-//! and `Cargo.toml` metadata parsing ([`config`]) are equally
-//! dependency-free.
+//! The workspace builds fully offline, so the linter cannot depend on
+//! `syn` or `serde`; the whole pipeline is hand-rolled:
+//!
+//! 1. [`lexer`] — token scanner with byte-accurate offsets (comments,
+//!    strings, raw strings, char-vs-lifetime, byte literals).
+//! 2. [`parser`] — tolerant recursive-descent parser producing the
+//!    lightweight AST in [`ast`]; every workspace source parses with zero
+//!    issues (pinned by an integration test).
+//! 3. [`symbols`] — per-crate symbol tables (aliases, struct fields, enum
+//!    variants, fn returns) joined into a cross-crate [`symbols::Workspace`].
+//! 4. Rule passes: token rules in [`rules`], AST dataflow and parallelism
+//!    rules in [`semantic`], and the whole-workspace event-protocol check
+//!    in [`protocol`].
+//!
+//! Output rendering is [`diag`] (text/JSON) and [`sarif`] (SARIF 2.1.0
+//! for CI code-scanning); [`explain`] documents every rule for
+//! `--explain <id>`; `Cargo.toml` metadata parsing is [`config`].
 //!
 //! ## Suppression
 //!
@@ -24,20 +36,29 @@
 //!   or the line directly above.
 //! * Crate-level: `[package.metadata.agp-lint] allow = ["<id>", …]`.
 //!
-//! Run as `cargo run -p agp-lint -- [--format json] [--deny-warnings]`.
+//! Run as `cargo run -p agp-lint -- [--format json|sarif] [--sarif <path>]
+//! [--deny-warnings] [--explain <rule-id>]`.
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
 pub mod config;
 pub mod diag;
+pub mod explain;
 pub mod lexer;
+pub mod parser;
+pub mod protocol;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
+pub mod symbols;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 pub use diag::{render_json, Diag, Severity};
+pub use sarif::render_sarif;
 
 /// Crates whose `allow = ["wall-clock"]` manifest metadata is honoured:
 /// `agp-perf` is the self-profiler (the host clock is its product),
@@ -63,12 +84,111 @@ pub fn effective_allow(crate_name: &str, allow: &[String]) -> Vec<String> {
         .collect()
 }
 
+/// One fully analyzed source file: lexed, parsed, and test-masked, with
+/// the crate context its findings are judged under.
+struct Analyzed {
+    crate_name: String,
+    allow: Vec<String>,
+    display: String,
+    lexed: lexer::Lexed,
+    ast: ast::File,
+    mask: Vec<bool>,
+}
+
+fn load_file(
+    path: &Path,
+    display: String,
+    crate_name: &str,
+    allow: &[String],
+) -> io::Result<Analyzed> {
+    let src = fs::read_to_string(path)?;
+    let lexed = lexer::lex(&src);
+    // The parser is tolerant; rule passes run on whatever it recovered.
+    // (A dedicated integration test pins zero issues on workspace code.)
+    let (ast, _issues) = parser::parse(&lexed.toks);
+    let mask = rules::test_mask(&lexed.toks);
+    Ok(Analyzed {
+        crate_name: crate_name.to_string(),
+        allow: allow.to_vec(),
+        display,
+        lexed,
+        ast,
+        mask,
+    })
+}
+
+/// Run the per-file rule passes (token + semantic) over every analyzed
+/// file, applying each file's suppressions.
+fn run_rules(files: &[Analyzed], ws: &symbols::Workspace) -> Vec<Diag> {
+    let fallback = symbols::CrateSymbols::default();
+    let mut diags = Vec::new();
+    for f in files {
+        let home = ws.crates.get(&f.crate_name).unwrap_or(&fallback);
+        let mut out = rules::token_rules(&f.display, &f.lexed, &f.mask);
+        out.extend(semantic::lint_semantic(
+            &f.display,
+            &f.lexed,
+            &f.ast,
+            &f.mask,
+            ws,
+            home,
+            &f.crate_name,
+        ));
+        rules::apply_suppressions(&mut out, &f.lexed, &f.allow);
+        diags.extend(out);
+    }
+    diags
+}
+
+/// Run the whole-workspace event-protocol pass, honouring the anchoring
+/// file's site suppressions and crate allow list.
+fn run_protocol(files: &[Analyzed]) -> Vec<Diag> {
+    let units: Vec<protocol::SourceUnit> = files
+        .iter()
+        .map(|f| protocol::SourceUnit {
+            crate_name: &f.crate_name,
+            display: &f.display,
+            lexed: &f.lexed,
+            ast: &f.ast,
+            mask: &f.mask,
+        })
+        .collect();
+    let mut proto = protocol::check_event_protocol(&units);
+    proto.retain(|d| {
+        let Some(f) = files.iter().find(|f| f.display == d.file) else {
+            return true;
+        };
+        let mut one = vec![d.clone()];
+        rules::apply_suppressions(&mut one, &f.lexed, &f.allow);
+        !one.is_empty()
+    });
+    proto
+}
+
+fn sort_report(diags: &mut [Diag]) {
+    diags.sort_by(|a, b| {
+        (a.file.clone(), a.line, a.col, a.id).cmp(&(b.file.clone(), b.line, b.col, b.id))
+    });
+}
+
 /// Lint one source file with an explicit crate-level allow list.
+///
+/// The file is treated as a loose source: its own items form the symbol
+/// table (so `type`-alias and field resolution work within the file), no
+/// crate name applies (the `par-*` family stays off), and the
+/// cross-crate protocol check does not run.
 ///
 /// `display` is the path recorded in diagnostics (usually root-relative).
 pub fn lint_file(path: &Path, display: &str, crate_allow: &[String]) -> io::Result<Vec<Diag>> {
-    let src = fs::read_to_string(path)?;
-    Ok(rules::lint_tokens(display, &lexer::lex(&src), crate_allow))
+    let a = load_file(path, display.to_string(), "", crate_allow)?;
+    let mut syms = symbols::CrateSymbols::default();
+    syms.add_file(&a.ast);
+    let mut ws = symbols::Workspace::default();
+    ws.insert(syms);
+    let files = [a];
+    let mut diags = run_rules(&files, &ws);
+    sort_report(&mut diags);
+    Ok(diags)
 }
 
 /// Collect all `.rs` files under `dir`, depth-first in sorted order so the
@@ -130,20 +250,33 @@ fn display_path(root: &Path, p: &Path) -> String {
 /// Lint every package's `src/` tree under `root` (library, binary, and
 /// module sources; `tests/`, `benches/`, `examples/` and fixtures are out
 /// of scope — they are allowed to use host facilities).
+///
+/// This is the full cross-crate analysis: every package is lexed and
+/// parsed first, the joined symbol table lets the semantic rules resolve
+/// names across crate boundaries, and the event-protocol pass checks the
+/// `ObsEvent` contract over the whole workspace at once.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diag>> {
-    let mut diags = Vec::new();
+    let mut files: Vec<Analyzed> = Vec::new();
+    let mut ws = symbols::Workspace::default();
     for pkg in discover_packages(root)? {
         let allow = effective_allow(&pkg.cfg.name, &pkg.cfg.allow);
-        let mut files = Vec::new();
-        walk_rs(&pkg.dir.join("src"), &mut files)?;
-        for f in files {
+        let mut paths = Vec::new();
+        walk_rs(&pkg.dir.join("src"), &mut paths)?;
+        let mut syms = symbols::CrateSymbols {
+            name: pkg.cfg.name.clone(),
+            ..Default::default()
+        };
+        for f in paths {
             let display = display_path(root, &f);
-            diags.extend(lint_file(&f, &display, &allow)?);
+            let a = load_file(&f, display, &pkg.cfg.name, &allow)?;
+            syms.add_file(&a.ast);
+            files.push(a);
         }
+        ws.insert(syms);
     }
-    diags.sort_by(|a, b| {
-        (a.file.clone(), a.line, a.col, a.id).cmp(&(b.file.clone(), b.line, b.col, b.id))
-    });
+    let mut diags = run_rules(&files, &ws);
+    diags.extend(run_protocol(&files));
+    sort_report(&mut diags);
     Ok(diags)
 }
 
@@ -151,19 +284,30 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diag>> {
 /// the same crate-level allow + sanction rules as [`lint_workspace`].
 /// Diagnostics use package-relative paths. Used by the fixture tests to
 /// pin the sanction behaviour on packages outside the workspace.
+///
+/// The package's own files form the symbol table and its manifest name
+/// gates the `par-*` family; the cross-crate protocol pass needs a whole
+/// workspace and does not run here.
 pub fn lint_package_dir(dir: &Path) -> io::Result<Vec<Diag>> {
     let cfg = config::parse_manifest(&fs::read_to_string(dir.join("Cargo.toml"))?);
     let allow = effective_allow(&cfg.name, &cfg.allow);
+    let mut paths = Vec::new();
+    walk_rs(&dir.join("src"), &mut paths)?;
     let mut files = Vec::new();
-    walk_rs(&dir.join("src"), &mut files)?;
-    let mut diags = Vec::new();
-    for f in files {
+    let mut syms = symbols::CrateSymbols {
+        name: cfg.name.clone(),
+        ..Default::default()
+    };
+    for f in paths {
         let display = display_path(dir, &f);
-        diags.extend(lint_file(&f, &display, &allow)?);
+        let a = load_file(&f, display, &cfg.name, &allow)?;
+        syms.add_file(&a.ast);
+        files.push(a);
     }
-    diags.sort_by(|a, b| {
-        (a.file.clone(), a.line, a.col, a.id).cmp(&(b.file.clone(), b.line, b.col, b.id))
-    });
+    let mut ws = symbols::Workspace::default();
+    ws.insert(syms);
+    let mut diags = run_rules(&files, &ws);
+    sort_report(&mut diags);
     Ok(diags)
 }
 

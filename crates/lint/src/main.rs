@@ -3,7 +3,10 @@
 //! ```text
 //! cargo run -p agp-lint --                    # lint the workspace, text report
 //! cargo run -p agp-lint -- --format json      # machine-readable report
+//! cargo run -p agp-lint -- --format sarif     # SARIF 2.1.0 on stdout
+//! cargo run -p agp-lint -- --sarif out.sarif  # text report + SARIF artifact
 //! cargo run -p agp-lint -- --deny-warnings    # warnings also fail (CI mode)
+//! cargo run -p agp-lint -- --explain nondet-iter
 //! cargo run -p agp-lint -- path/to/file.rs    # lint explicit paths only
 //! ```
 //!
@@ -13,7 +16,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use agp_lint::{exit_code, lint_paths, lint_workspace, render_json, rules, Severity};
+use agp_lint::{
+    exit_code, explain, lint_paths, lint_workspace, render_json, render_sarif, rules, Severity,
+};
 
 const USAGE: &str = "\
 agp-lint: determinism & robustness static analysis for the agp workspace
@@ -22,10 +27,12 @@ USAGE:
     agp-lint [OPTIONS] [PATHS...]
 
 OPTIONS:
-    --format <text|json>   report format (default: text)
-    --deny-warnings        exit non-zero on warnings too (CI mode)
-    --root <DIR>           workspace root to scan (default: auto-detected)
-    -h, --help             show this help
+    --format <text|json|sarif>   report format (default: text)
+    --sarif <FILE>               also write a SARIF 2.1.0 report to FILE
+    --explain <RULE-ID>          print the rationale for a rule and exit
+    --deny-warnings              exit non-zero on warnings too (CI mode)
+    --root <DIR>                 workspace root to scan (default: auto-detected)
+    -h, --help                   show this help
 
 With no PATHS, lints every workspace crate's src/ tree, honouring
 [package.metadata.agp-lint] allow lists. With PATHS, lints exactly those
@@ -65,8 +72,16 @@ fn find_root() -> Option<PathBuf> {
     }
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut format_json = false;
+    let mut format = Format::Text;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut deny_warnings = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
@@ -75,13 +90,38 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--format" => match args.next().as_deref() {
-                Some("json") => format_json = true,
-                Some("text") => format_json = false,
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                Some("sarif") => format = Format::Sarif,
                 other => {
-                    eprintln!("agp-lint: --format expects `text` or `json`, got {other:?}");
+                    eprintln!(
+                        "agp-lint: --format expects `text`, `json`, or `sarif`, got {other:?}"
+                    );
                     return ExitCode::from(2);
                 }
             },
+            "--sarif" => match args.next() {
+                Some(f) => sarif_path = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("agp-lint: --sarif expects an output file");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => {
+                return match args.next().as_deref().and_then(explain::explain) {
+                    Some(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!(
+                            "agp-lint: --explain expects one of: {}",
+                            rules::ALL_IDS.join(", ")
+                        );
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--deny-warnings" => deny_warnings = true,
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
@@ -123,24 +163,33 @@ fn main() -> ExitCode {
         }
     };
 
-    if format_json {
-        print!("{}", render_json(&diags));
-    } else {
-        for d in &diags {
-            println!("{}", d.render_text());
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, render_sarif(&diags)) {
+            eprintln!("agp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
-        let errors = diags
-            .iter()
-            .filter(|d| d.severity == Severity::Error)
-            .count();
-        let warnings = diags
-            .iter()
-            .filter(|d| d.severity == Severity::Warn)
-            .count();
-        if diags.is_empty() {
-            println!("agp-lint: clean");
-        } else {
-            println!("agp-lint: {errors} error(s), {warnings} warning(s)");
+    }
+
+    match format {
+        Format::Json => print!("{}", render_json(&diags)),
+        Format::Sarif => print!("{}", render_sarif(&diags)),
+        Format::Text => {
+            for d in &diags {
+                println!("{}", d.render_text());
+            }
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            let warnings = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Warn)
+                .count();
+            if diags.is_empty() {
+                println!("agp-lint: clean");
+            } else {
+                println!("agp-lint: {errors} error(s), {warnings} warning(s)");
+            }
         }
     }
 

@@ -1,0 +1,2465 @@
+//! Tolerant recursive-descent parser over [`crate::lexer`] tokens.
+//!
+//! Produces the lightweight [`crate::ast`]: enough structure for the
+//! semantic rules (types on lets/params/fields, expression trees with
+//! method calls, binary operators, loops and struct literals), while
+//! skipping what they do not need (full patterns, lifetimes, bounds).
+//!
+//! The parser never panics and never rejects a file: constructs it does
+//! not model are consumed with balanced delimiters and surface as
+//! `Unknown` nodes. Anything genuinely malformed (an unclosed delimiter,
+//! a token it cannot make progress past) is recorded as a [`ParseIssue`]
+//! — the workspace gate asserts that real sources parse with zero issues.
+//!
+//! ## Operator gluing
+//!
+//! The lexer emits every punctuation byte as its own token. Multi-char
+//! operators (`::`, `->`, `==`, `+=`, `>>`, …) are reassembled here by
+//! byte-offset adjacency ([`Tok::end`] of one piece == `offset` of the
+//! next). Crucially this is done only where the grammar wants an
+//! *operator*: in type position `Vec<Vec<u8>>` still closes with two
+//! separate `>` tokens, while in expression position `x >> 2` glues into
+//! a single shift.
+
+use crate::ast::*;
+use crate::lexer::{Tok, TokKind};
+
+/// A point where the parser lost the plot. Real sources must produce none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIssue {
+    pub line: u32,
+    pub col: u32,
+    pub msg: String,
+}
+
+/// Parse a token stream into a [`File`], collecting issues on the side.
+pub fn parse(toks: &[Tok]) -> (File, Vec<ParseIssue>) {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        issues: Vec::new(),
+        fuel: toks.len().saturating_mul(16).max(4096),
+    };
+    let mut items = Vec::new();
+    while !p.done() {
+        let before = p.pos;
+        if let Some(item) = p.parse_item() {
+            items.push(item);
+        }
+        if p.pos == before {
+            p.issue("no progress at top level");
+            p.bump();
+        }
+    }
+    (File { items }, p.issues)
+}
+
+/// Multi-char operators, longest first so gluing is greedy.
+const OPS: [&str; 25] = [
+    "<<=", ">>=", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..", ".", "=",
+];
+
+/// Binary operator binding powers (left associative).
+fn bin_bp(op: &str) -> Option<u8> {
+    Some(match op {
+        ".." | "..=" => 4,
+        "||" => 6,
+        "&&" => 8,
+        "==" | "!=" | "<" | ">" | "<=" | ">=" => 10,
+        "|" => 12,
+        "^" => 14,
+        "&" => 16,
+        "<<" | ">>" => 18,
+        "+" | "-" => 20,
+        "*" | "/" | "%" => 22,
+        _ => return None,
+    })
+}
+
+fn is_assign_op(op: &str) -> bool {
+    matches!(
+        op,
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+    )
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    issues: Vec<ParseIssue>,
+    /// Hard bound on total parsing work: a defensive backstop so that no
+    /// input — however malformed — can loop the linter forever.
+    fuel: usize,
+}
+
+impl<'a> Parser<'a> {
+    // ------------------------------------------------------------------
+    // Token-level helpers
+    // ------------------------------------------------------------------
+
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn tok(&self, i: usize) -> Option<&'a Tok> {
+        self.toks.get(i)
+    }
+
+    fn cur(&self) -> Option<&'a Tok> {
+        self.tok(self.pos)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+        self.fuel = self.fuel.saturating_sub(1);
+    }
+
+    fn out_of_fuel(&mut self) -> bool {
+        if self.fuel == 0 {
+            let already = self
+                .issues
+                .last()
+                .is_some_and(|i| i.msg == "parser fuel exhausted");
+            if !already {
+                self.issue("parser fuel exhausted");
+            }
+            self.pos = self.toks.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn issue(&mut self, msg: &str) {
+        let (line, col) = self
+            .cur()
+            .or(self.toks.last())
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0));
+        if self.issues.len() < 64 {
+            self.issues.push(ParseIssue {
+                line,
+                col,
+                msg: msg.to_string(),
+            });
+        }
+    }
+
+    fn is_punct(&self, i: usize, p: &str) -> bool {
+        self.tok(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        self.is_punct(self.pos, p)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        self.cur()
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if self.at_ident(name) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident_text(&self) -> Option<&'a str> {
+        self.cur()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    }
+
+    /// Take the identifier at the cursor, if any.
+    fn take_ident(&mut self) -> Option<String> {
+        let t = self.cur()?;
+        if t.kind == TokKind::Ident {
+            self.bump();
+            Some(t.text.clone())
+        } else {
+            None
+        }
+    }
+
+    fn sp(&self, i: usize) -> Span {
+        match self.tok(i).or(self.toks.last()) {
+            Some(t) => Span {
+                lo: t.offset,
+                hi: t.end(),
+                line: t.line,
+                col: t.col,
+            },
+            None => Span::DUMMY,
+        }
+    }
+
+    /// Span from token index `start` through the last consumed token.
+    fn span_from(&self, start: usize) -> Span {
+        let lo = self.sp(start);
+        if self.pos == 0 || self.pos <= start {
+            return lo;
+        }
+        let hi = self.sp(self.pos - 1);
+        Span {
+            lo: lo.lo,
+            hi: hi.hi.max(lo.hi),
+            line: lo.line,
+            col: lo.col,
+        }
+    }
+
+    /// The longest multi-char operator starting at `i`, glued from
+    /// byte-adjacent punct tokens. Returns `(text, token_count)`.
+    fn op_at(&self, i: usize) -> Option<(&'static str, usize)> {
+        let first = self.tok(i)?;
+        if first.kind != TokKind::Punct {
+            return None;
+        }
+        'op: for op in OPS {
+            let chars: Vec<char> = op.chars().collect();
+            if chars[0].to_string() != first.text {
+                continue;
+            }
+            let mut prev_end = first.end();
+            for (k, c) in chars.iter().enumerate().skip(1) {
+                match self.tok(i + k) {
+                    Some(t)
+                        if t.kind == TokKind::Punct
+                            && t.text == c.to_string()
+                            && t.offset == prev_end =>
+                    {
+                        prev_end = t.end();
+                    }
+                    _ => continue 'op,
+                }
+            }
+            return Some((op, chars.len()));
+        }
+        None
+    }
+
+    /// True when the glued operator starting at `i` is NOT `op` (including
+    /// when no multi-char operator starts there) — used to keep `=`/`:`/`!`
+    /// from being confused with the longer `==`/`::`/`!=`.
+    fn op_at_is_not(&self, i: usize, op: &str) -> bool {
+        // MSRV 1.75: `Option::is_none_or` is not available yet.
+        match self.op_at(i) {
+            Some((o, _)) => o != op,
+            None => true,
+        }
+    }
+
+    /// Like [`op_at`] at the cursor, restricted to ops usable as binary /
+    /// assignment operators (single-char puncts included).
+    fn binop_at_cursor(&self) -> Option<(String, usize)> {
+        if let Some((op, n)) = self.op_at(self.pos) {
+            if op == "::" || op == "->" || op == "=>" || op == "." {
+                return None;
+            }
+            return Some((op.to_string(), n));
+        }
+        let t = self.cur()?;
+        if t.kind == TokKind::Punct
+            && matches!(
+                t.text.as_str(),
+                "+" | "-" | "*" | "/" | "%" | "^" | "&" | "|" | "<" | ">" | "="
+            )
+        {
+            return Some((t.text.clone(), 1));
+        }
+        None
+    }
+
+    /// Consume a balanced `(...)`, `[...]` or `{...}` group (cursor on the
+    /// opener). Records an issue if the stream ends first.
+    fn skip_group(&mut self) {
+        let open = match self.cur() {
+            Some(t) if t.kind == TokKind::Punct => t.text.clone(),
+            _ => return,
+        };
+        let close = match open.as_str() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return,
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if self.out_of_fuel() {
+                return;
+            }
+            if t.kind == TokKind::Punct {
+                if t.text == open {
+                    depth += 1;
+                } else if t.text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+            }
+            self.bump();
+        }
+        self.issue(&format!("unclosed `{open}`"));
+    }
+
+    /// Skip `#[...]` / `#![...]` attributes at the cursor.
+    fn skip_attrs(&mut self) {
+        while self.at_punct("#") {
+            let save = self.pos;
+            self.bump();
+            self.eat_punct("!");
+            if self.at_punct("[") {
+                self.skip_group();
+            } else {
+                self.pos = save;
+                return;
+            }
+        }
+    }
+
+    /// Skip a `<...>` generic parameter list (cursor on `<`). Angle depth
+    /// counting ignores the `>` of glued `->` / `=>` arrows and skips
+    /// brace/paren groups wholesale (const generic defaults, Fn sugar).
+    fn skip_generics(&mut self) {
+        if !self.at_punct("<") {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.cur() {
+            if self.out_of_fuel() {
+                return;
+            }
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        let arrow = self.tok(self.pos.wrapping_sub(1)).is_some_and(|p| {
+                            p.kind == TokKind::Punct
+                                && (p.text == "-" || p.text == "=")
+                                && p.end() == t.offset
+                        });
+                        if !arrow {
+                            depth -= 1;
+                            if depth == 0 {
+                                self.bump();
+                                return;
+                            }
+                        }
+                    }
+                    "(" | "[" | "{" => {
+                        self.skip_group();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+        self.issue("unclosed `<` in generics");
+    }
+
+    /// Skip a `where` clause: everything up to the `{` or `;` that starts
+    /// the item body, at angle/paren depth zero.
+    fn skip_where(&mut self) {
+        if !self.at_ident("where") {
+            return;
+        }
+        self.bump();
+        let mut angle = 0i32;
+        while let Some(t) = self.cur() {
+            if self.out_of_fuel() {
+                return;
+            }
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => {
+                        let arrow = self.tok(self.pos.wrapping_sub(1)).is_some_and(|p| {
+                            p.kind == TokKind::Punct
+                                && (p.text == "-" || p.text == "=")
+                                && p.end() == t.offset
+                        });
+                        if !arrow {
+                            angle -= 1;
+                        }
+                    }
+                    "(" | "[" => {
+                        self.skip_group();
+                        continue;
+                    }
+                    "{" | ";" if angle <= 0 => return,
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Items
+    // ------------------------------------------------------------------
+
+    fn parse_item(&mut self) -> Option<Item> {
+        self.skip_attrs();
+        if self.done() || self.out_of_fuel() {
+            return None;
+        }
+        let start = self.pos;
+        // Visibility.
+        if self.eat_ident("pub") && self.at_punct("(") {
+            self.skip_group();
+        }
+        // Leading qualifiers that do not change the item kind.
+        loop {
+            if self.at_ident("unsafe") || self.at_ident("async") || self.at_ident("default") {
+                self.bump();
+                continue;
+            }
+            if self.at_ident("extern") {
+                self.bump();
+                // `extern "C"` (fn qualifier) or `extern crate x;` or block.
+                if self.cur().is_some_and(|t| t.kind == TokKind::Lit) {
+                    self.bump();
+                }
+                if self.at_ident("crate") {
+                    // extern crate foo;  — consume through `;`.
+                    while let Some(t) = self.cur() {
+                        let done = t.kind == TokKind::Punct && t.text == ";";
+                        self.bump();
+                        if done {
+                            break;
+                        }
+                    }
+                    return Some(Item {
+                        kind: ItemKind::Other,
+                        span: self.span_from(start),
+                        tok: start,
+                    });
+                }
+                if self.at_punct("{") {
+                    self.skip_group();
+                    return Some(Item {
+                        kind: ItemKind::Other,
+                        span: self.span_from(start),
+                        tok: start,
+                    });
+                }
+                continue;
+            }
+            break;
+        }
+
+        let kw = self.ident_text().unwrap_or("");
+        let kind = match kw {
+            "use" => self.parse_use(),
+            "type" => self.parse_type_alias(),
+            "struct" | "union" => self.parse_struct(),
+            "enum" => self.parse_enum(),
+            "static" => self.parse_static(),
+            "const" => {
+                // `const fn name` vs `const NAME: T` vs `const _: T`.
+                if self.tok(self.pos + 1).is_some_and(|t| t.text == "fn") {
+                    self.bump();
+                    self.parse_fn()
+                } else {
+                    self.parse_const()
+                }
+            }
+            "fn" => self.parse_fn(),
+            "impl" => self.parse_impl(),
+            "trait" => self.parse_trait(),
+            "mod" => self.parse_mod(),
+            "macro_rules" => {
+                self.bump();
+                self.eat_punct("!");
+                let name = self.take_ident().unwrap_or_default();
+                if self.at_punct("{") || self.at_punct("(") || self.at_punct("[") {
+                    self.skip_group();
+                }
+                self.eat_punct(";");
+                ItemKind::MacroInvoke {
+                    path: vec!["macro_rules".into(), name],
+                }
+            }
+            _ => {
+                // `name! { … }` item-position macro invocation.
+                if !kw.is_empty() {
+                    let save = self.pos;
+                    let mut path = Vec::new();
+                    while let Some(seg) = self.take_ident() {
+                        path.push(seg);
+                        if self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                            self.bump();
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if self.eat_punct("!") {
+                        if self.at_punct("{") || self.at_punct("(") || self.at_punct("[") {
+                            self.skip_group();
+                        }
+                        self.eat_punct(";");
+                        return Some(Item {
+                            kind: ItemKind::MacroInvoke { path },
+                            span: self.span_from(start),
+                            tok: start,
+                        });
+                    }
+                    self.pos = save;
+                }
+                self.recover_item()
+            }
+        };
+        Some(Item {
+            kind,
+            span: self.span_from(start),
+            tok: start,
+        })
+    }
+
+    /// Unknown item: consume to a depth-0 `;` or through one balanced brace
+    /// block, whichever comes first.
+    fn recover_item(&mut self) -> ItemKind {
+        while let Some(t) = self.cur() {
+            if self.out_of_fuel() {
+                return ItemKind::Other;
+            }
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    ";" => {
+                        self.bump();
+                        return ItemKind::Other;
+                    }
+                    "{" | "(" | "[" => {
+                        let brace = t.text == "{";
+                        self.skip_group();
+                        if brace {
+                            return ItemKind::Other;
+                        }
+                        continue;
+                    }
+                    "}" => return ItemKind::Other,
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+        ItemKind::Other
+    }
+
+    fn parse_use(&mut self) -> ItemKind {
+        self.bump(); // `use`
+        let mut leaves = Vec::new();
+        self.parse_use_tree(Vec::new(), &mut leaves);
+        self.eat_punct(";");
+        ItemKind::Use(leaves)
+    }
+
+    fn parse_use_tree(&mut self, prefix: Vec<String>, out: &mut Vec<Vec<String>>) {
+        let mut path = prefix;
+        loop {
+            if self.out_of_fuel() {
+                return;
+            }
+            if self.at_punct("{") {
+                self.bump();
+                loop {
+                    if self.at_punct("}") || self.done() {
+                        self.bump();
+                        break;
+                    }
+                    self.parse_use_tree(path.clone(), out);
+                    if !self.eat_punct(",") && !self.at_punct("}") {
+                        // Lost sync inside the group: bail out of it.
+                        while !self.done() && !self.eat_punct("}") {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                return;
+            }
+            if self.at_punct("*") {
+                self.bump();
+                path.push("*".into());
+                out.push(path);
+                return;
+            }
+            match self.take_ident() {
+                Some(seg) => {
+                    if seg == "as" {
+                        // alias rename: `x as y` — record the original path.
+                        self.take_ident();
+                        out.push(path);
+                        return;
+                    }
+                    path.push(seg);
+                }
+                None => {
+                    if !path.is_empty() {
+                        out.push(path);
+                    }
+                    return;
+                }
+            }
+            if self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            // `as` rename after a path.
+            if self.at_ident("as") {
+                self.bump();
+                self.take_ident();
+            }
+            out.push(path);
+            return;
+        }
+    }
+
+    fn parse_type_alias(&mut self) -> ItemKind {
+        self.bump(); // `type`
+        let name = self.take_ident().unwrap_or_default();
+        self.skip_generics();
+        if !self.eat_punct("=") {
+            // Associated type declaration (`type X;` / `type X: Bound;`).
+            while !self.done() && !self.eat_punct(";") {
+                self.bump();
+            }
+            return ItemKind::Other;
+        }
+        let ty = self.parse_type();
+        self.eat_punct(";");
+        ItemKind::TypeAlias { name, ty }
+    }
+
+    fn parse_struct(&mut self) -> ItemKind {
+        self.bump(); // `struct` / `union`
+        let name = self.take_ident().unwrap_or_default();
+        self.skip_generics();
+        self.skip_where();
+        let mut fields = Vec::new();
+        if self.at_punct("{") {
+            self.bump();
+            loop {
+                self.skip_attrs();
+                if self.eat_punct("}") || self.done() {
+                    break;
+                }
+                if self.eat_ident("pub") && self.at_punct("(") {
+                    self.skip_group();
+                }
+                let Some(fname) = self.take_ident() else {
+                    self.issue("expected struct field name");
+                    while !self.done() && !self.eat_punct("}") {
+                        self.bump();
+                    }
+                    break;
+                };
+                if !self.eat_punct(":") {
+                    self.issue("expected `:` after field name");
+                }
+                let ty = self.parse_type();
+                fields.push((fname, ty));
+                self.eat_punct(",");
+            }
+        } else if self.at_punct("(") {
+            self.bump();
+            let mut idx = 0usize;
+            loop {
+                self.skip_attrs();
+                if self.eat_punct(")") || self.done() {
+                    break;
+                }
+                if self.eat_ident("pub") && self.at_punct("(") {
+                    self.skip_group();
+                }
+                let ty = self.parse_type();
+                fields.push((idx.to_string(), ty));
+                idx += 1;
+                self.eat_punct(",");
+            }
+            self.skip_where();
+            self.eat_punct(";");
+        } else {
+            self.eat_punct(";"); // unit struct
+        }
+        ItemKind::Struct { name, fields }
+    }
+
+    fn parse_enum(&mut self) -> ItemKind {
+        self.bump(); // `enum`
+        let name = self.take_ident().unwrap_or_default();
+        self.skip_generics();
+        self.skip_where();
+        let mut variants = Vec::new();
+        if self.at_punct("{") {
+            self.bump();
+            loop {
+                self.skip_attrs();
+                if self.eat_punct("}") || self.done() {
+                    break;
+                }
+                let vtok = self.pos;
+                let Some(vname) = self.take_ident() else {
+                    self.issue("expected enum variant");
+                    while !self.done() && !self.eat_punct("}") {
+                        self.bump();
+                    }
+                    break;
+                };
+                if self.at_punct("{") || self.at_punct("(") {
+                    self.skip_group();
+                }
+                if self.eat_punct("=") {
+                    // Discriminant expression, to the next depth-0 comma.
+                    while let Some(t) = self.cur() {
+                        if t.kind == TokKind::Punct {
+                            match t.text.as_str() {
+                                "," | "}" => break,
+                                "(" | "[" | "{" => {
+                                    self.skip_group();
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                        }
+                        self.bump();
+                    }
+                }
+                variants.push(Variant {
+                    name: vname,
+                    span: self.span_from(vtok),
+                    tok: vtok,
+                });
+                self.eat_punct(",");
+            }
+        } else {
+            self.eat_punct(";");
+        }
+        ItemKind::Enum { name, variants }
+    }
+
+    fn parse_static(&mut self) -> ItemKind {
+        self.bump(); // `static`
+        let mutable = self.eat_ident("mut");
+        let name = self.take_ident().unwrap_or_default();
+        let ty = if self.eat_punct(":") {
+            Some(self.parse_type())
+        } else {
+            None
+        };
+        if self.eat_punct("=") {
+            self.parse_expr(false);
+        }
+        self.eat_punct(";");
+        ItemKind::Static { name, mutable, ty }
+    }
+
+    fn parse_const(&mut self) -> ItemKind {
+        self.bump(); // `const`
+        let name = self.take_ident().unwrap_or_default();
+        if self.eat_punct(":") {
+            self.parse_type();
+        }
+        if self.eat_punct("=") {
+            self.parse_expr(false);
+        }
+        self.eat_punct(";");
+        ItemKind::Const { name }
+    }
+
+    fn parse_fn(&mut self) -> ItemKind {
+        let start = self.pos;
+        self.bump(); // `fn`
+        let name = self.take_ident().unwrap_or_default();
+        self.skip_generics();
+        let mut params = Vec::new();
+        if self.eat_punct("(") {
+            loop {
+                self.skip_attrs();
+                if self.eat_punct(")") || self.done() {
+                    break;
+                }
+                if let Some(param) = self.parse_param() {
+                    params.push(param);
+                }
+                if !self.eat_punct(",") && !self.at_punct(")") {
+                    self.issue("expected `,` or `)` in params");
+                    while !self.done() && !self.eat_punct(")") {
+                        if self.at_punct("(") || self.at_punct("[") || self.at_punct("{") {
+                            self.skip_group();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        let ret = if self.op_at(self.pos).is_some_and(|(op, _)| op == "->") {
+            self.bump();
+            self.bump();
+            Some(self.parse_type())
+        } else {
+            None
+        };
+        self.skip_where();
+        let body = if self.at_punct("{") {
+            Some(self.parse_block())
+        } else {
+            self.eat_punct(";");
+            None
+        };
+        ItemKind::Fn(FnDef {
+            name,
+            params,
+            ret,
+            body,
+            span: self.span_from(start),
+            tok: start,
+        })
+    }
+
+    /// One function parameter; `self` receivers keep the name `self` and
+    /// no type (the semantic pass substitutes the impl target).
+    fn parse_param(&mut self) -> Option<Param> {
+        // Receiver forms: self / mut self / &self / &mut self / &'a self.
+        let save = self.pos;
+        if self.at_punct("&") {
+            self.bump();
+            if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                self.bump();
+            }
+            self.eat_ident("mut");
+            if self.eat_ident("self") {
+                return Some(Param {
+                    name: "self".into(),
+                    ty: None,
+                });
+            }
+            self.pos = save;
+        }
+        {
+            let save2 = self.pos;
+            self.eat_ident("mut");
+            if self.eat_ident("self") {
+                let ty = if self.eat_punct(":") {
+                    Some(self.parse_type())
+                } else {
+                    None
+                };
+                return Some(Param {
+                    name: "self".into(),
+                    ty,
+                });
+            }
+            self.pos = save2;
+        }
+        // General pattern: find the first binding ident, then `: Type`.
+        let name = self.parse_pattern_binding();
+        let ty = if self.eat_punct(":") {
+            Some(self.parse_type())
+        } else {
+            None
+        };
+        Some(Param {
+            name: name.unwrap_or_else(|| "_".into()),
+            ty,
+        })
+    }
+
+    /// Consume a pattern up to (not including) a depth-0 `:`, `=`, `,`,
+    /// `)`, `in`, or `;`, returning its first binding identifier.
+    ///
+    /// Constructor names (`Some(x)`, `Event::Fault { page }`) are skipped
+    /// — an identifier followed by `::`, `(`, `{`, or `!` names a path,
+    /// not a binding. Struct-pattern field names (`Point { x: a }`) may be
+    /// picked over the bound alias; the rules only need simple bindings.
+    fn parse_pattern_binding(&mut self) -> Option<String> {
+        let mut first: Option<String> = None;
+        let mut depth = 0i32;
+        while let Some(t) = self.cur() {
+            if self.out_of_fuel() {
+                return first;
+            }
+            match t.kind {
+                TokKind::Punct => match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        depth += 1;
+                        self.bump();
+                    }
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            return first;
+                        }
+                        depth -= 1;
+                        self.bump();
+                    }
+                    ":" if depth == 0 => {
+                        // `::` inside a path pattern is not the type colon.
+                        if self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                            self.bump();
+                            self.bump();
+                        } else {
+                            return first;
+                        }
+                    }
+                    // `|` closes a closure-parameter pattern; or-patterns
+                    // in `let`/`for` position require parens, so depth 0
+                    // is unambiguous.
+                    "=" | ";" | "," | "|" if depth == 0 => return first,
+                    _ => self.bump(),
+                },
+                TokKind::Ident => {
+                    if depth == 0 && t.text == "in" {
+                        return first;
+                    }
+                    let excluded = matches!(
+                        t.text.as_str(),
+                        "mut"
+                            | "ref"
+                            | "box"
+                            | "Some"
+                            | "Ok"
+                            | "Err"
+                            | "None"
+                            | "_"
+                            | "true"
+                            | "false"
+                    );
+                    let is_path_head = self.op_at(self.pos + 1).is_some_and(|(op, _)| op == "::")
+                        || self.is_punct(self.pos + 1, "(")
+                        || self.is_punct(self.pos + 1, "{")
+                        || self.is_punct(self.pos + 1, "!");
+                    if first.is_none() && !excluded && !is_path_head {
+                        first = Some(t.text.clone());
+                    }
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        first
+    }
+
+    fn parse_impl(&mut self) -> ItemKind {
+        self.bump(); // `impl`
+        self.skip_generics();
+        self.eat_punct("!");
+        let first = self.parse_type();
+        let (trait_, target) = if self.eat_ident("for") {
+            let tgt = self.parse_type();
+            (
+                first.head().map(str::to_string),
+                tgt.head().map(str::to_string),
+            )
+        } else {
+            (None, first.head().map(str::to_string))
+        };
+        self.skip_where();
+        let items = self.parse_brace_items();
+        ItemKind::Impl {
+            target,
+            trait_,
+            items,
+        }
+    }
+
+    fn parse_trait(&mut self) -> ItemKind {
+        self.bump(); // `trait`
+        let name = self.take_ident().unwrap_or_default();
+        self.skip_generics();
+        if self.eat_punct(":") {
+            // Supertrait bounds, up to `{` or `where`.
+            while let Some(t) = self.cur() {
+                if t.kind == TokKind::Punct && t.text == "{" {
+                    break;
+                }
+                if t.kind == TokKind::Ident && t.text == "where" {
+                    break;
+                }
+                if t.kind == TokKind::Punct && (t.text == "(" || t.text == "[") {
+                    self.skip_group();
+                    continue;
+                }
+                self.bump();
+            }
+        }
+        self.skip_where();
+        let items = self.parse_brace_items();
+        ItemKind::Trait { name, items }
+    }
+
+    fn parse_mod(&mut self) -> ItemKind {
+        self.bump(); // `mod`
+        let name = self.take_ident().unwrap_or_default();
+        if self.eat_punct(";") {
+            return ItemKind::Mod { name, items: None };
+        }
+        let items = self.parse_brace_items();
+        ItemKind::Mod {
+            name,
+            items: Some(items),
+        }
+    }
+
+    /// `{ item* }` — impl / trait / mod bodies.
+    fn parse_brace_items(&mut self) -> Vec<Item> {
+        let mut items = Vec::new();
+        if !self.eat_punct("{") {
+            self.issue("expected `{`");
+            return items;
+        }
+        while !self.done() && !self.at_punct("}") {
+            if self.out_of_fuel() {
+                return items;
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.issue("no progress in item block");
+                self.bump();
+            }
+        }
+        if !self.eat_punct("}") {
+            self.issue("unclosed item block");
+        }
+        items
+    }
+
+    // ------------------------------------------------------------------
+    // Types
+    // ------------------------------------------------------------------
+
+    fn parse_type(&mut self) -> Type {
+        let start = self.pos;
+        if self.out_of_fuel() {
+            return Type::unknown(self.span_from(start));
+        }
+        // `&` / `&&` references.
+        if self.at_punct("&") {
+            self.bump();
+            // Second `&` of a glued `&&` double reference.
+            if self.at_punct("&") {
+                self.bump();
+            }
+            if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                self.bump();
+            }
+            let mutable = self.eat_ident("mut");
+            let inner = self.parse_type();
+            return Type {
+                kind: TypeKind::Ref {
+                    mutable,
+                    inner: Box::new(inner),
+                },
+                span: self.span_from(start),
+            };
+        }
+        // Raw pointers.
+        if self.at_punct("*") {
+            self.bump();
+            let _ = self.eat_ident("const") || self.eat_ident("mut");
+            let _ = self.parse_type();
+            return Type::unknown(self.span_from(start));
+        }
+        if self.at_punct("(") {
+            self.bump();
+            let mut elems = Vec::new();
+            let mut trailing_comma = false;
+            while !self.done() && !self.at_punct(")") {
+                elems.push(self.parse_type());
+                trailing_comma = self.eat_punct(",");
+                if !trailing_comma && !self.at_punct(")") {
+                    self.issue("expected `,` or `)` in tuple type");
+                    break;
+                }
+            }
+            self.eat_punct(")");
+            let span = self.span_from(start);
+            if elems.len() == 1 && !trailing_comma {
+                return elems.pop().unwrap();
+            }
+            return Type {
+                kind: TypeKind::Tuple(elems),
+                span,
+            };
+        }
+        if self.at_punct("[") {
+            self.bump();
+            let inner = self.parse_type();
+            if self.eat_punct(";") {
+                // Array length: consume to the closing `]`.
+                while let Some(t) = self.cur() {
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "]" => break,
+                            "(" | "[" | "{" => {
+                                self.skip_group();
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.bump();
+                }
+            }
+            self.eat_punct("]");
+            return Type {
+                kind: TypeKind::Slice(Box::new(inner)),
+                span: self.span_from(start),
+            };
+        }
+        // Qualified path `<T as Trait>::Assoc`.
+        if self.at_punct("<") {
+            self.skip_generics();
+            let mut segs = Vec::new();
+            while self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                self.bump();
+                self.bump();
+                if let Some(seg) = self.take_ident() {
+                    segs.push(seg);
+                }
+            }
+            return Type {
+                kind: TypeKind::Path {
+                    segs,
+                    args: Vec::new(),
+                },
+                span: self.span_from(start),
+            };
+        }
+        // `dyn` / `impl` bound lists: parse the first bound as the type.
+        if self.at_ident("dyn") || self.at_ident("impl") {
+            self.bump();
+            let first = self.parse_type();
+            while self.at_punct("+") {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                } else {
+                    let _ = self.parse_type();
+                }
+            }
+            return Type {
+                kind: first.kind,
+                span: self.span_from(start),
+            };
+        }
+        if self.at_ident("fn") {
+            // fn-pointer type: fn(args) -> ret.
+            self.bump();
+            if self.at_punct("(") {
+                self.skip_group();
+            }
+            if self.op_at(self.pos).is_some_and(|(op, _)| op == "->") {
+                self.bump();
+                self.bump();
+                let _ = self.parse_type();
+            }
+            return Type::unknown(self.span_from(start));
+        }
+        if self.at_punct("!") {
+            self.bump();
+            return Type::unknown(self.span_from(start));
+        }
+        if self.at_ident("_") {
+            self.bump();
+            return Type::unknown(self.span_from(start));
+        }
+        // Plain path type.
+        let mut segs = Vec::new();
+        let mut args = Vec::new();
+        loop {
+            match self.take_ident() {
+                Some(seg) => segs.push(seg),
+                None => {
+                    if segs.is_empty() {
+                        // Not a type at all; bail without consuming.
+                        return Type::unknown(self.span_from(start));
+                    }
+                    break;
+                }
+            }
+            // Parenthesized Fn-trait sugar: `Fn(A) -> B`.
+            if self.at_punct("(") {
+                self.skip_group();
+                if self.op_at(self.pos).is_some_and(|(op, _)| op == "->") {
+                    self.bump();
+                    self.bump();
+                    let _ = self.parse_type();
+                }
+                break;
+            }
+            // A `<` glued into `<=` is a comparison operator leaking in
+            // from expression position (`x as f64 <= y`), never generics.
+            if self.at_punct("<") && self.op_at(self.pos).map(|(op, _)| op) != Some("<=") {
+                args = self.parse_generic_args();
+            }
+            if self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        Type {
+            kind: TypeKind::Path { segs, args },
+            span: self.span_from(start),
+        }
+    }
+
+    /// `<T, 'a, N, Item = T>` — returns the type arguments, dropping
+    /// lifetimes, const expressions, and associated-type bindings.
+    fn parse_generic_args(&mut self) -> Vec<Type> {
+        let mut args = Vec::new();
+        if !self.eat_punct("<") {
+            return args;
+        }
+        loop {
+            if self.out_of_fuel() || self.done() {
+                return args;
+            }
+            if self.at_punct(">") {
+                self.bump();
+                return args;
+            }
+            if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                self.bump();
+            } else if self.at_punct("{") {
+                self.skip_group(); // const generic block
+            } else if self.cur().is_some_and(|t| t.kind == TokKind::Lit) {
+                self.bump(); // const generic literal
+            } else {
+                // Associated binding `Name = T`?
+                if self.cur().is_some_and(|t| t.kind == TokKind::Ident)
+                    && self.is_punct(self.pos + 1, "=")
+                    && self.op_at_is_not(self.pos + 1, "==")
+                {
+                    self.bump();
+                    self.bump();
+                    let _ = self.parse_type();
+                } else {
+                    let ty = self.parse_type();
+                    if matches!(ty.kind, TypeKind::Unknown)
+                        && !self.at_punct(",")
+                        && !self.at_punct(">")
+                    {
+                        // Lost sync: scan forward to `,` or `>` at depth 0.
+                        while let Some(t) = self.cur() {
+                            if t.kind == TokKind::Punct {
+                                match t.text.as_str() {
+                                    "," | ">" => break,
+                                    "(" | "[" | "{" => {
+                                        self.skip_group();
+                                        continue;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            self.bump();
+                        }
+                    }
+                    args.push(ty);
+                }
+            }
+            // Bounds on the argument (`T: Clone`) only appear in decl
+            // position, which goes through skip_generics instead.
+            if !self.eat_punct(",") && !self.at_punct(">") {
+                self.issue("expected `,` or `>` in generic args");
+                while let Some(t) = self.cur() {
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            ">" => {
+                                self.bump();
+                                return args;
+                            }
+                            "(" | "[" | "{" => {
+                                self.skip_group();
+                                continue;
+                            }
+                            ";" => return args,
+                            _ => {}
+                        }
+                    }
+                    self.bump();
+                }
+                return args;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocks and statements
+    // ------------------------------------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let start = self.pos;
+        let mut stmts = Vec::new();
+        if !self.eat_punct("{") {
+            self.issue("expected `{` to start block");
+            return Block {
+                stmts,
+                span: self.span_from(start),
+            };
+        }
+        while !self.done() && !self.at_punct("}") {
+            if self.out_of_fuel() {
+                break;
+            }
+            let before = self.pos;
+            self.skip_attrs();
+            if self.eat_punct(";") {
+                continue;
+            }
+            if self.at_punct("}") {
+                break;
+            }
+            if self.at_ident("let") {
+                stmts.push(self.parse_let());
+            } else if self.at_item_start() {
+                if let Some(item) = self.parse_item() {
+                    stmts.push(Stmt::Item(Box::new(item)));
+                }
+            } else {
+                // Rust's statement grammar: a block-like expression in
+                // statement position ends at its closing `}` — no postfix
+                // or binary continuation, so `while c { … } [a, b];` is
+                // two statements, not an index.
+                let e = if self.at_block_stmt_head() {
+                    self.parse_primary(false)
+                } else {
+                    self.parse_expr(false)
+                };
+                self.eat_punct(";");
+                stmts.push(Stmt::Expr(e));
+            }
+            if self.pos == before {
+                self.issue("no progress in block");
+                self.bump();
+            }
+        }
+        if !self.eat_punct("}") {
+            self.issue("unclosed block");
+        }
+        Block {
+            stmts,
+            span: self.span_from(start),
+        }
+    }
+
+    /// Does the cursor start a block-like expression in statement
+    /// position (`if`/`while`/`loop`/`for`/`match`, a bare block, or an
+    /// `unsafe { … }` block)? These terminate at their closing `}`.
+    fn at_block_stmt_head(&self) -> bool {
+        let Some(t) = self.cur() else { return false };
+        match t.kind {
+            TokKind::Punct => t.text == "{",
+            TokKind::Ident => match t.text.as_str() {
+                "if" | "while" | "loop" | "for" | "match" => true,
+                "unsafe" => self.is_punct(self.pos + 1, "{"),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Does the cursor start a block-level item (not an expression)?
+    fn at_item_start(&self) -> bool {
+        let Some(t) = self.cur() else { return false };
+        if t.kind != TokKind::Ident {
+            return false;
+        }
+        match t.text.as_str() {
+            "use" | "type" | "struct" | "enum" | "static" | "trait" | "impl" | "mod" | "fn"
+            | "macro_rules" => true,
+            "pub" => true,
+            "const" => {
+                // `const fn` / `const NAME: …` are items; `const { … }` is
+                // an expression block.
+                !self.is_punct(self.pos + 1, "{")
+            }
+            "unsafe" => self
+                .tok(self.pos + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && (n.text == "fn" || n.text == "impl")),
+            _ => false,
+        }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let start = self.pos;
+        self.bump(); // `let`
+        let name = self.parse_pattern_binding();
+        let ty = if self.at_punct(":") && self.op_at_is_not(self.pos, "::") {
+            self.bump();
+            Some(self.parse_type())
+        } else {
+            None
+        };
+        let init = if self.op_at(self.pos).map(|(op, _)| op) == Some("=") {
+            self.bump();
+            Some(self.parse_expr(false))
+        } else {
+            None
+        };
+        // `let … else { … }` fallback block.
+        if self.at_ident("else") {
+            self.bump();
+            if self.at_punct("{") {
+                self.parse_block();
+            }
+        }
+        self.eat_punct(";");
+        Stmt::Let {
+            name,
+            ty,
+            init,
+            span: self.span_from(start),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (pratt)
+    // ------------------------------------------------------------------
+
+    /// Parse one expression. `no_struct` suppresses struct literals at the
+    /// top level (condition / scrutinee / iterator position).
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        self.parse_assign(no_struct)
+    }
+
+    fn parse_assign(&mut self, no_struct: bool) -> Expr {
+        let start = self.pos;
+        let lhs = self.parse_binary(0, no_struct);
+        if let Some((op, n)) = self.binop_at_cursor() {
+            if is_assign_op(&op) {
+                for _ in 0..n {
+                    self.bump();
+                }
+                let rhs = self.parse_assign(no_struct);
+                return Expr {
+                    kind: ExprKind::Assign {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                    span: self.span_from(start),
+                    tok: start,
+                };
+            }
+        }
+        lhs
+    }
+
+    fn parse_binary(&mut self, min_bp: u8, no_struct: bool) -> Expr {
+        let start = self.pos;
+        let mut lhs = self.parse_unary(no_struct);
+        loop {
+            if self.out_of_fuel() {
+                return lhs;
+            }
+            // `as` cast binds tighter than any binary operator here.
+            if self.at_ident("as") {
+                self.bump();
+                let ty = self.parse_type();
+                lhs = Expr {
+                    kind: ExprKind::Cast {
+                        expr: Box::new(lhs),
+                        ty,
+                    },
+                    span: self.span_from(start),
+                    tok: start,
+                };
+                continue;
+            }
+            let Some((op, n)) = self.binop_at_cursor() else {
+                return lhs;
+            };
+            if is_assign_op(&op) {
+                return lhs; // handled by parse_assign
+            }
+            let Some(bp) = bin_bp(&op) else { return lhs };
+            if bp < min_bp {
+                return lhs;
+            }
+            for _ in 0..n {
+                self.bump();
+            }
+            if op == ".." || op == "..=" {
+                // Open-ended ranges: `a..` (no rhs at `,`/`)`/`]`/`{`/`;`).
+                let hi = if self.range_has_rhs(no_struct) {
+                    Some(Box::new(self.parse_binary(bp + 1, no_struct)))
+                } else {
+                    None
+                };
+                lhs = Expr {
+                    kind: ExprKind::Range {
+                        lo: Some(Box::new(lhs)),
+                        hi,
+                    },
+                    span: self.span_from(start),
+                    tok: start,
+                };
+                continue;
+            }
+            let rhs = self.parse_binary(bp + 1, no_struct);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span: self.span_from(start),
+                tok: start,
+            };
+        }
+    }
+
+    fn range_has_rhs(&self, no_struct: bool) -> bool {
+        match self.cur() {
+            None => false,
+            Some(t) if t.kind == TokKind::Punct => {
+                if no_struct && t.text == "{" {
+                    false
+                } else {
+                    !matches!(t.text.as_str(), "," | ")" | "]" | ";" | "}")
+                }
+            }
+            _ => true,
+        }
+    }
+
+    fn parse_unary(&mut self, no_struct: bool) -> Expr {
+        let start = self.pos;
+        if self.out_of_fuel() {
+            return Expr {
+                kind: ExprKind::Unknown,
+                span: self.span_from(start),
+                tok: start,
+            };
+        }
+        // `&` reference-of. A glued `&&x` double-reference falls out
+        // naturally: the recursive call sees the second `&`.
+        if self.at_punct("&") {
+            self.bump();
+            let mutable = self.eat_ident("mut");
+            let e = self.parse_unary(no_struct);
+            return Expr {
+                kind: ExprKind::Ref {
+                    mutable,
+                    expr: Box::new(e),
+                },
+                span: self.span_from(start),
+                tok: start,
+            };
+        }
+        if self.at_punct("!") || self.at_punct("-") || self.at_punct("*") {
+            let op = self.cur().unwrap().text.clone();
+            self.bump();
+            let e = self.parse_unary(no_struct);
+            return Expr {
+                kind: ExprKind::Unary {
+                    op,
+                    expr: Box::new(e),
+                },
+                span: self.span_from(start),
+                tok: start,
+            };
+        }
+        // Leading range `..x` / `..=x` / bare `..`.
+        if let Some((op @ (".." | "..="), n)) = self.op_at(self.pos) {
+            let _ = op;
+            for _ in 0..n {
+                self.bump();
+            }
+            let hi = if self.range_has_rhs(no_struct) {
+                Some(Box::new(self.parse_binary(5, no_struct)))
+            } else {
+                None
+            };
+            return Expr {
+                kind: ExprKind::Range { lo: None, hi },
+                span: self.span_from(start),
+                tok: start,
+            };
+        }
+        self.parse_postfix(no_struct)
+    }
+
+    fn parse_postfix(&mut self, no_struct: bool) -> Expr {
+        let start = self.pos;
+        let mut e = self.parse_primary(no_struct);
+        loop {
+            if self.out_of_fuel() {
+                return e;
+            }
+            // Field access / method call: `.name`, `.0`, `.name(…)`,
+            // `.name::<T>(…)`, `.await`. `op_at` glues `..` ranges first,
+            // so a match on `.` is unambiguous.
+            if self.op_at(self.pos).map(|(op, _)| op) == Some(".") {
+                self.bump();
+                if self.eat_ident("await") {
+                    e = Expr {
+                        kind: ExprKind::Field {
+                            recv: Box::new(e),
+                            name: "await".into(),
+                        },
+                        span: self.span_from(start),
+                        tok: start,
+                    };
+                    continue;
+                }
+                if let Some(t) = self.cur() {
+                    if t.kind == TokKind::Lit {
+                        // Tuple index — `x.0`, possibly glued as `0.1` for
+                        // `x.0.1`: split on the dot.
+                        let text = t.text.clone();
+                        self.bump();
+                        for part in text.split('.') {
+                            e = Expr {
+                                kind: ExprKind::Field {
+                                    recv: Box::new(e),
+                                    name: part.to_string(),
+                                },
+                                span: self.span_from(start),
+                                tok: start,
+                            };
+                        }
+                        continue;
+                    }
+                }
+                let Some(name) = self.take_ident() else {
+                    self.issue("expected name after `.`");
+                    return e;
+                };
+                // Turbofish on the method.
+                if self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                    self.bump();
+                    self.bump();
+                    if self.at_punct("<") {
+                        let _ = self.parse_generic_args();
+                    }
+                }
+                if self.at_punct("(") {
+                    let args = self.parse_call_args();
+                    e = Expr {
+                        kind: ExprKind::MethodCall {
+                            recv: Box::new(e),
+                            name,
+                            args,
+                        },
+                        span: self.span_from(start),
+                        tok: start,
+                    };
+                } else {
+                    e = Expr {
+                        kind: ExprKind::Field {
+                            recv: Box::new(e),
+                            name,
+                        },
+                        span: self.span_from(start),
+                        tok: start,
+                    };
+                }
+                continue;
+            }
+            if self.at_punct("?") {
+                self.bump();
+                e = Expr {
+                    kind: ExprKind::Try(Box::new(e)),
+                    span: self.span_from(start),
+                    tok: start,
+                };
+                continue;
+            }
+            if self.at_punct("(") {
+                let args = self.parse_call_args();
+                e = Expr {
+                    kind: ExprKind::Call {
+                        callee: Box::new(e),
+                        args,
+                    },
+                    span: self.span_from(start),
+                    tok: start,
+                };
+                continue;
+            }
+            if self.at_punct("[") {
+                self.bump();
+                let idx = self.parse_expr(false);
+                if !self.eat_punct("]") {
+                    self.issue("unclosed `[` index");
+                }
+                e = Expr {
+                    kind: ExprKind::Index {
+                        recv: Box::new(e),
+                        index: Box::new(idx),
+                    },
+                    span: self.span_from(start),
+                    tok: start,
+                };
+                continue;
+            }
+            return e;
+        }
+    }
+
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_punct("(") {
+            return args;
+        }
+        while !self.done() && !self.at_punct(")") {
+            if self.out_of_fuel() {
+                return args;
+            }
+            args.push(self.parse_expr(false));
+            if !self.eat_punct(",") && !self.at_punct(")") {
+                self.issue("expected `,` or `)` in call args");
+                // Resync: skip to the next depth-0 `,` or `)`.
+                while let Some(t) = self.cur() {
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "," => {
+                                self.bump();
+                                break;
+                            }
+                            ")" => break,
+                            "(" | "[" | "{" => {
+                                self.skip_group();
+                                continue;
+                            }
+                            ";" => return args,
+                            _ => {}
+                        }
+                    }
+                    self.bump();
+                }
+            }
+        }
+        if !self.eat_punct(")") {
+            self.issue("unclosed `(` call");
+        }
+        args
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let start = self.pos;
+        let mk = |p: &Self, kind: ExprKind| Expr {
+            kind,
+            span: p.span_from(start),
+            tok: start,
+        };
+        let Some(t) = self.cur() else {
+            self.issue("expected expression, found end of input");
+            return Expr {
+                kind: ExprKind::Unknown,
+                span: self.span_from(start),
+                tok: start,
+            };
+        };
+        match t.kind {
+            TokKind::Lit => {
+                let text = t.text.clone();
+                self.bump();
+                mk(self, ExprKind::Lit(text))
+            }
+            TokKind::Lifetime => {
+                // Loop label `'outer: loop { … }` — consume label + colon
+                // and parse the labeled expression.
+                self.bump();
+                self.eat_punct(":");
+                self.parse_primary(no_struct)
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "(" => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    let mut trailing = false;
+                    while !self.done() && !self.at_punct(")") {
+                        if self.out_of_fuel() {
+                            break;
+                        }
+                        elems.push(self.parse_expr(false));
+                        trailing = self.eat_punct(",");
+                        if !trailing && !self.at_punct(")") {
+                            self.issue("expected `,` or `)` in tuple");
+                            break;
+                        }
+                    }
+                    if !self.eat_punct(")") {
+                        self.issue("unclosed `(`");
+                    }
+                    if elems.len() == 1 && !trailing {
+                        let inner = elems.pop().unwrap();
+                        Expr {
+                            kind: inner.kind,
+                            span: self.span_from(start),
+                            tok: start,
+                        }
+                    } else {
+                        mk(self, ExprKind::Tuple(elems))
+                    }
+                }
+                "[" => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    while !self.done() && !self.at_punct("]") {
+                        if self.out_of_fuel() {
+                            break;
+                        }
+                        elems.push(self.parse_expr(false));
+                        if self.eat_punct(";") {
+                            // `[x; len]` repeat form.
+                            elems.push(self.parse_expr(false));
+                            break;
+                        }
+                        if !self.eat_punct(",") && !self.at_punct("]") {
+                            self.issue("expected `,` or `]` in array");
+                            break;
+                        }
+                    }
+                    if !self.eat_punct("]") {
+                        self.issue("unclosed `[`");
+                    }
+                    mk(self, ExprKind::Array(elems))
+                }
+                "{" => {
+                    let b = self.parse_block();
+                    mk(self, ExprKind::Block(b))
+                }
+                "|" => self.parse_closure(start),
+                "<" => {
+                    // Qualified path expression `<T as Tr>::f(…)`.
+                    self.skip_generics();
+                    let mut segs = vec!["<qualified>".to_string()];
+                    while self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                        self.bump();
+                        self.bump();
+                        if let Some(seg) = self.take_ident() {
+                            segs.push(seg);
+                        } else if self.at_punct("<") {
+                            let _ = self.parse_generic_args();
+                        }
+                    }
+                    mk(self, ExprKind::Path(segs))
+                }
+                "#" => {
+                    // Stray attribute in expression position (e.g. before a
+                    // closure arg) — skip and retry.
+                    self.skip_attrs();
+                    if self.pos == start {
+                        self.bump();
+                        return mk(self, ExprKind::Unknown);
+                    }
+                    self.parse_primary(no_struct)
+                }
+                _ => {
+                    if self.op_at(self.pos).is_some_and(|(op, _)| op == "||") {
+                        return self.parse_closure(start);
+                    }
+                    self.issue(&format!("unexpected token `{}`", t.text));
+                    self.bump();
+                    mk(self, ExprKind::Unknown)
+                }
+            },
+            TokKind::Ident => match t.text.as_str() {
+                "if" => self.parse_if(),
+                "match" => self.parse_match(),
+                "for" => self.parse_for(),
+                "while" => self.parse_while(),
+                "loop" => {
+                    self.bump();
+                    let b = self.parse_block();
+                    mk(self, ExprKind::Loop { body: b })
+                }
+                "unsafe" | "const" if self.is_punct(self.pos + 1, "{") => {
+                    self.bump();
+                    let b = self.parse_block();
+                    mk(self, ExprKind::Block(b))
+                }
+                "move" => {
+                    self.bump();
+                    self.parse_closure(start)
+                }
+                "return" => {
+                    self.bump();
+                    let val = if self.expr_follows() {
+                        Some(Box::new(self.parse_expr(false)))
+                    } else {
+                        None
+                    };
+                    mk(self, ExprKind::Return(val))
+                }
+                "break" => {
+                    self.bump();
+                    if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                        self.bump();
+                    }
+                    if self.expr_follows() {
+                        let _ = self.parse_expr(false);
+                    }
+                    mk(self, ExprKind::Break)
+                }
+                "continue" => {
+                    self.bump();
+                    if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                        self.bump();
+                    }
+                    mk(self, ExprKind::Continue)
+                }
+                _ => self.parse_path_expr(no_struct),
+            },
+        }
+    }
+
+    /// After `return`/`break`: is there a value expression?
+    fn expr_follows(&self) -> bool {
+        match self.cur() {
+            None => false,
+            Some(t) if t.kind == TokKind::Punct => {
+                !matches!(t.text.as_str(), ";" | "}" | ")" | "]" | ",")
+            }
+            _ => true,
+        }
+    }
+
+    fn parse_closure(&mut self, start: usize) -> Expr {
+        // `|args| body` or glued `||` for no args.
+        let mut params = Vec::new();
+        if self.op_at(self.pos).is_some_and(|(op, _)| op == "||") {
+            self.bump();
+            self.bump();
+        } else if self.eat_punct("|") {
+            while !self.done() && !self.at_punct("|") {
+                if self.out_of_fuel() {
+                    break;
+                }
+                let name = self.parse_pattern_binding();
+                let ty = if self.at_punct(":") && self.op_at_is_not(self.pos, "::") {
+                    self.bump();
+                    Some(self.parse_type())
+                } else {
+                    None
+                };
+                params.push(Param {
+                    name: name.unwrap_or_else(|| "_".into()),
+                    ty,
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            if !self.eat_punct("|") {
+                self.issue("unclosed closure params");
+            }
+        }
+        if self.op_at(self.pos).is_some_and(|(op, _)| op == "->") {
+            self.bump();
+            self.bump();
+            let _ = self.parse_type();
+        }
+        let body = self.parse_expr(false);
+        Expr {
+            kind: ExprKind::Closure {
+                params,
+                body: Box::new(body),
+            },
+            span: self.span_from(start),
+            tok: start,
+        }
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        let start = self.pos;
+        self.bump(); // `if`
+        let cond = if self.eat_ident("let") {
+            // `if let PAT = expr` — skip the pattern, parse the matched
+            // expression as the condition.
+            self.parse_pattern_binding();
+            self.eat_punct("=");
+            self.parse_expr(true)
+        } else {
+            self.parse_expr(true)
+        };
+        let then = self.parse_block();
+        let els = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if()))
+            } else {
+                let b = self.parse_block();
+                Some(Box::new(Expr {
+                    kind: ExprKind::Block(b),
+                    span: self.span_from(start),
+                    tok: start,
+                }))
+            }
+        } else {
+            None
+        };
+        Expr {
+            kind: ExprKind::If {
+                cond: Box::new(cond),
+                then,
+                els,
+            },
+            span: self.span_from(start),
+            tok: start,
+        }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        let start = self.pos;
+        self.bump(); // `match`
+        let scrutinee = self.parse_expr(true);
+        let mut arms = Vec::new();
+        if !self.eat_punct("{") {
+            self.issue("expected `{` after match scrutinee");
+            return Expr {
+                kind: ExprKind::Match {
+                    scrutinee: Box::new(scrutinee),
+                    arms,
+                },
+                span: self.span_from(start),
+                tok: start,
+            };
+        }
+        while !self.done() && !self.at_punct("}") {
+            if self.out_of_fuel() {
+                break;
+            }
+            self.skip_attrs();
+            if self.at_punct("}") {
+                break;
+            }
+            let arm_start = self.pos;
+            // Pattern: raw tokens up to a depth-0 `=>` or `if` guard.
+            let pat_start = self.pos;
+            let mut depth = 0i32;
+            let mut guard = None;
+            while let Some(t) = self.cur() {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "=" if depth == 0
+                            && self.op_at(self.pos).is_some_and(|(op, _)| op == "=>") =>
+                        {
+                            break;
+                        }
+                        _ => {}
+                    }
+                } else if t.kind == TokKind::Ident && t.text == "if" && depth == 0 {
+                    break;
+                }
+                self.bump();
+            }
+            let pat_end = self.pos;
+            if self.eat_ident("if") {
+                guard = Some(self.parse_expr(true));
+            }
+            if self.op_at(self.pos).is_some_and(|(op, _)| op == "=>") {
+                self.bump();
+                self.bump();
+            } else {
+                self.issue("expected `=>` in match arm");
+            }
+            let body = self.parse_expr(false);
+            self.eat_punct(",");
+            arms.push(Arm {
+                pat_toks: (pat_start, pat_end),
+                guard,
+                body,
+                span: self.span_from(arm_start),
+            });
+        }
+        if !self.eat_punct("}") {
+            self.issue("unclosed match block");
+        }
+        Expr {
+            kind: ExprKind::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+            },
+            span: self.span_from(start),
+            tok: start,
+        }
+    }
+
+    fn parse_for(&mut self) -> Expr {
+        let start = self.pos;
+        self.bump(); // `for`
+        let pat = self.parse_pattern_binding();
+        self.eat_ident("in");
+        let iter = self.parse_expr(true);
+        let body = self.parse_block();
+        Expr {
+            kind: ExprKind::For {
+                pat,
+                iter: Box::new(iter),
+                body,
+            },
+            span: self.span_from(start),
+            tok: start,
+        }
+    }
+
+    fn parse_while(&mut self) -> Expr {
+        let start = self.pos;
+        self.bump(); // `while`
+        let cond = if self.eat_ident("let") {
+            self.parse_pattern_binding();
+            self.eat_punct("=");
+            self.parse_expr(true)
+        } else {
+            self.parse_expr(true)
+        };
+        let body = self.parse_block();
+        Expr {
+            kind: ExprKind::While {
+                cond: Box::new(cond),
+                body,
+            },
+            span: self.span_from(start),
+            tok: start,
+        }
+    }
+
+    /// Path expression, possibly a macro call or struct literal.
+    fn parse_path_expr(&mut self, no_struct: bool) -> Expr {
+        let start = self.pos;
+        let mut segs = Vec::new();
+        while let Some(seg) = self.take_ident() {
+            segs.push(seg);
+            if self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                self.bump();
+                self.bump();
+                // Turbofish `::<T>`.
+                if self.at_punct("<") {
+                    let _ = self.parse_generic_args();
+                    if self.op_at(self.pos).is_some_and(|(op, _)| op == "::") {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            self.issue("expected path expression");
+            if !self.done() {
+                self.bump();
+            }
+            return Expr {
+                kind: ExprKind::Unknown,
+                span: self.span_from(start),
+                tok: start,
+            };
+        }
+        // Macro call.
+        if self.at_punct("!") && self.op_at_is_not(self.pos, "!=") {
+            self.bump();
+            return self.parse_macro_call(start, segs);
+        }
+        // Struct literal.
+        if self.at_punct("{") && !no_struct {
+            self.bump();
+            let mut fields = Vec::new();
+            while !self.done() && !self.at_punct("}") {
+                if self.out_of_fuel() {
+                    break;
+                }
+                self.skip_attrs();
+                if self.op_at(self.pos).is_some_and(|(op, _)| op == "..") {
+                    // `..base` functional update — or a bare `{ .. }` rest
+                    // pattern when a macro like `matches!` hands us a
+                    // pattern in expression position.
+                    self.bump();
+                    self.bump();
+                    if !self.at_punct("}") {
+                        let _ = self.parse_expr(false);
+                    }
+                    break;
+                }
+                let Some(fname) = self.take_ident() else {
+                    self.issue("expected field in struct literal");
+                    break;
+                };
+                if self.at_punct(":") && self.op_at_is_not(self.pos, "::") {
+                    self.bump();
+                    let val = self.parse_expr(false);
+                    fields.push((fname, val));
+                } else {
+                    // Shorthand `Name { field }`.
+                    let span = self.span_from(self.pos.saturating_sub(1));
+                    fields.push((
+                        fname.clone(),
+                        Expr {
+                            kind: ExprKind::Path(vec![fname]),
+                            span,
+                            tok: self.pos.saturating_sub(1),
+                        },
+                    ));
+                }
+                if !self.eat_punct(",") && !self.at_punct("}") {
+                    self.issue("expected `,` or `}` in struct literal");
+                    break;
+                }
+            }
+            if !self.eat_punct("}") {
+                self.issue("unclosed struct literal");
+            }
+            return Expr {
+                kind: ExprKind::StructLit { path: segs, fields },
+                span: self.span_from(start),
+                tok: start,
+            };
+        }
+        Expr {
+            kind: ExprKind::Path(segs),
+            span: self.span_from(start),
+            tok: start,
+        }
+    }
+
+    /// `name!(…)` — arguments parsed best-effort as comma-separated
+    /// expressions for `(…)`/`[…]` delimiters; `{…}` bodies are skipped.
+    fn parse_macro_call(&mut self, start: usize, path: Vec<String>) -> Expr {
+        let mut args = Vec::new();
+        if self.at_punct("{") {
+            self.skip_group();
+        } else if self.at_punct("(") || self.at_punct("[") {
+            let close = if self.at_punct("(") { ")" } else { "]" };
+            self.bump();
+            while !self.done() && !self.at_punct(close) {
+                if self.out_of_fuel() {
+                    break;
+                }
+                let before = self.pos;
+                args.push(self.parse_expr(false));
+                if !self.eat_punct(",") && !self.at_punct(close) {
+                    // Macro-specific syntax (`=>` arms, token trees…):
+                    // resync to the next depth-0 comma or the closer.
+                    while let Some(t) = self.cur() {
+                        if t.kind == TokKind::Punct {
+                            match t.text.as_str() {
+                                "," => {
+                                    self.bump();
+                                    break;
+                                }
+                                "(" | "[" | "{" => {
+                                    self.skip_group();
+                                    continue;
+                                }
+                                c if c == close => break,
+                                _ => {}
+                            }
+                        }
+                        self.bump();
+                    }
+                }
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            if !self.eat_punct(close) {
+                self.issue("unclosed macro call");
+            }
+        }
+        Expr {
+            kind: ExprKind::Macro { path, args },
+            span: self.span_from(start),
+            tok: start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> File {
+        let lexed = lex(src);
+        let (file, issues) = parse(&lexed.toks);
+        assert!(issues.is_empty(), "issues for {src:?}: {issues:#?}");
+        file
+    }
+
+    #[test]
+    fn items_round_trip() {
+        let f = parse_ok(
+            "use std::collections::{BTreeMap, BTreeSet};\n\
+             type Index = BTreeMap<u32, Vec<u8>>;\n\
+             pub struct S { pub a: u32, b: Index }\n\
+             enum E { A, B(u8), C { x: u32 } }\n\
+             static mut COUNTER: u64 = 0;\n\
+             const K: usize = 3;\n\
+             fn f(a: u32, b: &S) -> u64 { a as u64 }\n",
+        );
+        assert_eq!(f.items.len(), 7);
+        match &f.items[1].kind {
+            ItemKind::TypeAlias { name, ty } => {
+                assert_eq!(name, "Index");
+                assert_eq!(ty.head(), Some("BTreeMap"));
+            }
+            k => panic!("expected alias, got {k:?}"),
+        }
+        match &f.items[3].kind {
+            ItemKind::Enum { name, variants } => {
+                assert_eq!(name, "E");
+                let names: Vec<_> = variants.iter().map(|v| v.name.as_str()).collect();
+                assert_eq!(names, vec!["A", "B", "C"]);
+            }
+            k => panic!("expected enum, got {k:?}"),
+        }
+        match &f.items[4].kind {
+            ItemKind::Static { name, mutable, .. } => {
+                assert_eq!(name, "COUNTER");
+                assert!(mutable);
+            }
+            k => panic!("expected static, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn impl_blocks_and_methods() {
+        let f = parse_ok(
+            "impl Foo { fn get(&self) -> u32 { self.x } }\n\
+             impl Iterator for Foo { type Item = u32; fn next(&mut self) -> Option<u32> { None } }\n",
+        );
+        match &f.items[0].kind {
+            ItemKind::Impl {
+                target,
+                trait_,
+                items,
+            } => {
+                assert_eq!(target.as_deref(), Some("Foo"));
+                assert!(trait_.is_none());
+                assert_eq!(items.len(), 1);
+            }
+            k => panic!("expected impl, got {k:?}"),
+        }
+        match &f.items[1].kind {
+            ItemKind::Impl { target, trait_, .. } => {
+                assert_eq!(target.as_deref(), Some("Foo"));
+                assert_eq!(trait_.as_deref(), Some("Iterator"));
+            }
+            k => panic!("expected trait impl, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_generics_close_without_shift_confusion() {
+        let f = parse_ok("fn f(m: BTreeMap<u32, Vec<Vec<u8>>>) -> u64 { 1 >> 2 }");
+        match &f.items[0].kind {
+            ItemKind::Fn(fd) => {
+                let ty = fd.params[0].ty.as_ref().unwrap();
+                assert_eq!(ty.head(), Some("BTreeMap"));
+                let body = fd.body.as_ref().unwrap();
+                match &body.stmts[0] {
+                    Stmt::Expr(Expr {
+                        kind: ExprKind::Binary { op, .. },
+                        ..
+                    }) => assert_eq!(op, ">>"),
+                    s => panic!("expected shift, got {s:?}"),
+                }
+            }
+            k => panic!("expected fn, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn struct_literal_vs_block() {
+        let f = parse_ok("fn f() -> S { if x { S { a: 1 } } else { S { a: 2 } } }");
+        // The `if` condition must not swallow `{ S { a: 1 } }` as a
+        // struct literal on `x`.
+        match &f.items[0].kind {
+            ItemKind::Fn(fd) => {
+                let body = fd.body.as_ref().unwrap();
+                match &body.stmts[0] {
+                    Stmt::Expr(Expr {
+                        kind: ExprKind::If { cond, .. },
+                        ..
+                    }) => match &cond.kind {
+                        ExprKind::Path(p) => assert_eq!(p, &vec!["x".to_string()]),
+                        k => panic!("expected path cond, got {k:?}"),
+                    },
+                    s => panic!("expected if, got {s:?}"),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn spans_reconstruct_source() {
+        let src = "fn f(a: u32) -> u32 { let b = a + 1; b * 2 }";
+        let lexed = lex(src);
+        let (file, issues) = parse(&lexed.toks);
+        assert!(issues.is_empty());
+        let item = &file.items[0];
+        assert_eq!(&src[item.span.lo..item.span.hi], src);
+    }
+
+    #[test]
+    fn match_arms_with_guards() {
+        let f = parse_ok(
+            "fn f(x: Option<u32>) -> u32 {\n\
+               match x { Some(v) if v > 3 => v, Some(v) => v + 1, None => 0 }\n\
+             }",
+        );
+        match &f.items[0].kind {
+            ItemKind::Fn(fd) => match &fd.body.as_ref().unwrap().stmts[0] {
+                Stmt::Expr(Expr {
+                    kind: ExprKind::Match { arms, .. },
+                    ..
+                }) => {
+                    assert_eq!(arms.len(), 3);
+                    assert!(arms[0].guard.is_some());
+                    assert!(arms[1].guard.is_none());
+                }
+                s => panic!("expected match, got {s:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn closures_and_method_chains() {
+        let f = parse_ok("fn f(v: &[u64]) -> u64 { v.iter().map(|x| x + 1).sum::<u64>() }");
+        match &f.items[0].kind {
+            ItemKind::Fn(fd) => match &fd.body.as_ref().unwrap().stmts[0] {
+                Stmt::Expr(Expr {
+                    kind: ExprKind::MethodCall { name, .. },
+                    ..
+                }) => assert_eq!(name, "sum"),
+                s => panic!("expected method chain, got {s:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+}

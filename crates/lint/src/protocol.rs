@@ -1,0 +1,492 @@
+//! Cross-crate event-protocol exhaustiveness (`event-protocol`).
+//!
+//! The observability contract of the workspace is the `ObsEvent` enum: the
+//! simulation crates emit events, `agp-explain` consumes them. The
+//! contract rots in two directions — a variant nobody ever constructs
+//! (dead protocol surface that still costs every consumer a match arm),
+//! and a variant the explain pass silently funnels into a wildcard arm
+//! (new telemetry that never reaches the analysis it was added for).
+//! Neither direction is visible to `cargo check`, because both sides
+//! compile fine.
+//!
+//! This pass runs only on whole-workspace analyses. It finds the `enum
+//! ObsEvent` definition, then:
+//!
+//! * **emission**: walks every function body outside explain-side crates
+//!   for *constructions* of each variant — `ObsEvent::V { .. }` struct
+//!   literals, `ObsEvent::V(..)` calls, or bare `ObsEvent::V` paths.
+//!   Match patterns are not expressions in the AST, so merely matching a
+//!   variant does not count as emitting it.
+//! * **handling**: scans the token streams of crates whose name contains
+//!   `explain` for literal `ObsEvent::V` references. A variant handled
+//!   only by `_ =>` never spells its name, so it shows up as unhandled.
+//!
+//! Diagnostics anchor at the variant's definition site, where the fix
+//! (emit it, handle it, or retire it) is decided.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Arm, Block, Expr, ExprKind, File, ItemKind, Stmt};
+use crate::diag::{Diag, Severity};
+use crate::lexer::{Lexed, TokKind};
+use crate::rules::EVENT_PROTOCOL;
+
+/// The enum whose variants form the observability protocol.
+pub const PROTOCOL_ENUM: &str = "ObsEvent";
+
+/// One analyzed source file, as loaded by the workspace driver.
+pub struct SourceUnit<'a> {
+    pub crate_name: &'a str,
+    pub display: &'a str,
+    pub lexed: &'a Lexed,
+    pub ast: &'a File,
+    pub mask: &'a [bool],
+}
+
+impl SourceUnit<'_> {
+    fn is_explain_side(&self) -> bool {
+        self.crate_name.contains("explain")
+    }
+}
+
+/// Run the event-protocol check over a whole workspace's files.
+pub fn check_event_protocol(units: &[SourceUnit]) -> Vec<Diag> {
+    // Locate the protocol enum. No ObsEvent, no protocol to check.
+    let mut variants: Vec<(&SourceUnit, &crate::ast::Variant)> = Vec::new();
+    for u in units {
+        u.ast.walk_items(&mut |item| {
+            if let ItemKind::Enum { name, variants: vs } = &item.kind {
+                if name == PROTOCOL_ENUM && variants.is_empty() {
+                    for v in vs {
+                        variants.push((u, v));
+                    }
+                }
+            }
+        });
+        if !variants.is_empty() {
+            break;
+        }
+    }
+    if variants.is_empty() {
+        return Vec::new();
+    }
+
+    let mut emitted = BTreeSet::new();
+    for u in units {
+        if u.is_explain_side() {
+            continue;
+        }
+        collect_emissions(u, &mut emitted);
+    }
+
+    let has_explain = units.iter().any(|u| u.is_explain_side());
+    let mut handled = BTreeSet::new();
+    for u in units.iter().filter(|u| u.is_explain_side()) {
+        collect_handled(u, &mut handled);
+    }
+
+    let mut out = Vec::new();
+    for (u, v) in &variants {
+        if u.mask.get(v.tok).copied().unwrap_or(false) {
+            continue;
+        }
+        let (line, col) = u
+            .lexed
+            .toks
+            .get(v.tok)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((v.span.line, v.span.col));
+        if !emitted.contains(&v.name) {
+            out.push(Diag {
+                file: u.display.to_string(),
+                line,
+                col,
+                id: EVENT_PROTOCOL,
+                severity: Severity::Error,
+                message: format!(
+                    "`{PROTOCOL_ENUM}::{}` is never emitted anywhere in the workspace: dead \
+                     protocol surface that every consumer still pays a match arm for",
+                    v.name
+                ),
+                suggestion: "emit it from the subsystem it describes, or retire the variant \
+                             (and its consumers) in the same change"
+                    .to_string(),
+            });
+        }
+        if has_explain && !handled.contains(&v.name) {
+            out.push(Diag {
+                file: u.display.to_string(),
+                line,
+                col,
+                id: EVENT_PROTOCOL,
+                severity: Severity::Error,
+                message: format!(
+                    "`{PROTOCOL_ENUM}::{}` is not named anywhere in the explain-side crates, \
+                     so it can only be reaching a wildcard arm — the analysis never sees it",
+                    v.name
+                ),
+                suggestion: "handle the variant explicitly in the explain pass (even an \
+                             intentional ignore should name it) so new telemetry cannot \
+                             silently vanish"
+                    .to_string(),
+            });
+        }
+    }
+    out.sort_by_key(|d| (d.line, d.col, d.message.clone()));
+    out
+}
+
+/// Record every variant of [`PROTOCOL_ENUM`] constructed in `u`'s live
+/// (non-test) code.
+fn collect_emissions(u: &SourceUnit, out: &mut BTreeSet<String>) {
+    u.ast.walk_items(&mut |item| {
+        if let ItemKind::Fn(f) = &item.kind {
+            if let Some(body) = &f.body {
+                scan_block(body, u.mask, out);
+            }
+        }
+    });
+}
+
+fn scan_block(b: &Block, mask: &[bool], out: &mut BTreeSet<String>) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let { init: Some(e), .. } => scan_expr(e, mask, out),
+            Stmt::Expr(e) => scan_expr(e, mask, out),
+            Stmt::Item(item) => {
+                if let ItemKind::Fn(f) = &item.kind {
+                    if let Some(body) = &f.body {
+                        scan_block(body, mask, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A path whose second-to-last segment is the protocol enum names a
+/// variant: `ObsEvent::V`, `obs::ObsEvent::V`, …
+fn variant_of(segs: &[String]) -> Option<&String> {
+    if segs.len() >= 2 && segs[segs.len() - 2] == PROTOCOL_ENUM {
+        segs.last()
+    } else {
+        None
+    }
+}
+
+fn scan_expr(e: &Expr, mask: &[bool], out: &mut BTreeSet<String>) {
+    if !mask.get(e.tok).copied().unwrap_or(false) {
+        let named = match &e.kind {
+            ExprKind::StructLit { path, .. } | ExprKind::Path(path) => variant_of(path),
+            ExprKind::Call { callee, .. } => match &callee.kind {
+                ExprKind::Path(segs) => variant_of(segs),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(v) = named {
+            out.insert(v.clone());
+        }
+    }
+    // Recurse into every sub-expression and owned block.
+    match &e.kind {
+        ExprKind::MethodCall { recv, args, .. } => {
+            scan_expr(recv, mask, out);
+            for a in args {
+                scan_expr(a, mask, out);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            scan_expr(callee, mask, out);
+            for a in args {
+                scan_expr(a, mask, out);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            scan_expr(lhs, mask, out);
+            scan_expr(rhs, mask, out);
+        }
+        ExprKind::Field { recv, .. } => scan_expr(recv, mask, out),
+        ExprKind::Index { recv, index } => {
+            scan_expr(recv, mask, out);
+            scan_expr(index, mask, out);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Ref { expr, .. }
+        | ExprKind::Try(expr)
+        | ExprKind::Cast { expr, .. } => scan_expr(expr, mask, out),
+        ExprKind::For { iter, body, .. } => {
+            scan_expr(iter, mask, out);
+            scan_block(body, mask, out);
+        }
+        ExprKind::While { cond, body } => {
+            scan_expr(cond, mask, out);
+            scan_block(body, mask, out);
+        }
+        ExprKind::Loop { body } => scan_block(body, mask, out),
+        ExprKind::If { cond, then, els } => {
+            scan_expr(cond, mask, out);
+            scan_block(then, mask, out);
+            if let Some(els) = els {
+                scan_expr(els, mask, out);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            scan_expr(scrutinee, mask, out);
+            for Arm { guard, body, .. } in arms {
+                if let Some(g) = guard {
+                    scan_expr(g, mask, out);
+                }
+                scan_expr(body, mask, out);
+            }
+        }
+        ExprKind::Closure { body, .. } => scan_expr(body, mask, out),
+        ExprKind::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                scan_expr(v, mask, out);
+            }
+        }
+        ExprKind::Macro { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => {
+            for a in args {
+                scan_expr(a, mask, out);
+            }
+        }
+        ExprKind::Return(Some(v)) => scan_expr(v, mask, out),
+        ExprKind::Range { lo, hi } => {
+            if let Some(lo) = lo {
+                scan_expr(lo, mask, out);
+            }
+            if let Some(hi) = hi {
+                scan_expr(hi, mask, out);
+            }
+        }
+        ExprKind::Block(b) => scan_block(b, mask, out),
+        ExprKind::Lit(_)
+        | ExprKind::Path(_)
+        | ExprKind::Return(None)
+        | ExprKind::Break
+        | ExprKind::Continue
+        | ExprKind::Unknown => {}
+    }
+}
+
+/// Record every `ObsEvent::V` token sequence in `u`'s live code —
+/// patterns included, which is exactly the point: a handled variant
+/// spells its name somewhere.
+fn collect_handled(u: &SourceUnit, out: &mut BTreeSet<String>) {
+    let toks = &u.lexed.toks;
+    for i in 0..toks.len() {
+        if u.mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if toks[i].kind == TokKind::Ident && toks[i].text == PROTOCOL_ENUM {
+            let colon = |j: usize| {
+                toks.get(j)
+                    .is_some_and(|t| t.kind == TokKind::Punct && t.text == ":")
+            };
+            if colon(i + 1) && colon(i + 2) {
+                if let Some(v) = toks.get(i + 3) {
+                    if v.kind == TokKind::Ident {
+                        out.insert(v.text.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::rules::test_mask;
+
+    struct Owned {
+        crate_name: String,
+        display: String,
+        lexed: Lexed,
+        ast: File,
+        mask: Vec<bool>,
+    }
+
+    fn load(crate_name: &str, display: &str, src: &str) -> Owned {
+        let lexed = lex(src);
+        let (ast, issues) = parse(&lexed.toks);
+        assert!(issues.is_empty(), "{issues:?}");
+        let mask = test_mask(&lexed.toks);
+        Owned {
+            crate_name: crate_name.into(),
+            display: display.into(),
+            lexed,
+            ast,
+            mask,
+        }
+    }
+
+    fn run(files: &[Owned]) -> Vec<Diag> {
+        let units: Vec<SourceUnit> = files
+            .iter()
+            .map(|o| SourceUnit {
+                crate_name: &o.crate_name,
+                display: &o.display,
+                lexed: &o.lexed,
+                ast: &o.ast,
+                mask: &o.mask,
+            })
+            .collect();
+        check_event_protocol(&units)
+    }
+
+    const DEF: &str = "pub enum ObsEvent { PageIn { frame: u64 }, PageOut { frame: u64 }, Tick }";
+
+    #[test]
+    fn clean_protocol_has_no_findings() {
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus) { b.emit(ObsEvent::PageIn { frame: 1 }); \
+                 b.emit(ObsEvent::PageOut { frame: 2 }); b.emit(ObsEvent::Tick); }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, \
+                 ObsEvent::PageOut { .. } => {}, ObsEvent::Tick => {} } }",
+            ),
+        ];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn unemitted_variant_is_flagged() {
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus) { b.emit(ObsEvent::PageIn { frame: 1 }); b.emit(ObsEvent::Tick); }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, \
+                 ObsEvent::PageOut { .. } => {}, ObsEvent::Tick => {} } }",
+            ),
+        ];
+        let got = run(&files);
+        assert_eq!(got.len(), 1, "{got:#?}");
+        assert_eq!(got[0].id, EVENT_PROTOCOL);
+        assert!(got[0].message.contains("PageOut"));
+        assert!(got[0].message.contains("never emitted"));
+        assert_eq!(got[0].file, "obs/src/event.rs");
+    }
+
+    #[test]
+    fn wildcard_funnel_is_flagged() {
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus) { b.emit(ObsEvent::PageIn { frame: 1 }); \
+                 b.emit(ObsEvent::PageOut { frame: 2 }); b.emit(ObsEvent::Tick); }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, _ => {} } }",
+            ),
+        ];
+        let got = run(&files);
+        assert_eq!(got.len(), 2, "{got:#?}");
+        assert!(got.iter().all(|d| d.message.contains("wildcard")));
+        let named: Vec<_> = got.iter().map(|d| d.message.clone()).collect();
+        assert!(named.iter().any(|m| m.contains("PageOut")));
+        assert!(named.iter().any(|m| m.contains("Tick")));
+    }
+
+    #[test]
+    fn matching_is_not_emitting() {
+        // agp-sim only *matches* PageOut; nobody constructs it.
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus, e: &ObsEvent) { b.emit(ObsEvent::PageIn { frame: 1 }); \
+                 b.emit(ObsEvent::Tick); \
+                 match e { ObsEvent::PageOut { .. } => {}, _ => {} } }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, \
+                 ObsEvent::PageOut { .. } => {}, ObsEvent::Tick => {} } }",
+            ),
+        ];
+        let got = run(&files);
+        assert_eq!(got.len(), 1, "{got:#?}");
+        assert!(got[0].message.contains("PageOut"));
+        assert!(got[0].message.contains("never emitted"));
+    }
+
+    #[test]
+    fn explain_side_emissions_do_not_count() {
+        // Only agp-explain constructs PageOut (e.g. synthesizing events in
+        // its own pipeline) — that is not the simulator emitting it.
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus) { b.emit(ObsEvent::PageIn { frame: 1 }); b.emit(ObsEvent::Tick); }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g() -> ObsEvent { ObsEvent::PageOut { frame: 9 } }\n\
+                 fn h(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, \
+                 ObsEvent::PageOut { .. } => {}, ObsEvent::Tick => {} } }",
+            ),
+        ];
+        let got = run(&files);
+        assert_eq!(got.len(), 1, "{got:#?}");
+        assert!(got[0].message.contains("never emitted"));
+    }
+
+    #[test]
+    fn no_protocol_enum_means_no_findings() {
+        let files = [load(
+            "agp-sim",
+            "sim/src/lib.rs",
+            "pub enum Other { A, B }\nfn f() -> Other { Other::A }",
+        )];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn test_only_emission_does_not_count() {
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus) { b.emit(ObsEvent::PageIn { frame: 1 }); b.emit(ObsEvent::Tick); }\n\
+                 #[cfg(test)]\nmod tests { fn t() -> ObsEvent { ObsEvent::PageOut { frame: 1 } } }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, \
+                 ObsEvent::PageOut { .. } => {}, ObsEvent::Tick => {} } }",
+            ),
+        ];
+        let got = run(&files);
+        assert_eq!(got.len(), 1, "{got:#?}");
+        assert!(got[0].message.contains("PageOut"));
+    }
+}

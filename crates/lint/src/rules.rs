@@ -1,7 +1,7 @@
-//! The lint rules.
+//! The token-level lint rules, plus the registry of every rule id.
 //!
-//! Six determinism/robustness hazard classes, matched over the token
-//! stream from [`crate::lexer`]:
+//! Six determinism/robustness hazard classes are matched directly over
+//! the token stream from [`crate::lexer`]:
 //!
 //! | id                 | severity | hazard                                             |
 //! |--------------------|----------|----------------------------------------------------|
@@ -11,6 +11,11 @@
 //! | `float-accumulate` | warn     | float `sum`/`fold` over unordered map iterators    |
 //! | `panic-site`       | warn     | `unwrap`/`expect`/`panic!` family in library code  |
 //! | `io-unwrap`        | error    | `unwrap`/`expect` on a `std::fs`/`io` result       |
+//!
+//! The AST-level dataflow and parallelism rules live in
+//! [`crate::semantic`]; the cross-crate event-protocol check lives in
+//! [`crate::protocol`]. Their ids are declared here so [`ALL_IDS`] is the
+//! single registry `--explain`, config validation, and the fixtures use.
 //!
 //! Code under `#[cfg(test)]` / `#[test]` items is excluded. A finding can
 //! be silenced at the site with `// agp-lint: allow(<id>)` on the same line
@@ -26,15 +31,48 @@ pub const UNSEEDED_RNG: &str = "unseeded-rng";
 pub const FLOAT_ACCUMULATE: &str = "float-accumulate";
 pub const PANIC_SITE: &str = "panic-site";
 pub const IO_UNWRAP: &str = "io-unwrap";
+// Determinism dataflow (AST-level, [`crate::semantic`]).
+pub const NONDET_ITER: &str = "nondet-iter";
+pub const SIM_TIME_ARITH: &str = "sim-time-arith";
+pub const FLOAT_ACCUM_LOOP: &str = "float-accum-loop";
+// Parallelism readiness (crate-gated, [`crate::semantic`]).
+pub const PAR_STATIC_MUT: &str = "par-static-mut";
+pub const PAR_INTERIOR_MUT: &str = "par-interior-mut";
+pub const PAR_THREAD_LOCAL: &str = "par-thread-local";
+// Cross-crate event-protocol exhaustiveness ([`crate::protocol`]).
+pub const EVENT_PROTOCOL: &str = "event-protocol";
 
-/// All lint ids, for `--help` output and config validation.
-pub const ALL_IDS: [&str; 6] = [
+/// All lint ids, for `--explain`/`--help` output and config validation.
+pub const ALL_IDS: [&str; 13] = [
     HASH_CONTAINER,
     WALL_CLOCK,
     UNSEEDED_RNG,
     FLOAT_ACCUMULATE,
     PANIC_SITE,
     IO_UNWRAP,
+    NONDET_ITER,
+    SIM_TIME_ARITH,
+    FLOAT_ACCUM_LOOP,
+    PAR_STATIC_MUT,
+    PAR_INTERIOR_MUT,
+    PAR_THREAD_LOCAL,
+    EVENT_PROTOCOL,
+];
+
+/// Rules that can fire from a single loose `.rs` file handed to
+/// `lint_paths` (no crate name, no workspace context). The `par-*` family
+/// needs a fan-out crate name and `event-protocol` needs the whole
+/// workspace, so they are exercised by the named fixture crates instead.
+pub const FILE_RULE_IDS: [&str; 9] = [
+    HASH_CONTAINER,
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    FLOAT_ACCUMULATE,
+    PANIC_SITE,
+    IO_UNWRAP,
+    NONDET_ITER,
+    SIM_TIME_ARITH,
+    FLOAT_ACCUM_LOOP,
 ];
 
 /// Mark tokens that belong to test-only items so rules skip them.
@@ -45,7 +83,7 @@ pub const ALL_IDS: [&str; 6] = [
 /// `#[cfg(not(test))]` linted. The item extent runs from the attribute to
 /// the matching close brace of its first block (or the terminating `;` for
 /// brace-less items like `mod tests;`).
-fn test_mask(toks: &[Tok]) -> Vec<bool> {
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -453,16 +491,14 @@ fn rule_io_unwrap(ctx: &Ctx, out: &mut Vec<Diag>) {
     }
 }
 
-/// Run every rule over one lexed file, applying site suppressions.
-///
-/// `crate_allow` silences whole lint classes for the crate the file belongs
-/// to (from `[package.metadata.agp-lint]`).
-pub fn lint_tokens(file: &str, lexed: &Lexed, crate_allow: &[String]) -> Vec<Diag> {
-    let mask = test_mask(&lexed.toks);
+/// Run the token-level rules over one lexed file with a precomputed test
+/// mask, returning raw (unsuppressed) findings. The driver merges these
+/// with the AST-level findings and applies suppressions once, centrally.
+pub(crate) fn token_rules(file: &str, lexed: &Lexed, mask: &[bool]) -> Vec<Diag> {
     let ctx = Ctx {
         file,
         toks: &lexed.toks,
-        mask: &mask,
+        mask,
     };
     let mut out = Vec::new();
     rule_hash_container(&ctx, &mut out);
@@ -471,18 +507,33 @@ pub fn lint_tokens(file: &str, lexed: &Lexed, crate_allow: &[String]) -> Vec<Dia
     rule_float_accumulate(&ctx, &mut out);
     rule_panic_site(&ctx, &mut out);
     rule_io_unwrap(&ctx, &mut out);
+    out
+}
 
+/// Drop findings silenced by the crate-level allow list or by a
+/// `// agp-lint: allow(id)` comment on the finding's line or the line
+/// directly above, then sort by position.
+pub fn apply_suppressions(out: &mut Vec<Diag>, lexed: &Lexed, crate_allow: &[String]) {
     out.retain(|d| {
         if crate_allow.iter().any(|a| a == d.id || a == "all") {
             return false;
         }
-        // `// agp-lint: allow(id)` on the same line or the line above.
         !lexed.suppressions.iter().any(|s| {
             (s.line == d.line || s.line + 1 == d.line)
                 && s.ids.iter().any(|id| id == d.id || id == "all")
         })
     });
     out.sort_by(|a, b| (a.line, a.col, a.id).cmp(&(b.line, b.col, b.id)));
+}
+
+/// Run every token-level rule over one lexed file, applying suppressions.
+///
+/// `crate_allow` silences whole lint classes for the crate the file belongs
+/// to (from `[package.metadata.agp-lint]`).
+pub fn lint_tokens(file: &str, lexed: &Lexed, crate_allow: &[String]) -> Vec<Diag> {
+    let mask = test_mask(&lexed.toks);
+    let mut out = token_rules(file, lexed, &mask);
+    apply_suppressions(&mut out, lexed, crate_allow);
     out
 }
 

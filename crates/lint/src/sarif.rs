@@ -1,0 +1,108 @@
+//! SARIF 2.1.0 rendering of a lint report.
+//!
+//! Hand-rolled like the JSON renderer in [`crate::diag`] (the workspace
+//! builds offline, so no `serde_json` in build tooling), emitting the
+//! minimal subset CI code-scanning uploads and editors consume: one run,
+//! one driver with a rule entry per lint id, one result per diagnostic
+//! with a physical location. Key order is fixed so reports diff
+//! byte-for-byte across runs.
+
+use crate::diag::{json_escape, Diag, Severity};
+use crate::explain;
+use crate::rules::ALL_IDS;
+
+/// SARIF `level` for a diagnostic severity.
+fn level(s: Severity) -> &'static str {
+    match s {
+        Severity::Warn => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Render the full report as a SARIF 2.1.0 document.
+pub fn render_sarif(diags: &[Diag]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"agp-lint\",\n          \
+         \"informationUri\": \"https://github.com/agp/agp\",\n          \"rules\": [",
+    );
+    for (i, id) in ALL_IDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let short = explain::short_description(id).unwrap_or("agp-lint rule");
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            id,
+            json_escape(short)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \
+             \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": \
+             {}}}}}}}]}}",
+            d.id,
+            level(d.severity),
+            json_escape(&format!("{} ({})", d.message, d.suggestion)),
+            json_escape(&d.file),
+            d.line.max(1),
+            d.col.max(1),
+        ));
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diag {
+        Diag {
+            file: "crates/mem/src/kernel.rs".into(),
+            line: 10,
+            col: 5,
+            id: crate::rules::HASH_CONTAINER,
+            severity: Severity::Error,
+            message: "std HashMap".into(),
+            suggestion: "use BTreeMap".into(),
+        }
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let s = render_sarif(&[sample()]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-2.1.0.json"));
+        // Every rule id is registered on the driver.
+        for id in ALL_IDS {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id}");
+        }
+        assert!(s.contains("\"ruleId\": \"hash-container\""));
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"uri\": \"crates/mem/src/kernel.rs\""));
+        assert!(s.contains("\"startLine\": 10"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_stable() {
+        let a = render_sarif(&[]);
+        let b = render_sarif(&[]);
+        assert_eq!(a, b);
+        assert!(a.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn warning_maps_to_warning_level() {
+        let mut d = sample();
+        d.severity = Severity::Warn;
+        assert!(render_sarif(&[d]).contains("\"level\": \"warning\""));
+    }
+}

@@ -1,0 +1,1036 @@
+//! AST-level semantic rules: determinism dataflow and parallelism
+//! readiness.
+//!
+//! | id                 | severity | hazard                                              |
+//! |--------------------|----------|-----------------------------------------------------|
+//! | `nondet-iter`      | error    | iterating a value that *resolves* to HashMap/HashSet|
+//! | `sim-time-arith`   | error    | unchecked `+`/`*` on raw sim-time microseconds      |
+//! | `float-accum-loop` | warn     | float accumulator updated inside a hash-iter loop   |
+//! | `par-static-mut`   | error    | `static mut` in a rayon fan-out crate               |
+//! | `par-interior-mut` | warn     | `Cell`/`RefCell` in a rayon fan-out crate           |
+//! | `par-thread-local` | warn     | `thread_local!` in a rayon fan-out crate            |
+//!
+//! The dataflow rules run everywhere; the `par-*` family only inside the
+//! crates the ROADMAP marks for the rayon fan-out campaign
+//! ([`FANOUT_CRATES`]), so single-threaded convenience elsewhere stays
+//! legal until a crate is actually scheduled to go parallel.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Arm, Block, Expr, ExprKind, File, FnDef, Item, ItemKind, Stmt, Type, TypeKind};
+use crate::diag::{Diag, Severity};
+use crate::lexer::{Lexed, TokKind};
+use crate::rules::{
+    FLOAT_ACCUM_LOOP, NONDET_ITER, PAR_INTERIOR_MUT, PAR_STATIC_MUT, PAR_THREAD_LOCAL,
+    SIM_TIME_ARITH,
+};
+use crate::symbols::{CrateSymbols, Workspace};
+
+/// Crates the ROADMAP schedules for rayon fan-out; the `par-*` rules hold
+/// them to a stricter sharing discipline *before* threads arrive.
+pub const FANOUT_CRATES: [&str; 4] = ["agp-sim", "agp-cluster", "agp-mem", "agp-core"];
+
+/// Iterator-producing methods whose visit order is the container's.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Methods that expose a sim-time value as a raw integer.
+const TIME_ESCAPES: [&str; 1] = ["as_us"];
+
+/// Run all semantic rules over one parsed file.
+///
+/// `mask` is the `#[cfg(test)]` token mask from [`crate::rules::test_mask`];
+/// diagnostics anchored on masked tokens are dropped. `crate_name` gates
+/// the `par-*` family; pass `""` for loose files.
+pub fn lint_semantic(
+    file: &str,
+    lexed: &Lexed,
+    ast: &File,
+    mask: &[bool],
+    ws: &Workspace,
+    home: &CrateSymbols,
+    crate_name: &str,
+) -> Vec<Diag> {
+    let mut pass = Pass {
+        file,
+        lexed,
+        mask,
+        ws,
+        home,
+        out: Vec::new(),
+    };
+    pass.visit_items(&ast.items, None);
+    if FANOUT_CRATES.contains(&crate_name) {
+        pass.par_readiness(ast);
+    }
+    pass.out
+        .sort_by(|a, b| (a.line, a.col, a.id).cmp(&(b.line, b.col, b.id)));
+    pass.out
+}
+
+/// What the dataflow walk knows about one local binding.
+#[derive(Debug, Clone, Default)]
+struct VarInfo {
+    ty: Option<Type>,
+    /// Holds a raw integer that came out of a sim-time value.
+    tainted: bool,
+    /// Floating-point accumulator candidate.
+    float: bool,
+}
+
+struct Pass<'a> {
+    file: &'a str,
+    lexed: &'a Lexed,
+    mask: &'a [bool],
+    ws: &'a Workspace,
+    home: &'a CrateSymbols,
+    out: Vec<Diag>,
+}
+
+/// Per-function walk state.
+struct FnCtx {
+    scopes: Vec<BTreeMap<String, VarInfo>>,
+    /// Identifiers that end up inside a `SimTime`/`SimDur` constructor
+    /// argument somewhere in this body ("destined" for a time value).
+    destined: BTreeSet<String>,
+    /// Nesting of loops iterating a hash container.
+    hash_loop_depth: usize,
+    /// Inside the argument list of a sim-time constructor call.
+    in_time_ctor: bool,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<&VarInfo> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn insert(&mut self, name: String, info: VarInfo) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name, info);
+        }
+    }
+}
+
+impl<'a> Pass<'a> {
+    fn masked(&self, tok: usize) -> bool {
+        self.mask.get(tok).copied().unwrap_or(false)
+    }
+
+    fn diag(
+        &mut self,
+        tok: usize,
+        id: &'static str,
+        severity: Severity,
+        message: String,
+        suggestion: String,
+    ) {
+        if self.masked(tok) {
+            return;
+        }
+        let (line, col) = self
+            .lexed
+            .toks
+            .get(tok)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0));
+        self.out.push(Diag {
+            file: self.file.to_string(),
+            line,
+            col,
+            id,
+            severity,
+            message,
+            suggestion,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Item traversal
+    // ------------------------------------------------------------------
+
+    fn visit_items(&mut self, items: &[Item], impl_target: Option<&str>) {
+        for item in items {
+            match &item.kind {
+                ItemKind::Fn(f) => self.visit_fn(f, impl_target),
+                ItemKind::Impl {
+                    target,
+                    items: inner,
+                    ..
+                } => {
+                    self.visit_items(inner, target.as_deref());
+                }
+                ItemKind::Trait { items: inner, .. } => self.visit_items(inner, None),
+                ItemKind::Mod {
+                    items: Some(inner), ..
+                } => self.visit_items(inner, impl_target),
+                _ => {}
+            }
+        }
+    }
+
+    fn visit_fn(&mut self, f: &FnDef, impl_target: Option<&str>) {
+        let Some(body) = &f.body else { return };
+        if self.masked(f.tok) {
+            return;
+        }
+        let mut params = BTreeMap::new();
+        for p in &f.params {
+            let ty = if p.name == "self" {
+                p.ty.clone().or_else(|| {
+                    impl_target.map(|t| Type {
+                        kind: TypeKind::Path {
+                            segs: vec![t.to_string()],
+                            args: Vec::new(),
+                        },
+                        span: f.span,
+                    })
+                })
+            } else {
+                p.ty.clone()
+            };
+            let tainted = false;
+            params.insert(
+                p.name.clone(),
+                VarInfo {
+                    float: ty
+                        .as_ref()
+                        .and_then(|t| t.head())
+                        .is_some_and(|h| h == "f32" || h == "f64"),
+                    ty,
+                    tainted,
+                },
+            );
+        }
+        let mut ctx = FnCtx {
+            scopes: vec![params],
+            destined: BTreeSet::new(),
+            hash_loop_depth: 0,
+            in_time_ctor: false,
+        };
+        collect_destined(body, &mut ctx.destined);
+        self.walk_block(body, &mut ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Dataflow walk
+    // ------------------------------------------------------------------
+
+    fn walk_block(&mut self, block: &Block, ctx: &mut FnCtx) {
+        ctx.scopes.push(BTreeMap::new());
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let { name, ty, init, .. } => {
+                    if let Some(init) = init {
+                        self.walk_expr(init, ctx);
+                    }
+                    let declared = ty
+                        .clone()
+                        .or_else(|| init.as_ref().and_then(|e| self.type_of(e, ctx)));
+                    let tainted = init.as_ref().is_some_and(|e| self.tainted(e, ctx));
+                    let float = declared
+                        .as_ref()
+                        .and_then(|t| t.head())
+                        .is_some_and(|h| h == "f32" || h == "f64")
+                        || init.as_ref().is_some_and(is_float_literal);
+                    if let Some(name) = name {
+                        ctx.insert(
+                            name.clone(),
+                            VarInfo {
+                                ty: declared,
+                                tainted,
+                                float,
+                            },
+                        );
+                    }
+                }
+                Stmt::Expr(e) => self.walk_expr(e, ctx),
+                Stmt::Item(item) => self.visit_items(std::slice::from_ref(item), None),
+            }
+        }
+        ctx.scopes.pop();
+    }
+
+    fn walk_expr(&mut self, e: &Expr, ctx: &mut FnCtx) {
+        match &e.kind {
+            ExprKind::For { pat, iter, body } => {
+                // Walking `iter` first also fires the method-call form of
+                // nondet-iter (`for v in m.values()`), so the direct diag
+                // below covers only bare hash values (`for k in &m`).
+                self.walk_expr(iter, ctx);
+                let direct = self.expr_is_hash(iter, ctx);
+                if direct {
+                    self.diag(
+                        iter.tok,
+                        NONDET_ITER,
+                        Severity::Error,
+                        "iterating a value that resolves to a std hash container: visit order \
+                         is seeded per-process, so replay diverges"
+                            .to_string(),
+                        "switch the underlying container to BTreeMap/BTreeSet, or collect and \
+                         sort before iterating"
+                            .to_string(),
+                    );
+                }
+                let hash_loop = direct
+                    || match &iter.kind {
+                        ExprKind::MethodCall { recv, name, .. } => {
+                            ITER_METHODS.contains(&name.as_str()) && self.expr_is_hash(recv, ctx)
+                        }
+                        _ => false,
+                    };
+                ctx.scopes.push(BTreeMap::new());
+                if let Some(p) = pat {
+                    ctx.insert(p.clone(), VarInfo::default());
+                }
+                if hash_loop {
+                    ctx.hash_loop_depth += 1;
+                }
+                self.walk_block(body, ctx);
+                if hash_loop {
+                    ctx.hash_loop_depth -= 1;
+                }
+                ctx.scopes.pop();
+            }
+            ExprKind::MethodCall { recv, name, args } => {
+                if ITER_METHODS.contains(&name.as_str()) && self.expr_is_hash(recv, ctx) {
+                    self.diag(
+                        e.tok,
+                        NONDET_ITER,
+                        Severity::Error,
+                        format!(
+                            "`.{name}()` on a value that resolves to a std hash container: \
+                             visit order is seeded per-process, so replay diverges"
+                        ),
+                        "switch the underlying container to BTreeMap/BTreeSet, or collect and \
+                         sort before iterating"
+                            .to_string(),
+                    );
+                }
+                self.walk_expr(recv, ctx);
+                for a in args {
+                    self.walk_expr(a, ctx);
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                // Float arithmetic cannot wrap (and Rust's float→int `as`
+                // casts saturate), so only integer `+`/`*` is hazardous.
+                if (op == "+" || op == "*")
+                    && !(self.is_float_expr(lhs, ctx) || self.is_float_expr(rhs, ctx))
+                    && (ctx.in_time_ctor || self.tainted(lhs, ctx) || self.tainted(rhs, ctx))
+                {
+                    self.diag(
+                        e.tok,
+                        SIM_TIME_ARITH,
+                        Severity::Error,
+                        format!(
+                            "unchecked `{op}` on raw sim-time microseconds: overflow wraps \
+                             silently in release builds and corrupts the clock"
+                        ),
+                        "use `checked_add`/`checked_mul` (propagating the error) or \
+                         `saturating_add`/`saturating_mul` on the raw value"
+                            .to_string(),
+                    );
+                }
+                self.walk_expr(lhs, ctx);
+                self.walk_expr(rhs, ctx);
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                if op == "+=" || op == "*=" {
+                    // The target is hazardous when it already holds a raw
+                    // sim-time value (a tainted local, or `.0` on a
+                    // SimTime/SimDur — covers AddAssign impls) or when it
+                    // later feeds a SimTime/SimDur constructor.
+                    let destined = matches!(
+                        &lhs.kind,
+                        ExprKind::Path(segs)
+                            if segs.len() == 1 && ctx.destined.contains(&segs[0])
+                    );
+                    if destined || self.tainted(lhs, ctx) {
+                        self.diag(
+                            e.tok,
+                            SIM_TIME_ARITH,
+                            Severity::Error,
+                            format!(
+                                "unchecked `{op}` on a raw microsecond value that \
+                                 feeds a SimTime/SimDur: overflow wraps silently in \
+                                 release builds"
+                            ),
+                            "accumulate with `checked_add`/`saturating_add` (or \
+                             `checked_mul`/`saturating_mul`) instead"
+                                .to_string(),
+                        );
+                    }
+                    if let ExprKind::Path(segs) = &lhs.kind {
+                        if let [name] = segs.as_slice() {
+                            let is_float = ctx.lookup(name).is_some_and(|v| v.float);
+                            if op == "+=" && is_float && ctx.hash_loop_depth > 0 {
+                                self.diag(
+                                    e.tok,
+                                    FLOAT_ACCUM_LOOP,
+                                    Severity::Warn,
+                                    format!(
+                                        "float accumulator `{name}` updated inside a loop over \
+                                         a hash container: float addition is not associative, \
+                                         so a randomized visit order changes the result"
+                                    ),
+                                    "iterate a deterministic container, or collect values and \
+                                     sort before accumulating"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                    }
+                    // Compound assignment re-taints nothing new: the
+                    // variable keeps its existing classification.
+                } else if op == "=" {
+                    // Rebinding an existing variable updates its taint.
+                    if let ExprKind::Path(segs) = &lhs.kind {
+                        if let [name] = segs.as_slice() {
+                            let tainted = self.tainted(rhs, ctx);
+                            if let Some(info) =
+                                ctx.scopes.iter_mut().rev().find_map(|s| s.get_mut(name))
+                            {
+                                info.tainted = tainted;
+                            }
+                        }
+                    }
+                }
+                self.walk_expr(lhs, ctx);
+                self.walk_expr(rhs, ctx);
+            }
+            ExprKind::Call { callee, args } => {
+                let is_ctor = self.is_time_ctor(callee, ctx);
+                self.walk_expr(callee, ctx);
+                let saved = ctx.in_time_ctor;
+                if is_ctor {
+                    ctx.in_time_ctor = true;
+                }
+                for a in args {
+                    self.walk_expr(a, ctx);
+                }
+                ctx.in_time_ctor = saved;
+            }
+            ExprKind::While { cond, body } => {
+                self.walk_expr(cond, ctx);
+                self.walk_block(body, ctx);
+            }
+            ExprKind::Loop { body } => self.walk_block(body, ctx),
+            ExprKind::If { cond, then, els } => {
+                self.walk_expr(cond, ctx);
+                self.walk_block(then, ctx);
+                if let Some(els) = els {
+                    self.walk_expr(els, ctx);
+                }
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.walk_expr(scrutinee, ctx);
+                for Arm { guard, body, .. } in arms {
+                    ctx.scopes.push(BTreeMap::new());
+                    if let Some(g) = guard {
+                        self.walk_expr(g, ctx);
+                    }
+                    self.walk_expr(body, ctx);
+                    ctx.scopes.pop();
+                }
+            }
+            ExprKind::Closure { params, body } => {
+                ctx.scopes.push(BTreeMap::new());
+                for p in params {
+                    ctx.insert(
+                        p.name.clone(),
+                        VarInfo {
+                            float: p
+                                .ty
+                                .as_ref()
+                                .and_then(|t| t.head())
+                                .is_some_and(|h| h == "f32" || h == "f64"),
+                            ty: p.ty.clone(),
+                            tainted: false,
+                        },
+                    );
+                }
+                self.walk_expr(body, ctx);
+                ctx.scopes.pop();
+            }
+            ExprKind::Block(b) => self.walk_block(b, ctx),
+            ExprKind::Field { recv, .. } => self.walk_expr(recv, ctx),
+            ExprKind::Index { recv, index } => {
+                self.walk_expr(recv, ctx);
+                self.walk_expr(index, ctx);
+            }
+            ExprKind::Unary { expr, .. }
+            | ExprKind::Ref { expr, .. }
+            | ExprKind::Try(expr)
+            | ExprKind::Cast { expr, .. } => self.walk_expr(expr, ctx),
+            ExprKind::StructLit { fields, .. } => {
+                for (_, v) in fields {
+                    self.walk_expr(v, ctx);
+                }
+            }
+            ExprKind::Macro { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => {
+                for a in args {
+                    self.walk_expr(a, ctx);
+                }
+            }
+            ExprKind::Return(Some(v)) => self.walk_expr(v, ctx),
+            ExprKind::Range { lo, hi } => {
+                if let Some(lo) = lo {
+                    self.walk_expr(lo, ctx);
+                }
+                if let Some(hi) = hi {
+                    self.walk_expr(hi, ctx);
+                }
+            }
+            ExprKind::Lit(_)
+            | ExprKind::Path(_)
+            | ExprKind::Return(None)
+            | ExprKind::Break
+            | ExprKind::Continue
+            | ExprKind::Unknown => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Classification helpers
+    // ------------------------------------------------------------------
+
+    /// Is `callee` a `SimTime`/`SimDur` constructor path (`SimDur::from_us`,
+    /// the bare tuple constructor `SimDur(…)`, or an alias of either)?
+    fn is_time_ctor(&self, callee: &Expr, _ctx: &FnCtx) -> bool {
+        if let ExprKind::Path(segs) = &callee.kind {
+            if let Some(first) = segs.first() {
+                return self.ws.name_is_sim_time(self.home, first);
+            }
+        }
+        false
+    }
+
+    /// Shallow type inference for the expressions the rules care about.
+    fn type_of(&self, e: &Expr, ctx: &FnCtx) -> Option<Type> {
+        match &e.kind {
+            ExprKind::Path(segs) => match segs.as_slice() {
+                [name] => ctx.lookup(name).and_then(|v| v.ty.clone()),
+                _ => None,
+            },
+            ExprKind::Field { recv, name } => {
+                let recv_ty = self.type_of(recv, ctx)?;
+                let head = recv_ty.head()?;
+                self.ws.field_type(self.home, head, name).cloned()
+            }
+            ExprKind::MethodCall { recv, name, .. } => match name.as_str() {
+                "clone" | "to_owned" => self.type_of(recv, ctx),
+                _ => None,
+            },
+            ExprKind::Call { callee, .. } => {
+                if let ExprKind::Path(segs) = &callee.kind {
+                    match segs.as_slice() {
+                        // `T::new()` / `T::with_capacity(…)` / `T::default()`.
+                        [ty_name, ctor]
+                            if matches!(
+                                ctor.as_str(),
+                                "new" | "with_capacity" | "default" | "from"
+                            ) =>
+                        {
+                            return Some(Type {
+                                kind: TypeKind::Path {
+                                    segs: vec![ty_name.clone()],
+                                    args: Vec::new(),
+                                },
+                                span: e.span,
+                            });
+                        }
+                        [f] => return self.ws.fn_return(self.home, f).cloned(),
+                        _ => {}
+                    }
+                }
+                None
+            }
+            ExprKind::StructLit { path, .. } => Some(Type {
+                kind: TypeKind::Path {
+                    segs: path.clone(),
+                    args: Vec::new(),
+                },
+                span: e.span,
+            }),
+            ExprKind::Ref { expr, .. } | ExprKind::Unary { expr, .. } | ExprKind::Try(expr) => {
+                self.type_of(expr, ctx)
+            }
+            ExprKind::Cast { ty, .. } => Some(ty.clone()),
+            _ => None,
+        }
+    }
+
+    /// Conservatively: does `e` evaluate to a float?
+    fn is_float_expr(&self, e: &Expr, ctx: &FnCtx) -> bool {
+        match &e.kind {
+            ExprKind::Cast { ty, .. } => ty.head().is_some_and(|h| h == "f32" || h == "f64"),
+            ExprKind::Lit(_) => is_float_literal(e),
+            ExprKind::Path(segs) => {
+                matches!(segs.as_slice(), [n] if ctx.lookup(n).is_some_and(|v| v.float))
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.is_float_expr(lhs, ctx) || self.is_float_expr(rhs, ctx)
+            }
+            ExprKind::Unary { expr, .. } | ExprKind::Ref { expr, .. } => {
+                self.is_float_expr(expr, ctx)
+            }
+            ExprKind::MethodCall { name, .. } => name.ends_with("_f64") || name.ends_with("_f32"),
+            _ => false,
+        }
+    }
+
+    fn expr_is_hash(&self, e: &Expr, ctx: &FnCtx) -> bool {
+        // Direct path-typed constructors spell the container out and are
+        // already covered by the token rule; here we chase names.
+        match self.type_of(e, ctx) {
+            Some(ty) => self.ws.is_hash(self.home, &ty),
+            None => false,
+        }
+    }
+
+    /// Does `e` evaluate to a raw integer escaped from a sim-time value?
+    fn tainted(&self, e: &Expr, ctx: &FnCtx) -> bool {
+        match &e.kind {
+            ExprKind::MethodCall { name, .. } => TIME_ESCAPES.contains(&name.as_str()),
+            ExprKind::Field { recv, name } => {
+                name == "0"
+                    && self
+                        .type_of(recv, ctx)
+                        .is_some_and(|t| self.ws.is_sim_time(self.home, &t))
+            }
+            ExprKind::Path(segs) => match segs.as_slice() {
+                [name] => ctx.lookup(name).is_some_and(|v| v.tainted),
+                _ => false,
+            },
+            ExprKind::Binary { lhs, rhs, .. } => self.tainted(lhs, ctx) || self.tainted(rhs, ctx),
+            ExprKind::Unary { expr, .. } | ExprKind::Ref { expr, .. } | ExprKind::Try(expr) => {
+                self.tainted(expr, ctx)
+            }
+            // An explicit cast is the sanctioned "I know what I am doing"
+            // escape: it kills the taint.
+            ExprKind::Cast { .. } => false,
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Parallelism readiness (token + item level, crate-gated)
+    // ------------------------------------------------------------------
+
+    fn par_readiness(&mut self, ast: &File) {
+        let mut statics = Vec::new();
+        ast.walk_items(&mut |item| {
+            if let ItemKind::Static {
+                name,
+                mutable: true,
+                ..
+            } = &item.kind
+            {
+                statics.push((item.tok, name.clone()));
+            }
+        });
+        for (tok, name) in statics {
+            self.diag(
+                tok,
+                PAR_STATIC_MUT,
+                Severity::Error,
+                format!(
+                    "`static mut {name}` is a data race waiting for the rayon fan-out: this \
+                     crate is scheduled to run on worker threads"
+                ),
+                "use an atomic, a lock, or thread the state through explicit arguments".to_string(),
+            );
+        }
+        for (i, t) in self.lexed.toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                "Cell" | "RefCell" => {
+                    self.diag(
+                        i,
+                        PAR_INTERIOR_MUT,
+                        Severity::Warn,
+                        format!(
+                            "`{}` is non-atomic interior mutability: sharing it across the \
+                             planned rayon fan-out is undefined behaviour or a compile wall",
+                            t.text
+                        ),
+                        "prefer &mut plumbing or an atomic/lock if the state must be shared"
+                            .to_string(),
+                    );
+                }
+                "thread_local" => {
+                    let bang = self
+                        .lexed
+                        .toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokKind::Punct && n.text == "!");
+                    if bang {
+                        self.diag(
+                            i,
+                            PAR_THREAD_LOCAL,
+                            Severity::Warn,
+                            "`thread_local!` state silently forks per worker under the \
+                             planned rayon fan-out, so results depend on thread scheduling"
+                                .to_string(),
+                            "keep per-thread scratch out of fan-out crates, or merge it \
+                             deterministically like agp-perf's recorder registry"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Float literal (or a unary/cast wrapper around one): marks a `let`
+/// binding as a floating-point accumulator candidate.
+fn is_float_literal(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Lit(s) => {
+            s.chars().next().is_some_and(|c| c.is_ascii_digit())
+                && (s.contains('.') || s.ends_with("f64") || s.ends_with("f32"))
+        }
+        ExprKind::Unary { expr, .. } => is_float_literal(expr),
+        ExprKind::Cast { ty, .. } => ty.head().is_some_and(|h| h == "f32" || h == "f64"),
+        _ => false,
+    }
+}
+
+/// Collect identifiers appearing inside `SimTime`/`SimDur` constructor
+/// arguments anywhere in the body — "destined" microsecond accumulators.
+fn collect_destined(block: &Block, out: &mut BTreeSet<String>) {
+    fn idents(e: &Expr, out: &mut BTreeSet<String>) {
+        match &e.kind {
+            ExprKind::Path(segs) => {
+                if let [name] = segs.as_slice() {
+                    out.insert(name.clone());
+                }
+            }
+            _ => walk_children(e, &mut |c| idents(c, out)),
+        }
+    }
+    fn scan_expr(e: &Expr, out: &mut BTreeSet<String>) {
+        if let ExprKind::Call { callee, args } = &e.kind {
+            if let ExprKind::Path(segs) = &callee.kind {
+                if segs
+                    .first()
+                    .is_some_and(|s| s == "SimTime" || s == "SimDur")
+                {
+                    for a in args {
+                        idents(a, out);
+                    }
+                }
+            }
+        }
+        walk_children(e, &mut |c| scan_expr(c, out));
+        own_blocks(e, &mut |b| scan_block(b, out));
+    }
+    fn scan_block(b: &Block, out: &mut BTreeSet<String>) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Let { init: Some(e), .. } => scan_expr(e, out),
+                Stmt::Expr(e) => scan_expr(e, out),
+                _ => {}
+            }
+        }
+    }
+    scan_block(block, out);
+}
+
+/// Apply `f` to each block `e` owns directly. [`walk_children`] already
+/// yields the expression-valued limbs (match bodies, closure bodies,
+/// `else` chains); together the two visit every nested node exactly once.
+fn own_blocks(e: &Expr, f: &mut dyn FnMut(&Block)) {
+    match &e.kind {
+        ExprKind::For { body, .. } | ExprKind::While { body, .. } | ExprKind::Loop { body } => {
+            f(body)
+        }
+        ExprKind::If { then, .. } => f(then),
+        ExprKind::Block(b) => f(b),
+        _ => {}
+    }
+}
+
+/// Apply `f` to every direct child expression of `e`.
+fn walk_children(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    match &e.kind {
+        ExprKind::MethodCall { recv, args, .. } => {
+            f(recv);
+            for a in args {
+                f(a);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            f(callee);
+            for a in args {
+                f(a);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        ExprKind::Field { recv, .. } => f(recv),
+        ExprKind::Index { recv, index } => {
+            f(recv);
+            f(index);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Ref { expr, .. }
+        | ExprKind::Try(expr)
+        | ExprKind::Cast { expr, .. } => f(expr),
+        ExprKind::For { iter, .. } => f(iter),
+        ExprKind::While { cond, .. } => f(cond),
+        ExprKind::If { cond, els, .. } => {
+            f(cond);
+            if let Some(els) = els {
+                f(els);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            f(scrutinee);
+            for a in arms {
+                if let Some(g) = &a.guard {
+                    f(g);
+                }
+                f(&a.body);
+            }
+        }
+        ExprKind::Closure { body, .. } => f(body),
+        ExprKind::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                f(v);
+            }
+        }
+        ExprKind::Macro { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => {
+            for a in args {
+                f(a);
+            }
+        }
+        ExprKind::Return(Some(v)) => f(v),
+        ExprKind::Range { lo, hi } => {
+            if let Some(lo) = lo {
+                f(lo);
+            }
+            if let Some(hi) = hi {
+                f(hi);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::rules::test_mask;
+    use crate::symbols::CrateSymbols;
+
+    fn run(src: &str, crate_name: &str) -> Vec<Diag> {
+        let lexed = lex(src);
+        let (ast, issues) = parse(&lexed.toks);
+        assert!(issues.is_empty(), "{issues:#?}");
+        let mut home = CrateSymbols {
+            name: crate_name.to_string(),
+            ..Default::default()
+        };
+        home.add_file(&ast);
+        let mut ws = Workspace::default();
+        ws.insert(home.clone());
+        let mask = test_mask(&lexed.toks);
+        lint_semantic("t.rs", &lexed, &ast, &mask, &ws, &home, crate_name)
+    }
+
+    fn ids(src: &str) -> Vec<&'static str> {
+        run(src, "").into_iter().map(|d| d.id).collect()
+    }
+
+    #[test]
+    fn nondet_iter_through_alias() {
+        let src = "type Index = HashMap<u32, u32>;\n\
+                   fn f(m: &Index) { for v in m.values() { let _ = v; } }";
+        let got = ids(src);
+        // `.values()` on hash and the for-loop over its iterator: one
+        // finding from the method call (the loop iterates the iterator,
+        // not the map itself).
+        assert!(got.contains(&NONDET_ITER), "{got:?}");
+    }
+
+    #[test]
+    fn nondet_iter_direct_for_over_ref() {
+        let src = "type Index = HashSet<u64>;\n\
+                   fn f(s: &Index) { for v in s { let _ = v; } }";
+        assert!(ids(src).contains(&NONDET_ITER));
+    }
+
+    #[test]
+    fn btree_alias_is_clean() {
+        let src = "type Index = BTreeMap<u32, u32>;\n\
+                   fn f(m: &Index) { for v in m.values() { let _ = v; } }";
+        assert!(!ids(src).contains(&NONDET_ITER));
+    }
+
+    #[test]
+    fn nondet_iter_through_field_and_local() {
+        let src = "type Index = HashMap<u32, u32>;\n\
+                   struct S { idx: Index }\n\
+                   impl S { fn f(&self) { for v in self.idx.values() { let _ = v; } } }\n\
+                   fn g() { let m = Index::new(); for k in m.keys() { let _ = k; } }";
+        let got = ids(src);
+        assert_eq!(
+            got.iter().filter(|i| **i == NONDET_ITER).count(),
+            2,
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn sim_time_arith_on_as_us() {
+        let src = "fn f(a: SimTime, b: SimDur) -> u64 { a.as_us() + b.as_us() }";
+        assert!(ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn sim_time_arith_through_local() {
+        let src = "fn f(a: SimTime, b: SimTime) -> bool {\n\
+                     let x = a.as_us();\n\
+                     let y = b.as_us();\n\
+                     x + y > 10\n\
+                   }";
+        assert!(ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn sim_time_arith_in_ctor_args() {
+        let src = "fn f(us: u64, seek: u64) -> SimDur { SimDur::from_us(us + seek) }";
+        assert!(ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn sim_time_arith_destined_accumulator() {
+        let src = "fn f(n: u64) -> SimDur {\n\
+                     let mut us = 0u64;\n\
+                     us += n;\n\
+                     SimDur::from_us(us)\n\
+                   }";
+        assert!(ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn sim_time_arith_on_raw_field() {
+        let src =
+            "impl SimTime { fn bump(self, rhs: SimDur) -> SimTime { SimTime(self.0 + rhs.0) } }";
+        assert!(ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn sim_time_arith_on_add_assign_impl() {
+        let src = "impl SimTime { fn add_assign(&mut self, rhs: SimDur) { self.0 += rhs.0; } }";
+        assert!(ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn checked_and_saturating_are_clean() {
+        let src = "fn f(a: SimTime, b: SimDur) -> u64 { a.as_us().saturating_add(b.as_us()) }\n\
+                   fn g(us: u64) -> SimDur { SimDur::from_us(us.saturating_mul(2)) }";
+        assert!(!ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn cast_kills_taint() {
+        let src = "fn f(a: SimTime) -> u64 { let x = a.as_us() as u64; x + 1 }";
+        assert!(!ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn subtraction_and_comparison_are_clean() {
+        let src = "fn f(a: SimTime, b: SimTime) -> u64 { a.as_us() - b.as_us() }";
+        assert!(!ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn float_scaling_in_ctor_is_clean() {
+        // Float arithmetic cannot wrap; `as u64` saturates. The mul_f64
+        // idiom must not be flagged.
+        let src = "impl SimDur { fn mul_f64(self, factor: f64) -> SimDur { \
+                   SimDur((self.0 as f64 * factor).round() as u64) } }";
+        assert!(!ids(src).contains(&SIM_TIME_ARITH));
+    }
+
+    #[test]
+    fn float_accum_in_hash_loop() {
+        let src = "type Index = HashMap<u32, f64>;\n\
+                   fn f(m: &Index) -> f64 {\n\
+                     let mut total = 0.0;\n\
+                     for v in m.values() { total += v; }\n\
+                     total\n\
+                   }";
+        let got = ids(src);
+        assert!(got.contains(&FLOAT_ACCUM_LOOP), "{got:?}");
+    }
+
+    #[test]
+    fn float_accum_over_vec_is_clean() {
+        let src = "fn f(v: &Vec<f64>) -> f64 {\n\
+                     let mut total = 0.0;\n\
+                     for x in v.iter() { total += x; }\n\
+                     total\n\
+                   }";
+        assert!(!ids(src).contains(&FLOAT_ACCUM_LOOP));
+    }
+
+    #[test]
+    fn int_accum_in_hash_loop_is_clean() {
+        let src = "type Index = HashMap<u32, u64>;\n\
+                   fn f(m: &Index) -> u64 {\n\
+                     let mut total = 0u64;\n\
+                     for v in m.values() { total += v; }\n\
+                     total\n\
+                   }";
+        assert!(!ids(src).contains(&FLOAT_ACCUM_LOOP));
+    }
+
+    #[test]
+    fn par_rules_fire_only_in_fanout_crates() {
+        let src = "static mut COUNTER: u64 = 0;\n\
+                   struct S { c: RefCell<u64>, d: Cell<u8> }\n\
+                   thread_local! { static TL: u8 = 0; }\n";
+        let fanout = run(src, "agp-sim");
+        assert!(fanout.iter().any(|d| d.id == PAR_STATIC_MUT));
+        assert_eq!(
+            fanout.iter().filter(|d| d.id == PAR_INTERIOR_MUT).count(),
+            2
+        );
+        assert!(fanout.iter().any(|d| d.id == PAR_THREAD_LOCAL));
+        let free = run(src, "agp-telemetry");
+        assert!(free.iter().all(|d| d.id != PAR_STATIC_MUT));
+        assert!(free.is_empty(), "{free:?}");
+    }
+
+    #[test]
+    fn par_rules_skip_test_code() {
+        let src = "#[cfg(test)]\nmod tests { static mut X: u8 = 0; fn f(c: RefCell<u8>) {} }";
+        assert!(run(src, "agp-mem").is_empty());
+    }
+
+    #[test]
+    fn atomic_cell_is_not_interior_mut() {
+        let src = "struct S { c: AtomicCell<u64> }";
+        assert!(run(src, "agp-cluster").is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-crate symbol tables and cross-crate resolution.
+//!
+//! Built from the parsed ASTs of every file in a crate, these tables let
+//! the semantic rules see *through* names: a `for` loop over a field whose
+//! type is a local alias of `HashMap` is just as nondeterministic as one
+//! spelled out, and `agp_lint` should not care which way it was written.
+//!
+//! Resolution is deliberately name-based (no module hygiene): workspace
+//! code does not shadow `HashMap` or `SimTime` with unrelated types, and
+//! a rare false resolve surfaces as a reviewable diagnostic rather than a
+//! missed hazard.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{File, ItemKind, Type, Variant};
+
+/// Container types whose iteration order is seeded per-process.
+const HASH_HEADS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Simulated-time wrapper types whose raw-integer escape hatches the
+/// `sim-time-arith` rule guards.
+const SIM_TIME_HEADS: [&str; 2] = ["SimTime", "SimDur"];
+
+/// Symbols of a single crate.
+#[derive(Debug, Default, Clone)]
+pub struct CrateSymbols {
+    pub name: String,
+    /// `type Alias = T;` by alias name.
+    pub aliases: BTreeMap<String, Type>,
+    /// Struct name → field name → type.
+    pub structs: BTreeMap<String, BTreeMap<String, Type>>,
+    /// Enum name → variants.
+    pub enums: BTreeMap<String, Vec<Variant>>,
+    /// Free/method function name → declared return type (last wins; used
+    /// only as a heuristic for locals initialized from call results).
+    pub fn_returns: BTreeMap<String, Type>,
+}
+
+impl CrateSymbols {
+    /// Accumulate one parsed file into the table.
+    pub fn add_file(&mut self, file: &File) {
+        file.walk_items(&mut |item| match &item.kind {
+            ItemKind::TypeAlias { name, ty } => {
+                self.aliases.insert(name.clone(), ty.clone());
+            }
+            ItemKind::Struct { name, fields } => {
+                let entry = self.structs.entry(name.clone()).or_default();
+                for (fname, fty) in fields {
+                    entry.insert(fname.clone(), fty.clone());
+                }
+            }
+            ItemKind::Enum { name, variants } => {
+                self.enums.insert(name.clone(), variants.clone());
+            }
+            ItemKind::Fn(f) => {
+                if let Some(ret) = &f.ret {
+                    self.fn_returns.insert(f.name.clone(), ret.clone());
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+/// All crates of one analysis run.
+#[derive(Debug, Default, Clone)]
+pub struct Workspace {
+    pub crates: BTreeMap<String, CrateSymbols>,
+}
+
+impl Workspace {
+    pub fn insert(&mut self, syms: CrateSymbols) {
+        self.crates.insert(syms.name.clone(), syms.clone());
+    }
+
+    /// Follow `type A = B` chains starting from `head` (a bare type name),
+    /// looking first in `home` then in every other crate, until a
+    /// non-alias name or a cycle/depth bound is reached.
+    fn resolve_head<'a>(&'a self, home: &'a CrateSymbols, head: &'a str) -> &'a str {
+        let mut cur = head;
+        for _ in 0..8 {
+            let next = home
+                .aliases
+                .get(cur)
+                .or_else(|| self.crates.values().find_map(|c| c.aliases.get(cur)));
+            match next.and_then(|t| t.head()) {
+                Some(h) if h != cur => cur = h,
+                _ => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Does `ty` resolve (through references and aliases) to a hash
+    /// container?
+    pub fn is_hash(&self, home: &CrateSymbols, ty: &Type) -> bool {
+        match ty.head() {
+            Some(h) => HASH_HEADS.contains(&self.resolve_head(home, h)),
+            None => false,
+        }
+    }
+
+    /// Does `ty` resolve to a sim-time wrapper (`SimTime` / `SimDur`)?
+    pub fn is_sim_time(&self, home: &CrateSymbols, ty: &Type) -> bool {
+        match ty.head() {
+            Some(h) => SIM_TIME_HEADS.contains(&self.resolve_head(home, h)),
+            None => false,
+        }
+    }
+
+    /// Field type lookup: `struct_name.field` in `home` first, then any
+    /// crate (cross-crate struct access goes through re-exports).
+    pub fn field_type<'a>(
+        &'a self,
+        home: &'a CrateSymbols,
+        struct_name: &str,
+        field: &str,
+    ) -> Option<&'a Type> {
+        home.structs
+            .get(struct_name)
+            .and_then(|f| f.get(field))
+            .or_else(|| {
+                self.crates
+                    .values()
+                    .find_map(|c| c.structs.get(struct_name).and_then(|f| f.get(field)))
+            })
+    }
+
+    /// Return type of a named function, `home` first.
+    pub fn fn_return<'a>(&'a self, home: &'a CrateSymbols, name: &str) -> Option<&'a Type> {
+        home.fn_returns
+            .get(name)
+            .or_else(|| self.crates.values().find_map(|c| c.fn_returns.get(name)))
+    }
+
+    /// Is `name` (a bare type name) a sim-time head after aliasing?
+    pub fn name_is_sim_time(&self, home: &CrateSymbols, name: &str) -> bool {
+        SIM_TIME_HEADS.contains(&self.resolve_head(home, name))
+    }
+
+    /// Is `name` a hash-container head after aliasing?
+    pub fn name_is_hash(&self, home: &CrateSymbols, name: &str) -> bool {
+        HASH_HEADS.contains(&self.resolve_head(home, name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn syms(name: &str, src: &str) -> CrateSymbols {
+        let lexed = lex(src);
+        let (file, issues) = parse(&lexed.toks);
+        assert!(issues.is_empty(), "{issues:?}");
+        let mut s = CrateSymbols {
+            name: name.into(),
+            ..Default::default()
+        };
+        s.add_file(&file);
+        s
+    }
+
+    #[test]
+    fn alias_chain_resolves_to_hash() {
+        let s = syms(
+            "a",
+            "type Inner = std::collections::HashMap<u32, u32>;\ntype Outer = Inner;\n",
+        );
+        let mut ws = Workspace::default();
+        ws.insert(s);
+        let home = &ws.crates["a"];
+        assert!(ws.name_is_hash(home, "Outer"));
+        assert!(ws.name_is_hash(home, "Inner"));
+        assert!(!ws.name_is_hash(home, "BTreeMap"));
+    }
+
+    #[test]
+    fn cross_crate_alias_resolution() {
+        let a = syms("a", "pub type SharedIndex = HashMap<u64, u64>;\n");
+        let b = syms("b", "type Local = SharedIndex;\n");
+        let mut ws = Workspace::default();
+        ws.insert(a);
+        ws.insert(b);
+        let home = &ws.crates["b"];
+        assert!(ws.name_is_hash(home, "Local"));
+    }
+
+    #[test]
+    fn alias_cycles_terminate() {
+        let s = syms("a", "type A = B;\ntype B = A;\n");
+        let mut ws = Workspace::default();
+        ws.insert(s);
+        let home = &ws.crates["a"];
+        assert!(!ws.name_is_hash(home, "A"));
+    }
+
+    #[test]
+    fn struct_fields_and_sim_time() {
+        let s = syms(
+            "a",
+            "struct Sched { pub deadline: SimTime, frames: Vec<u64> }\n\
+             type When = SimDur;\n\
+             fn quantum() -> When { When::from_us(10) }\n",
+        );
+        let mut ws = Workspace::default();
+        ws.insert(s);
+        let home = &ws.crates["a"];
+        let f = ws.field_type(home, "Sched", "deadline").unwrap();
+        assert!(ws.is_sim_time(home, f));
+        assert!(ws.name_is_sim_time(home, "When"));
+        let r = ws.fn_return(home, "quantum").unwrap();
+        assert!(ws.is_sim_time(home, r));
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden test pinning the exact `--explain` output for one representative
+//! rule, so both CLI entry points (`agp-lint --explain <id>` and
+//! `agp lint --explain <id>`) stay byte-stable across refactors.
+//! Regenerate with `UPDATE_GOLDENS=1 cargo test -p agp-lint --test
+//! explain_golden` and review the diff before committing.
+
+use std::fs;
+use std::path::Path;
+
+use agp_lint::{explain, rules};
+
+#[test]
+fn explain_nondet_iter_matches_golden() {
+    let got = explain::explain(rules::NONDET_ITER).expect("nondet-iter is a known rule");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/explain-nondet-iter.golden");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::write(&path, &got).expect("golden writable");
+    }
+    let want =
+        fs::read_to_string(&path).expect("golden missing — regenerate with UPDATE_GOLDENS=1");
+    assert_eq!(
+        got, want,
+        "--explain output drifted from fixtures/explain-nondet-iter.golden; \
+         rerun with UPDATE_GOLDENS=1 and review the diff before committing"
+    );
+}
+
+#[test]
+fn explain_examples_keep_their_indentation() {
+    // Every rule body shows its firing shape as indented example code; the
+    // string-continuation style makes it easy to accidentally flatten it.
+    for id in rules::ALL_IDS {
+        let text = explain::explain(id).unwrap();
+        let after_fires = text
+            .split("Fires on:")
+            .nth(1)
+            .unwrap_or_else(|| panic!("{id}: explain body has no `Fires on:` section"));
+        let example = after_fires
+            .lines()
+            .skip(1) // rest of the `Fires on:` line itself
+            .find(|l| !l.trim().is_empty())
+            .unwrap_or_else(|| panic!("{id}: no example line after `Fires on:`"));
+        assert!(
+            example.starts_with("    "),
+            "{id}: example code lost its indentation: {example:?}"
+        );
+    }
+}

@@ -30,7 +30,9 @@ fn workspace_root() -> PathBuf {
 #[test]
 fn fixture_trips_every_hazard_class() {
     let diags = lint_paths(&[fixture()]).expect("fixture readable");
-    for id in rules::ALL_IDS {
+    // Parallel-readiness and protocol rules need crate/workspace context and
+    // cannot fire from a loose file; every file-scoped rule must trip.
+    for id in rules::FILE_RULE_IDS {
         assert!(
             diags.iter().any(|d| d.id == id),
             "expected a {id} finding in the fixture; got: {:#?}",
@@ -53,9 +55,17 @@ fn fixture_findings_are_exactly_the_marked_lines() {
         (rules::WALL_CLOCK, 14),
         (rules::UNSEEDED_RNG, 20),
         (rules::HASH_CONTAINER, 24),
+        (rules::NONDET_ITER, 26),
         (rules::FLOAT_ACCUMULATE, 26),
         (rules::PANIC_SITE, 30),
         (rules::IO_UNWRAP, 40),
+        (rules::HASH_CONTAINER, 43),
+        (rules::NONDET_ITER, 47),
+        (rules::SIM_TIME_ARITH, 54),
+        (rules::SIM_TIME_ARITH, 60),
+        (rules::HASH_CONTAINER, 65),
+        (rules::NONDET_ITER, 67),
+        (rules::FLOAT_ACCUM_LOOP, 68),
     ];
     assert_eq!(got, expect);
 }
@@ -72,9 +82,9 @@ fn fixture_suppression_and_test_module_do_not_fire() {
             .any(|d| d.id == rules::PANIC_SITE && d.line > 30),
         "suppressed panic-site fired: {diags:#?}"
     );
-    // Nothing inside the #[cfg(test)] module (lines >= 43).
+    // Nothing inside the #[cfg(test)] module (lines >= 73).
     assert!(
-        diags.iter().all(|d| d.line < 43),
+        diags.iter().all(|d| d.line < 73),
         "test module leaked: {diags:#?}"
     );
 }
@@ -113,6 +123,59 @@ fn sanctioned_crate_keeps_its_wall_clock_allow() {
         diags.is_empty(),
         "identical source under a sanctioned name lints clean: {diags:#?}"
     );
+}
+
+#[test]
+fn fanout_crate_trips_every_par_rule() {
+    let diags = lint_package_dir(&fixture_pkg("fanout-sim")).expect("fixture readable");
+    for id in [
+        rules::PAR_STATIC_MUT,
+        rules::PAR_INTERIOR_MUT,
+        rules::PAR_THREAD_LOCAL,
+    ] {
+        assert!(
+            diags.iter().any(|d| d.id == id),
+            "expected {id}: {diags:#?}"
+        );
+    }
+    assert!(
+        diags.iter().all(|d| d.id.starts_with("par-")),
+        "only the par family may fire here: {diags:#?}"
+    );
+    assert_eq!(exit_code(&diags, false), 1, "par-static-mut is an error");
+}
+
+#[test]
+fn same_source_outside_fanout_list_is_clean() {
+    let diags = lint_package_dir(&fixture_pkg("fanout-free")).expect("fixture readable");
+    assert!(
+        diags.is_empty(),
+        "par rules are crate-gated; identical source must pass: {diags:#?}"
+    );
+}
+
+#[test]
+fn healthy_protocol_fixture_lints_clean() {
+    let diags = lint_workspace(&fixture_pkg("proto-good")).expect("fixture readable");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn rotted_protocol_fixture_fires_both_directions() {
+    let diags = lint_workspace(&fixture_pkg("proto-bad")).expect("fixture readable");
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.id == rules::EVENT_PROTOCOL));
+    assert!(
+        diags.iter().all(|d| d.file == "crates/obs/src/lib.rs"),
+        "protocol findings anchor at the variant definitions: {diags:#?}"
+    );
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("Orphan") && d.message.contains("never emitted")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("Funneled") && d.message.contains("wildcard")));
+    assert_eq!(exit_code(&diags, false), 1);
 }
 
 #[test]

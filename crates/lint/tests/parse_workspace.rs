@@ -1,0 +1,77 @@
+//! Acceptance gate: the recursive-descent parser must handle every `.rs`
+//! file in the workspace — all package `src/` trees plus root `tests/`,
+//! `examples/`, and the lint fixtures' torture file — with zero issues.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use agp_lint::{lexer, parser};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            walk(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_parses_without_issues() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file() && root.join("crates").is_dir(),
+        "workspace root not found at {root:?}"
+    );
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests", "examples", "benches"] {
+        walk(&root.join(dir), &mut files);
+    }
+    assert!(
+        files.len() > 50,
+        "expected a real workspace, found {} files",
+        files.len()
+    );
+    let mut failures = Vec::new();
+    let mut item_total = 0usize;
+    for f in &files {
+        let src = fs::read_to_string(f).expect("readable");
+        let lexed = lexer::lex(&src);
+        let (file, issues) = parser::parse(&lexed.toks);
+        item_total += file.items.len();
+        if !issues.is_empty() {
+            failures.push(format!(
+                "{}: {}",
+                f.strip_prefix(&root).unwrap_or(f).display(),
+                issues
+                    .iter()
+                    .take(3)
+                    .map(|i| format!("{}:{} {}", i.line, i.col, i.msg))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} files failed to parse cleanly:\n{}",
+        failures.len(),
+        files.len(),
+        failures.join("\n")
+    );
+    assert!(item_total > 500, "suspiciously few items: {item_total}");
+}

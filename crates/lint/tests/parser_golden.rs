@@ -1,0 +1,355 @@
+//! Golden test: parse the torture fixture and pin the exact AST outline.
+//!
+//! The outline is a stable, human-reviewable rendering of every item,
+//! statement, and expression node the parser produced (with source lines),
+//! so any parser change that reshapes the tree shows up as a reviewable
+//! diff. Regenerate with `UPDATE_GOLDENS=1 cargo test -p agp-lint --test
+//! parser_golden` and review the diff before committing.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use agp_lint::ast::{Block, Expr, ExprKind, File, Item, ItemKind, Stmt, Type, TypeKind};
+use agp_lint::{lexer, parser};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn ty(t: &Type) -> String {
+    match &t.kind {
+        TypeKind::Path { segs, args } => {
+            let mut s = segs.join("::");
+            if !args.is_empty() {
+                let inner: Vec<String> = args.iter().map(ty).collect();
+                let _ = write!(s, "<{}>", inner.join(", "));
+            }
+            s
+        }
+        TypeKind::Ref {
+            mutable: true,
+            inner,
+        } => format!("&mut {}", ty(inner)),
+        TypeKind::Ref {
+            mutable: false,
+            inner,
+        } => format!("&{}", ty(inner)),
+        TypeKind::Tuple(parts) => {
+            let inner: Vec<String> = parts.iter().map(ty).collect();
+            format!("({})", inner.join(", "))
+        }
+        TypeKind::Slice(inner) => format!("[{}]", ty(inner)),
+        TypeKind::Unknown => "?".to_string(),
+    }
+}
+
+fn opt_ty(t: &Option<Type>) -> String {
+    t.as_ref().map(ty).unwrap_or_else(|| "?".to_string())
+}
+
+fn line(out: &mut String, depth: usize, text: &str) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn dump_expr(e: &Expr, depth: usize, out: &mut String) {
+    let head = match &e.kind {
+        ExprKind::Lit(t) => format!("Lit {t}"),
+        ExprKind::Path(segs) => format!("Path {}", segs.join("::")),
+        ExprKind::MethodCall { name, .. } => format!("Method .{name}"),
+        ExprKind::Call { .. } => "Call".to_string(),
+        ExprKind::Field { name, .. } => format!("Field .{name}"),
+        ExprKind::Index { .. } => "Index".to_string(),
+        ExprKind::Binary { op, .. } => format!("Binary {op}"),
+        ExprKind::Assign { op, .. } => format!("Assign {op}"),
+        ExprKind::Unary { op, .. } => format!("Unary {op}"),
+        ExprKind::Ref { mutable, .. } => {
+            format!("Ref{}", if *mutable { " mut" } else { "" })
+        }
+        ExprKind::Cast { ty: t, .. } => format!("Cast as {}", ty(t)),
+        ExprKind::Try(_) => "Try".to_string(),
+        ExprKind::For { pat, .. } => {
+            format!("For {}", pat.as_deref().unwrap_or("_"))
+        }
+        ExprKind::While { .. } => "While".to_string(),
+        ExprKind::Loop { .. } => "Loop".to_string(),
+        ExprKind::If { .. } => "If".to_string(),
+        ExprKind::Match { arms, .. } => format!("Match arms={}", arms.len()),
+        ExprKind::Closure { params, .. } => format!("Closure params={}", params.len()),
+        ExprKind::StructLit { path, fields } => {
+            let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+            format!("StructLit {} {{{}}}", path.join("::"), names.join(", "))
+        }
+        ExprKind::Macro { path, args } => {
+            format!("Macro {}! args={}", path.join("::"), args.len())
+        }
+        ExprKind::Tuple(parts) => format!("Tuple len={}", parts.len()),
+        ExprKind::Array(parts) => format!("Array len={}", parts.len()),
+        ExprKind::Block(_) => "Block".to_string(),
+        ExprKind::Return(Some(_)) => "Return value".to_string(),
+        ExprKind::Return(None) => "Return".to_string(),
+        ExprKind::Break => "Break".to_string(),
+        ExprKind::Continue => "Continue".to_string(),
+        ExprKind::Range { lo, hi } => format!(
+            "Range {}..{}",
+            if lo.is_some() { "lo" } else { "" },
+            if hi.is_some() { "hi" } else { "" }
+        ),
+        ExprKind::Unknown => "Unknown".to_string(),
+    };
+    line(out, depth, &format!("{head} @{}", e.span.line));
+    match &e.kind {
+        ExprKind::MethodCall { recv, args, .. } => {
+            dump_expr(recv, depth + 1, out);
+            for a in args {
+                dump_expr(a, depth + 1, out);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            dump_expr(callee, depth + 1, out);
+            for a in args {
+                dump_expr(a, depth + 1, out);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            dump_expr(lhs, depth + 1, out);
+            dump_expr(rhs, depth + 1, out);
+        }
+        ExprKind::Field { recv, .. } => dump_expr(recv, depth + 1, out),
+        ExprKind::Index { recv, index } => {
+            dump_expr(recv, depth + 1, out);
+            dump_expr(index, depth + 1, out);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Ref { expr, .. }
+        | ExprKind::Try(expr)
+        | ExprKind::Cast { expr, .. } => dump_expr(expr, depth + 1, out),
+        ExprKind::For { iter, body, .. } => {
+            dump_expr(iter, depth + 1, out);
+            dump_block(body, depth + 1, out);
+        }
+        ExprKind::While { cond, body } => {
+            dump_expr(cond, depth + 1, out);
+            dump_block(body, depth + 1, out);
+        }
+        ExprKind::Loop { body } => dump_block(body, depth + 1, out),
+        ExprKind::If { cond, then, els } => {
+            dump_expr(cond, depth + 1, out);
+            dump_block(then, depth + 1, out);
+            if let Some(els) = els {
+                dump_expr(els, depth + 1, out);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            dump_expr(scrutinee, depth + 1, out);
+            for arm in arms {
+                line(out, depth + 1, &format!("Arm @{}", arm.span.line));
+                if let Some(g) = &arm.guard {
+                    dump_expr(g, depth + 2, out);
+                }
+                dump_expr(&arm.body, depth + 2, out);
+            }
+        }
+        ExprKind::Closure { body, .. } => dump_expr(body, depth + 1, out),
+        ExprKind::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                dump_expr(v, depth + 1, out);
+            }
+        }
+        ExprKind::Macro { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => {
+            for a in args {
+                dump_expr(a, depth + 1, out);
+            }
+        }
+        ExprKind::Return(Some(v)) => dump_expr(v, depth + 1, out),
+        ExprKind::Range { lo, hi } => {
+            if let Some(lo) = lo {
+                dump_expr(lo, depth + 1, out);
+            }
+            if let Some(hi) = hi {
+                dump_expr(hi, depth + 1, out);
+            }
+        }
+        ExprKind::Block(b) => dump_block(b, depth + 1, out),
+        _ => {}
+    }
+}
+
+fn dump_block(b: &Block, depth: usize, out: &mut String) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let {
+                name,
+                ty: t,
+                init,
+                span,
+            } => {
+                let n = name.as_deref().unwrap_or("_");
+                let annot = t
+                    .as_ref()
+                    .map(|t| format!(": {}", ty(t)))
+                    .unwrap_or_default();
+                line(out, depth, &format!("Let {n}{annot} @{}", span.line));
+                if let Some(init) = init {
+                    dump_expr(init, depth + 1, out);
+                }
+            }
+            Stmt::Expr(e) => dump_expr(e, depth, out),
+            Stmt::Item(it) => dump_item(it, depth, out),
+        }
+    }
+}
+
+fn dump_item(it: &Item, depth: usize, out: &mut String) {
+    match &it.kind {
+        ItemKind::Use(paths) => {
+            let leaves: Vec<String> = paths.iter().map(|p| p.join("::")).collect();
+            line(
+                out,
+                depth,
+                &format!("Use [{}] @{}", leaves.join(", "), it.span.line),
+            );
+        }
+        ItemKind::TypeAlias { name, ty: t } => {
+            line(
+                out,
+                depth,
+                &format!("TypeAlias {name} = {} @{}", ty(t), it.span.line),
+            );
+        }
+        ItemKind::Struct { name, fields } => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|(n, t)| format!("{n}: {}", ty(t)))
+                .collect();
+            line(
+                out,
+                depth,
+                &format!("Struct {name} {{{}}} @{}", fs.join(", "), it.span.line),
+            );
+        }
+        ItemKind::Enum { name, variants } => {
+            let vs: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{} @{}", v.name, v.span.line))
+                .collect();
+            line(
+                out,
+                depth,
+                &format!("Enum {name} [{}] @{}", vs.join(", "), it.span.line),
+            );
+        }
+        ItemKind::Static {
+            name,
+            mutable,
+            ty: t,
+        } => {
+            line(
+                out,
+                depth,
+                &format!(
+                    "Static{} {name}: {} @{}",
+                    if *mutable { " mut" } else { "" },
+                    opt_ty(t),
+                    it.span.line
+                ),
+            );
+        }
+        ItemKind::Const { name } => {
+            line(out, depth, &format!("Const {name} @{}", it.span.line));
+        }
+        ItemKind::Fn(f) => {
+            let ps: Vec<String> = f
+                .params
+                .iter()
+                .map(|p| format!("{}: {}", p.name, opt_ty(&p.ty)))
+                .collect();
+            let ret = f
+                .ret
+                .as_ref()
+                .map(|t| format!(" -> {}", ty(t)))
+                .unwrap_or_default();
+            line(
+                out,
+                depth,
+                &format!("Fn {}({}){} @{}", f.name, ps.join(", "), ret, f.span.line),
+            );
+            if let Some(body) = &f.body {
+                dump_block(body, depth + 1, out);
+            }
+        }
+        ItemKind::Impl {
+            target,
+            trait_,
+            items,
+        } => {
+            let t = target.as_deref().unwrap_or("?");
+            let head = match trait_ {
+                Some(tr) => format!("Impl {tr} for {t}"),
+                None => format!("Impl {t}"),
+            };
+            line(out, depth, &format!("{head} @{}", it.span.line));
+            for sub in items {
+                dump_item(sub, depth + 1, out);
+            }
+        }
+        ItemKind::Trait { name, items } => {
+            line(out, depth, &format!("Trait {name} @{}", it.span.line));
+            for sub in items {
+                dump_item(sub, depth + 1, out);
+            }
+        }
+        ItemKind::Mod { name, items } => {
+            line(out, depth, &format!("Mod {name} @{}", it.span.line));
+            if let Some(items) = items {
+                for sub in items {
+                    dump_item(sub, depth + 1, out);
+                }
+            }
+        }
+        ItemKind::MacroInvoke { path } => {
+            line(
+                out,
+                depth,
+                &format!("MacroInvoke {}! @{}", path.join("::"), it.span.line),
+            );
+        }
+        ItemKind::Other => line(out, depth, &format!("Other @{}", it.span.line)),
+    }
+}
+
+fn dump_file(f: &File) -> String {
+    let mut out = String::new();
+    for it in &f.items {
+        dump_item(it, 0, &mut out);
+    }
+    out
+}
+
+#[test]
+fn torture_ast_outline_matches_golden() {
+    let dir = fixtures();
+    let src = fs::read_to_string(dir.join("torture.rs")).expect("torture fixture readable");
+    let lexed = lexer::lex(&src);
+    let (file, issues) = parser::parse(&lexed.toks);
+    assert!(
+        issues.is_empty(),
+        "torture fixture must parse cleanly: {issues:?}"
+    );
+    let got = dump_file(&file);
+    let golden_path = dir.join("torture.golden");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::write(&golden_path, &got).expect("golden writable");
+    }
+    let want = fs::read_to_string(&golden_path)
+        .expect("golden missing — regenerate with UPDATE_GOLDENS=1");
+    assert_eq!(
+        got, want,
+        "AST outline drifted from fixtures/torture.golden; rerun with \
+         UPDATE_GOLDENS=1 and review the diff before committing"
+    );
+}

@@ -1,0 +1,229 @@
+//! Property tests for the lexer/parser span contract, with shrinking:
+//! random programs (same grammar as the LCG sweep in `span_roundtrip.rs`)
+//! must lex into tokens whose text is the exact source slice and parse
+//! into an AST whose every node anchors a real token inside its span.
+//!
+//! Requires the real `proptest`; the offline stub-build scratch drops this
+//! file (see `.claude/skills/verify/SKILL.md`).
+
+use agp_lint::ast::{Arm, Block, Expr, ExprKind, Item, ItemKind, Stmt};
+use agp_lint::{lexer, parser};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "frame", "slot", "gang", "x2"]).prop_map(String::from)
+}
+
+fn expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![(0u64..1000).prop_map(|n| n.to_string()), ident()];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} * {b}")),
+            (ident(), inner.clone(), inner.clone()).prop_map(|(f, a, b)| format!("{f}({a}, {b})")),
+            (inner.clone(), ident(), inner.clone()).prop_map(|(r, m, a)| format!("{r}.{m}({a})")),
+            inner.clone().prop_map(|a| format!("&{a}")),
+            inner.clone().prop_map(|a| format!("({a} as u64)")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("[{a}, {b}]")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}, {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}..{b}")),
+            // Parenthesized: a bare if-else is not a legal operand/receiver
+            // in real Rust either.
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| format!("(if {a} > {b} {{ {a} }} else {{ {b} }})")),
+        ]
+    })
+}
+
+fn stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (ident(), expr()).prop_map(|(n, e)| format!("let {n} = {e};")),
+        expr().prop_map(|e| format!("{e};")),
+        (expr(), ident()).prop_map(|(e, n)| format!("if {e} == 0 {{ {n} += 1; }}")),
+        (ident(), expr(), expr()).prop_map(|(n, i, e)| format!("for {n} in {i} {{ {e}; }}")),
+        (ident(), expr()).prop_map(|(n, e)| format!("while {n} < 3 {{ {e}; }}")),
+    ]
+}
+
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(), 1..5).prop_map(|stmts| {
+        format!(
+            "fn torture(a: u64, b: u64) -> u64 {{\n    {}\n    a\n}}\n",
+            stmts.join("\n    ")
+        )
+    })
+}
+
+fn check_lex_roundtrip(src: &str) {
+    let lexed = lexer::lex(src);
+    let mut prev_end = 0usize;
+    for t in &lexed.toks {
+        assert!(t.offset >= prev_end, "tokens overlap in {src:?}");
+        assert!(t.end() <= src.len(), "token past EOF in {src:?}");
+        assert_eq!(
+            &src[t.offset..t.end()],
+            t.text,
+            "token text is not the source slice in {src:?}"
+        );
+        let prefix = &src[..t.offset];
+        let line = 1 + prefix.matches('\n').count() as u32;
+        let col = (t.offset - prefix.rfind('\n').map_or(0, |i| i + 1)) as u32 + 1;
+        assert_eq!((t.line, t.col), (line, col), "line/col drift in {src:?}");
+        prev_end = t.end();
+    }
+}
+
+fn check_expr(e: &Expr, src: &str, toks: &[lexer::Tok]) {
+    assert!(e.span.lo <= e.span.hi && e.span.hi <= src.len(), "{src:?}");
+    let anchor = toks
+        .get(e.tok)
+        .unwrap_or_else(|| panic!("tok index out of range in {src:?}"));
+    assert_eq!(
+        (e.span.line, e.span.col),
+        (anchor.line, anchor.col),
+        "span line/col is not the anchor token's in {src:?}"
+    );
+}
+
+fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    fn go(x: &Expr, f: &mut dyn FnMut(&Expr)) {
+        f(x);
+        walk_expr(x, f);
+    }
+    match &e.kind {
+        ExprKind::MethodCall { recv, args, .. } => {
+            go(recv, f);
+            for a in args {
+                go(a, f);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            go(callee, f);
+            for a in args {
+                go(a, f);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            go(lhs, f);
+            go(rhs, f);
+        }
+        ExprKind::Field { recv, .. } => go(recv, f),
+        ExprKind::Index { recv, index } => {
+            go(recv, f);
+            go(index, f);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Ref { expr, .. }
+        | ExprKind::Try(expr)
+        | ExprKind::Cast { expr, .. } => go(expr, f),
+        ExprKind::For { iter, body, .. } => {
+            go(iter, f);
+            walk_block(body, f);
+        }
+        ExprKind::While { cond, body } => {
+            go(cond, f);
+            walk_block(body, f);
+        }
+        ExprKind::Loop { body } => walk_block(body, f),
+        ExprKind::If { cond, then, els } => {
+            go(cond, f);
+            walk_block(then, f);
+            if let Some(els) = els {
+                go(els, f);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            go(scrutinee, f);
+            for Arm { guard, body, .. } in arms {
+                if let Some(g) = guard {
+                    go(g, f);
+                }
+                go(body, f);
+            }
+        }
+        ExprKind::Closure { body, .. } => go(body, f),
+        ExprKind::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                go(v, f);
+            }
+        }
+        ExprKind::Macro { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => {
+            for a in args {
+                go(a, f);
+            }
+        }
+        ExprKind::Return(Some(v)) => go(v, f),
+        ExprKind::Range { lo, hi } => {
+            if let Some(lo) = lo {
+                go(lo, f);
+            }
+            if let Some(hi) = hi {
+                go(hi, f);
+            }
+        }
+        ExprKind::Block(b) => walk_block(b, f),
+        _ => {}
+    }
+}
+
+fn walk_block(b: &Block, f: &mut dyn FnMut(&Expr)) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let { init: Some(e), .. } => {
+                f(e);
+                walk_expr(e, f);
+            }
+            Stmt::Expr(e) => {
+                f(e);
+                walk_expr(e, f);
+            }
+            Stmt::Item(it) => walk_item(it, f),
+            _ => {}
+        }
+    }
+}
+
+fn walk_item(it: &Item, f: &mut dyn FnMut(&Expr)) {
+    match &it.kind {
+        ItemKind::Fn(fun) => {
+            if let Some(body) = &fun.body {
+                walk_block(body, f);
+            }
+        }
+        ItemKind::Impl { items, .. } | ItemKind::Trait { items, .. } => {
+            for sub in items {
+                walk_item(sub, f);
+            }
+        }
+        ItemKind::Mod {
+            items: Some(items), ..
+        } => {
+            for sub in items {
+                walk_item(sub, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_programs_satisfy_span_contract(src in program()) {
+        check_lex_roundtrip(&src);
+        let lexed = lexer::lex(&src);
+        let (file, issues) = parser::parse(&lexed.toks);
+        prop_assert!(issues.is_empty(), "must parse cleanly: {src:?} -> {issues:?}");
+        let check = &mut |e: &Expr| check_expr(e, &src, &lexed.toks);
+        for it in &file.items {
+            prop_assert!(it.span.lo <= it.span.hi && it.span.hi <= src.len());
+            walk_item(it, check);
+        }
+    }
+
+    #[test]
+    fn lexer_never_lies_about_spans(src in "[ -~\n\t]{0,120}") {
+        check_lex_roundtrip(&src);
+    }
+}

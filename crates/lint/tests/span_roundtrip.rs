@@ -1,0 +1,276 @@
+//! Deterministic span-contract sweep: random programs from the same
+//! grammar as `proptests.rs`, driven by a fixed LCG so the property stays
+//! exercised in offline builds that drop proptest targets (the same
+//! pairing agp-mem uses for `invariants.rs` / `proptests.rs`).
+//!
+//! The contract under test is the one [`agp_lint::ast`] documents: every
+//! token's `text` is the exact source slice at its `offset`, with 1-based
+//! line/col that agree with a recount of the prefix; and every AST node's
+//! span is in-bounds, covers its anchor token `tok`, and carries that
+//! token's line/col.
+
+use agp_lint::ast::{Arm, Block, Expr, ExprKind, File, Item, ItemKind, Stmt};
+use agp_lint::{lexer, parser};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const IDENTS: [&str; 6] = ["a", "b", "frame", "slot", "gang", "x2"];
+
+fn gen_expr(rng: &mut Lcg, depth: u32) -> String {
+    if depth == 0 {
+        return match rng.pick(2) {
+            0 => rng.pick(1000).to_string(),
+            _ => IDENTS[rng.pick(IDENTS.len() as u64) as usize].to_string(),
+        };
+    }
+    let a = gen_expr(rng, depth - 1);
+    let b = gen_expr(rng, depth - 1);
+    let id = IDENTS[rng.pick(IDENTS.len() as u64) as usize];
+    match rng.pick(10) {
+        0 => format!("({a} + {b})"),
+        1 => format!("{a} * {b}"),
+        2 => format!("{id}({a}, {b})"),
+        3 => format!("{a}.{id}({b})"),
+        4 => format!("&{a}"),
+        5 => format!("({a} as u64)"),
+        6 => format!("[{a}, {b}]"),
+        7 => format!("({a}, {b})"),
+        8 => format!("{a}..{b}"),
+        // Parenthesized: a bare if-else is not a legal operand/receiver
+        // in real Rust either.
+        _ => format!("(if {a} > {b} {{ {a} }} else {{ {b} }})"),
+    }
+}
+
+fn gen_stmt(rng: &mut Lcg) -> String {
+    let id = IDENTS[rng.pick(IDENTS.len() as u64) as usize];
+    let depth = 1 + (rng.pick(2) as u32);
+    let e = gen_expr(rng, depth);
+    match rng.pick(5) {
+        0 => format!("let {id} = {e};"),
+        1 => format!("{e};"),
+        2 => format!("if {e} == 0 {{ {id} += 1; }}"),
+        3 => format!("for {id} in {} {{ {e}; }}", gen_expr(rng, 1)),
+        _ => format!("while {id} < 3 {{ {e}; }}"),
+    }
+}
+
+fn gen_program(rng: &mut Lcg) -> String {
+    let n = 1 + rng.pick(4);
+    let stmts: Vec<String> = (0..n).map(|_| gen_stmt(rng)).collect();
+    format!(
+        "fn torture(a: u64, b: u64) -> u64 {{\n    {}\n    a\n}}\n",
+        stmts.join("\n    ")
+    )
+}
+
+/// Lexer half of the contract: exact slices and honest line/col.
+fn check_lex_roundtrip(src: &str) {
+    let lexed = lexer::lex(src);
+    let mut prev_end = 0usize;
+    for t in &lexed.toks {
+        assert!(t.offset >= prev_end, "tokens overlap in {src:?}");
+        assert!(t.end() <= src.len(), "token past EOF in {src:?}");
+        assert_eq!(
+            &src[t.offset..t.end()],
+            t.text,
+            "token text is not the source slice in {src:?}"
+        );
+        let prefix = &src[..t.offset];
+        let line = 1 + prefix.matches('\n').count() as u32;
+        let col = (t.offset - prefix.rfind('\n').map_or(0, |i| i + 1)) as u32 + 1;
+        assert_eq!((t.line, t.col), (line, col), "line/col drift in {src:?}");
+        prev_end = t.end();
+    }
+}
+
+fn check_expr(e: &Expr, src: &str, toks: &[lexer::Tok]) {
+    assert!(e.span.lo <= e.span.hi && e.span.hi <= src.len(), "{src:?}");
+    let anchor = toks
+        .get(e.tok)
+        .unwrap_or_else(|| panic!("tok index out of range in {src:?}"));
+    assert!(
+        e.span.lo <= anchor.offset && anchor.end() <= e.span.hi.max(anchor.end()),
+        "span does not cover its anchor token in {src:?}"
+    );
+    assert_eq!(
+        (e.span.line, e.span.col),
+        (anchor.line, anchor.col),
+        "span line/col is not the anchor token's in {src:?}"
+    );
+}
+
+/// Visit every sub-expression of `e` (not `e` itself).
+fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    fn go(x: &Expr, f: &mut dyn FnMut(&Expr)) {
+        f(x);
+        walk_expr(x, f);
+    }
+    match &e.kind {
+        ExprKind::MethodCall { recv, args, .. } => {
+            go(recv, f);
+            for a in args {
+                go(a, f);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            go(callee, f);
+            for a in args {
+                go(a, f);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            go(lhs, f);
+            go(rhs, f);
+        }
+        ExprKind::Field { recv, .. } => go(recv, f),
+        ExprKind::Index { recv, index } => {
+            go(recv, f);
+            go(index, f);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Ref { expr, .. }
+        | ExprKind::Try(expr)
+        | ExprKind::Cast { expr, .. } => go(expr, f),
+        ExprKind::For { iter, body, .. } => {
+            go(iter, f);
+            walk_block(body, f);
+        }
+        ExprKind::While { cond, body } => {
+            go(cond, f);
+            walk_block(body, f);
+        }
+        ExprKind::Loop { body } => walk_block(body, f),
+        ExprKind::If { cond, then, els } => {
+            go(cond, f);
+            walk_block(then, f);
+            if let Some(els) = els {
+                go(els, f);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            go(scrutinee, f);
+            for Arm { guard, body, .. } in arms {
+                if let Some(g) = guard {
+                    go(g, f);
+                }
+                go(body, f);
+            }
+        }
+        ExprKind::Closure { body, .. } => go(body, f),
+        ExprKind::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                go(v, f);
+            }
+        }
+        ExprKind::Macro { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => {
+            for a in args {
+                go(a, f);
+            }
+        }
+        ExprKind::Return(Some(v)) => go(v, f),
+        ExprKind::Range { lo, hi } => {
+            if let Some(lo) = lo {
+                go(lo, f);
+            }
+            if let Some(hi) = hi {
+                go(hi, f);
+            }
+        }
+        ExprKind::Block(b) => walk_block(b, f),
+        _ => {}
+    }
+}
+
+fn walk_block(b: &Block, f: &mut dyn FnMut(&Expr)) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let { init: Some(e), .. } => {
+                f(e);
+                walk_expr(e, f);
+            }
+            Stmt::Expr(e) => {
+                f(e);
+                walk_expr(e, f);
+            }
+            Stmt::Item(it) => walk_item(it, f),
+            _ => {}
+        }
+    }
+}
+
+fn walk_item(it: &Item, f: &mut dyn FnMut(&Expr)) {
+    match &it.kind {
+        ItemKind::Fn(fun) => {
+            if let Some(body) = &fun.body {
+                walk_block(body, f);
+            }
+        }
+        ItemKind::Impl { items, .. } | ItemKind::Trait { items, .. } => {
+            for sub in items {
+                walk_item(sub, f);
+            }
+        }
+        ItemKind::Mod {
+            items: Some(items), ..
+        } => {
+            for sub in items {
+                walk_item(sub, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn check_file(src: &str) {
+    check_lex_roundtrip(src);
+    let lexed = lexer::lex(src);
+    let (file, issues) = parser::parse(&lexed.toks);
+    assert!(
+        issues.is_empty(),
+        "generated program must parse: {src:?} -> {issues:?}"
+    );
+    let check = &mut |e: &Expr| check_expr(e, src, &lexed.toks);
+    let f: &File = &file;
+    for it in &f.items {
+        assert!(it.span.lo <= it.span.hi && it.span.hi <= src.len());
+        walk_item(it, check);
+    }
+}
+
+#[test]
+fn lcg_programs_satisfy_span_contract() {
+    let mut rng = Lcg(0xA6B0_57A7_1C00_5EED);
+    for _ in 0..300 {
+        check_file(&gen_program(&mut rng));
+    }
+}
+
+#[test]
+fn lcg_ascii_soup_lexes_with_exact_spans() {
+    // The lexer must keep the span contract (and not panic) on arbitrary
+    // printable input — unterminated strings, stray quotes, half-comments.
+    let mut rng = Lcg(0x5EED_0F_ACE5_0DA5);
+    let alphabet: Vec<char> = (' '..='~').chain("\n\t".chars()).collect();
+    for _ in 0..300 {
+        let n = rng.pick(120) as usize;
+        let s: String = (0..n)
+            .map(|_| alphabet[rng.pick(alphabet.len() as u64) as usize])
+            .collect();
+        check_lex_roundtrip(&s);
+    }
+}

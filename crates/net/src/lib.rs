@@ -56,7 +56,12 @@ impl NetParams {
             return SimDur::ZERO;
         }
         let rounds = (32 - (n - 1).leading_zeros()) as u64; // ceil(log2 n)
-        SimDur::from_us(self.latency.as_us() * 2 * rounds)
+        SimDur::from_us(
+            self.latency
+                .as_us()
+                .saturating_mul(2)
+                .saturating_mul(rounds),
+        )
     }
 
     /// Cost of an `n`-way all-to-all of `bytes` per rank pair (used by the

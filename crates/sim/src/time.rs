@@ -6,8 +6,11 @@
 //! (`as_secs_f64` and friends). A microsecond tick is fine-grained enough
 //! for every latency in the model (the shortest modeled cost, a single-page
 //! DMA transfer, is ~100 µs) while `u64` microseconds can represent about
-//! 584 000 years of simulated time, so overflow is a non-issue for the
-//! paper's 50-minute traces.
+//! 584 000 years of simulated time, so overflow is unreachable in any real
+//! run. All additive/multiplicative operations still saturate rather than
+//! wrap (`agp-lint`'s `sim-time-arith` rule enforces this), so a corrupted
+//! config or a fuzzer feeding absurd durations pins the clock at the far
+//! future instead of silently wrapping it back to zero.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -36,17 +39,17 @@ impl SimTime {
 
     /// Instant `ms` milliseconds after the start of the run.
     pub const fn from_ms(ms: u64) -> Self {
-        SimTime(ms * 1_000)
+        SimTime(ms.saturating_mul(1_000))
     }
 
     /// Instant `s` seconds after the start of the run.
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000)
+        SimTime(s.saturating_mul(1_000_000))
     }
 
     /// Instant `m` minutes after the start of the run.
     pub const fn from_mins(m: u64) -> Self {
-        SimTime(m * 60_000_000)
+        SimTime(m.saturating_mul(60_000_000))
     }
 
     /// Raw microsecond count.
@@ -92,17 +95,17 @@ impl SimDur {
 
     /// `ms` milliseconds.
     pub const fn from_ms(ms: u64) -> Self {
-        SimDur(ms * 1_000)
+        SimDur(ms.saturating_mul(1_000))
     }
 
     /// `s` seconds.
     pub const fn from_secs(s: u64) -> Self {
-        SimDur(s * 1_000_000)
+        SimDur(s.saturating_mul(1_000_000))
     }
 
     /// `m` minutes.
     pub const fn from_mins(m: u64) -> Self {
-        SimDur(m * 60_000_000)
+        SimDur(m.saturating_mul(60_000_000))
     }
 
     /// Raw microsecond count.
@@ -154,13 +157,13 @@ impl SimDur {
 impl Add<SimDur> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDur) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDur> for SimTime {
     fn add_assign(&mut self, rhs: SimDur) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -181,13 +184,13 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDur {
     type Output = SimDur;
     fn add(self, rhs: SimDur) -> SimDur {
-        SimDur(self.0 + rhs.0)
+        SimDur(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDur {
     fn add_assign(&mut self, rhs: SimDur) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -207,7 +210,7 @@ impl SubAssign for SimDur {
 impl Mul<u64> for SimDur {
     type Output = SimDur;
     fn mul(self, rhs: u64) -> SimDur {
-        SimDur(self.0 * rhs)
+        SimDur(self.0.saturating_mul(rhs))
     }
 }
 

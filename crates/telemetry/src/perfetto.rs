@@ -237,7 +237,7 @@ impl Observer for PerfettoTrace {
                             self.span(
                                 PID_CLUSTER,
                                 TID_SWITCHES,
-                                ts + offset,
+                                ts.saturating_add(offset),
                                 dur_us,
                                 phase_name(phase),
                                 &[],
@@ -289,7 +289,7 @@ impl Observer for PerfettoTrace {
                 self.span(
                     pid,
                     TID_DISK,
-                    ts + wait_us,
+                    ts.saturating_add(wait_us),
                     service_us,
                     if write { "write" } else { "read" },
                     &[

@@ -8,7 +8,21 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
-cargo run --release -p agp-lint -- --deny-warnings
+# Cross-crate static analysis: token + dataflow determinism rules over
+# every workspace crate in one load (agp-lint lints its own source here
+# too, via its reviewed [package.metadata.agp-lint] allow list), the
+# parallelism-readiness rules on the rayon fan-out crates, and the
+# ObsEvent emit/handle protocol check. The SARIF report is uploaded by
+# CI as a code-scanning artifact.
+cargo run --release -p agp-lint -- --deny-warnings --sarif agp-lint.sarif
+# Self-check: the linter's own crate must also lint clean stand-alone
+# (its allow list is scoped to the rule tables; fixtures are out of scope).
+cargo run --release -p agp-lint -- --deny-warnings --root crates/lint
+# The `agp lint` subcommand must stay in lockstep with the standalone
+# binary: same clean verdict, byte-identical --explain text.
+cargo run --release -p agp-cli -- lint --deny-warnings
+diff <(cargo run --release -q -p agp-cli -- lint --explain nondet-iter) \
+  crates/lint/fixtures/explain-nondet-iter.golden
 # Parity gate + wall-clock regression gate: fails when an experiment runs
 # past the band of the committed BENCH_agp.json baseline. After a real
 # speedup (or on a new reference machine), refresh the baseline by
