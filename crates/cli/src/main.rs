@@ -17,21 +17,25 @@
 //! paging traces, and the paper-vs-measured notes. `--csv` switches the
 //! tables to CSV, `--json` dumps the whole experiment output as JSON.
 
-use agp_cluster::{ClusterConfig, JobSpec, ScheduleMode};
+use agp_cluster::{ClusterConfig, ClusterSim, JobSpec, MetricsSnapshot, MonitorHub, ScheduleMode};
 use agp_core::PolicyConfig;
 use agp_experiments::{
-    all_experiments, chaos_demo, default_tolerances, find, manifest_of, profile_config, scale_name,
-    ExperimentOutput, Scale,
+    all_experiments, chaos_demo, default_tolerances, find, manifest_of, profile_config, run_pool,
+    scale_name, ExperimentOutput, Scale, REPORT_SEED,
 };
 use agp_faults::FaultPlan;
 use agp_metrics::report::{bar_chart, sparkline};
 use agp_metrics::{BenchManifest, ParityManifest, Table};
-use agp_obs::{shared, Collector, JsonlWriter, ObsLink, SharedSink};
+use agp_obs::{
+    shared, BudgetedSink, ChunkedJsonlWriter, Collector, JsonlWriter, ObsLink, SharedSink,
+};
 use agp_sim::SimDur;
 use agp_telemetry::PerfettoTrace;
 use agp_workload::{Benchmark, Class, WorkloadSpec};
+use std::io::Write;
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +70,7 @@ fn main() -> ExitCode {
             }
         }
         Some("perf") => cmd_perf(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -96,10 +101,14 @@ fn print_usage() {
          \x20 agp explain <id> [options]        causal critical-path attribution of switch latency\n\
          \x20 agp trace-diff <left> <right>     first divergence between two JSONL traces (exit 2)\n\
          \x20 agp perf <id> [options]           self-profile one run: hot spans, rates, flamegraph export\n\
+         \x20 agp top <id> [options]            live monitor of one run: speed ratio, rates, ETA\n\
          \x20 agp report [options]              run the registry, emit the parity manifest\n\
          \x20 agp lint [options]                determinism & robustness static analysis of the workspace\n\n\
          RUN OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: paper)\n\
+         \x20 --jobs N                          fan experiments out over N worker threads (default 1)\n\
+         \x20 --progress                        periodic progress lines from the live simulations\n\
+         \x20 --snapshot-out PATH               append every MetricsSnapshot as a JSONL stream\n\
          \x20 --csv                             emit tables as CSV\n\
          \x20 --json                            emit the raw experiment output as JSON\n\
          \x20 --trace                           print the experiments' paging traces\n\n\
@@ -115,6 +124,7 @@ fn print_usage() {
          \x20 --seed N                          RNG seed (default 0x5EED600D)\n\
          \x20 --trace                           print the node-0 paging trace\n\
          \x20 --events PATH                     export the structured event stream as JSONL\n\
+         \x20 --obs-budget K                    retain at most K events in memory; drops are reported\n\
          \x20 --check-invariants                sweep conservation/coherence invariants during the run\n\
          \x20 --faults PATH                     inject a deterministic fault plan (JSON, see `agp chaos --emit-plan`)\n\n\
          CHAOS OPTIONS:\n\
@@ -147,15 +157,21 @@ fn print_usage() {
          \x20 --json PATH                       write the full profile as deterministic JSON\n\
          \x20 --collapsed PATH                  write collapsed stacks (flamegraph.pl / inferno input)\n\
          \x20 --prometheus PATH                 write the Prometheus text exposition\n\n\
+         TOP OPTIONS:\n\
+         \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
+         \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
+         \x20 --every SECS                      sim-time snapshot cadence (default 5)\n\
+         \x20 --snapshot-out PATH               also append every MetricsSnapshot as a JSONL stream\n\n\
          REPORT OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
+         \x20 --jobs N                          fan the registry out over N worker threads (default 1)\n\
          \x20 --check                           compare against the committed golden; exit 1 on drift\n\
          \x20 --update-golden                   rewrite the committed golden from this run\n\
          \x20 --out PATH                        manifest path (default report.json)\n\
          \x20 --bench-out PATH                  self-timing path (default BENCH_agp.json)\n\
          \x20 --golden PATH                     golden path (default goldens/report.<scale>.json)\n\
          \x20 --iters N                         timing iterations per experiment; wall = min (default 1)\n\
-         \x20 --stamp LABEL                     harness-supplied run label written into the bench manifest\n\
+         \x20 --stamp LABEL                     bench-manifest run label (default: <scale>-seed<seed>-j<jobs>)\n\
          \x20 --wall-band REL                   --check wall-clock regression band, fraction (default 2.0)\n\
          \x20 --wall-abs SECS                   --check wall-clock absolute slack (default 1.0)\n\n\
          LINT OPTIONS:\n\
@@ -267,6 +283,9 @@ struct Flags {
     csv: bool,
     json: bool,
     trace: bool,
+    jobs: usize,
+    progress: bool,
+    snapshot_out: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
@@ -275,6 +294,9 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         csv: false,
         json: false,
         trace: false,
+        jobs: 1,
+        progress: false,
+        snapshot_out: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -283,6 +305,20 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 flags.scale = v.parse()?;
+            }
+            "--jobs" => {
+                flags.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if flags.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--progress" => flags.progress = true,
+            "--snapshot-out" => {
+                flags.snapshot_out = Some(it.next().ok_or("--snapshot-out needs a value")?.clone());
             }
             "--csv" => flags.csv = true,
             "--json" => flags.json = true,
@@ -296,22 +332,147 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     Ok((positional, flags))
 }
 
+/// Sim-time cadence for the global monitor hub: coarse enough that the
+/// extra `Monitor` events are noise even on paper-scale runs, fine enough
+/// for a useful progress feed.
+const HUB_SNAP_EVERY: SimDur = SimDur::from_secs(10);
+
+/// Tail the snapshot channel on a thread of its own: optionally append
+/// every snapshot as a JSONL line, optionally print periodic progress
+/// summaries. Returns the number of snapshots written/seen.
+fn spawn_snapshot_tail(
+    rx: mpsc::Receiver<MetricsSnapshot>,
+    snapshot_out: Option<String>,
+    progress: bool,
+) -> std::thread::JoinHandle<Result<u64, String>> {
+    std::thread::spawn(move || {
+        let mut file = match &snapshot_out {
+            Some(path) => Some(std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("--snapshot-out {path}: {e}"))?,
+            )),
+            None => None,
+        };
+        // Latest snapshot per run label. Concurrent runs that share a
+        // label collapse into one progress line; the JSONL stream keeps
+        // every snapshot either way.
+        let mut latest: std::collections::BTreeMap<String, MetricsSnapshot> =
+            std::collections::BTreeMap::new();
+        let mut seen = 0u64;
+        let mut last_print = Instant::now();
+        let print_summary = |latest: &std::collections::BTreeMap<String, MetricsSnapshot>| {
+            let live = latest.values().filter(|s| !s.done).count();
+            let done = latest.values().filter(|s| s.done).count();
+            let sum = |f: fn(&MetricsSnapshot) -> u64| latest.values().map(f).sum::<u64>();
+            eprintln!(
+                "progress: {live} run(s) live, {done} finished | {} events | {} switches | \
+                 {} major faults | {} in / {} out pages",
+                sum(|s| s.events),
+                sum(|s| s.switches),
+                sum(|s| s.faults_major),
+                sum(|s| s.pages_in),
+                sum(|s| s.pages_out),
+            );
+        };
+        while let Ok(snap) = rx.recv() {
+            seen += 1;
+            if let Some(f) = &mut file {
+                writeln!(f, "{}", snap.to_json_line()).map_err(|e| {
+                    format!(
+                        "--snapshot-out {}: {e}",
+                        snapshot_out.as_deref().unwrap_or("")
+                    )
+                })?;
+            }
+            if progress {
+                latest.insert(snap.label.clone(), snap);
+                if last_print.elapsed() >= Duration::from_secs(2) {
+                    print_summary(&latest);
+                    last_print = Instant::now();
+                }
+            }
+        }
+        if let Some(f) = &mut file {
+            f.flush().map_err(|e| {
+                format!(
+                    "--snapshot-out {}: {e}",
+                    snapshot_out.as_deref().unwrap_or("")
+                )
+            })?;
+        }
+        if progress && !latest.is_empty() {
+            print_summary(&latest);
+        }
+        Ok(seen)
+    })
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
-    let id = pos
-        .first()
-        .ok_or("usage: agp run <id>|all [--scale paper|quick]")?;
+    let id = pos.first().ok_or(
+        "usage: agp run <id>|all [--scale paper|quick] [--jobs N] [--progress] [--snapshot-out PATH]",
+    )?;
     let experiments = if id == "all" {
         all_experiments()
     } else {
         vec![find(id).ok_or_else(|| format!("no experiment '{id}' (see `agp list`)"))?]
     };
-    for e in experiments {
-        eprintln!("running {} ({:?} scale)...", e.id, flags.scale);
-        let t0 = std::time::Instant::now();
-        let out = (e.runner)(flags.scale)?;
-        eprintln!("{} finished in {:.1?}", e.id, t0.elapsed());
-        render(&out, &flags)?;
+
+    // Arm the global monitor hub before any sim is constructed; the tail
+    // thread drains it until the hub sender (and every sim's clone of it)
+    // is gone.
+    let tail = if flags.progress || flags.snapshot_out.is_some() {
+        let (tx, rx) = mpsc::channel();
+        MonitorHub::install(tx, HUB_SNAP_EVERY);
+        Some(spawn_snapshot_tail(
+            rx,
+            flags.snapshot_out.clone(),
+            flags.progress,
+        ))
+    } else {
+        None
+    };
+
+    // Fan the experiments out (inline when --jobs 1), then render in
+    // input order — the rendered output is byte-identical at any width.
+    let n = experiments.len();
+    let t0 = Instant::now();
+    if flags.jobs > 1 {
+        eprintln!(
+            "running {n} experiment(s) over {} worker(s) ({:?} scale)...",
+            flags.jobs.min(n.max(1)),
+            flags.scale
+        );
+    }
+    let pooled = run_pool(n, flags.jobs, |i| {
+        let e = &experiments[i];
+        if flags.jobs <= 1 {
+            eprintln!("running {} ({:?} scale)...", e.id, flags.scale);
+        }
+        let t = Instant::now();
+        let out = (e.runner)(flags.scale);
+        eprintln!("{} finished in {:.1?}", e.id, t.elapsed());
+        out
+    });
+
+    // Always disarm the hub and reap the tail before propagating run
+    // errors, so a failed experiment can't leak the installation.
+    if tail.is_some() {
+        MonitorHub::uninstall();
+    }
+    let outs = pooled?;
+    if flags.jobs > 1 {
+        eprintln!("all {n} experiment(s) finished in {:.1?}", t0.elapsed());
+    }
+    if let Some(handle) = tail {
+        let seen = handle
+            .join()
+            .map_err(|_| "snapshot tail thread panicked".to_string())??;
+        if let Some(path) = &flags.snapshot_out {
+            eprintln!("wrote {seen} snapshots to {path}");
+        }
+    }
+    for out in outs {
+        render(&out?, &flags)?;
     }
     Ok(())
 }
@@ -359,6 +520,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     let mut seed = 0x5EED_600Du64;
     let mut show_trace = false;
     let mut events: Option<String> = None;
+    let mut obs_budget: Option<usize> = None;
     let mut check_invariants = false;
     let mut faults: Option<String> = None;
 
@@ -394,6 +556,13 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             "--batch" => batch = true,
             "--trace" => show_trace = true,
             "--events" => events = Some(val("--events")?.clone()),
+            "--obs-budget" => {
+                obs_budget = Some(
+                    val("--obs-budget")?
+                        .parse()
+                        .map_err(|e| format!("--obs-budget: {e}"))?,
+                )
+            }
             "--check-invariants" => check_invariants = true,
             "--faults" => faults = Some(val("--faults")?.clone()),
             other => return Err(format!("unknown option '{other}'")),
@@ -431,14 +600,21 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     // A Collector rides along whenever faults are injected so the run can
     // report what actually fired (observers never perturb the sim).
     let collector = cfg.faults.is_some().then(|| shared(Collector::new()));
+    // Without a budget, --events streams the full trace through the
+    // chunked writer (memory stays O(chunk) regardless of run length).
+    // With --obs-budget K, a last-K ring rides along instead and the
+    // retained window is written out after the run.
+    let budget = obs_budget.map(|k| shared(BudgetedSink::new(k)));
     let writer = match &events {
-        Some(path) => {
+        Some(path) if budget.is_none() => {
             let file = std::fs::File::create(path).map_err(|e| format!("--events {path}: {e}"))?;
-            Some(shared(JsonlWriter::new(std::io::BufWriter::new(file))))
+            Some(shared(ChunkedJsonlWriter::new(std::io::BufWriter::new(
+                file,
+            ))))
         }
-        None => None,
+        _ => None,
     };
-    let r = if collector.is_none() && writer.is_none() {
+    let r = if collector.is_none() && writer.is_none() && budget.is_none() {
         agp_cluster::run(cfg)?
     } else {
         let mut sinks: Vec<SharedSink> = Vec::new();
@@ -447,6 +623,9 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         }
         if let Some(w) = &writer {
             sinks.push(w.clone() as SharedSink);
+        }
+        if let Some(b) = &budget {
+            sinks.push(b.clone() as SharedSink);
         }
         let link = ObsLink::fanout(sinks);
         let r = agp_cluster::run_observed(cfg, &link)?;
@@ -459,6 +638,21 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         let lines = w.lines();
         w.finish().map_err(|e| format!("--events {path}: {e}"))?;
         eprintln!("wrote {lines} events to {path}");
+    }
+    if let Some(sink) = budget {
+        let b = unwrap_sink(sink)?;
+        // Truncation is never silent: the retention summary prints even
+        // when nothing was dropped.
+        eprintln!("obs budget: {}", b.summary());
+        if let Some(path) = &events {
+            let mut out = String::with_capacity(b.len() * 64);
+            for te in b.retained() {
+                out.push_str(&te.event.to_json_line(te.at, te.src));
+                out.push('\n');
+            }
+            std::fs::write(path, out).map_err(|e| format!("--events {path}: {e}"))?;
+            eprintln!("wrote the {} retained events to {path}", b.len());
+        }
     }
     eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
     if check_invariants {
@@ -886,6 +1080,147 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `agp top <id>` — run one experiment configuration with a live,
+/// continuously refreshed status line: sim-vs-wall speed ratio, event
+/// and paging rates, fault count, job completion and an ETA. The sim
+/// runs on a worker thread and streams [`MetricsSnapshot`]s over the
+/// direct `attach_monitor` channel; all wall-clock math happens here on
+/// the receiver side, so the run itself stays deterministic.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut id: Option<String> = None;
+    let mut scale = Scale::Quick;
+    let mut policy: Option<PolicyConfig> = None;
+    let mut every_secs = 5u64;
+    let mut snapshot_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => scale = val("--scale")?.parse()?,
+            "--policy" => policy = Some(val("--policy")?.parse().map_err(|e| format!("{e}"))?),
+            "--every" => {
+                every_secs = val("--every")?
+                    .parse()
+                    .map_err(|e| format!("--every: {e}"))?
+            }
+            "--snapshot-out" => snapshot_out = Some(val("--snapshot-out")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            other => id = Some(other.to_string()),
+        }
+    }
+    let id = id.ok_or(
+        "usage: agp top <id> [--scale paper|quick] [--policy P] [--every SECS] \
+         [--snapshot-out PATH]",
+    )?;
+    let mut cfg = profile_config(&id, scale)
+        .ok_or_else(|| format!("no experiment '{id}' (see `agp list`)"))?;
+    if let Some(p) = policy {
+        cfg.policy = p;
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let every = SimDur::from_secs(every_secs.max(1));
+    eprintln!(
+        "monitoring {id} ({scale:?} scale, snapshot every {:.0} sim-s)...",
+        every.as_secs_f64()
+    );
+    let worker = std::thread::spawn(move || -> Result<agp_cluster::RunResult, String> {
+        let mut sim = ClusterSim::new(cfg).map_err(String::from)?;
+        sim.attach_monitor(tx, every);
+        sim.run().map_err(String::from)
+    });
+
+    let mut file = match &snapshot_out {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("--snapshot-out {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let t0 = Instant::now();
+    let mut last_draw: Option<Instant> = None;
+    let mut snaps = 0u64;
+    while let Ok(snap) = rx.recv() {
+        snaps += 1;
+        if let Some(f) = &mut file {
+            writeln!(f, "{}", snap.to_json_line()).map_err(|e| {
+                format!(
+                    "--snapshot-out {}: {e}",
+                    snapshot_out.as_deref().unwrap_or("")
+                )
+            })?;
+        }
+        if snap.done || last_draw.is_none_or(|t| t.elapsed() >= Duration::from_millis(200)) {
+            eprint!("\r{}", top_line(&snap, t0.elapsed()));
+            let _ = std::io::stderr().flush();
+            last_draw = Some(Instant::now());
+        }
+    }
+    if last_draw.is_some() {
+        eprintln!();
+    }
+    if let Some(f) = &mut file {
+        f.flush().map_err(|e| {
+            format!(
+                "--snapshot-out {}: {e}",
+                snapshot_out.as_deref().unwrap_or("")
+            )
+        })?;
+    }
+    let r = worker
+        .join()
+        .map_err(|_| "simulation thread panicked".to_string())??;
+    if let Some(path) = &snapshot_out {
+        eprintln!("wrote {snaps} snapshots to {path}");
+    }
+    println!(
+        "policy {}  mode {:?}  makespan {:.1} min  switches {}",
+        r.policy,
+        r.mode,
+        r.makespan.as_mins_f64(),
+        r.switches
+    );
+    println!(
+        "monitored {snaps} snapshot(s) over {:.1?} wall ({} events)",
+        t0.elapsed(),
+        r.events
+    );
+    Ok(())
+}
+
+/// Render one `agp top` status line from the latest snapshot and the
+/// wall clock (trailing padding overwrites any longer previous line).
+fn top_line(s: &MetricsSnapshot, wall: Duration) -> String {
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let eta = if s.done {
+        "done".to_string()
+    } else if s.jobs_done == 0 {
+        "eta --".to_string()
+    } else {
+        // Wall time scaled by the jobs still outstanding — coarse, but
+        // honest about what the sim has actually committed to.
+        format!(
+            "eta {:.0} s",
+            wall_s * (s.jobs_total as f64 / s.jobs_done as f64 - 1.0)
+        )
+    };
+    format!(
+        "top [{}] sim {:.1} min | {:.0} sim-us/wall-ms | {:.0} ev/s | {} faults | \
+         {:.0} in {:.0} out pg/s | jobs {}/{} | {}   ",
+        s.label,
+        s.sim_us as f64 / 6e7,
+        s.sim_us as f64 / (wall_s * 1e3),
+        s.events as f64 / wall_s,
+        s.faults_major,
+        s.pages_in as f64 / wall_s,
+        s.pages_out as f64 / wall_s,
+        s.jobs_done,
+        s.jobs_total,
+        eta
+    )
+}
+
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::Quick;
     let mut check = false;
@@ -897,6 +1232,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut stamp = String::new();
     let mut wall_band = 2.0f64;
     let mut wall_abs = 1.0f64;
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -904,6 +1240,12 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         };
         match a.as_str() {
             "--scale" => scale = val("--scale")?.parse()?,
+            "--jobs" => {
+                jobs = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--check" => check = true,
             "--update-golden" => update_golden = true,
             "--out" => out = val("--out")?.clone(),
@@ -933,6 +1275,12 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     }
     let golden_path =
         golden.unwrap_or_else(|| format!("goldens/report.{}.json", scale_name(scale)));
+    // The default stamp is derived, not sampled: same scale/seed/jobs →
+    // same stamp, so regenerating the committed manifest on any machine
+    // yields an identical metadata block.
+    if stamp.is_empty() {
+        stamp = format!("{}-seed{:x}-j{jobs}", scale_name(scale), REPORT_SEED);
+    }
 
     // Read the committed wall-clock baseline before this run overwrites
     // it. Unreadable/missing baselines downgrade the wall gate to a
@@ -957,52 +1305,100 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         None
     };
 
-    let mut outputs = Vec::new();
-    let mut bench = BenchManifest::new();
+    // Start from the manifest already on disk (rows appended by other
+    // gate steps — `explain.*`, `chaos.smoke`, the other `registry.jobsN`
+    // width — survive a rerun). A missing, unparsable or cross-profile
+    // manifest starts fresh.
+    let mut bench = match std::fs::read_to_string(&bench_out) {
+        Ok(text) => BenchManifest::parse(&text).unwrap_or_default(),
+        Err(_) => BenchManifest::new(),
+    };
+    if bench.build_profile != BenchManifest::new().build_profile {
+        bench = BenchManifest::new();
+    }
     bench.iterations = iters;
     bench.stamp = stamp;
-    // Experiments run under the self-profiler so the bench manifest
-    // carries per-span host-time aggregates next to the wall numbers.
-    agp_perf::enable(true);
-    let _ = agp_perf::take_report();
-    for e in all_experiments() {
+    let mut outputs = Vec::new();
+    if jobs > 1 {
+        // Fan the registry out over worker threads. The self-profiler is
+        // process-global, so per-experiment wall rows and span cells are
+        // a serial-only feature: a sharded sweep records one honest
+        // number — the whole registry's wall — under `registry.jobsN`.
+        let exps = all_experiments();
         eprintln!(
-            "report: running {} ({:?} scale, {iters} iter)...",
-            e.id, scale
+            "report: running {} experiments over {jobs} workers ({:?} scale, {iters} iter)...",
+            exps.len(),
+            scale
         );
-        let mut best: Option<(f64, agp_perf::PerfReport, ExperimentOutput)> = None;
+        let mut best: Option<(f64, Vec<ExperimentOutput>)> = None;
         for _ in 0..iters {
             let t0 = std::time::Instant::now();
-            let output = (e.runner)(scale)?;
+            let outs: Result<Vec<ExperimentOutput>, String> =
+                run_pool(exps.len(), jobs, |i| (exps[i].runner)(scale))?
+                    .into_iter()
+                    .collect();
             let secs = t0.elapsed().as_secs_f64();
-            let rep = agp_perf::take_report();
-            if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
-                best = Some((secs, rep, output));
+            let outs = outs?;
+            if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+                best = Some((secs, outs));
             }
         }
         // agp-lint: allow(panic-site): iters >= 1 is enforced at flag parse
-        let (secs, rep, output) = best.expect("iters >= 1");
-        outputs.push(output);
-        bench.insert(e.id, secs);
-        let cells: std::collections::BTreeMap<String, agp_metrics::SpanCell> = rep
-            .spans
-            .iter()
-            .map(|a| {
-                (
-                    a.span.name().to_string(),
-                    agp_metrics::SpanCell {
-                        calls: a.count,
-                        total_ns: a.incl_ns,
-                        self_ns: a.excl_ns,
-                    },
-                )
-            })
-            .collect();
-        if !cells.is_empty() {
-            bench.insert_spans(e.id, cells);
+        let (secs, outs) = best.expect("iters >= 1");
+        eprintln!("report: registry sweep took {secs:.1} s over {jobs} workers");
+        bench.insert(format!("registry.jobs{jobs}"), secs);
+        outputs = outs;
+    } else {
+        // Experiments run under the self-profiler so the bench manifest
+        // carries per-span host-time aggregates next to the wall numbers.
+        agp_perf::enable(true);
+        let _ = agp_perf::take_report();
+        for e in all_experiments() {
+            eprintln!(
+                "report: running {} ({:?} scale, {iters} iter)...",
+                e.id, scale
+            );
+            let mut best: Option<(f64, agp_perf::PerfReport, ExperimentOutput)> = None;
+            for _ in 0..iters {
+                let t0 = std::time::Instant::now();
+                let output = (e.runner)(scale)?;
+                let secs = t0.elapsed().as_secs_f64();
+                let rep = agp_perf::take_report();
+                if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
+                    best = Some((secs, rep, output));
+                }
+            }
+            // agp-lint: allow(panic-site): iters >= 1 is enforced at flag parse
+            let (secs, rep, output) = best.expect("iters >= 1");
+            outputs.push(output);
+            bench.insert(e.id, secs);
+            let cells: std::collections::BTreeMap<String, agp_metrics::SpanCell> = rep
+                .spans
+                .iter()
+                .map(|a| {
+                    (
+                        a.span.name().to_string(),
+                        agp_metrics::SpanCell {
+                            calls: a.count,
+                            total_ns: a.incl_ns,
+                            self_ns: a.excl_ns,
+                        },
+                    )
+                })
+                .collect();
+            if !cells.is_empty() {
+                bench.insert_spans(e.id, cells);
+            }
         }
+        agp_perf::enable(false);
+        // The serial sweep's wall is the sum of its best per-experiment
+        // runs — the `--jobs N` speedup baseline.
+        let total: f64 = all_experiments()
+            .iter()
+            .filter_map(|e| bench.wall_secs.get(e.id).copied())
+            .sum();
+        bench.insert("registry.jobs1", total);
     }
-    agp_perf::enable(false);
     let manifest = manifest_of(&outputs, scale);
     std::fs::write(&out, manifest.to_json()).map_err(|e| format!("--out {out}: {e}"))?;
     std::fs::write(&bench_out, bench.to_json())

@@ -32,12 +32,14 @@
 
 pub mod config;
 pub mod error;
+pub mod monitor;
 pub mod proc;
 pub mod result;
 pub mod sim;
 
 pub use config::{ClusterConfig, JobSpec, ScheduleMode};
 pub use error::SimError;
+pub use monitor::{MetricsSnapshot, MonitorHub};
 pub use result::{JobResult, NodeReport, RunResult, RESULT_SCHEMA_VERSION};
 pub use sim::ClusterSim;
 

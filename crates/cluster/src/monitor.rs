@@ -1,0 +1,203 @@
+//! Live run monitoring: periodic [`MetricsSnapshot`]s out of the sim loop.
+//!
+//! The snapshot channel is the seam between the deterministic simulation
+//! and wall-clock consumers (`agp top`, `agp run --progress`, the future
+//! `agp serve` daemon). Everything *in* a snapshot is sim-state only —
+//! sim time, event/fault/page counts — so emitting snapshots never
+//! perturbs the simulation and the `--snapshot-out` JSONL stream is
+//! byte-identical across same-seed runs. Speed ratios, rates and ETAs
+//! are computed receiver-side, where wall clocks are sanctioned.
+//!
+//! Two attachment paths:
+//! * [`crate::sim::ClusterSim::attach_monitor`] — direct, for a single
+//!   run the caller owns (`agp top`);
+//! * [`MonitorHub::install`] — a process-global hook picked up by every
+//!   subsequently constructed sim, for fleet-style progress over the
+//!   experiment registry (`agp run --progress`), where the runs are
+//!   constructed deep inside the experiment runners.
+
+use agp_sim::SimDur;
+use std::sync::mpsc::Sender;
+use std::sync::{Mutex, OnceLock};
+
+/// One point-in-time view of a running simulation. All fields are
+/// simulation state; nothing here reads a wall clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Identifies the run: jobs × nodes, policy label, schedule mode.
+    pub label: String,
+    /// Snapshot sequence number within the run, from 0.
+    pub seq: u64,
+    /// Simulation time of the snapshot, µs.
+    pub sim_us: u64,
+    /// Events processed so far.
+    pub events: u64,
+    /// Gang switches performed so far.
+    pub switches: u64,
+    /// Major faults raised so far (summed over nodes).
+    pub faults_major: u64,
+    /// Pages paged in so far (summed over node disks).
+    pub pages_in: u64,
+    /// Pages paged out so far (summed over node disks).
+    pub pages_out: u64,
+    /// Jobs that have completed.
+    pub jobs_done: u64,
+    /// Jobs in the configuration.
+    pub jobs_total: u64,
+    /// Whether this is the run's final snapshot.
+    pub done: bool,
+}
+
+impl MetricsSnapshot {
+    /// Render as one deterministic JSON line (fixed field order, integers
+    /// only, minimal string escaping) — the `--snapshot-out` format and
+    /// the wire shape the `agp serve` daemon will re-serve.
+    pub fn to_json_line(&self) -> String {
+        let mut label = String::with_capacity(self.label.len());
+        for c in self.label.chars() {
+            match c {
+                '"' => label.push_str("\\\""),
+                '\\' => label.push_str("\\\\"),
+                c if (c as u32) < 0x20 => label.push_str(&format!("\\u{:04x}", c as u32)),
+                c => label.push(c),
+            }
+        }
+        format!(
+            "{{\"label\":\"{}\",\"seq\":{},\"sim_us\":{},\"events\":{},\"switches\":{},\
+             \"faults_major\":{},\"pages_in\":{},\"pages_out\":{},\"jobs_done\":{},\
+             \"jobs_total\":{},\"done\":{}}}",
+            label,
+            self.seq,
+            self.sim_us,
+            self.events,
+            self.switches,
+            self.faults_major,
+            self.pages_in,
+            self.pages_out,
+            self.jobs_done,
+            self.jobs_total,
+            self.done
+        )
+    }
+}
+
+/// A monitor attachment: where to send snapshots and how often (in sim
+/// time) to take them.
+#[derive(Clone)]
+pub(crate) struct MonitorTap {
+    pub(crate) tx: Sender<MetricsSnapshot>,
+    pub(crate) every: SimDur,
+}
+
+/// The process-global monitor hook.
+///
+/// [`MonitorHub::install`] arms it; every [`crate::ClusterSim`]
+/// constructed while armed clones the tap and emits periodic snapshots.
+/// [`MonitorHub::uninstall`] disarms it (sims already constructed keep
+/// their tap). The hub holds a channel sender, not sim state: a run whose
+/// receiver has hung up just drops its snapshots on the floor.
+pub struct MonitorHub;
+
+static HUB: OnceLock<Mutex<Option<MonitorTap>>> = OnceLock::new();
+
+fn hub() -> &'static Mutex<Option<MonitorTap>> {
+    HUB.get_or_init(|| Mutex::new(None))
+}
+
+impl MonitorHub {
+    /// Arm the hub: every sim constructed from now on sends a
+    /// [`MetricsSnapshot`] to `tx` every `every` of sim time (plus one
+    /// final `done` snapshot). Replaces any previous installation.
+    pub fn install(tx: Sender<MetricsSnapshot>, every: SimDur) {
+        let tap = MonitorTap {
+            tx,
+            every: SimDur::from_us(every.as_us().max(1)),
+        };
+        match hub().lock() {
+            Ok(mut g) => *g = Some(tap),
+            Err(mut poisoned) => **poisoned.get_mut() = Some(tap),
+        }
+    }
+
+    /// Disarm the hub. Sims constructed while it was armed keep emitting.
+    pub fn uninstall() {
+        match hub().lock() {
+            Ok(mut g) => *g = None,
+            Err(mut poisoned) => **poisoned.get_mut() = None,
+        }
+    }
+
+    /// The currently installed tap, if any (cloned).
+    pub(crate) fn current() -> Option<MonitorTap> {
+        match hub().lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> MetricsSnapshot {
+        MetricsSnapshot {
+            label: "2j4n so+ai gang".to_string(),
+            seq: 3,
+            sim_us: 120_000_000,
+            events: 4096,
+            switches: 2,
+            faults_major: 17,
+            pages_in: 512,
+            pages_out: 640,
+            jobs_done: 1,
+            jobs_total: 2,
+            done: false,
+        }
+    }
+
+    #[test]
+    fn json_line_is_stable_and_ordered() {
+        let line = snap().to_json_line();
+        assert_eq!(
+            line,
+            "{\"label\":\"2j4n so+ai gang\",\"seq\":3,\"sim_us\":120000000,\
+             \"events\":4096,\"switches\":2,\"faults_major\":17,\"pages_in\":512,\
+             \"pages_out\":640,\"jobs_done\":1,\"jobs_total\":2,\"done\":false}"
+        );
+        assert_eq!(line, snap().to_json_line(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn json_label_is_escaped() {
+        let mut s = snap();
+        s.label = "a\"b\\c\nd".to_string();
+        let line = s.to_json_line();
+        assert!(line.contains("a\\\"b\\\\c\\u000ad"), "{line}");
+    }
+
+    #[test]
+    fn hub_install_and_uninstall_round_trip() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        MonitorHub::install(tx, SimDur::from_secs(1));
+        let tap = MonitorHub::current().expect("armed");
+        assert_eq!(tap.every, SimDur::from_secs(1));
+        tap.tx.send(snap()).unwrap();
+        // Other tests' sims may legitimately pick up the armed hub and
+        // send their own snapshots; find ours by label.
+        let mine = std::iter::from_fn(|| rx.recv().ok())
+            .find(|s| s.label == "2j4n so+ai gang")
+            .expect("sent snapshot arrives");
+        assert_eq!(mine.seq, 3);
+        MonitorHub::uninstall();
+        assert!(MonitorHub::current().is_none());
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let (tx, _rx) = std::sync::mpsc::channel();
+        MonitorHub::install(tx, SimDur::ZERO);
+        assert_eq!(MonitorHub::current().unwrap().every, SimDur::from_us(1));
+        MonitorHub::uninstall();
+    }
+}

@@ -39,6 +39,7 @@ use agp_workload::{ProcessProgram, Step};
 
 use crate::config::{ClusterConfig, ScheduleMode};
 use crate::error::SimError;
+use crate::monitor::{MetricsSnapshot, MonitorHub, MonitorTap};
 use crate::proc::{BlockKind, CurStep, PState, SimProc};
 use crate::result::{JobResult, NodeReport, RunResult};
 
@@ -79,6 +80,12 @@ enum Event {
     /// Telemetry gauge sample across all nodes (scheduled only when the
     /// config sets `sample_every` and an observer is attached).
     Sample,
+    /// Emit a live [`MetricsSnapshot`] (scheduled only when a monitor tap
+    /// is attached). The handler reads sim state and sends it down a
+    /// channel; it mutates nothing and is excluded from the `events`
+    /// counter, so a monitored run's [`RunResult`] is byte-identical to
+    /// an unmonitored one.
+    Monitor,
 }
 
 /// Profiling span for one event's handler (host-time accounting only).
@@ -90,7 +97,7 @@ fn perf_span(ev: &Event) -> agp_perf::Span {
         Event::BarrierRelease { .. } | Event::BarrierRetry { .. } => agp_perf::Span::SimBarrier,
         Event::Chaos { .. } => agp_perf::Span::SimChaos,
         Event::BgStart { .. } | Event::BgTick { .. } => agp_perf::Span::SimBgWrite,
-        Event::Sample => agp_perf::Span::SimSample,
+        Event::Sample | Event::Monitor => agp_perf::Span::SimSample,
     }
 }
 
@@ -144,6 +151,14 @@ pub struct ClusterSim {
     barrier_epoch: Vec<u64>,
     /// Jobs suspended by a node crash, waiting for their nodes to return.
     pending_requeue: Vec<usize>,
+    /// Live-monitor tap: where periodic [`MetricsSnapshot`]s go, if
+    /// anywhere. Picked up from [`MonitorHub`] at construction or set
+    /// via [`ClusterSim::attach_monitor`].
+    monitor: Option<MonitorTap>,
+    /// Snapshot sequence counter.
+    monitor_seq: u64,
+    /// Label stamped into every snapshot (empty when unmonitored).
+    monitor_label: String,
 }
 
 impl ClusterSim {
@@ -245,6 +260,9 @@ impl ClusterSim {
             node_up: vec![true; nnodes],
             barrier_epoch: vec![0; njobs],
             pending_requeue: Vec::new(),
+            monitor: MonitorHub::current(),
+            monitor_seq: 0,
+            monitor_label: String::new(),
         })
     }
 
@@ -266,6 +284,20 @@ impl ClusterSim {
             barrier.set_observer(link.with_src(j as u32));
         }
         self.obs = link.with_src(SRC_CLUSTER);
+    }
+
+    /// Attach a live-monitor tap directly (see [`MonitorHub::install`]
+    /// for the process-global path): a [`MetricsSnapshot`] goes to `tx`
+    /// every `every` of *sim* time, plus one final `done` snapshot.
+    /// Monitoring is observation-transparent — the handler only reads
+    /// sim state, and monitor events are excluded from the `events`
+    /// counter — so the [`RunResult`] is identical to an unmonitored run
+    /// (pinned by a test). A hung-up receiver silently drops snapshots.
+    pub fn attach_monitor(&mut self, tx: std::sync::mpsc::Sender<MetricsSnapshot>, every: SimDur) {
+        self.monitor = Some(MonitorTap {
+            tx,
+            every: SimDur::from_us(every.as_us().max(1)),
+        });
     }
 
     /// Execute to completion.
@@ -297,6 +329,16 @@ impl ClusterSim {
         if self.cfg.sample_every.is_some() && self.obs.enabled() {
             self.queue.push(SimTime::ZERO, Event::Sample);
         }
+        if self.monitor.is_some() {
+            self.monitor_label = format!(
+                "{}j/{}n {} {:?}",
+                self.cfg.jobs.len(),
+                self.cfg.nodes,
+                self.cfg.policy.label(),
+                self.cfg.mode
+            );
+            self.queue.push(SimTime::ZERO, Event::Monitor);
+        }
         for idx in 0..self.timed_faults.len() {
             let at = SimTime::ZERO + SimDur::from_us(self.timed_faults[idx].0);
             self.queue.push(at, Event::Chaos { idx });
@@ -305,7 +347,12 @@ impl ClusterSim {
         while let Some((t, ev)) = self.queue.pop() {
             self.now = t;
             self.obs.tick(t);
-            self.events += 1;
+            // Monitor events are bookkeeping-invisible: excluding them
+            // keeps `events` (and the invariant-sweep cadence keyed on
+            // it) identical whether or not a monitor is attached.
+            if !matches!(ev, Event::Monitor) {
+                self.events += 1;
+            }
             if t.since(SimTime::ZERO) > self.cfg.max_sim_time {
                 return Err(SimError::SimTimeExceeded {
                     limit: self.cfg.max_sim_time,
@@ -333,7 +380,41 @@ impl ClusterSim {
         if self.cfg.check_invariants {
             self.verify_invariants("final state")?;
         }
+        self.emit_snapshot(true);
         Ok(self.into_result())
+    }
+
+    /// Send one [`MetricsSnapshot`] down the monitor tap, if attached.
+    /// Reads sim state only; never mutates it.
+    fn emit_snapshot(&mut self, done: bool) {
+        let Some(tap) = &self.monitor else { return };
+        let faults_major = self
+            .nodes
+            .iter()
+            .map(|n| n.engine.stats().major_faults)
+            .sum();
+        let pages_in = self.nodes.iter().map(|n| n.disk.stats().pages_read).sum();
+        let pages_out = self
+            .nodes
+            .iter()
+            .map(|n| n.disk.stats().pages_written)
+            .sum();
+        let snap = MetricsSnapshot {
+            label: self.monitor_label.clone(),
+            seq: self.monitor_seq,
+            sim_us: self.now.since(SimTime::ZERO).as_us(),
+            events: self.events,
+            switches: self.switches,
+            faults_major,
+            pages_in,
+            pages_out,
+            jobs_done: self.completions.iter().filter(|c| c.is_some()).count() as u64,
+            jobs_total: self.completions.len() as u64,
+            done,
+        };
+        // A consumer that hung up is not the simulation's problem.
+        let _ = tap.tx.send(snap);
+        self.monitor_seq += 1;
     }
 
     /// One conservation/coherence sweep over every node, run when the
@@ -433,6 +514,13 @@ impl ClusterSim {
                 self.sample_gauges();
                 if let Some(every) = self.cfg.sample_every {
                     self.queue.push(self.now + every, Event::Sample);
+                }
+            }
+            Event::Monitor => {
+                self.emit_snapshot(false);
+                if let Some(tap) = &self.monitor {
+                    let every = tap.every;
+                    self.queue.push(self.now + every, Event::Monitor);
                 }
             }
         }
@@ -1426,6 +1514,51 @@ mod tests {
         );
         assert!(r.total_pages_in() > 0, "memory pressure must cause paging");
         assert!(r.total_pages_out() > 0);
+    }
+
+    #[test]
+    fn monitored_run_is_observation_transparent_and_snapshots_are_deterministic() {
+        let plain = ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang))
+            .unwrap()
+            .run()
+            .unwrap();
+        let monitored = || {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let mut sim =
+                ClusterSim::new(tiny_config(PolicyConfig::full(), ScheduleMode::Gang)).unwrap();
+            sim.attach_monitor(tx, SimDur::from_secs(30));
+            let r = sim.run().unwrap();
+            let snaps: Vec<crate::MetricsSnapshot> = rx.try_iter().collect();
+            (r, snaps)
+        };
+        let (r, snaps) = monitored();
+        // Transparency: the monitored result is the plain result.
+        assert_eq!(format!("{plain:?}"), format!("{r:?}"));
+        // Snapshot stream shape: sequenced from 0, monotone sim time,
+        // exactly one final `done` snapshot matching the result.
+        assert!(snaps.len() >= 2, "periodic + final: {}", snaps.len());
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+            assert_eq!(s.jobs_total, 2);
+            assert_eq!(s.done, i == snaps.len() - 1);
+            assert!(s.label.contains("2j/1n"), "label: {}", s.label);
+        }
+        assert!(snaps.windows(2).all(|w| w[0].sim_us <= w[1].sim_us));
+        let last = snaps.last().unwrap();
+        assert_eq!(last.jobs_done, 2);
+        assert_eq!(last.events, r.events);
+        assert_eq!(last.switches, r.switches);
+        assert_eq!(last.pages_in, r.total_pages_in());
+        assert_eq!(last.pages_out, r.total_pages_out());
+        // Determinism: same seed, byte-identical snapshot JSONL.
+        let jsonl = |s: &[crate::MetricsSnapshot]| {
+            s.iter()
+                .map(|x| x.to_json_line())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let (_, snaps2) = monitored();
+        assert_eq!(jsonl(&snaps), jsonl(&snaps2));
     }
 
     #[test]

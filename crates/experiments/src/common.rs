@@ -48,33 +48,64 @@ pub struct ExperimentOutput {
     pub notes: Vec<String>,
 }
 
-/// Run several independent configurations concurrently (one OS thread
-/// each; the simulator itself is single-threaded and deterministic).
-/// Results come back in input order; the first error aborts.
-pub fn run_many(configs: Vec<ClusterConfig>) -> Result<Vec<RunResult>, String> {
-    if configs.len() <= 1 {
-        return configs
-            .into_iter()
-            .map(|cfg| agp_cluster::run(cfg).map_err(String::from))
-            .collect();
+/// Deterministic work-stealing fan-out: run `tasks` independent tasks on
+/// at most `jobs` worker threads and return the results **in task-index
+/// order**, regardless of which worker ran what when.
+///
+/// This is the fan-out primitive behind `agp run --jobs N` and
+/// [`run_many`]. Determinism falls out of the shape: tasks must be
+/// independent (each is a pure function of its index), and results are
+/// placed by index, so thread scheduling can change wall time but never
+/// the output. `jobs <= 1` (or a single task) runs inline on the caller's
+/// thread with no pool at all — byte-identical to the serial path by
+/// construction, which the shard-invariance tests then extend to
+/// `jobs > 1`.
+pub fn run_pool<T, F>(tasks: usize, jobs: usize, f: F) -> Result<Vec<T>, String>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, tasks.max(1));
+    if jobs <= 1 || tasks <= 1 {
+        return Ok((0..tasks).map(f).collect());
     }
-    let mut out: Vec<Option<RunResult>> = Vec::new();
-    out.resize_with(configs.len(), || None);
-    crossbeam::thread::scope(|s| -> Result<(), String> {
-        let mut handles = Vec::new();
-        for (i, cfg) in configs.into_iter().enumerate() {
-            handles.push((i, s.spawn(move |_| agp_cluster::run(cfg))));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(tasks, || None);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= tasks || tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
         }
-        for (i, h) in handles {
-            let r = h
-                .join()
-                .map_err(|_| "worker thread panicked".to_string())??;
+        drop(tx);
+        for (i, r) in rx {
             out[i] = Some(r);
         }
-        Ok(())
     })
-    .map_err(|_| "scope panicked".to_string())??;
-    Ok(out.into_iter().map(|r| r.expect("filled")).collect())
+    .map_err(|_| "fan-out worker panicked".to_string())?;
+    out.into_iter()
+        .map(|r| r.ok_or_else(|| "fan-out worker panicked".to_string()))
+        .collect()
+}
+
+/// Run several independent configurations concurrently (one OS thread
+/// each; the simulator itself is single-threaded and deterministic).
+/// Results come back in input order; the first error (by input order)
+/// aborts.
+pub fn run_many(configs: Vec<ClusterConfig>) -> Result<Vec<RunResult>, String> {
+    let n = configs.len();
+    run_pool(n, n, |i| {
+        agp_cluster::run(configs[i].clone()).map_err(String::from)
+    })?
+    .into_iter()
+    .collect()
 }
 
 /// Builder for the recurring scenario shape: `n` instances of one
@@ -269,6 +300,64 @@ mod tests {
         assert_eq!(rs.len(), 2);
         assert!(rs[0].jobs[0].name.starts_with("IS"));
         assert!(rs[1].jobs[0].name.starts_with("LU"));
+    }
+
+    #[test]
+    fn run_pool_results_are_index_ordered_at_any_width() {
+        // 20 tasks with deliberately skewed costs: later tasks finish
+        // first on a wide pool, but index placement pins the order.
+        let serial = run_pool(20, 1, |i| i * i).unwrap();
+        for jobs in [2, 3, 8, 64] {
+            let pooled = run_pool(20, jobs, |i| i * i).unwrap();
+            assert_eq!(pooled, serial, "jobs={jobs}");
+        }
+        assert_eq!(run_pool(0, 4, |i| i).unwrap(), Vec::<usize>::new());
+        assert_eq!(run_pool(1, 8, |i| i + 7).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn run_pool_fallible_tasks_surface_first_error_by_index() {
+        let r: Result<Vec<u32>, String> = run_pool(8, 4, |i| {
+            if i % 3 == 2 {
+                Err(format!("task {i} failed"))
+            } else {
+                Ok(i as u32)
+            }
+        })
+        .unwrap()
+        .into_iter()
+        .collect();
+        assert_eq!(
+            r.unwrap_err(),
+            "task 2 failed",
+            "input order, not wall order"
+        );
+    }
+
+    #[test]
+    fn run_pool_simulation_shards_match_serial_byte_for_byte() {
+        // The tentpole invariant at crate level: the same configs through
+        // 1-, 2- and 8-wide pools produce identical RunResults. (The CLI
+        // extends this to full `agp report` output; see check.sh.)
+        let configs: Vec<ClusterConfig> = [Benchmark::IS, Benchmark::EP, Benchmark::LU]
+            .iter()
+            .map(|&b| quick_serial(b).config(PolicyConfig::full(), ScheduleMode::Gang))
+            .collect();
+        let run = |jobs: usize| {
+            let rs: Result<Vec<RunResult>, String> = run_pool(configs.len(), jobs, |i| {
+                agp_cluster::run(configs[i].clone()).map_err(String::from)
+            })
+            .unwrap()
+            .into_iter()
+            .collect();
+            rs.unwrap()
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial, "2 shards diverged from serial");
+        assert_eq!(run(8), serial, "8 shards diverged from serial");
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod quantum_sweep;
 pub mod registry;
 pub mod scale16;
 
-pub use common::{chaos_demo, ExperimentOutput, Scale};
+pub use common::{chaos_demo, run_pool, ExperimentOutput, Scale};
 pub use fig9::explain_pair;
 pub use parity::{add_output, default_tolerances, manifest_of, scale_name, REPORT_SEED};
 pub use registry::{all_experiments, find, profile_config, ExperimentInfo};

@@ -121,6 +121,30 @@ mod tests {
     }
 
     #[test]
+    fn sharded_registry_runs_produce_byte_identical_manifests() {
+        // The tentpole acceptance property, pinned at manifest level over
+        // the two cheapest registry entries: fanning experiments out over
+        // 1, 2 and 8 shards must yield byte-identical report JSON.
+        // (check.sh repeats this over the full registry via the CLI.)
+        use crate::common::run_pool;
+        let exps: Vec<_> = ["moreira", "admission"]
+            .iter()
+            .map(|id| crate::registry::find(id).expect("registry id"))
+            .collect();
+        let report = |jobs: usize| {
+            let outs: Result<Vec<ExperimentOutput>, String> =
+                run_pool(exps.len(), jobs, |i| (exps[i].runner)(Scale::Quick))
+                    .expect("pool runs")
+                    .into_iter()
+                    .collect();
+            manifest_of(&outs.expect("experiments run"), Scale::Quick).to_json()
+        };
+        let serial = report(1);
+        assert_eq!(report(2), serial, "2 shards diverged from serial");
+        assert_eq!(report(8), serial, "8 shards diverged from serial");
+    }
+
+    #[test]
     fn registry_quick_run_yields_a_stable_nonempty_manifest() {
         // moreira is the fastest registry entry; it stands in for the
         // full `agp report` sweep here.

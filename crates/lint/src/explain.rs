@@ -19,9 +19,9 @@ pub fn short_description(id: &str) -> Option<&'static str> {
         rules::NONDET_ITER => "iteration over a value that resolves to a hash container",
         rules::SIM_TIME_ARITH => "unchecked +/* on raw sim-time microseconds",
         rules::FLOAT_ACCUM_LOOP => "float accumulator updated inside a hash-iter loop",
-        rules::PAR_STATIC_MUT => "static mut in a crate scheduled for rayon fan-out",
-        rules::PAR_INTERIOR_MUT => "Cell/RefCell in a crate scheduled for rayon fan-out",
-        rules::PAR_THREAD_LOCAL => "thread_local! in a crate scheduled for rayon fan-out",
+        rules::PAR_STATIC_MUT => "static mut in a crate that runs under the thread fan-out",
+        rules::PAR_INTERIOR_MUT => "Cell/RefCell in a crate that runs under the thread fan-out",
+        rules::PAR_THREAD_LOCAL => "thread_local! in a crate that runs under the thread fan-out",
         rules::EVENT_PROTOCOL => "ObsEvent variant never emitted or funneled to a wildcard",
         _ => return None,
     })
@@ -143,19 +143,20 @@ pub fn explain(id: &str) -> Option<String> {
              before accumulating."
         }
         rules::PAR_STATIC_MUT => {
-            "Why: this crate is on the ROADMAP's rayon fan-out list; a `static mut`\n\
-             is a guaranteed data race once worker threads arrive, and unsafe to\n\
-             the borrow checker today.\n\
+            "Why: this crate runs under the live thread fan-out (`agp run`/`agp\n\
+             report --jobs N` shard simulations across a crossbeam worker pool);\n\
+             a `static mut` is a guaranteed data race on the workers, and unsafe\n\
+             to the borrow checker today.\n\
              \n\
              Fires on:\n\
-             \x20   static mut FRAME_COUNTER: u64 = 0;   // in agp-sim/agp-cluster/agp-mem/agp-core\n\
+             \x20   static mut FRAME_COUNTER: u64 = 0;   // in any FANOUT_CRATES member\n\
              \n\
              Fix: use an atomic, a lock, or thread the state through explicit\n\
              arguments."
         }
         rules::PAR_INTERIOR_MUT => {
             "Why: `Cell`/`RefCell` are single-threaded interior mutability; shared\n\
-             across the planned rayon fan-out they either fail to compile (best\n\
+             across the worker-pool fan-out they either fail to compile (best\n\
              case) or, smuggled behind unsafe, race. Flagged only in fan-out\n\
              crates so single-threaded convenience elsewhere stays legal.\n\
              \n\
@@ -166,9 +167,9 @@ pub fn explain(id: &str) -> Option<String> {
              or a lock (crossbeam's AtomicCell is fine and not flagged)."
         }
         rules::PAR_THREAD_LOCAL => {
-            "Why: `thread_local!` state silently forks per worker under rayon, so\n\
-             results depend on which thread ran which slice — nondeterminism that\n\
-             only appears after the fan-out lands.\n\
+            "Why: `thread_local!` state silently forks per pool worker, so\n\
+             results depend on which thread ran which experiment shard —\n\
+             nondeterminism that only shows up at `--jobs N` with N > 1.\n\
              \n\
              Fires on:\n\
              \x20   thread_local! { static SCRATCH: RefCell<Vec<u64>> = ... }\n\

@@ -6,14 +6,14 @@
 //! | `nondet-iter`      | error    | iterating a value that *resolves* to HashMap/HashSet|
 //! | `sim-time-arith`   | error    | unchecked `+`/`*` on raw sim-time microseconds      |
 //! | `float-accum-loop` | warn     | float accumulator updated inside a hash-iter loop   |
-//! | `par-static-mut`   | error    | `static mut` in a rayon fan-out crate               |
-//! | `par-interior-mut` | warn     | `Cell`/`RefCell` in a rayon fan-out crate           |
-//! | `par-thread-local` | warn     | `thread_local!` in a rayon fan-out crate            |
+//! | `par-static-mut`   | error    | `static mut` in a fan-out crate                     |
+//! | `par-interior-mut` | warn     | `Cell`/`RefCell` in a fan-out crate                 |
+//! | `par-thread-local` | warn     | `thread_local!` in a fan-out crate                  |
 //!
 //! The dataflow rules run everywhere; the `par-*` family only inside the
-//! crates the ROADMAP marks for the rayon fan-out campaign
+//! crates that run under (or inside) the thread fan-out
 //! ([`FANOUT_CRATES`]), so single-threaded convenience elsewhere stays
-//! legal until a crate is actually scheduled to go parallel.
+//! legal until a crate actually goes parallel.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -26,9 +26,20 @@ use crate::rules::{
 };
 use crate::symbols::{CrateSymbols, Workspace};
 
-/// Crates the ROADMAP schedules for rayon fan-out; the `par-*` rules hold
-/// them to a stricter sharing discipline *before* threads arrive.
-pub const FANOUT_CRATES: [&str; 4] = ["agp-sim", "agp-cluster", "agp-mem", "agp-core"];
+/// Crates that execute under the thread fan-out and must stay
+/// shared-state clean. `agp-experiments` owns the worker pool
+/// (`run_pool`) and `agp-cli` drives it (`agp run`/`report --jobs N`);
+/// the simulation crates below them run concurrently on the workers, so
+/// the `par-*` rules hold the whole stack to the stricter sharing
+/// discipline.
+pub const FANOUT_CRATES: [&str; 6] = [
+    "agp-sim",
+    "agp-cluster",
+    "agp-mem",
+    "agp-core",
+    "agp-experiments",
+    "agp-cli",
+];
 
 /// Iterator-producing methods whose visit order is the container's.
 const ITER_METHODS: [&str; 9] = [
@@ -644,8 +655,8 @@ impl<'a> Pass<'a> {
                 PAR_STATIC_MUT,
                 Severity::Error,
                 format!(
-                    "`static mut {name}` is a data race waiting for the rayon fan-out: this \
-                     crate is scheduled to run on worker threads"
+                    "`static mut {name}` is a data race under the thread fan-out: this \
+                     crate runs on `--jobs N` worker threads"
                 ),
                 "use an atomic, a lock, or thread the state through explicit arguments".to_string(),
             );
@@ -662,7 +673,7 @@ impl<'a> Pass<'a> {
                         Severity::Warn,
                         format!(
                             "`{}` is non-atomic interior mutability: sharing it across the \
-                             planned rayon fan-out is undefined behaviour or a compile wall",
+                             worker-pool fan-out is undefined behaviour or a compile wall",
                             t.text
                         ),
                         "prefer &mut plumbing or an atomic/lock if the state must be shared"
@@ -680,8 +691,8 @@ impl<'a> Pass<'a> {
                             i,
                             PAR_THREAD_LOCAL,
                             Severity::Warn,
-                            "`thread_local!` state silently forks per worker under the \
-                             planned rayon fan-out, so results depend on thread scheduling"
+                            "`thread_local!` state silently forks per pool worker, \
+                             so results depend on thread scheduling"
                                 .to_string(),
                             "keep per-thread scratch out of fan-out crates, or merge it \
                              deterministically like agp-perf's recorder registry"

@@ -146,6 +146,26 @@ fn fanout_crate_trips_every_par_rule() {
 }
 
 #[test]
+fn fanout_list_covers_the_live_worker_pool_stack() {
+    // `run_pool` lives in agp-experiments and `agp run`/`agp report
+    // --jobs N` drive it from agp-cli; the simulation crates execute on
+    // the workers. All of them must stay under the par-* discipline.
+    for name in [
+        "agp-experiments",
+        "agp-cli",
+        "agp-cluster",
+        "agp-sim",
+        "agp-mem",
+        "agp-core",
+    ] {
+        assert!(
+            agp_lint::semantic::FANOUT_CRATES.contains(&name),
+            "{name} missing from FANOUT_CRATES"
+        );
+    }
+}
+
+#[test]
 fn same_source_outside_fanout_list_is_clean() {
     let diags = lint_package_dir(&fixture_pkg("fanout-free")).expect("fixture readable");
     assert!(

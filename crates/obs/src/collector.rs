@@ -76,6 +76,79 @@ pub struct ObsCounters {
     pub fault_ai_degrades: u64,
 }
 
+impl ObsCounters {
+    /// Fold `other` into `self`. Every field is a monotonic sum, so the
+    /// merge is plain addition (the chaos slow-µs total saturates like
+    /// its accumulation path); associative and commutative by
+    /// construction.
+    pub fn merge(&mut self, other: &ObsCounters) {
+        let ObsCounters {
+            faults_major,
+            faults_minor,
+            majors_serviced,
+            readahead_pages,
+            evictions,
+            false_evictions,
+            recorded_evictions,
+            reclaim_runs,
+            reclaim_freed,
+            aggressive_pages,
+            replayed_pages,
+            replay_skipped,
+            bg_ticks,
+            bg_pages,
+            disk_reads,
+            disk_writes,
+            disk_pages_read,
+            disk_pages_written,
+            barriers,
+            gauge_samples,
+            switches,
+            events,
+            fault_disk_errors,
+            fault_disk_slow_us,
+            fault_io_retries,
+            fault_node_crashes,
+            fault_node_restarts,
+            fault_jobs_requeued,
+            fault_barrier_timeouts,
+            fault_mem_pressure_pages,
+            fault_ai_degrades,
+        } = *other;
+        self.faults_major += faults_major;
+        self.faults_minor += faults_minor;
+        self.majors_serviced += majors_serviced;
+        self.readahead_pages += readahead_pages;
+        self.evictions += evictions;
+        self.false_evictions += false_evictions;
+        self.recorded_evictions += recorded_evictions;
+        self.reclaim_runs += reclaim_runs;
+        self.reclaim_freed += reclaim_freed;
+        self.aggressive_pages += aggressive_pages;
+        self.replayed_pages += replayed_pages;
+        self.replay_skipped += replay_skipped;
+        self.bg_ticks += bg_ticks;
+        self.bg_pages += bg_pages;
+        self.disk_reads += disk_reads;
+        self.disk_writes += disk_writes;
+        self.disk_pages_read += disk_pages_read;
+        self.disk_pages_written += disk_pages_written;
+        self.barriers += barriers;
+        self.gauge_samples += gauge_samples;
+        self.switches += switches;
+        self.events += events;
+        self.fault_disk_errors += fault_disk_errors;
+        self.fault_disk_slow_us = self.fault_disk_slow_us.saturating_add(fault_disk_slow_us);
+        self.fault_io_retries += fault_io_retries;
+        self.fault_node_crashes += fault_node_crashes;
+        self.fault_node_restarts += fault_node_restarts;
+        self.fault_jobs_requeued += fault_jobs_requeued;
+        self.fault_barrier_timeouts += fault_barrier_timeouts;
+        self.fault_mem_pressure_pages += fault_mem_pressure_pages;
+        self.fault_ai_degrades += fault_ai_degrades;
+    }
+}
+
 /// One gang switch decomposed into the protocol's four phases. The phase
 /// durations sum to `total_us` exactly (asserted by the cluster tests).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -132,6 +205,22 @@ impl Collector {
     /// Per-switch phase breakdowns, in switch order.
     pub fn switch_records(&self) -> &[SwitchRecord] {
         &self.switches
+    }
+
+    /// Fold `other` into `self`: counters and histograms merge
+    /// element-wise, and `other`'s switch records are **appended** in
+    /// merge order. Appending pins the order — merging shards in a fixed
+    /// (e.g. shard-index) order reproduces the serial record sequence
+    /// byte for byte, and the operation stays associative:
+    /// `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)` concatenate the same lists.
+    pub fn merge(&mut self, other: &Collector) {
+        self.counters.merge(&other.counters);
+        self.switch_total.merge(&other.switch_total);
+        self.fault_service.merge(&other.fault_service);
+        self.disk_wait.merge(&other.disk_wait);
+        self.disk_service.merge(&other.disk_service);
+        self.barrier_skew.merge(&other.barrier_skew);
+        self.switches.extend_from_slice(&other.switches);
     }
 
     fn record_mut(&mut self, switch: u64, at: SimTime) -> &mut SwitchRecord {
@@ -506,6 +595,99 @@ mod tests {
         assert_eq!(c.disk_service.count(), 0);
         assert_eq!(c.switch_records().len(), 1);
         assert_eq!(c.counters.events, 2);
+    }
+
+    #[test]
+    fn merge_matches_serial_feed_and_pins_record_order() {
+        // Feed one event stream serially, and the same stream split
+        // across two shard collectors; merging in shard order must
+        // reproduce the serial collector exactly.
+        let evs = [
+            ObsEvent::PageFault {
+                pid: 1,
+                page: 0,
+                major: true,
+            },
+            ObsEvent::SwitchDone {
+                switch: 0,
+                total_us: 10,
+            },
+            ObsEvent::PageFault {
+                pid: 2,
+                page: 4,
+                major: false,
+            },
+            ObsEvent::SwitchDone {
+                switch: 1,
+                total_us: 20,
+            },
+            ObsEvent::BarrierWait {
+                ranks: 2,
+                skew_us: 5,
+                lag_us: 9,
+            },
+        ];
+        let mut serial = Collector::new();
+        feed(&mut serial, &evs);
+        let mut a = Collector::new();
+        feed(&mut a, &evs[..2]);
+        let mut b = Collector::new();
+        for (i, ev) in evs[2..].iter().enumerate() {
+            b.on_event(SimTime::from_us((2 + i) as u64), 0, ev);
+        }
+        let mut merged = Collector::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.counters, serial.counters);
+        assert_eq!(merged.switch_records(), serial.switch_records());
+        assert_eq!(merged.switch_total.count(), serial.switch_total.count());
+        assert_eq!(merged.barrier_skew.max_us(), serial.barrier_skew.max_us());
+    }
+
+    #[test]
+    fn merge_is_associative_over_three_shards() {
+        let mk = |sw: u64, total: u64| {
+            let mut c = Collector::new();
+            c.on_event(
+                SimTime::from_us(sw),
+                0,
+                &ObsEvent::SwitchDone {
+                    switch: sw,
+                    total_us: total,
+                },
+            );
+            c
+        };
+        let (a, b, c) = (mk(0, 5), mk(1, 6), mk(2, 7));
+        let mut left = Collector::new();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = Collector::new();
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut right = Collector::new();
+        right.merge(&a);
+        right.merge(&bc);
+        assert_eq!(left.counters, right.counters);
+        assert_eq!(left.switch_records(), right.switch_records());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut c = Collector::new();
+        feed(
+            &mut c,
+            &[ObsEvent::SwitchDone {
+                switch: 0,
+                total_us: 3,
+            }],
+        );
+        let counters = c.counters;
+        let records = c.switch_records().to_vec();
+        c.merge(&Collector::new());
+        assert_eq!(c.counters, counters);
+        assert_eq!(c.switch_records(), records.as_slice());
     }
 
     #[test]

@@ -51,6 +51,20 @@ impl LatencyHistogram {
         self.max = self.max.max(us);
     }
 
+    /// Fold `other` into `self`: per-bucket counts add, the sum saturates
+    /// like [`LatencyHistogram::record`], and the max is the larger of the
+    /// two. Merging is associative and commutative, so any shard tree
+    /// (1, 2, 8 shards) collapses to the same histogram as serial
+    /// recording — the property the fan-out parity tests pin.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count
@@ -314,5 +328,74 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.max_us(), u64::MAX);
         assert_eq!(h.rows().len(), 1);
+    }
+
+    #[test]
+    fn merge_equals_serial_recording() {
+        // Split one sample stream across shards; the merged histogram
+        // must match the serially-recorded one field for field.
+        let mut state = 0xA5A5_5A5Au64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 1_000_000
+        };
+        let mut serial = LatencyHistogram::new();
+        let mut shards = vec![LatencyHistogram::new(); 3];
+        for i in 0..5000 {
+            let v = next();
+            serial.record(v);
+            shards[i % 3].record(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), serial.count());
+        assert_eq!(merged.sum_us(), serial.sum_us());
+        assert_eq!(merged.max_us(), serial.max_us());
+        assert_eq!(merged.rows(), serial.rows());
+        for p in [50.0, 90.0, 99.0] {
+            assert_eq!(merged.percentile_us(p), serial.percentile_us(p));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for (h, vals) in [
+            (&mut a, [1u64, 5, 9].as_slice()),
+            (&mut b, [0, 1024].as_slice()),
+            (&mut c, [u64::MAX].as_slice()),
+        ] {
+            for &v in vals {
+                h.record(v);
+            }
+        }
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.rows(), right.rows());
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.sum_us(), right.sum_us());
+        assert_eq!(left.max_us(), right.max_us());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        let before = (h.count(), h.sum_us(), h.max_us(), h.rows());
+        h.merge(&LatencyHistogram::new());
+        assert_eq!((h.count(), h.sum_us(), h.max_us(), h.rows()), before);
     }
 }

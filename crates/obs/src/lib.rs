@@ -24,7 +24,19 @@
 //!   **byte-identical for identical seeds** (hand-rolled encoding with a
 //!   fixed field order; no float formatting), turning the simulator's
 //!   determinism guarantee into a diffable artifact. [`trace_diff`]
-//!   pinpoints the first divergent event between two such streams.
+//!   pinpoints the first divergent event between two such streams;
+//! * [`ChunkedJsonlWriter`] / [`BudgetedSink`] — the bounded-memory
+//!   streaming path: incremental flushing (O(chunk) buffered bytes) and
+//!   last-K retention with an explicit drop counter so `--obs-budget`
+//!   truncation is never silent.
+//!
+//! ## Merging shards
+//!
+//! [`Collector`], [`ObsCounters`] and [`LatencyHistogram`] carry
+//! associative `merge()` operations: counters and buckets add, switch
+//! records append in merge order. Folding per-shard collectors in a fixed
+//! shard order therefore reproduces the serial collector exactly — the
+//! algebra behind the deterministic `agp run --jobs N` fan-out.
 //!
 //! ## Source tags
 //!
@@ -48,6 +60,7 @@ mod event;
 mod hist;
 mod observer;
 mod sink;
+mod stream;
 
 pub use collector::{Collector, ObsCounters, SwitchRecord};
 pub use event::{ObsEvent, SwitchPhaseKind, SRC_CLUSTER};
@@ -56,3 +69,4 @@ pub use observer::{shared, ObsLink, Observer, SharedSink};
 pub use sink::{
     trace_diff, JsonlWriter, RingBuffer, TraceDivergence, TracedEvent, DIFF_CONTEXT_LINES,
 };
+pub use stream::{BudgetedSink, ChunkedJsonlWriter, DEFAULT_CHUNK_LINES};

@@ -58,6 +58,13 @@ impl RingBuffer {
         self.total
     }
 
+    /// Events delivered but no longer retained (evicted by the capacity
+    /// bound, or never stored when `cap` is 0). The bounded-memory
+    /// pipeline reports this so truncation is never silent.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
     /// Drain the retained events, oldest first.
     pub fn drain(&mut self) -> Vec<TracedEvent> {
         self.buf.drain(..).collect()
@@ -256,6 +263,45 @@ mod tests {
         ring.on_event(SimTime::ZERO, 0, &ev(0));
         assert!(ring.is_empty());
         assert_eq!(ring.total_seen(), 1);
+        assert_eq!(ring.dropped(), 1, "K=0 drops everything, visibly");
+    }
+
+    #[test]
+    fn single_slot_ring_tracks_only_the_newest_event() {
+        let mut ring = RingBuffer::new(1);
+        assert_eq!(ring.dropped(), 0);
+        for i in 0..4 {
+            ring.on_event(SimTime::from_us(i as u64), 0, &ev(i));
+            assert_eq!(ring.len(), 1, "K=1 never grows past one");
+            let newest = ring.events().next().unwrap();
+            assert_eq!(newest.at, SimTime::from_us(i as u64));
+        }
+        assert_eq!(ring.total_seen(), 4);
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn ring_wraparound_preserves_order_and_drop_accounting() {
+        // Drive the ring several full capacities past wraparound; the
+        // retained window must stay the last `cap` events in delivery
+        // order, and dropped() must account for every evicted one.
+        let cap = 3;
+        let mut ring = RingBuffer::new(cap);
+        for i in 0..10u32 {
+            ring.on_event(SimTime::from_us(i as u64), 0, &ev(i));
+            let expect_len = cap.min(i as usize + 1);
+            assert_eq!(ring.len(), expect_len);
+            assert_eq!(ring.dropped() + ring.len() as u64, ring.total_seen());
+        }
+        let pages: Vec<u32> = ring
+            .events()
+            .map(|t| match t.event {
+                ObsEvent::ReadaheadHit { page, .. } => page,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pages, vec![7, 8, 9], "oldest-first after wraparound");
+        assert_eq!(ring.dropped(), 7);
     }
 
     #[test]

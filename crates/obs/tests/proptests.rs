@@ -118,6 +118,240 @@ proptest! {
     }
 }
 
+/// Deterministically split `samples` across `shards` round-robin,
+/// record each shard into its own histogram, and fold the shards back
+/// in shard order.
+fn shard_merge(samples: &[u64], shards: usize) -> LatencyHistogram {
+    let mut parts = vec![LatencyHistogram::default(); shards];
+    for (i, &s) in samples.iter().enumerate() {
+        parts[i % shards].record(s);
+    }
+    let mut merged = LatencyHistogram::default();
+    for p in &parts {
+        merged.merge(p);
+    }
+    merged
+}
+
+fn hist_fingerprint(h: &LatencyHistogram) -> (u64, u64, u64, Vec<(String, u64)>) {
+    (h.count(), h.sum_us(), h.max_us(), h.rows())
+}
+
+proptest! {
+    /// Shard-count invariance: recording a stream serially, or splitting
+    /// it over 2 or 8 shards and merging, produces the same histogram —
+    /// counts, sum, max, every bucket, every percentile.
+    #[test]
+    fn merge_is_shard_count_invariant(
+        samples in proptest::collection::vec(boundary_value(), 1..200),
+        p in 0u32..=100u32,
+    ) {
+        let serial = build(&samples);
+        for shards in [2usize, 8] {
+            let merged = shard_merge(&samples, shards);
+            prop_assert_eq!(hist_fingerprint(&merged), hist_fingerprint(&serial));
+            prop_assert_eq!(
+                merged.percentile_us(p as f64),
+                serial.percentile_us(p as f64)
+            );
+        }
+    }
+
+    /// Associativity: `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(boundary_value(), 0..60),
+        b in proptest::collection::vec(boundary_value(), 0..60),
+        c in proptest::collection::vec(boundary_value(), 0..60),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(hist_fingerprint(&left), hist_fingerprint(&right));
+    }
+
+    /// The empty histogram is the merge identity, on both sides.
+    #[test]
+    fn empty_is_merge_identity(
+        samples in proptest::collection::vec(boundary_value(), 0..100),
+    ) {
+        let h = build(&samples);
+        let mut left = LatencyHistogram::default();
+        left.merge(&h);
+        let mut right = h.clone();
+        right.merge(&LatencyHistogram::default());
+        prop_assert_eq!(hist_fingerprint(&left), hist_fingerprint(&h));
+        prop_assert_eq!(hist_fingerprint(&right), hist_fingerprint(&h));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collector merge algebra
+// ---------------------------------------------------------------------
+
+use agp_obs::{Collector, ObsEvent, Observer, SwitchPhaseKind};
+use agp_sim::SimTime;
+
+/// One atomic unit of collector input. Shard boundaries in the real
+/// fan-out fall between whole simulation runs, never inside a gang
+/// switch's event group, so the sharding unit here is either a single
+/// non-switch event or a complete switch block (phase + done with one
+/// switch id).
+#[derive(Clone, Debug)]
+enum EventGroup {
+    One(ObsEvent),
+    Switch { page_out_us: u64, total_us: u64 },
+}
+
+/// A compact slice of the event taxonomy touching every Collector
+/// surface: counters, all five histograms, and the switch-record list.
+fn event_group() -> impl Strategy<Value = EventGroup> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(pid, page, major)| EventGroup::One(
+            ObsEvent::PageFault { pid, page, major }
+        )),
+        (any::<u32>(), 0u64..1 << 20, 0u64..1 << 20).prop_map(|(pid, pages, skipped)| {
+            EventGroup::One(ObsEvent::Replay {
+                pid,
+                pages,
+                skipped,
+            })
+        }),
+        (any::<bool>(), 1u64..256, 0u64..1 << 20, 0u64..1 << 20).prop_map(
+            |(write, pages, wait_us, service_us)| EventGroup::One(ObsEvent::DiskRequest {
+                write,
+                extents: 1,
+                pages,
+                wait_us,
+                seek_us: 0,
+                service_us,
+            })
+        ),
+        (any::<u32>(), any::<u32>(), 0u64..1 << 30).prop_map(|(pid, page, wait_us)| {
+            EventGroup::One(ObsEvent::FaultService { pid, page, wait_us })
+        }),
+        (1u32..64, 0u64..1 << 30, 0u64..1 << 30).prop_map(|(ranks, skew_us, lag_us)| {
+            EventGroup::One(ObsEvent::BarrierWait {
+                ranks,
+                skew_us,
+                lag_us,
+            })
+        }),
+        (0u64..1 << 20, 0u64..1 << 20).prop_map(|(page_out_us, total_us)| {
+            EventGroup::Switch {
+                page_out_us,
+                total_us,
+            }
+        }),
+    ]
+}
+
+/// Feed `groups` into a collector. Group `offset + i` stamps its events
+/// at `t = offset + i` and numbers its switch (if any) `offset + i`, so
+/// a shard re-feeding a slice reproduces exactly the serial timestamps
+/// and switch ids.
+fn collect(groups: &[EventGroup], offset: usize) -> Collector {
+    let mut c = Collector::new();
+    for (i, g) in groups.iter().enumerate() {
+        let at = SimTime::from_us((offset + i) as u64);
+        match g {
+            EventGroup::One(ev) => c.on_event(at, 0, ev),
+            EventGroup::Switch {
+                page_out_us,
+                total_us,
+            } => {
+                let switch = (offset + i) as u64;
+                c.on_event(
+                    at,
+                    0,
+                    &ObsEvent::SwitchPhase {
+                        switch,
+                        phase: SwitchPhaseKind::PageOut,
+                        dur_us: *page_out_us,
+                    },
+                );
+                c.on_event(
+                    at,
+                    0,
+                    &ObsEvent::SwitchDone {
+                        switch,
+                        total_us: *total_us,
+                    },
+                );
+            }
+        }
+    }
+    c
+}
+
+/// Everything observable about a collector, for equality checks.
+fn collector_fingerprint(c: &Collector) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        c.counters,
+        c.switch_records(),
+        hist_fingerprint(&c.switch_total),
+        hist_fingerprint(&c.fault_service),
+        hist_fingerprint(&c.disk_wait),
+        hist_fingerprint(&c.disk_service),
+        hist_fingerprint(&c.barrier_skew),
+    )
+}
+
+proptest! {
+    /// Contiguous-block sharding (what the registry fan-out does: each
+    /// shard owns a slice of the work list) merged in shard order equals
+    /// the serial collector, for 2 and 8 shards.
+    #[test]
+    fn collector_merge_is_shard_count_invariant(
+        groups in proptest::collection::vec(event_group(), 1..120),
+    ) {
+        let serial = collect(&groups, 0);
+        for shards in [2usize, 8] {
+            let chunk = groups.len().div_ceil(shards);
+            let mut merged = Collector::new();
+            let mut offset = 0;
+            for part in groups.chunks(chunk) {
+                // Re-feed with the original global timestamps and switch
+                // ids so the switch records match the serial run exactly.
+                merged.merge(&collect(part, offset));
+                offset += part.len();
+            }
+            prop_assert_eq!(
+                collector_fingerprint(&merged),
+                collector_fingerprint(&serial),
+                "shards={}", shards
+            );
+        }
+    }
+
+    /// Collector merge is associative.
+    #[test]
+    fn collector_merge_is_associative(
+        a in proptest::collection::vec(event_group(), 0..40),
+        b in proptest::collection::vec(event_group(), 0..40),
+        c in proptest::collection::vec(event_group(), 0..40),
+    ) {
+        let (ca, cb, cc) = (collect(&a, 0), collect(&b, 100), collect(&c, 200));
+        let mut left = Collector::new();
+        left.merge(&ca);
+        left.merge(&cb);
+        left.merge(&cc);
+        let mut bc = Collector::new();
+        bc.merge(&cb);
+        bc.merge(&cc);
+        let mut right = Collector::new();
+        right.merge(&ca);
+        right.merge(&bc);
+        prop_assert_eq!(collector_fingerprint(&left), collector_fingerprint(&right));
+    }
+}
+
 #[test]
 fn empty_histogram_answers_zero() {
     let h = LatencyHistogram::default();

@@ -6,6 +6,11 @@
 //!   ([`agp_obs::ObsEvent::NodeGauge`] / [`ObsEvent::ProcGauge`]) into
 //!   named, compact time series (`node0.free_frames`,
 //!   `node0.pid3.resident`, …) for programmatic analysis;
+//! * [`WindowedSeriesSet`] — the bounded-memory variant: the same gauge
+//!   stream folded online into fixed-width windows
+//!   (count/min/max/sum + a mergeable log₂ percentile sketch), O(windows)
+//!   memory instead of O(events), with an associative `merge()` for
+//!   shard fan-out;
 //! * [`PerfettoTrace`] — renders the full event stream as Chrome Trace
 //!   Event JSON: gang switches and their page-out/page-in phases as
 //!   nested spans, disk transfers and fault stalls as duration spans,
@@ -28,6 +33,8 @@
 
 mod perfetto;
 mod series;
+mod window;
 
 pub use perfetto::PerfettoTrace;
 pub use series::{SeriesPoint, SeriesSet, TimeSeries};
+pub use window::{WindowStats, WindowedSeries, WindowedSeriesSet};

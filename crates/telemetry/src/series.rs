@@ -62,6 +62,41 @@ impl TimeSeries {
         Some(sum / self.points.len() as u64)
     }
 
+    /// Fold `other` into `self`, interleaving points by time with a
+    /// stable merge: on equal `t_us`, `self`'s points sort before
+    /// `other`'s. Because each input is time-ordered and ties break
+    /// left-before-right, the merge is associative and order-pinned —
+    /// folding shards in a fixed shard order yields the same point
+    /// sequence every time.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        if other.points.is_empty() {
+            return;
+        }
+        if self
+            .points
+            .last()
+            .is_none_or(|l| l.t_us <= other.points[0].t_us)
+        {
+            // Fast path: disjoint or abutting time ranges append directly.
+            self.points.extend_from_slice(&other.points);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.points.len() + other.points.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.points.len() && j < other.points.len() {
+            if self.points[i].t_us <= other.points[j].t_us {
+                merged.push(self.points[i]);
+                i += 1;
+            } else {
+                merged.push(other.points[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.points[i..]);
+        merged.extend_from_slice(&other.points[j..]);
+        self.points = merged;
+    }
+
     /// Successive differences, for cumulative gauges (`disk_busy_us`,
     /// `bg_cleaned`): point *i* holds `value[i] − value[i−1]` at
     /// `t_us[i]`, saturating at zero. One point shorter than the source.
@@ -83,7 +118,7 @@ impl TimeSeries {
 /// `node{n}.pid{p}.{gauge}` for per-process gauges (`resident`, `dirty`),
 /// where `n` is the event's source tag. Non-gauge events are ignored, so
 /// the sink can share a fanout with heavier exporters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SeriesSet {
     series: BTreeMap<String, TimeSeries>,
 }
@@ -117,6 +152,16 @@ impl SeriesSet {
     /// Iterate `(name, series)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
         self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold `other` into `self`: series with the same name merge via
+    /// [`TimeSeries::merge`], unseen names are adopted whole. The name
+    /// map is a `BTreeMap`, so iteration order never depends on merge
+    /// order; per-series point order is pinned by the stable time merge.
+    pub fn merge(&mut self, other: &SeriesSet) {
+        for (name, series) in &other.series {
+            self.series.entry(name.clone()).or_default().merge(series);
+        }
     }
 
     fn push(&mut self, name: String, t_us: u64, value: u64) {
@@ -232,6 +277,67 @@ mod tests {
             vec![(20, 150), (30, 0), (40, 150)]
         );
         assert!(s.get("node1.bg_cleaned").unwrap().deltas().len() == 3);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_and_adopts_new_names() {
+        // Shard 0 saw node0 at t=10,30; shard 1 saw node0 at t=20 and a
+        // node1 series shard 0 never met.
+        let mut a = SeriesSet::new();
+        a.on_event(SimTime::from_us(10), 0, &node_gauge(100, 0));
+        a.on_event(SimTime::from_us(30), 0, &node_gauge(80, 0));
+        let mut b = SeriesSet::new();
+        b.on_event(SimTime::from_us(20), 0, &node_gauge(90, 0));
+        b.on_event(SimTime::from_us(5), 1, &node_gauge(7, 0));
+        a.merge(&b);
+        let free = a.get("node0.free_frames").unwrap();
+        assert_eq!(
+            free.points().iter().map(|p| p.t_us).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert_eq!(a.get("node1.free_frames").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn merge_is_associative_and_reproduces_serial_sampling() {
+        // One gauge stream round-robined across three shards: any merge
+        // grouping in shard order must equal the serially-folded set.
+        let sample = |t: u64| node_gauge(1000 - t, t);
+        let mut serial = SeriesSet::new();
+        let mut shards = vec![SeriesSet::new(); 3];
+        for t in 0..30u64 {
+            serial.on_event(SimTime::from_us(t), 0, &sample(t));
+            shards[(t % 3) as usize].on_event(SimTime::from_us(t), 0, &sample(t));
+        }
+        let mut left = SeriesSet::new();
+        left.merge(&shards[0]);
+        left.merge(&shards[1]);
+        left.merge(&shards[2]);
+        let mut bc = SeriesSet::new();
+        bc.merge(&shards[1]);
+        bc.merge(&shards[2]);
+        let mut right = SeriesSet::new();
+        right.merge(&shards[0]);
+        right.merge(&bc);
+        assert_eq!(left, right, "merge groupings agree");
+        assert_eq!(left, serial, "merged shards equal serial sampling");
+    }
+
+    #[test]
+    fn merge_ties_keep_left_points_first() {
+        let mut a = SeriesSet::new();
+        a.on_event(SimTime::from_us(10), 0, &node_gauge(1, 0));
+        let mut b = SeriesSet::new();
+        b.on_event(SimTime::from_us(10), 0, &node_gauge(2, 0));
+        a.merge(&b);
+        let vals: Vec<u64> = a
+            .get("node0.free_frames")
+            .unwrap()
+            .points()
+            .iter()
+            .map(|p| p.value)
+            .collect();
+        assert_eq!(vals, vec![1, 2], "equal stamps keep self before other");
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Online windowed gauge aggregation: O(windows) memory, mergeable.
+//!
+//! [`crate::SeriesSet`] keeps every sample — O(events) memory, fine for
+//! figure-sized runs, fatal for the open-system streams the ROADMAP
+//! targets. [`WindowedSeriesSet`] folds the same gauge events into
+//! fixed-width time windows holding only `count`/`min`/`max`/`sum` plus a
+//! log₂ sketch ([`LatencyHistogram`]) for percentile queries, so a
+//! 10⁶-event run costs O(windows), not O(events). Every aggregate is
+//! associative, so per-shard window sets merge into exactly the set a
+//! serial run would have produced — the property the fan-out tests pin.
+
+use agp_obs::{LatencyHistogram, ObsEvent, Observer};
+use agp_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Aggregates for one time window of one gauge.
+#[derive(Clone, Debug)]
+pub struct WindowStats {
+    /// Window start, µs of sim time (inclusive; the window covers
+    /// `[start_us, start_us + window_us)`).
+    pub start_us: u64,
+    /// Samples folded into this window.
+    pub count: u64,
+    /// Smallest sampled value.
+    pub min: u64,
+    /// Largest sampled value.
+    pub max: u64,
+    /// Sum of sampled values (saturating).
+    pub sum: u64,
+    /// Log₂ sketch of the sampled values, for percentile estimates that
+    /// stay mergeable across shards.
+    pub sketch: LatencyHistogram,
+}
+
+impl WindowStats {
+    fn new(start_us: u64) -> Self {
+        WindowStats {
+            start_us,
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+            sketch: LatencyHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum = self.sum.saturating_add(value);
+        self.sketch.record(value);
+    }
+
+    /// Mean sampled value (integer division; 0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Fold `other`'s aggregates into `self` (same window start).
+    fn absorb(&mut self, other: &WindowStats) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.sketch.merge(&other.sketch);
+    }
+}
+
+/// One gauge's windows in time order (sparse: windows that saw no
+/// samples are absent).
+#[derive(Clone, Debug, Default)]
+pub struct WindowedSeries {
+    windows: BTreeMap<u64, WindowStats>,
+}
+
+impl WindowedSeries {
+    /// The windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowStats> {
+        self.windows.values()
+    }
+
+    /// Number of non-empty windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The window covering `start_us`, if it saw samples.
+    pub fn window_at(&self, start_us: u64) -> Option<&WindowStats> {
+        self.windows.get(&start_us)
+    }
+
+    /// Total samples across all windows.
+    pub fn total_count(&self) -> u64 {
+        self.windows.values().map(|w| w.count).sum()
+    }
+
+    fn record(&mut self, start_us: u64, value: u64) {
+        self.windows
+            .entry(start_us)
+            .or_insert_with(|| WindowStats::new(start_us))
+            .record(value);
+    }
+
+    fn merge(&mut self, other: &WindowedSeries) {
+        for (&start, stats) in &other.windows {
+            self.windows
+                .entry(start)
+                .or_insert_with(|| WindowStats::new(start))
+                .absorb(stats);
+        }
+    }
+}
+
+/// An observer folding gauge events into per-gauge time windows.
+///
+/// Series naming matches [`crate::SeriesSet`] (`node{n}.{gauge}`,
+/// `node{n}.pid{p}.{gauge}`), so dashboards can swap the unbounded set
+/// for this one without renaming anything. Windows are keyed by
+/// `t / window_us`, and all aggregation is online: no sample is retained
+/// past its fold.
+#[derive(Clone, Debug)]
+pub struct WindowedSeriesSet {
+    window_us: u64,
+    series: BTreeMap<String, WindowedSeries>,
+}
+
+impl WindowedSeriesSet {
+    /// An empty set with `window_us`-wide windows (0 behaves as 1).
+    pub fn new(window_us: u64) -> Self {
+        WindowedSeriesSet {
+            window_us: window_us.max(1),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The window width, µs.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Series names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// The series named `name`, if any samples arrived for it.
+    pub fn get(&self, name: &str) -> Option<&WindowedSeries> {
+        self.series.get(name)
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no gauge events arrived.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Iterate `(name, series)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &WindowedSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold `other` into `self`. Aligned windows combine aggregate-wise
+    /// (counts and sums add, min/max extremize, sketches merge), so the
+    /// operation is associative and commutative; name and window order
+    /// come from `BTreeMap`s and never depend on merge order. Errors when
+    /// the window widths differ — windows of different widths do not
+    /// align, and silently resampling would corrupt the aggregates.
+    pub fn merge(&mut self, other: &WindowedSeriesSet) -> Result<(), String> {
+        if self.window_us != other.window_us {
+            return Err(format!(
+                "window width mismatch: {}us vs {}us",
+                self.window_us, other.window_us
+            ));
+        }
+        for (name, series) in &other.series {
+            self.series.entry(name.clone()).or_default().merge(series);
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, name: String, t_us: u64, value: u64) {
+        let start = t_us / self.window_us * self.window_us;
+        self.series.entry(name).or_default().record(start, value);
+    }
+}
+
+impl Observer for WindowedSeriesSet {
+    fn on_event(&mut self, at: SimTime, src: u32, ev: &ObsEvent) {
+        let t = at.as_us();
+        match *ev {
+            ObsEvent::NodeGauge {
+                free_frames,
+                dirty_pages,
+                disk_backlog_us,
+                disk_busy_us,
+                bg_cleaned,
+            } => {
+                for (gauge, value) in [
+                    ("free_frames", free_frames),
+                    ("dirty_pages", dirty_pages),
+                    ("disk_backlog_us", disk_backlog_us),
+                    ("disk_busy_us", disk_busy_us),
+                    ("bg_cleaned", bg_cleaned),
+                ] {
+                    self.push(format!("node{src}.{gauge}"), t, value);
+                }
+            }
+            ObsEvent::ProcGauge {
+                pid,
+                resident,
+                dirty,
+            } => {
+                self.push(format!("node{src}.pid{pid}.resident"), t, resident);
+                self.push(format!("node{src}.pid{pid}.dirty"), t, dirty);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauge(free: u64) -> ObsEvent {
+        ObsEvent::NodeGauge {
+            free_frames: free,
+            dirty_pages: 0,
+            disk_backlog_us: 0,
+            disk_busy_us: 0,
+            bg_cleaned: 0,
+        }
+    }
+
+    #[test]
+    fn samples_fold_into_aligned_windows() {
+        let mut w = WindowedSeriesSet::new(100);
+        for (t, v) in [(0, 10), (50, 30), (99, 20), (100, 5), (250, 7)] {
+            w.on_event(SimTime::from_us(t), 0, &gauge(v));
+        }
+        let s = w.get("node0.free_frames").unwrap();
+        assert_eq!(s.len(), 3, "windows at 0, 100, 200");
+        let w0 = s.window_at(0).unwrap();
+        assert_eq!((w0.count, w0.min, w0.max, w0.sum), (3, 10, 30, 60));
+        assert_eq!(w0.mean(), 20);
+        assert_eq!(w0.sketch.count(), 3);
+        assert_eq!(s.window_at(100).unwrap().count, 1);
+        assert_eq!(s.window_at(200).unwrap().max, 7);
+        assert_eq!(s.total_count(), 5);
+    }
+
+    #[test]
+    fn memory_is_windows_not_events() {
+        // A million samples into a handful of windows: the structure
+        // holds exactly the occupied windows, nothing per-event.
+        let mut w = WindowedSeriesSet::new(1_000_000);
+        for t in 0..1_000_000u64 {
+            w.on_event(SimTime::from_us(t * 5), 0, &gauge(t % 512));
+        }
+        let s = w.get("node0.free_frames").unwrap();
+        assert_eq!(s.len(), 5, "5s of samples / 1s windows");
+        assert_eq!(s.total_count(), 1_000_000);
+        let p50 = s.window_at(0).unwrap().sketch.p50_us();
+        assert!(p50 > 0 && p50 <= 512, "sketch answers percentiles: {p50}");
+    }
+
+    #[test]
+    fn shard_merge_equals_serial_fold() {
+        let sample = |t: u64| gauge(t % 37);
+        let mut serial = WindowedSeriesSet::new(64);
+        let mut shards = vec![WindowedSeriesSet::new(64); 3];
+        for t in 0..600u64 {
+            serial.on_event(SimTime::from_us(t), (t % 2) as u32, &sample(t));
+            shards[(t % 3) as usize].on_event(SimTime::from_us(t), (t % 2) as u32, &sample(t));
+        }
+        // (s0 ⊕ s1) ⊕ s2 and s0 ⊕ (s1 ⊕ s2) must both equal serial.
+        let mut left = WindowedSeriesSet::new(64);
+        for s in &shards {
+            left.merge(s).unwrap();
+        }
+        let mut bc = WindowedSeriesSet::new(64);
+        bc.merge(&shards[1]).unwrap();
+        bc.merge(&shards[2]).unwrap();
+        let mut right = WindowedSeriesSet::new(64);
+        right.merge(&shards[0]).unwrap();
+        right.merge(&bc).unwrap();
+        for merged in [&left, &right] {
+            assert_eq!(merged.len(), serial.len());
+            for (name, s) in serial.iter() {
+                let m = merged.get(name).unwrap();
+                assert_eq!(m.len(), s.len(), "{name}: window count");
+                for (a, b) in m.windows().zip(s.windows()) {
+                    assert_eq!(a.start_us, b.start_us);
+                    assert_eq!(a.count, b.count, "{name}@{}", a.start_us);
+                    assert_eq!((a.min, a.max, a.sum), (b.min, b.max, b.sum));
+                    assert_eq!(a.sketch.rows(), b.sketch.rows());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_window_widths_refuse_to_merge() {
+        let mut a = WindowedSeriesSet::new(100);
+        let b = WindowedSeriesSet::new(200);
+        let err = a.merge(&b).unwrap_err();
+        assert!(err.contains("100us vs 200us"), "{err}");
+    }
+
+    #[test]
+    fn zero_width_window_behaves_as_one() {
+        let mut w = WindowedSeriesSet::new(0);
+        assert_eq!(w.window_us(), 1);
+        w.on_event(SimTime::from_us(7), 0, &gauge(1));
+        assert_eq!(
+            w.get("node0.free_frames")
+                .unwrap()
+                .window_at(7)
+                .unwrap()
+                .count,
+            1
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the telemetry merge algebra.
+//!
+//! The fan-out (`agp run --jobs N`) splits a run's gauge stream across
+//! shards and folds the per-shard sinks back together, so both sink
+//! types must form the same merge monoid the collectors do: associative,
+//! order-pinned, and invariant in the number of shards the stream was
+//! cut into. These properties pin that contract for [`SeriesSet`]
+//! (every-sample retention, stable time-interleaving merge) and
+//! [`WindowedSeriesSet`] (O(windows) online aggregates).
+
+use agp_obs::{ObsEvent, Observer};
+use agp_sim::SimTime;
+use agp_telemetry::{SeriesSet, WindowedSeriesSet};
+use proptest::prelude::*;
+
+/// One sampled gauge event: (sim µs, source node, gauge payload).
+#[derive(Clone, Debug)]
+struct Sample {
+    t_us: u64,
+    src: u32,
+    value: u64,
+    proc_gauge: bool,
+}
+
+impl Sample {
+    fn event(&self) -> ObsEvent {
+        if self.proc_gauge {
+            ObsEvent::ProcGauge {
+                pid: (self.value % 4) as u32,
+                resident: self.value,
+                dirty: self.value / 2,
+            }
+        } else {
+            ObsEvent::NodeGauge {
+                free_frames: self.value,
+                dirty_pages: self.value % 7,
+                disk_backlog_us: self.value.saturating_mul(3),
+                disk_busy_us: self.value / 3,
+                bg_cleaned: self.value % 11,
+            }
+        }
+    }
+}
+
+fn sample() -> impl Strategy<Value = Sample> {
+    (0u64..5_000, 0u32..3, any::<u64>(), any::<bool>()).prop_map(
+        |(t_us, src, value, proc_gauge)| Sample {
+            t_us,
+            src,
+            value,
+            proc_gauge,
+        },
+    )
+}
+
+/// A time-ordered stream, the shape every sink sees in a real run.
+fn stream() -> impl Strategy<Value = Vec<Sample>> {
+    proptest::collection::vec(sample(), 0..120).prop_map(|mut v| {
+        v.sort_by_key(|s| s.t_us);
+        v
+    })
+}
+
+fn feed_series(samples: &[Sample]) -> SeriesSet {
+    let mut s = SeriesSet::new();
+    for e in samples {
+        s.on_event(SimTime::from_us(e.t_us), e.src, &e.event());
+    }
+    s
+}
+
+fn feed_windows(samples: &[Sample], window_us: u64) -> WindowedSeriesSet {
+    let mut w = WindowedSeriesSet::new(window_us);
+    for e in samples {
+        w.on_event(SimTime::from_us(e.t_us), e.src, &e.event());
+    }
+    w
+}
+
+proptest! {
+    /// Cutting a time-ordered stream into 2 or 8 contiguous shards and
+    /// folding the shard sinks in shard order reproduces the serial
+    /// `SeriesSet` exactly — point-for-point, including equal-timestamp
+    /// ties, which the stable merge resolves left-before-right.
+    #[test]
+    fn series_set_merge_is_shard_count_invariant(samples in stream()) {
+        let serial = feed_series(&samples);
+        for shards in [2usize, 8] {
+            let chunk = samples.len().div_ceil(shards).max(1);
+            let mut merged = SeriesSet::new();
+            for part in samples.chunks(chunk) {
+                merged.merge(&feed_series(part));
+            }
+            prop_assert_eq!(&merged, &serial, "shards={}", shards);
+        }
+    }
+
+    /// `SeriesSet::merge` is associative: `(a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)`.
+    #[test]
+    fn series_set_merge_is_associative(
+        a in stream(), b in stream(), c in stream(),
+    ) {
+        let (sa, sb, sc) = (feed_series(&a), feed_series(&b), feed_series(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Windowed aggregates are commutative as well as associative, so
+    /// the sharded fold matches serial for any shard count and any
+    /// window width — no boundary alignment required.
+    #[test]
+    fn windowed_merge_is_shard_count_invariant(
+        samples in stream(),
+        window_us in 1u64..2_000,
+    ) {
+        let serial = feed_windows(&samples, window_us);
+        for shards in [2usize, 8] {
+            let chunk = samples.len().div_ceil(shards).max(1);
+            let mut merged = WindowedSeriesSet::new(window_us);
+            for part in samples.chunks(chunk) {
+                merged.merge(&feed_windows(part, window_us)).unwrap();
+            }
+            prop_assert_eq!(
+                format!("{merged:?}"),
+                format!("{serial:?}"),
+                "shards={}", shards
+            );
+        }
+    }
+
+    /// `WindowedSeriesSet::merge` is associative, and merging across
+    /// mismatched window widths always errors instead of resampling.
+    #[test]
+    fn windowed_merge_is_associative_and_width_checked(
+        a in stream(), b in stream(), c in stream(),
+        window_us in 1u64..2_000,
+    ) {
+        let (wa, wb, wc) = (
+            feed_windows(&a, window_us),
+            feed_windows(&b, window_us),
+            feed_windows(&c, window_us),
+        );
+        let mut left = wa.clone();
+        left.merge(&wb).unwrap();
+        left.merge(&wc).unwrap();
+        let mut bc = wb;
+        bc.merge(&wc).unwrap();
+        let mut right = wa.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(format!("{left:?}"), format!("{right:?}"));
+
+        let mut other_width = WindowedSeriesSet::new(window_us + 1);
+        prop_assert!(other_width.merge(&wa).is_err());
+    }
+}

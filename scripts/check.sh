@@ -11,7 +11,7 @@ cargo clippy -- -D warnings
 # Cross-crate static analysis: token + dataflow determinism rules over
 # every workspace crate in one load (agp-lint lints its own source here
 # too, via its reviewed [package.metadata.agp-lint] allow list), the
-# parallelism-readiness rules on the rayon fan-out crates, and the
+# parallelism-readiness rules on the worker-pool fan-out crates, and the
 # ObsEvent emit/handle protocol check. The SARIF report is uploaded by
 # CI as a code-scanning artifact.
 cargo run --release -p agp-lint -- --deny-warnings --sarif agp-lint.sarif
@@ -35,6 +35,21 @@ cargo run --release -p agp-cli -- report --check
 # here means the writer and the committed shape disagree.
 grep -q '"schema_version": 2' BENCH_agp.json
 grep -q '"spans": {' BENCH_agp.json
+# Fan-out determinism gate: the registry sharded over 2 workers must
+# produce a byte-identical parity manifest. The sharded pass records its
+# sweep wall under registry.jobs2 next to the serial pass's
+# registry.jobs1, and --check holds both to the same one-sided
+# wall-clock band as every per-experiment row.
+cargo run --release -p agp-cli -- report --check --jobs 2 --out report.jobs2.json
+diff report.json report.jobs2.json
+grep -q '"registry.jobs1"' BENCH_agp.json
+grep -q '"registry.jobs2"' BENCH_agp.json
+# Live-monitor smoke: a sharded, monitored run must stream
+# MetricsSnapshot JSONL (uploaded by CI as an artifact) while leaving
+# the rendered results untouched.
+cargo run --release -p agp-cli -- run moreira --scale quick --jobs 2 --progress \
+  --snapshot-out snapshot.jsonl > /dev/null
+test -s snapshot.jsonl
 # Self-profiler smoke: span table, flamegraph export, Prometheus text.
 cargo run --release -p agp-cli -- perf fig6 \
   --json perf.json --collapsed perf.collapsed --prometheus perf.prom
