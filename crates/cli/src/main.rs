@@ -26,6 +26,7 @@ use agp_experiments::{
 use agp_faults::FaultPlan;
 use agp_metrics::report::{bar_chart, sparkline};
 use agp_metrics::{BenchManifest, ParityManifest, Table};
+use agp_obs::flight::{self, FlightConfig};
 use agp_obs::{
     shared, BudgetedSink, ChunkedJsonlWriter, Collector, JsonlWriter, ObsLink, SharedSink,
 };
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("postmortem") => cmd_postmortem(&args[1..]),
         // trace-diff has a three-way exit: 0 identical, 2 divergent,
         // 1 usage/IO error — so it bypasses the Result funnel below.
         Some("trace-diff") => {
@@ -99,6 +101,7 @@ fn print_usage() {
          \x20 agp profile <id> [options]        profile an experiment's gang switches\n\
          \x20 agp trace <id> [options]          export one run as a Perfetto/Chrome trace\n\
          \x20 agp explain <id> [options]        causal critical-path attribution of switch latency\n\
+         \x20 agp postmortem <dump> [options]   triage + causal replay of a flight-recorder incident dump\n\
          \x20 agp trace-diff <left> <right>     first divergence between two JSONL traces (exit 2)\n\
          \x20 agp perf <id> [options]           self-profile one run: hot spans, rates, flamegraph export\n\
          \x20 agp top <id> [options]            live monitor of one run: speed ratio, rates, ETA\n\
@@ -111,7 +114,9 @@ fn print_usage() {
          \x20 --snapshot-out PATH               append every MetricsSnapshot as a JSONL stream\n\
          \x20 --csv                             emit tables as CSV\n\
          \x20 --json                            emit the raw experiment output as JSON\n\
-         \x20 --trace                           print the experiments' paging traces\n\n\
+         \x20 --trace                           print the experiments' paging traces\n\
+         \x20 --flight-recorder                 arm the black-box recorder (see FLIGHT RECORDER)\n\
+         \x20 --incident-out PATH               incident dump path (default incident.json)\n\n\
          SIM OPTIONS:\n\
          \x20 --bench LU|SP|CG|IS|MG            workload (default LU)\n\
          \x20 --class A|B|C                     problem class (default B)\n\
@@ -126,15 +131,28 @@ fn print_usage() {
          \x20 --events PATH                     export the structured event stream as JSONL\n\
          \x20 --obs-budget K                    retain at most K events in memory; drops are reported\n\
          \x20 --check-invariants                sweep conservation/coherence invariants during the run\n\
-         \x20 --faults PATH                     inject a deterministic fault plan (JSON, see `agp chaos --emit-plan`)\n\n\
+         \x20 --faults PATH                     inject a deterministic fault plan (JSON, see `agp chaos --emit-plan`)\n\
+         \x20 --flight-recorder / --incident-out PATH / --stall-slo SECS / --queue-limit N\n\
+         \x20                                   see FLIGHT RECORDER below\n\n\
          CHAOS OPTIONS:\n\
          \x20 --plan PATH                       fault plan JSON (default: the built-in smoke plan)\n\
          \x20 --emit-plan PATH                  write the built-in smoke plan as JSON and exit\n\
+         \x20 --emit-trip-plan PATH             write the recovery-exhaustion trip plan as JSON and exit\n\
          \x20 --seed N                          seed for the demo run and built-in plan (default 0x5EED600D)\n\
          \x20 --verify                          run twice, require byte-identical event streams\n\
          \x20 --events PATH                     export the JSONL event stream\n\
          \x20 --check-invariants                sweep conservation/coherence invariants during the run\n\
-         \x20 --bench-out PATH                  append this pass's wall-clock to a BENCH manifest\n\n\
+         \x20 --bench-out PATH                  append this pass's wall-clock to a BENCH manifest\n\
+         \x20 --flight-recorder / --incident-out PATH / --stall-slo SECS / --queue-limit N\n\
+         \x20                                   see FLIGHT RECORDER below\n\n\
+         POSTMORTEM OPTIONS:\n\
+         \x20 --json PATH                       write the postmortem report as deterministic JSON\n\n\
+         FLIGHT RECORDER (run / sim / chaos):\n\
+         \x20 --flight-recorder                 always-on black box: ring-buffer the last events,\n\
+         \x20                                   samples, and snapshots; arm deterministic watchdogs\n\
+         \x20 --incident-out PATH               where a frozen incident dump is written (default incident.json)\n\
+         \x20 --stall-slo SECS                  trip when a job makes no progress for SECS of sim time\n\
+         \x20 --queue-limit N                   trip when the event queue exceeds N entries\n\n\
          PROFILE OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
          \x20 --policy P                        orig | subset of so,ao,ai,bg (default so/ao/ai/bg)\n\
@@ -278,6 +296,98 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
+/// The `--flight-recorder` flag family shared by `run`, `sim`, and
+/// `chaos`: whether to arm the black-box recorder, where a frozen
+/// incident dump lands, and the optional watchdog rule knobs.
+#[derive(Clone, Debug, Default)]
+struct FlightArgs {
+    armed: bool,
+    incident_out: Option<String>,
+    stall_slo_secs: Option<u64>,
+    queue_limit: Option<u64>,
+}
+
+impl FlightArgs {
+    /// Consume one CLI token if it belongs to this flag family.
+    /// Returns `Ok(true)` when the token (and possibly its value) was
+    /// taken, `Ok(false)` when it is not a flight flag.
+    fn accept(&mut self, arg: &str, it: &mut std::slice::Iter<'_, String>) -> Result<bool, String> {
+        match arg {
+            "--flight-recorder" => self.armed = true,
+            "--incident-out" => {
+                self.incident_out = Some(it.next().ok_or("--incident-out needs a value")?.clone());
+            }
+            "--stall-slo" => {
+                self.stall_slo_secs = Some(
+                    it.next()
+                        .ok_or("--stall-slo needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--stall-slo: {e}"))?,
+                );
+            }
+            "--queue-limit" => {
+                self.queue_limit = Some(
+                    it.next()
+                        .ok_or("--queue-limit needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--queue-limit: {e}"))?,
+                );
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn incident_path(&self) -> &str {
+        self.incident_out.as_deref().unwrap_or("incident.json")
+    }
+
+    /// Arm the process-global recorder (no-op without `--flight-recorder`).
+    fn arm(&self) {
+        if self.armed {
+            flight::arm(FlightConfig {
+                stall_slo_us: self.stall_slo_secs.map(|s| s.saturating_mul(1_000_000)),
+                queue_limit: self.queue_limit,
+                ..FlightConfig::default()
+            });
+            eprintln!(
+                "flight recorder: armed (incident dump → {})",
+                self.incident_path()
+            );
+        }
+    }
+
+    /// Route a failed run's error through the recorder: if the ring froze
+    /// (watchdog trip or error unwind), write the incident dump next to
+    /// the error message. Infallible by design — dump-write problems are
+    /// appended to the error rather than masking it.
+    fn on_error(&self, err: String) -> String {
+        if !self.armed {
+            return err;
+        }
+        let path = self.incident_path();
+        match flight::take_incident() {
+            Some(dump) => match std::fs::write(path, dump.to_json_string()) {
+                Ok(()) => {
+                    eprintln!("flight recorder: wrote incident dump to {path}");
+                    format!("{err} (incident dump: {path})")
+                }
+                Err(e) => format!("{err} (incident dump write failed: {path}: {e})"),
+            },
+            None => err,
+        }
+    }
+
+    /// Finish a successful run: report that the armed window is clean and
+    /// disarm. A clean run never writes a dump.
+    fn on_success(&self) {
+        if self.armed {
+            flight::disarm();
+            eprintln!("flight recorder: clean run, no incident");
+        }
+    }
+}
+
 struct Flags {
     scale: Scale,
     csv: bool,
@@ -286,6 +396,7 @@ struct Flags {
     jobs: usize,
     progress: bool,
     snapshot_out: Option<String>,
+    flight: FlightArgs,
 }
 
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
@@ -297,10 +408,14 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         jobs: 1,
         progress: false,
         snapshot_out: None,
+        flight: FlightArgs::default(),
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if flags.flight.accept(a.as_str(), &mut it)? {
+            continue;
+        }
         match a.as_str() {
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
@@ -417,6 +532,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         vec![find(id).ok_or_else(|| format!("no experiment '{id}' (see `agp list`)"))?]
     };
 
+    // Arm the flight recorder (if requested) before any sim is
+    // constructed, so every run's observer fanout splices the ring in.
+    flags.flight.arm();
     // Arm the global monitor hub before any sim is constructed; the tail
     // thread drains it until the hub sender (and every sim's clone of it)
     // is gone.
@@ -459,7 +577,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if tail.is_some() {
         MonitorHub::uninstall();
     }
-    let outs = pooled?;
+    let outs = pooled.map_err(|e| flags.flight.on_error(e))?;
     if flags.jobs > 1 {
         eprintln!("all {n} experiment(s) finished in {:.1?}", t0.elapsed());
     }
@@ -471,6 +589,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             eprintln!("wrote {seen} snapshots to {path}");
         }
     }
+    for out in &outs {
+        if let Err(e) = out {
+            return Err(flags.flight.on_error(e.clone()));
+        }
+    }
+    flags.flight.on_success();
     for out in outs {
         render(&out?, &flags)?;
     }
@@ -523,9 +647,13 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     let mut obs_budget: Option<usize> = None;
     let mut check_invariants = false;
     let mut faults: Option<String> = None;
+    let mut flight_args = FlightArgs::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if flight_args.accept(a.as_str(), &mut it)? {
+            continue;
+        }
         let mut val = |name: &str| -> Result<&String, String> {
             it.next().ok_or(format!("{name} needs a value"))
         };
@@ -614,8 +742,9 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         }
         _ => None,
     };
-    let r = if collector.is_none() && writer.is_none() && budget.is_none() {
-        agp_cluster::run(cfg)?
+    flight_args.arm();
+    let run_result = if collector.is_none() && writer.is_none() && budget.is_none() {
+        agp_cluster::run(cfg).map_err(String::from)
     } else {
         let mut sinks: Vec<SharedSink> = Vec::new();
         if let Some(c) = &collector {
@@ -628,10 +757,12 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             sinks.push(b.clone() as SharedSink);
         }
         let link = ObsLink::fanout(sinks);
-        let r = agp_cluster::run_observed(cfg, &link)?;
+        let r = agp_cluster::run_observed(cfg, &link).map_err(String::from);
         drop(link);
         r
     };
+    let r = run_result.map_err(|e| flight_args.on_error(e))?;
+    flight_args.on_success();
     if let Some(sink) = writer {
         let path = events.as_deref().unwrap_or("");
         let w = unwrap_sink(sink)?;
@@ -739,14 +870,20 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut events: Option<String> = None;
     let mut check_invariants = false;
     let mut bench_out: Option<String> = None;
+    let mut emit_trip_plan: Option<String> = None;
+    let mut flight_args = FlightArgs::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if flight_args.accept(a.as_str(), &mut it)? {
+            continue;
+        }
         let mut val = |name: &str| -> Result<&String, String> {
             it.next().ok_or(format!("{name} needs a value"))
         };
         match a.as_str() {
             "--plan" => plan_path = Some(val("--plan")?.clone()),
             "--emit-plan" => emit_plan = Some(val("--emit-plan")?.clone()),
+            "--emit-trip-plan" => emit_trip_plan = Some(val("--emit-trip-plan")?.clone()),
             "--seed" => seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--verify" => verify = true,
             "--events" => events = Some(val("--events")?.clone()),
@@ -762,6 +899,16 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("--emit-plan {path}: {e}"))?;
         println!(
             "wrote the built-in smoke plan (seed {seed}, {} faults) to {path}",
+            plan.faults.len()
+        );
+        return Ok(());
+    }
+    if let Some(path) = &emit_trip_plan {
+        let plan = FaultPlan::trip(seed);
+        std::fs::write(path, plan.to_json_string())
+            .map_err(|e| format!("--emit-trip-plan {path}: {e}"))?;
+        println!(
+            "wrote the recovery-exhaustion trip plan (seed {seed}, {} fault(s)) to {path}",
             plan.faults.len()
         );
         return Ok(());
@@ -809,11 +956,13 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         cfg.policy.label(),
         cfg.faults.as_ref().map_or(0, |p| p.faults.len())
     );
-    let (r, counters, first) = run_once(cfg.clone(), verify || events.is_some())?;
+    flight_args.arm();
+    let (r, counters, first) =
+        run_once(cfg.clone(), verify || events.is_some()).map_err(|e| flight_args.on_error(e))?;
     eprintln!("simulated in {:.1?} ({} events)", t0.elapsed(), r.events);
 
     if verify {
-        let (_, _, second) = run_once(cfg.clone(), true)?;
+        let (_, _, second) = run_once(cfg.clone(), true).map_err(|e| flight_args.on_error(e))?;
         if first != second {
             return Err("verify: same plan + seed produced divergent event streams".into());
         }
@@ -822,6 +971,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             first.len()
         );
     }
+    flight_args.on_success();
     if let Some(path) = &events {
         std::fs::write(path, &first).map_err(|e| format!("--events {path}: {e}"))?;
         eprintln!("wrote {} event bytes to {path}", first.len());
@@ -1557,6 +1707,45 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         bench.insert(format!("explain.{id}"), t0.elapsed().as_secs_f64());
         std::fs::write(path, bench.to_json()).map_err(|e| format!("--bench-out {path}: {e}"))?;
         eprintln!("appended explain.{id} wall-clock to {path}");
+    }
+    Ok(())
+}
+
+/// `agp postmortem <dump>`: reload a flight-recorder incident dump,
+/// triage the recorded window by subsystem, and replay it through the
+/// explain analyzer. `--json PATH` writes the report as deterministic
+/// JSON (golden-pinned — byte-identical for identical dumps).
+fn cmd_postmortem(args: &[String]) -> Result<(), String> {
+    let mut dump_path: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = Some(it.next().ok_or("--json needs a value")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            other => dump_path = Some(other.to_string()),
+        }
+    }
+    let dump_path = dump_path.ok_or("usage: agp postmortem <dump.json> [--json PATH]")?;
+    let text = std::fs::read_to_string(&dump_path).map_err(|e| format!("{dump_path}: {e}"))?;
+    let report = agp_explain::PostmortemReport::from_dump_str(&text)
+        .map_err(|e| format!("{dump_path}: {e}"))?;
+
+    println!("incident: {}", report.headline());
+    println!(
+        "run: {} (seed {}, config {:016x})\n",
+        report.meta.scenario, report.meta.seed, report.meta.config_fp
+    );
+    for t in report.tables() {
+        println!("{t}");
+    }
+    println!("notes:");
+    for n in report.notes() {
+        println!("  * {n}");
+    }
+    if let Some(path) = &json {
+        std::fs::write(path, report.to_json_string()).map_err(|e| format!("--json {path}: {e}"))?;
+        eprintln!("wrote postmortem report to {path}");
     }
     Ok(())
 }

@@ -68,6 +68,18 @@ pub enum SimError {
         /// Jobs still incomplete.
         unfinished: u32,
     },
+    /// A deterministic watchdog rule tripped with the flight recorder
+    /// armed; the ring is frozen and an incident dump is available.
+    WatchdogTrip {
+        /// The rule that tripped.
+        rule: agp_obs::WatchdogRule,
+        /// Observed value that crossed the limit.
+        value: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Simulated instant of the trip, µs.
+        at_us: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -105,6 +117,16 @@ impl fmt::Display for SimError {
                 f,
                 "event queue drained at {at_us}us with {unfinished} job(s) unfinished \
                  (model deadlock)"
+            ),
+            SimError::WatchdogTrip {
+                rule,
+                value,
+                limit,
+                at_us,
+            } => write!(
+                f,
+                "watchdog tripped at {at_us}us: {} ({value} > {limit}) — incident dump frozen",
+                rule.name()
             ),
         }
     }
@@ -155,6 +177,20 @@ mod tests {
         let s: String = e.clone().into();
         assert_eq!(s, e.to_string());
         assert!(s.contains("2 job(s) unfinished"));
+    }
+
+    #[test]
+    fn watchdog_trip_display_names_the_rule() {
+        let e = SimError::WatchdogTrip {
+            rule: agp_obs::WatchdogRule::JobStall,
+            value: 9_000_000,
+            limit: 5_000_000,
+            at_us: 12_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("job_stall"));
+        assert!(s.contains("at 12000us"));
+        assert!(s.contains("9000000 > 5000000"));
     }
 
     #[test]

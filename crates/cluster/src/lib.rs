@@ -36,6 +36,7 @@ pub mod monitor;
 pub mod proc;
 pub mod result;
 pub mod sim;
+mod watchdog;
 
 pub use config::{ClusterConfig, JobSpec, ScheduleMode};
 pub use error::SimError;

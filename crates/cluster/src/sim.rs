@@ -42,6 +42,8 @@ use crate::error::SimError;
 use crate::monitor::{MetricsSnapshot, MonitorHub, MonitorTap};
 use crate::proc::{BlockKind, CurStep, PState, SimProc};
 use crate::result::{JobResult, NodeReport, RunResult};
+use crate::watchdog::{self, Trip, Watchdog};
+use agp_obs::flight;
 
 /// One node's hardware + kernel software.
 struct Node {
@@ -159,6 +161,25 @@ pub struct ClusterSim {
     monitor_seq: u64,
     /// Label stamped into every snapshot (empty when unmonitored).
     monitor_label: String,
+    /// Whether the *caller* attached an enabled observer. Gates `Sample`
+    /// scheduling: the flight recorder self-attaches a sink when armed,
+    /// and keying samples off this flag (not `obs.enabled()`) keeps an
+    /// armed-but-unobserved run's event stream and `events` counter
+    /// byte-identical to an unarmed one.
+    caller_obs: bool,
+    /// Scenario label stamped into incident dumps (experiment id or plan
+    /// path); derived from the config shape when unset.
+    scenario: String,
+    /// Watchdog rule set, snapshotted from the armed flight recorder at
+    /// run start (disarmed and inert otherwise).
+    watchdog: Watchdog,
+    /// Last instant each job made observable progress (dispatch, I/O
+    /// completion, barrier release) — the job-stall rule's input.
+    job_last_progress: Vec<SimTime>,
+    /// A trip raised inside an event handler (recovery exhaustion);
+    /// the main loop converts it into the aborting error between events,
+    /// after the handler has left state coherent.
+    pending_trip: Option<Trip>,
 }
 
 impl ClusterSim {
@@ -263,6 +284,11 @@ impl ClusterSim {
             monitor: MonitorHub::current(),
             monitor_seq: 0,
             monitor_label: String::new(),
+            caller_obs: false,
+            scenario: String::new(),
+            watchdog: Watchdog::default(),
+            job_last_progress: vec![SimTime::ZERO; njobs],
+            pending_trip: None,
         })
     }
 
@@ -272,6 +298,20 @@ impl ClusterSim {
     /// itself emits under [`SRC_CLUSTER`]. The link's shared clock is
     /// advanced by the event loop.
     pub fn attach_observer(&mut self, link: &ObsLink) {
+        self.caller_obs = link.enabled();
+        self.distribute_observer(link);
+    }
+
+    /// Distribute `link` (spliced with the flight recorder's sink when
+    /// one is armed) to every instrumented component. Shared by
+    /// [`ClusterSim::attach_observer`] and the recorder's self-attach
+    /// path, which must not count as a caller observer.
+    fn distribute_observer(&mut self, link: &ObsLink) {
+        let link = if flight::armed() {
+            link.extended(flight::sink())
+        } else {
+            link.clone()
+        };
         self.gauge_obs.clear();
         for (ni, node) in self.nodes.iter_mut().enumerate() {
             let tagged = link.with_src(ni as u32);
@@ -284,6 +324,12 @@ impl ClusterSim {
             barrier.set_observer(link.with_src(j as u32));
         }
         self.obs = link.with_src(SRC_CLUSTER);
+    }
+
+    /// Label incident dumps with a scenario name (experiment id or plan
+    /// path). Unset, dumps carry a label derived from the config shape.
+    pub fn set_scenario(&mut self, name: &str) {
+        self.scenario = name.to_string();
     }
 
     /// Attach a live-monitor tap directly (see [`MonitorHub::install`]
@@ -312,10 +358,53 @@ impl ClusterSim {
         // experiment runners fan configurations out one worker thread
         // each, and those threads are gone by reporting time.
         agp_perf::flush();
+        // Any abort freezes the armed flight ring so the incident window
+        // survives the unwind. Watchdog trips already froze at trip time;
+        // `freeze` is first-wins, so this is a no-op for them.
+        if let Err(e) = &res {
+            if flight::armed() {
+                flight::freeze(
+                    watchdog::trigger_for_error(e),
+                    agp_sim::SimTime::from_us(watchdog::error_at_us(e)),
+                );
+            }
+        }
         res
     }
 
+    /// Incident-dump identity for this run: scenario label, seed, config
+    /// fingerprint, job names, and the pid→job map.
+    fn flight_meta(&self) -> flight::RunMeta {
+        let scenario = if self.scenario.is_empty() {
+            format!(
+                "{}j/{}n {} {:?}",
+                self.cfg.jobs.len(),
+                self.cfg.nodes,
+                self.cfg.policy.label(),
+                self.cfg.mode
+            )
+        } else {
+            self.scenario.clone()
+        };
+        flight::RunMeta {
+            scenario,
+            seed: self.cfg.seed,
+            config_fp: watchdog::config_fingerprint(&self.cfg),
+            jobs: self.cfg.jobs.iter().map(|j| j.name.clone()).collect(),
+            pid_job: self.procs.iter().map(|p| (p.pid.0, p.job.0)).collect(),
+        }
+    }
+
     fn run_inner(mut self) -> Result<RunResult, SimError> {
+        self.watchdog = Watchdog::from_flight();
+        if flight::armed() {
+            flight::note_run(self.flight_meta());
+            // A run without a caller observer still feeds the recorder:
+            // splice the flight sink into an otherwise-disabled fanout.
+            if !self.obs.enabled() {
+                self.distribute_observer(&ObsLink::disabled());
+            }
+        }
         match self.cfg.mode {
             ScheduleMode::Gang => {
                 let plan = self
@@ -326,7 +415,11 @@ impl ClusterSim {
             }
             ScheduleMode::Batch => self.start_batch_job(0)?,
         }
-        if self.cfg.sample_every.is_some() && self.obs.enabled() {
+        // Gate on the *caller's* observer, not `self.obs`: arming the
+        // flight recorder enables `self.obs` for its own sink, and
+        // scheduling Sample events off that would change the event count
+        // (and thus the trace bytes) of an armed run.
+        if self.cfg.sample_every.is_some() && self.caller_obs {
             self.queue.push(SimTime::ZERO, Event::Sample);
         }
         if self.monitor.is_some() {
@@ -363,8 +456,24 @@ impl ClusterSim {
                 let _ev_perf = agp_perf::scope(perf_span(&ev));
                 self.handle(ev)?;
             }
+            // Handlers that cannot return errors (I/O submission, barrier
+            // retries) park exhaustion trips here; convert between events
+            // so the abort sees coherent state.
+            if let Some(trip) = self.pending_trip.take() {
+                return Err(self.trip_error(trip));
+            }
             if self.cfg.check_invariants && self.events.is_multiple_of(INVARIANT_SWEEP_EVERY) {
                 self.verify_invariants("periodic sweep")?;
+            }
+            if self.watchdog.sweeps() && self.events.is_multiple_of(INVARIANT_SWEEP_EVERY) {
+                if let Some(trip) = self.watchdog.sweep(
+                    self.now,
+                    &self.job_last_progress,
+                    &self.completions,
+                    self.queue.len(),
+                ) {
+                    return Err(self.trip_error(trip));
+                }
             }
             if self.completions.iter().all(|c| c.is_some()) {
                 break;
@@ -382,6 +491,27 @@ impl ClusterSim {
         }
         self.emit_snapshot(true);
         Ok(self.into_result())
+    }
+
+    /// Freeze the flight ring on a watchdog trip and build the abort
+    /// error. The freeze happens here — at trip time — so the ring's last
+    /// entry is the [`ObsEvent::WatchdogTrip`] marker the freeze appends.
+    fn trip_error(&mut self, trip: Trip) -> SimError {
+        flight::freeze(
+            flight::IncidentTrigger::Watchdog {
+                rule: trip.rule,
+                value: trip.value,
+                limit: trip.limit,
+                detail: String::new(),
+            },
+            self.now,
+        );
+        SimError::WatchdogTrip {
+            rule: trip.rule,
+            value: trip.value,
+            limit: trip.limit,
+            at_us: self.now.since(SimTime::ZERO).as_us(),
+        }
     }
 
     /// Send one [`MetricsSnapshot`] down the monitor tap, if attached.
@@ -412,6 +542,9 @@ impl ClusterSim {
             jobs_total: self.completions.len() as u64,
             done,
         };
+        if flight::armed() {
+            flight::mirror_snapshot(&snap.to_json_line());
+        }
         // A consumer that hung up is not the simulation's problem.
         let _ = tap.tx.send(snap);
         self.monitor_seq += 1;
@@ -457,12 +590,14 @@ impl ClusterSim {
         match ev {
             Event::Dispatch { p, gen } => {
                 if self.procs[p].live(gen) && self.procs[p].state == PState::Runnable {
+                    self.job_last_progress[self.procs[p].job.0 as usize] = self.now;
                     self.exec(p)?;
                 }
             }
             Event::IoDone { p, gen } => {
                 if self.procs[p].live(gen) {
                     let now = self.now;
+                    self.job_last_progress[self.procs[p].job.0 as usize] = now;
                     let proc = &mut self.procs[p];
                     proc.unblock_io(now);
                     if proc.stop_pending {
@@ -483,6 +618,7 @@ impl ClusterSim {
             }
             Event::BarrierRelease { job, epoch } => {
                 if epoch == self.barrier_epoch[job] {
+                    self.job_last_progress[job] = self.now;
                     self.release_barrier(job)?;
                 }
             }
@@ -1086,13 +1222,32 @@ impl ClusterSim {
             // The injected errors model transient media failures: after
             // the configured retries the attempt is forced to succeed, so
             // a pathological plan cannot livelock the simulation.
-            let outcome = if attempt >= self.recovery.io_retries {
+            let exhausted = self.recovery.io_exhausted(attempt);
+            let outcome = if exhausted {
                 DiskOutcome::Ok
             } else {
                 inj.disk_outcome(ni, t.since(SimTime::ZERO).as_us())
             };
             match outcome {
-                DiskOutcome::Ok => return node.disk.submit(t, req),
+                DiskOutcome::Ok => {
+                    // Exhaustion (a retry budget fully burned, success
+                    // forced) is an incident, but only the armed watchdog
+                    // observes it — unarmed runs keep their exact trace.
+                    if exhausted && attempt > 0 && self.watchdog.armed() {
+                        self.obs.emit(t, || ObsEvent::IoExhausted {
+                            node: ni as u32,
+                            attempts: attempt,
+                        });
+                        if self.watchdog.trips_on_exhaustion() {
+                            self.pending_trip = Some(Trip {
+                                rule: agp_obs::WatchdogRule::RecoveryExhausted,
+                                value: u64::from(attempt),
+                                limit: u64::from(self.recovery.io_retries),
+                            });
+                        }
+                    }
+                    return node.disk.submit(t, req);
+                }
                 DiskOutcome::Slow(penalty_us) => {
                     return node.disk.submit_slowed(t, req, penalty_us)
                 }
@@ -1156,6 +1311,21 @@ impl ClusterSim {
                 },
             );
             return Ok(());
+        }
+        // The release goes through; if it was *forced* (every re-issue in
+        // the budget dropped), the armed watchdog records the exhaustion.
+        if self.recovery.barrier_exhausted(attempt) && self.watchdog.armed() {
+            self.obs.emit(now, || ObsEvent::BarrierExhausted {
+                job: job as u32,
+                attempts: attempt,
+            });
+            if self.watchdog.trips_on_exhaustion() {
+                self.pending_trip = Some(Trip {
+                    rule: agp_obs::WatchdogRule::RecoveryExhausted,
+                    value: u64::from(attempt),
+                    limit: u64::from(self.recovery.barrier_retries),
+                });
+            }
         }
         self.release_barrier(job)
     }

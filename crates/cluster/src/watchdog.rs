@@ -1,0 +1,276 @@
+//! Deterministic watchdog rules evaluated by the simulation loop.
+//!
+//! When the flight recorder (`agp_obs::flight`) is armed, the sim loop
+//! evaluates a small rule set **in sim time** — never against the host
+//! clock — so a trip is reproducible: the same seed and config trip the
+//! same rule at the same simulated instant, and the frozen incident dump
+//! is byte-identical across runs.
+//!
+//! The taxonomy ([`agp_obs::WatchdogRule`]):
+//!
+//! * **invariant** — the periodic invariant sweep found corrupt state
+//!   (the existing [`crate::SimError::InvariantViolation`] path, recorded
+//!   as a rule trip so post-mortems triage it like any other);
+//! * **recovery_exhausted** — a recovery policy burned its whole retry
+//!   budget and forced an outcome ([`agp_faults::RecoveryPolicy`]'s
+//!   `io_retries` or `barrier_retries`);
+//! * **job_stall** — an unfinished job made no observable progress
+//!   (dispatch, I/O completion, barrier release) past the configured SLO;
+//! * **queue_depth** — the event queue grew past the configured bound
+//!   (runaway self-scheduling).
+//!
+//! Trips are uniform `value > limit` readings: stall-µs vs SLO-µs,
+//! queue length vs bound, attempts vs budget, and violations (1) vs
+//! allowed (0) for the invariant rule.
+
+use crate::error::SimError;
+use agp_obs::flight::{self, IncidentTrigger};
+use agp_obs::WatchdogRule;
+use agp_sim::{SimDur, SimTime};
+
+/// One tripped rule reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Trip {
+    /// The rule that tripped.
+    pub rule: WatchdogRule,
+    /// Observed value.
+    pub value: u64,
+    /// The limit it crossed.
+    pub limit: u64,
+}
+
+/// The armed rule set, snapshotted from the flight recorder's
+/// [`flight::FlightConfig`] when a run starts. Disarmed (the default)
+/// evaluates nothing.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Watchdog {
+    armed: bool,
+    stall_slo: Option<SimDur>,
+    queue_limit: Option<u64>,
+    trip_on_exhaustion: bool,
+}
+
+impl Watchdog {
+    /// Snapshot the currently armed flight configuration (disarmed when
+    /// no recorder is armed).
+    pub fn from_flight() -> Watchdog {
+        match flight::config() {
+            Some(cfg) => Watchdog {
+                armed: true,
+                stall_slo: cfg.stall_slo_us.map(SimDur::from_us),
+                queue_limit: cfg.queue_limit,
+                trip_on_exhaustion: cfg.trip_on_exhaustion,
+            },
+            None => Watchdog::default(),
+        }
+    }
+
+    /// Whether a recorder was armed when this run started.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Whether recovery-policy exhaustion should trip (and emit its
+    /// incident marker).
+    pub fn trips_on_exhaustion(&self) -> bool {
+        self.armed && self.trip_on_exhaustion
+    }
+
+    /// Whether the periodic sweep has anything to evaluate.
+    pub fn sweeps(&self) -> bool {
+        self.armed && (self.stall_slo.is_some() || self.queue_limit.is_some())
+    }
+
+    /// Evaluate the sweep rules at `now`: per-job stall SLO (jobs without
+    /// a completion entry in `done`, last-progress instants in `last`)
+    /// and event-queue depth. First match wins, jobs in index order —
+    /// deterministic for a deterministic event stream.
+    pub fn sweep(
+        &self,
+        now: SimTime,
+        last: &[SimTime],
+        done: &[Option<SimTime>],
+        queue_len: usize,
+    ) -> Option<Trip> {
+        if !self.armed {
+            return None;
+        }
+        if let Some(slo) = self.stall_slo {
+            for (j, at) in last.iter().enumerate() {
+                if done.get(j).is_some_and(|c| c.is_some()) {
+                    continue;
+                }
+                let stall = now.since(*at);
+                if stall > slo {
+                    return Some(Trip {
+                        rule: WatchdogRule::JobStall,
+                        value: stall.as_us(),
+                        limit: slo.as_us(),
+                    });
+                }
+            }
+        }
+        if let Some(limit) = self.queue_limit {
+            if queue_len as u64 > limit {
+                return Some(Trip {
+                    rule: WatchdogRule::QueueDepth,
+                    value: queue_len as u64,
+                    limit,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Map a run-aborting error to the incident trigger the freeze records:
+/// invariant violations are rule trips (1 violation against a budget of
+/// 0), everything else freezes as a plain error trigger. A watchdog trip
+/// error re-freezes with its own rule — a no-op, since the ring froze at
+/// trip time and the first freeze wins.
+pub(crate) fn trigger_for_error(e: &SimError) -> IncidentTrigger {
+    match e {
+        SimError::InvariantViolation { .. } => IncidentTrigger::Watchdog {
+            rule: WatchdogRule::Invariant,
+            value: 1,
+            limit: 0,
+            detail: e.to_string(),
+        },
+        SimError::WatchdogTrip {
+            rule, value, limit, ..
+        } => IncidentTrigger::Watchdog {
+            rule: *rule,
+            value: *value,
+            limit: *limit,
+            detail: String::new(),
+        },
+        other => IncidentTrigger::Error {
+            what: other.to_string(),
+        },
+    }
+}
+
+/// The simulated instant an error carries, µs (0 for pre-run
+/// configuration errors) — the freeze timestamp for error unwinds.
+pub(crate) fn error_at_us(e: &SimError) -> u64 {
+    match e {
+        SimError::InvalidConfig(_) | SimError::FaultPlan(_) | SimError::Schedule { .. } => 0,
+        SimError::Mem { at_us, .. }
+        | SimError::InvariantViolation { at_us, .. }
+        | SimError::SimTimeExceeded { at_us, .. }
+        | SimError::Deadlock { at_us, .. }
+        | SimError::WatchdogTrip { at_us, .. } => *at_us,
+    }
+}
+
+/// FNV-1a-64 over the config's full debug rendering: a cheap, stable
+/// fingerprint binding an incident dump to the exact configuration that
+/// produced it (two dumps with different fingerprints are not
+/// comparable).
+pub(crate) fn config_fingerprint(cfg: &crate::config::ClusterConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{cfg:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed(stall_slo_us: Option<u64>, queue_limit: Option<u64>) -> Watchdog {
+        Watchdog {
+            armed: true,
+            stall_slo: stall_slo_us.map(SimDur::from_us),
+            queue_limit,
+            trip_on_exhaustion: true,
+        }
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_trips() {
+        let w = Watchdog::default();
+        assert!(!w.armed());
+        assert!(!w.sweeps());
+        assert!(!w.trips_on_exhaustion());
+        assert_eq!(
+            w.sweep(
+                SimTime::from_us(1_000_000),
+                &[SimTime::ZERO],
+                &[None],
+                10_000
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn stall_rule_ignores_finished_jobs_and_reads_stall_duration() {
+        let w = armed(Some(500), None);
+        assert!(w.sweeps());
+        let now = SimTime::from_us(1_000);
+        // Job 0 finished long ago, job 1 progressed recently: no trip.
+        let last = [SimTime::ZERO, SimTime::from_us(900)];
+        let done = [Some(SimTime::from_us(10)), None];
+        assert_eq!(w.sweep(now, &last, &done, 0), None);
+        // Job 1 now stalls past the SLO.
+        let late = SimTime::from_us(1_500);
+        let trip = w.sweep(late, &last, &done, 0).expect("stall trip");
+        assert_eq!(trip.rule, WatchdogRule::JobStall);
+        assert_eq!(trip.value, 600);
+        assert_eq!(trip.limit, 500);
+        // Exactly at the SLO is not yet a trip (strictly greater).
+        assert_eq!(w.sweep(SimTime::from_us(1_400), &last, &done, 0), None);
+    }
+
+    #[test]
+    fn queue_rule_trips_strictly_above_the_bound() {
+        let w = armed(None, Some(100));
+        assert_eq!(w.sweep(SimTime::ZERO, &[], &[], 100), None);
+        let trip = w.sweep(SimTime::ZERO, &[], &[], 101).expect("queue trip");
+        assert_eq!(trip.rule, WatchdogRule::QueueDepth);
+        assert_eq!(trip.value, 101);
+        assert_eq!(trip.limit, 100);
+    }
+
+    #[test]
+    fn stall_rule_wins_over_queue_rule() {
+        let w = armed(Some(10), Some(1));
+        let trip = w
+            .sweep(SimTime::from_us(100), &[SimTime::ZERO], &[None], 50)
+            .expect("trip");
+        assert_eq!(trip.rule, WatchdogRule::JobStall, "first rule wins");
+    }
+
+    #[test]
+    fn invariant_errors_become_rule_trips() {
+        let e = SimError::InvariantViolation {
+            context: "periodic sweep".to_string(),
+            node: Some(1),
+            at_us: 777,
+            detail: "frame leak".to_string(),
+        };
+        match trigger_for_error(&e) {
+            IncidentTrigger::Watchdog {
+                rule,
+                value,
+                limit,
+                detail,
+            } => {
+                assert_eq!(rule, WatchdogRule::Invariant);
+                assert_eq!((value, limit), (1, 0));
+                assert!(detail.contains("frame leak"));
+            }
+            other => panic!("expected watchdog trigger, got {other:?}"),
+        }
+        assert_eq!(error_at_us(&e), 777);
+        let plain = SimError::InvalidConfig("bad".to_string());
+        assert!(matches!(
+            trigger_for_error(&plain),
+            IncidentTrigger::Error { .. }
+        ));
+        assert_eq!(error_at_us(&plain), 0);
+    }
+}

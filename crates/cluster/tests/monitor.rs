@@ -1,0 +1,153 @@
+//! Integration tests for the live-monitor seam
+//! (`crates/cluster/src/monitor.rs`): snapshot cadence, observation
+//! transparency, hub attach/detach, and global-hook replacement.
+//!
+//! The [`MonitorHub`] is process-global, so every test that touches it
+//! holds `HUB_LOCK` — integration tests in one binary run on concurrent
+//! threads and an unserialized install/uninstall would steal another
+//! test's tap.
+
+use std::sync::mpsc::{channel, Receiver, TryRecvError};
+use std::sync::Mutex;
+
+use agp_cluster::{
+    ClusterConfig, ClusterSim, JobSpec, MetricsSnapshot, MonitorHub, RunResult, ScheduleMode,
+};
+use agp_core::PolicyConfig;
+use agp_sim::SimDur;
+use agp_workload::{Benchmark, Class, WorkloadSpec};
+
+static HUB_LOCK: Mutex<()> = Mutex::new(());
+
+/// Small pressured config (same geometry as the sim unit tests): enough
+/// memory pressure to page, short enough to run in milliseconds.
+fn tiny_cfg(jobs: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_defaults(1);
+    cfg.mem_mib = 128;
+    cfg.wired_mib = 64;
+    cfg.quantum = SimDur::from_secs(10);
+    cfg.policy = PolicyConfig::full();
+    cfg.mode = ScheduleMode::Gang;
+    cfg.jobs = (0..jobs)
+        .map(|i| {
+            JobSpec::new(
+                format!("LU.A #{}", i + 1),
+                WorkloadSpec::serial(Benchmark::LU, Class::A),
+            )
+        })
+        .collect();
+    cfg
+}
+
+fn drain(rx: &Receiver<MetricsSnapshot>) -> Vec<MetricsSnapshot> {
+    std::iter::from_fn(|| rx.try_recv().ok()).collect()
+}
+
+#[test]
+fn attached_monitor_snapshots_have_cadence_and_do_not_perturb_the_run() {
+    let baseline = agp_cluster::run(tiny_cfg(2)).expect("unmonitored run");
+
+    let (tx, rx) = channel();
+    let every = SimDur::from_secs(10);
+    let mut sim = ClusterSim::new(tiny_cfg(2)).expect("sim");
+    sim.attach_monitor(tx, every);
+    let monitored: RunResult = sim.run().expect("monitored run");
+
+    // Observation transparency: a monitored run's result is identical.
+    assert_eq!(monitored.seed, baseline.seed);
+    assert_eq!(monitored.makespan, baseline.makespan);
+    assert_eq!(monitored.switches, baseline.switches);
+    assert_eq!(monitored.total_pages_in(), baseline.total_pages_in());
+    assert_eq!(monitored.total_pages_out(), baseline.total_pages_out());
+
+    let snaps = drain(&rx);
+    assert!(snaps.len() >= 2, "at least the t=0 and final snapshots");
+
+    // Cadence: seq is contiguous from 0; periodic snapshots land exactly
+    // on multiples of `every` (monitor events never stall in the queue);
+    // sim time and the counters are nondecreasing.
+    for (i, s) in snaps.iter().enumerate() {
+        assert_eq!(s.seq, i as u64, "seq is contiguous from 0");
+        assert_eq!(s.jobs_total, 2);
+        if !s.done {
+            assert_eq!(
+                s.sim_us,
+                i as u64 * every.as_us(),
+                "periodic snapshot #{i} lands on the cadence grid"
+            );
+        }
+        if i > 0 {
+            assert!(s.sim_us >= snaps[i - 1].sim_us, "sim time nondecreasing");
+            assert!(s.events >= snaps[i - 1].events, "event count nondecreasing");
+            assert!(s.jobs_done >= snaps[i - 1].jobs_done);
+        }
+    }
+
+    // Exactly one final snapshot, it is last, and it agrees with the
+    // run result.
+    assert_eq!(snaps.iter().filter(|s| s.done).count(), 1);
+    let last = snaps.last().unwrap();
+    assert!(last.done, "final snapshot is the last one");
+    assert_eq!(last.sim_us, monitored.makespan.as_us());
+    assert_eq!(last.switches, monitored.switches);
+    assert_eq!(last.jobs_done, 2);
+
+    // The label encodes the run geometry.
+    assert_eq!(
+        last.label,
+        format!("2j/1n {} Gang", PolicyConfig::full().label())
+    );
+}
+
+#[test]
+fn hub_installed_sims_pick_up_the_tap_and_uninstall_detaches() {
+    let _g = HUB_LOCK.lock().unwrap();
+    let (tx, rx) = channel();
+    MonitorHub::install(tx, SimDur::from_secs(10));
+
+    // A sim constructed while the hub is armed emits snapshots without
+    // any direct attach_monitor call.
+    let cfg = tiny_cfg(3);
+    let label = format!("3j/1n {} Gang", PolicyConfig::full().label());
+    agp_cluster::run(cfg.clone()).expect("hub-monitored run");
+    MonitorHub::uninstall();
+
+    let got: Vec<MetricsSnapshot> = drain(&rx)
+        .into_iter()
+        // Other tests' sims may share the armed hub; keep only ours.
+        .filter(|s| s.label == label)
+        .collect();
+    assert!(!got.is_empty(), "hub-armed sim sent snapshots");
+    assert!(got.last().unwrap().done, "final snapshot arrived");
+    assert_eq!(got.last().unwrap().jobs_done, 3);
+
+    // Detached: a sim constructed after uninstall sends nothing. The
+    // hub's sender and the first run's clone are both gone, so once the
+    // channel is drained it reports disconnection, not new snapshots.
+    agp_cluster::run(cfg).expect("post-uninstall run");
+    assert!(drain(&rx).is_empty(), "no snapshots after uninstall");
+    assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Disconnected);
+}
+
+#[test]
+fn second_install_replaces_the_first_hook() {
+    let _g = HUB_LOCK.lock().unwrap();
+    let (tx1, rx1) = channel();
+    let (tx2, rx2) = channel();
+    MonitorHub::install(tx1, SimDur::from_secs(10));
+    MonitorHub::install(tx2, SimDur::from_secs(10));
+
+    let label = format!("2j/1n {} Gang", PolicyConfig::full().label());
+    agp_cluster::run(tiny_cfg(2)).expect("run under replaced hook");
+    MonitorHub::uninstall();
+
+    // Replacing the hook dropped the first sender entirely: its channel
+    // disconnects without ever delivering a snapshot.
+    assert_eq!(rx1.try_recv().unwrap_err(), TryRecvError::Disconnected);
+    let got: Vec<MetricsSnapshot> = drain(&rx2)
+        .into_iter()
+        .filter(|s| s.label == label)
+        .collect();
+    assert!(!got.is_empty(), "replacement hook received the snapshots");
+    assert!(got.last().unwrap().done);
+}

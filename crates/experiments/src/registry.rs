@@ -134,6 +134,49 @@ mod tests {
         assert!(find("nope").is_none());
     }
 
+    /// Pin the `agp report` span feed: a serial experiment run under the
+    /// self-profiler must yield per-span aggregates, and a
+    /// [`agp_metrics::BenchManifest`] carrying them must render real
+    /// cells — the regression behind a committed `BENCH_agp.json` whose
+    /// `"spans"` object was silently empty.
+    #[test]
+    fn profiled_experiment_run_feeds_span_cells() {
+        agp_perf::enable(true);
+        let _ = agp_perf::take_report(); // drop anything a prior test recorded
+        let out = (find("admission").unwrap().runner)(Scale::Quick).unwrap();
+        agp_perf::enable(false);
+        let rep = agp_perf::take_report();
+        assert!(!out.tables.is_empty());
+        let cells: std::collections::BTreeMap<String, agp_metrics::SpanCell> = rep
+            .spans
+            .iter()
+            .map(|a| {
+                (
+                    a.span.name().to_string(),
+                    agp_metrics::SpanCell {
+                        calls: a.count,
+                        total_ns: a.incl_ns,
+                        self_ns: a.excl_ns,
+                    },
+                )
+            })
+            .collect();
+        assert!(
+            !cells.is_empty(),
+            "a profiled experiment run recorded no spans"
+        );
+        let mut bench = agp_metrics::BenchManifest::new();
+        bench.insert("admission", 0.1);
+        bench.insert_spans("admission", cells);
+        let json = bench.to_json();
+        assert!(
+            json.contains("\"total_ns\":"),
+            "manifest spans render real cells: {json}"
+        );
+        let back = agp_metrics::BenchManifest::parse(&json).unwrap();
+        assert_eq!(back, bench, "span cells survive the JSON round trip");
+    }
+
     #[test]
     fn profile_configs_are_valid_for_every_id() {
         for e in all_experiments() {

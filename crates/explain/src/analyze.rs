@@ -446,7 +446,10 @@ impl Observer for Analyzer {
             | ObsEvent::JobRequeued { .. }
             | ObsEvent::BarrierTimeout { .. }
             | ObsEvent::MemPressure { .. }
-            | ObsEvent::AiDegraded { .. } => {}
+            | ObsEvent::AiDegraded { .. }
+            | ObsEvent::IoExhausted { .. }
+            | ObsEvent::BarrierExhausted { .. }
+            | ObsEvent::WatchdogTrip { .. } => {}
         }
     }
 }

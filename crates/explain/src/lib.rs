@@ -19,7 +19,11 @@
 //! 3. explains **differentially**: [`ExplainDiff`] attributes the
 //!    end-to-end delta between two same-seed runs differing in one
 //!    policy bit to cause buckets — the Fig. 9 ablation as a
-//!    machine-checkable report.
+//!    machine-checkable report;
+//! 4. explains **incidents**: [`postmortem`] reloads a flight-recorder
+//!    dump ([`agp_obs::flight::IncidentDump`]), triages its event window
+//!    by subsystem, and replays it through the same analyzer — the
+//!    `agp postmortem` report.
 //!
 //! Everything is byte-deterministic: reports serialize via
 //! [`agp_metrics::Json`] with fixed field order and are golden-pinned.
@@ -31,12 +35,17 @@ pub mod analyze;
 pub mod causes;
 pub mod dag;
 pub mod diff;
+pub mod postmortem;
 pub mod report;
 
 pub use analyze::{Analyzer, Diagnostic, JobStalls, SwitchExplain, STORM_THRESHOLD_PAGES};
 pub use causes::{Cause, CauseBuckets};
 pub use dag::{CriticalPath, ReqInfo, Segment, SwitchDag};
 pub use diff::{Delta, ExplainDiff};
+pub use postmortem::{
+    load_dump, triage_class, PostmortemReport, CULPRIT_LIMIT, POSTMORTEM_SCHEMA_VERSION,
+    TRIAGE_CLASSES,
+};
 pub use report::{ExplainReport, RunMeta, EXPLAIN_SCHEMA_VERSION, SWITCH_DETAIL_LIMIT};
 
 use std::collections::BTreeMap;

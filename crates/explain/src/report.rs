@@ -266,7 +266,7 @@ fn switch_json(sw: &SwitchExplain) -> Json {
     ])
 }
 
-fn job_json(j: &JobStalls) -> Json {
+pub(crate) fn job_json(j: &JobStalls) -> Json {
     Json::Obj(vec![
         ("name".into(), Json::Str(j.name.clone())),
         ("fault_stalls".into(), num(j.fault_stalls)),
@@ -281,7 +281,7 @@ fn job_json(j: &JobStalls) -> Json {
     ])
 }
 
-fn diag_json(d: &Diagnostic) -> Json {
+pub(crate) fn diag_json(d: &Diagnostic) -> Json {
     Json::Obj(vec![
         ("kind".into(), Json::Str(d.kind.into())),
         ("count".into(), num(d.count)),

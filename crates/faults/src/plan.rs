@@ -158,6 +158,21 @@ impl RecoveryPolicy {
             .unwrap_or(self.io_backoff_cap_us);
         shifted.min(self.io_backoff_cap_us)
     }
+
+    /// Whether disk-request retry number `attempt` (0-based) falls past
+    /// the retry budget — the point at which the simulation forces the
+    /// request through and the watchdog's recovery-exhaustion trigger
+    /// fires.
+    pub fn io_exhausted(&self, attempt: u32) -> bool {
+        attempt >= self.io_retries
+    }
+
+    /// Whether barrier re-issue number `attempt` (1-based) falls past
+    /// the re-issue budget — the point at which the release is forced
+    /// through and the watchdog's recovery-exhaustion trigger fires.
+    pub fn barrier_exhausted(&self, attempt: u32) -> bool {
+        attempt > self.barrier_retries
+    }
 }
 
 /// A complete, committable chaos scenario.
@@ -231,6 +246,30 @@ impl FaultPlan {
                 },
             ],
             recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// The built-in recovery-exhaustion scenario used by the watchdog
+    /// trip smoke, and the generator for the committed `plans/trip.json`.
+    /// Node 0's disk fails **every** request over a long window while the
+    /// retry budget is cut to 2, so the very first disk request burns
+    /// through its retries deterministically — with the flight recorder
+    /// armed, the recovery-exhaustion watchdog trips within the first
+    /// switch regardless of workload seed.
+    pub fn trip(seed: u64) -> FaultPlan {
+        FaultPlan {
+            schema_version: FAULT_PLAN_SCHEMA_VERSION,
+            seed,
+            faults: vec![FaultSpec::DiskErrors {
+                node: 0,
+                p: 1.0,
+                from_us: 0,
+                until_us: u64::MAX,
+            }],
+            recovery: RecoveryPolicy {
+                io_retries: 2,
+                ..RecoveryPolicy::default()
+            },
         }
     }
 
@@ -698,6 +737,44 @@ mod tests {
         assert_eq!(r.backoff_us(4), 32_000);
         assert_eq!(r.backoff_us(5), 64_000);
         assert_eq!(r.backoff_us(63), 64_000, "huge attempts stay capped");
+    }
+
+    #[test]
+    fn exhaustion_thresholds_match_forced_outcomes() {
+        let r = RecoveryPolicy::default();
+        // I/O attempts are 0-based: attempts 0..3 retry, attempt 4 is
+        // forced through.
+        assert!(!r.io_exhausted(3));
+        assert!(r.io_exhausted(4));
+        // Barrier re-issues are 1-based: attempts 1..=8 re-issue,
+        // attempt 9 forces the release.
+        assert!(!r.barrier_exhausted(8));
+        assert!(r.barrier_exhausted(9));
+    }
+
+    #[test]
+    fn trip_plan_validates_and_exhausts_on_first_request() {
+        let plan = FaultPlan::trip(7);
+        plan.validate(1, 1).expect("trip plan must validate");
+        assert_eq!(plan.recovery.io_retries, 2);
+        assert!(plan.recovery.io_exhausted(2));
+        let round = FaultPlan::from_json_str(&plan.to_json_string()).expect("round trip");
+        assert_eq!(round, plan);
+    }
+
+    #[test]
+    fn committed_trip_plan_matches_the_generator() {
+        let committed = include_str!("../../../plans/trip.json");
+        // The CLI's default chaos seed; `agp chaos --emit-trip-plan
+        // plans/trip.json` regenerates the file after a deliberate change.
+        assert_eq!(
+            FaultPlan::trip(0x5EED_600D).to_json_string(),
+            committed,
+            "plans/trip.json drifted from FaultPlan::trip"
+        );
+        let plan = FaultPlan::from_json_str(committed).expect("committed plan parses");
+        plan.validate(2, 2)
+            .expect("trip plan valid for the chaos-demo geometry");
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Protocol fixture: the consuming side. `Orphan` is named (so only its
-//! missing emission fires); `Funneled` falls through the wildcard arm.
+//! missing emission fires); `Funneled` falls through the wildcard arm;
+//! `Untriaged` is named here (so only its missing triage fires).
 
 pub fn digest(e: &ObsEvent) -> u32 {
     match e {
         ObsEvent::Tick { .. } => 1,
         ObsEvent::Drop(_) => 2,
         ObsEvent::Orphan(_) => 3,
+        ObsEvent::Untriaged { .. } => 4,
         _ => 0,
     }
 }

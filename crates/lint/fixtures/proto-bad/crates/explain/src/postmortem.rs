@@ -1,0 +1,13 @@
+//! Protocol fixture: the post-mortem triage side. Names everything
+//! except `Untriaged`, which therefore cannot be classified in an
+//! incident window — the third rot direction.
+
+pub fn triage(e: &ObsEvent) -> &'static str {
+    match e {
+        ObsEvent::Tick { .. } => "clock",
+        ObsEvent::Drop(_) => "loss",
+        ObsEvent::Orphan(_) => "orphan",
+        ObsEvent::Funneled { .. } => "funnel",
+        _ => "unknown",
+    }
+}

@@ -1,10 +1,12 @@
 //! Protocol fixture: a rotted contract. `Orphan` is dead protocol
 //! surface (never constructed); `Funneled` is live telemetry that only
-//! reaches the explain side's `_ =>` arm.
+//! reaches the explain side's `_ =>` arm; `Untriaged` is emitted and
+//! explained but the post-mortem triage never names it.
 
 pub enum ObsEvent {
     Tick { at: u64 },
     Drop(u64),
-    Orphan(u64),       // line 8: event-protocol (never emitted)
-    Funneled { n: u64 }, // line 9: event-protocol (wildcard-funneled)
+    Orphan(u64),        // line 9: event-protocol (never emitted)
+    Funneled { n: u64 },  // line 10: event-protocol (wildcard-funneled)
+    Untriaged { id: u64 }, // line 11: event-protocol (postmortem-untriaged)
 }

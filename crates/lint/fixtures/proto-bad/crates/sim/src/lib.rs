@@ -5,4 +5,5 @@ pub fn emit_all(bus: &mut Vec<ObsEvent>) {
     bus.push(ObsEvent::Tick { at: 1 });
     bus.push(ObsEvent::Drop(7));
     bus.push(ObsEvent::Funneled { n: 3 });
+    bus.push(ObsEvent::Untriaged { id: 4 });
 }

@@ -1,0 +1,9 @@
+//! Protocol fixture: the post-mortem triage side — an exhaustive,
+//! wildcard-free classification naming every variant.
+
+pub fn triage(e: &ObsEvent) -> &'static str {
+    match e {
+        ObsEvent::Tick { .. } => "clock",
+        ObsEvent::Drop(_) => "loss",
+    }
+}

@@ -2,12 +2,14 @@
 //!
 //! The observability contract of the workspace is the `ObsEvent` enum: the
 //! simulation crates emit events, `agp-explain` consumes them. The
-//! contract rots in two directions — a variant nobody ever constructs
+//! contract rots in three directions — a variant nobody ever constructs
 //! (dead protocol surface that still costs every consumer a match arm),
-//! and a variant the explain pass silently funnels into a wildcard arm
-//! (new telemetry that never reaches the analysis it was added for).
-//! Neither direction is visible to `cargo check`, because both sides
-//! compile fine.
+//! a variant the explain pass silently funnels into a wildcard arm
+//! (new telemetry that never reaches the analysis it was added for),
+//! and a variant the `agp postmortem` triage never names (incident
+//! telemetry the flight recorder captures but the post-mortem report
+//! cannot classify). None of the three is visible to `cargo check`,
+//! because every side compiles fine.
 //!
 //! This pass runs only on whole-workspace analyses. It finds the `enum
 //! ObsEvent` definition, then:
@@ -20,9 +22,16 @@
 //! * **handling**: scans the token streams of crates whose name contains
 //!   `explain` for literal `ObsEvent::V` references. A variant handled
 //!   only by `_ =>` never spells its name, so it shows up as unhandled.
+//! * **triage**: the same token scan restricted to postmortem-side
+//!   *files* (path contains `postmortem` — the triage lives inside the
+//!   explain crate, so crate-name side detection cannot see it). The
+//!   post-mortem triage taxonomy is an exhaustive wildcard-free match,
+//!   and this direction is what keeps it so: a new flight-recorder or
+//!   watchdog variant must be classified there, not just in `agp
+//!   explain`.
 //!
 //! Diagnostics anchor at the variant's definition site, where the fix
-//! (emit it, handle it, or retire it) is decided.
+//! (emit it, handle it, triage it, or retire it) is decided.
 
 use std::collections::BTreeSet;
 
@@ -46,6 +55,13 @@ pub struct SourceUnit<'a> {
 impl SourceUnit<'_> {
     fn is_explain_side(&self) -> bool {
         self.crate_name.contains("explain")
+    }
+
+    /// The `agp postmortem` triage side. File-scoped, not crate-scoped:
+    /// the triage taxonomy lives in `crates/explain/src/postmortem.rs`,
+    /// inside the explain crate, so only the path distinguishes it.
+    fn is_postmortem_side(&self) -> bool {
+        self.display.contains("postmortem")
     }
 }
 
@@ -79,10 +95,23 @@ pub fn check_event_protocol(units: &[SourceUnit]) -> Vec<Diag> {
         collect_emissions(u, &mut emitted);
     }
 
+    // The postmortem triage is excluded from the explain-side scan: a
+    // variant named only in the triage taxonomy still never reaches the
+    // explain analysis, and vice versa — the two consumer directions are
+    // independent.
     let has_explain = units.iter().any(|u| u.is_explain_side());
     let mut handled = BTreeSet::new();
-    for u in units.iter().filter(|u| u.is_explain_side()) {
+    for u in units
+        .iter()
+        .filter(|u| u.is_explain_side() && !u.is_postmortem_side())
+    {
         collect_handled(u, &mut handled);
+    }
+
+    let has_postmortem = units.iter().any(|u| u.is_postmortem_side());
+    let mut triaged = BTreeSet::new();
+    for u in units.iter().filter(|u| u.is_postmortem_side()) {
+        collect_handled(u, &mut triaged);
     }
 
     let mut out = Vec::new();
@@ -128,6 +157,25 @@ pub fn check_event_protocol(units: &[SourceUnit]) -> Vec<Diag> {
                 suggestion: "handle the variant explicitly in the explain pass (even an \
                              intentional ignore should name it) so new telemetry cannot \
                              silently vanish"
+                    .to_string(),
+            });
+        }
+        if has_postmortem && !triaged.contains(&v.name) {
+            out.push(Diag {
+                file: u.display.to_string(),
+                line,
+                col,
+                id: EVENT_PROTOCOL,
+                severity: Severity::Error,
+                message: format!(
+                    "`{PROTOCOL_ENUM}::{}` is not named anywhere in the postmortem triage, \
+                     so an incident window containing it cannot be classified — the \
+                     `agp postmortem` report would miscount its subsystem",
+                    v.name
+                ),
+                suggestion: "name the variant in the postmortem triage taxonomy \
+                             (`triage_class` keeps an exhaustive wildcard-free match \
+                             precisely so this cannot rot)"
                     .to_string(),
             });
         }
@@ -456,6 +504,88 @@ mod tests {
         let got = run(&files);
         assert_eq!(got.len(), 1, "{got:#?}");
         assert!(got[0].message.contains("never emitted"));
+    }
+
+    #[test]
+    fn untriaged_variant_is_flagged_when_a_postmortem_side_exists() {
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus) { b.emit(ObsEvent::PageIn { frame: 1 }); \
+                 b.emit(ObsEvent::PageOut { frame: 2 }); b.emit(ObsEvent::Tick); }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, \
+                 ObsEvent::PageOut { .. } => {}, ObsEvent::Tick => {} } }",
+            ),
+            // The triage names PageIn and PageOut but funnels Tick — the
+            // postmortem direction fires even though explain handles it.
+            load(
+                "agp-explain",
+                "explain/src/postmortem.rs",
+                "fn triage(e: &ObsEvent) -> u32 { match e { \
+                 ObsEvent::PageIn { .. } => 1, ObsEvent::PageOut { .. } => 2, _ => 0 } }",
+            ),
+        ];
+        let got = run(&files);
+        assert_eq!(got.len(), 1, "{got:#?}");
+        assert_eq!(got[0].id, EVENT_PROTOCOL);
+        assert!(got[0].message.contains("Tick"));
+        assert!(got[0].message.contains("postmortem triage"));
+        assert_eq!(got[0].file, "obs/src/event.rs");
+    }
+
+    #[test]
+    fn exhaustive_triage_satisfies_the_postmortem_direction() {
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus) { b.emit(ObsEvent::PageIn { frame: 1 }); \
+                 b.emit(ObsEvent::PageOut { frame: 2 }); b.emit(ObsEvent::Tick); }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, \
+                 ObsEvent::PageOut { .. } => {}, ObsEvent::Tick => {} } }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/postmortem.rs",
+                "fn triage(e: &ObsEvent) -> u32 { match e { \
+                 ObsEvent::PageIn { .. } => 1, ObsEvent::PageOut { .. } => 2, \
+                 ObsEvent::Tick => 3 } }",
+            ),
+        ];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn no_postmortem_side_means_no_triage_findings() {
+        // Same clean three-crate layout, no postmortem file anywhere:
+        // the triage direction must not fire vacuously.
+        let files = [
+            load("agp-obs", "obs/src/event.rs", DEF),
+            load(
+                "agp-sim",
+                "sim/src/lib.rs",
+                "fn f(b: &mut Bus) { b.emit(ObsEvent::PageIn { frame: 1 }); \
+                 b.emit(ObsEvent::PageOut { frame: 2 }); b.emit(ObsEvent::Tick); }",
+            ),
+            load(
+                "agp-explain",
+                "explain/src/lib.rs",
+                "fn g(e: &ObsEvent) { match e { ObsEvent::PageIn { .. } => {}, \
+                 ObsEvent::PageOut { .. } => {}, ObsEvent::Tick => {} } }",
+            ),
+        ];
+        assert!(run(&files).is_empty());
     }
 
     #[test]

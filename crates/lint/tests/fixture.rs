@@ -181,9 +181,9 @@ fn healthy_protocol_fixture_lints_clean() {
 }
 
 #[test]
-fn rotted_protocol_fixture_fires_both_directions() {
+fn rotted_protocol_fixture_fires_all_three_directions() {
     let diags = lint_workspace(&fixture_pkg("proto-bad")).expect("fixture readable");
-    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert_eq!(diags.len(), 3, "{diags:#?}");
     assert!(diags.iter().all(|d| d.id == rules::EVENT_PROTOCOL));
     assert!(
         diags.iter().all(|d| d.file == "crates/obs/src/lib.rs"),
@@ -195,6 +195,9 @@ fn rotted_protocol_fixture_fires_both_directions() {
     assert!(diags
         .iter()
         .any(|d| d.message.contains("Funneled") && d.message.contains("wildcard")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("Untriaged") && d.message.contains("postmortem triage")));
     assert_eq!(exit_code(&diags, false), 1);
 }
 

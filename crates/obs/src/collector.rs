@@ -361,6 +361,11 @@ impl Observer for Collector {
             ObsEvent::AiDegraded { .. } => {
                 self.counters.fault_ai_degrades += 1;
             }
+            // Incident markers: the flight recorder captures these raw;
+            // no aggregate counter exists (or should) for them.
+            ObsEvent::IoExhausted { .. } => {}
+            ObsEvent::BarrierExhausted { .. } => {}
+            ObsEvent::WatchdogTrip { .. } => {}
         }
     }
 }

@@ -35,6 +35,47 @@ impl SwitchPhaseKind {
     }
 }
 
+/// Which deterministic watchdog rule tripped the flight recorder.
+///
+/// The taxonomy is part of the incident-dump schema: names are emitted
+/// verbatim in `watchdog_trip` events and in `agp postmortem` reports,
+/// so renaming a rule is a schema change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WatchdogRule {
+    /// The periodic invariant sweep found a violated invariant.
+    Invariant,
+    /// A recovery policy ran out of retries and forced an outcome
+    /// (I/O retry budget or barrier re-issue budget exhausted).
+    RecoveryExhausted,
+    /// One job made no observable progress for longer than its SLO.
+    JobStall,
+    /// The simulator event queue grew past its configured bound.
+    QueueDepth,
+}
+
+impl WatchdogRule {
+    /// Stable wire name used in the JSONL/incident encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            WatchdogRule::Invariant => "invariant",
+            WatchdogRule::RecoveryExhausted => "recovery_exhausted",
+            WatchdogRule::JobStall => "job_stall",
+            WatchdogRule::QueueDepth => "queue_depth",
+        }
+    }
+
+    /// Inverse of [`WatchdogRule::name`], used when reloading dumps.
+    pub fn from_name(name: &str) -> Option<WatchdogRule> {
+        Some(match name {
+            "invariant" => WatchdogRule::Invariant,
+            "recovery_exhausted" => WatchdogRule::RecoveryExhausted,
+            "job_stall" => WatchdogRule::JobStall,
+            "queue_depth" => WatchdogRule::QueueDepth,
+            _ => return None,
+        })
+    }
+}
+
 /// A structured simulation event.
 ///
 /// Payloads are plain integers/bools so encoding is trivially
@@ -296,6 +337,34 @@ pub enum ObsEvent {
         /// Injected disk errors observed when the policy tripped.
         errors: u64,
     },
+    /// The I/O recovery policy exhausted its retry budget on one node
+    /// and forced the request through (chaos runs only — the disk kept
+    /// failing past `io_retries` attempts).
+    IoExhausted {
+        /// The node whose disk exhausted its retries.
+        node: u32,
+        /// Attempts consumed before the forced completion.
+        attempts: u32,
+    },
+    /// The barrier recovery policy exhausted its re-issue budget for one
+    /// job and forced the release through (chaos runs only).
+    BarrierExhausted {
+        /// The affected job.
+        job: u32,
+        /// Release re-issues consumed before the forced release.
+        attempts: u32,
+    },
+    /// A deterministic watchdog rule tripped: the flight recorder froze
+    /// and an incident dump is being written. Always the last event in a
+    /// captured ring.
+    WatchdogTrip {
+        /// Which rule tripped.
+        rule: WatchdogRule,
+        /// The observed value that crossed the rule's limit.
+        value: u64,
+        /// The configured limit it crossed.
+        limit: u64,
+    },
 }
 
 impl ObsEvent {
@@ -328,7 +397,139 @@ impl ObsEvent {
             ObsEvent::BarrierTimeout { .. } => "barrier_timeout",
             ObsEvent::MemPressure { .. } => "mem_pressure",
             ObsEvent::AiDegraded { .. } => "ai_degraded",
+            ObsEvent::IoExhausted { .. } => "io_exhausted",
+            ObsEvent::BarrierExhausted { .. } => "barrier_exhausted",
+            ObsEvent::WatchdogTrip { .. } => "watchdog_trip",
         }
+    }
+
+    /// One sample value per variant, in declaration order — support for
+    /// exhaustiveness tests (wire-name uniqueness here, triage coverage
+    /// in `agp-explain`). Adding a variant without extending this list
+    /// fails the `every_variant_names_itself` test.
+    pub fn samples() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::PageFault {
+                pid: 0,
+                page: 0,
+                major: false,
+            },
+            ObsEvent::MajorFault {
+                pid: 0,
+                page: 0,
+                readahead: 0,
+                write_pages: 0,
+                read_pages: 1,
+            },
+            ObsEvent::ReadaheadHit { pid: 0, page: 0 },
+            ObsEvent::EvictBatch {
+                pid: 0,
+                pages: 0,
+                write_pages: 0,
+            },
+            ObsEvent::Evict {
+                pid: 0,
+                page: 0,
+                false_eviction: false,
+                recorded: false,
+            },
+            ObsEvent::Reclaim {
+                target: 0,
+                freed: 0,
+                write_pages: 0,
+            },
+            ObsEvent::AggressiveOut { pid: 0, pages: 0 },
+            ObsEvent::ReplayPage { pid: 0, page: 0 },
+            ObsEvent::Replay {
+                pid: 0,
+                pages: 0,
+                skipped: 0,
+            },
+            ObsEvent::BgTick { pid: 0, pages: 0 },
+            ObsEvent::DiskRequest {
+                write: false,
+                extents: 0,
+                pages: 0,
+                wait_us: 0,
+                seek_us: 0,
+                service_us: 0,
+            },
+            ObsEvent::FaultService {
+                pid: 0,
+                page: 0,
+                wait_us: 0,
+            },
+            ObsEvent::BarrierWait {
+                ranks: 2,
+                skew_us: 0,
+                lag_us: 0,
+            },
+            ObsEvent::SwitchPhase {
+                switch: 0,
+                phase: SwitchPhaseKind::Stop,
+                dur_us: 0,
+            },
+            ObsEvent::SwitchDone {
+                switch: 0,
+                total_us: 0,
+            },
+            ObsEvent::NodeGauge {
+                free_frames: 0,
+                dirty_pages: 0,
+                disk_backlog_us: 0,
+                disk_busy_us: 0,
+                bg_cleaned: 0,
+            },
+            ObsEvent::ProcGauge {
+                pid: 0,
+                resident: 0,
+                dirty: 0,
+            },
+            ObsEvent::DiskError {
+                write: false,
+                pages: 0,
+                service_us: 0,
+            },
+            ObsEvent::DiskSlowdown { penalty_us: 0 },
+            ObsEvent::IoRetry {
+                node: 0,
+                attempt: 1,
+                backoff_us: 0,
+            },
+            ObsEvent::NodeCrash {
+                node: 0,
+                jobs_suspended: 0,
+            },
+            ObsEvent::NodeRestart {
+                node: 0,
+                jobs_requeued: 0,
+            },
+            ObsEvent::JobRequeued { job: 0 },
+            ObsEvent::BarrierTimeout {
+                job: 0,
+                attempt: 1,
+                waited_us: 0,
+            },
+            ObsEvent::MemPressure {
+                node: 0,
+                target: 0,
+                write_pages: 0,
+            },
+            ObsEvent::AiDegraded { node: 0, errors: 0 },
+            ObsEvent::IoExhausted {
+                node: 0,
+                attempts: 1,
+            },
+            ObsEvent::BarrierExhausted {
+                job: 0,
+                attempts: 1,
+            },
+            ObsEvent::WatchdogTrip {
+                rule: WatchdogRule::Invariant,
+                value: 0,
+                limit: 0,
+            },
+        ]
     }
 
     /// Encode as one JSON line (no trailing newline): fixed field order,
@@ -532,6 +733,19 @@ impl ObsEvent {
             ObsEvent::AiDegraded { node, errors } => {
                 let _ = write!(s, ",\"node\":{node},\"errors\":{errors}");
             }
+            ObsEvent::IoExhausted { node, attempts } => {
+                let _ = write!(s, ",\"node\":{node},\"attempts\":{attempts}");
+            }
+            ObsEvent::BarrierExhausted { job, attempts } => {
+                let _ = write!(s, ",\"job\":{job},\"attempts\":{attempts}");
+            }
+            ObsEvent::WatchdogTrip { rule, value, limit } => {
+                let _ = write!(
+                    s,
+                    ",\"rule\":\"{}\",\"value\":{value},\"limit\":{limit}",
+                    rule.name()
+                );
+            }
         }
         s.push('}');
         s
@@ -592,116 +806,56 @@ mod tests {
     }
 
     #[test]
+    fn incident_encoding_is_stable() {
+        let io = ObsEvent::IoExhausted {
+            node: 2,
+            attempts: 5,
+        };
+        assert_eq!(
+            io.to_json_line(SimTime::from_us(9), 2),
+            "{\"t\":9,\"src\":2,\"ev\":\"io_exhausted\",\"node\":2,\"attempts\":5}"
+        );
+        let ba = ObsEvent::BarrierExhausted {
+            job: 1,
+            attempts: 9,
+        };
+        assert_eq!(
+            ba.to_json_line(SimTime::ZERO, SRC_CLUSTER),
+            format!(
+                "{{\"t\":0,\"src\":{},\"ev\":\"barrier_exhausted\",\"job\":1,\"attempts\":9}}",
+                u32::MAX
+            )
+        );
+        let wt = ObsEvent::WatchdogTrip {
+            rule: WatchdogRule::JobStall,
+            value: 9_000_000,
+            limit: 5_000_000,
+        };
+        assert_eq!(
+            wt.to_json_line(SimTime::from_ms(12), SRC_CLUSTER),
+            format!(
+                "{{\"t\":12000,\"src\":{},\"ev\":\"watchdog_trip\",\"rule\":\"job_stall\",\"value\":9000000,\"limit\":5000000}}",
+                u32::MAX
+            )
+        );
+    }
+
+    #[test]
+    fn watchdog_rule_names_round_trip() {
+        for rule in [
+            WatchdogRule::Invariant,
+            WatchdogRule::RecoveryExhausted,
+            WatchdogRule::JobStall,
+            WatchdogRule::QueueDepth,
+        ] {
+            assert_eq!(WatchdogRule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(WatchdogRule::from_name("nope"), None);
+    }
+
+    #[test]
     fn every_variant_names_itself() {
-        let evs = [
-            ObsEvent::PageFault {
-                pid: 0,
-                page: 0,
-                major: false,
-            },
-            ObsEvent::MajorFault {
-                pid: 0,
-                page: 0,
-                readahead: 0,
-                write_pages: 0,
-                read_pages: 1,
-            },
-            ObsEvent::ReadaheadHit { pid: 0, page: 0 },
-            ObsEvent::EvictBatch {
-                pid: 0,
-                pages: 0,
-                write_pages: 0,
-            },
-            ObsEvent::Evict {
-                pid: 0,
-                page: 0,
-                false_eviction: false,
-                recorded: false,
-            },
-            ObsEvent::Reclaim {
-                target: 0,
-                freed: 0,
-                write_pages: 0,
-            },
-            ObsEvent::AggressiveOut { pid: 0, pages: 0 },
-            ObsEvent::ReplayPage { pid: 0, page: 0 },
-            ObsEvent::Replay {
-                pid: 0,
-                pages: 0,
-                skipped: 0,
-            },
-            ObsEvent::BgTick { pid: 0, pages: 0 },
-            ObsEvent::DiskRequest {
-                write: false,
-                extents: 0,
-                pages: 0,
-                wait_us: 0,
-                seek_us: 0,
-                service_us: 0,
-            },
-            ObsEvent::FaultService {
-                pid: 0,
-                page: 0,
-                wait_us: 0,
-            },
-            ObsEvent::BarrierWait {
-                ranks: 2,
-                skew_us: 0,
-                lag_us: 0,
-            },
-            ObsEvent::SwitchPhase {
-                switch: 0,
-                phase: SwitchPhaseKind::Stop,
-                dur_us: 0,
-            },
-            ObsEvent::SwitchDone {
-                switch: 0,
-                total_us: 0,
-            },
-            ObsEvent::NodeGauge {
-                free_frames: 0,
-                dirty_pages: 0,
-                disk_backlog_us: 0,
-                disk_busy_us: 0,
-                bg_cleaned: 0,
-            },
-            ObsEvent::ProcGauge {
-                pid: 0,
-                resident: 0,
-                dirty: 0,
-            },
-            ObsEvent::DiskError {
-                write: false,
-                pages: 0,
-                service_us: 0,
-            },
-            ObsEvent::DiskSlowdown { penalty_us: 0 },
-            ObsEvent::IoRetry {
-                node: 0,
-                attempt: 1,
-                backoff_us: 0,
-            },
-            ObsEvent::NodeCrash {
-                node: 0,
-                jobs_suspended: 0,
-            },
-            ObsEvent::NodeRestart {
-                node: 0,
-                jobs_requeued: 0,
-            },
-            ObsEvent::JobRequeued { job: 0 },
-            ObsEvent::BarrierTimeout {
-                job: 0,
-                attempt: 1,
-                waited_us: 0,
-            },
-            ObsEvent::MemPressure {
-                node: 0,
-                target: 0,
-                write_pages: 0,
-            },
-            ObsEvent::AiDegraded { node: 0, errors: 0 },
-        ];
+        let evs = ObsEvent::samples();
         let mut names: Vec<&str> = evs.iter().map(|e| e.name()).collect();
         let n = names.len();
         names.sort_unstable();

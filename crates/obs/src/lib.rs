@@ -28,7 +28,10 @@
 //! * [`ChunkedJsonlWriter`] / [`BudgetedSink`] — the bounded-memory
 //!   streaming path: incremental flushing (O(chunk) buffered bytes) and
 //!   last-K retention with an explicit drop counter so `--obs-budget`
-//!   truncation is never silent.
+//!   truncation is never silent;
+//! * [`flight`] — the black-box flight recorder: a process-global,
+//!   atomically gated last-N window that watchdog trips or error unwinds
+//!   freeze into a byte-deterministic incident dump for `agp postmortem`.
 //!
 //! ## Merging shards
 //!
@@ -57,13 +60,14 @@
 
 mod collector;
 mod event;
+pub mod flight;
 mod hist;
 mod observer;
 mod sink;
 mod stream;
 
 pub use collector::{Collector, ObsCounters, SwitchRecord};
-pub use event::{ObsEvent, SwitchPhaseKind, SRC_CLUSTER};
+pub use event::{ObsEvent, SwitchPhaseKind, WatchdogRule, SRC_CLUSTER};
 pub use hist::LatencyHistogram;
 pub use observer::{shared, ObsLink, Observer, SharedSink};
 pub use sink::{

@@ -74,6 +74,23 @@ impl ObsLink {
         }
     }
 
+    /// A new link delivering to this link's sinks plus `sink`, with a
+    /// fresh clock. Intended for pre-run composition — e.g. splicing the
+    /// flight recorder into the fanout before [`ObsLink::with_src`]
+    /// distributes clones to components — so an otherwise-disabled link
+    /// becomes enabled with exactly the extra sink.
+    pub fn extended(&self, sink: SharedSink) -> Self {
+        let mut sinks: Vec<SharedSink> = match &self.inner {
+            Some(inner) => inner.sinks.clone(),
+            None => Vec::new(),
+        };
+        sinks.push(sink);
+        ObsLink {
+            src: self.src,
+            ..ObsLink::fanout(sinks)
+        }
+    }
+
     /// A clone of this link tagged with `src` (shares sinks and clock).
     pub fn with_src(&self, src: u32) -> Self {
         ObsLink {
@@ -217,5 +234,21 @@ mod tests {
     #[test]
     fn empty_fanout_is_disabled() {
         assert!(!ObsLink::fanout(Vec::new()).enabled());
+    }
+
+    #[test]
+    fn extended_adds_a_sink_and_enables_disabled_links() {
+        let a = shared(Counting::default());
+        let b = shared(Counting::default());
+        let link = ObsLink::to(a.clone()).with_src(2).extended(b.clone());
+        assert_eq!(link.src(), 2, "extension keeps the source tag");
+        link.emit(SimTime::ZERO, || ObsEvent::BgTick { pid: 0, pages: 1 });
+        assert_eq!(a.lock().unwrap().seen.len(), 1);
+        assert_eq!(b.lock().unwrap().seen.len(), 1);
+
+        let solo = ObsLink::disabled().extended(b.clone());
+        assert!(solo.enabled());
+        solo.emit(SimTime::ZERO, || ObsEvent::BgTick { pid: 0, pages: 2 });
+        assert_eq!(b.lock().unwrap().seen.len(), 2);
     }
 }

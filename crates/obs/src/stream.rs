@@ -85,7 +85,7 @@ impl<W: Write> Observer for ChunkedJsonlWriter<W> {
         match res {
             Ok(()) => {
                 self.lines += 1;
-                if self.lines % self.chunk_lines == 0 {
+                if self.lines.is_multiple_of(self.chunk_lines) {
                     match self.out.flush() {
                         Ok(()) => self.flushes += 1,
                         Err(e) => self.error = Some(e),

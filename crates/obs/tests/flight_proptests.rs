@@ -1,0 +1,190 @@
+//! Property tests for the flight recorder: ring wraparound keeps exactly
+//! the newest window, event lines invert through `parse_event_line`, and
+//! identical recording sequences freeze byte-identical incident dumps.
+//!
+//! The recorder is process-global (one armed black box per process, like
+//! `agp-perf`), so every property that arms it holds `HUB_LOCK` — the
+//! proptest cases themselves run serially inside each `#[test]`, but the
+//! test harness runs the `#[test]`s on concurrent threads.
+
+use agp_obs::flight::{self, FlightConfig, IncidentTrigger, RunMeta};
+use agp_obs::{ObsEvent, WatchdogRule};
+use agp_sim::SimTime;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static HUB_LOCK: Mutex<()> = Mutex::new(());
+
+fn hub_lock() -> std::sync::MutexGuard<'static, ()> {
+    match HUB_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A slice of the event taxonomy with fully arbitrary field values,
+/// including the incident variants the watchdog layer added.
+fn any_event() -> impl Strategy<Value = ObsEvent> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<bool>())
+            .prop_map(|(pid, page, major)| ObsEvent::PageFault { pid, page, major }),
+        (any::<u32>(), any::<u32>()).prop_map(|(pid, page)| ObsEvent::ReadaheadHit { pid, page }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(target, freed, write_pages)| {
+            ObsEvent::Reclaim {
+                target,
+                freed,
+                write_pages,
+            }
+        }),
+        (
+            any::<bool>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(write, extents, pages, wait_us, seek_us, service_us)| {
+                ObsEvent::DiskRequest {
+                    write,
+                    extents,
+                    pages,
+                    wait_us,
+                    seek_us,
+                    service_us,
+                }
+            }),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(ranks, skew_us, lag_us)| {
+            ObsEvent::BarrierWait {
+                ranks,
+                skew_us,
+                lag_us,
+            }
+        }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(node, attempts)| ObsEvent::IoExhausted { node, attempts }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(job, attempts)| ObsEvent::BarrierExhausted { job, attempts }),
+    ]
+}
+
+proptest! {
+    /// Wraparound law: after `n` recorded events and a watchdog freeze
+    /// (which appends the trip marker), the dump retains exactly the
+    /// newest `min(cap, n + 1)` events in order, and the seen/dropped
+    /// accounting tiles the stream.
+    #[test]
+    fn ring_retains_exactly_the_newest_window(
+        cap in 1usize..64,
+        evs in proptest::collection::vec(any_event(), 0..200),
+        value in any::<u64>(),
+        limit in any::<u64>(),
+    ) {
+        let _g = hub_lock();
+        flight::arm(FlightConfig { events: cap, ..FlightConfig::default() });
+        flight::note_run(RunMeta { scenario: "prop".to_string(), seed: 1, ..RunMeta::default() });
+        for (i, ev) in evs.iter().enumerate() {
+            flight::record(SimTime::from_us(i as u64), 0, ev);
+        }
+        flight::freeze(
+            IncidentTrigger::Watchdog {
+                rule: WatchdogRule::QueueDepth,
+                value,
+                limit,
+                detail: String::new(),
+            },
+            SimTime::from_us(evs.len() as u64),
+        );
+        let dump = flight::take_incident().expect("watchdog freeze produced an incident");
+        flight::disarm();
+
+        let n = evs.len() as u64 + 1; // + the appended trip marker
+        prop_assert_eq!(dump.events_seen, n);
+        prop_assert_eq!(dump.events.len(), (n as usize).min(cap));
+        prop_assert_eq!(dump.events_dropped, n - dump.events.len() as u64);
+        let mut stream = evs.clone();
+        stream.push(ObsEvent::WatchdogTrip {
+            rule: WatchdogRule::QueueDepth,
+            value,
+            limit,
+        });
+        let tail = &stream[stream.len() - dump.events.len()..];
+        for (got, want) in dump.events.iter().zip(tail) {
+            prop_assert_eq!(&got.event, want);
+        }
+    }
+
+    /// `parse_event_line` inverts `to_json_line` for arbitrary field
+    /// values, not just the one-of-each samples the unit tests pin.
+    #[test]
+    fn event_lines_round_trip(
+        ev in any_event(),
+        t in any::<u64>(),
+        src in any::<u32>(),
+    ) {
+        let line = ev.to_json_line(SimTime::from_us(t), src);
+        let back = flight::parse_event_line(&line)
+            .unwrap_or_else(|e| panic!("{line}: {e}"));
+        prop_assert_eq!(back.event, ev);
+        prop_assert_eq!(back.at, SimTime::from_us(t));
+        prop_assert_eq!(back.src, src);
+    }
+
+    /// Determinism: replaying the identical record/mirror/freeze sequence
+    /// through a fresh recorder freezes a byte-identical dump, and every
+    /// retained event line reloads to the recorded `TracedEvent`.
+    #[test]
+    fn identical_sequences_freeze_byte_identical_dumps(
+        cap in 1usize..32,
+        evs in proptest::collection::vec(any_event(), 0..120),
+    ) {
+        let _g = hub_lock();
+        let run = || {
+            flight::arm(FlightConfig {
+                events: cap,
+                samples: 4,
+                snapshots: 2,
+                ..FlightConfig::default()
+            });
+            flight::note_run(RunMeta {
+                scenario: "prop".to_string(),
+                seed: 9,
+                config_fp: 0xfeed_f00d,
+                jobs: vec!["j0".to_string()],
+                pid_job: vec![(0, 0)],
+            });
+            for (i, ev) in evs.iter().enumerate() {
+                flight::record(SimTime::from_us(i as u64), 1, ev);
+                if i % 3 == 0 {
+                    flight::mirror_sample(&format!("{{\"s\":{i}}}"));
+                }
+                if i % 7 == 0 {
+                    flight::mirror_snapshot(&format!("{{\"m\":{i}}}"));
+                }
+            }
+            flight::freeze(
+                IncidentTrigger::Error {
+                    what: "boom".to_string(),
+                },
+                SimTime::from_us(evs.len() as u64),
+            );
+            let dump = flight::take_incident().expect("error freeze produced an incident");
+            flight::disarm();
+            dump
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.clone(), b.clone(), "dumps must compare equal");
+        prop_assert_eq!(
+            a.to_json_string(),
+            b.to_json_string(),
+            "dump encodings must be byte-identical"
+        );
+        for te in &a.events {
+            let line = te.event.to_json_line(te.at, te.src);
+            let back = flight::parse_event_line(&line)
+                .unwrap_or_else(|e| panic!("{line}: {e}"));
+            prop_assert_eq!(&back, te);
+        }
+    }
+}

@@ -521,6 +521,37 @@ impl Observer for PerfettoTrace {
                 self.ensure_thread(pid, TID_CHAOS, "chaos");
                 self.instant(pid, TID_CHAOS, ts, "ai_degraded", &[("errors", errors)]);
             }
+            ObsEvent::IoExhausted { node, attempts } => {
+                let pid = Self::pid_of(node);
+                self.ensure_thread(pid, TID_CHAOS, "chaos");
+                self.instant(
+                    pid,
+                    TID_CHAOS,
+                    ts,
+                    "io_exhausted",
+                    &[("attempts", attempts as u64)],
+                );
+            }
+            ObsEvent::BarrierExhausted { job, attempts } => {
+                self.ensure_thread(PID_CLUSTER, TID_CHAOS, "chaos");
+                self.instant(
+                    PID_CLUSTER,
+                    TID_CHAOS,
+                    ts,
+                    "barrier_exhausted",
+                    &[("job", job as u64), ("attempts", attempts as u64)],
+                );
+            }
+            ObsEvent::WatchdogTrip { value, limit, .. } => {
+                self.ensure_thread(PID_CLUSTER, TID_CHAOS, "chaos");
+                self.instant(
+                    PID_CLUSTER,
+                    TID_CHAOS,
+                    ts,
+                    "watchdog_trip",
+                    &[("value", value), ("limit", limit)],
+                );
+            }
             // Per-page noise: aggregate rows above already show the
             // storms these belong to.
             ObsEvent::PageFault { .. }

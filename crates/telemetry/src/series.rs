@@ -176,6 +176,15 @@ impl SeriesSet {
 impl Observer for SeriesSet {
     fn on_event(&mut self, at: SimTime, src: u32, ev: &ObsEvent) {
         let t = at.as_us();
+        // Mirror accepted telemetry samples into the armed flight
+        // recorder's bounded sample ring (a no-op when disarmed), so an
+        // incident dump carries the most recent gauge readings alongside
+        // the raw event window.
+        if matches!(ev, ObsEvent::NodeGauge { .. } | ObsEvent::ProcGauge { .. })
+            && agp_obs::flight::armed()
+        {
+            agp_obs::flight::mirror_sample(&ev.to_json_line(at, src));
+        }
         match *ev {
             ObsEvent::NodeGauge {
                 free_frames,

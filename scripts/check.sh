@@ -34,7 +34,12 @@ cargo run --release -p agp-cli -- report --check
 # host-time aggregates). The report step above regenerates it, so drift
 # here means the writer and the committed shape disagree.
 grep -q '"schema_version": 2' BENCH_agp.json
+# Not just the key: the spans object must carry real per-span cells. A
+# bare `"spans": {}` (what a stale or profiler-bypassing writer emits)
+# has the opening brace but no aggregates, so pin a cell field too.
 grep -q '"spans": {' BENCH_agp.json
+grep -q '"total_ns":' BENCH_agp.json
+grep -q '"self_ns":' BENCH_agp.json
 # Fan-out determinism gate: the registry sharded over 2 workers must
 # produce a byte-identical parity manifest. The sharded pass records its
 # sweep wall under registry.jobs2 next to the serial pass's
@@ -57,3 +62,24 @@ cargo run --release -p agp-cli -- explain fig9 --policy so --against orig \
   --json explain.json --bench-out BENCH_agp.json
 cargo run --release -p agp-cli -- chaos --plan plans/smoke.json --verify \
   --check-invariants --events chaos.jsonl --bench-out BENCH_agp.json
+# Flight-recorder transparency: arming the black box on a fault-free run
+# must not perturb the simulation — the event stream stays byte-identical
+# to the unarmed baseline, and a clean run writes no incident dump.
+rm -f clean-incident.json incident.json
+cargo run --release -p agp-cli -- chaos --plan plans/smoke.json \
+  --check-invariants --flight-recorder --incident-out clean-incident.json \
+  --events chaos.armed.jsonl
+diff chaos.jsonl chaos.armed.jsonl
+test ! -e clean-incident.json
+# Incident pipeline smoke: the committed trip plan exhausts I/O recovery,
+# the watchdog freezes the ring, the run fails (so the unnegated exit is
+# asserted), the dump lands at --incident-out, and `agp postmortem`
+# renders it — the JSON report is uploaded by CI as an artifact.
+if cargo run --release -p agp-cli -- chaos --plan plans/trip.json \
+  --flight-recorder --incident-out incident.json; then
+  echo "trip plan must abort the run" >&2; exit 1
+fi
+test -s incident.json
+cargo run --release -p agp-cli -- postmortem incident.json --json postmortem.json
+grep -q '"kind": "postmortem"' postmortem.json
+grep -q '"rule": "recovery_exhausted"' postmortem.json
