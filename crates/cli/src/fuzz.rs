@@ -1,0 +1,323 @@
+//! `agp chaos --fuzz` / `--replay-corpus` — the chaos fuzzer driver.
+//!
+//! The search half lives in `agp_faults::fuzz` (plan generator, verdict
+//! taxonomy, shrinker) and the judgment half in `agp_cluster::classify`
+//! (the double-run verdict harness). This module is the orchestration
+//! between them and the filesystem:
+//!
+//! * [`run_fuzz`] — generate `--iters` plans from `--seed`, classify each
+//!   against every scenario in [`SCENARIOS`], delta-debug failing plans
+//!   to minimal reproducers, and write one findings directory: per
+//!   finding the original plan, the minimal plan, the frozen incident
+//!   dump and its `agp postmortem` report, plus a `findings.json`
+//!   manifest whose FNV-1a digest is byte-deterministic for a given
+//!   seed — two same-seed runs must print the same digest.
+//! * [`replay_corpus`] — re-classify every committed reproducer under
+//!   `plans/corpus/` and demand its pinned verdict, the regression gate
+//!   CI runs.
+//!
+//! Every run is keyed by the *plan's own* seed (`cfg.seed = plan.seed`),
+//! so a minimal reproducer file plus its scenario name reproduces the
+//! finding with no other context — which is what makes the corpus
+//! self-contained.
+
+use agp_cluster::{classify, ClusterConfig, ScheduleMode, VerdictReport};
+use agp_core::PolicyConfig;
+use agp_faults::fuzz::{fnv1a, shrink, GenBounds, PlanGen, Verdict};
+use agp_faults::FaultPlan;
+use agp_metrics::Json;
+use agp_workload::Benchmark;
+
+/// The scenario matrix every generated plan is classified against:
+/// the chaos-demo geometry (2× CG.A ×2 on 2 nodes, quick scale) under
+/// the full adaptive policy and under the original (non-adaptive)
+/// policy — recovery paths differ between them, so both are searched.
+pub const SCENARIOS: [&str; 2] = ["full", "orig"];
+
+/// Oracle-call budget the shrinker gets per finding (each call is a
+/// classified double-run, so this bounds wall-clock per finding).
+pub const DEFAULT_SHRINK_BUDGET: u32 = 160;
+
+/// Build the cluster configuration for one (scenario, plan) cell. The
+/// config seed is the plan's seed: a reproducer file is self-contained.
+pub fn scenario_config(name: &str, plan: FaultPlan) -> Result<ClusterConfig, String> {
+    let seed = plan.seed;
+    let mut cfg = match name {
+        "full" => agp_experiments::chaos_demo(seed),
+        "orig" => {
+            let mut s = agp_experiments::common::quick_parallel(Benchmark::CG, 2);
+            s.seed = seed;
+            let mut cfg = s.config(PolicyConfig::original(), ScheduleMode::Gang);
+            cfg.check_invariants = false;
+            cfg
+        }
+        other => return Err(format!("unknown scenario '{other}' (expected full|orig)")),
+    };
+    cfg.faults = Some(plan);
+    Ok(cfg)
+}
+
+/// Classify `plan` under `scenario`, treating harness plumbing errors as
+/// hard errors (they are bugs in the driver, not verdicts).
+fn classify_cell(scenario: &str, plan: &FaultPlan) -> Result<VerdictReport, String> {
+    let cfg = scenario_config(scenario, plan.clone())?;
+    classify(&cfg).map_err(|e| format!("scenario {scenario}: {e}"))
+}
+
+/// One failing plan, shrunk and written out.
+struct Finding {
+    iter: u64,
+    scenario: &'static str,
+    verdict: Verdict,
+    detail: String,
+    stem: String,
+    shrunk_faults: usize,
+    original_faults: usize,
+}
+
+/// The fuzz loop; returns the number of failing (shrunk, written)
+/// findings. See the module docs for the directory layout. The printed
+/// digest (also in `findings.json`) is the byte-determinism witness two
+/// same-seed runs must agree on.
+pub fn run_fuzz(
+    seed: u64,
+    iters: u64,
+    findings_dir: &str,
+    shrink_budget: u32,
+) -> Result<usize, String> {
+    std::fs::create_dir_all(findings_dir).map_err(|e| format!("--findings {findings_dir}: {e}"))?;
+    let mut gen = PlanGen::new(seed, GenBounds::default());
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut digest_buf: Vec<u8> = Vec::new();
+    let mut verdict_counts: Vec<(Verdict, u64)> = Verdict::ALL.iter().map(|v| (*v, 0)).collect();
+
+    for iter in 0..iters {
+        let plan = gen.plan();
+        for scenario in SCENARIOS {
+            let report = classify_cell(scenario, &plan)?;
+            if let Some(slot) = verdict_counts
+                .iter_mut()
+                .find(|(v, _)| *v == report.verdict)
+            {
+                slot.1 += 1;
+            }
+            if !report.verdict.is_failing() {
+                continue;
+            }
+            eprintln!(
+                "fuzz: iter {iter} scenario {scenario}: {} — shrinking (budget {shrink_budget})",
+                report.verdict.name()
+            );
+            let target = report.verdict;
+            let minimal = shrink(&plan, target, shrink_budget, |cand| {
+                classify_cell(scenario, cand).map_or(Verdict::Clean, |r| r.verdict)
+            });
+            // Re-classify the minimal plan to capture *its* incident dump
+            // (the original's dump describes a larger fault set).
+            let mreport = classify_cell(scenario, &minimal)?;
+            let stem = format!("f{iter:03}.{scenario}.{}", target.name());
+            write_finding(findings_dir, &stem, &plan, &minimal, &mreport)?;
+            digest_buf.extend_from_slice(scenario.as_bytes());
+            digest_buf.push(b'\n');
+            digest_buf.extend_from_slice(target.name().as_bytes());
+            digest_buf.push(b'\n');
+            digest_buf.extend_from_slice(minimal.to_json_string().as_bytes());
+            findings.push(Finding {
+                iter,
+                scenario,
+                verdict: target,
+                detail: mreport.detail.clone(),
+                stem,
+                shrunk_faults: minimal.faults.len(),
+                original_faults: plan.faults.len(),
+            });
+        }
+    }
+
+    let digest = fnv1a(&digest_buf);
+    let manifest = manifest_json(seed, iters, &findings, &verdict_counts, digest);
+    let manifest_path = format!("{findings_dir}/findings.json");
+    std::fs::write(&manifest_path, manifest.to_string_compact() + "\n")
+        .map_err(|e| format!("{manifest_path}: {e}"))?;
+    for (v, n) in &verdict_counts {
+        if *n > 0 {
+            eprintln!("fuzz: {:>4} × {}", n, v.name());
+        }
+    }
+    println!(
+        "fuzz: {} finding(s) over {iters} iteration(s) × {} scenario(s), digest {digest:016x}",
+        findings.len(),
+        SCENARIOS.len()
+    );
+    Ok(findings.len())
+}
+
+/// Write one finding's file set: the original failing plan, the minimal
+/// reproducer, and (when the minimal run froze the ring) the incident
+/// dump plus its postmortem report.
+fn write_finding(
+    dir: &str,
+    stem: &str,
+    plan: &FaultPlan,
+    minimal: &FaultPlan,
+    mreport: &VerdictReport,
+) -> Result<(), String> {
+    let put = |suffix: &str, text: &str| -> Result<(), String> {
+        let path = format!("{dir}/{stem}.{suffix}");
+        std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))
+    };
+    put("plan.json", &plan.to_json_string())?;
+    put("minimal.json", &minimal.to_json_string())?;
+    if let Some(dump) = &mreport.incident {
+        let dump_text = dump.to_json_string();
+        put("incident.json", &dump_text)?;
+        let pm = agp_explain::PostmortemReport::from_dump_str(&dump_text)
+            .map_err(|e| format!("{stem}: postmortem: {e}"))?;
+        put("postmortem.json", &pm.to_json_string())?;
+    }
+    Ok(())
+}
+
+fn manifest_json(
+    seed: u64,
+    iters: u64,
+    findings: &[Finding],
+    verdict_counts: &[(Verdict, u64)],
+    digest: u64,
+) -> Json {
+    Json::Obj(vec![
+        ("schema_version".into(), Json::Num(1.0)),
+        ("kind".into(), Json::Str("fuzz_findings".into())),
+        ("seed".into(), Json::Str(format!("{seed:016x}"))),
+        ("iters".into(), Json::Num(iters as f64)),
+        (
+            "scenarios".into(),
+            Json::Arr(SCENARIOS.iter().map(|s| Json::Str((*s).into())).collect()),
+        ),
+        (
+            "verdicts".into(),
+            Json::Obj(
+                verdict_counts
+                    .iter()
+                    .map(|(v, n)| (v.name().into(), Json::Num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "findings".into(),
+            Json::Arr(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("iter".into(), Json::Num(f.iter as f64)),
+                            ("scenario".into(), Json::Str(f.scenario.into())),
+                            ("verdict".into(), Json::Str(f.verdict.name().into())),
+                            ("detail".into(), Json::Str(f.detail.clone())),
+                            ("stem".into(), Json::Str(f.stem.clone())),
+                            (
+                                "original_faults".into(),
+                                Json::Num(f.original_faults as f64),
+                            ),
+                            ("minimal_faults".into(), Json::Num(f.shrunk_faults as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("digest".into(), Json::Str(format!("{digest:016x}"))),
+    ])
+}
+
+/// Parse a corpus filename into its pinned `(verdict, scenario)` pair.
+/// The convention is `<verdict>.<scenario>.<slug>.json`, e.g.
+/// `hang.full.barrier-blackout.json`.
+pub fn corpus_name(file: &str) -> Result<(Verdict, String), String> {
+    let parts: Vec<&str> = file.split('.').collect();
+    if parts.len() < 4 || parts.last().copied() != Some("json") {
+        return Err(format!(
+            "corpus file {file:?} must be named <verdict>.<scenario>.<slug>.json"
+        ));
+    }
+    let verdict = Verdict::from_name(parts[0])
+        .ok_or_else(|| format!("corpus file {file:?}: unknown verdict {:?}", parts[0]))?;
+    Ok((verdict, parts[1].to_string()))
+}
+
+/// Replay every committed reproducer in `dir` and demand its pinned
+/// verdict. Returns the mismatch count (0 means the gate passes).
+pub fn replay_corpus(dir: &str) -> Result<usize, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("--replay-corpus {dir}: {e}"))?
+        .filter_map(|entry| {
+            entry
+                .ok()
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+        })
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("--replay-corpus {dir}: no .json reproducers found"));
+    }
+    let mut mismatches = 0usize;
+    for name in &names {
+        let (want, scenario) = corpus_name(name)?;
+        let path = format!("{dir}/{name}");
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let plan = FaultPlan::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        let report = classify_cell(&scenario, &plan)?;
+        if report.verdict == want {
+            println!("corpus {name}: {} (pinned verdict holds)", want.name());
+        } else {
+            mismatches += 1;
+            println!(
+                "corpus {name}: REGRESSION — pinned {} but classified {}{}",
+                want.name(),
+                report.verdict.name(),
+                if report.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", report.detail)
+                }
+            );
+        }
+    }
+    println!(
+        "corpus: {} reproducer(s), {} mismatch(es)",
+        names.len(),
+        mismatches
+    );
+    Ok(mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_parse_verdict_and_scenario() {
+        let (v, s) = corpus_name("hang.full.barrier-blackout.json").unwrap();
+        assert_eq!(v, Verdict::Hang);
+        assert_eq!(s, "full");
+        let (v, s) = corpus_name("watchdog_trip.orig.io-storm.json").unwrap();
+        assert_eq!(v, Verdict::WatchdogTrip);
+        assert_eq!(s, "orig");
+        assert!(corpus_name("plain.json").is_err(), "too few segments");
+        assert!(corpus_name("bogus.full.x.json").is_err(), "unknown verdict");
+        assert!(corpus_name("hang.full.x.txt").is_err(), "not .json");
+    }
+
+    #[test]
+    fn scenario_configs_embed_the_plan_and_its_seed() {
+        let plan = FaultPlan::smoke(0xABCD);
+        for name in SCENARIOS {
+            let cfg = scenario_config(name, plan.clone()).unwrap();
+            assert_eq!(cfg.seed, 0xABCD, "{name}: config keyed by plan seed");
+            assert_eq!(cfg.faults.as_ref().unwrap(), &plan);
+            assert_eq!(cfg.nodes, 2);
+            assert_eq!(cfg.jobs.len(), 2);
+        }
+        assert!(scenario_config("nope", plan).is_err());
+    }
+}

@@ -38,13 +38,25 @@ use std::process::ExitCode;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+mod fuzz;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
-        Some("chaos") => cmd_chaos(&args[1..]),
+        // chaos has a three-way exit: 0 clean, 2 fuzz findings or corpus
+        // regressions, 1 error — so it bypasses the Result funnel below.
+        Some("chaos") => {
+            return match cmd_chaos(&args[1..]) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("agp: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("profile") => cmd_profile(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
@@ -97,7 +109,7 @@ fn print_usage() {
          \x20 agp list                          list the paper experiments\n\
          \x20 agp run <id>|all [options]        regenerate a figure/table\n\
          \x20 agp sim [options]                 run one custom cluster configuration\n\
-         \x20 agp chaos [options]               fault-injection demo run with recovery summary\n\
+         \x20 agp chaos [options]               fault-injection demo, fuzzer, and corpus gate (exit 2 on findings)\n\
          \x20 agp profile <id> [options]        profile an experiment's gang switches\n\
          \x20 agp trace <id> [options]          export one run as a Perfetto/Chrome trace\n\
          \x20 agp explain <id> [options]        causal critical-path attribution of switch latency\n\
@@ -143,8 +155,14 @@ fn print_usage() {
          \x20 --events PATH                     export the JSONL event stream\n\
          \x20 --check-invariants                sweep conservation/coherence invariants during the run\n\
          \x20 --bench-out PATH                  append this pass's wall-clock to a BENCH manifest\n\
+         \x20 --fuzz                            search the fault space: generate plans, classify, shrink\n\
+         \x20 --iters N                         fuzz iterations (default 32); each runs every scenario\n\
+         \x20 --findings DIR                    where reproducers + findings.json land (default findings/)\n\
+         \x20 --shrink-budget N                 oracle calls per delta-debugged finding (default 160)\n\
+         \x20 --replay-corpus DIR               re-classify committed reproducers, exit 2 on verdict drift\n\
          \x20 --flight-recorder / --incident-out PATH / --stall-slo SECS / --queue-limit N\n\
-         \x20                                   see FLIGHT RECORDER below\n\n\
+         \x20                                   see FLIGHT RECORDER below\n\
+         \x20 exit codes: 0 clean / no findings, 2 findings or corpus regressions, 1 error\n\n\
          POSTMORTEM OPTIONS:\n\
          \x20 --json PATH                       write the postmortem report as deterministic JSON\n\n\
          FLIGHT RECORDER (run / sim / chaos):\n\
@@ -152,6 +170,7 @@ fn print_usage() {
          \x20                                   samples, and snapshots; arm deterministic watchdogs\n\
          \x20 --incident-out PATH               where a frozen incident dump is written (default incident.json)\n\
          \x20 --stall-slo SECS                  trip when a job makes no progress for SECS of sim time\n\
+         \x20 --no-progress-slo SECS            trip when EVERY unfinished job stalls for SECS — the hang detector\n\
          \x20 --queue-limit N                   trip when the event queue exceeds N entries\n\n\
          PROFILE OPTIONS:\n\
          \x20 --scale paper|quick               testbed geometry or CI-sized (default: quick)\n\
@@ -305,6 +324,7 @@ struct FlightArgs {
     incident_out: Option<String>,
     stall_slo_secs: Option<u64>,
     queue_limit: Option<u64>,
+    no_progress_slo_secs: Option<u64>,
 }
 
 impl FlightArgs {
@@ -333,6 +353,14 @@ impl FlightArgs {
                         .map_err(|e| format!("--queue-limit: {e}"))?,
                 );
             }
+            "--no-progress-slo" => {
+                self.no_progress_slo_secs = Some(
+                    it.next()
+                        .ok_or("--no-progress-slo needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--no-progress-slo: {e}"))?,
+                );
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -348,6 +376,9 @@ impl FlightArgs {
             flight::arm(FlightConfig {
                 stall_slo_us: self.stall_slo_secs.map(|s| s.saturating_mul(1_000_000)),
                 queue_limit: self.queue_limit,
+                no_progress_us: self
+                    .no_progress_slo_secs
+                    .map(|s| s.saturating_mul(1_000_000)),
                 ..FlightConfig::default()
             });
             eprintln!(
@@ -862,7 +893,11 @@ fn print_fault_summary(c: &agp_obs::ObsCounters) {
 /// the scheduler recovered. `--verify` runs the whole simulation twice
 /// and requires byte-identical event streams — the determinism guarantee
 /// `plans/smoke.json` is committed to document.
-fn cmd_chaos(args: &[String]) -> Result<(), String> {
+/// `agp chaos`: demo run, fuzzer, and corpus gate. Exit contract
+/// (documented in the README and pinned by a CLI test): 0 = clean run /
+/// no fuzz findings / corpus verdicts hold, 2 = fuzz findings written or
+/// corpus regressions, 1 = any error.
+fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
     let mut plan_path: Option<String> = None;
     let mut emit_plan: Option<String> = None;
     let mut seed = 0x5EED_600Du64;
@@ -871,6 +906,11 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut check_invariants = false;
     let mut bench_out: Option<String> = None;
     let mut emit_trip_plan: Option<String> = None;
+    let mut do_fuzz = false;
+    let mut iters = 32u64;
+    let mut findings_dir = "findings".to_string();
+    let mut shrink_budget = fuzz::DEFAULT_SHRINK_BUDGET;
+    let mut replay_corpus: Option<String> = None;
     let mut flight_args = FlightArgs::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -889,8 +929,50 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             "--events" => events = Some(val("--events")?.clone()),
             "--check-invariants" => check_invariants = true,
             "--bench-out" => bench_out = Some(val("--bench-out")?.clone()),
+            "--fuzz" => do_fuzz = true,
+            "--iters" => {
+                iters = val("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--findings" => findings_dir = val("--findings")?.clone(),
+            "--shrink-budget" => {
+                shrink_budget = val("--shrink-budget")?
+                    .parse()
+                    .map_err(|e| format!("--shrink-budget: {e}"))?;
+            }
+            "--replay-corpus" => replay_corpus = Some(val("--replay-corpus")?.clone()),
             other => return Err(format!("unknown option '{other}'")),
         }
+    }
+
+    if do_fuzz || replay_corpus.is_some() {
+        // The verdict harness owns the process-global flight recorder
+        // (fixed rule set, armed per classified run): the demo-run flag
+        // families don't compose with it.
+        if flight_args.armed || verify || plan_path.is_some() || events.is_some() {
+            return Err(
+                "--fuzz/--replay-corpus run under the harness's own flight recorder and \
+                 scenario matrix; drop --flight-recorder/--verify/--plan/--events"
+                    .into(),
+            );
+        }
+        let t0 = std::time::Instant::now();
+        let (failures, bench_key) = match &replay_corpus {
+            Some(dir) => (fuzz::replay_corpus(dir)?, "chaos.replay"),
+            None => (
+                fuzz::run_fuzz(seed, iters, &findings_dir, shrink_budget)?,
+                "chaos.fuzz",
+            ),
+        };
+        if let Some(path) = &bench_out {
+            append_bench(path, bench_key, t0.elapsed().as_secs_f64())?;
+        }
+        return Ok(if failures == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        });
     }
 
     if let Some(path) = &emit_plan {
@@ -901,7 +983,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             "wrote the built-in smoke plan (seed {seed}, {} faults) to {path}",
             plan.faults.len()
         );
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     if let Some(path) = &emit_trip_plan {
         let plan = FaultPlan::trip(seed);
@@ -911,7 +993,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             "wrote the recovery-exhaustion trip plan (seed {seed}, {} fault(s)) to {path}",
             plan.faults.len()
         );
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
 
     let plan = match &plan_path {
@@ -970,6 +1052,13 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             "verify: two runs, byte-identical event streams ({} bytes)",
             first.len()
         );
+        // The counter-tiling audit (same invariant the fuzz harness
+        // enforces): retries tile disk errors exactly, degradations and
+        // restarts stay within their budgets.
+        if let Some(violation) = agp_cluster::counter_tiling_violation(&counters, cfg.nodes) {
+            return Err(format!("verify: counter tiling violated: {violation}"));
+        }
+        println!("verify: fault counters tile (retries == errors, degradations within bounds)");
     }
     flight_args.on_success();
     if let Some(path) = &events {
@@ -1001,15 +1090,22 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = &bench_out {
-        let mut bench = match std::fs::read_to_string(path) {
-            Ok(text) => BenchManifest::parse(&text)
-                .map_err(|e| format!("--bench-out {path}: {e} (delete it to start fresh)"))?,
-            Err(_) => BenchManifest::new(),
-        };
-        bench.insert("chaos.smoke".to_string(), t0.elapsed().as_secs_f64());
-        std::fs::write(path, bench.to_json()).map_err(|e| format!("--bench-out {path}: {e}"))?;
-        eprintln!("appended chaos.smoke wall-clock to {path}");
+        append_bench(path, "chaos.smoke", t0.elapsed().as_secs_f64())?;
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Append one wall-clock timing row to a BENCH manifest (creating it
+/// when absent).
+fn append_bench(path: &str, key: &str, secs: f64) -> Result<(), String> {
+    let mut bench = match std::fs::read_to_string(path) {
+        Ok(text) => BenchManifest::parse(&text)
+            .map_err(|e| format!("--bench-out {path}: {e} (delete it to start fresh)"))?,
+        Err(_) => BenchManifest::new(),
+    };
+    bench.insert(key.to_string(), secs);
+    std::fs::write(path, bench.to_json()).map_err(|e| format!("--bench-out {path}: {e}"))?;
+    eprintln!("appended {key} wall-clock to {path}");
     Ok(())
 }
 

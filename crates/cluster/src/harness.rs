@@ -1,0 +1,329 @@
+//! The fuzzer's double-run verdict harness.
+//!
+//! [`classify`] runs one configuration **twice** under an armed flight
+//! recorder and maps the outcome pair onto the closed
+//! [`Verdict`](agp_faults::fuzz::Verdict) taxonomy. Two runs because
+//! nondeterminism is itself a verdict: the traces, counters, errors, and
+//! incident dumps of both runs must agree byte for byte, or the finding
+//! is `Nondeterministic` regardless of how either run ended.
+//!
+//! The harness owns the process-global flight recorder while it runs
+//! (arming, collecting the incident, disarming), so callers must not
+//! have their own recorder armed around it.
+
+use crate::config::ClusterConfig;
+use crate::error::SimError;
+use crate::result::RunResult;
+use agp_faults::fuzz::Verdict;
+use agp_obs::flight::{self, FlightConfig, IncidentDump};
+use agp_obs::{shared, Collector, JsonlWriter, ObsCounters, ObsLink, SharedSink, WatchdogRule};
+
+/// The fuzz harness's no-progress (hang) bound, sim-µs. Generous: the
+/// worst *legitimate* global stall a generated plan can cause is a full
+/// barrier re-issue ladder (≤ 10 re-issues at ≤ 60 s default timeout),
+/// so half an hour of zero job progress means wedged, not slow.
+pub const FUZZ_NO_PROGRESS_US: u64 = 1_800_000_000;
+
+/// The fuzz harness's event-queue bound (runaway self-scheduling).
+pub const FUZZ_QUEUE_LIMIT: u64 = 1_000_000;
+
+/// The fixed flight configuration every fuzzed run is classified under.
+/// Part of the reproducibility contract: corpus entries replay against
+/// these exact rules, so the knobs are constants, not CLI flags.
+pub fn fuzz_flight_config() -> FlightConfig {
+    FlightConfig {
+        no_progress_us: Some(FUZZ_NO_PROGRESS_US),
+        queue_limit: Some(FUZZ_QUEUE_LIMIT),
+        ..FlightConfig::default()
+    }
+}
+
+/// Everything the fuzzer needs to triage one classified run.
+#[derive(Clone, Debug)]
+pub struct VerdictReport {
+    /// The closed classification.
+    pub verdict: Verdict,
+    /// Human detail for failing verdicts (which component diverged, what
+    /// the tiling mismatch was, the run error's rendering).
+    pub detail: String,
+    /// Typed fault counters from the first run.
+    pub counters: ObsCounters,
+    /// First run's full JSONL event stream.
+    pub trace: Vec<u8>,
+    /// The run error's rendering, when the run aborted.
+    pub error: Option<String>,
+    /// The frozen incident dump, when the flight recorder froze.
+    pub incident: Option<IncidentDump>,
+}
+
+/// The fault/recovery counter-tiling invariant (audited here and by
+/// `agp chaos --verify`):
+///
+/// * every injected disk error schedules exactly one retry, and
+///   exhausted budgets force the attempt through as a success — so
+///   `fault_io_retries` must equal `fault_disk_errors` (attempts minus
+///   successes) on any *completed* run;
+/// * adaptive page-in degrades a node at most once, so
+///   `fault_ai_degrades` is bounded by the node count;
+/// * a node restarts only after a crash, so restarts never exceed
+///   crashes.
+pub fn counter_tiling_violation(c: &ObsCounters, nodes: u32) -> Option<String> {
+    if c.fault_io_retries != c.fault_disk_errors {
+        return Some(format!(
+            "io retries ({}) != disk errors ({}): a retry was dropped or double-counted",
+            c.fault_io_retries, c.fault_disk_errors
+        ));
+    }
+    if c.fault_ai_degrades > u64::from(nodes) {
+        return Some(format!(
+            "ai degradations ({}) exceed node count ({nodes}): a node degraded twice",
+            c.fault_ai_degrades
+        ));
+    }
+    if c.fault_node_restarts > c.fault_node_crashes {
+        return Some(format!(
+            "node restarts ({}) exceed crashes ({})",
+            c.fault_node_restarts, c.fault_node_crashes
+        ));
+    }
+    None
+}
+
+struct RunCapture {
+    outcome: Result<RunResult, SimError>,
+    counters: ObsCounters,
+    trace: Vec<u8>,
+    incident: Option<IncidentDump>,
+}
+
+fn one_run(cfg: &ClusterConfig, watch: &FlightConfig) -> Result<RunCapture, String> {
+    flight::arm(watch.clone());
+    let collector = shared(Collector::new());
+    let mem = shared(JsonlWriter::new(Vec::new()));
+    let link = ObsLink::fanout(vec![
+        collector.clone() as SharedSink,
+        mem.clone() as SharedSink,
+    ]);
+    let outcome = crate::run_observed(cfg.clone(), &link);
+    drop(link);
+    let incident = flight::take_incident();
+    flight::disarm();
+    let counters = unwrap_shared(collector)?.counters;
+    let trace = unwrap_shared(mem)?
+        .finish()
+        .map_err(|e| format!("event capture: {e}"))?;
+    Ok(RunCapture {
+        outcome,
+        counters,
+        trace,
+        incident,
+    })
+}
+
+fn unwrap_shared<T>(sink: std::sync::Arc<std::sync::Mutex<T>>) -> Result<T, String> {
+    let mutex = std::sync::Arc::try_unwrap(sink)
+        .map_err(|_| "observer sink still shared after the run".to_string())?;
+    Ok(mutex
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner))
+}
+
+/// Classify `cfg` under the fixed [`fuzz_flight_config`] rule set.
+pub fn classify(cfg: &ClusterConfig) -> Result<VerdictReport, String> {
+    classify_with(cfg, &fuzz_flight_config())
+}
+
+/// Classify `cfg` under an explicit flight configuration: run twice,
+/// demand byte-identical behavior, then map the (deterministic) outcome
+/// onto the verdict taxonomy. `Err` is harness plumbing only (sink
+/// recovery); every simulation outcome, including aborts, is a verdict.
+pub fn classify_with(cfg: &ClusterConfig, watch: &FlightConfig) -> Result<VerdictReport, String> {
+    let a = one_run(cfg, watch)?;
+    let b = one_run(cfg, watch)?;
+    if let Some(diverged) = divergence(&a, &b) {
+        return Ok(VerdictReport {
+            verdict: Verdict::Nondeterministic,
+            detail: format!("same-seed double run diverged: {diverged}"),
+            counters: a.counters,
+            trace: a.trace,
+            error: a.outcome.err().map(|e| e.to_string()),
+            incident: a.incident,
+        });
+    }
+    let (verdict, detail) = match &a.outcome {
+        Err(SimError::WatchdogTrip { rule, .. }) if *rule == WatchdogRule::NoProgress => {
+            (Verdict::Hang, a.outcome.as_ref().unwrap_err().to_string())
+        }
+        Err(SimError::WatchdogTrip { .. }) => (
+            Verdict::WatchdogTrip,
+            a.outcome.as_ref().unwrap_err().to_string(),
+        ),
+        Err(SimError::InvariantViolation { .. }) => (
+            Verdict::InvariantViolation,
+            a.outcome.as_ref().unwrap_err().to_string(),
+        ),
+        Err(e) => (Verdict::TypedError, e.to_string()),
+        Ok(_) => match counter_tiling_violation(&a.counters, cfg.nodes) {
+            Some(violation) => (
+                Verdict::InvariantViolation,
+                format!("counter tiling: {violation}"),
+            ),
+            None if faults_fired(&a.counters) => (Verdict::Recovered, String::new()),
+            None => (Verdict::Clean, String::new()),
+        },
+    };
+    let error = a.outcome.err().map(|e| e.to_string());
+    Ok(VerdictReport {
+        verdict,
+        detail,
+        counters: a.counters,
+        trace: a.trace,
+        error,
+        incident: a.incident,
+    })
+}
+
+fn faults_fired(c: &ObsCounters) -> bool {
+    c.fault_disk_errors
+        + c.fault_disk_slow_us
+        + c.fault_io_retries
+        + c.fault_node_crashes
+        + c.fault_node_restarts
+        + c.fault_jobs_requeued
+        + c.fault_barrier_timeouts
+        + c.fault_mem_pressure_pages
+        + c.fault_ai_degrades
+        > 0
+}
+
+fn divergence(a: &RunCapture, b: &RunCapture) -> Option<&'static str> {
+    if a.trace != b.trace {
+        return Some("event traces");
+    }
+    if format!("{:?}", a.counters) != format!("{:?}", b.counters) {
+        return Some("fault counters");
+    }
+    let err_of = |r: &RunCapture| r.outcome.as_ref().err().map(|e| e.to_string());
+    if err_of(a) != err_of(b) {
+        return Some("run errors");
+    }
+    let dump_of = |r: &RunCapture| r.incident.as_ref().map(|d| d.to_json_string());
+    if dump_of(a) != dump_of(b) {
+        return Some("incident dumps");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JobSpec;
+    use crate::ScheduleMode;
+    use agp_core::PolicyConfig;
+    use agp_faults::{FaultPlan, FaultSpec, RecoveryPolicy};
+    use agp_sim::SimDur;
+    use agp_workload::{Benchmark, Class, WorkloadSpec};
+
+    /// The flight recorder is process-global: serialize every test that
+    /// arms it (same pattern as `agp_obs::flight`'s own tests).
+    fn hub_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn cfg_with(plan: FaultPlan) -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_defaults(2);
+        cfg.mem_mib = 64;
+        cfg.wired_mib = 24;
+        cfg.quantum = SimDur::from_secs(5);
+        cfg.policy = PolicyConfig::full();
+        cfg.mode = ScheduleMode::Gang;
+        cfg.jobs = vec![
+            JobSpec::new(
+                "CG.A x2 #1",
+                WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
+            ),
+            JobSpec::new(
+                "CG.A x2 #2",
+                WorkloadSpec::parallel(Benchmark::CG, Class::A, 2),
+            ),
+        ];
+        cfg.faults = Some(plan);
+        cfg
+    }
+
+    #[test]
+    fn faultless_run_is_clean_and_leaves_no_incident() {
+        let _g = hub_lock();
+        let report = classify(&cfg_with(FaultPlan::empty(3))).unwrap();
+        assert_eq!(report.verdict, Verdict::Clean);
+        assert!(report.error.is_none());
+        assert!(report.incident.is_none());
+        assert!(!report.trace.is_empty());
+        assert!(!flight::armed(), "harness must disarm after itself");
+    }
+
+    #[test]
+    fn surviving_faults_classify_as_recovered_with_tiling_counters() {
+        let _g = hub_lock();
+        let report = classify(&cfg_with(FaultPlan::smoke(3))).unwrap();
+        assert_eq!(report.verdict, Verdict::Recovered, "{}", report.detail);
+        assert!(faults_fired(&report.counters));
+        assert_eq!(
+            counter_tiling_violation(&report.counters, 2),
+            None,
+            "smoke recovery must tile"
+        );
+    }
+
+    #[test]
+    fn exhausted_recovery_classifies_as_watchdog_trip_with_incident() {
+        let _g = hub_lock();
+        let report = classify(&cfg_with(FaultPlan::trip(3))).unwrap();
+        assert_eq!(report.verdict, Verdict::WatchdogTrip);
+        let incident = report.incident.expect("trip freezes the ring");
+        assert!(incident.to_json_string().contains("recovery_exhausted"));
+    }
+
+    #[test]
+    fn a_total_barrier_blackout_classifies_as_hang() {
+        let _g = hub_lock();
+        // Job 0's releases always drop and the re-issue timeout is pushed
+        // past the no-progress bound: once job 1 finishes, nothing in the
+        // cluster makes progress until the watchdog calls it a hang.
+        let mut plan = FaultPlan::empty(3);
+        plan.faults = vec![FaultSpec::BarrierDrops {
+            job: 0,
+            p: 1.0,
+            from_us: 0,
+            until_us: u64::MAX,
+        }];
+        plan.recovery = RecoveryPolicy {
+            barrier_timeout_us: 3_600_000_000,
+            ..RecoveryPolicy::default()
+        };
+        let report = classify(&cfg_with(plan)).unwrap();
+        assert_eq!(report.verdict, Verdict::Hang, "{}", report.detail);
+        let incident = report.incident.expect("hang freezes the ring");
+        assert!(incident.to_json_string().contains("no_progress"));
+    }
+
+    #[test]
+    fn tiling_violations_are_detected() {
+        let mut c = ObsCounters {
+            fault_disk_errors: 3,
+            fault_io_retries: 2,
+            ..ObsCounters::default()
+        };
+        assert!(counter_tiling_violation(&c, 2)
+            .expect("mismatch detected")
+            .contains("retries"));
+        c.fault_io_retries = 3;
+        assert_eq!(counter_tiling_violation(&c, 2), None);
+        c.fault_ai_degrades = 3;
+        assert!(counter_tiling_violation(&c, 2).is_some());
+    }
+}

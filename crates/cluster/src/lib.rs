@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod error;
+pub mod harness;
 pub mod monitor;
 pub mod proc;
 pub mod result;
@@ -40,6 +41,7 @@ mod watchdog;
 
 pub use config::{ClusterConfig, JobSpec, ScheduleMode};
 pub use error::SimError;
+pub use harness::{classify, classify_with, counter_tiling_violation, VerdictReport};
 pub use monitor::{MetricsSnapshot, MonitorHub};
 pub use result::{JobResult, NodeReport, RunResult, RESULT_SCHEMA_VERSION};
 pub use sim::ClusterSim;

@@ -180,6 +180,11 @@ pub struct ClusterSim {
     /// the main loop converts it into the aborting error between events,
     /// after the handler has left state coherent.
     pending_trip: Option<Trip>,
+    /// When the last watchdog sweep ran — the time-based cadence's anchor.
+    /// A quiet event queue (a wedged barrier re-issuing hourly) starves
+    /// the event-count cadence, so sweeps are also due on sim-time
+    /// advance (see [`Watchdog::time_cadence`]).
+    last_sweep: SimTime,
 }
 
 impl ClusterSim {
@@ -289,6 +294,7 @@ impl ClusterSim {
             watchdog: Watchdog::default(),
             job_last_progress: vec![SimTime::ZERO; njobs],
             pending_trip: None,
+            last_sweep: SimTime::ZERO,
         })
     }
 
@@ -465,7 +471,16 @@ impl ClusterSim {
             if self.cfg.check_invariants && self.events.is_multiple_of(INVARIANT_SWEEP_EVERY) {
                 self.verify_invariants("periodic sweep")?;
             }
-            if self.watchdog.sweeps() && self.events.is_multiple_of(INVARIANT_SWEEP_EVERY) {
+            // Sweeps are due every N events *or* when sim time has
+            // advanced past the time-based rules' cadence — a stalled
+            // queue delivers events too rarely for the count alone.
+            let sweep_due = self.events.is_multiple_of(INVARIANT_SWEEP_EVERY)
+                || self
+                    .watchdog
+                    .time_cadence()
+                    .is_some_and(|c| self.now.since(self.last_sweep) >= c);
+            if self.watchdog.sweeps() && sweep_due {
+                self.last_sweep = self.now;
                 if let Some(trip) = self.watchdog.sweep(
                     self.now,
                     &self.job_last_progress,
@@ -2040,7 +2055,7 @@ mod tests {
         let mut sim = ClusterSim::new(cfg).unwrap();
         sim.attach_observer(&link);
         let r = sim.run().unwrap();
-        let counters = sink.lock().unwrap().counters.clone();
+        let counters = sink.lock().unwrap().counters;
         (r, counters)
     }
 

@@ -16,6 +16,10 @@
 //!   `io_retries` or `barrier_retries`);
 //! * **job_stall** — an unfinished job made no observable progress
 //!   (dispatch, I/O completion, barrier release) past the configured SLO;
+//! * **no_progress** — *every* unfinished job stalled at once: sim time
+//!   keeps advancing (timers, background ticks) but no job-level progress
+//!   happens for the whole bound — the run is hung, not slow. This is the
+//!   fuzzer's `Hang` oracle;
 //! * **queue_depth** — the event queue grew past the configured bound
 //!   (runaway self-scheduling).
 //!
@@ -47,6 +51,7 @@ pub(crate) struct Watchdog {
     armed: bool,
     stall_slo: Option<SimDur>,
     queue_limit: Option<u64>,
+    no_progress: Option<SimDur>,
     trip_on_exhaustion: bool,
 }
 
@@ -59,6 +64,7 @@ impl Watchdog {
                 armed: true,
                 stall_slo: cfg.stall_slo_us.map(SimDur::from_us),
                 queue_limit: cfg.queue_limit,
+                no_progress: cfg.no_progress_us.map(SimDur::from_us),
                 trip_on_exhaustion: cfg.trip_on_exhaustion,
             },
             None => Watchdog::default(),
@@ -78,13 +84,31 @@ impl Watchdog {
 
     /// Whether the periodic sweep has anything to evaluate.
     pub fn sweeps(&self) -> bool {
-        self.armed && (self.stall_slo.is_some() || self.queue_limit.is_some())
+        self.armed
+            && (self.stall_slo.is_some()
+                || self.queue_limit.is_some()
+                || self.no_progress.is_some())
+    }
+
+    /// Largest sim-time gap the loop may leave between sweeps. The
+    /// event-count cadence starves on a quiet queue — a wedged barrier
+    /// re-issues once an *hour*, so thousands of events never accumulate
+    /// — which is exactly when the time-based rules matter most. Half the
+    /// tightest bound guarantees a stall is observed within 1.5× its
+    /// bound of starting. `None` when no time-based rule is armed.
+    pub fn time_cadence(&self) -> Option<SimDur> {
+        let tightest = match (self.stall_slo, self.no_progress) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }?;
+        Some(SimDur::from_us((tightest.as_us() / 2).max(1)))
     }
 
     /// Evaluate the sweep rules at `now`: per-job stall SLO (jobs without
-    /// a completion entry in `done`, last-progress instants in `last`)
-    /// and event-queue depth. First match wins, jobs in index order —
-    /// deterministic for a deterministic event stream.
+    /// a completion entry in `done`, last-progress instants in `last`),
+    /// the global no-progress bound, and event-queue depth. First match
+    /// wins, jobs in index order — deterministic for a deterministic
+    /// event stream.
     pub fn sweep(
         &self,
         now: SimTime,
@@ -106,6 +130,27 @@ impl Watchdog {
                         rule: WatchdogRule::JobStall,
                         value: stall.as_us(),
                         limit: slo.as_us(),
+                    });
+                }
+            }
+        }
+        if let Some(bound) = self.no_progress {
+            // The freshest progress instant over *unfinished* jobs: when
+            // even that is past the bound, nothing is moving — the event
+            // queue is either drained or churning on non-job timers.
+            let freshest = last
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !done.get(*j).is_some_and(|c| c.is_some()))
+                .map(|(_, at)| *at)
+                .max();
+            if let Some(at) = freshest {
+                let stall = now.since(at);
+                if stall > bound {
+                    return Some(Trip {
+                        rule: WatchdogRule::NoProgress,
+                        value: stall.as_us(),
+                        limit: bound.as_us(),
                     });
                 }
             }
@@ -185,6 +230,17 @@ mod tests {
             armed: true,
             stall_slo: stall_slo_us.map(SimDur::from_us),
             queue_limit,
+            no_progress: None,
+            trip_on_exhaustion: true,
+        }
+    }
+
+    fn hang_armed(no_progress_us: u64) -> Watchdog {
+        Watchdog {
+            armed: true,
+            stall_slo: None,
+            queue_limit: None,
+            no_progress: Some(SimDur::from_us(no_progress_us)),
             trip_on_exhaustion: true,
         }
     }
@@ -242,6 +298,60 @@ mod tests {
             .sweep(SimTime::from_us(100), &[SimTime::ZERO], &[None], 50)
             .expect("trip");
         assert_eq!(trip.rule, WatchdogRule::JobStall, "first rule wins");
+    }
+
+    #[test]
+    fn no_progress_trips_only_when_every_unfinished_job_stalls() {
+        let w = hang_armed(1_000);
+        assert!(w.sweeps());
+        let now = SimTime::from_us(10_000);
+        // One job still fresh: the run is slow, not hung.
+        let last = [SimTime::ZERO, SimTime::from_us(9_500)];
+        assert_eq!(w.sweep(now, &last, &[None, None], 0), None);
+        // The fresh job finishes; the survivor's stall now dates the run.
+        let done = [None, Some(SimTime::from_us(9_600))];
+        let trip = w.sweep(now, &last, &done, 0).expect("hang trip");
+        assert_eq!(trip.rule, WatchdogRule::NoProgress);
+        assert_eq!(trip.value, 10_000);
+        assert_eq!(trip.limit, 1_000);
+        // All jobs finished: nothing pending, nothing to hang.
+        let all_done = [Some(SimTime::ZERO), Some(SimTime::ZERO)];
+        assert_eq!(w.sweep(now, &last, &all_done, 0), None);
+        // Exactly at the bound is not yet a trip (strictly greater).
+        let last = [SimTime::from_us(9_000), SimTime::from_us(9_000)];
+        assert_eq!(w.sweep(now, &last, &[None, None], 0), None);
+    }
+
+    #[test]
+    fn time_cadence_halves_the_tightest_time_bound() {
+        assert_eq!(armed(None, Some(5)).time_cadence(), None, "queue-only");
+        assert_eq!(Watchdog::default().time_cadence(), None);
+        assert_eq!(
+            armed(Some(10_000), None).time_cadence(),
+            Some(SimDur::from_us(5_000))
+        );
+        assert_eq!(
+            hang_armed(1_800_000_000).time_cadence(),
+            Some(SimDur::from_us(900_000_000))
+        );
+        let mut both = hang_armed(1_000);
+        both.stall_slo = Some(SimDur::from_us(10_000));
+        assert_eq!(both.time_cadence(), Some(SimDur::from_us(500)));
+        assert_eq!(
+            hang_armed(1).time_cadence(),
+            Some(SimDur::from_us(1)),
+            "cadence never rounds to zero"
+        );
+    }
+
+    #[test]
+    fn job_stall_wins_over_no_progress() {
+        let mut w = hang_armed(1_000);
+        w.stall_slo = Some(SimDur::from_us(500));
+        let trip = w
+            .sweep(SimTime::from_us(5_000), &[SimTime::ZERO], &[None], 0)
+            .expect("trip");
+        assert_eq!(trip.rule, WatchdogRule::JobStall, "specific rule first");
     }
 
     #[test]

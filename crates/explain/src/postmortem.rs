@@ -28,6 +28,7 @@
 
 use std::collections::BTreeMap;
 
+use agp_faults::fuzz::Verdict;
 use agp_metrics::{Json, Table};
 use agp_obs::flight::{self, IncidentDump, IncidentTrigger, RunMeta, DUMP_SCHEMA_VERSION};
 use agp_obs::{ObsEvent, Observer, TracedEvent, WatchdogRule};
@@ -313,6 +314,29 @@ impl PostmortemReport {
         Ok(PostmortemReport::build(&load_dump(text)?))
     }
 
+    /// The incident's place in the fuzzer's closed verdict taxonomy
+    /// ([`agp_faults::fuzz::Verdict`]): the `no_progress` rule is a
+    /// [`Verdict::Hang`], the invariant rule an
+    /// [`Verdict::InvariantViolation`], any other watchdog rule a
+    /// [`Verdict::WatchdogTrip`], and a plain error a
+    /// [`Verdict::TypedError`]. A frozen incident is never `Clean`,
+    /// `Recovered`, or `Nondeterministic` — those verdicts describe runs
+    /// (or run *pairs*) that left no incident behind.
+    pub fn verdict(&self) -> Verdict {
+        match &self.trigger {
+            IncidentTrigger::Watchdog {
+                rule: WatchdogRule::NoProgress,
+                ..
+            } => Verdict::Hang,
+            IncidentTrigger::Watchdog {
+                rule: WatchdogRule::Invariant,
+                ..
+            } => Verdict::InvariantViolation,
+            IncidentTrigger::Watchdog { .. } => Verdict::WatchdogTrip,
+            IncidentTrigger::Error { .. } => Verdict::TypedError,
+        }
+    }
+
     fn trigger_json(&self) -> Json {
         match &self.trigger {
             IncidentTrigger::Watchdog {
@@ -339,6 +363,7 @@ impl PostmortemReport {
         Json::Obj(vec![
             ("schema_version".into(), num(POSTMORTEM_SCHEMA_VERSION)),
             ("kind".into(), Json::Str("postmortem".into())),
+            ("verdict".into(), Json::Str(self.verdict().name().into())),
             (
                 "meta".into(),
                 Json::Obj(vec![
@@ -416,8 +441,10 @@ impl PostmortemReport {
         out
     }
 
-    /// One-line incident headline for the CLI.
+    /// One-line incident headline for the CLI, led by the
+    /// [`verdict`](Self::verdict) so triage reads the class first.
     pub fn headline(&self) -> String {
+        let verdict = self.verdict().name();
         match &self.trigger {
             IncidentTrigger::Watchdog {
                 rule,
@@ -426,7 +453,7 @@ impl PostmortemReport {
                 detail,
             } => {
                 let mut s = format!(
-                    "watchdog {} tripped at {}us ({} > {})",
+                    "[{verdict}] watchdog {} tripped at {}us ({} > {})",
                     rule.name(),
                     self.at_us,
                     value,
@@ -438,7 +465,7 @@ impl PostmortemReport {
                 s
             }
             IncidentTrigger::Error { what } => {
-                format!("run aborted at {}us: {}", self.at_us, what)
+                format!("[{verdict}] run aborted at {}us: {}", self.at_us, what)
             }
         }
     }
@@ -634,6 +661,11 @@ mod tests {
         );
         let triage = doc.get("triage").and_then(Json::as_object).expect("triage");
         assert_eq!(triage.len(), TRIAGE_CLASSES.len());
+        assert_eq!(
+            doc.get("verdict").and_then(Json::as_str),
+            Some("watchdog_trip")
+        );
+        assert!(r.headline().starts_with("[watchdog_trip]"));
         assert!(r.headline().contains("recovery_exhausted"));
         assert_eq!(r.tables().len(), 3);
         assert_eq!(
@@ -641,6 +673,47 @@ mod tests {
             4,
             "short window: every event is a culprit"
         );
+    }
+
+    #[test]
+    fn incident_triggers_map_onto_the_verdict_taxonomy() {
+        let with_trigger = |trigger: IncidentTrigger| {
+            let mut d = dump();
+            d.trigger = trigger;
+            PostmortemReport::build(&d)
+        };
+        let watchdog = |rule| IncidentTrigger::Watchdog {
+            rule,
+            value: 2,
+            limit: 1,
+            detail: String::new(),
+        };
+        assert_eq!(
+            with_trigger(watchdog(WatchdogRule::NoProgress)).verdict(),
+            Verdict::Hang
+        );
+        assert_eq!(
+            with_trigger(watchdog(WatchdogRule::Invariant)).verdict(),
+            Verdict::InvariantViolation
+        );
+        for rule in [
+            WatchdogRule::RecoveryExhausted,
+            WatchdogRule::JobStall,
+            WatchdogRule::QueueDepth,
+        ] {
+            assert_eq!(
+                with_trigger(watchdog(rule)).verdict(),
+                Verdict::WatchdogTrip
+            );
+        }
+        let error = with_trigger(IncidentTrigger::Error {
+            what: "disk on fire".into(),
+        });
+        assert_eq!(error.verdict(), Verdict::TypedError);
+        assert!(error.headline().starts_with("[typed_error]"));
+        // Every reachable verdict here is a failing one: incidents only
+        // freeze on aborts.
+        assert!(error.verdict().is_failing());
     }
 
     #[test]

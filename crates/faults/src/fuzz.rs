@@ -1,0 +1,717 @@
+//! `agp-fuzz` — deterministic fault-space search over [`FaultPlan`]s.
+//!
+//! Three pieces, all pure (no simulation here — the cluster crate owns
+//! the oracle that actually runs a plan):
+//!
+//! * [`Verdict`] — the closed classification every fuzzed run lands in.
+//!   The taxonomy is part of the findings/corpus schema: names appear in
+//!   corpus file names, findings manifests, and postmortem headlines.
+//! * [`PlanGen`] — a seed-deterministic generator producing valid plans
+//!   that span the whole [`FaultSpec`] taxonomy × timing windows ×
+//!   [`RecoveryPolicy`] knobs. Same seed → same plan sequence, byte for
+//!   byte, forever (the generator is part of the reproducibility
+//!   contract, like the simulator's RNG).
+//! * [`shrink`] — delta debugging: bisect the fault list, widen time
+//!   windows, decay intensities, and reset recovery knobs, keeping every
+//!   mutation only if the caller's oracle still returns the original
+//!   verdict. Every accepted mutation strictly decreases [`plan_weight`],
+//!   so shrinking terminates and the result is a fixpoint.
+
+use crate::{FaultPlan, FaultSpec, RecoveryPolicy};
+use agp_sim::SimRng;
+
+/// How a fuzzed run ended. Closed world: every run maps to exactly one
+/// variant, and the mapping is deterministic for a deterministic run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Ran to completion and no fault ever fired.
+    Clean,
+    /// Ran to completion through at least one fault; the typed fault
+    /// counters tile (every injected fault is accounted for by exactly
+    /// one recovery action).
+    Recovered,
+    /// A watchdog rule other than `no_progress` tripped (recovery
+    /// exhaustion, per-job stall SLO, queue depth).
+    WatchdogTrip,
+    /// The run aborted on a violated simulation invariant — including a
+    /// fault-counter tiling mismatch detected by the harness.
+    InvariantViolation,
+    /// The run aborted with any other typed error.
+    TypedError,
+    /// Two same-seed runs diverged (trace bytes, error, or incident) —
+    /// the one verdict that is a simulator bug by definition.
+    Nondeterministic,
+    /// The `no_progress` watchdog tripped: jobs pending, nothing moving.
+    Hang,
+}
+
+impl Verdict {
+    /// Every variant, in severity-agnostic declaration order (stable:
+    /// findings manifests count by this order).
+    pub const ALL: [Verdict; 7] = [
+        Verdict::Clean,
+        Verdict::Recovered,
+        Verdict::WatchdogTrip,
+        Verdict::InvariantViolation,
+        Verdict::TypedError,
+        Verdict::Nondeterministic,
+        Verdict::Hang,
+    ];
+
+    /// Stable wire name (findings manifests, corpus file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Clean => "clean",
+            Verdict::Recovered => "recovered",
+            Verdict::WatchdogTrip => "watchdog_trip",
+            Verdict::InvariantViolation => "invariant_violation",
+            Verdict::TypedError => "typed_error",
+            Verdict::Nondeterministic => "nondeterministic",
+            Verdict::Hang => "hang",
+        }
+    }
+
+    /// Inverse of [`Verdict::name`].
+    pub fn from_name(name: &str) -> Option<Verdict> {
+        Verdict::ALL.into_iter().find(|v| v.name() == name)
+    }
+
+    /// Whether this verdict is a finding (gets shrunk and written out).
+    /// `Clean` and `Recovered` are the two success classes.
+    pub fn is_failing(self) -> bool {
+        !matches!(self, Verdict::Clean | Verdict::Recovered)
+    }
+}
+
+/// Generation bounds: every random draw lands inside these, so every
+/// generated plan passes [`FaultPlan::validate`] for the target geometry
+/// (modulo the rare duplicate/overlap, which the generator rejects and
+/// redraws deterministically).
+#[derive(Clone, Copy, Debug)]
+pub struct GenBounds {
+    /// Cluster node count the plans target.
+    pub nodes: u32,
+    /// Job count the plans target.
+    pub jobs: u32,
+    /// Fault windows and instants are drawn in `[0, horizon_us)`.
+    pub horizon_us: u64,
+    /// Maximum faults per plan.
+    pub max_faults: usize,
+}
+
+impl Default for GenBounds {
+    fn default() -> Self {
+        GenBounds {
+            nodes: 2,
+            jobs: 2,
+            horizon_us: 900_000_000, // 15 simulated minutes
+            max_faults: 5,
+        }
+    }
+}
+
+/// Seed-deterministic [`FaultPlan`] generator.
+#[derive(Clone, Debug)]
+pub struct PlanGen {
+    rng: SimRng,
+    bounds: GenBounds,
+}
+
+impl PlanGen {
+    /// A generator whose whole plan sequence is a pure function of
+    /// `seed` and `bounds`.
+    pub fn new(seed: u64, bounds: GenBounds) -> PlanGen {
+        PlanGen {
+            rng: SimRng::new(seed).fork(0x4655_5A5A), // "FUZZ"
+            bounds,
+        }
+    }
+
+    /// The next plan in the sequence. Always valid for the generator's
+    /// geometry: candidates that trip whole-plan validation (duplicate
+    /// faults, overlapping crash windows) are discarded and redrawn from
+    /// the same stream, which keeps the sequence deterministic.
+    pub fn plan(&mut self) -> FaultPlan {
+        loop {
+            let candidate = self.candidate();
+            if candidate
+                .validate(self.bounds.nodes as usize, self.bounds.jobs as usize)
+                .is_ok()
+            {
+                return candidate;
+            }
+        }
+    }
+
+    fn candidate(&mut self) -> FaultPlan {
+        let seed = self.rng.next_u64_raw() >> 11; // keep within 2^53 for JSON
+        let count = 1 + self.rng.below(self.bounds.max_faults as u64) as usize;
+        let faults = (0..count).map(|_| self.spec()).collect();
+        FaultPlan {
+            schema_version: crate::FAULT_PLAN_SCHEMA_VERSION,
+            seed,
+            faults,
+            recovery: self.recovery(),
+        }
+    }
+
+    /// Probabilities are drawn on a 1/20 grid: coarse enough that decimal
+    /// renderings stay short and shrink ladders align, fine enough to
+    /// cover rare-to-certain.
+    fn p(&mut self) -> f64 {
+        self.rng.range(1, 21) as f64 / 20.0
+    }
+
+    /// Half the windows are "forever" (the common committed-plan shape),
+    /// the rest are proper sub-windows of the horizon.
+    fn window(&mut self) -> (u64, u64) {
+        if self.rng.chance(0.5) {
+            (0, u64::MAX)
+        } else {
+            let from_us = self.rng.below(self.bounds.horizon_us);
+            let width = 1 + self.rng.below(self.bounds.horizon_us);
+            (from_us, from_us + width)
+        }
+    }
+
+    fn spec(&mut self) -> FaultSpec {
+        let node = self.rng.below(self.bounds.nodes as u64) as u32;
+        match self.rng.below(5) {
+            0 => {
+                let (from_us, until_us) = self.window();
+                FaultSpec::DiskErrors {
+                    node,
+                    p: self.p(),
+                    from_us,
+                    until_us,
+                }
+            }
+            1 => {
+                let (from_us, until_us) = self.window();
+                FaultSpec::DiskSlow {
+                    node,
+                    penalty_us: 1_000 * self.rng.range(1, 61),
+                    p: self.p(),
+                    from_us,
+                    until_us,
+                }
+            }
+            2 => {
+                let (from_us, until_us) = self.window();
+                FaultSpec::BarrierDrops {
+                    job: self.rng.below(self.bounds.jobs as u64) as u32,
+                    p: self.p(),
+                    from_us,
+                    until_us,
+                }
+            }
+            3 => FaultSpec::NodeCrash {
+                node,
+                at_us: self.rng.below(self.bounds.horizon_us),
+                down_us: 1_000_000 * self.rng.range(1, 121),
+            },
+            _ => FaultSpec::MemPressure {
+                node,
+                at_us: self.rng.below(self.bounds.horizon_us),
+                pages: 64 << self.rng.below(7),
+            },
+        }
+    }
+
+    /// Each knob keeps its default most of the time; randomized knobs
+    /// stay inside the regimes the recovery code is meant to handle (the
+    /// interesting bugs live in the interaction, not in absurd values —
+    /// those are `validate`'s job to reject).
+    fn recovery(&mut self) -> RecoveryPolicy {
+        let mut r = RecoveryPolicy::default();
+        if self.rng.chance(0.35) {
+            r.io_retries = self.rng.below(7) as u32;
+        }
+        if self.rng.chance(0.35) {
+            r.io_backoff_us = 500 * self.rng.range(1, 9);
+        }
+        if self.rng.chance(0.35) {
+            r.io_backoff_cap_us = 8_000 << self.rng.below(4);
+        }
+        if self.rng.chance(0.35) {
+            r.ai_degrade_after = 1 + self.rng.below(6) as u32;
+        }
+        if self.rng.chance(0.35) {
+            // Up to an hour: long enough to starve every job past the
+            // no-progress bound — the route to `Verdict::Hang`.
+            r.barrier_timeout_us = 1_000_000 * self.rng.range(30, 3_601);
+        }
+        if self.rng.chance(0.35) {
+            r.barrier_retries = self.rng.below(10) as u32;
+        }
+        r
+    }
+}
+
+/// Monotone size measure driving the shrinker: fault count dominates,
+/// then per-fault intensity (probability, penalty, outage, burst size,
+/// instants), then window narrowness, then non-default recovery knobs.
+/// Every mutation [`shrink`] proposes strictly decreases this.
+pub fn plan_weight(plan: &FaultPlan) -> u64 {
+    let mut w = (plan.faults.len() as u64).saturating_mul(1 << 40);
+    for f in &plan.faults {
+        w = w.saturating_add(spec_weight(f));
+    }
+    w.saturating_add(non_default_knobs(&plan.recovery))
+}
+
+fn milli(p: f64) -> u64 {
+    (p.clamp(0.0, 1.0) * 1_000.0) as u64
+}
+
+fn window_weight(from_us: u64, until_us: u64) -> u64 {
+    from_us.saturating_add(u64::from(until_us != u64::MAX))
+}
+
+fn spec_weight(f: &FaultSpec) -> u64 {
+    match *f {
+        FaultSpec::DiskErrors {
+            p,
+            from_us,
+            until_us,
+            ..
+        }
+        | FaultSpec::BarrierDrops {
+            p,
+            from_us,
+            until_us,
+            ..
+        } => milli(p).saturating_add(window_weight(from_us, until_us)),
+        FaultSpec::DiskSlow {
+            penalty_us,
+            p,
+            from_us,
+            until_us,
+            ..
+        } => milli(p)
+            .saturating_add(window_weight(from_us, until_us))
+            .saturating_add(penalty_us),
+        FaultSpec::NodeCrash { at_us, down_us, .. } => at_us.saturating_add(down_us),
+        FaultSpec::MemPressure { at_us, pages, .. } => at_us.saturating_add(pages),
+    }
+}
+
+fn non_default_knobs(r: &RecoveryPolicy) -> u64 {
+    let d = RecoveryPolicy::default();
+    [
+        r.io_retries != d.io_retries,
+        r.io_backoff_us != d.io_backoff_us,
+        r.io_backoff_cap_us != d.io_backoff_cap_us,
+        r.ai_degrade_after != d.ai_degrade_after,
+        r.barrier_timeout_us != d.barrier_timeout_us,
+        r.barrier_retries != d.barrier_retries,
+    ]
+    .into_iter()
+    .map(u64::from)
+    .sum()
+}
+
+/// Delta-debug `start` down to a minimal plan that still produces
+/// `target` under `oracle`. The oracle is called at most
+/// `max_oracle_calls` times (each call is typically a full double-run of
+/// the simulation, so the budget is the shrinker's wall-clock knob); on
+/// exhaustion the best plan so far is returned.
+///
+/// Guarantees, assuming a deterministic oracle:
+/// * the result produces `target` (it is `start` or an accepted mutant);
+/// * `plan_weight(result) <= plan_weight(start)` and the fault list never
+///   grows;
+/// * with budget to spare, the result is a fixpoint: a second `shrink`
+///   returns it unchanged;
+/// * byte-deterministic: candidates are proposed in a fixed order, so
+///   the same inputs shrink to the same plan.
+pub fn shrink<F>(
+    start: &FaultPlan,
+    target: Verdict,
+    max_oracle_calls: u32,
+    mut oracle: F,
+) -> FaultPlan
+where
+    F: FnMut(&FaultPlan) -> Verdict,
+{
+    let mut cur = start.clone();
+    let mut calls = 0u32;
+    // One sweep proposes candidates in a fixed order and greedily accepts
+    // the first that reproduces the verdict; every accept restarts the
+    // sweep. plan_weight strictly decreases per accept, so this ends.
+    'sweep: loop {
+        for cand in candidates(&cur) {
+            if calls >= max_oracle_calls {
+                break 'sweep;
+            }
+            // Structural validity (geometry-free): shrinking never raises
+            // a node/job index, so only whole-plan shape can regress.
+            if cand.validate(usize::MAX, usize::MAX).is_err() {
+                continue;
+            }
+            debug_assert!(
+                plan_weight(&cand) < plan_weight(&cur),
+                "non-shrinking mutation"
+            );
+            calls += 1;
+            if oracle(&cand) == target {
+                cur = cand;
+                continue 'sweep;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+/// All single-step shrink candidates of `cur`, heaviest reductions first:
+/// chunked fault removal (delta debugging's bisection), then per-fault
+/// window widening and intensity decay, then recovery-knob resets.
+fn candidates(cur: &FaultPlan) -> Vec<FaultPlan> {
+    let mut out = Vec::new();
+    let n = cur.faults.len();
+    // Chunked removal: halves, quarters, ... single faults.
+    let mut chunk = n.next_power_of_two();
+    while chunk >= 1 {
+        if chunk <= n {
+            let mut at = 0;
+            while at < n {
+                let end = (at + chunk).min(n);
+                let mut cand = cur.clone();
+                cand.faults.drain(at..end);
+                out.push(cand);
+                at += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    // Per-fault simplification.
+    for i in 0..n {
+        for spec in simpler_specs(&cur.faults[i]) {
+            let mut cand = cur.clone();
+            cand.faults[i] = spec;
+            out.push(cand);
+        }
+    }
+    // Recovery-knob resets.
+    type KnobReset<'a> = (&'a dyn Fn(&mut RecoveryPolicy), bool);
+    let d = RecoveryPolicy::default();
+    let resets: [KnobReset; 6] = [
+        (
+            &|r| r.io_retries = d.io_retries,
+            cur.recovery.io_retries != d.io_retries,
+        ),
+        (
+            &|r| r.io_backoff_us = d.io_backoff_us,
+            cur.recovery.io_backoff_us != d.io_backoff_us,
+        ),
+        (
+            &|r| r.io_backoff_cap_us = d.io_backoff_cap_us,
+            cur.recovery.io_backoff_cap_us != d.io_backoff_cap_us,
+        ),
+        (
+            &|r| r.ai_degrade_after = d.ai_degrade_after,
+            cur.recovery.ai_degrade_after != d.ai_degrade_after,
+        ),
+        (
+            &|r| r.barrier_timeout_us = d.barrier_timeout_us,
+            cur.recovery.barrier_timeout_us != d.barrier_timeout_us,
+        ),
+        (
+            &|r| r.barrier_retries = d.barrier_retries,
+            cur.recovery.barrier_retries != d.barrier_retries,
+        ),
+    ];
+    for (reset, differs) in resets {
+        if differs {
+            let mut cand = cur.clone();
+            reset(&mut cand.recovery);
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Strictly-lighter variants of one fault: widen its window to forever,
+/// decay its probability down a fixed ladder, halve its magnitudes, and
+/// pull its instant back to zero.
+fn simpler_specs(f: &FaultSpec) -> Vec<FaultSpec> {
+    let mut out = Vec::new();
+    // Strictness is judged in weight units (milli), not raw floats, so a
+    // probability like 0.0501 never proposes a weight-neutral "decay".
+    let p_ladder = |p: f64, out: &mut Vec<f64>| {
+        for q in [0.05, 0.1, 0.25, 0.5] {
+            if milli(q) < milli(p) {
+                out.push(q);
+            }
+        }
+    };
+    match *f {
+        FaultSpec::DiskErrors {
+            node,
+            p,
+            from_us,
+            until_us,
+        } => {
+            if from_us > 0 {
+                out.push(FaultSpec::DiskErrors {
+                    node,
+                    p,
+                    from_us: 0,
+                    until_us,
+                });
+            }
+            if until_us != u64::MAX {
+                out.push(FaultSpec::DiskErrors {
+                    node,
+                    p,
+                    from_us,
+                    until_us: u64::MAX,
+                });
+            }
+            let mut qs = Vec::new();
+            p_ladder(p, &mut qs);
+            for q in qs {
+                out.push(FaultSpec::DiskErrors {
+                    node,
+                    p: q,
+                    from_us,
+                    until_us,
+                });
+            }
+        }
+        FaultSpec::DiskSlow {
+            node,
+            penalty_us,
+            p,
+            from_us,
+            until_us,
+        } => {
+            if from_us > 0 {
+                out.push(FaultSpec::DiskSlow {
+                    node,
+                    penalty_us,
+                    p,
+                    from_us: 0,
+                    until_us,
+                });
+            }
+            if until_us != u64::MAX {
+                out.push(FaultSpec::DiskSlow {
+                    node,
+                    penalty_us,
+                    p,
+                    from_us,
+                    until_us: u64::MAX,
+                });
+            }
+            let mut qs = Vec::new();
+            p_ladder(p, &mut qs);
+            for q in qs {
+                out.push(FaultSpec::DiskSlow {
+                    node,
+                    penalty_us,
+                    p: q,
+                    from_us,
+                    until_us,
+                });
+            }
+            if penalty_us >= 2 {
+                out.push(FaultSpec::DiskSlow {
+                    node,
+                    penalty_us: penalty_us / 2,
+                    p,
+                    from_us,
+                    until_us,
+                });
+            }
+        }
+        FaultSpec::BarrierDrops {
+            job,
+            p,
+            from_us,
+            until_us,
+        } => {
+            if from_us > 0 {
+                out.push(FaultSpec::BarrierDrops {
+                    job,
+                    p,
+                    from_us: 0,
+                    until_us,
+                });
+            }
+            if until_us != u64::MAX {
+                out.push(FaultSpec::BarrierDrops {
+                    job,
+                    p,
+                    from_us,
+                    until_us: u64::MAX,
+                });
+            }
+            let mut qs = Vec::new();
+            p_ladder(p, &mut qs);
+            for q in qs {
+                out.push(FaultSpec::BarrierDrops {
+                    job,
+                    p: q,
+                    from_us,
+                    until_us,
+                });
+            }
+        }
+        FaultSpec::NodeCrash {
+            node,
+            at_us,
+            down_us,
+        } => {
+            if at_us > 0 {
+                out.push(FaultSpec::NodeCrash {
+                    node,
+                    at_us: 0,
+                    down_us,
+                });
+            }
+            if down_us >= 2 {
+                out.push(FaultSpec::NodeCrash {
+                    node,
+                    at_us,
+                    down_us: down_us / 2,
+                });
+            }
+        }
+        FaultSpec::MemPressure { node, at_us, pages } => {
+            if at_us > 0 {
+                out.push(FaultSpec::MemPressure {
+                    node,
+                    at_us: 0,
+                    pages,
+                });
+            }
+            if pages >= 2 {
+                out.push(FaultSpec::MemPressure {
+                    node,
+                    at_us,
+                    pages: pages / 2,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// FNV-1a-64 — the workspace's stable fingerprint hash, here over
+/// findings artifacts so two fuzz runs can be compared with one integer.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_names_round_trip_and_split_success_from_failure() {
+        for v in Verdict::ALL {
+            assert_eq!(Verdict::from_name(v.name()), Some(v));
+        }
+        assert_eq!(Verdict::from_name("meh"), None);
+        assert!(!Verdict::Clean.is_failing());
+        assert!(!Verdict::Recovered.is_failing());
+        assert!(Verdict::Hang.is_failing());
+        assert!(Verdict::Nondeterministic.is_failing());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_always_valid() {
+        let bounds = GenBounds::default();
+        let mut a = PlanGen::new(7, bounds);
+        let mut b = PlanGen::new(7, bounds);
+        for _ in 0..50 {
+            let pa = a.plan();
+            let pb = b.plan();
+            assert_eq!(pa, pb);
+            pa.validate(bounds.nodes as usize, bounds.jobs as usize)
+                .expect("generated plans validate");
+            assert_eq!(pa.to_json_string(), pb.to_json_string());
+        }
+        let mut c = PlanGen::new(8, bounds);
+        assert_ne!(a.plan(), c.plan(), "different seeds diverge");
+    }
+
+    #[test]
+    fn generator_covers_the_whole_taxonomy() {
+        let mut g = PlanGen::new(1, GenBounds::default());
+        let mut kinds = [false; 5];
+        for _ in 0..100 {
+            for f in g.plan().faults {
+                kinds[match f {
+                    FaultSpec::DiskErrors { .. } => 0,
+                    FaultSpec::DiskSlow { .. } => 1,
+                    FaultSpec::BarrierDrops { .. } => 2,
+                    FaultSpec::NodeCrash { .. } => 3,
+                    FaultSpec::MemPressure { .. } => 4,
+                }] = true;
+            }
+        }
+        assert_eq!(kinds, [true; 5], "100 plans must span all fault kinds");
+    }
+
+    #[test]
+    fn shrink_bisects_to_the_single_guilty_fault() {
+        // Oracle: fails iff the plan still contains a NodeCrash.
+        let mut plan = FaultPlan::smoke(3);
+        let guilty = |p: &FaultPlan| {
+            if p.faults
+                .iter()
+                .any(|f| matches!(f, FaultSpec::NodeCrash { .. }))
+            {
+                Verdict::TypedError
+            } else {
+                Verdict::Recovered
+            }
+        };
+        plan.recovery.io_retries = 1; // noise the shrinker should drop
+        let min = shrink(&plan, Verdict::TypedError, 10_000, guilty);
+        assert_eq!(min.faults.len(), 1);
+        assert!(matches!(
+            min.faults[0],
+            FaultSpec::NodeCrash { at_us: 0, .. }
+        ));
+        assert_eq!(min.recovery, RecoveryPolicy::default());
+        // Fixpoint: shrinking the minimal plan returns it unchanged.
+        let again = shrink(&min, Verdict::TypedError, 10_000, guilty);
+        assert_eq!(again, min);
+    }
+
+    #[test]
+    fn shrink_respects_the_oracle_budget() {
+        let plan = FaultPlan::smoke(3);
+        let min = shrink(&plan, Verdict::TypedError, 0, |_| Verdict::TypedError);
+        assert_eq!(min, plan, "zero budget returns the input");
+    }
+
+    #[test]
+    fn weight_orders_obvious_simplifications() {
+        let plan = FaultPlan::smoke(3);
+        let mut fewer = plan.clone();
+        fewer.faults.pop();
+        assert!(plan_weight(&fewer) < plan_weight(&plan));
+        let mut tweaked = plan.clone();
+        tweaked.recovery.io_retries = 1;
+        assert!(plan_weight(&tweaked) > plan_weight(&plan));
+    }
+
+    #[test]
+    fn fnv1a_matches_the_reference_vector() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

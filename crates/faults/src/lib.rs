@@ -15,6 +15,10 @@
 //!   substreams forked from the plan's seed — never wall-clock, never a
 //!   global RNG — so the same `(config seed, plan)` pair yields a
 //!   byte-identical event trace on every run.
+//! * [`fuzz`] — the search half: a seed-deterministic plan generator
+//!   spanning the whole fault taxonomy, a closed run-classification
+//!   taxonomy ([`fuzz::Verdict`]), and a delta-debugging shrinker that
+//!   reduces a failing plan to a minimal reproducer (`agp chaos --fuzz`).
 //! * [`RecoveryPolicy`] — the knobs for the *recovery half* implemented in
 //!   `agp-cluster`: capped exponential retry/backoff for failed paging
 //!   I/O, barrier timeout + re-issue, adaptive-page-in degradation after
@@ -28,8 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
+pub mod fuzz;
 mod inject;
 mod plan;
 
+pub use error::PlanError;
 pub use inject::{DiskOutcome, FaultInjector, TimedFault};
-pub use plan::{FaultPlan, FaultSpec, RecoveryPolicy, FAULT_PLAN_SCHEMA_VERSION};
+pub use plan::{
+    FaultPlan, FaultSpec, RecoveryPolicy, FAULT_PLAN_SCHEMA_VERSION, MAX_DOWN_US, MAX_PAGES,
+    MAX_PENALTY_US,
+};

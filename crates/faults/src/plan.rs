@@ -11,11 +11,24 @@
 //! silently ignored typos. Integer fields are carried as JSON numbers and
 //! must stay below 2^53 (the exact-integer range of an IEEE double).
 
+use crate::error::PlanError;
 use agp_metrics::Json;
 use serde::{Deserialize, Serialize};
 
 /// Version stamped into every serialized plan; bump on breaking changes.
 pub const FAULT_PLAN_SCHEMA_VERSION: u32 = 1;
+
+/// Sanity cap on a single latency spike: one simulated hour per request
+/// is a wedged device, not a spike — reject the plan instead of stalling.
+pub const MAX_PENALTY_US: u64 = 3_600_000_000;
+
+/// Sanity cap on a crash outage: a day of simulated downtime outlives
+/// every workload in the registry.
+pub const MAX_DOWN_US: u64 = 86_400_000_000;
+
+/// Sanity cap on a memory-pressure burst (2^24 frames = 64 GiB of 4 KiB
+/// pages, beyond any configured node).
+pub const MAX_PAGES: u64 = 1 << 24;
 
 // Referenced only from `#[serde(default = "...")]` attributes, which the
 // dependency-stubbed offline build expands to nothing.
@@ -275,17 +288,23 @@ impl FaultPlan {
 
     /// Validate the plan against a cluster geometry. `nodes`/`jobs` are
     /// the config's counts; out-of-range targets are configuration
-    /// errors, not silent no-ops.
-    pub fn validate(&self, nodes: usize, jobs: usize) -> Result<(), String> {
+    /// errors, not silent no-ops. Beyond per-fault shape checks this also
+    /// rejects whole-plan pathologies the fuzzer's mutators can produce:
+    /// exact-duplicate faults (double-drawing the same failure) and
+    /// overlapping crash windows on one node (crashing while down).
+    pub fn validate(&self, nodes: usize, jobs: usize) -> Result<(), PlanError> {
         if self.schema_version != FAULT_PLAN_SCHEMA_VERSION {
-            return Err(format!(
-                "fault plan schema v{} unsupported (expected v{FAULT_PLAN_SCHEMA_VERSION})",
-                self.schema_version
-            ));
+            return Err(PlanError::SchemaVersion {
+                found: self.schema_version,
+                expected: FAULT_PLAN_SCHEMA_VERSION,
+            });
         }
         let chk_p = |p: f64, what: &str| {
             if !(0.0..=1.0).contains(&p) {
-                Err(format!("{what}: probability {p} outside [0, 1]"))
+                Err(PlanError::Probability {
+                    what: what.to_string(),
+                    p,
+                })
             } else {
                 Ok(())
             }
@@ -294,9 +313,34 @@ impl FaultPlan {
             if (n as usize) < nodes {
                 Ok(())
             } else {
-                Err(format!(
-                    "{what}: node {n} out of range (cluster has {nodes})"
-                ))
+                Err(PlanError::NodeOutOfRange {
+                    what: what.to_string(),
+                    node: n,
+                    nodes,
+                })
+            }
+        };
+        let chk_window = |from_us: u64, until_us: u64, what: &str| {
+            if from_us >= until_us {
+                Err(PlanError::EmptyWindow {
+                    what: what.to_string(),
+                    from_us,
+                    until_us,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let chk_cap = |value: u64, max: u64, field: &'static str, what: &str| {
+            if value > max {
+                Err(PlanError::AbsurdIntensity {
+                    what: what.to_string(),
+                    field,
+                    value,
+                    max,
+                })
+            } else {
+                Ok(())
             }
         };
         for (i, f) in self.faults.iter().enumerate() {
@@ -307,19 +351,22 @@ impl FaultPlan {
                     p,
                     from_us,
                     until_us,
-                }
-                | FaultSpec::DiskSlow {
-                    node,
-                    p,
-                    from_us,
-                    until_us,
-                    ..
                 } => {
                     chk_node(node, &what)?;
                     chk_p(p, &what)?;
-                    if from_us >= until_us {
-                        return Err(format!("{what}: empty window [{from_us}, {until_us})"));
-                    }
+                    chk_window(from_us, until_us, &what)?;
+                }
+                FaultSpec::DiskSlow {
+                    node,
+                    penalty_us,
+                    p,
+                    from_us,
+                    until_us,
+                } => {
+                    chk_node(node, &what)?;
+                    chk_p(p, &what)?;
+                    chk_window(from_us, until_us, &what)?;
+                    chk_cap(penalty_us, MAX_PENALTY_US, "penalty_us", &what)?;
                 }
                 FaultSpec::BarrierDrops {
                     job,
@@ -328,25 +375,64 @@ impl FaultPlan {
                     until_us,
                 } => {
                     if job as usize >= jobs {
-                        return Err(format!(
-                            "{what}: job {job} out of range (config has {jobs})"
-                        ));
+                        return Err(PlanError::JobOutOfRange { what, job, jobs });
                     }
                     chk_p(p, &what)?;
-                    if from_us >= until_us {
-                        return Err(format!("{what}: empty window [{from_us}, {until_us})"));
-                    }
+                    chk_window(from_us, until_us, &what)?;
                 }
                 FaultSpec::NodeCrash { node, down_us, .. } => {
                     chk_node(node, &what)?;
                     if down_us == 0 {
-                        return Err(format!("{what}: down_us must be > 0"));
+                        return Err(PlanError::ZeroMagnitude {
+                            what,
+                            field: "down_us",
+                        });
                     }
+                    chk_cap(down_us, MAX_DOWN_US, "down_us", &what)?;
                 }
                 FaultSpec::MemPressure { node, pages, .. } => {
                     chk_node(node, &what)?;
                     if pages == 0 {
-                        return Err(format!("{what}: pages must be > 0"));
+                        return Err(PlanError::ZeroMagnitude {
+                            what,
+                            field: "pages",
+                        });
+                    }
+                    chk_cap(pages, MAX_PAGES, "pages", &what)?;
+                }
+            }
+        }
+        // Whole-plan checks, quadratic over a list that is small by
+        // construction (committed plans and generated plans alike).
+        for (j, f) in self.faults.iter().enumerate() {
+            for (i, earlier) in self.faults[..j].iter().enumerate() {
+                if earlier == f {
+                    return Err(PlanError::DuplicateFault {
+                        first: i,
+                        second: j,
+                    });
+                }
+                if let (
+                    FaultSpec::NodeCrash {
+                        node: n1,
+                        at_us: a1,
+                        down_us: d1,
+                    },
+                    FaultSpec::NodeCrash {
+                        node: n2,
+                        at_us: a2,
+                        down_us: d2,
+                    },
+                ) = (earlier, f)
+                {
+                    let overlap =
+                        n1 == n2 && *a1 < a2.saturating_add(*d2) && *a2 < a1.saturating_add(*d1);
+                    if overlap {
+                        return Err(PlanError::OverlappingCrashes {
+                            node: *n1,
+                            first: i,
+                            second: j,
+                        });
                     }
                 }
             }
@@ -355,8 +441,8 @@ impl FaultPlan {
     }
 
     /// Parse a plan from JSON text (strict: unknown fields are errors).
-    pub fn from_json_str(text: &str) -> Result<FaultPlan, String> {
-        let doc = Json::parse(text).map_err(|e| format!("fault plan parse error: {e}"))?;
+    pub fn from_json_str(text: &str) -> Result<FaultPlan, PlanError> {
+        let doc = Json::parse(text).map_err(|e| PlanError::Parse(e.to_string()))?;
         plan_from_json(&doc)
     }
 
@@ -486,10 +572,10 @@ struct Fields<'a> {
 }
 
 impl<'a> Fields<'a> {
-    fn of(doc: &'a Json, what: &str) -> Result<Fields<'a>, String> {
-        let pairs = doc
-            .as_object()
-            .ok_or_else(|| format!("{what}: expected a JSON object"))?;
+    fn of(doc: &'a Json, what: &str) -> Result<Fields<'a>, PlanError> {
+        let pairs = doc.as_object().ok_or_else(|| PlanError::NotObject {
+            what: what.to_string(),
+        })?;
         Ok(Fields {
             what: what.to_string(),
             pairs,
@@ -502,35 +588,50 @@ impl<'a> Fields<'a> {
         self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
-    fn u64(&mut self, key: &'a str) -> Result<u64, String> {
+    fn u64(&mut self, key: &'static str) -> Result<u64, PlanError> {
         let what = self.what.clone();
-        let v = self
-            .take(key)
-            .ok_or_else(|| format!("{what}: missing field `{key}`"))?;
-        to_u64(v).ok_or_else(|| format!("{what}: `{key}` must be a non-negative integer"))
+        let v = self.take(key).ok_or_else(|| PlanError::MissingField {
+            what: what.clone(),
+            field: key,
+        })?;
+        to_u64(v).ok_or(PlanError::BadField {
+            what,
+            field: key,
+            expected: "a non-negative integer",
+        })
     }
 
-    fn u64_or(&mut self, key: &'a str, default: u64) -> Result<u64, String> {
+    fn u64_or(&mut self, key: &'static str, default: u64) -> Result<u64, PlanError> {
         match self.take(key) {
             None => Ok(default),
-            Some(v) => to_u64(v)
-                .ok_or_else(|| format!("{}: `{key}` must be a non-negative integer", self.what)),
+            Some(v) => to_u64(v).ok_or_else(|| PlanError::BadField {
+                what: self.what.clone(),
+                field: key,
+                expected: "a non-negative integer",
+            }),
         }
     }
 
-    fn f64(&mut self, key: &'a str) -> Result<f64, String> {
+    fn f64(&mut self, key: &'static str) -> Result<f64, PlanError> {
         let what = self.what.clone();
-        let v = self
-            .take(key)
-            .ok_or_else(|| format!("{what}: missing field `{key}`"))?;
-        v.as_f64()
-            .ok_or_else(|| format!("{what}: `{key}` must be a number"))
+        let v = self.take(key).ok_or_else(|| PlanError::MissingField {
+            what: what.clone(),
+            field: key,
+        })?;
+        v.as_f64().ok_or(PlanError::BadField {
+            what,
+            field: key,
+            expected: "a number",
+        })
     }
 
-    fn finish(self) -> Result<(), String> {
+    fn finish(self) -> Result<(), PlanError> {
         for (k, _) in self.pairs {
             if !self.seen.contains(&k.as_str()) {
-                return Err(format!("{}: unknown field `{k}`", self.what));
+                return Err(PlanError::UnknownField {
+                    what: self.what,
+                    field: k.clone(),
+                });
             }
         }
         Ok(())
@@ -546,16 +647,14 @@ fn to_u64(v: &Json) -> Option<u64> {
     }
 }
 
-fn plan_from_json(doc: &Json) -> Result<FaultPlan, String> {
+fn plan_from_json(doc: &Json) -> Result<FaultPlan, PlanError> {
     let mut top = Fields::of(doc, "plan")?;
     let schema_version = top.u64_or("schema_version", u64::from(FAULT_PLAN_SCHEMA_VERSION))? as u32;
     let seed = top.u64("seed")?;
     let faults = match top.take("faults") {
         None => Vec::new(),
         Some(v) => {
-            let items = v
-                .as_array()
-                .ok_or_else(|| "plan: `faults` must be an array".to_string())?;
+            let items = v.as_array().ok_or(PlanError::FaultsNotArray)?;
             items
                 .iter()
                 .enumerate()
@@ -576,7 +675,7 @@ fn plan_from_json(doc: &Json) -> Result<FaultPlan, String> {
     })
 }
 
-fn recovery_from_json(doc: &Json) -> Result<RecoveryPolicy, String> {
+fn recovery_from_json(doc: &Json) -> Result<RecoveryPolicy, PlanError> {
     let d = RecoveryPolicy::default();
     let mut f = Fields::of(doc, "recovery")?;
     let out = RecoveryPolicy {
@@ -591,13 +690,16 @@ fn recovery_from_json(doc: &Json) -> Result<RecoveryPolicy, String> {
     Ok(out)
 }
 
-fn spec_from_json(doc: &Json, index: usize) -> Result<FaultSpec, String> {
+fn spec_from_json(doc: &Json, index: usize) -> Result<FaultSpec, PlanError> {
     let what = format!("faults[{index}]");
     let mut f = Fields::of(doc, &what)?;
     let kind = f
         .take("kind")
         .and_then(Json::as_str)
-        .ok_or_else(|| format!("{what}: missing string field `kind`"))?
+        .ok_or_else(|| PlanError::MissingField {
+            what: what.clone(),
+            field: "kind",
+        })?
         .to_string();
     let spec = match kind.as_str() {
         "disk_errors" => FaultSpec::DiskErrors {
@@ -629,7 +731,12 @@ fn spec_from_json(doc: &Json, index: usize) -> Result<FaultSpec, String> {
             at_us: f.u64("at_us")?,
             pages: f.u64("pages")?,
         },
-        other => return Err(format!("{what}: unknown fault kind `{other}`")),
+        other => {
+            return Err(PlanError::UnknownKind {
+                what,
+                kind: other.to_string(),
+            })
+        }
     };
     f.finish()?;
     Ok(spec)
@@ -694,10 +801,153 @@ mod tests {
             { "kind": "node_crash", "node": 0, "at_us": 5, "down_us": 5, "oops": 1 }
         ] }"#;
         let err = FaultPlan::from_json_str(bad_field).unwrap_err();
-        assert!(err.contains("unknown field `oops`"), "{err}");
+        assert!(
+            matches!(&err, PlanError::UnknownField { field, .. } if field == "oops"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("unknown field `oops`"), "{err}");
         let bad_kind = r#"{ "seed": 1, "faults": [ { "kind": "gamma_rays" } ] }"#;
         let err = FaultPlan::from_json_str(bad_kind).unwrap_err();
-        assert!(err.contains("unknown fault kind"), "{err}");
+        assert!(
+            matches!(&err, PlanError::UnknownKind { kind, .. } if kind == "gamma_rays"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("unknown fault kind"), "{err}");
+    }
+
+    #[test]
+    fn parser_returns_typed_shape_errors() {
+        assert!(matches!(
+            FaultPlan::from_json_str("not json").unwrap_err(),
+            PlanError::Parse(_)
+        ));
+        assert!(matches!(
+            FaultPlan::from_json_str("[]").unwrap_err(),
+            PlanError::NotObject { .. }
+        ));
+        assert!(matches!(
+            FaultPlan::from_json_str(r#"{ "seed": 1, "faults": 3 }"#).unwrap_err(),
+            PlanError::FaultsNotArray
+        ));
+        assert!(matches!(
+            FaultPlan::from_json_str(r#"{ "faults": [] }"#).unwrap_err(),
+            PlanError::MissingField { field: "seed", .. }
+        ));
+        assert!(matches!(
+            FaultPlan::from_json_str(r#"{ "seed": -4 }"#).unwrap_err(),
+            PlanError::BadField { field: "seed", .. }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_overlaps_and_absurd_intensities() {
+        let dup = FaultSpec::DiskErrors {
+            node: 0,
+            p: 0.5,
+            from_us: 0,
+            until_us: u64::MAX,
+        };
+        let mut plan = FaultPlan::empty(1);
+        plan.faults = vec![dup.clone(), dup];
+        assert!(matches!(
+            plan.validate(1, 1).unwrap_err(),
+            PlanError::DuplicateFault {
+                first: 0,
+                second: 1
+            }
+        ));
+        let mut crashes = FaultPlan::empty(1);
+        crashes.faults = vec![
+            FaultSpec::NodeCrash {
+                node: 0,
+                at_us: 100,
+                down_us: 50,
+            },
+            FaultSpec::NodeCrash {
+                node: 0,
+                at_us: 120,
+                down_us: 10,
+            },
+        ];
+        assert!(matches!(
+            crashes.validate(1, 1).unwrap_err(),
+            PlanError::OverlappingCrashes {
+                node: 0,
+                first: 0,
+                second: 1
+            }
+        ));
+        // Back-to-back crash windows (half-open) on one node are fine, and
+        // overlapping windows on *different* nodes are fine.
+        crashes.faults[1] = FaultSpec::NodeCrash {
+            node: 0,
+            at_us: 150,
+            down_us: 10,
+        };
+        crashes
+            .validate(1, 1)
+            .expect("adjacent windows are disjoint");
+        crashes.faults[1] = FaultSpec::NodeCrash {
+            node: 1,
+            at_us: 120,
+            down_us: 10,
+        };
+        crashes.validate(2, 1).expect("different nodes may overlap");
+        let mut absurd = FaultPlan::empty(1);
+        absurd.faults = vec![FaultSpec::MemPressure {
+            node: 0,
+            at_us: 0,
+            pages: MAX_PAGES + 1,
+        }];
+        assert!(matches!(
+            absurd.validate(1, 1).unwrap_err(),
+            PlanError::AbsurdIntensity { field: "pages", .. }
+        ));
+        absurd.faults = vec![FaultSpec::DiskSlow {
+            node: 0,
+            penalty_us: MAX_PENALTY_US + 1,
+            p: 0.1,
+            from_us: 0,
+            until_us: u64::MAX,
+        }];
+        assert!(matches!(
+            absurd.validate(1, 1).unwrap_err(),
+            PlanError::AbsurdIntensity {
+                field: "penalty_us",
+                ..
+            }
+        ));
+        absurd.faults = vec![FaultSpec::NodeCrash {
+            node: 0,
+            at_us: 0,
+            down_us: MAX_DOWN_US + 1,
+        }];
+        assert!(matches!(
+            absurd.validate(1, 1).unwrap_err(),
+            PlanError::AbsurdIntensity {
+                field: "down_us",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_zero_width_windows_with_a_typed_error() {
+        let mut plan = FaultPlan::empty(1);
+        plan.faults = vec![FaultSpec::DiskErrors {
+            node: 0,
+            p: 0.5,
+            from_us: 7,
+            until_us: 7,
+        }];
+        assert!(matches!(
+            plan.validate(1, 1).unwrap_err(),
+            PlanError::EmptyWindow {
+                from_us: 7,
+                until_us: 7,
+                ..
+            }
+        ));
     }
 
     #[test]

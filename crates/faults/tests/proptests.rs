@@ -1,10 +1,13 @@
-//! Property tests for the fault-plan schema: any in-range plan survives a
-//! JSON round-trip byte-for-byte stable, and validation accepts exactly
-//! the plans the generators produce.
+//! Property tests for the fault-plan schema and the fuzzer's shrinker:
+//! any in-range plan survives a JSON round-trip byte-for-byte stable,
+//! plans from the fuzz generator are valid and round-trip, and
+//! delta-debugged shrinks preserve the verdict class, never grow, and
+//! reach a fixpoint.
 //!
 //! Requires the real `proptest`; the offline stub-build scratch drops this
 //! file (see `.claude/skills/verify/SKILL.md`).
 
+use agp_faults::fuzz::{plan_weight, shrink, GenBounds, PlanGen, Verdict};
 use agp_faults::{FaultPlan, FaultSpec};
 use proptest::prelude::*;
 
@@ -76,9 +79,70 @@ proptest! {
     #[test]
     fn plan_json_round_trips_losslessly(plan in plan_strategy()) {
         let json = plan.to_json_string();
-        let back = FaultPlan::from_json_str(&json).map_err(TestCaseError::fail)?;
+        let back = FaultPlan::from_json_str(&json)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
         prop_assert_eq!(&back, &plan);
         prop_assert_eq!(back.to_json_string(), json);
+    }
+
+    /// Plans out of the fuzzer's own generator validate against their
+    /// generation bounds and survive the JSON round-trip byte-for-byte —
+    /// the schema hardening and the search space agree on what a legal
+    /// plan is.
+    #[test]
+    fn generated_plans_validate_and_round_trip(seed in any::<u64>(), picks in 1usize..5) {
+        let bounds = GenBounds::default();
+        let mut gen = PlanGen::new(seed, bounds);
+        for _ in 0..picks {
+            let plan = gen.plan();
+            prop_assert!(plan.validate(bounds.nodes as usize, bounds.jobs as usize).is_ok());
+            let json = plan.to_json_string();
+            let back = FaultPlan::from_json_str(&json)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&back, &plan);
+            prop_assert_eq!(back.to_json_string(), json);
+        }
+    }
+
+    /// The delta-debugging contract, against synthetic verdict oracles
+    /// (pure predicates on the plan, standing in for the expensive run
+    /// harness): shrink(plan) (a) still classifies as the target verdict,
+    /// (b) is no larger — by total weight and by fault count, and (c) is
+    /// a fixpoint: shrinking the minimal plan returns it byte-for-byte.
+    #[test]
+    fn shrink_preserves_verdict_never_grows_and_is_a_fixpoint(
+        seed in any::<u64>(),
+        oracle_kind in 0usize..3,
+    ) {
+        let mut gen = PlanGen::new(seed, GenBounds::default());
+        let start = gen.plan();
+        // Three failure shapes: a crash anywhere, any fault on node/job 0,
+        // and "two or more faults" (forces the bisection path).
+        let oracle = |p: &FaultPlan| -> Verdict {
+            let fails = match oracle_kind {
+                0 => p.faults.iter().any(|f| matches!(f, FaultSpec::NodeCrash { .. })),
+                1 => p.faults.iter().any(|f| matches!(
+                    f,
+                    FaultSpec::DiskErrors { node: 0, .. }
+                        | FaultSpec::DiskSlow { node: 0, .. }
+                        | FaultSpec::BarrierDrops { job: 0, .. }
+                        | FaultSpec::NodeCrash { node: 0, .. }
+                        | FaultSpec::MemPressure { node: 0, .. }
+                )),
+                _ => p.faults.len() >= 2,
+            };
+            if fails { Verdict::InvariantViolation } else { Verdict::Clean }
+        };
+        prop_assume!(oracle(&start) == Verdict::InvariantViolation);
+        let minimal = shrink(&start, Verdict::InvariantViolation, 100_000, oracle);
+        // (a) same verdict class.
+        prop_assert_eq!(oracle(&minimal), Verdict::InvariantViolation);
+        // (b) no larger.
+        prop_assert!(plan_weight(&minimal) <= plan_weight(&start));
+        prop_assert!(minimal.faults.len() <= start.faults.len());
+        // (c) fixpoint.
+        let again = shrink(&minimal, Verdict::InvariantViolation, 100_000, oracle);
+        prop_assert_eq!(again.to_json_string(), minimal.to_json_string());
     }
 
     /// Backoff growth: capped exponential, monotone in the attempt number,

@@ -376,8 +376,8 @@ mod tests {
         let mut err = warn.clone();
         err.severity = Severity::Error;
         assert_eq!(exit_code(&[], false), 0);
-        assert_eq!(exit_code(&[warn.clone()], false), 0);
-        assert_eq!(exit_code(&[warn.clone()], true), 1);
+        assert_eq!(exit_code(std::slice::from_ref(&warn), false), 0);
+        assert_eq!(exit_code(std::slice::from_ref(&warn), true), 1);
         assert_eq!(exit_code(&[err], false), 1);
     }
 }

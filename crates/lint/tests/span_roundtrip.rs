@@ -264,7 +264,7 @@ fn lcg_programs_satisfy_span_contract() {
 fn lcg_ascii_soup_lexes_with_exact_spans() {
     // The lexer must keep the span contract (and not panic) on arbitrary
     // printable input — unterminated strings, stray quotes, half-comments.
-    let mut rng = Lcg(0x5EED_0F_ACE5_0DA5);
+    let mut rng = Lcg(0x005E_ED0F_ACE5_0DA5);
     let alphabet: Vec<char> = (' '..='~').chain("\n\t".chars()).collect();
     for _ in 0..300 {
         let n = rng.pick(120) as usize;

@@ -51,6 +51,10 @@ pub enum WatchdogRule {
     JobStall,
     /// The simulator event queue grew past its configured bound.
     QueueDepth,
+    /// Every unfinished job stalled at once: sim time advanced past the
+    /// bound with jobs still pending but no job-level progress — the
+    /// deterministic stand-in for "the run is hung".
+    NoProgress,
 }
 
 impl WatchdogRule {
@@ -61,6 +65,7 @@ impl WatchdogRule {
             WatchdogRule::RecoveryExhausted => "recovery_exhausted",
             WatchdogRule::JobStall => "job_stall",
             WatchdogRule::QueueDepth => "queue_depth",
+            WatchdogRule::NoProgress => "no_progress",
         }
     }
 
@@ -71,6 +76,7 @@ impl WatchdogRule {
             "recovery_exhausted" => WatchdogRule::RecoveryExhausted,
             "job_stall" => WatchdogRule::JobStall,
             "queue_depth" => WatchdogRule::QueueDepth,
+            "no_progress" => WatchdogRule::NoProgress,
             _ => return None,
         })
     }
@@ -847,6 +853,7 @@ mod tests {
             WatchdogRule::RecoveryExhausted,
             WatchdogRule::JobStall,
             WatchdogRule::QueueDepth,
+            WatchdogRule::NoProgress,
         ] {
             assert_eq!(WatchdogRule::from_name(rule.name()), Some(rule));
         }

@@ -64,6 +64,10 @@ pub struct FlightConfig {
     /// Trip [`WatchdogRule::QueueDepth`] when the simulator event queue
     /// exceeds this many entries (`None`: rule off).
     pub queue_limit: Option<u64>,
+    /// Trip [`WatchdogRule::NoProgress`] when *every* unfinished job has
+    /// gone this many sim-µs without observable progress — the hang
+    /// detector (`None`: rule off).
+    pub no_progress_us: Option<u64>,
     /// Trip [`WatchdogRule::RecoveryExhausted`] when a recovery policy
     /// runs out of retries and forces an outcome.
     pub trip_on_exhaustion: bool,
@@ -77,6 +81,7 @@ impl Default for FlightConfig {
             snapshots: 16,
             stall_slo_us: None,
             queue_limit: None,
+            no_progress_us: None,
             trip_on_exhaustion: true,
         }
     }

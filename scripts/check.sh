@@ -83,3 +83,22 @@ test -s incident.json
 cargo run --release -p agp-cli -- postmortem incident.json --json postmortem.json
 grep -q '"kind": "postmortem"' postmortem.json
 grep -q '"rule": "recovery_exhausted"' postmortem.json
+# Chaos fuzzing smoke: a fixed-seed, small-budget fuzz pass must (a) find
+# the known seed-42 hang and exit 2, (b) be byte-deterministic — a second
+# same-seed pass writes an identical findings manifest (same digest) —
+# and (c) the committed regression corpus must replay with every pinned
+# verdict intact. Findings and their postmortems are uploaded by CI.
+rm -rf findings.fuzz findings.fuzz2
+set +e
+cargo run --release -p agp-cli -- chaos --fuzz --seed 42 --iters 4 \
+  --findings findings.fuzz --bench-out BENCH_agp.json
+fuzz_code=$?
+set -e
+test "$fuzz_code" -eq 2
+set +e
+cargo run --release -p agp-cli -- chaos --fuzz --seed 42 --iters 4 \
+  --findings findings.fuzz2 > /dev/null 2>&1
+set -e
+diff findings.fuzz/findings.json findings.fuzz2/findings.json
+grep -q '"verdict":"hang"' findings.fuzz/findings.json
+cargo run --release -p agp-cli -- chaos --replay-corpus plans/corpus

@@ -97,7 +97,7 @@ fn span_breakdown_tiles_root_and_wall_within_5pct() {
     let _g = GATE.lock().unwrap();
     agp::perf::enable(true);
     let _ = agp::perf::take_report();
-    let mut sim = ClusterSim::new(cfg()).expect("valid config");
+    let sim = ClusterSim::new(cfg()).expect("valid config");
     let t0 = std::time::Instant::now();
     let r = sim.run().expect("run completes");
     let wall_ns = t0.elapsed().as_nanos() as u64;
